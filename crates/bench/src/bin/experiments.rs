@@ -1,0 +1,101 @@
+//! CLI that regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! experiments [fig3|fig4|fig6|fig7|fig8|fig9|all] [--requests N] [--seed S]
+//! ```
+
+use std::env;
+use std::process::ExitCode;
+
+use vd_bench::experiments::{ablation, fig3, fig4, fig6, fig7, fig8, fig9};
+
+struct Options {
+    which: String,
+    requests: u64,
+    seed: u64,
+}
+
+fn parse() -> Result<Options, String> {
+    let mut args = env::args().skip(1);
+    let mut options = Options {
+        which: "all".to_owned(),
+        requests: 2_000,
+        seed: 42,
+    };
+    let mut which_set = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--requests" => {
+                let v = args.next().ok_or("--requests needs a value")?;
+                options.requests = v.parse().map_err(|_| format!("bad --requests: {v}"))?;
+            }
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                options.seed = v.parse().map_err(|_| format!("bad --seed: {v}"))?;
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: experiments [fig3|fig4|fig6|fig7|fig8|fig9|all] [--requests N] [--seed S]"
+                        .into(),
+                );
+            }
+            name if !which_set => {
+                options.which = name.to_owned();
+                which_set = true;
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(options)
+}
+
+fn main() -> ExitCode {
+    let options = match parse() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Options {
+        which,
+        requests,
+        seed,
+    } = options;
+    let run_fig3 = || println!("{}", fig3::run(requests, seed).render());
+    let run_fig4 = || println!("{}", fig4::run(requests, seed).render());
+    let run_fig6 = || println!("{}", fig6::run_timeline(20, 700.0, seed).render());
+    let run_fig7_8_9 = |want7: bool, want8: bool, want9: bool| {
+        let data = fig7::run(requests, seed);
+        if want7 {
+            println!("{}", data.render());
+        }
+        if want8 {
+            println!("{}", fig8::derive(&data).render());
+        }
+        if want9 {
+            println!("{}", fig9::derive(&data).render());
+        }
+    };
+    match which.as_str() {
+        "fig3" => run_fig3(),
+        "fig4" => run_fig4(),
+        "fig6" => run_fig6(),
+        "fig7" => run_fig7_8_9(true, false, false),
+        "fig8" | "table2" => run_fig7_8_9(false, true, false),
+        "fig9" => run_fig7_8_9(false, false, true),
+        "ablation" => println!("{}", ablation::run(requests.min(500), seed).render()),
+        "all" => {
+            run_fig3();
+            run_fig4();
+            run_fig6();
+            run_fig7_8_9(true, true, true);
+            println!("{}", ablation::run(requests.min(500), seed).render());
+        }
+        other => {
+            eprintln!("unknown experiment: {other} (expected fig3|fig4|fig6|fig7|fig8|fig9|ablation|all)");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

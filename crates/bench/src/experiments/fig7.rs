@@ -1,0 +1,189 @@
+//! Fig. 7 — the latency/bandwidth trade-off surface.
+//!
+//! The paper sweeps {1–5 clients} × {1–3 replicas} × {active, warm passive}
+//! and reports (a) mean round-trip latency and (b) bandwidth usage. Shape
+//! to reproduce: passive latency grows steeply with clients (≈3× active at
+//! five clients); active bandwidth grows steeply with clients (≈2× passive
+//! at five clients).
+
+use vd_core::policy::ConfigMeasurement;
+use vd_core::style::ReplicationStyle;
+use vd_simnet::time::SimDuration;
+
+use crate::report::{mbps, micros, Table};
+use crate::testbed::{build_replicated, TestbedConfig};
+
+/// One measured grid point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig7Row {
+    /// Style measured.
+    pub style: ReplicationStyle,
+    /// Replica count.
+    pub replicas: usize,
+    /// Concurrent clients.
+    pub clients: usize,
+    /// Mean round trip, µs.
+    pub latency_micros: f64,
+    /// Jitter (standard deviation), µs.
+    pub jitter_micros: f64,
+    /// Total network bandwidth, MB/s.
+    pub bandwidth_mbps: f64,
+    /// Served throughput, requests/second.
+    pub throughput_rps: f64,
+}
+
+/// The full grid.
+#[derive(Debug, Clone)]
+pub struct Fig7Result {
+    /// All measured points.
+    pub rows: Vec<Fig7Row>,
+}
+
+impl Fig7Result {
+    /// The measurement records the scalability planner consumes (Fig. 8).
+    pub fn to_measurements(&self) -> Vec<ConfigMeasurement> {
+        self.rows
+            .iter()
+            .map(|r| ConfigMeasurement {
+                style: r.style,
+                replicas: r.replicas,
+                clients: r.clients,
+                latency_micros: r.latency_micros,
+                bandwidth_mbps: r.bandwidth_mbps,
+            })
+            .collect()
+    }
+
+    /// The row for a specific configuration, if measured.
+    pub fn get(&self, style: ReplicationStyle, replicas: usize, clients: usize) -> Option<&Fig7Row> {
+        self.rows
+            .iter()
+            .find(|r| r.style == style && r.replicas == replicas && r.clients == clients)
+    }
+
+    /// Renders both panels as one table.
+    pub fn render(&self) -> String {
+        let mut table = Table::new(
+            "Fig. 7 — round-trip latency (a) and bandwidth (b) vs clients × replicas",
+            &[
+                "style",
+                "replicas",
+                "clients",
+                "latency [µs]",
+                "jitter σ [µs]",
+                "bandwidth [MB/s]",
+                "throughput [req/s]",
+            ],
+        );
+        for r in &self.rows {
+            table.row(&[
+                r.style.to_string(),
+                r.replicas.to_string(),
+                r.clients.to_string(),
+                micros(r.latency_micros),
+                micros(r.jitter_micros),
+                mbps(r.bandwidth_mbps),
+                format!("{:.0}", r.throughput_rps),
+            ]);
+        }
+        table.render()
+    }
+}
+
+/// Measures one grid point.
+pub fn measure_point(
+    style: ReplicationStyle,
+    replicas: usize,
+    clients: usize,
+    requests_per_client: u64,
+    seed: u64,
+) -> Fig7Row {
+    let config = TestbedConfig {
+        replicas,
+        clients,
+        style,
+        requests_per_client,
+        seed,
+        ..TestbedConfig::default()
+    };
+    let mut bed = build_replicated(&config);
+    // Run in slices until every client finishes its cycle, so bandwidth and
+    // throughput are measured over the busy window only (idle heartbeats
+    // and checkpoints after the cycle would otherwise dilute them).
+    let target = requests_per_client * clients as u64;
+    let slice = SimDuration::from_millis(20);
+    let hard_stop = SimDuration::from_secs(60 + target / 50);
+    let deadline = bed.world.now() + hard_stop;
+    while bed.total_completed() < target && bed.world.now() < deadline {
+        bed.world.run_for(slice);
+    }
+    assert_eq!(
+        bed.total_completed(),
+        target,
+        "cycle incomplete within the horizon ({style} r={replicas} c={clients})"
+    );
+    let rtt = bed.merged_rtt();
+    let total = target as f64;
+    let busy_secs = bed.world.now().as_secs_f64().max(1e-9);
+    Fig7Row {
+        style,
+        replicas,
+        clients,
+        latency_micros: rtt.mean_micros_f64(),
+        jitter_micros: rtt.std_dev_micros(),
+        bandwidth_mbps: bed.bandwidth_mbps(),
+        throughput_rps: total / busy_secs,
+    }
+}
+
+/// Runs the full sweep: both styles × replicas 1–3 × clients 1–5.
+pub fn run(requests_per_client: u64, seed: u64) -> Fig7Result {
+    let mut rows = Vec::new();
+    for style in [ReplicationStyle::Active, ReplicationStyle::WarmPassive] {
+        for replicas in 1..=3 {
+            for clients in 1..=5 {
+                rows.push(measure_point(
+                    style,
+                    replicas,
+                    clients,
+                    requests_per_client,
+                    seed,
+                ));
+            }
+        }
+    }
+    Fig7Result { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A reduced sweep (3 replicas only) checking the paper's shape.
+    #[test]
+    fn latency_and_bandwidth_shapes_match_the_paper() {
+        let mut rows = Vec::new();
+        for style in [ReplicationStyle::Active, ReplicationStyle::WarmPassive] {
+            for clients in [1, 3, 5] {
+                rows.push(measure_point(style, 3, clients, 300, 11));
+            }
+        }
+        let result = Fig7Result { rows };
+        let lat = |style, clients| result.get(style, 3, clients).unwrap().latency_micros;
+        let bw = |style, clients| result.get(style, 3, clients).unwrap().bandwidth_mbps;
+        use ReplicationStyle::{Active, WarmPassive};
+        // (a) latency: passive is materially slower everywhere and the gap
+        // widens with clients (paper: ≈3× at five clients).
+        assert!(lat(WarmPassive, 1) > 1.5 * lat(Active, 1));
+        let ratio5 = lat(WarmPassive, 5) / lat(Active, 5);
+        assert!(ratio5 > 2.0, "passive/active at 5 clients = {ratio5:.2}");
+        // Latency grows with clients for both styles.
+        assert!(lat(Active, 5) > lat(Active, 1));
+        assert!(lat(WarmPassive, 5) > lat(WarmPassive, 1));
+        // (b) bandwidth: active consumes more, with a widening gap
+        // (paper: ≈2× at five clients).
+        let bw_ratio5 = bw(Active, 5) / bw(WarmPassive, 5);
+        assert!(bw_ratio5 > 1.5, "active/passive bandwidth at 5 = {bw_ratio5:.2}");
+        assert!(bw(Active, 5) > bw(Active, 1));
+    }
+}

@@ -1,0 +1,177 @@
+//! Fig. 9 — active and passive replication in the dependability design
+//! space.
+//!
+//! The paper re-plots the Fig. 7 data set with each configuration's
+//! fault-tolerance, performance and resource usage normalized to their
+//! maxima: the two styles occupy disjoint regions of the
+//! {fault-tolerance × performance × resources} space, and the knobs let
+//! the system move between them.
+
+use vd_core::style::ReplicationStyle;
+
+use crate::experiments::fig7::Fig7Result;
+use crate::report::Table;
+
+/// One normalized point of the design space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpacePoint {
+    /// Style the point belongs to.
+    pub style: ReplicationStyle,
+    /// Replicas and clients that produced it.
+    pub replicas: usize,
+    /// Clients during the measurement.
+    pub clients: usize,
+    /// Fault-tolerance axis: faults tolerated / max observed.
+    pub fault_tolerance: f64,
+    /// Performance axis: (1/latency) / max observed.
+    pub performance: f64,
+    /// Resource axis: bandwidth / max observed.
+    pub resources: f64,
+}
+
+/// The normalized design-space point cloud.
+#[derive(Debug, Clone)]
+pub struct Fig9Result {
+    /// All normalized points.
+    pub points: Vec<SpacePoint>,
+}
+
+impl Fig9Result {
+    /// Points belonging to one style.
+    pub fn region(&self, style: ReplicationStyle) -> Vec<&SpacePoint> {
+        self.points.iter().filter(|p| p.style == style).collect()
+    }
+
+    /// The centroid `(ft, perf, resources)` of one style's region.
+    pub fn centroid(&self, style: ReplicationStyle) -> (f64, f64, f64) {
+        let region = self.region(style);
+        if region.is_empty() {
+            return (0.0, 0.0, 0.0);
+        }
+        let n = region.len() as f64;
+        (
+            region.iter().map(|p| p.fault_tolerance).sum::<f64>() / n,
+            region.iter().map(|p| p.performance).sum::<f64>() / n,
+            region.iter().map(|p| p.resources).sum::<f64>() / n,
+        )
+    }
+
+    /// Renders the normalized point cloud plus the per-style centroids.
+    pub fn render(&self) -> String {
+        let mut table = Table::new(
+            "Fig. 9 — normalized dependability design space",
+            &[
+                "style",
+                "replicas",
+                "clients",
+                "fault-tolerance",
+                "performance",
+                "resources",
+            ],
+        );
+        for p in &self.points {
+            table.row(&[
+                p.style.to_string(),
+                p.replicas.to_string(),
+                p.clients.to_string(),
+                format!("{:.3}", p.fault_tolerance),
+                format!("{:.3}", p.performance),
+                format!("{:.3}", p.resources),
+            ]);
+        }
+        let mut out = table.render();
+        for style in [ReplicationStyle::Active, ReplicationStyle::WarmPassive] {
+            let (ft, perf, res) = self.centroid(style);
+            out.push_str(&format!(
+                "{style} centroid: FT {ft:.3}  perf {perf:.3}  resources {res:.3}\n"
+            ));
+        }
+        out
+    }
+}
+
+/// Normalizes a Fig. 7 data set into the design space.
+pub fn derive(fig7: &Fig7Result) -> Fig9Result {
+    let max_faults = fig7
+        .rows
+        .iter()
+        .map(|r| r.replicas.saturating_sub(1) as f64)
+        .fold(0.0, f64::max)
+        .max(1e-9);
+    let max_perf = fig7
+        .rows
+        .iter()
+        .map(|r| 1.0 / r.latency_micros.max(1e-9))
+        .fold(0.0, f64::max)
+        .max(1e-12);
+    let max_bw = fig7
+        .rows
+        .iter()
+        .map(|r| r.bandwidth_mbps)
+        .fold(0.0, f64::max)
+        .max(1e-9);
+    let points = fig7
+        .rows
+        .iter()
+        .map(|r| SpacePoint {
+            style: r.style,
+            replicas: r.replicas,
+            clients: r.clients,
+            fault_tolerance: r.replicas.saturating_sub(1) as f64 / max_faults,
+            performance: (1.0 / r.latency_micros.max(1e-9)) / max_perf,
+            resources: r.bandwidth_mbps / max_bw,
+        })
+        .collect();
+    Fig9Result { points }
+}
+
+/// Runs the Fig. 7 sweep and normalizes it.
+pub fn run(requests_per_client: u64, seed: u64) -> Fig9Result {
+    derive(&crate::experiments::fig7::run(requests_per_client, seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::fig7::Fig7Row;
+
+    fn synthetic() -> Fig7Result {
+        let mut rows = Vec::new();
+        for (style, base_lat, base_bw) in [
+            (ReplicationStyle::Active, 1200.0, 1.0),
+            (ReplicationStyle::WarmPassive, 3000.0, 0.6),
+        ] {
+            for replicas in 1..=3usize {
+                for clients in 1..=5usize {
+                    rows.push(Fig7Row {
+                        style,
+                        replicas,
+                        clients,
+                        latency_micros: base_lat * clients as f64,
+                        jitter_micros: 0.0,
+                        bandwidth_mbps: base_bw * clients as f64,
+                        throughput_rps: 0.0,
+                    });
+                }
+            }
+        }
+        Fig7Result { rows }
+    }
+
+    #[test]
+    fn normalization_is_bounded_and_regions_are_disjoint() {
+        let result = derive(&synthetic());
+        for p in &result.points {
+            assert!((0.0..=1.0).contains(&p.fault_tolerance));
+            assert!((0.0..=1.0 + 1e-9).contains(&p.performance));
+            assert!((0.0..=1.0 + 1e-9).contains(&p.resources));
+        }
+        // Active occupies the high-performance/high-resource corner;
+        // passive the frugal/slow corner (the paper's disjoint regions).
+        let (_, perf_a, res_a) = result.centroid(ReplicationStyle::Active);
+        let (_, perf_p, res_p) = result.centroid(ReplicationStyle::WarmPassive);
+        assert!(perf_a > perf_p);
+        assert!(res_a > res_p);
+        assert!(result.render().contains("centroid"));
+    }
+}

@@ -1,0 +1,22 @@
+//! One runner per table and figure of the paper's evaluation.
+//!
+//! | Runner | Reproduces |
+//! |---|---|
+//! | [`fig3`] | Fig. 3 — round-trip breakdown (app/ORB/GC/replicator) |
+//! | [`fig4`] | Fig. 4 — interposition & replication overhead ladder |
+//! | [`fig6`] | Fig. 6 — runtime adaptive replication under a load ramp |
+//! | [`fig7`] | Fig. 7a/7b — latency & bandwidth vs clients × replicas |
+//! | [`fig8`] | Fig. 8 + Table 2 — the scalability-knob policy |
+//! | [`fig9`] | Fig. 9 — normalized dependability design space |
+//! | [`ablation`] | style-space, detection-timeout and checkpointing ablations (beyond the paper) |
+//!
+//! Each runner returns a structured result with a `render()` method that
+//! prints the same rows/series the paper reports.
+
+pub mod ablation;
+pub mod fig3;
+pub mod fig4;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;

@@ -1,0 +1,24 @@
+//! # vd-bench — the experiment harness
+//!
+//! Workload generators, the calibrated test-bed, and one experiment runner
+//! per table and figure of the paper's evaluation (see [`experiments`]).
+//!
+//! Run everything from the CLI:
+//!
+//! ```text
+//! cargo run -p vd-bench --bin experiments -- all
+//! cargo run -p vd-bench --bin experiments -- fig7
+//! ```
+//!
+//! or measure wall-clock costs with Criterion:
+//!
+//! ```text
+//! cargo bench -p vd-bench
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+pub mod testbed;
+pub mod workload;

@@ -1,0 +1,168 @@
+//! Plain-text rendering of experiment results: aligned tables, series and
+//! CSV export — the harness prints the same rows the paper reports.
+
+use std::fmt::Write as _;
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// An empty table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded or truncated to the header width).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        let mut row: Vec<String> = cells.to_vec();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as aligned text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if cell.len() > widths[i] {
+                    widths[i] = cell.len();
+                }
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "== {} ==", self.title);
+        }
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(line, "{:<width$}  ", cell, width = widths[i]);
+            }
+            line.trim_end().to_owned()
+        };
+        let _ = writeln!(out, "{}", render_row(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + widths.len() * 2;
+        let _ = writeln!(out, "{}", "-".repeat(total.min(120)));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", render_row(row, &widths));
+        }
+        out
+    }
+
+    /// Renders the table as CSV (headers first).
+    pub fn to_csv(&self) -> String {
+        let escape = |s: &str| -> String {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_owned()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+}
+
+/// Formats a microsecond value the way the paper prints latencies.
+pub fn micros(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Formats an MB/s value the way the paper prints bandwidths.
+pub fn mbps(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Renders a `(time, value)` series as a compact text sparkline table,
+/// sampling at most `max_rows` evenly spaced points.
+pub fn render_series(title: &str, points: &[(f64, f64)], max_rows: usize) -> String {
+    let mut out = format!("== {title} ==\n");
+    if points.is_empty() {
+        out.push_str("(empty)\n");
+        return out;
+    }
+    let step = (points.len() / max_rows.max(1)).max(1);
+    let max_v = points.iter().map(|p| p.1).fold(f64::MIN, f64::max).max(1e-9);
+    for chunk in points.chunks(step) {
+        let (t, v) = chunk[chunk.len() / 2];
+        let bar_len = ((v / max_v) * 50.0).round() as usize;
+        let _ = writeln!(out, "{t:>8.2}s  {v:>10.1}  {}", "#".repeat(bar_len));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("Demo", &["a", "long-header", "c"]);
+        t.row(&["1".into(), "2".into(), "3".into()]);
+        t.row(&["wide-cell".into(), "x".into(), "y".into()]);
+        let text = t.render();
+        assert!(text.contains("== Demo =="));
+        assert!(text.contains("long-header"));
+        assert_eq!(t.len(), 2);
+        // All data lines have the same column starts.
+        let lines: Vec<&str> = text.lines().skip(1).collect();
+        let col = lines[0].find("long-header").unwrap();
+        assert_eq!(lines[2].find('2'), Some(col));
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new("", &["a", "b"]);
+        t.row(&["only-one".into()]);
+        assert!(t.render().contains("only-one"));
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new("", &["x", "y"]);
+        t.row(&["a,b".into(), "plain".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\",plain"));
+    }
+
+    #[test]
+    fn series_renders_bars() {
+        let points: Vec<(f64, f64)> = (0..100).map(|i| (i as f64, i as f64)).collect();
+        let text = render_series("ramp", &points, 10);
+        assert!(text.contains("== ramp =="));
+        assert!(text.contains('#'));
+        assert!(render_series("empty", &[], 10).contains("(empty)"));
+    }
+}

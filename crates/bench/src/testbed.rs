@@ -1,0 +1,313 @@
+//! The simulated test-bed: the paper's seven Pentium-III machines on a
+//! switched 100 Mb/s LAN, with calibration constants from its Fig. 3.
+
+use vd_core::client::{ReplicatedClientActor, ReplicatedClientConfig};
+use vd_core::knobs::LowLevelKnobs;
+use vd_core::replica::{ReplicaActor, ReplicaConfig};
+use vd_core::style::ReplicationStyle;
+use vd_orb::interceptor::Passthrough;
+use vd_orb::object::{ObjectAdapter, ObjectKey};
+use vd_orb::sim::{ClientActor, DriverConfig, OrbCosts, RequestDriver, ServerActor};
+use vd_simnet::prelude::*;
+
+use crate::workload::PaddedApp;
+
+/// Link latency of the raw switched LAN (one way) — the path unreplicated
+/// baseline traffic takes.
+pub fn lan_link() -> LinkConfig {
+    LinkConfig {
+        latency: LatencyModel::uniform(SimDuration::from_micros(50), SimDuration::from_micros(20)),
+        // 100 Mb/s, like the paper's test-bed.
+        bandwidth_bytes_per_sec: Some(12_500_000),
+    }
+}
+
+/// Link model for traffic routed through the group-communication daemons
+/// (client interposer → daemon → daemon → replica): the LAN hop plus the
+/// daemon pipeline, calibrated so the Fig. 3 GC share lands at ~620 µs per
+/// round trip.
+pub fn gc_link() -> LinkConfig {
+    LinkConfig {
+        latency: LatencyModel::uniform(
+            SimDuration::from_micros(210),
+            SimDuration::from_micros(80),
+        ),
+        bandwidth_bytes_per_sec: Some(12_500_000),
+    }
+}
+
+/// A topology of `n` LAN-connected machines (baseline runs).
+pub fn lan_topology(n: u32) -> Topology {
+    let mut topo = Topology::full_mesh(n);
+    topo.set_default_link(lan_link());
+    topo
+}
+
+/// A topology of `n` machines whose traffic flows through GC daemons
+/// (replicated runs).
+pub fn gc_topology(n: u32) -> Topology {
+    let mut topo = Topology::full_mesh(n);
+    topo.set_default_link(gc_link());
+    topo
+}
+
+/// Configuration of a replicated test-bed run.
+#[derive(Debug, Clone)]
+pub struct TestbedConfig {
+    /// Number of server replicas (paper sweeps 1–3).
+    pub replicas: usize,
+    /// Number of closed-loop clients (paper sweeps 1–5).
+    pub clients: usize,
+    /// Replication style under test.
+    pub style: ReplicationStyle,
+    /// Requests per client (paper: a cycle of 10 000; experiments here
+    /// default to 2 000 which converges to the same means).
+    pub requests_per_client: u64,
+    /// Marshaled request size in bytes.
+    pub request_bytes: usize,
+    /// Marshaled response size in bytes.
+    pub response_bytes: usize,
+    /// Application state size (checkpoint payload) in bytes.
+    pub state_bytes: usize,
+    /// Checkpoint interval for passive styles.
+    pub checkpoint_interval: SimDuration,
+    /// Fault-monitoring timeout (the FT-CORBA fault-detection knob):
+    /// silence longer than this marks a replica as suspected.
+    pub failure_timeout: SimDuration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TestbedConfig {
+    fn default() -> Self {
+        TestbedConfig {
+            replicas: 3,
+            clients: 1,
+            style: ReplicationStyle::Active,
+            requests_per_client: 2_000,
+            request_bytes: 256,
+            response_bytes: 448,
+            state_bytes: 4 * 1024,
+            checkpoint_interval: SimDuration::from_millis(10),
+            failure_timeout: SimDuration::from_millis(50),
+            seed: 42,
+        }
+    }
+}
+
+/// A built test-bed: the world plus the ids of its inhabitants.
+#[derive(Debug)]
+pub struct Testbed {
+    /// The simulated world, ready to run.
+    pub world: World,
+    /// Replica process ids (node i hosts replica i).
+    pub replicas: Vec<ProcessId>,
+    /// Client process ids.
+    pub clients: Vec<ProcessId>,
+}
+
+impl Testbed {
+    /// Requests completed by client `i`.
+    pub fn completed(&self, i: usize) -> u64 {
+        self.world
+            .actor_ref::<ReplicatedClientActor>(self.clients[i])
+            .map(|c| c.driver().completed())
+            .unwrap_or(0)
+    }
+
+    /// Total requests completed across clients.
+    pub fn total_completed(&self) -> u64 {
+        (0..self.clients.len()).map(|i| self.completed(i)).sum()
+    }
+
+    /// The merged client round-trip histogram.
+    pub fn merged_rtt(&self) -> vd_simnet::metrics::Histogram {
+        let mut merged = vd_simnet::metrics::Histogram::new();
+        for i in 0..self.clients.len() {
+            if let Some(h) = self.world.metrics().histogram_ref(&format!("client{i}.rtt")) {
+                merged.merge(h);
+            }
+        }
+        merged
+    }
+
+    /// Total network bandwidth over the run so far, in MB/s.
+    pub fn bandwidth_mbps(&self) -> f64 {
+        self.world
+            .metrics()
+            .bandwidth_ref(NET_BANDWIDTH)
+            .map(|m| m.mbytes_per_sec(self.world.now()))
+            .unwrap_or(0.0)
+    }
+}
+
+/// Builds a replicated test-bed: replicas on nodes `0..r`, one client per
+/// node after that (mirroring the paper's one-process-per-machine layout).
+pub fn build_replicated(config: &TestbedConfig) -> Testbed {
+    let total_nodes = (config.replicas + config.clients) as u32;
+    let mut world = World::new(gc_topology(total_nodes), config.seed);
+    let members: Vec<ProcessId> = (0..config.replicas as u64).map(ProcessId).collect();
+    let mut replicas = Vec::new();
+    for i in 0..config.replicas {
+        let mut knobs = LowLevelKnobs::default()
+            .style(config.style)
+            .num_replicas(config.replicas)
+            .checkpoint_interval(config.checkpoint_interval);
+        knobs.fault_monitoring_timeout = config.failure_timeout;
+        let replica_config = ReplicaConfig {
+            knobs,
+            group_config: vd_group::config::GroupConfig::default()
+                .failure_timeout(config.failure_timeout),
+            metrics_prefix: format!("replica{i}"),
+            ..ReplicaConfig::default()
+        };
+        let app = PaddedApp::new(config.state_bytes, config.response_bytes, 15);
+        let pid = world.spawn(
+            NodeId(i as u32),
+            Box::new(ReplicaActor::bootstrap(
+                ProcessId(i as u64),
+                members.clone(),
+                Box::new(app),
+                replica_config,
+            )),
+        );
+        debug_assert_eq!(pid, ProcessId(i as u64));
+        replicas.push(pid);
+    }
+    let mut clients = Vec::new();
+    for c in 0..config.clients {
+        let driver = RequestDriver::new(DriverConfig {
+            object: ObjectKey::new("bench"),
+            operation: "cycle".into(),
+            request_bytes: config.request_bytes,
+            total: Some(config.requests_per_client),
+            think: SimDuration::ZERO,
+        });
+        let client_config = ReplicatedClientConfig {
+            replicas: replicas.clone(),
+            rtt_metric: format!("client{c}.rtt"),
+            initial_gateway: c % config.replicas,
+            ..ReplicatedClientConfig::default()
+        };
+        let pid = world.spawn(
+            NodeId((config.replicas + c) as u32),
+            Box::new(ReplicatedClientActor::new(driver, client_config)),
+        );
+        clients.push(pid);
+    }
+    Testbed {
+        world,
+        replicas,
+        clients,
+    }
+}
+
+/// The interposition modes of the paper's Fig. 4 overhead ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterceptMode {
+    /// Plain client–server GIOP, no replicator anywhere.
+    None,
+    /// Only the client's system calls are intercepted (not modified).
+    ClientOnly,
+    /// Only the server's system calls are intercepted (not modified).
+    ServerOnly,
+    /// Both sides intercepted (not modified).
+    Both,
+}
+
+/// Builds an unreplicated baseline: one client, one server, with the
+/// requested interposition mode. Returns `(world, client, server)`.
+pub fn build_baseline(
+    mode: InterceptMode,
+    requests: u64,
+    seed: u64,
+) -> (World, ProcessId, ProcessId) {
+    let mut world = World::new(lan_topology(2), seed);
+    let mut adapter = ObjectAdapter::new();
+    adapter.register(
+        ObjectKey::new("bench"),
+        Box::new(EchoServant {
+            response_bytes: 448,
+        }),
+    );
+    let mut server = ServerActor::new(adapter, OrbCosts::paper_calibrated());
+    if matches!(mode, InterceptMode::ServerOnly | InterceptMode::Both) {
+        server = server.with_interceptor(Box::new(Passthrough::new()));
+    }
+    let server_pid = world.spawn(NodeId(1), Box::new(server));
+    let driver = RequestDriver::new(DriverConfig {
+        total: Some(requests),
+        request_bytes: 256,
+        ..DriverConfig::default()
+    });
+    let mut client = ClientActor::new(server_pid, driver, OrbCosts::paper_calibrated(), "baseline.rtt");
+    if matches!(mode, InterceptMode::ClientOnly | InterceptMode::Both) {
+        client = client.with_interceptor(Box::new(Passthrough::new()));
+    }
+    let client_pid = world.spawn(NodeId(0), Box::new(client));
+    (world, client_pid, server_pid)
+}
+
+/// The unreplicated servant behind the baselines: echoes a padded response.
+struct EchoServant {
+    response_bytes: usize,
+}
+
+impl vd_orb::object::Servant for EchoServant {
+    fn invoke(&mut self, _op: &str, _args: &bytes::Bytes) -> vd_orb::object::InvokeResult {
+        Ok(bytes::Bytes::from(vec![0xCD; self.response_bytes]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replicated_testbed_runs_to_completion() {
+        let config = TestbedConfig {
+            replicas: 2,
+            clients: 1,
+            requests_per_client: 50,
+            ..TestbedConfig::default()
+        };
+        let mut bed = build_replicated(&config);
+        bed.world.run_for(SimDuration::from_secs(2));
+        assert_eq!(bed.total_completed(), 50);
+        assert_eq!(bed.merged_rtt().count(), 50);
+        assert!(bed.bandwidth_mbps() > 0.0);
+    }
+
+    #[test]
+    fn baseline_modes_build_and_run() {
+        for mode in [
+            InterceptMode::None,
+            InterceptMode::ClientOnly,
+            InterceptMode::ServerOnly,
+            InterceptMode::Both,
+        ] {
+            let (mut world, client, _server) = build_baseline(mode, 20, 7);
+            world.run_for(SimDuration::from_secs(1));
+            let c = world.actor_ref::<ClientActor>(client).unwrap();
+            assert_eq!(c.driver().completed(), 20, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn interposition_modes_are_ordered_by_overhead() {
+        let mean = |mode| {
+            let (mut world, _c, _s) = build_baseline(mode, 200, 3);
+            world.run_for(SimDuration::from_secs(2));
+            world
+                .metrics()
+                .histogram_ref("baseline.rtt")
+                .unwrap()
+                .mean_micros_f64()
+        };
+        let none = mean(InterceptMode::None);
+        let client = mean(InterceptMode::ClientOnly);
+        let both = mean(InterceptMode::Both);
+        assert!(none < client, "{none} < {client}");
+        assert!(client < both, "{client} < {both}");
+    }
+}

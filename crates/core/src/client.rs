@@ -1,0 +1,192 @@
+//! The client-side replicator: transparent fault-tolerant invocation.
+//!
+//! The paper interposes on the client too: its GIOP connection is redirected
+//! so requests reach the whole replica group and duplicate replies (every
+//! active replica answers) are suppressed before the application sees them.
+//! [`ReplicatedClientActor`] is that interposer fused with a closed-loop
+//! workload driver: it sends each request to a *gateway* replica (which
+//! disseminates it in agreed order), accepts the first reply, and fails
+//! over to another gateway on timeout — the application-visible behavior is
+//! a plain synchronous invocation that happens to survive replica crashes.
+
+use vd_orb::sim::{OrbCosts, RequestDriver};
+use vd_orb::wire::{OrbMessage, Request};
+use vd_simnet::actor::{downcast_payload, Actor, Context, Payload, TimerToken};
+use vd_simnet::time::SimDuration;
+use vd_simnet::topology::ProcessId;
+
+/// Timer for think-time pauses between requests.
+const THINK_TIMER: TimerToken = TimerToken(100);
+/// Base for retry/failover timers; the request id is encoded in the token
+/// so a stale timer (its request long since answered) can be told apart
+/// from a genuine timeout of the request still outstanding.
+const RETRY_TIMER_BASE: u64 = 1_000_000;
+
+/// Configuration of a replicated client.
+#[derive(Debug, Clone)]
+pub struct ReplicatedClientConfig {
+    /// The replica processes, in gateway preference order.
+    pub replicas: Vec<ProcessId>,
+    /// ORB cost model (marshal per traversal).
+    pub costs: OrbCosts,
+    /// Client-side interposition cost per traversal.
+    pub interposition: SimDuration,
+    /// How long to wait for a reply before retrying through the next
+    /// gateway. Should comfortably exceed a normal round trip plus the
+    /// failure-detection and view-change delays.
+    pub retry_timeout: SimDuration,
+    /// Histogram name under which round trips are recorded.
+    pub rtt_metric: String,
+    /// Index into `replicas` of the first gateway used (stagger this
+    /// across clients to spread dissemination work).
+    pub initial_gateway: usize,
+}
+
+impl Default for ReplicatedClientConfig {
+    fn default() -> Self {
+        ReplicatedClientConfig {
+            replicas: Vec::new(),
+            costs: OrbCosts::paper_calibrated(),
+            interposition: SimDuration::from_micros(38),
+            retry_timeout: SimDuration::from_millis(200),
+            rtt_metric: "client.rtt".into(),
+            initial_gateway: 0,
+        }
+    }
+}
+
+/// A closed-loop client whose invocations transparently survive replica
+/// crashes and style switches.
+pub struct ReplicatedClientActor {
+    config: ReplicatedClientConfig,
+    driver: RequestDriver,
+    gateway: usize,
+    outstanding: Option<Request>,
+    /// Retries performed (inspection).
+    pub retries: u64,
+}
+
+impl ReplicatedClientActor {
+    /// A client running `driver`'s request cycle against the replica group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no replicas are configured.
+    pub fn new(driver: RequestDriver, config: ReplicatedClientConfig) -> Self {
+        assert!(
+            !config.replicas.is_empty(),
+            "a replicated client needs at least one replica"
+        );
+        let gateway = config.initial_gateway % config.replicas.len();
+        ReplicatedClientActor {
+            config,
+            driver,
+            gateway,
+            outstanding: None,
+            retries: 0,
+        }
+    }
+
+    /// The embedded request driver (inspection).
+    pub fn driver(&self) -> &RequestDriver {
+        &self.driver
+    }
+
+    /// The replica currently used as gateway.
+    pub fn gateway(&self) -> ProcessId {
+        self.config.replicas[self.gateway % self.config.replicas.len()]
+    }
+
+    fn issue(&mut self, ctx: &mut Context<'_>) {
+        let invoke_at = ctx.now() + ctx.cpu_used();
+        let Some(request) = self.driver.next_request(invoke_at) else {
+            return;
+        };
+        ctx.use_cpu(self.config.costs.marshal);
+        ctx.use_cpu(self.config.interposition);
+        let gateway = self.gateway();
+        ctx.send(gateway, OrbMessage::Request(request.clone()));
+        ctx.set_timer(
+            self.config.retry_timeout,
+            TimerToken(RETRY_TIMER_BASE + request.request_id),
+        );
+        self.outstanding = Some(request);
+    }
+
+    fn resend(&mut self, ctx: &mut Context<'_>) {
+        let Some(request) = self.outstanding.clone() else {
+            return;
+        };
+        self.retries += 1;
+        self.gateway = (self.gateway + 1) % self.config.replicas.len();
+        ctx.use_cpu(self.config.interposition);
+        ctx.set_timer(
+            self.config.retry_timeout,
+            TimerToken(RETRY_TIMER_BASE + request.request_id),
+        );
+        ctx.send(self.gateway(), OrbMessage::Request(request));
+    }
+}
+
+impl Actor for ReplicatedClientActor {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.issue(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_>, _from: ProcessId, payload: Box<dyn Payload>) {
+        let Ok(msg) = downcast_payload::<OrbMessage>(payload) else {
+            return;
+        };
+        // Inbound interposition (duplicate suppression happens in the
+        // driver's tracker) plus the ORB unmarshal traversal.
+        ctx.use_cpu(self.config.interposition);
+        let OrbMessage::Reply(reply) = *msg else {
+            return;
+        };
+        ctx.use_cpu(self.config.costs.marshal);
+        let completed_at = ctx.now() + ctx.cpu_used();
+        if let Some(rtt) = self.driver.on_reply(completed_at, reply) {
+            self.outstanding = None;
+            let metric = self.config.rtt_metric.clone();
+            ctx.metrics().histogram(&metric).record(rtt);
+            if self.driver.is_done() {
+                return;
+            }
+            let think = self.driver.think();
+            if think.is_zero() {
+                self.issue(ctx);
+            } else {
+                ctx.set_timer(think, THINK_TIMER);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, timer: TimerToken) {
+        match timer {
+            THINK_TIMER => self.issue(ctx),
+            TimerToken(token) if token > RETRY_TIMER_BASE => {
+                let request_id = token - RETRY_TIMER_BASE;
+                // Only a timer for the request still outstanding is a real
+                // timeout; anything else is a stale fire.
+                if self
+                    .outstanding
+                    .as_ref()
+                    .is_some_and(|r| r.request_id == request_id)
+                {
+                    self.resend(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl std::fmt::Debug for ReplicatedClientActor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicatedClientActor")
+            .field("gateway", &self.gateway())
+            .field("completed", &self.driver.completed())
+            .field("retries", &self.retries)
+            .finish()
+    }
+}

@@ -1,0 +1,267 @@
+//! Behavioral contracts: the specified behavior of the overall system.
+//!
+//! The paper's framework step 2 defines contracts for the desired behavior;
+//! when monitoring shows a contract can no longer be honored, the framework
+//! adapts — possibly offering *degraded* alternative contracts the
+//! application might still accept, with manual intervention as the last
+//! resort (paper §3.1, "Adaptation Policies", and the notification at the
+//! end of §4.3).
+
+use std::fmt;
+
+use crate::monitor::Observations;
+
+/// Limits the application expects the dependable service to honor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Contract {
+    /// Maximum acceptable mean latency, µs (paper §4.3 uses 7000 µs).
+    pub max_latency_micros: Option<f64>,
+    /// Maximum acceptable bandwidth usage, bytes/s (paper §4.3 uses 3 MB/s).
+    pub max_bandwidth_bps: Option<f64>,
+    /// Minimum number of crash faults the configuration must tolerate.
+    pub min_faults_tolerated: Option<usize>,
+}
+
+impl Contract {
+    /// A contract with no constraints (always honored).
+    pub fn unconstrained() -> Self {
+        Contract {
+            max_latency_micros: None,
+            max_bandwidth_bps: None,
+            min_faults_tolerated: None,
+        }
+    }
+
+    /// The paper's §4.3 running example: latency ≤ 7000 µs, bandwidth
+    /// ≤ 3 MB/s.
+    pub fn paper_section_4_3() -> Self {
+        Contract {
+            max_latency_micros: Some(7_000.0),
+            max_bandwidth_bps: Some(3_000_000.0),
+            min_faults_tolerated: None,
+        }
+    }
+
+    /// Builder: bound the mean latency.
+    pub fn max_latency_micros(mut self, micros: f64) -> Self {
+        self.max_latency_micros = Some(micros);
+        self
+    }
+
+    /// Builder: bound the bandwidth.
+    pub fn max_bandwidth_bps(mut self, bps: f64) -> Self {
+        self.max_bandwidth_bps = Some(bps);
+        self
+    }
+
+    /// Builder: require a minimum fault tolerance.
+    pub fn min_faults_tolerated(mut self, faults: usize) -> Self {
+        self.min_faults_tolerated = Some(faults);
+        self
+    }
+
+    /// Evaluates the contract against a monitoring snapshot.
+    pub fn evaluate(&self, obs: &Observations) -> ContractStatus {
+        let mut violations = Vec::new();
+        if let Some(limit) = self.max_latency_micros {
+            if obs.latency_micros > limit {
+                violations.push(Violation::Latency {
+                    observed: obs.latency_micros,
+                    limit,
+                });
+            }
+        }
+        if let Some(limit) = self.max_bandwidth_bps {
+            if obs.bandwidth_bps > limit {
+                violations.push(Violation::Bandwidth {
+                    observed: obs.bandwidth_bps,
+                    limit,
+                });
+            }
+        }
+        if let Some(min) = self.min_faults_tolerated {
+            let tolerated = obs.replicas.saturating_sub(1);
+            if tolerated < min {
+                violations.push(Violation::FaultTolerance {
+                    tolerated,
+                    required: min,
+                });
+            }
+        }
+        if violations.is_empty() {
+            ContractStatus::Honored
+        } else {
+            ContractStatus::Violated(violations)
+        }
+    }
+
+    /// Produces the degraded alternatives the framework can offer when this
+    /// contract is violated, most-preferred first: relax each violated
+    /// bound by the given factor (e.g. 1.5 = 50% slack).
+    pub fn degraded_alternatives(&self, factor: f64) -> Vec<Contract> {
+        let factor = factor.max(1.0);
+        let mut alternatives = Vec::new();
+        if let Some(lat) = self.max_latency_micros {
+            let mut c = *self;
+            c.max_latency_micros = Some(lat * factor);
+            alternatives.push(c);
+        }
+        if let Some(bw) = self.max_bandwidth_bps {
+            let mut c = *self;
+            c.max_bandwidth_bps = Some(bw * factor);
+            alternatives.push(c);
+        }
+        if let Some(ft) = self.min_faults_tolerated {
+            if ft > 0 {
+                let mut c = *self;
+                c.min_faults_tolerated = Some(ft - 1);
+                alternatives.push(c);
+            }
+        }
+        alternatives
+    }
+}
+
+impl Default for Contract {
+    fn default() -> Self {
+        Contract::unconstrained()
+    }
+}
+
+/// One way a contract is currently being broken.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Violation {
+    /// Mean latency exceeds the bound.
+    Latency {
+        /// Observed mean latency, µs.
+        observed: f64,
+        /// The contracted limit, µs.
+        limit: f64,
+    },
+    /// Bandwidth usage exceeds the bound.
+    Bandwidth {
+        /// Observed bandwidth, bytes/s.
+        observed: f64,
+        /// The contracted limit, bytes/s.
+        limit: f64,
+    },
+    /// The configuration tolerates fewer faults than contracted.
+    FaultTolerance {
+        /// Faults the current replica count tolerates.
+        tolerated: usize,
+        /// Faults the contract demands.
+        required: usize,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Latency { observed, limit } => {
+                write!(f, "latency {observed:.0}µs exceeds {limit:.0}µs")
+            }
+            Violation::Bandwidth { observed, limit } => write!(
+                f,
+                "bandwidth {:.2}MB/s exceeds {:.2}MB/s",
+                observed / 1e6,
+                limit / 1e6
+            ),
+            Violation::FaultTolerance {
+                tolerated,
+                required,
+            } => write!(
+                f,
+                "tolerates {tolerated} fault(s), contract requires {required}"
+            ),
+        }
+    }
+}
+
+/// Result of checking a contract.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ContractStatus {
+    /// All bounds hold.
+    Honored,
+    /// One or more bounds are broken; adaptation (or renegotiation) is due.
+    Violated(Vec<Violation>),
+}
+
+impl ContractStatus {
+    /// `true` if the contract holds.
+    pub fn is_honored(&self) -> bool {
+        matches!(self, ContractStatus::Honored)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vd_simnet::time::SimTime;
+
+    fn obs(latency: f64, bandwidth: f64, replicas: usize) -> Observations {
+        Observations {
+            at: SimTime::ZERO,
+            request_rate: 0.0,
+            latency_micros: latency,
+            jitter_micros: 0.0,
+            bandwidth_bps: bandwidth,
+            replicas,
+        }
+    }
+
+    #[test]
+    fn unconstrained_contract_always_honored() {
+        let c = Contract::unconstrained();
+        assert!(c.evaluate(&obs(1e9, 1e12, 0)).is_honored());
+    }
+
+    #[test]
+    fn paper_contract_bounds_latency_and_bandwidth() {
+        let c = Contract::paper_section_4_3();
+        assert!(c.evaluate(&obs(6999.0, 2_999_999.0, 3)).is_honored());
+        let status = c.evaluate(&obs(8000.0, 3_500_000.0, 3));
+        let ContractStatus::Violated(violations) = status else {
+            panic!("should be violated");
+        };
+        assert_eq!(violations.len(), 2);
+    }
+
+    #[test]
+    fn fault_tolerance_violation_reports_shortfall() {
+        let c = Contract::unconstrained().min_faults_tolerated(2);
+        let status = c.evaluate(&obs(0.0, 0.0, 2));
+        let ContractStatus::Violated(v) = status else {
+            panic!()
+        };
+        assert_eq!(
+            v[0],
+            Violation::FaultTolerance {
+                tolerated: 1,
+                required: 2
+            }
+        );
+        assert!(c.evaluate(&obs(0.0, 0.0, 3)).is_honored());
+    }
+
+    #[test]
+    fn degraded_alternatives_relax_each_bound() {
+        let c = Contract::paper_section_4_3().min_faults_tolerated(1);
+        let alts = c.degraded_alternatives(1.5);
+        assert_eq!(alts.len(), 3);
+        assert_eq!(alts[0].max_latency_micros, Some(10_500.0));
+        assert_eq!(alts[1].max_bandwidth_bps, Some(4_500_000.0));
+        assert_eq!(alts[2].min_faults_tolerated, Some(0));
+        // Zero-fault contracts cannot degrade further on that axis.
+        let floor = Contract::unconstrained().min_faults_tolerated(0);
+        assert!(floor.degraded_alternatives(2.0).is_empty());
+    }
+
+    #[test]
+    fn violations_render_readably() {
+        let v = Violation::Latency {
+            observed: 8000.0,
+            limit: 7000.0,
+        };
+        assert_eq!(v.to_string(), "latency 8000µs exceeds 7000µs");
+    }
+}

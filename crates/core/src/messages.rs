@@ -1,0 +1,331 @@
+//! The replicator's own protocol messages, carried as opaque payloads over
+//! group communication.
+//!
+//! Requests are disseminated as [`ReplicatorMsg::Invoke`] in *agreed*
+//! (total) order — the backbone of both replication styles and of the
+//! runtime switch protocol. Checkpoints, switch requests and monitoring
+//! reports ride the same channel with the appropriate guarantees.
+
+use bytes::Bytes;
+
+use vd_orb::cdr::{Decoder, DecodeError, Encoder};
+use vd_orb::wire::{Reply, ReplyStatus};
+use vd_simnet::topology::ProcessId;
+
+use crate::style::ReplicationStyle;
+
+/// One cached reply, carried inside checkpoints so a new primary can
+/// re-answer retried requests it never executed itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedReply {
+    /// The client this reply belongs to.
+    pub client: ProcessId,
+    /// The client's request id.
+    pub request_id: u64,
+    /// Reply status tag (see [`ReplyStatus`]).
+    pub status: u8,
+    /// Marshaled reply body.
+    pub body: Bytes,
+}
+
+impl CachedReply {
+    /// Rebuilds the wire-level reply frame.
+    pub fn to_reply(&self) -> Reply {
+        Reply {
+            request_id: self.request_id,
+            status: match self.status {
+                0 => ReplyStatus::NoException,
+                1 => ReplyStatus::UserException,
+                _ => ReplyStatus::SystemException,
+            },
+            body: self.body.clone(),
+        }
+    }
+}
+
+/// Everything replicator instances say to each other within a replica
+/// group.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplicatorMsg {
+    /// A client request disseminated to the whole replica group
+    /// (sent in agreed order).
+    Invoke {
+        /// The invoking client process.
+        client: ProcessId,
+        /// The client's request id (duplicate suppression key).
+        request_id: u64,
+        /// Operation name.
+        operation: String,
+        /// Marshaled arguments.
+        args: Bytes,
+    },
+    /// A checkpoint from the primary (warm/cold passive), from the final
+    /// step of a style switch, or from a state transfer to a joining
+    /// replica (sent in agreed order so its position relative to invokes
+    /// and switches is unambiguous).
+    Checkpoint {
+        /// Requests applied to produce this state.
+        version: u64,
+        /// The style in force when the checkpoint was taken (joiners adopt
+        /// it).
+        style: ReplicationStyle,
+        /// `true` when this is the "one more checkpoint" of a warm-passive
+        /// → active switch (paper Fig. 5).
+        final_for_switch: bool,
+        /// Captured application state.
+        state: Bytes,
+        /// Recently issued replies, for retry dedup after failover.
+        replies: Vec<CachedReply>,
+    },
+    /// A request to change the replication style (paper Fig. 5, step I;
+    /// sent in agreed order; duplicates are discarded at delivery).
+    SwitchRequest {
+        /// The desired style.
+        target: ReplicationStyle,
+        /// Who initiated the switch (diagnostics only).
+        initiator: ProcessId,
+    },
+    /// Passive-style reply logging: before releasing a reply, the primary
+    /// records the request's completion at the backups, preserving
+    /// exactly-once semantics across failover (FT-CORBA's logging
+    /// mechanism). Replies themselves are regenerated deterministically by
+    /// replay, so only the completion record travels. Sent in FIFO order.
+    ReplyLog {
+        /// The client whose request completed.
+        client: ProcessId,
+        /// The completed request id.
+        request_id: u64,
+    },
+    /// A periodic monitoring report feeding the replicated system-state
+    /// board (sent in agreed order so all boards are identical).
+    MonitorReport {
+        /// Reporting replica.
+        replica: ProcessId,
+        /// Observed request arrival rate, requests/second.
+        request_rate: f64,
+        /// Observed mean service latency, microseconds.
+        latency_micros: f64,
+        /// Observed outbound bandwidth, bytes/second.
+        bandwidth_bps: f64,
+    },
+}
+
+impl ReplicatorMsg {
+    /// Encodes to bytes for transport as a group payload.
+    pub fn encode(&self) -> Bytes {
+        let mut enc = Encoder::with_capacity(64);
+        match self {
+            ReplicatorMsg::Invoke {
+                client,
+                request_id,
+                operation,
+                args,
+            } => {
+                enc.put_u8(0);
+                enc.put_u64(client.0);
+                enc.put_u64(*request_id);
+                enc.put_str(operation);
+                enc.put_bytes(args);
+            }
+            ReplicatorMsg::Checkpoint {
+                version,
+                style,
+                final_for_switch,
+                state,
+                replies,
+            } => {
+                enc.put_u8(1);
+                enc.put_u64(*version);
+                enc.put_u8(style.to_tag());
+                enc.put_bool(*final_for_switch);
+                enc.put_bytes(state);
+                enc.put_u32(replies.len() as u32);
+                for r in replies {
+                    enc.put_u64(r.client.0);
+                    enc.put_u64(r.request_id);
+                    enc.put_u8(r.status);
+                    enc.put_bytes(&r.body);
+                }
+            }
+            ReplicatorMsg::SwitchRequest { target, initiator } => {
+                enc.put_u8(2);
+                enc.put_u8(target.to_tag());
+                enc.put_u64(initiator.0);
+            }
+            ReplicatorMsg::ReplyLog { client, request_id } => {
+                enc.put_u8(4);
+                enc.put_u64(client.0);
+                enc.put_u64(*request_id);
+            }
+            ReplicatorMsg::MonitorReport {
+                replica,
+                request_rate,
+                latency_micros,
+                bandwidth_bps,
+            } => {
+                enc.put_u8(3);
+                enc.put_u64(replica.0);
+                enc.put_f64(*request_rate);
+                enc.put_f64(*latency_micros);
+                enc.put_f64(*bandwidth_bps);
+            }
+        }
+        enc.finish()
+    }
+
+    /// Decodes a payload previously produced by [`ReplicatorMsg::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`DecodeError`] on malformed input.
+    pub fn decode(bytes: Bytes) -> Result<Self, DecodeError> {
+        let mut dec = Decoder::new(bytes);
+        match dec.get_u8()? {
+            0 => Ok(ReplicatorMsg::Invoke {
+                client: ProcessId(dec.get_u64()?),
+                request_id: dec.get_u64()?,
+                operation: dec.get_string()?,
+                args: dec.get_bytes()?,
+            }),
+            1 => {
+                let version = dec.get_u64()?;
+                let style_tag = dec.get_u8()?;
+                let style = ReplicationStyle::from_tag(style_tag).ok_or(
+                    DecodeError::InvalidDiscriminant {
+                        what: "replication style",
+                        tag: style_tag as u64,
+                    },
+                )?;
+                let final_for_switch = dec.get_bool()?;
+                let state = dec.get_bytes()?;
+                let n = dec.get_u32()? as usize;
+                let mut replies = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    replies.push(CachedReply {
+                        client: ProcessId(dec.get_u64()?),
+                        request_id: dec.get_u64()?,
+                        status: dec.get_u8()?,
+                        body: dec.get_bytes()?,
+                    });
+                }
+                Ok(ReplicatorMsg::Checkpoint {
+                    version,
+                    style,
+                    final_for_switch,
+                    state,
+                    replies,
+                })
+            }
+            2 => {
+                let tag = dec.get_u8()?;
+                let target =
+                    ReplicationStyle::from_tag(tag).ok_or(DecodeError::InvalidDiscriminant {
+                        what: "replication style",
+                        tag: tag as u64,
+                    })?;
+                Ok(ReplicatorMsg::SwitchRequest {
+                    target,
+                    initiator: ProcessId(dec.get_u64()?),
+                })
+            }
+            4 => Ok(ReplicatorMsg::ReplyLog {
+                client: ProcessId(dec.get_u64()?),
+                request_id: dec.get_u64()?,
+            }),
+            3 => Ok(ReplicatorMsg::MonitorReport {
+                replica: ProcessId(dec.get_u64()?),
+                request_rate: dec.get_f64()?,
+                latency_micros: dec.get_f64()?,
+                bandwidth_bps: dec.get_f64()?,
+            }),
+            other => Err(DecodeError::InvalidDiscriminant {
+                what: "replicator message",
+                tag: other as u64,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(msg: ReplicatorMsg) {
+        assert_eq!(ReplicatorMsg::decode(msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn invoke_round_trips() {
+        round_trip(ReplicatorMsg::Invoke {
+            client: ProcessId(9),
+            request_id: 42,
+            operation: "increment".into(),
+            args: Bytes::from_static(&[1, 2, 3]),
+        });
+    }
+
+    #[test]
+    fn checkpoint_round_trips_with_replies() {
+        round_trip(ReplicatorMsg::Checkpoint {
+            version: 100,
+            style: ReplicationStyle::WarmPassive,
+            final_for_switch: true,
+            state: Bytes::from(vec![7u8; 512]),
+            replies: vec![
+                CachedReply {
+                    client: ProcessId(3),
+                    request_id: 10,
+                    status: 0,
+                    body: Bytes::from_static(b"ok"),
+                },
+                CachedReply {
+                    client: ProcessId(4),
+                    request_id: 11,
+                    status: 1,
+                    body: Bytes::from_static(b"exc"),
+                },
+            ],
+        });
+    }
+
+    #[test]
+    fn reply_log_round_trips() {
+        round_trip(ReplicatorMsg::ReplyLog {
+            client: ProcessId(5),
+            request_id: 77,
+        });
+    }
+
+    #[test]
+    fn switch_and_report_round_trip() {
+        round_trip(ReplicatorMsg::SwitchRequest {
+            target: ReplicationStyle::Active,
+            initiator: ProcessId(2),
+        });
+        round_trip(ReplicatorMsg::MonitorReport {
+            replica: ProcessId(1),
+            request_rate: 812.5,
+            latency_micros: 1432.0,
+            bandwidth_bps: 2.5e6,
+        });
+    }
+
+    #[test]
+    fn cached_reply_rebuilds_wire_frame() {
+        let cached = CachedReply {
+            client: ProcessId(1),
+            request_id: 6,
+            status: 0,
+            body: Bytes::from_static(b"r"),
+        };
+        let reply = cached.to_reply();
+        assert_eq!(reply.request_id, 6);
+        assert_eq!(reply.status, ReplyStatus::NoException);
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(ReplicatorMsg::decode(Bytes::from_static(&[250, 0, 0])).is_err());
+        assert!(ReplicatorMsg::decode(Bytes::new()).is_err());
+    }
+}

@@ -1,0 +1,270 @@
+//! Run-time monitoring: the replicator's eyes.
+//!
+//! The paper's framework step 1: "monitoring various system metrics (e.g.,
+//! latency, jitter, CPU load) in order to evaluate the conditions in the
+//! working environment". Each replicator instance keeps a [`Monitor`] fed
+//! by its own observations; the adaptation policies read the resulting
+//! [`Observations`] snapshot.
+
+use std::collections::VecDeque;
+
+use vd_simnet::time::{SimDuration, SimTime};
+
+/// An exponentially-weighted moving average.
+#[derive(Debug, Clone, Copy)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// An EWMA with smoothing factor `alpha` in `(0, 1]` (clamped).
+    pub fn new(alpha: f64) -> Self {
+        Ewma {
+            alpha: alpha.clamp(f64::MIN_POSITIVE, 1.0),
+            value: None,
+        }
+    }
+
+    /// Feeds a sample.
+    pub fn record(&mut self, sample: f64) {
+        self.value = Some(match self.value {
+            None => sample,
+            Some(v) => v + self.alpha * (sample - v),
+        });
+    }
+
+    /// The current average (zero before any sample).
+    pub fn value(&self) -> f64 {
+        self.value.unwrap_or(0.0)
+    }
+}
+
+/// A sliding-window event-rate estimator.
+#[derive(Debug, Clone)]
+pub struct RateWindow {
+    window: SimDuration,
+    events: VecDeque<SimTime>,
+}
+
+impl RateWindow {
+    /// An estimator over the trailing `window`.
+    pub fn new(window: SimDuration) -> Self {
+        RateWindow {
+            window,
+            events: VecDeque::new(),
+        }
+    }
+
+    /// Records one event at `now`.
+    pub fn record(&mut self, now: SimTime) {
+        self.events.push_back(now);
+        self.evict(now);
+    }
+
+    fn evict(&mut self, now: SimTime) {
+        let cutoff = now.duration_since(SimTime::ZERO);
+        while let Some(&front) = self.events.front() {
+            if cutoff.as_micros().saturating_sub(front.as_micros()) > self.window.as_micros() {
+                self.events.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Events per second over the trailing window, as of `now`.
+    pub fn rate(&mut self, now: SimTime) -> f64 {
+        self.evict(now);
+        let secs = self.window.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.events.len() as f64 / secs
+        }
+    }
+
+    /// Events currently inside the window.
+    pub fn count(&self) -> usize {
+        self.events.len()
+    }
+}
+
+/// A snapshot of what the monitor currently believes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observations {
+    /// When the snapshot was taken.
+    pub at: SimTime,
+    /// Request arrival rate at this replica, requests/second.
+    pub request_rate: f64,
+    /// Mean service latency (delivery → reply), microseconds.
+    pub latency_micros: f64,
+    /// Latency jitter estimate (mean absolute deviation), microseconds.
+    pub jitter_micros: f64,
+    /// Outbound bandwidth attributable to this replica, bytes/second.
+    pub bandwidth_bps: f64,
+    /// Live replicas in the group.
+    pub replicas: usize,
+}
+
+impl Default for Observations {
+    fn default() -> Self {
+        Observations {
+            at: SimTime::ZERO,
+            request_rate: 0.0,
+            latency_micros: 0.0,
+            jitter_micros: 0.0,
+            bandwidth_bps: 0.0,
+            replicas: 0,
+        }
+    }
+}
+
+/// Per-replica metric collector.
+#[derive(Debug, Clone)]
+pub struct Monitor {
+    requests: RateWindow,
+    latency: Ewma,
+    jitter: Ewma,
+    bytes_sent: u64,
+    window_start: SimTime,
+    replicas: usize,
+}
+
+impl Monitor {
+    /// A monitor with the given rate window.
+    pub fn new(rate_window: SimDuration) -> Self {
+        Monitor {
+            requests: RateWindow::new(rate_window),
+            latency: Ewma::new(0.1),
+            jitter: Ewma::new(0.1),
+            bytes_sent: 0,
+            window_start: SimTime::ZERO,
+            replicas: 0,
+        }
+    }
+
+    /// Records a request arrival.
+    pub fn record_request(&mut self, now: SimTime) {
+        self.requests.record(now);
+    }
+
+    /// Records a completed service (delivery-to-reply latency).
+    pub fn record_latency(&mut self, latency: SimDuration) {
+        let sample = latency.as_micros() as f64;
+        let prev = self.latency.value();
+        self.latency.record(sample);
+        if prev > 0.0 {
+            self.jitter.record((sample - prev).abs());
+        }
+    }
+
+    /// Records outbound bytes.
+    pub fn record_bytes(&mut self, bytes: usize) {
+        self.bytes_sent = self.bytes_sent.saturating_add(bytes as u64);
+    }
+
+    /// Updates the known replica count.
+    pub fn set_replicas(&mut self, n: usize) {
+        self.replicas = n;
+    }
+
+    /// Takes a snapshot as of `now`.
+    pub fn observe(&mut self, now: SimTime) -> Observations {
+        let elapsed = now.duration_since(self.window_start).as_secs_f64();
+        let bandwidth = if elapsed > 0.0 {
+            self.bytes_sent as f64 / elapsed
+        } else {
+            0.0
+        };
+        Observations {
+            at: now,
+            request_rate: self.requests.rate(now),
+            latency_micros: self.latency.value(),
+            jitter_micros: self.jitter.value(),
+            bandwidth_bps: bandwidth,
+            replicas: self.replicas,
+        }
+    }
+
+    /// Restarts the bandwidth accounting window.
+    pub fn reset_bandwidth(&mut self, now: SimTime) {
+        self.bytes_sent = 0;
+        self.window_start = now;
+    }
+}
+
+impl Default for Monitor {
+    fn default() -> Self {
+        Monitor::new(SimDuration::from_millis(100))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_converges_toward_samples() {
+        let mut e = Ewma::new(0.5);
+        assert_eq!(e.value(), 0.0);
+        e.record(100.0);
+        assert_eq!(e.value(), 100.0);
+        e.record(200.0);
+        assert_eq!(e.value(), 150.0);
+        e.record(200.0);
+        assert_eq!(e.value(), 175.0);
+    }
+
+    #[test]
+    fn rate_window_measures_events_per_second() {
+        let mut w = RateWindow::new(SimDuration::from_millis(100));
+        // 50 events in the last 100 ms → 500/s.
+        for i in 0..50u64 {
+            w.record(SimTime::from_micros(i * 2_000));
+        }
+        let rate = w.rate(SimTime::from_micros(100_000));
+        assert!((rate - 500.0).abs() < 1e-9, "rate {rate}");
+    }
+
+    #[test]
+    fn rate_window_evicts_old_events() {
+        let mut w = RateWindow::new(SimDuration::from_millis(10));
+        w.record(SimTime::from_millis(0));
+        w.record(SimTime::from_millis(1));
+        assert_eq!(w.count(), 2);
+        assert_eq!(w.rate(SimTime::from_millis(50)), 0.0);
+        assert_eq!(w.count(), 0);
+    }
+
+    #[test]
+    fn monitor_snapshot_aggregates_everything() {
+        let mut m = Monitor::new(SimDuration::from_millis(100));
+        m.set_replicas(3);
+        m.reset_bandwidth(SimTime::ZERO);
+        for i in 0..10u64 {
+            m.record_request(SimTime::from_millis(i * 10));
+            m.record_latency(SimDuration::from_micros(1000));
+        }
+        m.record_bytes(1_000_000);
+        let obs = m.observe(SimTime::from_millis(100));
+        assert_eq!(obs.replicas, 3);
+        assert!(obs.request_rate > 0.0);
+        assert!((obs.latency_micros - 1000.0).abs() < 1e-9);
+        assert!((obs.bandwidth_bps - 10_000_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn jitter_tracks_variation_not_level() {
+        let mut m = Monitor::default();
+        for _ in 0..50 {
+            m.record_latency(SimDuration::from_micros(500));
+        }
+        let steady = m.observe(SimTime::ZERO).jitter_micros;
+        for i in 0..50u64 {
+            m.record_latency(SimDuration::from_micros(200 + (i % 2) * 600));
+        }
+        let noisy = m.observe(SimTime::ZERO).jitter_micros;
+        assert!(noisy > steady);
+    }
+}

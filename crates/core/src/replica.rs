@@ -1,0 +1,737 @@
+//! The replicator process: the paper's three-layer stack, hosted as one
+//! simulator actor per replica.
+//!
+//! Layering (paper Fig. 2):
+//!
+//! * **Top — interface to the application/ORB.** Client GIOP frames arrive
+//!   point-to-point (the interposed "TCP" path); the replicator classifies
+//!   them (new / in-flight / already answered) and redirects new requests
+//!   onto group communication. Replies flow back out through the same
+//!   interposition layer.
+//! * **Middle — tunable replication mechanisms.** The [`Engine`] state
+//!   machine: per-style execution, checkpointing, failover and the runtime
+//!   switch protocol.
+//! * **Bottom — interface to group communication.** An embedded
+//!   [`Endpoint`]; all replica coordination rides its agreed-order
+//!   multicast and view-synchronous membership.
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+
+use vd_group::api::{GroupEvent, Output};
+use vd_group::config::GroupConfig;
+use vd_group::endpoint::Endpoint;
+use vd_group::message::{GroupId, GroupMsg};
+use vd_group::order::DeliveryOrder;
+use vd_group::sim::{timer_from_token, timer_token};
+use vd_orb::wire::{OrbMessage, Reply, ReplyStatus};
+use vd_simnet::actor::{downcast_payload, Actor, Context, Payload, TimerToken};
+use vd_simnet::time::{SimDuration, SimTime};
+use vd_simnet::topology::ProcessId;
+
+use crate::engine::{Engine, EngineOp, GatewayDecision, InvokeEntry};
+use crate::knobs::LowLevelKnobs;
+use crate::messages::{CachedReply, ReplicatorMsg};
+use crate::monitor::Monitor;
+use crate::policy::{AdaptationAction, AdaptationPolicy, PolicyContext};
+use crate::repstate::SystemBoard;
+use crate::state::ReplicatedApplication;
+use crate::style::ReplicationStyle;
+
+/// Timer token for the periodic checkpoint.
+const CHECKPOINT_TIMER: TimerToken = TimerToken(200);
+/// Timer token for periodic policy evaluation.
+const POLICY_TIMER: TimerToken = TimerToken(201);
+/// Timer token for periodic monitoring reports to the group board.
+const REPORT_TIMER: TimerToken = TimerToken(202);
+
+/// CPU-cost model of the replicator itself, calibrated to the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaCosts {
+    /// Interposition cost per message traversal (Fig. 3: 154 µs per round
+    /// trip across four traversals ≈ 38 µs).
+    pub interposition: SimDuration,
+    /// ORB marshal/unmarshal per traversal (Fig. 3: 398 µs / 4 ≈ 100 µs).
+    pub orb_marshal: SimDuration,
+    /// Fixed cost of capturing or restoring a checkpoint.
+    pub checkpoint_base: SimDuration,
+    /// Additional capture/restore cost per KiB of state.
+    pub checkpoint_per_kib: SimDuration,
+    /// Extra penalty for launching a cold backup at failover.
+    pub cold_launch: SimDuration,
+    /// Group-communication daemon work charged once per multicast issued.
+    /// Together with [`ReplicaCosts::group_send_per_copy`], the per-message
+    /// delivery charge and the daemon-pipeline link latency of the
+    /// test-bed, this reproduces the 620 µs/round-trip the paper's Fig. 3
+    /// attributes to the GC layer.
+    pub group_send_base: SimDuration,
+    /// Additional daemon work per destination copy of a multicast (larger
+    /// groups cost the sender more).
+    pub group_send_per_copy: SimDuration,
+    /// Daemon work charged per delivered group data message.
+    pub group_delivery: SimDuration,
+    /// Extra processing at a backup for logging one reply record (the
+    /// synchronous per-request logging that makes passive styles slower
+    /// than active despite using less bandwidth).
+    pub reply_log_processing: SimDuration,
+    /// Processing at the primary per received log acknowledgement (scales
+    /// with the number of backups).
+    pub ack_processing: SimDuration,
+}
+
+impl ReplicaCosts {
+    /// Costs matching the paper's Fig. 3 breakdown.
+    pub fn paper_calibrated() -> Self {
+        ReplicaCosts {
+            interposition: SimDuration::from_micros(38),
+            orb_marshal: SimDuration::from_micros(100),
+            checkpoint_base: SimDuration::from_micros(20),
+            checkpoint_per_kib: SimDuration::from_micros(25),
+            cold_launch: SimDuration::from_millis(5),
+            group_send_base: SimDuration::from_micros(60),
+            group_send_per_copy: SimDuration::from_micros(200),
+            group_delivery: SimDuration::from_micros(60),
+            reply_log_processing: SimDuration::from_micros(400),
+            ack_processing: SimDuration::from_micros(200),
+        }
+    }
+}
+
+impl Default for ReplicaCosts {
+    fn default() -> Self {
+        ReplicaCosts::paper_calibrated()
+    }
+}
+
+/// Static configuration of one replica process.
+#[derive(Debug, Clone)]
+pub struct ReplicaConfig {
+    /// The replica group id.
+    pub group: GroupId,
+    /// Group-communication tuning (heartbeats = the fault-monitoring
+    /// knobs).
+    pub group_config: GroupConfig,
+    /// The fault-tolerance knobs (style, checkpointing interval, …).
+    pub knobs: LowLevelKnobs,
+    /// The replicator cost model.
+    pub costs: ReplicaCosts,
+    /// How often adaptation policies are evaluated.
+    pub policy_interval: SimDuration,
+    /// How often this replica multicasts a monitoring report to the
+    /// replicated system board (`None` disables reports).
+    pub report_interval: Option<SimDuration>,
+    /// Prefix for the world-level metrics this replica records.
+    pub metrics_prefix: String,
+}
+
+impl Default for ReplicaConfig {
+    fn default() -> Self {
+        ReplicaConfig {
+            group: GroupId(1),
+            group_config: GroupConfig::default(),
+            knobs: LowLevelKnobs::default(),
+            costs: ReplicaCosts::default(),
+            policy_interval: SimDuration::from_millis(20),
+            report_interval: None,
+            metrics_prefix: "replica".into(),
+        }
+    }
+}
+
+/// Operator commands injected into a replica from outside the simulation
+/// (tests, examples, the experiment harness) — the "manual knob" surface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaCommand {
+    /// Initiate a runtime replication-style switch.
+    Switch(ReplicationStyle),
+    /// Leave the replica group gracefully.
+    Leave,
+}
+
+impl Payload for ReplicaCommand {
+    fn wire_size(&self) -> usize {
+        8
+    }
+}
+
+/// Point-to-point acknowledgement that a backup logged a reply record;
+/// the primary releases the client reply once every backup has logged it
+/// (exactly-once semantics require the record at all survivors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplyLogAck {
+    /// The client whose request was logged.
+    pub client: ProcessId,
+    /// The logged request id.
+    pub request_id: u64,
+}
+
+impl Payload for ReplyLogAck {
+    fn wire_size(&self) -> usize {
+        24
+    }
+}
+
+/// A replicated server process: replicator + application, as one actor.
+pub struct ReplicaActor {
+    me: ProcessId,
+    endpoint: Endpoint,
+    engine: Engine,
+    app: Box<dyn ReplicatedApplication>,
+    config: ReplicaConfig,
+    /// Most recent reply per client, for retry dedup across failovers.
+    reply_cache: BTreeMap<ProcessId, (u64, Reply)>,
+    /// Replies held back until every backup acknowledges the log record
+    /// (passive styles only); the `usize` counts outstanding acks.
+    pending_replies: BTreeMap<(ProcessId, u64), (Reply, usize)>,
+    /// Arrival time of requests this replica relayed as gateway, for
+    /// response-time monitoring (removed on reply or on the group-wide
+    /// completion record).
+    request_arrivals: BTreeMap<(ProcessId, u64), SimTime>,
+    monitor: Monitor,
+    board: SystemBoard,
+    policies: Vec<Box<dyn AdaptationPolicy>>,
+    /// Style transitions observed, with their completion times (tests &
+    /// experiments read this).
+    pub style_history: Vec<(SimTime, ReplicationStyle)>,
+    /// Policy directives the replicator cannot enact alone (replica
+    /// addition/removal); an external manager drains these.
+    pub directives: Vec<(SimTime, AdaptationAction)>,
+    /// Requests executed by this replica (inspection).
+    pub executed_requests: u64,
+}
+
+impl ReplicaActor {
+    /// A replica bootstrapped into a statically-known group. `me` must be
+    /// the process id this actor will receive from the world, and
+    /// `members` must list every bootstrap replica (including `me`).
+    pub fn bootstrap(
+        me: ProcessId,
+        members: Vec<ProcessId>,
+        app: Box<dyn ReplicatedApplication>,
+        config: ReplicaConfig,
+    ) -> Self {
+        let endpoint = Endpoint::bootstrap(me, config.group, config.group_config, members.clone());
+        let (engine, _init) = Engine::new(me, config.knobs.style, members, true);
+        ReplicaActor::assemble(me, endpoint, engine, app, config)
+    }
+
+    /// A replica that joins a running group through `contacts` and
+    /// synchronizes state from the first checkpoint it receives.
+    pub fn joining(
+        me: ProcessId,
+        contacts: Vec<ProcessId>,
+        app: Box<dyn ReplicatedApplication>,
+        config: ReplicaConfig,
+    ) -> Self {
+        let endpoint = Endpoint::joining(me, config.group, config.group_config, contacts);
+        let (engine, _init) = Engine::new(me, config.knobs.style, Vec::new(), false);
+        ReplicaActor::assemble(me, endpoint, engine, app, config)
+    }
+
+    fn assemble(
+        me: ProcessId,
+        endpoint: Endpoint,
+        engine: Engine,
+        app: Box<dyn ReplicatedApplication>,
+        config: ReplicaConfig,
+    ) -> Self {
+        ReplicaActor {
+            me,
+            endpoint,
+            engine,
+            app,
+            config,
+            reply_cache: BTreeMap::new(),
+            pending_replies: BTreeMap::new(),
+            request_arrivals: BTreeMap::new(),
+            monitor: Monitor::default(),
+            board: SystemBoard::new(),
+            policies: Vec::new(),
+            style_history: Vec::new(),
+            directives: Vec::new(),
+            executed_requests: 0,
+        }
+    }
+
+    /// Installs an adaptation policy (builder style).
+    pub fn with_policy(mut self, policy: Box<dyn AdaptationPolicy>) -> Self {
+        self.policies.push(policy);
+        self
+    }
+
+    /// The replication engine (inspection).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The group endpoint (inspection).
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// The replicated system-state board (inspection).
+    pub fn board(&self) -> &SystemBoard {
+        &self.board
+    }
+
+    /// The hosted application (inspection: tests compare captured state
+    /// across replicas to assert consistency).
+    pub fn app(&self) -> &dyn ReplicatedApplication {
+        self.app.as_ref()
+    }
+
+    /// Initiates a runtime style switch, as an operator/manual knob.
+    /// (Policies initiate switches the same way, automatically.)
+    pub fn request_switch(&mut self, ctx: &mut Context<'_>, target: ReplicationStyle) {
+        let msg = ReplicatorMsg::SwitchRequest {
+            target,
+            initiator: self.me,
+        };
+        self.multicast(ctx, DeliveryOrder::Agreed, msg);
+    }
+
+    // ---- plumbing -----------------------------------------------------------
+
+    fn multicast(&mut self, ctx: &mut Context<'_>, order: DeliveryOrder, msg: ReplicatorMsg) {
+        let copies = self.endpoint.view().len().saturating_sub(1) as u64;
+        ctx.use_cpu(
+            self.config.costs.group_send_base + self.config.costs.group_send_per_copy * copies,
+        );
+        let payload = msg.encode();
+        match self.endpoint.multicast(ctx.now(), order, payload) {
+            Ok(outputs) => self.absorb(ctx, outputs),
+            Err(_) => { /* not a member (joiner): drop */ }
+        }
+    }
+
+    fn absorb(&mut self, ctx: &mut Context<'_>, outputs: Vec<Output>) {
+        for output in outputs {
+            match output {
+                Output::Send { to, msg } => ctx.send(to, msg),
+                Output::SetTimer { delay, timer } => ctx.set_timer(delay, timer_token(timer)),
+                Output::Event(event) => self.handle_group_event(ctx, event),
+            }
+        }
+    }
+
+    fn handle_group_event(&mut self, ctx: &mut Context<'_>, event: GroupEvent) {
+        match event {
+            GroupEvent::Delivered(delivery) => {
+                ctx.use_cpu(self.config.costs.group_delivery);
+                let Ok(msg) = ReplicatorMsg::decode(delivery.payload) else {
+                    return;
+                };
+                self.handle_delivery(ctx, msg);
+            }
+            GroupEvent::ViewInstalled {
+                view,
+                joined,
+                departed,
+            } => {
+                // A crashed backup can never ack: release any replies its
+                // log record was waiting on (the survivors hold the log).
+                let pending = std::mem::take(&mut self.pending_replies);
+                for ((client, _), (reply, _)) in pending {
+                    self.send_reply(ctx, client, reply);
+                }
+                self.monitor.set_replicas(view.len());
+                self.board.retain_members(view.members());
+                let ops = self
+                    .engine
+                    .on_view_change(view.members().to_vec(), &departed, &joined);
+                self.apply_ops(ctx, ops);
+            }
+            GroupEvent::Blocked | GroupEvent::SelfEvicted => {}
+        }
+    }
+
+    fn handle_delivery(&mut self, ctx: &mut Context<'_>, msg: ReplicatorMsg) {
+        match msg {
+            ReplicatorMsg::Invoke {
+                client,
+                request_id,
+                operation,
+                args,
+            } => {
+                // The paper's Fig. 6 policy keys on "the request arrival
+                // rate observed at the server": count delivered requests,
+                // which every replica sees identically.
+                self.monitor.record_request(ctx.now());
+                let ops = self.engine.on_invoke(client, request_id, operation, args);
+                self.apply_ops(ctx, ops);
+            }
+            ReplicatorMsg::Checkpoint {
+                version,
+                style,
+                final_for_switch,
+                state,
+                replies,
+            } => {
+                let ops = self
+                    .engine
+                    .on_checkpoint(version, style, final_for_switch, state, replies);
+                self.apply_ops(ctx, ops);
+            }
+            ReplicatorMsg::SwitchRequest { target, .. } => {
+                let ops = self.engine.on_switch_request(target);
+                self.apply_ops(ctx, ops);
+            }
+            ReplicatorMsg::ReplyLog { client, request_id } => {
+                // The request completed somewhere: close out any gateway
+                // timing entry for it.
+                if let Some(arrived) = self.request_arrivals.remove(&(client, request_id)) {
+                    self.monitor.record_latency(ctx.now().duration_since(arrived));
+                }
+                // Backups record the completion and acknowledge; the
+                // primary ignores its own log record.
+                if self.engine.primary() != Some(self.me) {
+                    ctx.use_cpu(self.config.costs.reply_log_processing);
+                    if let Some(primary) = self.engine.primary() {
+                        ctx.send(primary, ReplyLogAck { client, request_id });
+                    }
+                }
+            }
+            ReplicatorMsg::MonitorReport {
+                replica,
+                request_rate,
+                latency_micros,
+                bandwidth_bps,
+            } => {
+                self.board.apply_report(
+                    replica,
+                    request_rate,
+                    latency_micros,
+                    bandwidth_bps,
+                    ctx.now(),
+                );
+            }
+        }
+    }
+
+    fn apply_ops(&mut self, ctx: &mut Context<'_>, ops: Vec<EngineOp>) {
+        for op in ops {
+            match op {
+                EngineOp::Execute { entry, reply } => self.execute(ctx, entry, reply),
+                EngineOp::ResendCached { client, request_id } => {
+                    self.resend_cached(ctx, client, request_id);
+                }
+                EngineOp::ApplyCheckpoint {
+                    state,
+                    replies,
+                    at_failover,
+                    ..
+                } => {
+                    let mut cost = self.restore_cost(state.len());
+                    if at_failover {
+                        cost += self.config.costs.cold_launch;
+                    }
+                    ctx.use_cpu(cost);
+                    self.app.restore_state(&state);
+                    for cached in replies {
+                        let newer = self
+                            .reply_cache
+                            .get(&cached.client)
+                            .is_none_or(|(id, _)| *id < cached.request_id);
+                        if newer {
+                            self.reply_cache
+                                .insert(cached.client, (cached.request_id, cached.to_reply()));
+                        }
+                    }
+                }
+                EngineOp::BroadcastCheckpoint { final_for_switch } => {
+                    self.broadcast_checkpoint(ctx, final_for_switch);
+                }
+                EngineOp::StartCheckpointTimer => {
+                    ctx.set_timer(self.config.knobs.checkpoint_interval, CHECKPOINT_TIMER);
+                }
+                EngineOp::StopCheckpointTimer => {
+                    ctx.cancel_timer(CHECKPOINT_TIMER);
+                }
+                EngineOp::ResendAllCached => {
+                    let cached: Vec<(ProcessId, Reply)> = self
+                        .reply_cache
+                        .iter()
+                        .map(|(&client, (_, reply))| (client, reply.clone()))
+                        .collect();
+                    for (client, reply) in cached {
+                        self.send_reply(ctx, client, reply);
+                    }
+                }
+                EngineOp::StyleChanged { to, .. } => {
+                    let now = ctx.now();
+                    self.style_history.push((now, to));
+                    let metric = format!("{}.style", self.config.metrics_prefix);
+                    ctx.metrics().series(&metric).push(now, to.to_tag() as f64);
+                }
+            }
+        }
+    }
+
+    fn execute(&mut self, ctx: &mut Context<'_>, entry: InvokeEntry, reply: bool) {
+        // Inbound ORB traversal, application work, outbound ORB traversal.
+        ctx.use_cpu(self.config.costs.orb_marshal);
+        ctx.use_cpu(SimDuration::from_micros(
+            self.app.processing_micros(&entry.operation),
+        ));
+        let outcome = self.app.invoke(&entry.operation, &entry.args);
+        self.executed_requests += 1;
+        let wire_reply = match outcome {
+            Ok(body) => Reply {
+                request_id: entry.request_id,
+                status: ReplyStatus::NoException,
+                body,
+            },
+            Err(exc) => Reply {
+                request_id: entry.request_id,
+                status: ReplyStatus::UserException,
+                body: Bytes::from(exc.reason),
+            },
+        };
+        self.reply_cache
+            .insert(entry.client, (entry.request_id, wire_reply.clone()));
+        if reply {
+            // Passive styles preserve exactly-once semantics by logging the
+            // completion at a backup before the reply leaves (FT-CORBA
+            // reply logging); active styles answer immediately.
+            let log_first = self.engine.style().uses_checkpoints()
+                && self.engine.members().len() > 1
+                && self.engine.primary() == Some(self.me);
+            if log_first {
+                let backups = self.engine.members().len() - 1;
+                self.pending_replies
+                    .insert((entry.client, entry.request_id), (wire_reply, backups));
+                let msg = ReplicatorMsg::ReplyLog {
+                    client: entry.client,
+                    request_id: entry.request_id,
+                };
+                self.multicast(ctx, DeliveryOrder::Fifo, msg);
+            } else {
+                self.send_reply(ctx, entry.client, wire_reply);
+            }
+        }
+    }
+
+    fn send_reply(&mut self, ctx: &mut Context<'_>, client: ProcessId, reply: Reply) {
+        ctx.use_cpu(self.config.costs.orb_marshal);
+        ctx.use_cpu(self.config.costs.interposition);
+        // Response time as the server perceives it: gateway arrival to
+        // reply departure, queueing included (the paper's monitored
+        // "latency" metric). Only requests this replica relayed are
+        // timed — a uniform sample under staggered gateways.
+        if let Some(arrived) = self
+            .request_arrivals
+            .remove(&(client, reply.request_id))
+        {
+            let departs = ctx.now() + ctx.cpu_used();
+            self.monitor.record_latency(departs.duration_since(arrived));
+        }
+        let frame = OrbMessage::Reply(reply);
+        self.monitor.record_bytes(frame.wire_size());
+        ctx.send(client, frame);
+    }
+
+    fn resend_cached(&mut self, ctx: &mut Context<'_>, client: ProcessId, request_id: u64) {
+        if let Some((cached_id, reply)) = self.reply_cache.get(&client) {
+            if *cached_id == request_id {
+                ctx.use_cpu(self.config.costs.interposition);
+                let frame = OrbMessage::Reply(reply.clone());
+                self.monitor.record_bytes(frame.wire_size());
+                ctx.send(client, frame);
+            }
+        }
+    }
+
+    fn broadcast_checkpoint(&mut self, ctx: &mut Context<'_>, final_for_switch: bool) {
+        let state = self.app.capture_state();
+        ctx.use_cpu(self.capture_cost(state.len()));
+        let replies: Vec<CachedReply> = self
+            .reply_cache
+            .iter()
+            .map(|(&client, (id, reply))| CachedReply {
+                client,
+                request_id: *id,
+                status: match reply.status {
+                    ReplyStatus::NoException => 0,
+                    ReplyStatus::UserException => 1,
+                    ReplyStatus::SystemException => 2,
+                },
+                body: reply.body.clone(),
+            })
+            .collect();
+        let msg = ReplicatorMsg::Checkpoint {
+            version: self.engine.executed(),
+            style: self.engine.style(),
+            final_for_switch,
+            state,
+            replies,
+        };
+        self.monitor.record_bytes(msg.encode().len());
+        self.multicast(ctx, DeliveryOrder::Agreed, msg);
+    }
+
+    fn capture_cost(&self, state_len: usize) -> SimDuration {
+        self.config.costs.checkpoint_base
+            + self.config.costs.checkpoint_per_kib * (state_len as u64 / 1024)
+    }
+
+    fn restore_cost(&self, state_len: usize) -> SimDuration {
+        self.capture_cost(state_len)
+    }
+
+    fn evaluate_policies(&mut self, ctx: &mut Context<'_>) {
+        let obs = self.monitor.observe(ctx.now());
+        let prefix = self.config.metrics_prefix.clone();
+        let rate_metric = format!("{prefix}.rate");
+        ctx.metrics().series(&rate_metric).push(obs.at, obs.request_rate);
+        let latency_metric = format!("{prefix}.latency");
+        ctx.metrics()
+            .series(&latency_metric)
+            .push(obs.at, obs.latency_micros);
+        let policy_ctx = PolicyContext {
+            style: self.engine.style(),
+            replicas: self.engine.members().len(),
+        };
+        let mut actions = Vec::new();
+        for policy in &mut self.policies {
+            if let Some(action) = policy.evaluate(&obs, &policy_ctx) {
+                actions.push(action);
+            }
+        }
+        for action in actions {
+            match action {
+                AdaptationAction::SwitchStyle(target) => {
+                    if target != self.engine.style() && !self.engine.is_switching() {
+                        self.request_switch(ctx, target);
+                    }
+                }
+                other => self.directives.push((ctx.now(), other)),
+            }
+        }
+    }
+}
+
+impl Actor for ReplicaActor {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        debug_assert_eq!(ctx.self_id(), self.me, "spawn order must match config");
+        let outputs = self.endpoint.start(ctx.now());
+        self.absorb(ctx, outputs);
+        self.monitor.set_replicas(self.engine.members().len());
+        self.monitor.reset_bandwidth(ctx.now());
+        if self.engine.style().uses_checkpoints() && self.engine.is_primary() {
+            ctx.set_timer(self.config.knobs.checkpoint_interval, CHECKPOINT_TIMER);
+        }
+        ctx.set_timer(self.config.policy_interval, POLICY_TIMER);
+        if let Some(interval) = self.config.report_interval {
+            ctx.set_timer(interval, REPORT_TIMER);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_>, from: ProcessId, payload: Box<dyn Payload>) {
+        match downcast_payload::<GroupMsg>(payload) {
+            Ok(group_msg) => {
+                let outputs = self.endpoint.handle_message(ctx.now(), from, *group_msg);
+                self.absorb(ctx, outputs);
+            }
+            Err(other) => {
+                let orb_msg = match downcast_payload::<OrbMessage>(other) {
+                    Ok(msg) => msg,
+                    Err(other) => {
+                        let other = match downcast_payload::<ReplyLogAck>(other) {
+                            Ok(ack) => {
+                                ctx.use_cpu(self.config.costs.ack_processing);
+                                let key = (ack.client, ack.request_id);
+                                if let Some((_, outstanding)) = self.pending_replies.get_mut(&key) {
+                                    *outstanding = outstanding.saturating_sub(1);
+                                    if *outstanding == 0 {
+                                        let (reply, _) = self
+                                            .pending_replies
+                                            .remove(&key)
+                                            .expect("entry just seen");
+                                        self.send_reply(ctx, ack.client, reply);
+                                    }
+                                }
+                                return;
+                            }
+                            Err(other) => other,
+                        };
+                        if let Ok(cmd) = downcast_payload::<ReplicaCommand>(other) {
+                            match *cmd {
+                                ReplicaCommand::Switch(target) => self.request_switch(ctx, target),
+                                ReplicaCommand::Leave => {
+                                    let outputs = self.endpoint.leave(ctx.now());
+                                    self.absorb(ctx, outputs);
+                                }
+                            }
+                        }
+                        return;
+                    }
+                };
+                // Interposed client traffic (paper Fig. 2 top layer).
+                ctx.use_cpu(self.config.costs.interposition);
+                let OrbMessage::Request(request) = *orb_msg else {
+                    return;
+                };
+                match self.engine.on_client_request(from, request.request_id) {
+                    GatewayDecision::Multicast => {
+                        self.request_arrivals
+                            .insert((from, request.request_id), ctx.now());
+                        let msg = ReplicatorMsg::Invoke {
+                            client: from,
+                            request_id: request.request_id,
+                            operation: request.operation,
+                            args: request.args,
+                        };
+                        self.multicast(ctx, DeliveryOrder::Agreed, msg);
+                    }
+                    GatewayDecision::ResendCached => {
+                        self.resend_cached(ctx, from, request.request_id);
+                    }
+                    GatewayDecision::InFlight => {}
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, timer: TimerToken) {
+        if let Some(group_timer) = timer_from_token(timer) {
+            let outputs = self.endpoint.handle_timer(ctx.now(), group_timer);
+            self.absorb(ctx, outputs);
+            return;
+        }
+        match timer {
+            CHECKPOINT_TIMER => {
+                let ops = self.engine.on_checkpoint_timer();
+                self.apply_ops(ctx, ops);
+            }
+            POLICY_TIMER => {
+                self.evaluate_policies(ctx);
+                ctx.set_timer(self.config.policy_interval, POLICY_TIMER);
+            }
+            REPORT_TIMER => {
+                let obs = self.monitor.observe(ctx.now());
+                let msg = ReplicatorMsg::MonitorReport {
+                    replica: self.me,
+                    request_rate: obs.request_rate,
+                    latency_micros: obs.latency_micros,
+                    bandwidth_bps: obs.bandwidth_bps,
+                };
+                self.multicast(ctx, DeliveryOrder::Agreed, msg);
+                if let Some(interval) = self.config.report_interval {
+                    ctx.set_timer(interval, REPORT_TIMER);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl std::fmt::Debug for ReplicaActor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicaActor")
+            .field("me", &self.me)
+            .field("style", &self.engine.style())
+            .field("executed", &self.executed_requests)
+            .finish()
+    }
+}

@@ -1,0 +1,139 @@
+//! Replication styles: the central low-level knob.
+//!
+//! The paper's replicator supports the two canonical styles — active
+//! (state-machine) and passive (primary-backup, warm or cold) — plus, as an
+//! extension from its related-work discussion, semi-active (leader-follower
+//! à la Delta-4 XPA). The style can be changed per process and at run time
+//! via the switch protocol in [`crate::engine`].
+
+use std::fmt;
+
+/// How a replicated process tolerates faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ReplicationStyle {
+    /// All replicas execute every request (the state-machine approach).
+    /// Fast response and recovery; highest resource usage.
+    Active,
+    /// One primary executes; backups stay in stand-by, periodically
+    /// refreshed by checkpoints, and replay the request log on failover.
+    WarmPassive,
+    /// One primary executes; backups merely log. On failover the stored
+    /// checkpoint is loaded from scratch and the full log replayed —
+    /// cheapest in steady state, slowest to recover.
+    ColdPassive,
+    /// All replicas execute, but only the leader sends outputs (Delta-4
+    /// XPA's leader-follower model): active-grade recovery at reply
+    /// bandwidth close to passive. An extension beyond the paper's two
+    /// canonical styles.
+    SemiActive,
+}
+
+impl ReplicationStyle {
+    /// Whether every live replica executes every request.
+    pub fn all_replicas_execute(self) -> bool {
+        matches!(self, ReplicationStyle::Active | ReplicationStyle::SemiActive)
+    }
+
+    /// Whether only a designated replica sends replies to clients.
+    pub fn single_replier(self) -> bool {
+        !matches!(self, ReplicationStyle::Active)
+    }
+
+    /// Whether the style ships periodic checkpoints from the primary.
+    pub fn uses_checkpoints(self) -> bool {
+        matches!(
+            self,
+            ReplicationStyle::WarmPassive | ReplicationStyle::ColdPassive
+        )
+    }
+
+    /// Whether backups apply checkpoints as they arrive (warm) rather than
+    /// storing them for recovery time (cold).
+    pub fn applies_checkpoints_eagerly(self) -> bool {
+        matches!(self, ReplicationStyle::WarmPassive)
+    }
+
+    /// Compact stable tag used on the wire.
+    pub fn to_tag(self) -> u8 {
+        match self {
+            ReplicationStyle::Active => 0,
+            ReplicationStyle::WarmPassive => 1,
+            ReplicationStyle::ColdPassive => 2,
+            ReplicationStyle::SemiActive => 3,
+        }
+    }
+
+    /// Parses a wire tag.
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(ReplicationStyle::Active),
+            1 => Some(ReplicationStyle::WarmPassive),
+            2 => Some(ReplicationStyle::ColdPassive),
+            3 => Some(ReplicationStyle::SemiActive),
+            _ => None,
+        }
+    }
+
+    /// All supported styles.
+    pub fn all() -> [ReplicationStyle; 4] {
+        [
+            ReplicationStyle::Active,
+            ReplicationStyle::WarmPassive,
+            ReplicationStyle::ColdPassive,
+            ReplicationStyle::SemiActive,
+        ]
+    }
+}
+
+impl fmt::Display for ReplicationStyle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ReplicationStyle::Active => "active",
+            ReplicationStyle::WarmPassive => "warm-passive",
+            ReplicationStyle::ColdPassive => "cold-passive",
+            ReplicationStyle::SemiActive => "semi-active",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_round_trip() {
+        for style in ReplicationStyle::all() {
+            assert_eq!(ReplicationStyle::from_tag(style.to_tag()), Some(style));
+        }
+        assert_eq!(ReplicationStyle::from_tag(99), None);
+    }
+
+    #[test]
+    fn capability_matrix_matches_definitions() {
+        use ReplicationStyle::*;
+        assert!(Active.all_replicas_execute());
+        assert!(!Active.single_replier());
+        assert!(!Active.uses_checkpoints());
+
+        assert!(!WarmPassive.all_replicas_execute());
+        assert!(WarmPassive.single_replier());
+        assert!(WarmPassive.uses_checkpoints());
+        assert!(WarmPassive.applies_checkpoints_eagerly());
+
+        assert!(ColdPassive.uses_checkpoints());
+        assert!(!ColdPassive.applies_checkpoints_eagerly());
+
+        assert!(SemiActive.all_replicas_execute());
+        assert!(SemiActive.single_replier());
+        assert!(!SemiActive.uses_checkpoints());
+    }
+
+    #[test]
+    fn display_names_are_stable() {
+        assert_eq!(ReplicationStyle::Active.to_string(), "active");
+        assert_eq!(ReplicationStyle::WarmPassive.to_string(), "warm-passive");
+        assert_eq!(ReplicationStyle::ColdPassive.to_string(), "cold-passive");
+        assert_eq!(ReplicationStyle::SemiActive.to_string(), "semi-active");
+    }
+}

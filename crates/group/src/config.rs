@@ -1,0 +1,144 @@
+//! Group communication tuning parameters.
+//!
+//! These are the paper's *fault-monitoring* low-level knobs (FT-CORBA's
+//! `FaultMonitoringInterval`, timeout, etc.) plus retransmission pacing.
+
+use vd_simnet::time::SimDuration;
+
+/// Tunable parameters of a group endpoint.
+///
+/// # Examples
+///
+/// ```
+/// use vd_group::config::GroupConfig;
+/// use vd_simnet::time::SimDuration;
+///
+/// let config = GroupConfig::default()
+///     .heartbeat_interval(SimDuration::from_millis(5))
+///     .failure_timeout(SimDuration::from_millis(25));
+/// assert_eq!(config.failure_timeout, SimDuration::from_millis(25));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupConfig {
+    /// How often each member multicasts a heartbeat carrying its ack vector.
+    pub heartbeat_interval: SimDuration,
+    /// Silence longer than this marks a member as suspected (the paper's
+    /// fault-monitoring timeout knob).
+    pub failure_timeout: SimDuration,
+    /// How often gaps are re-NACKed while missing.
+    pub nack_interval: SimDuration,
+    /// How long the flush leader waits for the round to complete before
+    /// re-proposing.
+    pub flush_timeout: SimDuration,
+}
+
+impl GroupConfig {
+    /// Sets the heartbeat interval (builder style).
+    pub fn heartbeat_interval(mut self, d: SimDuration) -> Self {
+        self.heartbeat_interval = d;
+        self
+    }
+
+    /// Sets the failure-detection timeout (builder style).
+    pub fn failure_timeout(mut self, d: SimDuration) -> Self {
+        self.failure_timeout = d;
+        self
+    }
+
+    /// Sets the NACK retry interval (builder style).
+    pub fn nack_interval(mut self, d: SimDuration) -> Self {
+        self.nack_interval = d;
+        self
+    }
+
+    /// Sets the flush-round timeout (builder style).
+    pub fn flush_timeout(mut self, d: SimDuration) -> Self {
+        self.flush_timeout = d;
+        self
+    }
+
+    /// Validates the invariants between intervals.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message if the failure timeout does not
+    /// exceed the heartbeat interval (every live member would be suspected)
+    /// or any interval is zero.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.heartbeat_interval.is_zero() {
+            return Err("heartbeat interval must be positive".into());
+        }
+        if self.nack_interval.is_zero() {
+            return Err("nack interval must be positive".into());
+        }
+        if self.flush_timeout.is_zero() {
+            return Err("flush timeout must be positive".into());
+        }
+        if self.failure_timeout <= self.heartbeat_interval {
+            return Err(format!(
+                "failure timeout ({}) must exceed heartbeat interval ({})",
+                self.failure_timeout, self.heartbeat_interval
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for GroupConfig {
+    fn default() -> Self {
+        GroupConfig {
+            heartbeat_interval: SimDuration::from_millis(10),
+            failure_timeout: SimDuration::from_millis(50),
+            nack_interval: SimDuration::from_millis(5),
+            flush_timeout: SimDuration::from_millis(100),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(GroupConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn timeout_must_exceed_heartbeat() {
+        let c = GroupConfig::default()
+            .heartbeat_interval(SimDuration::from_millis(50))
+            .failure_timeout(SimDuration::from_millis(50));
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn zero_intervals_rejected() {
+        assert!(GroupConfig::default()
+            .heartbeat_interval(SimDuration::ZERO)
+            .validate()
+            .is_err());
+        assert!(GroupConfig::default()
+            .nack_interval(SimDuration::ZERO)
+            .validate()
+            .is_err());
+        assert!(GroupConfig::default()
+            .flush_timeout(SimDuration::ZERO)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = GroupConfig::default()
+            .heartbeat_interval(SimDuration::from_millis(2))
+            .failure_timeout(SimDuration::from_millis(9))
+            .nack_interval(SimDuration::from_millis(3))
+            .flush_timeout(SimDuration::from_millis(40));
+        assert_eq!(c.heartbeat_interval, SimDuration::from_millis(2));
+        assert_eq!(c.failure_timeout, SimDuration::from_millis(9));
+        assert_eq!(c.nack_interval, SimDuration::from_millis(3));
+        assert_eq!(c.flush_timeout, SimDuration::from_millis(40));
+        assert!(c.validate().is_ok());
+    }
+}

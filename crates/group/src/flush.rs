@@ -1,0 +1,310 @@
+//! The flush (view-change) protocol state and its pure computations.
+//!
+//! When membership must change (crash suspicion, join, leave), the flush
+//! leader — the lowest-id surviving member — runs a blocking round that
+//! realizes *virtual synchrony*: every survivor delivers exactly the same
+//! set of old-view messages, in the same order, before the new view is
+//! installed. The paper's switch protocol (Fig. 5) leans on this property:
+//! fault notifications are ordered consistently with respect to "switch"
+//! messages, so survivors always know at which protocol step a crash
+//! happened.
+//!
+//! Round structure (leader = coordinator of the proposed view's parent):
+//!
+//! 1. leader broadcasts `ViewProposal`; receivers block application sends;
+//! 2. each participant reports its holdings (`FlushInfo`);
+//! 3. the leader computes the *cut* — for every old-view sender, the longest
+//!    contiguous prefix of messages held by *anyone* — fills its own gaps by
+//!    NACKing the reported holders, and broadcasts `FlushCut` with the
+//!    authoritative agreed-order assignments;
+//! 4. participants fill their gaps from the leader and answer `FlushDone`;
+//! 5. on all-done the leader broadcasts `InstallView`; everyone delivers up
+//!    to the cut and installs.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use vd_simnet::topology::ProcessId;
+
+use crate::message::{Assignment, FlushHoldings};
+use crate::view::View;
+
+/// Which phase of the round a participant (or the leader) is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FlushPhase {
+    /// Blocked, holdings reported, waiting for the cut.
+    AwaitingCut,
+    /// Cut known, recovering missing messages.
+    Filling,
+    /// Everything up to the cut is held; `FlushDone` sent.
+    Done,
+}
+
+/// State of one flush round (one proposal).
+#[derive(Debug)]
+pub(crate) struct FlushProgress {
+    /// The proposed next view. Its id doubles as the proposal id.
+    pub proposal: View,
+    /// Who leads the round.
+    pub leader: ProcessId,
+    /// This endpoint's phase.
+    pub phase: FlushPhase,
+    /// The cut, once known (`FlushCut` received or, for the leader, computed).
+    pub cut: Option<BTreeMap<ProcessId, u64>>,
+    /// Authoritative assignments received with (or computed for) the cut.
+    pub final_assignments: Vec<Assignment>,
+    // ---- leader-side state ----
+    /// Everyone whose holdings and confirmation the leader waits for: the
+    /// union of the old view and the proposal, minus suspects. Members being
+    /// evicted still contribute their messages so none are lost.
+    pub participants: Vec<ProcessId>,
+    /// Holdings reported by participants (the leader inserts its own).
+    pub infos: BTreeMap<ProcessId, FlushHoldings>,
+    /// Participants that confirmed they hold everything up to the cut.
+    pub dones: BTreeSet<ProcessId>,
+    /// Whether `FlushCut` has been broadcast.
+    pub cut_sent: bool,
+    /// Leader-side count of timeout re-drives; after a few, non-responding
+    /// participants are declared suspected and the round restarts without
+    /// them.
+    pub retries: u32,
+}
+
+impl FlushProgress {
+    /// A fresh round for `proposal` led by `leader`. Participants default to
+    /// the proposed members; the leader overrides with the full participant
+    /// set it computed.
+    pub fn new(proposal: View, leader: ProcessId) -> Self {
+        let participants = proposal.members().to_vec();
+        FlushProgress {
+            proposal,
+            leader,
+            phase: FlushPhase::AwaitingCut,
+            cut: None,
+            final_assignments: Vec::new(),
+            participants,
+            infos: BTreeMap::new(),
+            dones: BTreeSet::new(),
+            cut_sent: false,
+            retries: 0,
+        }
+    }
+
+    /// `true` once every participant has reported holdings.
+    pub fn all_infos(&self) -> bool {
+        self.participants.iter().all(|m| self.infos.contains_key(m))
+    }
+
+    /// `true` once every participant has confirmed the cut.
+    pub fn all_done(&self) -> bool {
+        self.participants.iter().all(|m| self.dones.contains(m))
+    }
+}
+
+/// Computes the cut: for each sender, the longest contiguous prefix of the
+/// union of sequence numbers held by any reporting member. Messages beyond
+/// the cut (possible only for crashed senders, since live senders hold their
+/// own sends) are discarded, which virtual synchrony permits.
+pub(crate) fn compute_cut(
+    infos: &BTreeMap<ProcessId, FlushHoldings>,
+) -> BTreeMap<ProcessId, u64> {
+    // Union per sender: the highest contiguous ack anyone reports, plus
+    // sparse extras beyond gaps.
+    let mut base: BTreeMap<ProcessId, u64> = BTreeMap::new();
+    let mut extras: BTreeMap<ProcessId, BTreeSet<u64>> = BTreeMap::new();
+    for holdings in infos.values() {
+        for &(sender, contig) in &holdings.contiguous {
+            let b = base.entry(sender).or_insert(0);
+            if contig > *b {
+                *b = contig;
+            }
+        }
+        for (sender, seqs) in &holdings.extras {
+            extras.entry(*sender).or_default().extend(seqs.iter().copied());
+        }
+    }
+    // Extend each base with contiguous extras.
+    let mut cut = BTreeMap::new();
+    for (&sender, &b) in &base {
+        let mut limit = b;
+        if let Some(ex) = extras.get(&sender) {
+            while ex.contains(&(limit + 1)) {
+                limit += 1;
+            }
+        }
+        cut.insert(sender, limit);
+    }
+    // Senders that appear only in extras (no contiguous holdings at all)
+    // contribute nothing deliverable unless their extras start at 1.
+    for (&sender, ex) in &extras {
+        cut.entry(sender).or_insert_with(|| {
+            let mut limit = 0;
+            while ex.contains(&(limit + 1)) {
+                limit += 1;
+            }
+            limit
+        });
+    }
+    cut
+}
+
+/// Merges every participant's known assignments into one consistent map.
+///
+/// Assignments are made by a single sequencer per view, so two reports can
+/// never disagree on a global sequence number; the union is simply the most
+/// complete view of what the (possibly crashed) sequencer decided.
+pub(crate) fn merge_assignments(
+    infos: &BTreeMap<ProcessId, FlushHoldings>,
+) -> BTreeMap<u64, (ProcessId, u64)> {
+    let mut merged = BTreeMap::new();
+    for holdings in infos.values() {
+        for a in &holdings.assignments {
+            let prev = merged.insert(a.global_seq, (a.sender, a.seq));
+            debug_assert!(
+                prev.is_none() || prev == Some((a.sender, a.seq)),
+                "conflicting assignments for global {}",
+                a.global_seq
+            );
+        }
+    }
+    merged
+}
+
+/// Filters merged assignments to those whose data survives the cut, keeping
+/// the original global numbering (delivered prefixes at any member remain
+/// prefixes of the final order).
+pub(crate) fn filter_assignments_to_cut(
+    merged: &BTreeMap<u64, (ProcessId, u64)>,
+    cut: &BTreeMap<ProcessId, u64>,
+) -> Vec<Assignment> {
+    merged
+        .iter()
+        .filter(|(_, (sender, seq))| cut.get(sender).copied().unwrap_or(0) >= *seq)
+        .map(|(&global_seq, &(sender, seq))| Assignment {
+            global_seq,
+            sender,
+            seq,
+        })
+        .collect()
+}
+
+/// Public wrapper over the cut computation, for external property tests
+/// (the function itself is an internal detail of the flush round).
+pub fn compute_cut_for_test(
+    infos: &BTreeMap<ProcessId, FlushHoldings>,
+) -> BTreeMap<ProcessId, u64> {
+    compute_cut(infos)
+}
+
+/// Public wrapper over assignment merging, for external property tests.
+pub fn merge_assignments_for_test(
+    infos: &BTreeMap<ProcessId, FlushHoldings>,
+) -> BTreeMap<u64, (ProcessId, u64)> {
+    merge_assignments(infos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::ViewId;
+
+    fn p(n: u64) -> ProcessId {
+        ProcessId(n)
+    }
+
+    fn holdings(contig: &[(u64, u64)], extras: &[(u64, &[u64])]) -> FlushHoldings {
+        FlushHoldings {
+            contiguous: contig.iter().map(|&(s, c)| (p(s), c)).collect(),
+            extras: extras
+                .iter()
+                .map(|&(s, seqs)| (p(s), seqs.to_vec()))
+                .collect(),
+            assignments: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn cut_is_max_contiguous_union() {
+        let mut infos = BTreeMap::new();
+        // Member 1 holds 1..=3 of sender 9 plus {5}; member 2 holds 1..=4.
+        infos.insert(p(1), holdings(&[(9, 3)], &[(9, &[5])]));
+        infos.insert(p(2), holdings(&[(9, 4)], &[]));
+        let cut = compute_cut(&infos);
+        // Union = 1..=5 (4 from member 2's prefix, 5 from member 1's extra).
+        assert_eq!(cut.get(&p(9)), Some(&5));
+    }
+
+    #[test]
+    fn cut_stops_at_unfillable_hole() {
+        let mut infos = BTreeMap::new();
+        // Nobody holds seq 4 of sender 9: cut must stop at 3 even though 5
+        // exists somewhere.
+        infos.insert(p(1), holdings(&[(9, 3)], &[(9, &[5])]));
+        infos.insert(p(2), holdings(&[(9, 2)], &[]));
+        let cut = compute_cut(&infos);
+        assert_eq!(cut.get(&p(9)), Some(&3));
+    }
+
+    #[test]
+    fn extras_only_sender_needs_prefix_from_one() {
+        let mut infos = BTreeMap::new();
+        infos.insert(p(1), holdings(&[], &[(9, &[1, 2])]));
+        infos.insert(p(2), holdings(&[], &[(9, &[4])]));
+        let cut = compute_cut(&infos);
+        assert_eq!(cut.get(&p(9)), Some(&2));
+    }
+
+    #[test]
+    fn merge_assignments_unions_reports() {
+        let mut infos = BTreeMap::new();
+        let mut h1 = holdings(&[], &[]);
+        h1.assignments = vec![Assignment {
+            global_seq: 1,
+            sender: p(9),
+            seq: 1,
+        }];
+        let mut h2 = holdings(&[], &[]);
+        h2.assignments = vec![
+            Assignment {
+                global_seq: 1,
+                sender: p(9),
+                seq: 1,
+            },
+            Assignment {
+                global_seq: 2,
+                sender: p(8),
+                seq: 1,
+            },
+        ];
+        infos.insert(p(1), h1);
+        infos.insert(p(2), h2);
+        let merged = merge_assignments(&infos);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[&2], (p(8), 1));
+    }
+
+    #[test]
+    fn filter_drops_assignments_beyond_cut() {
+        let mut merged = BTreeMap::new();
+        merged.insert(1, (p(9), 1));
+        merged.insert(2, (p(9), 7)); // data lost beyond the cut
+        let mut cut = BTreeMap::new();
+        cut.insert(p(9), 3);
+        let finals = filter_assignments_to_cut(&merged, &cut);
+        assert_eq!(finals.len(), 1);
+        assert_eq!(finals[0].global_seq, 1);
+    }
+
+    #[test]
+    fn progress_tracks_completeness() {
+        let proposal = View::new(ViewId(2), vec![p(1), p(2)]);
+        let mut fp = FlushProgress::new(proposal, p(1));
+        assert!(!fp.all_infos());
+        fp.infos.insert(p(1), holdings(&[], &[]));
+        fp.infos.insert(p(2), holdings(&[], &[]));
+        assert!(fp.all_infos());
+        fp.dones.insert(p(1));
+        assert!(!fp.all_done());
+        fp.dones.insert(p(2));
+        assert!(fp.all_done());
+    }
+}

@@ -1,0 +1,321 @@
+//! Wire messages exchanged between group endpoints.
+//!
+//! Each variant carries an estimated wire size (headers plus encoded
+//! fields) so the simulator's bandwidth and transmission-delay models see
+//! realistic byte counts, which is what the paper's Fig. 7(b) bandwidth
+//! results hinge on.
+
+use bytes::Bytes;
+use vd_simnet::actor::Payload;
+use vd_simnet::topology::ProcessId;
+
+use crate::order::DeliveryOrder;
+use crate::vclock::VectorClock;
+use crate::view::{View, ViewId};
+
+/// Identifies a process group (a replica group, a monitoring group, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct GroupId(pub u32);
+
+/// Fixed per-message header estimate: group id, view id, type tag,
+/// sender, sequence fields — roughly what Spread's header occupies.
+pub const HEADER_BYTES: usize = 40;
+
+/// Bytes per `(member, counter)` pair in vectors and maps.
+pub const PAIR_BYTES: usize = 12;
+
+/// An application data multicast.
+#[derive(Debug, Clone)]
+pub struct DataMsg {
+    /// Target group.
+    pub group: GroupId,
+    /// View in which the message was sent.
+    pub view_id: ViewId,
+    /// The multicasting member.
+    pub sender: ProcessId,
+    /// Per-sender sequence number (`None` for best-effort traffic, which is
+    /// neither sequenced nor retransmitted).
+    pub seq: Option<u64>,
+    /// Requested delivery guarantee.
+    pub order: DeliveryOrder,
+    /// Causal timestamp (present only for causal messages).
+    pub vclock: Option<VectorClock>,
+    /// Opaque application bytes.
+    pub payload: Bytes,
+}
+
+impl DataMsg {
+    /// Estimated bytes on the wire.
+    pub fn wire_size(&self) -> usize {
+        HEADER_BYTES
+            + self.payload.len()
+            + self.vclock.as_ref().map_or(0, |vc| vc.len() * PAIR_BYTES)
+    }
+}
+
+/// One agreed-order assignment: global sequence → (sender, sender seq).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Assignment {
+    /// Position in the group-wide total order.
+    pub global_seq: u64,
+    /// The multicasting member.
+    pub sender: ProcessId,
+    /// That member's per-sender sequence number.
+    pub seq: u64,
+}
+
+/// Per-member holdings reported during a flush.
+#[derive(Debug, Clone, Default)]
+pub struct FlushHoldings {
+    /// For each sender: the highest contiguously-received sequence number.
+    pub contiguous: Vec<(ProcessId, u64)>,
+    /// For each sender: sequence numbers held beyond a gap.
+    pub extras: Vec<(ProcessId, Vec<u64>)>,
+    /// All agreed-order assignments this member knows of.
+    pub assignments: Vec<Assignment>,
+}
+
+impl FlushHoldings {
+    fn wire_size(&self) -> usize {
+        self.contiguous.len() * PAIR_BYTES
+            + self
+                .extras
+                .iter()
+                .map(|(_, v)| PAIR_BYTES + v.len() * 8)
+                .sum::<usize>()
+            + self.assignments.len() * (PAIR_BYTES + 8)
+    }
+}
+
+/// Every message a group endpoint can send or receive.
+#[derive(Debug, Clone)]
+pub enum GroupMsg {
+    /// Application data (original transmission).
+    Data(DataMsg),
+    /// Application data retransmitted in response to a NACK.
+    Retransmit(DataMsg),
+    /// Periodic liveness + acknowledgement vector (drives failure detection
+    /// and stability-based garbage collection).
+    Heartbeat {
+        /// Target group.
+        group: GroupId,
+        /// Sender's current view.
+        view_id: ViewId,
+        /// For each sender: highest contiguously-received sequence number.
+        acks: Vec<(ProcessId, u64)>,
+        /// The sender's delivered position in the agreed total order.
+        delivered_global: u64,
+    },
+    /// Request to retransmit missing sequence numbers of `sender`'s stream.
+    Nack {
+        /// Target group.
+        group: GroupId,
+        /// Whose stream has the gap.
+        sender: ProcessId,
+        /// The missing sequence numbers.
+        missing: Vec<u64>,
+    },
+    /// Agreed-order assignments from the sequencer.
+    Assign {
+        /// Target group.
+        group: GroupId,
+        /// View the assignments belong to.
+        view_id: ViewId,
+        /// Newly assigned total-order slots.
+        assignments: Vec<Assignment>,
+    },
+    /// Request to re-send assignments at or beyond `from_global`.
+    AssignNack {
+        /// Target group.
+        group: GroupId,
+        /// Sender's current view.
+        view_id: ViewId,
+        /// First unknown global sequence number.
+        from_global: u64,
+    },
+    /// A process asks to be added to the group.
+    JoinRequest {
+        /// Target group.
+        group: GroupId,
+        /// The process that wants in.
+        joiner: ProcessId,
+    },
+    /// A member announces a graceful departure.
+    LeaveRequest {
+        /// Target group.
+        group: GroupId,
+        /// The member that wants out.
+        leaver: ProcessId,
+    },
+    /// The flush leader proposes the next view; receivers block sending.
+    ViewProposal {
+        /// Target group.
+        group: GroupId,
+        /// The proposed membership (its id doubles as the proposal id).
+        proposal: View,
+        /// Who is leading this flush round.
+        leader: ProcessId,
+    },
+    /// A participant reports its holdings to the flush leader.
+    FlushInfo {
+        /// Target group.
+        group: GroupId,
+        /// Which proposal this answers.
+        proposal_id: ViewId,
+        /// What the participant has.
+        holdings: FlushHoldings,
+    },
+    /// The leader announces the message cut every member must reach.
+    FlushCut {
+        /// Target group.
+        group: GroupId,
+        /// Which proposal this belongs to.
+        proposal_id: ViewId,
+        /// For each old-view sender: the last sequence number included in
+        /// the old view (messages beyond it are discarded).
+        cut: Vec<(ProcessId, u64)>,
+        /// The authoritative agreed-order assignments up to the cut.
+        final_assignments: Vec<Assignment>,
+    },
+    /// A participant confirms it holds every message up to the cut.
+    FlushDone {
+        /// Target group.
+        group: GroupId,
+        /// Which proposal this confirms.
+        proposal_id: ViewId,
+    },
+    /// The leader commits the new view; receivers deliver up to the cut,
+    /// then install.
+    InstallView {
+        /// Target group.
+        group: GroupId,
+        /// The new agreed view.
+        view: View,
+        /// Causal-clock state at the cut (adopted by joiners).
+        causal_after: VectorClock,
+        /// The next free agreed-order slot after the cut.
+        next_global: u64,
+    },
+}
+
+impl GroupMsg {
+    /// The group this message belongs to.
+    pub fn group(&self) -> GroupId {
+        match self {
+            GroupMsg::Data(d) | GroupMsg::Retransmit(d) => d.group,
+            GroupMsg::Heartbeat { group, .. }
+            | GroupMsg::Nack { group, .. }
+            | GroupMsg::Assign { group, .. }
+            | GroupMsg::AssignNack { group, .. }
+            | GroupMsg::JoinRequest { group, .. }
+            | GroupMsg::LeaveRequest { group, .. }
+            | GroupMsg::ViewProposal { group, .. }
+            | GroupMsg::FlushInfo { group, .. }
+            | GroupMsg::FlushCut { group, .. }
+            | GroupMsg::FlushDone { group, .. }
+            | GroupMsg::InstallView { group, .. } => *group,
+        }
+    }
+}
+
+impl Payload for GroupMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            GroupMsg::Data(d) | GroupMsg::Retransmit(d) => d.wire_size(),
+            GroupMsg::Heartbeat { acks, .. } => HEADER_BYTES + acks.len() * PAIR_BYTES + 8,
+            GroupMsg::Nack { missing, .. } => HEADER_BYTES + 8 + missing.len() * 8,
+            GroupMsg::Assign { assignments, .. } => {
+                HEADER_BYTES + assignments.len() * (PAIR_BYTES + 8)
+            }
+            GroupMsg::AssignNack { .. } => HEADER_BYTES + 8,
+            GroupMsg::JoinRequest { .. } | GroupMsg::LeaveRequest { .. } => HEADER_BYTES + 8,
+            GroupMsg::ViewProposal { proposal, .. } => {
+                HEADER_BYTES + proposal.len() * 8 + 8
+            }
+            GroupMsg::FlushInfo { holdings, .. } => HEADER_BYTES + holdings.wire_size(),
+            GroupMsg::FlushCut {
+                cut,
+                final_assignments,
+                ..
+            } => HEADER_BYTES + cut.len() * PAIR_BYTES + final_assignments.len() * (PAIR_BYTES + 8),
+            GroupMsg::FlushDone { .. } => HEADER_BYTES,
+            GroupMsg::InstallView {
+                view, causal_after, ..
+            } => HEADER_BYTES + view.len() * 8 + causal_after.len() * PAIR_BYTES + 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(n: u64) -> ProcessId {
+        ProcessId(n)
+    }
+
+    fn data(payload_len: usize, vclock: Option<VectorClock>) -> DataMsg {
+        DataMsg {
+            group: GroupId(1),
+            view_id: ViewId(0),
+            sender: p(1),
+            seq: Some(1),
+            order: DeliveryOrder::Fifo,
+            vclock,
+            payload: Bytes::from(vec![0u8; payload_len]),
+        }
+    }
+
+    #[test]
+    fn data_wire_size_includes_payload() {
+        assert_eq!(data(100, None).wire_size(), HEADER_BYTES + 100);
+    }
+
+    #[test]
+    fn causal_data_pays_for_vclock() {
+        let mut vc = VectorClock::new();
+        vc.set(p(1), 1);
+        vc.set(p(2), 3);
+        assert_eq!(
+            data(10, Some(vc)).wire_size(),
+            HEADER_BYTES + 10 + 2 * PAIR_BYTES
+        );
+    }
+
+    #[test]
+    fn group_accessor_covers_all_variants() {
+        let g = GroupId(7);
+        let msgs = vec![
+            GroupMsg::Data(DataMsg { group: g, ..data(0, None) }),
+            GroupMsg::Heartbeat {
+                group: g,
+                view_id: ViewId(0),
+                acks: vec![],
+                delivered_global: 0,
+            },
+            GroupMsg::Nack {
+                group: g,
+                sender: p(1),
+                missing: vec![1],
+            },
+            GroupMsg::FlushDone {
+                group: g,
+                proposal_id: ViewId(1),
+            },
+        ];
+        for m in msgs {
+            assert_eq!(m.group(), g);
+        }
+    }
+
+    #[test]
+    fn control_messages_have_nonzero_size() {
+        let m = GroupMsg::InstallView {
+            group: GroupId(0),
+            view: View::new(ViewId(1), vec![p(1), p(2)]),
+            causal_after: VectorClock::new(),
+            next_global: 5,
+        };
+        assert!(m.wire_size() >= HEADER_BYTES);
+    }
+}

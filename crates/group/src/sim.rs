@@ -1,0 +1,204 @@
+//! Simulator adapter: hosts an [`Endpoint`] as a `vd-simnet` actor.
+//!
+//! The adapter performs the endpoint's [`Output`]s — sending [`GroupMsg`]s
+//! through the simulated network, arming timers, and recording surfaced
+//! [`GroupEvent`]s for inspection. Higher layers (the replicator) embed
+//! [`Endpoint`] in their own actors instead; this adapter exists for tests,
+//! examples and group-level benchmarks.
+
+use bytes::Bytes;
+
+use vd_simnet::actor::{downcast_payload, Actor, Context, Payload, TimerToken};
+use vd_simnet::time::SimDuration;
+use vd_simnet::topology::ProcessId;
+
+use crate::api::{Delivery, GroupEvent, GroupTimer, Output};
+use crate::endpoint::Endpoint;
+use crate::message::GroupMsg;
+use crate::order::DeliveryOrder;
+use crate::view::ViewId;
+
+/// Encodes a [`GroupTimer`] as a simulator timer token.
+pub fn timer_token(timer: GroupTimer) -> TimerToken {
+    match timer {
+        GroupTimer::Heartbeat => TimerToken(1),
+        GroupTimer::FailureCheck => TimerToken(2),
+        GroupTimer::NackRetry => TimerToken(3),
+        GroupTimer::JoinRetry => TimerToken(4),
+        GroupTimer::FlushTimeout(ViewId(id)) => TimerToken(1_000 + id),
+    }
+}
+
+/// Decodes a simulator timer token back into a [`GroupTimer`].
+///
+/// Returns `None` for tokens not produced by [`timer_token`].
+pub fn timer_from_token(token: TimerToken) -> Option<GroupTimer> {
+    match token.0 {
+        1 => Some(GroupTimer::Heartbeat),
+        2 => Some(GroupTimer::FailureCheck),
+        3 => Some(GroupTimer::NackRetry),
+        4 => Some(GroupTimer::JoinRetry),
+        id if id >= 1_000 => Some(GroupTimer::FlushTimeout(ViewId(id - 1_000))),
+        _ => None,
+    }
+}
+
+/// Applies endpoint outputs through an actor context, invoking `on_event`
+/// for every surfaced event. Used by any actor embedding an [`Endpoint`].
+pub fn apply_outputs<F>(ctx: &mut Context<'_>, outputs: Vec<Output>, mut on_event: F)
+where
+    F: FnMut(&mut Context<'_>, GroupEvent),
+{
+    for output in outputs {
+        match output {
+            Output::Send { to, msg } => ctx.send(to, msg),
+            Output::SetTimer { delay, timer } => ctx.set_timer(delay, timer_token(timer)),
+            Output::Event(event) => on_event(ctx, event),
+        }
+    }
+}
+
+/// Harness commands injected into a [`GroupMemberActor`] from outside the
+/// simulation (tests and examples).
+#[derive(Debug)]
+pub enum Command {
+    /// Multicast `payload` with the given guarantee.
+    Multicast {
+        /// Delivery guarantee.
+        order: DeliveryOrder,
+        /// Application bytes.
+        payload: Bytes,
+    },
+    /// Announce a graceful departure.
+    Leave,
+}
+
+impl Payload for Command {
+    fn wire_size(&self) -> usize {
+        match self {
+            Command::Multicast { payload, .. } => payload.len(),
+            Command::Leave => 8,
+        }
+    }
+}
+
+/// A simulator actor hosting one group endpoint and recording everything it
+/// delivers — the standard fixture for group-level tests and benchmarks.
+pub struct GroupMemberActor {
+    endpoint: Endpoint,
+    /// Messages delivered to this member, in delivery order.
+    pub deliveries: Vec<Delivery>,
+    /// All surfaced events (deliveries included), in order.
+    pub events: Vec<GroupEvent>,
+}
+
+impl GroupMemberActor {
+    /// Wraps an endpoint.
+    pub fn new(endpoint: Endpoint) -> Self {
+        GroupMemberActor {
+            endpoint,
+            deliveries: Vec::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// The wrapped endpoint.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Payloads delivered so far, as raw byte vectors (test convenience).
+    pub fn delivered_payloads(&self) -> Vec<Vec<u8>> {
+        self.deliveries.iter().map(|d| d.payload.to_vec()).collect()
+    }
+
+    /// The views installed so far, oldest first (test convenience).
+    pub fn installed_views(&self) -> Vec<crate::view::View> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                GroupEvent::ViewInstalled { view, .. } => Some(view.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn absorb(&mut self, ctx: &mut Context<'_>, outputs: Vec<Output>) {
+        let mut events = Vec::new();
+        apply_outputs(ctx, outputs, |_ctx, event| events.push(event));
+        for event in events {
+            if let GroupEvent::Delivered(d) = &event {
+                self.deliveries.push(d.clone());
+            }
+            self.events.push(event);
+        }
+    }
+}
+
+impl Actor for GroupMemberActor {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        let outputs = self.endpoint.start(ctx.now());
+        self.absorb(ctx, outputs);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_>, from: ProcessId, payload: Box<dyn Payload>) {
+        // Charge a small fixed processing cost per protocol message so group
+        // traffic occupies CPU, as a real daemon would.
+        ctx.use_cpu(SimDuration::from_micros(2));
+        match downcast_payload::<GroupMsg>(payload) {
+            Ok(msg) => {
+                let outputs = self.endpoint.handle_message(ctx.now(), from, *msg);
+                self.absorb(ctx, outputs);
+            }
+            Err(other) => {
+                if let Ok(cmd) = downcast_payload::<Command>(other) {
+                    let outputs = match *cmd {
+                        Command::Multicast { order, payload } => self
+                            .endpoint
+                            .multicast(ctx.now(), order, payload)
+                            .unwrap_or_default(),
+                        Command::Leave => self.endpoint.leave(ctx.now()),
+                    };
+                    self.absorb(ctx, outputs);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, timer: TimerToken) {
+        if let Some(t) = timer_from_token(timer) {
+            let outputs = self.endpoint.handle_timer(ctx.now(), t);
+            self.absorb(ctx, outputs);
+        }
+    }
+}
+
+impl std::fmt::Debug for GroupMemberActor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GroupMemberActor")
+            .field("me", &self.endpoint.me())
+            .field("deliveries", &self.deliveries.len())
+            .field("events", &self.events.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_tokens_round_trip() {
+        for t in [
+            GroupTimer::Heartbeat,
+            GroupTimer::FailureCheck,
+            GroupTimer::NackRetry,
+            GroupTimer::JoinRetry,
+            GroupTimer::FlushTimeout(ViewId(0)),
+            GroupTimer::FlushTimeout(ViewId(42)),
+        ] {
+            assert_eq!(timer_from_token(timer_token(t)), Some(t));
+        }
+        assert_eq!(timer_from_token(TimerToken(999)), None);
+    }
+}

@@ -1,0 +1,220 @@
+//! Vector clocks for causal delivery.
+//!
+//! Causal multicast (one of the four Spread-style delivery guarantees the
+//! paper relies on) holds a message back until every causally-prior message
+//! has been delivered. A [`VectorClock`] carried on each causal message
+//! encodes that "happened-before" cut.
+
+use std::collections::BTreeMap;
+
+use vd_simnet::topology::ProcessId;
+
+/// A map from member to the number of causal messages delivered from it.
+///
+/// # Examples
+///
+/// ```
+/// use vd_group::vclock::VectorClock;
+/// use vd_simnet::topology::ProcessId;
+///
+/// let a = ProcessId(1);
+/// let mut sender = VectorClock::new();
+/// sender.increment(a);
+/// let mut receiver = VectorClock::new();
+/// assert!(!receiver.dominates(&sender));
+/// receiver.merge(&sender);
+/// assert!(receiver.dominates(&sender));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct VectorClock {
+    entries: BTreeMap<ProcessId, u64>,
+}
+
+impl VectorClock {
+    /// The zero clock.
+    pub fn new() -> Self {
+        VectorClock::default()
+    }
+
+    /// The component for `member` (zero if absent).
+    pub fn get(&self, member: ProcessId) -> u64 {
+        self.entries.get(&member).copied().unwrap_or(0)
+    }
+
+    /// Sets the component for `member`.
+    pub fn set(&mut self, member: ProcessId, value: u64) {
+        if value == 0 {
+            self.entries.remove(&member);
+        } else {
+            self.entries.insert(member, value);
+        }
+    }
+
+    /// Increments the component for `member`, returning the new value.
+    pub fn increment(&mut self, member: ProcessId) -> u64 {
+        let v = self.entries.entry(member).or_insert(0);
+        *v += 1;
+        *v
+    }
+
+    /// Component-wise maximum with `other`.
+    pub fn merge(&mut self, other: &VectorClock) {
+        for (&m, &v) in &other.entries {
+            let e = self.entries.entry(m).or_insert(0);
+            if v > *e {
+                *e = v;
+            }
+        }
+    }
+
+    /// `true` if every component of `self` is ≥ the matching component of
+    /// `other` (i.e., `self` has seen everything `other` has).
+    pub fn dominates(&self, other: &VectorClock) -> bool {
+        other.entries.iter().all(|(&m, &v)| self.get(m) >= v)
+    }
+
+    /// `true` if `self` dominates `other` and differs somewhere.
+    pub fn strictly_dominates(&self, other: &VectorClock) -> bool {
+        self.dominates(other) && self != other
+    }
+
+    /// `true` if neither clock dominates the other (concurrent events).
+    pub fn concurrent_with(&self, other: &VectorClock) -> bool {
+        !self.dominates(other) && !other.dominates(self)
+    }
+
+    /// A message stamped `msg_clock` by `sender` is causally deliverable at
+    /// a receiver whose delivered-state is `self` iff:
+    ///
+    /// 1. `msg_clock[sender]` == `self[sender] + 1` (next from that sender), and
+    /// 2. `msg_clock[m]` ≤ `self[m]` for every other member `m` (everything
+    ///    the sender had seen is already delivered here).
+    pub fn deliverable(&self, sender: ProcessId, msg_clock: &VectorClock) -> bool {
+        if msg_clock.get(sender) != self.get(sender) + 1 {
+            return false;
+        }
+        msg_clock
+            .entries
+            .iter()
+            .all(|(&m, &v)| m == sender || self.get(m) >= v)
+    }
+
+    /// Number of non-zero components (used in wire-size estimates).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if all components are zero.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(member, count)` pairs in member order.
+    pub fn iter(&self) -> impl Iterator<Item = (ProcessId, u64)> + '_ {
+        self.entries.iter().map(|(&m, &v)| (m, v))
+    }
+
+    /// Drops components for members not in `keep` (view-change pruning).
+    pub fn retain_members(&mut self, keep: &[ProcessId]) {
+        self.entries.retain(|m, _| keep.contains(m));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(n: u64) -> ProcessId {
+        ProcessId(n)
+    }
+
+    #[test]
+    fn zero_clock_dominates_itself() {
+        let a = VectorClock::new();
+        assert!(a.dominates(&a));
+        assert!(!a.strictly_dominates(&a));
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn increment_and_get() {
+        let mut c = VectorClock::new();
+        assert_eq!(c.increment(p(1)), 1);
+        assert_eq!(c.increment(p(1)), 2);
+        assert_eq!(c.get(p(1)), 2);
+        assert_eq!(c.get(p(2)), 0);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn merge_takes_componentwise_max() {
+        let mut a = VectorClock::new();
+        a.set(p(1), 3);
+        a.set(p(2), 1);
+        let mut b = VectorClock::new();
+        b.set(p(1), 2);
+        b.set(p(3), 5);
+        a.merge(&b);
+        assert_eq!(a.get(p(1)), 3);
+        assert_eq!(a.get(p(2)), 1);
+        assert_eq!(a.get(p(3)), 5);
+    }
+
+    #[test]
+    fn concurrency_detection() {
+        let mut a = VectorClock::new();
+        a.set(p(1), 1);
+        let mut b = VectorClock::new();
+        b.set(p(2), 1);
+        assert!(a.concurrent_with(&b));
+        assert!(b.concurrent_with(&a));
+        let mut c = a.clone();
+        c.merge(&b);
+        assert!(c.dominates(&a) && c.dominates(&b));
+        assert!(!c.concurrent_with(&a));
+    }
+
+    #[test]
+    fn deliverability_requires_next_in_sender_order() {
+        let receiver = VectorClock::new();
+        let sender = p(1);
+        let mut first = VectorClock::new();
+        first.set(sender, 1);
+        assert!(receiver.deliverable(sender, &first));
+        let mut second = VectorClock::new();
+        second.set(sender, 2);
+        assert!(!receiver.deliverable(sender, &second));
+    }
+
+    #[test]
+    fn deliverability_requires_causal_past() {
+        // msg from p2 that causally depends on p1's first message.
+        let mut msg = VectorClock::new();
+        msg.set(p(2), 1);
+        msg.set(p(1), 1);
+        let fresh = VectorClock::new();
+        assert!(!fresh.deliverable(p(2), &msg));
+        let mut seen_p1 = VectorClock::new();
+        seen_p1.set(p(1), 1);
+        assert!(seen_p1.deliverable(p(2), &msg));
+    }
+
+    #[test]
+    fn set_zero_removes_entry() {
+        let mut c = VectorClock::new();
+        c.set(p(1), 4);
+        c.set(p(1), 0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn retain_members_prunes_departed() {
+        let mut c = VectorClock::new();
+        c.set(p(1), 1);
+        c.set(p(2), 2);
+        c.set(p(3), 3);
+        c.retain_members(&[p(1), p(3)]);
+        assert_eq!(c.get(p(2)), 0);
+        assert_eq!(c.len(), 2);
+    }
+}

@@ -1,0 +1,168 @@
+//! Group views: the agreed membership at a point in time.
+//!
+//! A [`View`] is the set of members all survivors agree on. View changes are
+//! delivered to the application *in a consistent total order with respect to
+//! messages* — the property the paper's replication-style switch protocol
+//! (Fig. 5) depends on to survive the crash of any replica mid-switch.
+
+use std::fmt;
+
+use vd_simnet::topology::ProcessId;
+
+/// Monotonically-increasing view identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ViewId(pub u64);
+
+impl ViewId {
+    /// The successor view id.
+    pub fn next(self) -> ViewId {
+        ViewId(self.0 + 1)
+    }
+}
+
+impl fmt::Display for ViewId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "view{}", self.0)
+    }
+}
+
+/// An agreed membership.
+///
+/// Members are kept sorted; the *coordinator* (lowest member id) doubles as
+/// the sequencer for agreed-order messages and as the leader of the flush
+/// protocol.
+///
+/// # Examples
+///
+/// ```
+/// use vd_group::view::{View, ViewId};
+/// use vd_simnet::topology::ProcessId;
+///
+/// let view = View::new(ViewId(1), vec![ProcessId(3), ProcessId(1)]);
+/// assert_eq!(view.coordinator(), Some(ProcessId(1)));
+/// assert!(view.contains(ProcessId(3)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct View {
+    id: ViewId,
+    members: Vec<ProcessId>,
+}
+
+impl View {
+    /// A view with the given id and members (deduplicated, sorted).
+    pub fn new(id: ViewId, mut members: Vec<ProcessId>) -> Self {
+        members.sort_unstable();
+        members.dedup();
+        View { id, members }
+    }
+
+    /// The view id.
+    pub fn id(&self) -> ViewId {
+        self.id
+    }
+
+    /// The sorted member list.
+    pub fn members(&self) -> &[ProcessId] {
+        &self.members
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` for the (degenerate) empty view.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Whether `member` belongs to this view.
+    pub fn contains(&self, member: ProcessId) -> bool {
+        self.members.binary_search(&member).is_ok()
+    }
+
+    /// The lowest-id member: coordinator, flush leader and agreed-order
+    /// sequencer for this view.
+    pub fn coordinator(&self) -> Option<ProcessId> {
+        self.members.first().copied()
+    }
+
+    /// The members of `self` missing from `other` (used to report departures).
+    pub fn members_not_in(&self, other: &View) -> Vec<ProcessId> {
+        self.members
+            .iter()
+            .copied()
+            .filter(|&m| !other.contains(m))
+            .collect()
+    }
+
+    /// A successor view with `removed` members dropped and `added` included.
+    pub fn successor(&self, removed: &[ProcessId], added: &[ProcessId]) -> View {
+        let mut members: Vec<ProcessId> = self
+            .members
+            .iter()
+            .copied()
+            .filter(|m| !removed.contains(m))
+            .collect();
+        members.extend_from_slice(added);
+        View::new(self.id.next(), members)
+    }
+}
+
+impl fmt::Display for View {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{{", self.id)?;
+        for (i, m) in self.members.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{m}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(n: u64) -> ProcessId {
+        ProcessId(n)
+    }
+
+    #[test]
+    fn members_are_sorted_and_deduped() {
+        let v = View::new(ViewId(0), vec![p(3), p(1), p(3), p(2)]);
+        assert_eq!(v.members(), &[p(1), p(2), p(3)]);
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn coordinator_is_lowest_id() {
+        let v = View::new(ViewId(0), vec![p(9), p(4), p(7)]);
+        assert_eq!(v.coordinator(), Some(p(4)));
+        assert_eq!(View::new(ViewId(0), vec![]).coordinator(), None);
+    }
+
+    #[test]
+    fn successor_applies_deltas_and_bumps_id() {
+        let v = View::new(ViewId(5), vec![p(1), p(2), p(3)]);
+        let next = v.successor(&[p(2)], &[p(4)]);
+        assert_eq!(next.id(), ViewId(6));
+        assert_eq!(next.members(), &[p(1), p(3), p(4)]);
+    }
+
+    #[test]
+    fn members_not_in_reports_departures() {
+        let old = View::new(ViewId(1), vec![p(1), p(2), p(3)]);
+        let new = View::new(ViewId(2), vec![p(1), p(3)]);
+        assert_eq!(old.members_not_in(&new), vec![p(2)]);
+        assert!(new.members_not_in(&old).is_empty());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let v = View::new(ViewId(2), vec![p(1), p(2)]);
+        assert_eq!(v.to_string(), "view2{proc1,proc2}");
+    }
+}

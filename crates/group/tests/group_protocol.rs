@@ -1,0 +1,417 @@
+//! End-to-end tests of the group-communication protocol running inside the
+//! deterministic simulator: ordering guarantees, reliability under loss,
+//! virtual synchrony across crashes, joins and graceful leaves.
+
+use bytes::Bytes;
+
+use vd_group::prelude::*;
+use vd_simnet::prelude::*;
+
+const GROUP: GroupId = GroupId(7);
+
+/// Spawns `n` group members (one per node) bootstrapped into a common view.
+/// Process ids are assigned sequentially from zero by the world.
+fn spawn_group(world: &mut World, n: u32, config: GroupConfig) -> Vec<ProcessId> {
+    let members: Vec<ProcessId> = (0..n as u64).map(ProcessId).collect();
+    let mut pids = Vec::new();
+    for i in 0..n {
+        let endpoint = Endpoint::bootstrap(
+            ProcessId(i as u64),
+            GROUP,
+            config,
+            members.clone(),
+        );
+        let pid = world.spawn(NodeId(i), Box::new(GroupMemberActor::new(endpoint)));
+        assert_eq!(pid, ProcessId(i as u64), "sequential pid assumption");
+        pids.push(pid);
+    }
+    pids
+}
+
+fn lan_topology(n: u32) -> Topology {
+    let mut topo = Topology::full_mesh(n);
+    topo.set_default_link(LinkConfig::with_latency(LatencyModel::uniform(
+        SimDuration::from_micros(50),
+        SimDuration::from_micros(10),
+    )));
+    topo
+}
+
+fn multicast(world: &mut World, member: ProcessId, order: DeliveryOrder, payload: &[u8]) {
+    world.inject(
+        member,
+        vd_group::sim::Command::Multicast {
+            order,
+            payload: Bytes::copy_from_slice(payload),
+        },
+    );
+}
+
+fn deliveries_of(world: &World, pid: ProcessId) -> Vec<(ProcessId, Vec<u8>)> {
+    world
+        .actor_ref::<GroupMemberActor>(pid)
+        .expect("member exists")
+        .deliveries
+        .iter()
+        .map(|d| (d.sender, d.payload.to_vec()))
+        .collect()
+}
+
+#[test]
+fn fifo_messages_deliver_in_sender_order_everywhere() {
+    let mut world = World::new(lan_topology(3), 1);
+    let pids = spawn_group(&mut world, 3, GroupConfig::default());
+    world.run_for(SimDuration::from_millis(5));
+    for i in 0..50u32 {
+        multicast(&mut world, pids[0], DeliveryOrder::Fifo, &i.to_be_bytes());
+        world.run_for(SimDuration::from_micros(200));
+    }
+    world.run_for(SimDuration::from_millis(50));
+    for &pid in &pids {
+        let got: Vec<Vec<u8>> = deliveries_of(&world, pid)
+            .into_iter()
+            .map(|(_, p)| p)
+            .collect();
+        let want: Vec<Vec<u8>> = (0..50u32).map(|i| i.to_be_bytes().to_vec()).collect();
+        assert_eq!(got, want, "member {pid} saw out-of-order fifo stream");
+    }
+}
+
+#[test]
+fn agreed_messages_deliver_in_identical_total_order() {
+    let mut world = World::new(lan_topology(3), 2);
+    let pids = spawn_group(&mut world, 3, GroupConfig::default());
+    world.run_for(SimDuration::from_millis(5));
+    // All three members multicast concurrently.
+    for round in 0..20u32 {
+        for (m, &pid) in pids.iter().enumerate() {
+            let tag = (m as u32) << 16 | round;
+            multicast(&mut world, pid, DeliveryOrder::Agreed, &tag.to_be_bytes());
+        }
+        world.run_for(SimDuration::from_micros(150));
+    }
+    world.run_for(SimDuration::from_millis(100));
+    let reference = deliveries_of(&world, pids[0]);
+    assert_eq!(reference.len(), 60, "all 60 agreed messages delivered");
+    for &pid in &pids[1..] {
+        assert_eq!(
+            deliveries_of(&world, pid),
+            reference,
+            "member {pid} disagreed on the total order"
+        );
+    }
+    // Global sequence numbers are contiguous from 1.
+    let globals: Vec<u64> = world
+        .actor_ref::<GroupMemberActor>(pids[0])
+        .unwrap()
+        .deliveries
+        .iter()
+        .map(|d| d.global_seq.expect("agreed messages carry a global seq"))
+        .collect();
+    assert_eq!(globals, (1..=60).collect::<Vec<u64>>());
+}
+
+#[test]
+fn causal_precedence_is_respected_despite_slow_links() {
+    let mut topo = lan_topology(3);
+    // Make the link from node 0 to node 2 very slow, so A's message would
+    // arrive at C long after B's causally-later message without the holdback.
+    topo.set_link(
+        NodeId(0),
+        NodeId(2),
+        LinkConfig::with_latency(LatencyModel::constant(SimDuration::from_millis(3))),
+    );
+    let mut world = World::new(topo, 3);
+    let pids = spawn_group(&mut world, 3, GroupConfig::default());
+    world.run_for(SimDuration::from_millis(5));
+
+    multicast(&mut world, pids[0], DeliveryOrder::Causal, b"cause");
+    // Wait until B has delivered "cause", then B replies.
+    world.run_for(SimDuration::from_millis(1));
+    assert!(
+        deliveries_of(&world, pids[1]).iter().any(|(_, p)| p == b"cause"),
+        "B should have the first message"
+    );
+    multicast(&mut world, pids[1], DeliveryOrder::Causal, b"effect");
+    world.run_for(SimDuration::from_millis(20));
+
+    for &pid in &pids {
+        let order: Vec<Vec<u8>> = deliveries_of(&world, pid)
+            .into_iter()
+            .map(|(_, p)| p)
+            .collect();
+        let cause = order.iter().position(|p| p == b"cause").expect("cause delivered");
+        let effect = order.iter().position(|p| p == b"effect").expect("effect delivered");
+        assert!(
+            cause < effect,
+            "member {pid} delivered effect before its cause"
+        );
+    }
+}
+
+#[test]
+fn reliable_classes_survive_heavy_message_loss() {
+    let mut world = World::new(lan_topology(3), 4);
+    let pids = spawn_group(&mut world, 3, GroupConfig::default());
+    world.run_for(SimDuration::from_millis(5));
+    world.set_drop_probability(0.2);
+    for i in 0..30u32 {
+        multicast(&mut world, pids[0], DeliveryOrder::Agreed, &i.to_be_bytes());
+        multicast(&mut world, pids[1], DeliveryOrder::Fifo, &(1000 + i).to_be_bytes());
+        world.run_for(SimDuration::from_micros(300));
+    }
+    // Stop losing messages and give retransmission time to converge.
+    world.set_drop_probability(0.0);
+    world.run_for(SimDuration::from_millis(500));
+    for &pid in &pids {
+        let got = deliveries_of(&world, pid);
+        assert_eq!(got.len(), 60, "member {pid} lost reliable messages");
+    }
+    // Agreed order still agrees.
+    let agreed = |pid| -> Vec<Vec<u8>> {
+        world
+            .actor_ref::<GroupMemberActor>(pid)
+            .unwrap()
+            .deliveries
+            .iter()
+            .filter(|d| d.order == DeliveryOrder::Agreed)
+            .map(|d| d.payload.to_vec())
+            .collect()
+    };
+    assert_eq!(agreed(pids[0]), agreed(pids[1]));
+    assert_eq!(agreed(pids[0]), agreed(pids[2]));
+}
+
+#[test]
+fn best_effort_messages_may_be_lost_but_never_retransmitted() {
+    let mut world = World::new(lan_topology(2), 5);
+    let pids = spawn_group(&mut world, 2, GroupConfig::default());
+    world.run_for(SimDuration::from_millis(5));
+    world.set_drop_probability(1.0);
+    multicast(&mut world, pids[0], DeliveryOrder::BestEffort, b"gone");
+    world.run_for(SimDuration::from_millis(100));
+    world.set_drop_probability(0.0);
+    world.run_for(SimDuration::from_millis(200));
+    // The sender delivered its own copy; the peer never got one and no
+    // retransmission machinery fired.
+    assert_eq!(deliveries_of(&world, pids[0]).len(), 1);
+    assert_eq!(deliveries_of(&world, pids[1]).len(), 0);
+}
+
+#[test]
+fn crash_triggers_view_change_and_service_continues() {
+    let mut world = World::new(lan_topology(3), 6);
+    let pids = spawn_group(&mut world, 3, GroupConfig::default());
+    world.run_for(SimDuration::from_millis(5));
+    multicast(&mut world, pids[0], DeliveryOrder::Agreed, b"before");
+    world.run_for(SimDuration::from_millis(5));
+
+    // Crash a non-coordinator member.
+    world.crash_process_at(pids[2], world.now());
+    world.run_for(SimDuration::from_millis(300));
+
+    for &pid in &pids[..2] {
+        let views = world
+            .actor_ref::<GroupMemberActor>(pid)
+            .unwrap()
+            .installed_views();
+        let last = views.last().expect("a new view installed");
+        assert_eq!(last.members(), &[pids[0], pids[1]], "member {pid}");
+    }
+    // Traffic still flows in the new view.
+    multicast(&mut world, pids[1], DeliveryOrder::Agreed, b"after");
+    world.run_for(SimDuration::from_millis(20));
+    for &pid in &pids[..2] {
+        assert!(
+            deliveries_of(&world, pid).iter().any(|(_, p)| p == b"after"),
+            "member {pid} missed post-crash traffic"
+        );
+    }
+}
+
+#[test]
+fn sequencer_crash_preserves_and_continues_the_total_order() {
+    let mut world = World::new(lan_topology(4), 7);
+    let pids = spawn_group(&mut world, 4, GroupConfig::default());
+    world.run_for(SimDuration::from_millis(5));
+    for i in 0..10u32 {
+        multicast(&mut world, pids[1], DeliveryOrder::Agreed, &i.to_be_bytes());
+        world.run_for(SimDuration::from_micros(200));
+    }
+    // pids[0] is the coordinator and thus the sequencer: kill it mid-stream.
+    world.crash_process_at(pids[0], world.now());
+    for i in 10..20u32 {
+        multicast(&mut world, pids[1], DeliveryOrder::Agreed, &i.to_be_bytes());
+        world.run_for(SimDuration::from_micros(200));
+    }
+    world.run_for(SimDuration::from_millis(500));
+
+    // Survivors installed a view without the sequencer and agree on one
+    // total order containing all 20 messages.
+    let reference = deliveries_of(&world, pids[1]);
+    assert_eq!(reference.len(), 20, "agreed messages lost across failover");
+    for &pid in &pids[2..] {
+        assert_eq!(deliveries_of(&world, pid), reference, "member {pid}");
+    }
+    for &pid in &pids[1..] {
+        let views = world
+            .actor_ref::<GroupMemberActor>(pid)
+            .unwrap()
+            .installed_views();
+        assert!(
+            views.last().is_some_and(|v| !v.contains(pids[0])),
+            "member {pid} still believes the sequencer is alive"
+        );
+    }
+}
+
+#[test]
+fn virtual_synchrony_survivors_deliver_identical_prefix_before_view_change() {
+    let mut world = World::new(lan_topology(3), 8);
+    let pids = spawn_group(&mut world, 3, GroupConfig::default());
+    world.run_for(SimDuration::from_millis(5));
+    // Burst of traffic, then a crash in the middle of it.
+    for i in 0..15u32 {
+        multicast(&mut world, pids[2], DeliveryOrder::Agreed, &i.to_be_bytes());
+        if i == 7 {
+            world.crash_process_at(pids[2], world.now() + SimDuration::from_micros(50));
+        }
+        world.run_for(SimDuration::from_micros(100));
+    }
+    world.run_for(SimDuration::from_millis(500));
+
+    // Each survivor's deliveries before its ViewInstalled event must match
+    // exactly (virtual synchrony), and both survivors must have installed
+    // the same view.
+    let prefix = |pid: ProcessId| -> (Vec<Vec<u8>>, Option<View>) {
+        let actor = world.actor_ref::<GroupMemberActor>(pid).unwrap();
+        let mut delivered = Vec::new();
+        for event in &actor.events {
+            match event {
+                GroupEvent::Delivered(d) => delivered.push(d.payload.to_vec()),
+                GroupEvent::ViewInstalled { view, .. } => {
+                    return (delivered, Some(view.clone()))
+                }
+                _ => {}
+            }
+        }
+        (delivered, None)
+    };
+    let (p0, v0) = prefix(pids[0]);
+    let (p1, v1) = prefix(pids[1]);
+    assert_eq!(p0, p1, "survivors disagree on the pre-view-change prefix");
+    let v0 = v0.expect("survivor 0 installed a view");
+    let v1 = v1.expect("survivor 1 installed a view");
+    assert_eq!(v0, v1);
+    assert_eq!(v0.members(), &[pids[0], pids[1]]);
+}
+
+#[test]
+fn join_installs_view_and_newcomer_receives_subsequent_traffic() {
+    let mut world = World::new(lan_topology(3), 9);
+    // Bootstrap only two members; node 2 joins later.
+    let members: Vec<ProcessId> = vec![ProcessId(0), ProcessId(1)];
+    for i in 0..2u32 {
+        let ep = Endpoint::bootstrap(
+            ProcessId(i as u64),
+            GROUP,
+            GroupConfig::default(),
+            members.clone(),
+        );
+        world.spawn(NodeId(i), Box::new(GroupMemberActor::new(ep)));
+    }
+    world.run_for(SimDuration::from_millis(5));
+    multicast(&mut world, ProcessId(0), DeliveryOrder::Agreed, b"old-news");
+    world.run_for(SimDuration::from_millis(5));
+
+    let joiner_ep = Endpoint::joining(
+        ProcessId(2),
+        GROUP,
+        GroupConfig::default(),
+        vec![ProcessId(0)],
+    );
+    let joiner = world.spawn(NodeId(2), Box::new(GroupMemberActor::new(joiner_ep)));
+    assert_eq!(joiner, ProcessId(2));
+    world.run_for(SimDuration::from_millis(300));
+
+    // Everyone (including the joiner) sits in a 3-member view.
+    for pid in [ProcessId(0), ProcessId(1), ProcessId(2)] {
+        let actor = world.actor_ref::<GroupMemberActor>(pid).unwrap();
+        assert_eq!(
+            actor.endpoint().view().members(),
+            &[ProcessId(0), ProcessId(1), ProcessId(2)],
+            "member {pid}"
+        );
+    }
+    // The joiner skips history but receives new traffic.
+    multicast(&mut world, ProcessId(1), DeliveryOrder::Agreed, b"fresh");
+    world.run_for(SimDuration::from_millis(20));
+    let joiner_msgs = deliveries_of(&world, joiner);
+    assert!(joiner_msgs.iter().all(|(_, p)| p != b"old-news"));
+    assert!(joiner_msgs.iter().any(|(_, p)| p == b"fresh"));
+}
+
+#[test]
+fn graceful_leave_evicts_self_and_shrinks_view() {
+    let mut world = World::new(lan_topology(3), 10);
+    let pids = spawn_group(&mut world, 3, GroupConfig::default());
+    world.run_for(SimDuration::from_millis(5));
+    world.inject(pids[2], vd_group::sim::Command::Leave);
+    world.run_for(SimDuration::from_millis(300));
+
+    let leaver = world.actor_ref::<GroupMemberActor>(pids[2]).unwrap();
+    assert!(
+        leaver.events.iter().any(|e| matches!(e, GroupEvent::SelfEvicted)),
+        "leaver never saw SelfEvicted"
+    );
+    for &pid in &pids[..2] {
+        let actor = world.actor_ref::<GroupMemberActor>(pid).unwrap();
+        assert_eq!(actor.endpoint().view().members(), &[pids[0], pids[1]]);
+    }
+}
+
+#[test]
+fn same_seed_produces_identical_delivery_transcripts() {
+    let run = |seed: u64| -> Vec<Vec<(ProcessId, Vec<u8>)>> {
+        let mut world = World::new(lan_topology(3), seed);
+        let pids = spawn_group(&mut world, 3, GroupConfig::default());
+        world.run_for(SimDuration::from_millis(5));
+        world.set_drop_probability(0.1);
+        for i in 0..25u32 {
+            let sender = pids[(i % 3) as usize];
+            multicast(&mut world, sender, DeliveryOrder::Agreed, &i.to_be_bytes());
+            world.run_for(SimDuration::from_micros(250));
+        }
+        world.set_drop_probability(0.0);
+        world.run_for(SimDuration::from_millis(400));
+        pids.iter().map(|&p| deliveries_of(&world, p)).collect()
+    };
+    assert_eq!(run(42), run(42), "same seed must replay identically");
+}
+
+#[test]
+fn coordinator_crash_during_flush_is_survived() {
+    let mut world = World::new(lan_topology(4), 11);
+    let pids = spawn_group(&mut world, 4, GroupConfig::default());
+    world.run_for(SimDuration::from_millis(5));
+    // Crash a member to trigger a flush round led by pids[0]…
+    world.crash_process_at(pids[3], world.now());
+    // …and then crash the leader shortly after the round starts (the FD
+    // needs ~failure_timeout to notice the first crash).
+    world.crash_process_at(pids[0], world.now() + SimDuration::from_millis(60));
+    world.run_for(SimDuration::from_millis(800));
+
+    for &pid in &pids[1..3] {
+        let actor = world.actor_ref::<GroupMemberActor>(pid).unwrap();
+        assert_eq!(
+            actor.endpoint().view().members(),
+            &[pids[1], pids[2]],
+            "member {pid} did not converge after leader crash mid-flush"
+        );
+        assert!(!actor.endpoint().is_blocked(), "member {pid} stuck blocked");
+    }
+    // And the group still works.
+    multicast(&mut world, pids[1], DeliveryOrder::Agreed, b"alive");
+    world.run_for(SimDuration::from_millis(20));
+    assert!(deliveries_of(&world, pids[2]).iter().any(|(_, p)| p == b"alive"));
+}

@@ -1,0 +1,292 @@
+//! Property tests for the group-communication toolkit: vector-clock laws,
+//! and protocol-level invariants (agreement, integrity, gap-freedom) over
+//! randomized schedules, loss rates and crash times.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use vd_group::prelude::*;
+use vd_group::vclock::VectorClock;
+use vd_simnet::prelude::*;
+
+fn clock(entries: &[(u64, u64)]) -> VectorClock {
+    let mut c = VectorClock::new();
+    for &(m, v) in entries {
+        c.set(ProcessId(m % 8), v % 1000);
+    }
+    c
+}
+
+proptest! {
+    /// merge is commutative, associative and idempotent (a join
+    /// semilattice), and the result dominates both inputs.
+    #[test]
+    fn vclock_merge_is_a_join(
+        a in prop::collection::vec((any::<u64>(), any::<u64>()), 0..8),
+        b in prop::collection::vec((any::<u64>(), any::<u64>()), 0..8),
+        c in prop::collection::vec((any::<u64>(), any::<u64>()), 0..8),
+    ) {
+        let (a, b, c) = (clock(&a), clock(&b), clock(&c));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba, "commutative");
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc, "associative");
+        let mut aa = a.clone();
+        aa.merge(&a);
+        prop_assert_eq!(&aa, &a, "idempotent");
+        prop_assert!(ab.dominates(&a) && ab.dominates(&b), "join dominates");
+    }
+
+    /// dominates is a partial order: reflexive, antisymmetric, transitive.
+    #[test]
+    fn vclock_domination_is_a_partial_order(
+        a in prop::collection::vec((any::<u64>(), any::<u64>()), 0..8),
+        b in prop::collection::vec((any::<u64>(), any::<u64>()), 0..8),
+    ) {
+        let (a, b) = (clock(&a), clock(&b));
+        prop_assert!(a.dominates(&a));
+        if a.dominates(&b) && b.dominates(&a) {
+            prop_assert_eq!(&a, &b);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        // ab ≥ a and a ≥ ... transitivity via the join.
+        prop_assert!(ab.dominates(&a));
+    }
+}
+
+/// Runs a 3-member group under the given loss probability; `crash_at_ms`
+/// optionally kills one member mid-run. Returns each survivor's agreed-
+/// order transcript.
+fn run_group(
+    seed: u64,
+    loss: f64,
+    crash_at_ms: Option<u64>,
+    messages: u32,
+) -> Vec<Vec<(ProcessId, Vec<u8>)>> {
+    let mut topo = Topology::full_mesh(3);
+    topo.set_default_link(LinkConfig::with_latency(LatencyModel::uniform(
+        SimDuration::from_micros(50),
+        SimDuration::from_micros(30),
+    )));
+    let mut world = World::new(topo, seed);
+    let members: Vec<ProcessId> = (0..3u64).map(ProcessId).collect();
+    for i in 0..3u32 {
+        let ep = Endpoint::bootstrap(
+            ProcessId(i as u64),
+            GroupId(0),
+            GroupConfig::default(),
+            members.clone(),
+        );
+        world.spawn(NodeId(i), Box::new(GroupMemberActor::new(ep)));
+    }
+    world.run_for(SimDuration::from_millis(5));
+    world.set_drop_probability(loss);
+    if let Some(ms) = crash_at_ms {
+        world.crash_process_at(ProcessId(2), SimTime::from_millis(5 + ms));
+    }
+    for i in 0..messages {
+        let sender = ProcessId((i % 3) as u64);
+        world.inject(
+            sender,
+            vd_group::sim::Command::Multicast {
+                order: DeliveryOrder::Agreed,
+                payload: Bytes::copy_from_slice(&i.to_be_bytes()),
+            },
+        );
+        world.run_for(SimDuration::from_micros(400));
+    }
+    world.set_drop_probability(0.0);
+    world.run_for(SimDuration::from_secs(2));
+    let mut transcripts = Vec::new();
+    for i in 0..3u64 {
+        let pid = ProcessId(i);
+        if !world.is_alive(pid) {
+            continue;
+        }
+        let actor = world.actor_ref::<GroupMemberActor>(pid).unwrap();
+        transcripts.push(
+            actor
+                .deliveries
+                .iter()
+                .filter(|d| d.order == DeliveryOrder::Agreed)
+                .map(|d| (d.sender, d.payload.to_vec()))
+                .collect(),
+        );
+    }
+    transcripts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Agreement: under arbitrary loss rates, all members deliver the same
+    /// agreed-order transcript, with nothing lost or duplicated.
+    #[test]
+    fn agreed_order_agreement_under_loss(
+        seed in any::<u64>(),
+        loss in 0.0f64..0.3,
+    ) {
+        let transcripts = run_group(seed, loss, None, 24);
+        prop_assert_eq!(transcripts.len(), 3);
+        for t in &transcripts[1..] {
+            prop_assert_eq!(t, &transcripts[0], "members disagree");
+        }
+        // Integrity + no loss: exactly the 24 injected messages, once each.
+        prop_assert_eq!(transcripts[0].len(), 24);
+        let mut seen: Vec<&Vec<u8>> = transcripts[0].iter().map(|(_, p)| p).collect();
+        seen.sort();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), 24, "duplicate or missing payloads");
+    }
+
+    /// Agreement survives a member crash at an arbitrary time: survivors
+    /// deliver identical transcripts (messages from the dead member may be
+    /// truncated, but identically everywhere).
+    #[test]
+    fn agreed_order_agreement_across_crash(
+        seed in any::<u64>(),
+        crash_ms in 0u64..12,
+    ) {
+        let transcripts = run_group(seed, 0.02, Some(crash_ms), 24);
+        prop_assert_eq!(transcripts.len(), 2, "two survivors");
+        prop_assert_eq!(&transcripts[0], &transcripts[1], "survivors disagree");
+        // Survivors' own messages are never lost.
+        for sender in [ProcessId(0), ProcessId(1)] {
+            let from_sender = transcripts[0]
+                .iter()
+                .filter(|(s, _)| *s == sender)
+                .count();
+            prop_assert_eq!(from_sender, 8, "lost messages from {}", sender);
+        }
+    }
+
+    /// FIFO per sender holds within the agreed order: each sender's
+    /// payloads appear in the order it sent them.
+    #[test]
+    fn agreed_order_respects_per_sender_fifo(seed in any::<u64>()) {
+        let transcripts = run_group(seed, 0.1, None, 24);
+        for sender in (0..3u64).map(ProcessId) {
+            let payloads: Vec<u32> = transcripts[0]
+                .iter()
+                .filter(|(s, _)| *s == sender)
+                .map(|(_, p)| u32::from_be_bytes([p[0], p[1], p[2], p[3]]))
+                .collect();
+            let mut sorted = payloads.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(payloads, sorted, "sender {} out of order", sender);
+        }
+    }
+}
+
+use vd_group::flush::{compute_cut_for_test, merge_assignments_for_test};
+use vd_group::message::{Assignment, FlushHoldings};
+use std::collections::BTreeMap;
+
+fn holdings_strategy() -> impl Strategy<Value = FlushHoldings> {
+    (
+        prop::collection::vec((0u64..4, 0u64..30), 0..4),
+        prop::collection::vec((0u64..4, prop::collection::vec(1u64..40, 0..6)), 0..3),
+    )
+        .prop_map(|(contig, extras)| FlushHoldings {
+            contiguous: contig
+                .into_iter()
+                .map(|(s, c)| (ProcessId(s), c))
+                .collect(),
+            extras: extras
+                .into_iter()
+                .map(|(s, v)| (ProcessId(s), v))
+                .collect(),
+            assignments: Vec::new(),
+        })
+}
+
+proptest! {
+    /// The flush cut is sound: for every sender it never exceeds the union
+    /// of held sequence numbers, is itself fully covered by that union
+    /// (every seq ≤ cut is held by someone), and never regresses below any
+    /// member's contiguous prefix.
+    #[test]
+    fn flush_cut_is_the_max_covered_prefix(
+        infos in prop::collection::vec(holdings_strategy(), 1..5),
+    ) {
+        let infos: BTreeMap<ProcessId, FlushHoldings> = infos
+            .into_iter()
+            .enumerate()
+            .map(|(i, h)| (ProcessId(100 + i as u64), h))
+            .collect();
+        let cut = compute_cut_for_test(&infos);
+        // Build the union of held seqs per sender.
+        let mut held: BTreeMap<ProcessId, std::collections::BTreeSet<u64>> = BTreeMap::new();
+        for h in infos.values() {
+            for &(s, c) in &h.contiguous {
+                held.entry(s).or_default().extend(1..=c);
+            }
+            for (s, v) in &h.extras {
+                held.entry(*s).or_default().extend(v.iter().copied());
+            }
+        }
+        for (&sender, &limit) in &cut {
+            let set = held.get(&sender).cloned().unwrap_or_default();
+            // Everything up to the cut is recoverable from someone.
+            for seq in 1..=limit {
+                prop_assert!(set.contains(&seq), "{sender} seq {seq} ≤ cut {limit} unheld");
+            }
+            // And the cut is maximal: the next seq is held by nobody.
+            prop_assert!(!set.contains(&(limit + 1)), "{sender} cut {limit} not maximal");
+        }
+        // No member's contiguous prefix exceeds the cut.
+        for h in infos.values() {
+            for &(s, c) in &h.contiguous {
+                prop_assert!(cut.get(&s).copied().unwrap_or(0) >= c);
+            }
+        }
+    }
+
+    /// Merging assignment reports is idempotent and order-independent
+    /// (single-sequencer assignments can never conflict).
+    #[test]
+    fn assignment_merge_is_order_independent(
+        assignments in prop::collection::vec((1u64..50, 0u64..4, 1u64..30), 0..20),
+    ) {
+        // Deduplicate globals (a sequencer assigns each global once).
+        let mut seen = std::collections::BTreeSet::new();
+        let assignments: Vec<Assignment> = assignments
+            .into_iter()
+            .filter(|(g, _, _)| seen.insert(*g))
+            .map(|(global_seq, sender, seq)| Assignment {
+                global_seq,
+                sender: ProcessId(sender),
+                seq,
+            })
+            .collect();
+        // Split across two reports in both orders.
+        let mid = assignments.len() / 2;
+        let report = |a: &[Assignment], b: &[Assignment]| {
+            let mut infos = BTreeMap::new();
+            infos.insert(ProcessId(1), FlushHoldings {
+                contiguous: vec![],
+                extras: vec![],
+                assignments: a.to_vec(),
+            });
+            infos.insert(ProcessId(2), FlushHoldings {
+                contiguous: vec![],
+                extras: vec![],
+                assignments: b.to_vec(),
+            });
+            merge_assignments_for_test(&infos)
+        };
+        let forward = report(&assignments[..mid], &assignments[mid..]);
+        let backward = report(&assignments[mid..], &assignments[..mid]);
+        prop_assert_eq!(&forward, &backward);
+        prop_assert_eq!(forward.len(), assignments.len());
+    }
+}

@@ -1,0 +1,264 @@
+//! Client-side request tracking: ids, reply matching, duplicate
+//! suppression and timeouts.
+//!
+//! Under active replication every server replica answers, so the client
+//! side must accept the *first* response and discard duplicates — exactly
+//! the behavior the paper describes for non-Byzantine active replication.
+//! [`RequestTracker`] implements that bookkeeping sans-IO; constructing it
+//! with [`RequestTracker::with_majority`] enables the Byzantine-tolerant
+//! majority-voting variant the paper describes.
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+use vd_simnet::time::SimTime;
+
+use crate::object::ObjectKey;
+use crate::wire::{Reply, Request};
+
+/// How a client decides which replica response to accept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResponseSelection {
+    /// Accept the first reply; drop later duplicates (trusted replicas).
+    First,
+    /// Accept a value once `quorum` identical replies arrive (tolerates
+    /// malicious replicas; the paper's majority-voting option).
+    Majority {
+        /// Number of identical replies required.
+        quorum: usize,
+    },
+}
+
+/// Outcome of feeding a reply to a tracker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplyOutcome {
+    /// This reply completes the request; hand it to the application.
+    Accepted(Reply),
+    /// A duplicate or vote for an already-completed request; discard.
+    Duplicate,
+    /// A vote was recorded but the quorum is not yet reached.
+    Pending,
+    /// The reply matches no outstanding request (stale or corrupt).
+    Unmatched,
+}
+
+/// One outstanding invocation.
+#[derive(Debug, Clone)]
+struct Outstanding {
+    sent_at: SimTime,
+    votes: BTreeMap<Vec<u8>, usize>,
+}
+
+/// Allocates request ids and matches replies, first-response style.
+///
+/// # Examples
+///
+/// ```
+/// use bytes::Bytes;
+/// use vd_orb::client::{ReplyOutcome, RequestTracker};
+/// use vd_orb::object::ObjectKey;
+/// use vd_orb::wire::{Reply, ReplyStatus};
+/// use vd_simnet::time::SimTime;
+///
+/// let mut tracker = RequestTracker::new();
+/// let req = tracker.make_request(
+///     SimTime::ZERO,
+///     ObjectKey::new("counter"),
+///     "get",
+///     Bytes::new(),
+/// );
+/// let reply = Reply { request_id: req.request_id, status: ReplyStatus::NoException, body: Bytes::new() };
+/// assert!(matches!(tracker.on_reply(reply.clone()), ReplyOutcome::Accepted(_)));
+/// assert!(matches!(tracker.on_reply(reply), ReplyOutcome::Duplicate));
+/// ```
+#[derive(Debug, Default)]
+pub struct RequestTracker {
+    next_id: u64,
+    outstanding: BTreeMap<u64, Outstanding>,
+    completed_below: u64,
+    selection_quorum: Option<usize>,
+}
+
+impl RequestTracker {
+    /// A tracker using first-response selection.
+    pub fn new() -> Self {
+        RequestTracker::default()
+    }
+
+    /// A tracker using majority voting with the given quorum.
+    pub fn with_majority(quorum: usize) -> Self {
+        RequestTracker {
+            selection_quorum: Some(quorum.max(1)),
+            ..RequestTracker::default()
+        }
+    }
+
+    /// Builds the next request frame, recording it as outstanding.
+    pub fn make_request(
+        &mut self,
+        now: SimTime,
+        object_key: ObjectKey,
+        operation: impl Into<String>,
+        args: Bytes,
+    ) -> Request {
+        self.next_id += 1;
+        self.outstanding.insert(
+            self.next_id,
+            Outstanding {
+                sent_at: now,
+                votes: BTreeMap::new(),
+            },
+        );
+        Request {
+            request_id: self.next_id,
+            object_key,
+            operation: operation.into(),
+            args,
+            response_expected: true,
+        }
+    }
+
+    /// Number of requests awaiting a reply.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// When the given outstanding request was sent, if it is still pending.
+    pub fn sent_at(&self, request_id: u64) -> Option<SimTime> {
+        self.outstanding.get(&request_id).map(|o| o.sent_at)
+    }
+
+    /// Feeds a reply; see [`ReplyOutcome`] for the verdicts.
+    pub fn on_reply(&mut self, reply: Reply) -> ReplyOutcome {
+        let id = reply.request_id;
+        let Some(entry) = self.outstanding.get_mut(&id) else {
+            return if id <= self.completed_below || id <= self.next_id {
+                ReplyOutcome::Duplicate
+            } else {
+                ReplyOutcome::Unmatched
+            };
+        };
+        match self.selection_quorum {
+            None => {
+                self.outstanding.remove(&id);
+                self.completed_below = self.completed_below.max(id);
+                ReplyOutcome::Accepted(reply)
+            }
+            Some(quorum) => {
+                let key = reply.body.to_vec();
+                let votes = entry.votes.entry(key).or_insert(0);
+                *votes += 1;
+                if *votes >= quorum {
+                    self.outstanding.remove(&id);
+                    self.completed_below = self.completed_below.max(id);
+                    ReplyOutcome::Accepted(reply)
+                } else {
+                    ReplyOutcome::Pending
+                }
+            }
+        }
+    }
+
+    /// Drops outstanding requests older than `timeout` relative to `now`,
+    /// returning their ids (the caller retries or reports failure).
+    pub fn expire(&mut self, now: SimTime, timeout: vd_simnet::time::SimDuration) -> Vec<u64> {
+        let expired: Vec<u64> = self
+            .outstanding
+            .iter()
+            .filter(|(_, o)| now.duration_since(o.sent_at) > timeout)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in &expired {
+            self.outstanding.remove(id);
+        }
+        expired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::ReplyStatus;
+    use vd_simnet::time::SimDuration;
+
+    fn reply(id: u64, body: &[u8]) -> Reply {
+        Reply {
+            request_id: id,
+            status: ReplyStatus::NoException,
+            body: Bytes::copy_from_slice(body),
+        }
+    }
+
+    fn make(tracker: &mut RequestTracker) -> Request {
+        tracker.make_request(SimTime::ZERO, ObjectKey::new("o"), "op", Bytes::new())
+    }
+
+    #[test]
+    fn ids_are_unique_and_monotonic() {
+        let mut t = RequestTracker::new();
+        let a = make(&mut t);
+        let b = make(&mut t);
+        assert!(b.request_id > a.request_id);
+        assert_eq!(t.outstanding(), 2);
+    }
+
+    #[test]
+    fn first_response_wins_duplicates_dropped() {
+        let mut t = RequestTracker::new();
+        let req = make(&mut t);
+        assert!(matches!(
+            t.on_reply(reply(req.request_id, b"a")),
+            ReplyOutcome::Accepted(_)
+        ));
+        // Duplicates from other replicas are identified as such.
+        assert_eq!(t.on_reply(reply(req.request_id, b"a")), ReplyOutcome::Duplicate);
+        assert_eq!(t.outstanding(), 0);
+    }
+
+    #[test]
+    fn majority_voting_waits_for_quorum() {
+        let mut t = RequestTracker::with_majority(2);
+        let req = make(&mut t);
+        assert_eq!(t.on_reply(reply(req.request_id, b"x")), ReplyOutcome::Pending);
+        // A different (faulty) answer does not contribute to x's quorum.
+        assert_eq!(t.on_reply(reply(req.request_id, b"y")), ReplyOutcome::Pending);
+        assert!(matches!(
+            t.on_reply(reply(req.request_id, b"x")),
+            ReplyOutcome::Accepted(_)
+        ));
+    }
+
+    #[test]
+    fn unmatched_replies_are_flagged() {
+        let mut t = RequestTracker::new();
+        assert_eq!(t.on_reply(reply(999, b"")), ReplyOutcome::Unmatched);
+    }
+
+    #[test]
+    fn expiry_removes_old_requests() {
+        let mut t = RequestTracker::new();
+        let req = make(&mut t);
+        let expired = t.expire(
+            SimTime::from_millis(100),
+            SimDuration::from_millis(50),
+        );
+        assert_eq!(expired, vec![req.request_id]);
+        assert_eq!(t.outstanding(), 0);
+        // A late reply after expiry counts as a duplicate, not unmatched.
+        assert_eq!(t.on_reply(reply(req.request_id, b"")), ReplyOutcome::Duplicate);
+    }
+
+    #[test]
+    fn sent_at_tracks_pending_requests() {
+        let mut t = RequestTracker::new();
+        let req = t.make_request(
+            SimTime::from_micros(5),
+            ObjectKey::new("o"),
+            "op",
+            Bytes::new(),
+        );
+        assert_eq!(t.sent_at(req.request_id), Some(SimTime::from_micros(5)));
+        t.on_reply(reply(req.request_id, b""));
+        assert_eq!(t.sent_at(req.request_id), None);
+    }
+}

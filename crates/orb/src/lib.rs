@@ -1,0 +1,53 @@
+//! # vd-orb — a miniature object request broker
+//!
+//! A from-scratch substitute for the TAO real-time ORB used in
+//! *"Architecting and Implementing Versatile Dependability"*. It provides
+//! the slice of CORBA the paper's replicator interposes on:
+//!
+//! * **CDR-lite marshaling** — a deterministic binary encoding ([`cdr`]),
+//! * **GIOP-lite frames** — request/reply with ids, object keys and reply
+//!   status ([`wire`]),
+//! * an **object model** — servants behind an object adapter, replicated at
+//!   process granularity ([`object`]),
+//! * **client-side bookkeeping** — request ids, first-response duplicate
+//!   suppression and majority voting ([`client`]),
+//! * **library interposition** as a typed hook point ([`interceptor`]),
+//! * simulator **endpoint actors** for the unreplicated baselines
+//!   ([`sim`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use bytes::Bytes;
+//! use vd_orb::prelude::*;
+//!
+//! // Marshal a request, ship it, unmarshal it — what the wire sees.
+//! let request = OrbMessage::Request(Request {
+//!     request_id: 1,
+//!     object_key: ObjectKey::new("counter"),
+//!     operation: "add".into(),
+//!     args: Bytes::from_static(&[5]),
+//!     response_expected: true,
+//! });
+//! let bytes = request.encode();
+//! assert_eq!(OrbMessage::decode(bytes).unwrap(), request);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cdr;
+pub mod client;
+pub mod interceptor;
+pub mod object;
+pub mod sim;
+pub mod wire;
+
+/// The most commonly used names, for glob import.
+pub mod prelude {
+    pub use crate::cdr::{Decoder, DecodeError, Encoder};
+    pub use crate::client::{ReplyOutcome, RequestTracker, ResponseSelection};
+    pub use crate::interceptor::{Interceptor, Passthrough, RecvAction, SendAction};
+    pub use crate::object::{InvokeResult, ObjectAdapter, ObjectKey, Servant, UserException};
+    pub use crate::sim::{ClientActor, DriverConfig, OrbCosts, RequestDriver, ServerActor};
+    pub use crate::wire::{OrbMessage, Reply, ReplyStatus, Request};
+}

@@ -1,0 +1,293 @@
+//! GIOP-lite: the ORB's wire format.
+//!
+//! CORBA peers exchange GIOP messages over TCP. Our miniature equivalent
+//! keeps the parts the replicator interposes on: a magic/version header, a
+//! `Request` carrying an object key, operation name and marshaled
+//! arguments, and a `Reply` carrying a status and marshaled result. The
+//! replicator forwards these frames over group communication without the
+//! application (or the "ORB") noticing.
+
+use std::fmt;
+
+use bytes::Bytes;
+use vd_simnet::actor::Payload;
+
+use crate::cdr::{Decoder, DecodeError, Encoder};
+use crate::object::ObjectKey;
+
+/// The 4-byte frame magic ("MIOP": mini inter-ORB protocol).
+pub const MAGIC: [u8; 4] = *b"MIOP";
+
+/// Wire-format version understood by this implementation.
+pub const VERSION: u8 = 1;
+
+/// Status of a reply, mirroring GIOP's reply_status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplyStatus {
+    /// The invocation succeeded; the body is the marshaled result.
+    NoException,
+    /// The servant raised an application-level exception.
+    UserException,
+    /// The ORB or a servant failed systemically (unknown object, …).
+    SystemException,
+}
+
+impl ReplyStatus {
+    fn to_tag(self) -> u8 {
+        match self {
+            ReplyStatus::NoException => 0,
+            ReplyStatus::UserException => 1,
+            ReplyStatus::SystemException => 2,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self, DecodeError> {
+        match tag {
+            0 => Ok(ReplyStatus::NoException),
+            1 => Ok(ReplyStatus::UserException),
+            2 => Ok(ReplyStatus::SystemException),
+            other => Err(DecodeError::InvalidDiscriminant {
+                what: "reply status",
+                tag: other as u64,
+            }),
+        }
+    }
+}
+
+impl fmt::Display for ReplyStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ReplyStatus::NoException => "no-exception",
+            ReplyStatus::UserException => "user-exception",
+            ReplyStatus::SystemException => "system-exception",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A client → server invocation frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Client-chosen id used to match the reply. The replicator relies on
+    /// `(client id, request id)` pairs for duplicate suppression.
+    pub request_id: u64,
+    /// The target object within the server process.
+    pub object_key: ObjectKey,
+    /// The operation (method) name.
+    pub operation: String,
+    /// CDR-encoded arguments.
+    pub args: Bytes,
+    /// `false` for oneway operations (no reply is sent).
+    pub response_expected: bool,
+}
+
+/// A server → client reply frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reply {
+    /// Echo of the request id.
+    pub request_id: u64,
+    /// Outcome of the invocation.
+    pub status: ReplyStatus,
+    /// CDR-encoded result or exception payload.
+    pub body: Bytes,
+}
+
+/// Any GIOP-lite frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OrbMessage {
+    /// An invocation.
+    Request(Request),
+    /// Its response.
+    Reply(Reply),
+}
+
+impl OrbMessage {
+    /// The request id this frame concerns.
+    pub fn request_id(&self) -> u64 {
+        match self {
+            OrbMessage::Request(r) => r.request_id,
+            OrbMessage::Reply(r) => r.request_id,
+        }
+    }
+
+    /// Encodes this frame (header included) into bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut enc = Encoder::with_capacity(64);
+        enc.put_u8(MAGIC[0]);
+        enc.put_u8(MAGIC[1]);
+        enc.put_u8(MAGIC[2]);
+        enc.put_u8(MAGIC[3]);
+        enc.put_u8(VERSION);
+        match self {
+            OrbMessage::Request(r) => {
+                enc.put_u8(0);
+                enc.put_u64(r.request_id);
+                enc.put_str(r.object_key.as_str());
+                enc.put_str(&r.operation);
+                enc.put_bytes(&r.args);
+                enc.put_bool(r.response_expected);
+            }
+            OrbMessage::Reply(r) => {
+                enc.put_u8(1);
+                enc.put_u64(r.request_id);
+                enc.put_u8(r.status.to_tag());
+                enc.put_bytes(&r.body);
+            }
+        }
+        enc.finish()
+    }
+
+    /// Decodes a frame previously produced by [`OrbMessage::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`DecodeError`] on malformed input, including a bad magic or
+    /// unsupported version (reported as invalid discriminants).
+    pub fn decode(bytes: Bytes) -> Result<Self, DecodeError> {
+        let mut dec = Decoder::new(bytes);
+        let mut magic = [0u8; 4];
+        for b in &mut magic {
+            *b = dec.get_u8()?;
+        }
+        if magic != MAGIC {
+            return Err(DecodeError::InvalidDiscriminant {
+                what: "frame magic",
+                tag: u32::from_be_bytes(magic) as u64,
+            });
+        }
+        let version = dec.get_u8()?;
+        if version != VERSION {
+            return Err(DecodeError::InvalidDiscriminant {
+                what: "frame version",
+                tag: version as u64,
+            });
+        }
+        match dec.get_u8()? {
+            0 => Ok(OrbMessage::Request(Request {
+                request_id: dec.get_u64()?,
+                object_key: ObjectKey::new(dec.get_string()?),
+                operation: dec.get_string()?,
+                args: dec.get_bytes()?,
+                response_expected: dec.get_bool()?,
+            })),
+            1 => Ok(OrbMessage::Reply(Reply {
+                request_id: dec.get_u64()?,
+                status: ReplyStatus::from_tag(dec.get_u8()?)?,
+                body: dec.get_bytes()?,
+            })),
+            other => Err(DecodeError::InvalidDiscriminant {
+                what: "message type",
+                tag: other as u64,
+            }),
+        }
+    }
+
+    /// The frame's size on the wire.
+    pub fn encoded_len(&self) -> usize {
+        // header (5) + type (1) + fields
+        match self {
+            OrbMessage::Request(r) => {
+                6 + 8
+                    + 4
+                    + r.object_key.as_str().len()
+                    + 4
+                    + r.operation.len()
+                    + 4
+                    + r.args.len()
+                    + 1
+            }
+            OrbMessage::Reply(r) => 6 + 8 + 1 + 4 + r.body.len(),
+        }
+    }
+}
+
+impl Payload for OrbMessage {
+    fn wire_size(&self) -> usize {
+        self.encoded_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request() -> OrbMessage {
+        OrbMessage::Request(Request {
+            request_id: 42,
+            object_key: ObjectKey::new("counter"),
+            operation: "increment".into(),
+            args: Bytes::from_static(&[9, 9, 9]),
+            response_expected: true,
+        })
+    }
+
+    fn reply() -> OrbMessage {
+        OrbMessage::Reply(Reply {
+            request_id: 42,
+            status: ReplyStatus::NoException,
+            body: Bytes::from_static(&[1]),
+        })
+    }
+
+    #[test]
+    fn request_round_trips() {
+        let msg = request();
+        assert_eq!(OrbMessage::decode(msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn reply_round_trips() {
+        let msg = reply();
+        assert_eq!(OrbMessage::decode(msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn encoded_len_matches_actual_encoding() {
+        for msg in [request(), reply()] {
+            assert_eq!(msg.encode().len(), msg.encoded_len());
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = request().encode().to_vec();
+        bytes[0] = b'X';
+        assert!(matches!(
+            OrbMessage::decode(Bytes::from(bytes)),
+            Err(DecodeError::InvalidDiscriminant { what: "frame magic", .. })
+        ));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = request().encode().to_vec();
+        bytes[4] = 99;
+        assert!(matches!(
+            OrbMessage::decode(Bytes::from(bytes)),
+            Err(DecodeError::InvalidDiscriminant { what: "frame version", .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = request().encode();
+        let truncated = bytes.slice(0..bytes.len() - 2);
+        assert!(OrbMessage::decode(truncated).is_err());
+    }
+
+    #[test]
+    fn all_reply_statuses_round_trip() {
+        for status in [
+            ReplyStatus::NoException,
+            ReplyStatus::UserException,
+            ReplyStatus::SystemException,
+        ] {
+            let msg = OrbMessage::Reply(Reply {
+                request_id: 1,
+                status,
+                body: Bytes::new(),
+            });
+            assert_eq!(OrbMessage::decode(msg.encode()).unwrap(), msg);
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests: CDR-lite and GIOP-lite marshaling round-trips for
+//! arbitrary values, and decoder robustness on arbitrary bytes.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use vd_orb::cdr::{Decoder, Encoder};
+use vd_orb::object::ObjectKey;
+use vd_orb::wire::{OrbMessage, Reply, ReplyStatus, Request};
+
+proptest! {
+    /// Any sequence of scalars written is read back identically.
+    #[test]
+    fn scalars_round_trip(values in prop::collection::vec(any::<u64>(), 0..64)) {
+        let mut enc = Encoder::new();
+        for &v in &values {
+            enc.put_u64(v);
+        }
+        let mut dec = Decoder::new(enc.finish());
+        for &v in &values {
+            prop_assert_eq!(dec.get_u64().unwrap(), v);
+        }
+        prop_assert!(dec.is_empty());
+    }
+
+    /// Mixed-type frames round-trip.
+    #[test]
+    fn mixed_frames_round_trip(
+        a in any::<u8>(),
+        b in any::<bool>(),
+        c in any::<u32>(),
+        s in ".{0,100}",
+        bytes_payload in prop::collection::vec(any::<u8>(), 0..512),
+        opt in prop::option::of(any::<i64>()),
+    ) {
+        let mut enc = Encoder::new();
+        enc.put_u8(a);
+        enc.put_bool(b);
+        enc.put_u32(c);
+        enc.put_str(&s);
+        enc.put_bytes(&bytes_payload);
+        enc.put_option(opt, |e, v| e.put_i64(v));
+        let mut dec = Decoder::new(enc.finish());
+        prop_assert_eq!(dec.get_u8().unwrap(), a);
+        prop_assert_eq!(dec.get_bool().unwrap(), b);
+        prop_assert_eq!(dec.get_u32().unwrap(), c);
+        prop_assert_eq!(dec.get_string().unwrap(), s);
+        let decoded_bytes = dec.get_bytes().unwrap();
+        prop_assert_eq!(decoded_bytes.as_ref(), bytes_payload.as_slice());
+        prop_assert_eq!(dec.get_option(|d| d.get_i64()).unwrap(), opt);
+    }
+
+    /// f64 round-trips bit-exactly (including non-finite values).
+    #[test]
+    fn f64_round_trips_bitwise(v in any::<f64>()) {
+        let mut enc = Encoder::new();
+        enc.put_f64(v);
+        let mut dec = Decoder::new(enc.finish());
+        prop_assert_eq!(dec.get_f64().unwrap().to_bits(), v.to_bits());
+    }
+
+    /// Arbitrary GIOP requests round-trip and the length estimate is exact.
+    #[test]
+    fn requests_round_trip(
+        request_id in any::<u64>(),
+        key in "[a-zA-Z0-9_/]{0,40}",
+        operation in "[a-zA-Z0-9_]{0,40}",
+        args in prop::collection::vec(any::<u8>(), 0..1024),
+        response_expected in any::<bool>(),
+    ) {
+        let msg = OrbMessage::Request(Request {
+            request_id,
+            object_key: ObjectKey::new(key),
+            operation,
+            args: Bytes::from(args),
+            response_expected,
+        });
+        let encoded = msg.encode();
+        prop_assert_eq!(encoded.len(), msg.encoded_len());
+        prop_assert_eq!(OrbMessage::decode(encoded).unwrap(), msg);
+    }
+
+    /// Arbitrary replies round-trip.
+    #[test]
+    fn replies_round_trip(
+        request_id in any::<u64>(),
+        status_tag in 0u8..3,
+        body in prop::collection::vec(any::<u8>(), 0..1024),
+    ) {
+        let status = match status_tag {
+            0 => ReplyStatus::NoException,
+            1 => ReplyStatus::UserException,
+            _ => ReplyStatus::SystemException,
+        };
+        let msg = OrbMessage::Reply(Reply {
+            request_id,
+            status,
+            body: Bytes::from(body),
+        });
+        prop_assert_eq!(OrbMessage::decode(msg.encode()).unwrap(), msg);
+    }
+
+    /// The decoder never panics on arbitrary input bytes — it returns
+    /// errors instead.
+    #[test]
+    fn decoder_never_panics_on_garbage(raw in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = OrbMessage::decode(Bytes::from(raw.clone()));
+        let mut dec = Decoder::new(Bytes::from(raw));
+        let _ = dec.get_u64();
+        let _ = dec.get_string();
+        let _ = dec.get_bytes();
+    }
+
+    /// Truncating any valid frame yields an error, never a wrong value.
+    #[test]
+    fn truncation_always_detected(
+        args in prop::collection::vec(any::<u8>(), 1..256),
+        cut in 1usize..20,
+    ) {
+        let msg = OrbMessage::Request(Request {
+            request_id: 7,
+            object_key: ObjectKey::new("k"),
+            operation: "op".into(),
+            args: Bytes::from(args),
+            response_expected: true,
+        });
+        let encoded = msg.encode();
+        let cut = cut.min(encoded.len());
+        let truncated = encoded.slice(0..encoded.len() - cut);
+        prop_assert!(OrbMessage::decode(truncated).is_err());
+    }
+}

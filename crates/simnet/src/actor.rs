@@ -1,0 +1,288 @@
+//! Actors: the unit of computation in the simulated world.
+//!
+//! Every simulated process — a group-communication daemon, an ORB endpoint,
+//! a replicator instance, a workload client — implements [`Actor`]. Handlers
+//! receive a [`Context`] through which they read the clock, send messages,
+//! set timers, charge CPU time and record metrics. Handlers never touch the
+//! world directly; they emit actions that the scheduler applies after the
+//! handler returns, which keeps execution deterministic and re-entrancy-free.
+
+use std::any::Any;
+use std::fmt;
+
+use crate::metrics::MetricsHub;
+use crate::rng::DeterministicRng;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{NodeId, ProcessId};
+
+/// A message payload exchanged between actors.
+///
+/// Payloads stay as typed Rust values inside the simulator (no
+/// serialization), but every payload declares its *wire size*: the number of
+/// bytes the message would occupy on a real network. Wire sizes drive the
+/// link transmission-delay and bandwidth-accounting models.
+pub trait Payload: Any + fmt::Debug {
+    /// The number of bytes this message would occupy on the wire.
+    fn wire_size(&self) -> usize;
+}
+
+/// Identifies a timer registered by an actor. The actor chooses the value;
+/// the same token is passed back to [`Actor::on_timer`] when the timer fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerToken(pub u64);
+
+/// A deferred effect emitted by an actor handler, applied by the scheduler.
+pub(crate) enum Action {
+    Send {
+        dst: ProcessId,
+        payload: Box<dyn Payload>,
+    },
+    SetTimer {
+        delay: SimDuration,
+        token: TimerToken,
+    },
+    CancelTimer {
+        token: TimerToken,
+    },
+    Spawn {
+        pid: ProcessId,
+        node: NodeId,
+        actor: Box<dyn Actor>,
+    },
+    Kill {
+        pid: ProcessId,
+    },
+}
+
+impl fmt::Debug for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Send { dst, payload } => write!(f, "Send({dst}, {payload:?})"),
+            Action::SetTimer { delay, token } => write!(f, "SetTimer({delay}, {token:?})"),
+            Action::CancelTimer { token } => write!(f, "CancelTimer({token:?})"),
+            Action::Spawn { pid, node, .. } => write!(f, "Spawn({pid} on {node})"),
+            Action::Kill { pid } => write!(f, "Kill({pid})"),
+        }
+    }
+}
+
+/// The handler-side view of the world.
+///
+/// A `Context` is passed to every [`Actor`] handler invocation. All effects
+/// requested through it are applied after the handler returns.
+#[allow(missing_debug_implementations)] // contains &mut borrows of world internals
+pub struct Context<'a> {
+    pub(crate) now: SimTime,
+    pub(crate) self_id: ProcessId,
+    pub(crate) node: NodeId,
+    pub(crate) actions: Vec<Action>,
+    pub(crate) cpu_cost: SimDuration,
+    pub(crate) rng: &'a mut DeterministicRng,
+    pub(crate) metrics: &'a mut MetricsHub,
+    pub(crate) next_pid: &'a mut u64,
+}
+
+impl<'a> Context<'a> {
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This actor's process id.
+    pub fn self_id(&self) -> ProcessId {
+        self.self_id
+    }
+
+    /// The node this actor runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Sends `payload` to `dst`. Delivery time is computed by the world from
+    /// the topology (latency, jitter, transmission delay) and the fault plan
+    /// (drops, partitions).
+    pub fn send<P: Payload>(&mut self, dst: ProcessId, payload: P) {
+        self.actions.push(Action::Send {
+            dst,
+            payload: Box::new(payload),
+        });
+    }
+
+    /// Sends an already-boxed payload (for relaying without re-boxing).
+    pub fn send_boxed(&mut self, dst: ProcessId, payload: Box<dyn Payload>) {
+        self.actions.push(Action::Send { dst, payload });
+    }
+
+    /// Schedules [`Actor::on_timer`] to run `delay` from now with `token`.
+    pub fn set_timer(&mut self, delay: SimDuration, token: TimerToken) {
+        self.actions.push(Action::SetTimer { delay, token });
+    }
+
+    /// Cancels one outstanding timer with `token` (the earliest-firing one).
+    /// Cancelling a token with no outstanding timer suppresses the next one
+    /// set — prefer cancelling only timers known to be pending.
+    pub fn cancel_timer(&mut self, token: TimerToken) {
+        self.actions.push(Action::CancelTimer { token });
+    }
+
+    /// Charges `cost` of CPU time to this node for the current handler
+    /// invocation. The node is busy (serializing later handlers) until the
+    /// accumulated cost elapses.
+    pub fn use_cpu(&mut self, cost: SimDuration) {
+        self.cpu_cost += cost;
+    }
+
+    /// CPU time charged so far in this handler invocation. `now() +
+    /// cpu_used()` is the virtual instant the handler's execution has
+    /// reached — the right timestamp for fine-grained latency accounting.
+    pub fn cpu_used(&self) -> SimDuration {
+        self.cpu_cost
+    }
+
+    /// Spawns a new actor on `node`, returning the id it will have. The
+    /// new actor's [`Actor::on_start`] runs at the current time.
+    pub fn spawn(&mut self, node: NodeId, actor: Box<dyn Actor>) -> ProcessId {
+        let pid = ProcessId(*self.next_pid);
+        *self.next_pid += 1;
+        self.actions.push(Action::Spawn { pid, node, actor });
+        pid
+    }
+
+    /// Kills a process (it stops receiving messages and timers). Killing
+    /// oneself is allowed and takes effect after the handler returns.
+    pub fn kill(&mut self, pid: ProcessId) {
+        self.actions.push(Action::Kill { pid });
+    }
+
+    /// This actor's deterministic random stream.
+    pub fn rng(&mut self) -> &mut DeterministicRng {
+        self.rng
+    }
+
+    /// The world's shared metrics registry.
+    pub fn metrics(&mut self) -> &mut MetricsHub {
+        self.metrics
+    }
+}
+
+/// A simulated process.
+///
+/// Implementations hold their own state; the world invokes the handlers.
+/// All handlers default to no-ops except [`Actor::on_message`].
+///
+/// # Examples
+///
+/// ```
+/// use vd_simnet::actor::{Actor, Context, Payload};
+/// use vd_simnet::topology::ProcessId;
+///
+/// #[derive(Debug)]
+/// struct Ping;
+/// impl Payload for Ping {
+///     fn wire_size(&self) -> usize { 8 }
+/// }
+///
+/// struct Echo;
+/// impl Actor for Echo {
+///     fn on_message(
+///         &mut self,
+///         ctx: &mut Context<'_>,
+///         from: ProcessId,
+///         _payload: Box<dyn Payload>,
+///     ) {
+///         ctx.send(from, Ping);
+///     }
+/// }
+/// ```
+pub trait Actor: Any {
+    /// Invoked once when the actor is spawned.
+    fn on_start(&mut self, _ctx: &mut Context<'_>) {}
+
+    /// Invoked for every message delivered to this actor.
+    fn on_message(&mut self, ctx: &mut Context<'_>, from: ProcessId, payload: Box<dyn Payload>);
+
+    /// Invoked when a timer set via [`Context::set_timer`] fires.
+    fn on_timer(&mut self, _ctx: &mut Context<'_>, _timer: TimerToken) {}
+}
+
+/// Downcasts a boxed payload to a concrete type, returning the box back on
+/// mismatch so the caller can try another type.
+///
+/// # Examples
+///
+/// ```
+/// use vd_simnet::actor::{downcast_payload, Payload};
+///
+/// #[derive(Debug, PartialEq)]
+/// struct Hello(u32);
+/// impl Payload for Hello {
+///     fn wire_size(&self) -> usize { 4 }
+/// }
+///
+/// let boxed: Box<dyn Payload> = Box::new(Hello(7));
+/// let hello = downcast_payload::<Hello>(boxed).unwrap();
+/// assert_eq!(*hello, Hello(7));
+/// ```
+pub fn downcast_payload<P: Payload>(payload: Box<dyn Payload>) -> Result<Box<P>, Box<dyn Payload>> {
+    if (*payload).type_id() == std::any::TypeId::of::<P>() {
+        let any: Box<dyn Any> = payload;
+        Ok(any.downcast::<P>().expect("type id verified"))
+    } else {
+        Err(payload)
+    }
+}
+
+/// Borrows a payload as a concrete type without consuming it.
+pub fn payload_ref<P: Payload>(payload: &dyn Payload) -> Option<&P> {
+    (payload as &dyn Any).downcast_ref::<P>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct A(u64);
+    impl Payload for A {
+        fn wire_size(&self) -> usize {
+            8
+        }
+    }
+
+    #[derive(Debug)]
+    struct B;
+    impl Payload for B {
+        fn wire_size(&self) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn downcast_matches_type() {
+        let boxed: Box<dyn Payload> = Box::new(A(5));
+        let a = downcast_payload::<A>(boxed).expect("should downcast");
+        assert_eq!(*a, A(5));
+    }
+
+    #[test]
+    fn downcast_mismatch_returns_original() {
+        let boxed: Box<dyn Payload> = Box::new(A(5));
+        let back = downcast_payload::<B>(boxed).expect_err("wrong type");
+        // The original payload is intact and can still be downcast correctly.
+        let a = downcast_payload::<A>(back).expect("original type");
+        assert_eq!(*a, A(5));
+    }
+
+    #[test]
+    fn payload_ref_borrows() {
+        let boxed: Box<dyn Payload> = Box::new(A(9));
+        assert_eq!(payload_ref::<A>(boxed.as_ref()), Some(&A(9)));
+        assert!(payload_ref::<B>(boxed.as_ref()).is_none());
+    }
+
+    #[test]
+    fn wire_size_is_reported() {
+        let boxed: Box<dyn Payload> = Box::new(A(1));
+        assert_eq!(boxed.wire_size(), 8);
+    }
+}

@@ -1,0 +1,166 @@
+//! The deterministic event queue.
+//!
+//! Events are ordered by `(time, sequence)` where the sequence number is
+//! assigned at insertion. Two runs with the same seed therefore pop events
+//! in exactly the same order — the foundation of reproducible experiments.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::actor::{Actor, Payload, TimerToken};
+use crate::time::SimTime;
+use crate::topology::{NodeId, ProcessId};
+
+/// What happens when an event fires.
+pub(crate) enum EventKind {
+    /// Deliver a message to a process.
+    Deliver {
+        src: ProcessId,
+        dst: ProcessId,
+        payload: Box<dyn Payload>,
+        wire_size: usize,
+    },
+    /// Fire a timer on a process.
+    Timer { pid: ProcessId, token: TimerToken },
+    /// Run a process's `on_start`.
+    Start { pid: ProcessId },
+    /// Spawn a dynamically-created actor, then run its `on_start`.
+    SpawnDynamic {
+        pid: ProcessId,
+        node: NodeId,
+        actor: Box<dyn Actor>,
+    },
+    /// Apply a scheduled control action (fault injection etc.).
+    Control(ControlAction),
+}
+
+/// Scheduled world-control actions, mostly fault injection.
+#[derive(Debug, Clone)]
+pub(crate) enum ControlAction {
+    CrashProcess(ProcessId),
+    CrashNode(NodeId),
+    RestartNode(NodeId),
+    SetNodeSlowdown(NodeId, f64),
+    SetDropProbability(f64),
+    PartitionNodes(Vec<NodeId>, Vec<NodeId>),
+    HealPartitions,
+}
+
+pub(crate) struct ScheduledEvent {
+    pub time: SimTime,
+    pub seq: u64,
+    pub kind: EventKind,
+}
+
+impl PartialEq for ScheduledEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for ScheduledEvent {}
+
+impl PartialOrd for ScheduledEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ScheduledEvent {
+    // Reversed: BinaryHeap is a max-heap, we want earliest first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A min-queue of scheduled events with deterministic tie-breaking.
+#[derive(Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<ScheduledEvent>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    pub fn push(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent { time, seq, kind });
+    }
+
+    pub fn pop(&mut self) -> Option<ScheduledEvent> {
+        self.heap.pop()
+    }
+
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timer_event(pid: u64, token: u64) -> EventKind {
+        EventKind::Timer {
+            pid: ProcessId(pid),
+            token: TimerToken(token),
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_micros(30), timer_event(1, 0));
+        q.push(SimTime::from_micros(10), timer_event(2, 0));
+        q.push(SimTime::from_micros(20), timer_event(3, 0));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.time.as_micros())
+            .collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(5);
+        for token in 0..10 {
+            q.push(t, timer_event(1, token));
+        }
+        let tokens: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Timer { token, .. } => token.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(tokens, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_time_reports_earliest() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_micros(50), timer_event(1, 0));
+        q.push(SimTime::from_micros(40), timer_event(1, 1));
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(40)));
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,130 @@
+//! Fault injection.
+//!
+//! The paper's fault model (§3.1): hardware and software crash faults,
+//! transient communication faults, performance and timing faults. This
+//! module holds the world's standing fault state — message-loss probability
+//! and network partitions — plus the builder used to schedule fault events.
+//! Crash and slowdown injections are scheduled through the world's control
+//! queue (see [`crate::world::World`]).
+
+use std::collections::HashSet;
+
+use crate::rng::DeterministicRng;
+use crate::topology::NodeId;
+
+/// Standing communication-fault state consulted on every message send.
+#[derive(Debug, Clone, Default)]
+pub struct FaultState {
+    /// Probability that any given inter-node message is silently dropped
+    /// (transient communication faults).
+    drop_probability: f64,
+    /// Directed node pairs whose traffic is blocked (network partitions).
+    blocked: HashSet<(NodeId, NodeId)>,
+}
+
+impl FaultState {
+    /// A fault-free state.
+    pub fn new() -> Self {
+        FaultState::default()
+    }
+
+    /// The current message-loss probability.
+    pub fn drop_probability(&self) -> f64 {
+        self.drop_probability
+    }
+
+    /// Sets the message-loss probability (clamped to `[0, 1]`).
+    pub fn set_drop_probability(&mut self, p: f64) {
+        self.drop_probability = p.clamp(0.0, 1.0);
+    }
+
+    /// Blocks all traffic between `left` and `right` (both directions, every
+    /// pair). Nodes in neither list are unaffected.
+    pub fn partition(&mut self, left: &[NodeId], right: &[NodeId]) {
+        for &a in left {
+            for &b in right {
+                self.blocked.insert((a, b));
+                self.blocked.insert((b, a));
+            }
+        }
+    }
+
+    /// Removes all partitions.
+    pub fn heal(&mut self) {
+        self.blocked.clear();
+    }
+
+    /// Whether traffic `from → to` is currently blocked by a partition.
+    pub fn is_blocked(&self, from: NodeId, to: NodeId) -> bool {
+        self.blocked.contains(&(from, to))
+    }
+
+    /// Decides whether a particular message is lost, consuming randomness
+    /// only when a loss is possible (keeps fault-free runs' RNG streams
+    /// identical whether or not this is consulted).
+    pub fn should_drop(&self, from: NodeId, to: NodeId, rng: &mut DeterministicRng) -> bool {
+        if self.is_blocked(from, to) {
+            return true;
+        }
+        self.drop_probability > 0.0 && rng.gen_bool(self.drop_probability)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_state_drops_nothing() {
+        let f = FaultState::new();
+        let mut rng = DeterministicRng::new(1);
+        for _ in 0..100 {
+            assert!(!f.should_drop(NodeId(0), NodeId(1), &mut rng));
+        }
+    }
+
+    #[test]
+    fn partition_blocks_both_directions() {
+        let mut f = FaultState::new();
+        f.partition(&[NodeId(0), NodeId(1)], &[NodeId(2)]);
+        assert!(f.is_blocked(NodeId(0), NodeId(2)));
+        assert!(f.is_blocked(NodeId(2), NodeId(0)));
+        assert!(f.is_blocked(NodeId(1), NodeId(2)));
+        // Intra-side traffic is unaffected.
+        assert!(!f.is_blocked(NodeId(0), NodeId(1)));
+        f.heal();
+        assert!(!f.is_blocked(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn drop_probability_is_clamped() {
+        let mut f = FaultState::new();
+        f.set_drop_probability(7.0);
+        assert_eq!(f.drop_probability(), 1.0);
+        f.set_drop_probability(-1.0);
+        assert_eq!(f.drop_probability(), 0.0);
+    }
+
+    #[test]
+    fn certain_loss_drops_everything() {
+        let mut f = FaultState::new();
+        f.set_drop_probability(1.0);
+        let mut rng = DeterministicRng::new(2);
+        for _ in 0..10 {
+            assert!(f.should_drop(NodeId(0), NodeId(1), &mut rng));
+        }
+    }
+
+    #[test]
+    fn probabilistic_loss_is_roughly_calibrated() {
+        let mut f = FaultState::new();
+        f.set_drop_probability(0.25);
+        let mut rng = DeterministicRng::new(3);
+        let n = 10_000;
+        let drops = (0..n)
+            .filter(|_| f.should_drop(NodeId(0), NodeId(1), &mut rng))
+            .count();
+        let rate = drops as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.02, "observed rate {rate}");
+    }
+}

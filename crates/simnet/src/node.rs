@@ -1,0 +1,143 @@
+//! Per-node CPU model.
+//!
+//! Each simulated machine executes one handler at a time: while a handler's
+//! charged CPU cost elapses, later events destined for the same node are
+//! deferred. This single-server queueing model is what makes a warm-passive
+//! primary saturate as clients are added (paper Fig. 7a) — every request on
+//! the primary is serialized — and it feeds the CPU-load metric the
+//! adaptation monitor consumes.
+
+use crate::time::{SimDuration, SimTime};
+use crate::topology::NodeId;
+
+/// Runtime state of one simulated machine.
+#[derive(Debug, Clone)]
+pub struct NodeState {
+    id: NodeId,
+    up: bool,
+    busy_until: SimTime,
+    /// Timing-fault multiplier applied to every charged CPU cost.
+    slowdown: f64,
+    busy_accum: SimDuration,
+    accum_since: SimTime,
+}
+
+impl NodeState {
+    /// A healthy node with an idle CPU.
+    pub fn new(id: NodeId) -> Self {
+        NodeState {
+            id,
+            up: true,
+            busy_until: SimTime::ZERO,
+            slowdown: 1.0,
+            busy_accum: SimDuration::ZERO,
+            accum_since: SimTime::ZERO,
+        }
+    }
+
+    /// The node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Whether the node is powered and processing events.
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    pub(crate) fn set_up(&mut self, up: bool) {
+        self.up = up;
+    }
+
+    /// The instant until which the CPU is occupied.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// The current timing-fault slowdown factor (1.0 = nominal speed).
+    pub fn slowdown(&self) -> f64 {
+        self.slowdown
+    }
+
+    pub(crate) fn set_slowdown(&mut self, factor: f64) {
+        self.slowdown = if factor.is_finite() && factor > 0.0 {
+            factor
+        } else {
+            1.0
+        };
+    }
+
+    /// Charges `cost` of CPU starting at `start`, extending the busy period
+    /// and accumulating utilization. Returns the effective (slowed) cost.
+    pub(crate) fn charge(&mut self, start: SimTime, cost: SimDuration) -> SimDuration {
+        let effective = cost.mul_f64(self.slowdown);
+        self.busy_until = start + effective;
+        self.busy_accum += effective;
+        effective
+    }
+
+    /// CPU utilization in `[0, 1]` since the last [`NodeState::reset_utilization`].
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        let window = now.duration_since(self.accum_since).as_secs_f64();
+        if window <= 0.0 {
+            0.0
+        } else {
+            (self.busy_accum.as_secs_f64() / window).min(1.0)
+        }
+    }
+
+    /// Restarts the utilization window at `now`.
+    pub fn reset_utilization(&mut self, now: SimTime) {
+        self.busy_accum = SimDuration::ZERO;
+        self.accum_since = now;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_extends_busy_period() {
+        let mut n = NodeState::new(NodeId(0));
+        let eff = n.charge(SimTime::from_micros(100), SimDuration::from_micros(50));
+        assert_eq!(eff, SimDuration::from_micros(50));
+        assert_eq!(n.busy_until(), SimTime::from_micros(150));
+    }
+
+    #[test]
+    fn slowdown_scales_cost() {
+        let mut n = NodeState::new(NodeId(0));
+        n.set_slowdown(2.0);
+        let eff = n.charge(SimTime::ZERO, SimDuration::from_micros(100));
+        assert_eq!(eff, SimDuration::from_micros(200));
+        assert_eq!(n.busy_until(), SimTime::from_micros(200));
+    }
+
+    #[test]
+    fn invalid_slowdown_resets_to_nominal() {
+        let mut n = NodeState::new(NodeId(0));
+        n.set_slowdown(0.0);
+        assert_eq!(n.slowdown(), 1.0);
+        n.set_slowdown(f64::NAN);
+        assert_eq!(n.slowdown(), 1.0);
+        n.set_slowdown(0.5);
+        assert_eq!(n.slowdown(), 0.5);
+    }
+
+    #[test]
+    fn utilization_tracks_busy_fraction() {
+        let mut n = NodeState::new(NodeId(0));
+        n.charge(SimTime::ZERO, SimDuration::from_micros(250));
+        n.charge(SimTime::from_micros(500), SimDuration::from_micros(250));
+        assert!((n.utilization(SimTime::from_micros(1000)) - 0.5).abs() < 1e-9);
+        n.reset_utilization(SimTime::from_micros(1000));
+        assert_eq!(n.utilization(SimTime::from_micros(2000)), 0.0);
+    }
+
+    #[test]
+    fn utilization_with_empty_window_is_zero() {
+        let n = NodeState::new(NodeId(0));
+        assert_eq!(n.utilization(SimTime::ZERO), 0.0);
+    }
+}

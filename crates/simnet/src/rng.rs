@@ -1,0 +1,155 @@
+//! Deterministic random-number generation.
+//!
+//! Every stochastic choice in the simulator (latency jitter, message loss,
+//! workload think times) flows through a [`DeterministicRng`] seeded from the
+//! experiment configuration, so a given seed always reproduces the same
+//! trace, metrics and figures.
+
+use std::ops::RangeInclusive;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random-number generator with the handful of distributions the
+/// simulator needs.
+///
+/// # Examples
+///
+/// ```
+/// use vd_simnet::rng::DeterministicRng;
+///
+/// let mut a = DeterministicRng::new(42);
+/// let mut b = DeterministicRng::new(42);
+/// assert_eq!(a.gen_range_u64(0..=100), b.gen_range_u64(0..=100));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeterministicRng {
+    inner: StdRng,
+}
+
+impl DeterministicRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        DeterministicRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child stream; used to give each component its
+    /// own stream so adding draws in one place does not perturb another.
+    pub fn fork(&mut self, salt: u64) -> DeterministicRng {
+        let seed = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        DeterministicRng::new(seed)
+    }
+
+    /// A uniform draw from an inclusive range.
+    pub fn gen_range_u64(&mut self, range: RangeInclusive<u64>) -> u64 {
+        self.inner.gen_range(range)
+    }
+
+    /// A uniform draw from `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// A Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        if p == 0.0 {
+            false
+        } else if p == 1.0 {
+            true
+        } else {
+            self.inner.gen_bool(p)
+        }
+    }
+
+    /// A normal draw via Box–Muller (avoids a `rand_distr` dependency).
+    pub fn gen_normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        let u1: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = self.inner.gen::<f64>();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        mean + std_dev * z
+    }
+
+    /// An exponential draw with the given rate (events per unit); returns the
+    /// inter-arrival gap. A non-positive rate yields `f64::INFINITY`.
+    pub fn gen_exponential(&mut self, rate: f64) -> f64 {
+        if rate <= 0.0 {
+            return f64::INFINITY;
+        }
+        let u: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        -u.ln() / rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DeterministicRng::new(7);
+        let mut b = DeterministicRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range_u64(0..=1_000_000), b.gen_range_u64(0..=1_000_000));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = DeterministicRng::new(1);
+        let mut b = DeterministicRng::new(2);
+        let va: Vec<u64> = (0..16).map(|_| a.gen_range_u64(0..=u64::MAX)).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.gen_range_u64(0..=u64::MAX)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn fork_is_deterministic_and_independent() {
+        let mut parent1 = DeterministicRng::new(9);
+        let mut parent2 = DeterministicRng::new(9);
+        let mut c1 = parent1.fork(1);
+        let mut c2 = parent2.fork(1);
+        assert_eq!(c1.gen_range_u64(0..=u64::MAX), c2.gen_range_u64(0..=u64::MAX));
+        // A different salt gives a different stream.
+        let mut parent3 = DeterministicRng::new(9);
+        let mut c3 = parent3.fork(2);
+        assert_ne!(
+            DeterministicRng::new(9).fork(1).gen_range_u64(0..=u64::MAX),
+            c3.gen_range_u64(0..=u64::MAX)
+        );
+    }
+
+    #[test]
+    fn bernoulli_edges() {
+        let mut rng = DeterministicRng::new(3);
+        for _ in 0..32 {
+            assert!(!rng.gen_bool(0.0));
+            assert!(rng.gen_bool(1.0));
+        }
+        // Out-of-range probabilities are clamped, not panicking.
+        assert!(rng.gen_bool(2.0));
+        assert!(!rng.gen_bool(-1.0));
+    }
+
+    #[test]
+    fn normal_has_plausible_moments() {
+        let mut rng = DeterministicRng::new(11);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.gen_normal(100.0, 15.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 100.0).abs() < 1.0, "mean {mean}");
+        assert!((var.sqrt() - 15.0).abs() < 1.0, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn exponential_mean_is_inverse_rate() {
+        let mut rng = DeterministicRng::new(13);
+        let n = 20_000;
+        let mean = (0..n).map(|_| rng.gen_exponential(4.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.02, "mean {mean}");
+        assert_eq!(rng.gen_exponential(0.0), f64::INFINITY);
+    }
+}

@@ -1,0 +1,270 @@
+//! Simulated time.
+//!
+//! The simulator measures time in microseconds, matching the resolution the
+//! paper reports for round-trip times (e.g., the 154 µs replicator overhead
+//! in Fig. 3). [`SimTime`] is an absolute instant on the virtual clock and
+//! [`SimDuration`] is a span between instants; both are `u64` newtypes so
+//! instants and spans cannot be confused.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// An absolute instant of virtual time, in microseconds since simulation start.
+///
+/// # Examples
+///
+/// ```
+/// use vd_simnet::time::{SimTime, SimDuration};
+///
+/// let t = SimTime::ZERO + SimDuration::from_millis(2);
+/// assert_eq!(t.as_micros(), 2_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant; used as an "infinite" horizon.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant `micros` microseconds after simulation start.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(micros)
+    }
+
+    /// Creates an instant `millis` milliseconds after simulation start.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimTime(millis * 1_000)
+    }
+
+    /// Creates an instant `secs` seconds after simulation start.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1_000_000)
+    }
+
+    /// Microseconds since simulation start.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since simulation start, as a float (for reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// The span from `earlier` to `self`, saturating to zero if `earlier`
+    /// is actually later.
+    pub fn duration_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Saturating addition of a duration.
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}µs", self.0)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+/// A span of virtual time, in microseconds.
+///
+/// # Examples
+///
+/// ```
+/// use vd_simnet::time::SimDuration;
+///
+/// let d = SimDuration::from_millis(1) + SimDuration::from_micros(500);
+/// assert_eq!(d.as_micros(), 1_500);
+/// assert_eq!(d * 2, SimDuration::from_micros(3_000));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// The empty span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a span of `micros` microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration(micros)
+    }
+
+    /// Creates a span of `millis` milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis * 1_000)
+    }
+
+    /// Creates a span of `secs` seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * 1_000_000)
+    }
+
+    /// Creates a span from a float number of seconds, rounding to µs.
+    ///
+    /// Negative or non-finite inputs become [`SimDuration::ZERO`].
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if secs.is_finite() && secs > 0.0 {
+            SimDuration((secs * 1e6).round() as u64)
+        } else {
+            SimDuration::ZERO
+        }
+    }
+
+    /// Length of the span in microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Length of the span in seconds, as a float (for rates and reports).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// `true` if the span is empty.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Multiplies the span by a float factor, saturating and flooring at zero.
+    pub fn mul_f64(self, factor: f64) -> SimDuration {
+        if !factor.is_finite() || factor <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration((self.0 as f64 * factor).round() as u64)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}µs", self.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_roundtrips() {
+        let t0 = SimTime::from_millis(5);
+        let d = SimDuration::from_micros(250);
+        let t1 = t0 + d;
+        assert_eq!(t1.as_micros(), 5_250);
+        assert_eq!(t1 - t0, d);
+        assert_eq!(t1.duration_since(t0), d);
+    }
+
+    #[test]
+    fn duration_since_saturates() {
+        let early = SimTime::from_micros(10);
+        let late = SimTime::from_micros(20);
+        assert_eq!(early.duration_since(late), SimDuration::ZERO);
+        assert_eq!(early - late, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn saturating_add_at_max() {
+        let t = SimTime::MAX;
+        assert_eq!(t + SimDuration::from_secs(1), SimTime::MAX);
+        assert_eq!(t.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+    }
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(SimDuration::from_millis(3), SimDuration::from_micros(3_000));
+        assert_eq!(SimDuration::from_secs(2), SimDuration::from_millis(2_000));
+        assert_eq!(SimTime::from_secs(1).as_secs_f64(), 1.0);
+    }
+
+    #[test]
+    fn mul_f64_handles_degenerate_factors() {
+        let d = SimDuration::from_micros(1000);
+        assert_eq!(d.mul_f64(0.5), SimDuration::from_micros(500));
+        assert_eq!(d.mul_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(d.mul_f64(f64::NAN), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn from_secs_f64_rounds() {
+        assert_eq!(SimDuration::from_secs_f64(0.0000015), SimDuration::from_micros(2));
+        assert_eq!(SimDuration::from_secs_f64(-3.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn ordering_is_chronological() {
+        assert!(SimTime::from_micros(1) < SimTime::from_micros(2));
+        assert!(SimDuration::from_micros(1) < SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn display_shows_micros() {
+        assert_eq!(SimTime::from_micros(42).to_string(), "42µs");
+        assert_eq!(SimDuration::from_millis(1).to_string(), "1000µs");
+    }
+
+    #[test]
+    fn div_and_mul() {
+        let d = SimDuration::from_micros(1000);
+        assert_eq!(d / 4, SimDuration::from_micros(250));
+        assert_eq!(d * 3, SimDuration::from_micros(3000));
+    }
+}

@@ -1,0 +1,330 @@
+//! Network topology: nodes, links and latency models.
+//!
+//! The paper's test-bed is seven Pentium-III machines on a switched LAN.
+//! We model that as a set of [`NodeId`]s joined by full-mesh links, each link
+//! carrying a [`LatencyModel`] (propagation + jitter) and an optional
+//! bandwidth. Messages between processes on the *same* node bypass the
+//! network and only pay a configurable loopback cost.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::rng::DeterministicRng;
+use crate::time::SimDuration;
+
+/// Identifies a physical machine in the simulated test-bed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// Identifies a process (an actor) running on some node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessId(pub u64);
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "proc{}", self.0)
+    }
+}
+
+/// How long a message takes to traverse a link, before queueing.
+///
+/// # Examples
+///
+/// ```
+/// use vd_simnet::topology::LatencyModel;
+/// use vd_simnet::time::SimDuration;
+/// use vd_simnet::rng::DeterministicRng;
+///
+/// let model = LatencyModel::uniform(
+///     SimDuration::from_micros(100),
+///     SimDuration::from_micros(20),
+/// );
+/// let mut rng = DeterministicRng::new(7);
+/// let d = model.sample(&mut rng);
+/// assert!(d >= SimDuration::from_micros(100));
+/// assert!(d <= SimDuration::from_micros(120));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LatencyModel {
+    /// A fixed delay for every message.
+    Constant(SimDuration),
+    /// `base` plus a uniformly-distributed jitter in `[0, jitter]`.
+    Uniform {
+        /// Minimum one-way delay.
+        base: SimDuration,
+        /// Maximum additional delay, drawn uniformly.
+        jitter: SimDuration,
+    },
+    /// A normal distribution with the given mean and standard deviation,
+    /// truncated below at 1 µs.
+    Normal {
+        /// Mean one-way delay in microseconds.
+        mean_micros: f64,
+        /// Standard deviation in microseconds.
+        std_dev_micros: f64,
+    },
+}
+
+impl LatencyModel {
+    /// A fixed-latency model.
+    pub const fn constant(delay: SimDuration) -> Self {
+        LatencyModel::Constant(delay)
+    }
+
+    /// A uniform-jitter model: `base + U(0, jitter)`.
+    pub const fn uniform(base: SimDuration, jitter: SimDuration) -> Self {
+        LatencyModel::Uniform { base, jitter }
+    }
+
+    /// A truncated-normal model.
+    pub const fn normal(mean_micros: f64, std_dev_micros: f64) -> Self {
+        LatencyModel::Normal {
+            mean_micros,
+            std_dev_micros,
+        }
+    }
+
+    /// Draws one latency sample.
+    pub fn sample(&self, rng: &mut DeterministicRng) -> SimDuration {
+        match *self {
+            LatencyModel::Constant(d) => d,
+            LatencyModel::Uniform { base, jitter } => {
+                if jitter.is_zero() {
+                    base
+                } else {
+                    base + SimDuration::from_micros(rng.gen_range_u64(0..=jitter.as_micros()))
+                }
+            }
+            LatencyModel::Normal {
+                mean_micros,
+                std_dev_micros,
+            } => {
+                let sample = rng.gen_normal(mean_micros, std_dev_micros);
+                SimDuration::from_micros(sample.max(1.0).round() as u64)
+            }
+        }
+    }
+
+    /// The model's mean latency (exact for constant/uniform, nominal for normal).
+    pub fn mean(&self) -> SimDuration {
+        match *self {
+            LatencyModel::Constant(d) => d,
+            LatencyModel::Uniform { base, jitter } => base + jitter / 2,
+            LatencyModel::Normal { mean_micros, .. } => {
+                SimDuration::from_micros(mean_micros.max(0.0).round() as u64)
+            }
+        }
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        // A switched-LAN-ish default: 50 µs ± 10 µs one way.
+        LatencyModel::uniform(SimDuration::from_micros(50), SimDuration::from_micros(10))
+    }
+}
+
+/// Configuration of one directed link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkConfig {
+    /// Propagation delay model.
+    pub latency: LatencyModel,
+    /// Link capacity in bytes per second; `None` means unlimited (the
+    /// transmission-delay term is skipped).
+    pub bandwidth_bytes_per_sec: Option<u64>,
+}
+
+impl LinkConfig {
+    /// A link with the given latency model and unlimited bandwidth.
+    pub const fn with_latency(latency: LatencyModel) -> Self {
+        LinkConfig {
+            latency,
+            bandwidth_bytes_per_sec: None,
+        }
+    }
+
+    /// Sets the link capacity in bytes per second.
+    pub const fn bandwidth(mut self, bytes_per_sec: u64) -> Self {
+        self.bandwidth_bytes_per_sec = Some(bytes_per_sec);
+        self
+    }
+
+    /// The serialization (transmission) delay of `bytes` on this link.
+    pub fn transmission_delay(&self, bytes: usize) -> SimDuration {
+        match self.bandwidth_bytes_per_sec {
+            Some(bps) if bps > 0 => {
+                SimDuration::from_micros((bytes as u64).saturating_mul(1_000_000) / bps)
+            }
+            _ => SimDuration::ZERO,
+        }
+    }
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            latency: LatencyModel::default(),
+            // 100 Mb/s LAN, like the paper's test-bed.
+            bandwidth_bytes_per_sec: Some(12_500_000),
+        }
+    }
+}
+
+/// The simulated network: a set of nodes and the links between them.
+///
+/// Links are looked up most-specific first: an explicit per-pair override,
+/// then the default link. The topology is symmetric unless overridden
+/// per-direction.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    nodes: Vec<NodeId>,
+    default_link: LinkConfig,
+    overrides: HashMap<(NodeId, NodeId), LinkConfig>,
+    loopback: SimDuration,
+}
+
+impl Topology {
+    /// A topology of `n` nodes (ids `0..n`) joined by default links.
+    pub fn full_mesh(n: u32) -> Self {
+        Topology {
+            nodes: (0..n).map(NodeId).collect(),
+            default_link: LinkConfig::default(),
+            overrides: HashMap::new(),
+            loopback: SimDuration::from_micros(5),
+        }
+    }
+
+    /// Replaces the default link configuration.
+    pub fn set_default_link(&mut self, link: LinkConfig) {
+        self.default_link = link;
+    }
+
+    /// Overrides the link `from → to` (one direction only).
+    pub fn set_link(&mut self, from: NodeId, to: NodeId, link: LinkConfig) {
+        self.overrides.insert((from, to), link);
+    }
+
+    /// Sets the same-node message delay.
+    pub fn set_loopback(&mut self, delay: SimDuration) {
+        self.loopback = delay;
+    }
+
+    /// The same-node message delay.
+    pub fn loopback(&self) -> SimDuration {
+        self.loopback
+    }
+
+    /// Adds another node, returning its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(id);
+        id
+    }
+
+    /// All node ids.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Whether `node` exists in this topology.
+    pub fn contains(&self, node: NodeId) -> bool {
+        (node.0 as usize) < self.nodes.len()
+    }
+
+    /// The effective link configuration `from → to`.
+    pub fn link(&self, from: NodeId, to: NodeId) -> &LinkConfig {
+        self.overrides.get(&(from, to)).unwrap_or(&self.default_link)
+    }
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Topology::full_mesh(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_mesh_enumerates_nodes() {
+        let topo = Topology::full_mesh(7);
+        assert_eq!(topo.nodes().len(), 7);
+        assert!(topo.contains(NodeId(6)));
+        assert!(!topo.contains(NodeId(7)));
+    }
+
+    #[test]
+    fn link_override_takes_precedence() {
+        let mut topo = Topology::full_mesh(2);
+        let fast = LinkConfig::with_latency(LatencyModel::constant(SimDuration::from_micros(1)));
+        topo.set_link(NodeId(0), NodeId(1), fast);
+        assert_eq!(topo.link(NodeId(0), NodeId(1)), &fast);
+        // Opposite direction still uses the default.
+        assert_eq!(topo.link(NodeId(1), NodeId(0)), &LinkConfig::default());
+    }
+
+    #[test]
+    fn constant_latency_is_constant() {
+        let model = LatencyModel::constant(SimDuration::from_micros(77));
+        let mut rng = DeterministicRng::new(1);
+        for _ in 0..10 {
+            assert_eq!(model.sample(&mut rng), SimDuration::from_micros(77));
+        }
+    }
+
+    #[test]
+    fn uniform_latency_stays_in_range() {
+        let model = LatencyModel::uniform(SimDuration::from_micros(100), SimDuration::from_micros(50));
+        let mut rng = DeterministicRng::new(2);
+        for _ in 0..1000 {
+            let d = model.sample(&mut rng);
+            assert!(d >= SimDuration::from_micros(100) && d <= SimDuration::from_micros(150));
+        }
+    }
+
+    #[test]
+    fn normal_latency_is_truncated_positive() {
+        let model = LatencyModel::normal(10.0, 100.0);
+        let mut rng = DeterministicRng::new(3);
+        for _ in 0..1000 {
+            assert!(model.sample(&mut rng) >= SimDuration::from_micros(1));
+        }
+    }
+
+    #[test]
+    fn transmission_delay_scales_with_size() {
+        let link = LinkConfig::default(); // 12.5 MB/s
+        // 12500 bytes at 12.5 MB/s = 1 ms.
+        assert_eq!(link.transmission_delay(12_500), SimDuration::from_millis(1));
+        let unlimited = LinkConfig::with_latency(LatencyModel::default());
+        assert_eq!(unlimited.transmission_delay(1 << 20), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn mean_matches_model() {
+        assert_eq!(
+            LatencyModel::uniform(SimDuration::from_micros(100), SimDuration::from_micros(50)).mean(),
+            SimDuration::from_micros(125)
+        );
+        assert_eq!(
+            LatencyModel::constant(SimDuration::from_micros(9)).mean(),
+            SimDuration::from_micros(9)
+        );
+    }
+
+    #[test]
+    fn add_node_extends_mesh() {
+        let mut topo = Topology::full_mesh(1);
+        let n = topo.add_node();
+        assert_eq!(n, NodeId(1));
+        assert!(topo.contains(n));
+    }
+}

@@ -1,0 +1,246 @@
+//! Structured event tracing.
+//!
+//! When enabled, the world records every significant scheduler event into a
+//! bounded ring buffer. Traces serve two purposes: debugging protocol
+//! interleavings, and asserting determinism (two same-seed runs must produce
+//! byte-identical traces).
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::actor::TimerToken;
+use crate::time::SimTime;
+use crate::topology::{NodeId, ProcessId};
+
+/// One scheduler event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// A process was spawned on a node.
+    Spawned {
+        /// The new process.
+        pid: ProcessId,
+        /// Where it runs.
+        node: NodeId,
+    },
+    /// A process crashed (fault injection or explicit kill).
+    Crashed {
+        /// The crashed process.
+        pid: ProcessId,
+    },
+    /// A node crashed, taking its processes with it.
+    NodeCrashed {
+        /// The crashed node.
+        node: NodeId,
+    },
+    /// A node was restarted (processes stay dead).
+    NodeRestarted {
+        /// The restarted node.
+        node: NodeId,
+    },
+    /// A message was delivered.
+    Delivered {
+        /// Sender process.
+        src: ProcessId,
+        /// Receiver process.
+        dst: ProcessId,
+        /// Bytes the message occupied on the wire.
+        wire_size: usize,
+    },
+    /// A message was dropped (loss, partition, dead endpoint or down node).
+    Dropped {
+        /// Sender process.
+        src: ProcessId,
+        /// Intended receiver.
+        dst: ProcessId,
+        /// Why it never arrived.
+        reason: DropReason,
+    },
+    /// A timer fired.
+    TimerFired {
+        /// The process whose timer fired.
+        pid: ProcessId,
+        /// The actor-chosen timer token.
+        token: TimerToken,
+    },
+}
+
+/// Why a message never arrived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// Random transient communication fault.
+    RandomLoss,
+    /// A network partition blocked the path.
+    Partition,
+    /// The destination process is dead.
+    DeadProcess,
+    /// The destination node is down.
+    NodeDown,
+}
+
+impl fmt::Display for DropReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DropReason::RandomLoss => "random loss",
+            DropReason::Partition => "partition",
+            DropReason::DeadProcess => "dead process",
+            DropReason::NodeDown => "node down",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A timestamped trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When the event occurred.
+    pub time: SimTime,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+/// A bounded ring buffer of [`TraceEvent`]s. Disabled by default.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    enabled: bool,
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    total_recorded: u64,
+}
+
+impl Trace {
+    /// A disabled trace with the given capacity.
+    pub fn new(capacity: usize) -> Self {
+        Trace {
+            enabled: false,
+            capacity: capacity.max(1),
+            events: VecDeque::new(),
+            total_recorded: 0,
+        }
+    }
+
+    /// Turns recording on or off.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event if enabled, evicting the oldest when full.
+    pub fn record(&mut self, time: SimTime, kind: TraceEventKind) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(TraceEvent { time, kind });
+        self.total_recorded += 1;
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Count of events ever recorded (including evicted ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.total_recorded
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Drops all retained events (the total count is preserved).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// A compact digest of the retained events, usable for determinism
+    /// assertions without holding two whole traces in memory.
+    pub fn digest(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut hasher = DefaultHasher::new();
+        for ev in &self.events {
+            ev.time.as_micros().hash(&mut hasher);
+            format!("{:?}", ev.kind).hash(&mut hasher);
+        }
+        hasher.finish()
+    }
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::new(65_536)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(pid: u64) -> TraceEventKind {
+        TraceEventKind::Crashed { pid: ProcessId(pid) }
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::new(8);
+        t.record(SimTime::ZERO, ev(1));
+        assert!(t.is_empty());
+        assert_eq!(t.total_recorded(), 0);
+    }
+
+    #[test]
+    fn enabled_trace_records_in_order() {
+        let mut t = Trace::new(8);
+        t.set_enabled(true);
+        for i in 0..3 {
+            t.record(SimTime::from_micros(i), ev(i));
+        }
+        let pids: Vec<u64> = t
+            .events()
+            .map(|e| match e.kind {
+                TraceEventKind::Crashed { pid } => pid.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(pids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut t = Trace::new(2);
+        t.set_enabled(true);
+        for i in 0..5 {
+            t.record(SimTime::from_micros(i), ev(i));
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.total_recorded(), 5);
+        let first = t.events().next().unwrap();
+        assert_eq!(first.time, SimTime::from_micros(3));
+    }
+
+    #[test]
+    fn digest_distinguishes_traces() {
+        let mut a = Trace::new(8);
+        a.set_enabled(true);
+        let mut b = Trace::new(8);
+        b.set_enabled(true);
+        a.record(SimTime::ZERO, ev(1));
+        b.record(SimTime::ZERO, ev(1));
+        assert_eq!(a.digest(), b.digest());
+        b.record(SimTime::ZERO, ev(2));
+        assert_ne!(a.digest(), b.digest());
+    }
+}

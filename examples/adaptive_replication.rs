@@ -1,0 +1,47 @@
+//! Adaptive replication (the paper's Fig. 6): a load ramp crosses the
+//! switching threshold, the rate policy moves the group from warm-passive
+//! to active replication and back — at run time, without dropping requests.
+//!
+//! ```text
+//! cargo run --example adaptive_replication
+//! ```
+
+use versatile_dependability::bench::experiments::fig6;
+use versatile_dependability::bench::report::render_series;
+
+fn main() {
+    println!("versatile dependability — runtime adaptive replication (Fig. 6)");
+    println!("----------------------------------------------------------------");
+    println!(
+        "thresholds: switch to active above {} req/s, back to warm passive below {} req/s\n",
+        fig6::HIGH_RATE,
+        fig6::LOW_RATE
+    );
+
+    let result = fig6::run_timeline(20, 700.0, 42);
+
+    println!(
+        "{}",
+        render_series(
+            "request rate observed at the server [req/s]",
+            &result.rate_series,
+            24
+        )
+    );
+    println!("replication-style transitions (all replicas agree, via the");
+    println!("totally-ordered switch protocol of the paper's Fig. 5):");
+    for (t, style) in &result.style_timeline {
+        println!("  {t:>7.2}s  → {style}");
+    }
+    println!();
+    println!("served within the window:");
+    println!("  adaptive:        {}", result.adaptive_served);
+    println!("  static passive:  {}", result.static_served);
+    println!(
+        "  adaptive gain:   {:+.1}%  (the paper reports +4.1%)",
+        result.adaptive_gain_percent()
+    );
+    println!();
+    println!("active replication absorbs the peak; warm passive saves resources");
+    println!("the rest of the time. The knob moves the system between them.");
+}

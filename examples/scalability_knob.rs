@@ -1,0 +1,53 @@
+//! The scalability high-level knob (the paper's §4.3, Fig. 8, Table 2):
+//! measure every configuration, impose the contract's hard limits, maximize
+//! fault tolerance, break ties with the cost function — and get, for each
+//! client count, the configuration the system should run.
+//!
+//! ```text
+//! cargo run --release --example scalability_knob
+//! ```
+
+use versatile_dependability::bench::experiments::{fig7, fig8};
+use versatile_dependability::prelude::*;
+
+fn main() {
+    println!("versatile dependability — tuning system scalability (§4.3)");
+    println!("-----------------------------------------------------------");
+    println!("requirements: latency ≤ 7000 µs, bandwidth ≤ 3 MB/s,");
+    println!("best fault tolerance, then minimum cost with p = 0.5\n");
+
+    println!("measuring the configuration grid (styles × replicas × clients)…");
+    let measurements = fig7::run(600, 42);
+    println!("{}", measurements.render());
+
+    let policy = fig8::derive(&measurements);
+    println!("{}", policy.render());
+
+    // The same machinery, driven as an actual knob: ask the planner what to
+    // run for a given load and print the decision path.
+    for clients in [2usize, 5] {
+        match &policy.plan[&clients] {
+            Some(config) => {
+                let contract = Contract::paper_section_4_3();
+                println!(
+                    "for {clients} clients the knob selects {config} — {} replication, \
+                     {} replicas, tolerating {} crash fault(s) at cost {:.3}",
+                    config.style, config.replicas, config.faults_tolerated, config.cost
+                );
+                let obs = Observations {
+                    latency_micros: config.latency_micros,
+                    bandwidth_bps: config.bandwidth_mbps * 1e6,
+                    replicas: config.replicas,
+                    ..Observations::default()
+                };
+                println!("  contract check: {:?}", contract.evaluate(&obs));
+            }
+            None => {
+                println!(
+                    "for {clients} clients NO configuration satisfies the requirements — \
+                     the framework notifies the operators that a new policy must be defined"
+                );
+            }
+        }
+    }
+}
