@@ -1,53 +1,38 @@
-//! Criterion benches wrapping each paper experiment at reduced scale, one
-//! bench per table/figure: regenerates the result and reports how long the
-//! (simulated) experiment takes in wall-clock terms.
-
-use criterion::{criterion_group, criterion_main, Criterion};
+//! Benches wrapping each paper experiment at reduced scale, one bench per
+//! table/figure: regenerates the result and reports how long the (simulated)
+//! experiment takes in wall-clock terms.
 
 use vd_bench::experiments::{fig3, fig4, fig6, fig7, fig8, fig9};
+use vd_bench::harness::Bench;
 use vd_core::style::ReplicationStyle;
 
-fn bench_fig3(c: &mut Criterion) {
-    c.bench_function("fig3_rtt_breakdown", |b| {
-        b.iter(|| {
-            let result = fig3::run(200, 42);
-            assert!(result.total_micros > 0.0);
-            result
-        })
-    });
-}
+fn main() {
+    let bench = Bench::new(10);
 
-fn bench_fig4(c: &mut Criterion) {
-    c.bench_function("fig4_overhead_ladder", |b| {
-        b.iter(|| {
-            let result = fig4::run(150, 42);
-            assert_eq!(result.modes.len(), 6);
-            result
-        })
+    bench.run("fig3_rtt_breakdown", || {
+        let result = fig3::run(200, 42);
+        assert!(result.total_micros > 0.0);
+        result
     });
-}
 
-fn bench_fig6(c: &mut Criterion) {
-    c.bench_function("fig6_adaptive_timeline", |b| {
-        b.iter(|| {
-            let result = fig6::run_timeline(6, 1200.0, 42);
-            assert!(!result.style_timeline.is_empty());
-            result
-        })
+    bench.run("fig4_overhead_ladder", || {
+        let result = fig4::run(150, 42);
+        assert_eq!(result.modes.len(), 6);
+        result
     });
-}
 
-fn bench_fig7(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig7_grid_point");
+    bench.run("fig6_adaptive_timeline", || {
+        let result = fig6::run_timeline(6, 1200.0, 42);
+        assert!(!result.style_timeline.is_empty());
+        result
+    });
+
     for style in [ReplicationStyle::Active, ReplicationStyle::WarmPassive] {
-        group.bench_function(format!("{style}_3r_3c"), |b| {
-            b.iter(|| fig7::measure_point(style, 3, 3, 150, 42))
+        bench.run(&format!("fig7_grid_point/{style}_3r_3c"), || {
+            fig7::measure_point(style, 3, 3, 150, 42)
         });
     }
-    group.finish();
-}
 
-fn bench_fig8(c: &mut Criterion) {
     // Policy derivation over a pre-measured grid (the planner itself).
     let data = fig7::Fig7Result {
         rows: {
@@ -70,29 +55,16 @@ fn bench_fig8(c: &mut Criterion) {
             rows
         },
     };
-    c.bench_function("fig8_scalability_planner", |b| {
-        b.iter(|| {
-            let result = fig8::derive(&data);
-            assert_eq!(result.plan.len(), 5);
-            result
-        })
+    bench.run("fig8_scalability_planner", || {
+        let result = fig8::derive(&data);
+        assert_eq!(result.plan.len(), 5);
+        result
+    });
+
+    let data9 = fig7::run(50, 42);
+    bench.run("fig9_design_space_normalization", || {
+        let result = fig9::derive(&data9);
+        assert_eq!(result.points.len(), data9.rows.len());
+        result
     });
 }
-
-fn bench_fig9(c: &mut Criterion) {
-    let data = fig7::run(50, 42);
-    c.bench_function("fig9_design_space_normalization", |b| {
-        b.iter(|| {
-            let result = fig9::derive(&data);
-            assert_eq!(result.points.len(), data.rows.len());
-            result
-        })
-    });
-}
-
-criterion_group! {
-    name = figures;
-    config = Criterion::default().sample_size(10);
-    targets = bench_fig3, bench_fig4, bench_fig6, bench_fig7, bench_fig8, bench_fig9
-}
-criterion_main!(figures);

@@ -3,8 +3,8 @@
 //! replication engine, checkpoint capture and the scalability planner.
 
 use bytes::Bytes;
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
+use vd_bench::harness::Bench;
 use vd_core::engine::Engine;
 use vd_core::policy::{plan_scalability, ConfigMeasurement, ScalabilityRequirements};
 use vd_core::state::ReplicatedApplication;
@@ -21,34 +21,30 @@ use vd_simnet::metrics::Histogram;
 use vd_simnet::time::{SimDuration, SimTime};
 use vd_simnet::topology::ProcessId;
 
-fn bench_cdr(c: &mut Criterion) {
+fn bench_cdr(bench: &Bench) {
     let payload = vec![0xAB_u8; 1024];
-    c.bench_function("cdr_encode_1k", |b| {
-        b.iter(|| {
-            let mut enc = Encoder::with_capacity(1100);
-            enc.put_u64(42);
-            enc.put_str("operation-name");
-            enc.put_bytes(&payload);
-            enc.finish()
-        })
+    bench.run("cdr_encode_1k", || {
+        let mut enc = Encoder::with_capacity(1100);
+        enc.put_u64(42);
+        enc.put_str("operation-name");
+        enc.put_bytes(&payload);
+        enc.finish()
     });
     let mut enc = Encoder::new();
     enc.put_u64(42);
     enc.put_str("operation-name");
     enc.put_bytes(&payload);
     let bytes = enc.finish();
-    c.bench_function("cdr_decode_1k", |b| {
-        b.iter(|| {
-            let mut dec = Decoder::new(bytes.clone());
-            let a = dec.get_u64().unwrap();
-            let s = dec.get_string().unwrap();
-            let p = dec.get_bytes().unwrap();
-            (a, s, p)
-        })
+    bench.run("cdr_decode_1k", || {
+        let mut dec = Decoder::new(bytes.clone());
+        let a = dec.get_u64().unwrap();
+        let s = dec.get_string().unwrap();
+        let p = dec.get_bytes().unwrap();
+        (a, s, p)
     });
 }
 
-fn bench_wire(c: &mut Criterion) {
+fn bench_wire(bench: &Bench) {
     let msg = OrbMessage::Request(Request {
         request_id: 7,
         object_key: ObjectKey::new("bench"),
@@ -56,130 +52,115 @@ fn bench_wire(c: &mut Criterion) {
         args: Bytes::from(vec![0u8; 256]),
         response_expected: true,
     });
-    c.bench_function("giop_encode_request", |b| b.iter(|| msg.encode()));
+    bench.run("giop_encode_request", || msg.encode());
     let bytes = msg.encode();
-    c.bench_function("giop_decode_request", |b| {
-        b.iter(|| OrbMessage::decode(bytes.clone()).unwrap())
+    bench.run("giop_decode_request", || {
+        OrbMessage::decode(bytes.clone()).unwrap()
     });
 }
 
-fn bench_vclock(c: &mut Criterion) {
+fn bench_vclock(bench: &Bench) {
     let mut a = VectorClock::new();
     let mut m = VectorClock::new();
     for i in 0..16u64 {
         a.set(ProcessId(i), i * 3);
         m.set(ProcessId(i), i * 2);
     }
-    c.bench_function("vclock_merge_16", |b| {
-        b.iter_batched(
-            || a.clone(),
-            |mut clock| {
-                clock.merge(&m);
-                clock
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    c.bench_function("vclock_deliverable_16", |b| {
-        b.iter(|| a.deliverable(ProcessId(3), &m))
+    bench.run_batched(
+        "vclock_merge_16",
+        || a.clone(),
+        |mut clock| {
+            clock.merge(&m);
+            clock
+        },
+    );
+    bench.run("vclock_deliverable_16", || a.deliverable(ProcessId(3), &m));
+}
+
+fn bench_histogram(bench: &Bench) {
+    bench.run("histogram_record_10k", || {
+        let mut h = Histogram::new();
+        for i in 0..10_000u64 {
+            h.record(SimDuration::from_micros(i % 5000));
+        }
+        h.mean()
     });
 }
 
-fn bench_histogram(c: &mut Criterion) {
-    c.bench_function("histogram_record_10k", |b| {
-        b.iter(|| {
-            let mut h = Histogram::new();
-            for i in 0..10_000u64 {
-                h.record(SimDuration::from_micros(i % 5000));
-            }
-            h.mean()
-        })
-    });
-}
-
-fn bench_group_multicast(c: &mut Criterion) {
+fn bench_group_multicast(bench: &Bench) {
     // The sans-IO fast path: A multicasts, B receives and delivers.
-    c.bench_function("group_agreed_multicast_pair", |b| {
-        b.iter_batched(
-            || {
-                let members = vec![ProcessId(1), ProcessId(2)];
-                let mut a = Endpoint::bootstrap(
-                    ProcessId(1),
-                    GroupId(0),
-                    GroupConfig::default(),
-                    members.clone(),
-                );
-                let mut bep =
-                    Endpoint::bootstrap(ProcessId(2), GroupId(0), GroupConfig::default(), members);
-                let _ = a.start(SimTime::ZERO);
-                let _ = bep.start(SimTime::ZERO);
-                (a, bep)
-            },
-            |(mut a, mut bep)| {
-                let mut delivered = 0usize;
-                for i in 0..64u64 {
-                    let now = SimTime::from_micros(i * 10);
-                    let outs = a
-                        .multicast(now, DeliveryOrder::Agreed, Bytes::from_static(b"payload"))
-                        .unwrap();
-                    for out in outs {
-                        if let vd_group::api::Output::Send { to, msg } = out {
-                            if to == ProcessId(2) {
-                                let outs2 = bep.handle_message(now, ProcessId(1), msg);
-                                delivered += outs2
-                                    .iter()
-                                    .filter(|o| o.as_delivery().is_some())
-                                    .count();
-                            }
+    bench.run_batched(
+        "group_agreed_multicast_pair",
+        || {
+            let members = vec![ProcessId(1), ProcessId(2)];
+            let mut a = Endpoint::bootstrap(
+                ProcessId(1),
+                GroupId(0),
+                GroupConfig::default(),
+                members.clone(),
+            );
+            let mut bep =
+                Endpoint::bootstrap(ProcessId(2), GroupId(0), GroupConfig::default(), members);
+            let _ = a.start(SimTime::ZERO);
+            let _ = bep.start(SimTime::ZERO);
+            (a, bep)
+        },
+        |(mut a, mut bep)| {
+            let mut delivered = 0usize;
+            for i in 0..64u64 {
+                let now = SimTime::from_micros(i * 10);
+                let outs = a
+                    .multicast(now, DeliveryOrder::Agreed, Bytes::from_static(b"payload"))
+                    .unwrap();
+                for out in outs {
+                    if let vd_group::api::Output::Send { to, msg } = out {
+                        if to == ProcessId(2) {
+                            let outs2 = bep.handle_message(now, ProcessId(1), msg);
+                            delivered += outs2.iter().filter(|o| o.as_delivery().is_some()).count();
                         }
                     }
                 }
-                delivered
-            },
-            BatchSize::SmallInput,
-        )
-    });
+            }
+            delivered
+        },
+    );
 }
 
-fn bench_engine(c: &mut Criterion) {
-    c.bench_function("engine_active_invoke_1k", |b| {
-        b.iter_batched(
-            || {
-                Engine::new(
-                    ProcessId(1),
-                    ReplicationStyle::Active,
-                    vec![ProcessId(1), ProcessId(2), ProcessId(3)],
-                    true,
-                )
-                .0
-            },
-            |mut engine| {
-                for i in 1..=1000u64 {
-                    let ops = engine.on_invoke(ProcessId(9), i, "op".into(), Bytes::new());
-                    assert_eq!(ops.len(), 1);
-                }
-                engine
-            },
-            BatchSize::SmallInput,
-        )
-    });
+fn bench_engine(bench: &Bench) {
+    bench.run_batched(
+        "engine_active_invoke_1k",
+        || {
+            Engine::new(
+                ProcessId(1),
+                ReplicationStyle::Active,
+                vec![ProcessId(1), ProcessId(2), ProcessId(3)],
+                true,
+            )
+            .0
+        },
+        |mut engine| {
+            for i in 1..=1000u64 {
+                let ops = engine.on_invoke(ProcessId(9), i, "op".into(), Bytes::new());
+                assert_eq!(ops.len(), 1);
+            }
+            engine
+        },
+    );
 }
 
-fn bench_checkpoint(c: &mut Criterion) {
+fn bench_checkpoint(bench: &Bench) {
     let mut app = vd_bench::workload::PaddedApp::new(64 * 1024, 64, 15);
     let _ = app.invoke("x", &Bytes::new());
-    c.bench_function("checkpoint_capture_64k", |b| b.iter(|| app.capture_state()));
+    bench.run("checkpoint_capture_64k", || app.capture_state());
     let snapshot = app.capture_state();
-    c.bench_function("checkpoint_restore_64k", |b| {
-        b.iter(|| {
-            let mut fresh = vd_bench::workload::PaddedApp::new(64 * 1024, 64, 15);
-            fresh.restore_state(&snapshot);
-            fresh
-        })
+    bench.run("checkpoint_restore_64k", || {
+        let mut fresh = vd_bench::workload::PaddedApp::new(64 * 1024, 64, 15);
+        fresh.restore_state(&snapshot);
+        fresh
     });
 }
 
-fn bench_planner(c: &mut Criterion) {
+fn bench_planner(bench: &Bench) {
     let mut measurements = Vec::new();
     for style in [ReplicationStyle::Active, ReplicationStyle::WarmPassive] {
         for replicas in 1..=3usize {
@@ -195,15 +176,19 @@ fn bench_planner(c: &mut Criterion) {
         }
     }
     let reqs = ScalabilityRequirements::paper();
-    c.bench_function("scalability_planner_300_points", |b| {
-        b.iter(|| plan_scalability(&measurements, &reqs))
+    bench.run("scalability_planner_300_points", || {
+        plan_scalability(&measurements, &reqs)
     });
 }
 
-criterion_group! {
-    name = micro;
-    config = Criterion::default().sample_size(20);
-    targets = bench_cdr, bench_wire, bench_vclock, bench_histogram,
-              bench_group_multicast, bench_engine, bench_checkpoint, bench_planner
+fn main() {
+    let bench = Bench::new(20);
+    bench_cdr(&bench);
+    bench_wire(&bench);
+    bench_vclock(&bench);
+    bench_histogram(&bench);
+    bench_group_multicast(&bench);
+    bench_engine(&bench);
+    bench_checkpoint(&bench);
+    bench_planner(&bench);
 }
-criterion_main!(micro);

@@ -93,7 +93,9 @@ fn main() -> ExitCode {
             println!("{}", ablation::run(requests.min(500), seed).render());
         }
         other => {
-            eprintln!("unknown experiment: {other} (expected fig3|fig4|fig6|fig7|fig8|fig9|ablation|all)");
+            eprintln!(
+                "unknown experiment: {other} (expected fig3|fig4|fig6|fig7|fig8|fig9|ablation|all)"
+            );
             return ExitCode::FAILURE;
         }
     }

@@ -322,7 +322,7 @@ mod tests {
         let rows = run_checkpoints(150, 23);
         let first = rows.first().unwrap(); // 2 ms: frequent checkpoints
         let last = rows.last().unwrap(); // 50 ms: rare checkpoints
-        // Frequent checkpointing costs bandwidth in steady state…
+                                         // Frequent checkpointing costs bandwidth in steady state…
         assert!(
             first.bandwidth_mbps > last.bandwidth_mbps,
             "{} !> {}",

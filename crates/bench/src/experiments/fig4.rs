@@ -51,10 +51,18 @@ impl Fig4Result {
     }
 }
 
-fn measure_baseline(mode: InterceptMode, label: &'static str, requests: u64, seed: u64) -> ModeResult {
+fn measure_baseline(
+    mode: InterceptMode,
+    label: &'static str,
+    requests: u64,
+    seed: u64,
+) -> ModeResult {
     let (mut world, _client, _server) = build_baseline(mode, requests, seed);
     world.run_for(SimDuration::from_secs(2 + requests / 500));
-    let h = world.metrics().histogram_ref("baseline.rtt").expect("rtt recorded");
+    let h = world
+        .metrics()
+        .histogram_ref("baseline.rtt")
+        .expect("rtt recorded");
     ModeResult {
         mode: label,
         mean_micros: h.mean_micros_f64(),
@@ -63,7 +71,12 @@ fn measure_baseline(mode: InterceptMode, label: &'static str, requests: u64, see
     }
 }
 
-fn measure_replicated(style: ReplicationStyle, label: &'static str, requests: u64, seed: u64) -> ModeResult {
+fn measure_replicated(
+    style: ReplicationStyle,
+    label: &'static str,
+    requests: u64,
+    seed: u64,
+) -> ModeResult {
     let config = TestbedConfig {
         replicas: 1,
         clients: 1,
@@ -73,7 +86,8 @@ fn measure_replicated(style: ReplicationStyle, label: &'static str, requests: u6
         ..TestbedConfig::default()
     };
     let mut bed = build_replicated(&config);
-    bed.world.run_for(SimDuration::from_secs(2 + requests / 200));
+    bed.world
+        .run_for(SimDuration::from_secs(2 + requests / 200));
     let h = bed.merged_rtt();
     ModeResult {
         mode: label,
@@ -88,16 +102,36 @@ pub fn run(requests: u64, seed: u64) -> Fig4Result {
     Fig4Result {
         modes: vec![
             measure_baseline(InterceptMode::None, "No interceptor", requests, seed),
-            measure_baseline(InterceptMode::ClientOnly, "Client intercepted", requests, seed + 1),
-            measure_baseline(InterceptMode::ServerOnly, "Server intercepted", requests, seed + 2),
-            measure_baseline(InterceptMode::Both, "Server & client intercepted", requests, seed + 3),
+            measure_baseline(
+                InterceptMode::ClientOnly,
+                "Client intercepted",
+                requests,
+                seed + 1,
+            ),
+            measure_baseline(
+                InterceptMode::ServerOnly,
+                "Server intercepted",
+                requests,
+                seed + 2,
+            ),
+            measure_baseline(
+                InterceptMode::Both,
+                "Server & client intercepted",
+                requests,
+                seed + 3,
+            ),
             measure_replicated(
                 ReplicationStyle::WarmPassive,
                 "Warm passive (1 replica)",
                 requests,
                 seed + 4,
             ),
-            measure_replicated(ReplicationStyle::Active, "Active (1 replica)", requests, seed + 5),
+            measure_replicated(
+                ReplicationStyle::Active,
+                "Active (1 replica)",
+                requests,
+                seed + 5,
+            ),
         ],
     }
 }
@@ -123,7 +157,10 @@ mod tests {
         let passive = mean("Warm passive (1 replica)");
         let active = mean("Active (1 replica)");
         // Interposition alone adds little, replication adds a lot.
-        assert!(baseline < client && client < both, "{baseline} {client} {both}");
+        assert!(
+            baseline < client && client < both,
+            "{baseline} {client} {both}"
+        );
         assert!(both < active, "{both} < {active}");
         assert!(both < passive, "{both} < {passive}");
         // With a single replica there is no logging partner, so warm

@@ -176,8 +176,7 @@ mod tests {
     #[test]
     fn ramp_triggers_switch_to_active_and_back() {
         let result = run_timeline(12, 1200.0, 5);
-        let styles: Vec<ReplicationStyle> =
-            result.style_timeline.iter().map(|&(_, s)| s).collect();
+        let styles: Vec<ReplicationStyle> = result.style_timeline.iter().map(|&(_, s)| s).collect();
         assert!(
             styles.contains(&ReplicationStyle::Active),
             "never switched to active: {styles:?}"
@@ -193,7 +192,10 @@ mod tests {
             .iter()
             .map(|&(_, v)| v)
             .fold(0.0, f64::max);
-        assert!(peak > HIGH_RATE, "observed peak {peak} never crossed the threshold");
+        assert!(
+            peak > HIGH_RATE,
+            "observed peak {peak} never crossed the threshold"
+        );
     }
 
     #[test]
@@ -206,7 +208,10 @@ mod tests {
             result.static_served
         );
         let gain = result.adaptive_gain_percent();
-        assert!(gain > 1.0, "gain {gain:.1}% too small to be the paper's effect");
+        assert!(
+            gain > 1.0,
+            "gain {gain:.1}% too small to be the paper's effect"
+        );
         assert!(result.render().contains("gain"));
     }
 }

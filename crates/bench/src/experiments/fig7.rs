@@ -55,7 +55,12 @@ impl Fig7Result {
     }
 
     /// The row for a specific configuration, if measured.
-    pub fn get(&self, style: ReplicationStyle, replicas: usize, clients: usize) -> Option<&Fig7Row> {
+    pub fn get(
+        &self,
+        style: ReplicationStyle,
+        replicas: usize,
+        clients: usize,
+    ) -> Option<&Fig7Row> {
         self.rows
             .iter()
             .find(|r| r.style == style && r.replicas == replicas && r.clients == clients)
@@ -183,7 +188,10 @@ mod tests {
         // (b) bandwidth: active consumes more, with a widening gap
         // (paper: ≈2× at five clients).
         let bw_ratio5 = bw(Active, 5) / bw(WarmPassive, 5);
-        assert!(bw_ratio5 > 1.5, "active/passive bandwidth at 5 = {bw_ratio5:.2}");
+        assert!(
+            bw_ratio5 > 1.5,
+            "active/passive bandwidth at 5 = {bw_ratio5:.2}"
+        );
         assert!(bw(Active, 5) > bw(Active, 1));
     }
 }

@@ -111,17 +111,83 @@ mod tests {
     fn paper_measurements_reproduce_table_2() {
         use ReplicationStyle::{Active, WarmPassive};
         let rows = vec![
-            ConfigMeasurement { style: Active, replicas: 3, clients: 1, latency_micros: 1245.8, bandwidth_mbps: 1.074 },
-            ConfigMeasurement { style: Active, replicas: 3, clients: 2, latency_micros: 1457.2, bandwidth_mbps: 2.032 },
-            ConfigMeasurement { style: Active, replicas: 3, clients: 3, latency_micros: 1650.0, bandwidth_mbps: 3.2 },
-            ConfigMeasurement { style: Active, replicas: 3, clients: 4, latency_micros: 1900.0, bandwidth_mbps: 4.1 },
-            ConfigMeasurement { style: Active, replicas: 3, clients: 5, latency_micros: 2100.0, bandwidth_mbps: 5.0 },
-            ConfigMeasurement { style: WarmPassive, replicas: 3, clients: 1, latency_micros: 3000.0, bandwidth_mbps: 0.8 },
-            ConfigMeasurement { style: WarmPassive, replicas: 3, clients: 2, latency_micros: 3900.0, bandwidth_mbps: 1.3 },
-            ConfigMeasurement { style: WarmPassive, replicas: 3, clients: 3, latency_micros: 4966.0, bandwidth_mbps: 1.887 },
-            ConfigMeasurement { style: WarmPassive, replicas: 3, clients: 4, latency_micros: 6141.1, bandwidth_mbps: 2.315 },
-            ConfigMeasurement { style: WarmPassive, replicas: 3, clients: 5, latency_micros: 7500.0, bandwidth_mbps: 2.6 },
-            ConfigMeasurement { style: WarmPassive, replicas: 2, clients: 5, latency_micros: 6006.2, bandwidth_mbps: 2.799 },
+            ConfigMeasurement {
+                style: Active,
+                replicas: 3,
+                clients: 1,
+                latency_micros: 1245.8,
+                bandwidth_mbps: 1.074,
+            },
+            ConfigMeasurement {
+                style: Active,
+                replicas: 3,
+                clients: 2,
+                latency_micros: 1457.2,
+                bandwidth_mbps: 2.032,
+            },
+            ConfigMeasurement {
+                style: Active,
+                replicas: 3,
+                clients: 3,
+                latency_micros: 1650.0,
+                bandwidth_mbps: 3.2,
+            },
+            ConfigMeasurement {
+                style: Active,
+                replicas: 3,
+                clients: 4,
+                latency_micros: 1900.0,
+                bandwidth_mbps: 4.1,
+            },
+            ConfigMeasurement {
+                style: Active,
+                replicas: 3,
+                clients: 5,
+                latency_micros: 2100.0,
+                bandwidth_mbps: 5.0,
+            },
+            ConfigMeasurement {
+                style: WarmPassive,
+                replicas: 3,
+                clients: 1,
+                latency_micros: 3000.0,
+                bandwidth_mbps: 0.8,
+            },
+            ConfigMeasurement {
+                style: WarmPassive,
+                replicas: 3,
+                clients: 2,
+                latency_micros: 3900.0,
+                bandwidth_mbps: 1.3,
+            },
+            ConfigMeasurement {
+                style: WarmPassive,
+                replicas: 3,
+                clients: 3,
+                latency_micros: 4966.0,
+                bandwidth_mbps: 1.887,
+            },
+            ConfigMeasurement {
+                style: WarmPassive,
+                replicas: 3,
+                clients: 4,
+                latency_micros: 6141.1,
+                bandwidth_mbps: 2.315,
+            },
+            ConfigMeasurement {
+                style: WarmPassive,
+                replicas: 3,
+                clients: 5,
+                latency_micros: 7500.0,
+                bandwidth_mbps: 2.6,
+            },
+            ConfigMeasurement {
+                style: WarmPassive,
+                replicas: 2,
+                clients: 5,
+                latency_micros: 6006.2,
+                bandwidth_mbps: 2.799,
+            },
         ];
         let fig7 = Fig7Result {
             rows: rows

@@ -10,7 +10,7 @@
 //! cargo run -p vd-bench --bin experiments -- fig7
 //! ```
 //!
-//! or measure wall-clock costs with Criterion:
+//! or measure wall-clock costs with the in-tree [`harness`]:
 //!
 //! ```text
 //! cargo bench -p vd-bench
@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod harness;
 pub mod report;
 pub mod testbed;
 pub mod workload;

@@ -82,7 +82,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(
@@ -114,7 +118,11 @@ pub fn render_series(title: &str, points: &[(f64, f64)], max_rows: usize) -> Str
         return out;
     }
     let step = (points.len() / max_rows.max(1)).max(1);
-    let max_v = points.iter().map(|p| p.1).fold(f64::MIN, f64::max).max(1e-9);
+    let max_v = points
+        .iter()
+        .map(|p| p.1)
+        .fold(f64::MIN, f64::max)
+        .max(1e-9);
     for chunk in points.chunks(step) {
         let (t, v) = chunk[chunk.len() / 2];
         let bar_len = ((v / max_v) * 50.0).round() as usize;

@@ -28,10 +28,7 @@ pub fn lan_link() -> LinkConfig {
 /// round trip.
 pub fn gc_link() -> LinkConfig {
     LinkConfig {
-        latency: LatencyModel::uniform(
-            SimDuration::from_micros(210),
-            SimDuration::from_micros(80),
-        ),
+        latency: LatencyModel::uniform(SimDuration::from_micros(210), SimDuration::from_micros(80)),
         bandwidth_bytes_per_sec: Some(12_500_000),
     }
 }
@@ -124,7 +121,11 @@ impl Testbed {
     pub fn merged_rtt(&self) -> vd_simnet::metrics::Histogram {
         let mut merged = vd_simnet::metrics::Histogram::new();
         for i in 0..self.clients.len() {
-            if let Some(h) = self.world.metrics().histogram_ref(&format!("client{i}.rtt")) {
+            if let Some(h) = self
+                .world
+                .metrics()
+                .histogram_ref(&format!("client{i}.rtt"))
+            {
                 merged.merge(h);
             }
         }
@@ -240,7 +241,12 @@ pub fn build_baseline(
         request_bytes: 256,
         ..DriverConfig::default()
     });
-    let mut client = ClientActor::new(server_pid, driver, OrbCosts::paper_calibrated(), "baseline.rtt");
+    let mut client = ClientActor::new(
+        server_pid,
+        driver,
+        OrbCosts::paper_calibrated(),
+        "baseline.rtt",
+    );
     if matches!(mode, InterceptMode::ClientOnly | InterceptMode::Both) {
         client = client.with_interceptor(Box::new(Passthrough::new()));
     }

@@ -47,7 +47,10 @@ impl RateProfile {
     ///
     /// Panics if `points` is empty or times are not strictly increasing.
     pub fn new(points: Vec<(SimTime, f64)>) -> Self {
-        assert!(!points.is_empty(), "a rate profile needs at least one point");
+        assert!(
+            !points.is_empty(),
+            "a rate profile needs at least one point"
+        );
         assert!(
             points.windows(2).all(|w| w[0].0 < w[1].0),
             "rate profile times must be strictly increasing"

@@ -1,0 +1,643 @@
+//! # vd-check — the workspace determinism linter
+//!
+//! The reproduction's whole evaluation rests on two mechanical properties
+//! that ordinary tests cannot enforce:
+//!
+//! 1. **Determinism** — every run of the simulator with the same seed must
+//!    produce the same trace, so protocol code must not reach for wall
+//!    clocks, OS threads, ambient randomness, or iteration-order-dependent
+//!    collections.
+//! 2. **Exhaustive protocol handling** — adding a variant to a protocol
+//!    message enum must be a compile-and-lint event, never a silent drop
+//!    through a `_ =>` arm; and decode paths must return errors, not panic.
+//!
+//! `cargo run -p vd-check` scans every `.rs` file in `crates/core`,
+//! `crates/group`, `crates/orb` and `crates/simnet` (comments, string
+//! literals and `#[cfg(test)]` blocks excluded) and reports:
+//!
+//! - [`Lint::Nondeterminism`]: `std::time::Instant` / `SystemTime`,
+//!   `thread::sleep`, `rand::thread_rng`, and `HashMap` / `HashSet`
+//!   (use `BTreeMap` / `BTreeSet`, or `DeterministicRng` for randomness).
+//! - [`Lint::WildcardMatch`]: a `_ =>` arm in a `match` over a protocol
+//!   message enum (`ReplicatorMsg`, `GroupMsg`, … — discovered from
+//!   `core/src/messages.rs` and `group/src/message.rs`).
+//! - [`Lint::DecodeUnwrap`]: `.unwrap()` / `.expect(…)` inside the decode
+//!   files (`cdr.rs`, `message.rs`), where malformed input must surface as
+//!   a `DecodeError`.
+//!
+//! Audited exceptions go in `crates/check/allowlist.txt`; see
+//! [`Allowlist`] for the format. The scanner is a hand-rolled lexical
+//! pass (the workspace builds fully offline, so no `syn`), which is why it
+//! works on stripped text rather than an AST — see [`strip`].
+
+pub mod strip;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use strip::{blank_test_blocks, strip_source};
+
+/// The lint classes vd-check enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lint {
+    /// A nondeterminism source in protocol code.
+    Nondeterminism,
+    /// A wildcard `_ =>` arm in a match over a protocol message enum.
+    WildcardMatch,
+    /// `unwrap()`/`expect()` on a decode path.
+    DecodeUnwrap,
+}
+
+impl Lint {
+    /// The stable identifier used in output and in the allowlist file.
+    pub fn id(self) -> &'static str {
+        match self {
+            Lint::Nondeterminism => "nondeterminism",
+            Lint::WildcardMatch => "wildcard-match",
+            Lint::DecodeUnwrap => "decode-unwrap",
+        }
+    }
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One lint violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// File the finding is in.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Which lint fired.
+    pub lint: Lint,
+    /// Human-readable description.
+    pub message: String,
+    /// The offending source line (original, not stripped).
+    pub excerpt: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}\n    {}",
+            self.file.display(),
+            self.line,
+            self.lint,
+            self.message,
+            self.excerpt.trim()
+        )
+    }
+}
+
+/// What to scan and with which parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Names of protocol message enums whose matches must be exhaustive.
+    pub protocol_enums: Vec<String>,
+    /// File names (not paths) treated as decode paths for the
+    /// unwrap/expect lint.
+    pub decode_file_names: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            protocol_enums: vec!["ReplicatorMsg".into(), "GroupMsg".into()],
+            decode_file_names: vec!["cdr.rs".into(), "message.rs".into()],
+        }
+    }
+}
+
+/// The tokens lint (a) rejects, with the guidance printed for each.
+const NONDETERMINISM_TOKENS: &[(&str, &str)] = &[
+    (
+        "Instant",
+        "wall-clock time; use the simulator's SimTime instead",
+    ),
+    (
+        "SystemTime",
+        "wall-clock time; use the simulator's SimTime instead",
+    ),
+    (
+        "thread::sleep",
+        "real-time blocking; schedule a simulator timer instead",
+    ),
+    (
+        "thread_rng",
+        "ambient OS randomness; draw from DeterministicRng instead",
+    ),
+    (
+        "HashMap",
+        "iteration order is nondeterministic; use BTreeMap",
+    ),
+    (
+        "HashSet",
+        "iteration order is nondeterministic; use BTreeSet",
+    ),
+];
+
+/// Scans one file's source text. `file` is used only for reporting and for
+/// deciding whether the decode-path lint applies.
+pub fn scan_source(file: &Path, source: &str, config: &Config) -> Vec<Finding> {
+    let stripped = blank_test_blocks(&strip_source(source));
+    let original_lines: Vec<&str> = source.lines().collect();
+    let excerpt = |line: usize| -> String {
+        original_lines
+            .get(line.saturating_sub(1))
+            .unwrap_or(&"")
+            .to_string()
+    };
+
+    let mut findings = Vec::new();
+
+    // Lint (a): nondeterminism tokens, word-bounded.
+    for (lineno, text) in stripped.lines().enumerate() {
+        for &(token, why) in NONDETERMINISM_TOKENS {
+            if contains_token(text, token) {
+                findings.push(Finding {
+                    file: file.to_path_buf(),
+                    line: lineno + 1,
+                    lint: Lint::Nondeterminism,
+                    message: format!("`{token}`: {why}"),
+                    excerpt: excerpt(lineno + 1),
+                });
+            }
+        }
+    }
+
+    // Lint (b): wildcard arms in matches over protocol enums.
+    for wildcard in find_wildcard_protocol_matches(&stripped, &config.protocol_enums) {
+        findings.push(Finding {
+            file: file.to_path_buf(),
+            line: wildcard.wildcard_line,
+            lint: Lint::WildcardMatch,
+            message: format!(
+                "`_ =>` arm in a match over protocol enum `{}`; match every variant so \
+                 new messages are a compile-and-lint event, not a silent drop",
+                wildcard.enum_name
+            ),
+            excerpt: excerpt(wildcard.wildcard_line),
+        });
+    }
+
+    // Lint (c): unwrap/expect in decode files.
+    let name = file
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    if config.decode_file_names.contains(&name) {
+        for (lineno, text) in stripped.lines().enumerate() {
+            if text.contains(".unwrap()") || text.contains(".expect(") {
+                findings.push(Finding {
+                    file: file.to_path_buf(),
+                    line: lineno + 1,
+                    lint: Lint::DecodeUnwrap,
+                    message: "panicking call on a decode path; malformed input must surface \
+                              as a DecodeError, not a panic"
+                        .into(),
+                    excerpt: excerpt(lineno + 1),
+                });
+            }
+        }
+    }
+
+    findings.sort_by_key(|f| f.line);
+    findings
+}
+
+/// True when `text` contains `token` as a whole word (identifier-bounded
+/// on both sides; `::`-paths like `thread::sleep` are matched verbatim).
+fn contains_token(text: &str, token: &str) -> bool {
+    let bytes = text.as_bytes();
+    let mut start = 0usize;
+    while let Some(pos) = text[start..].find(token) {
+        let begin = start + pos;
+        let end = begin + token.len();
+        let left_ok = begin == 0 || !is_ident_char(bytes[begin - 1]);
+        let right_ok = end >= bytes.len() || !is_ident_char(bytes[end]);
+        if left_ok && right_ok {
+            return true;
+        }
+        start = begin + 1;
+    }
+    false
+}
+
+fn is_ident_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+struct WildcardMatch {
+    enum_name: String,
+    wildcard_line: usize,
+}
+
+/// Finds every `match` block in stripped source whose arm *patterns*
+/// mention one of the protocol enums and which also contains a top-level
+/// `_ =>` arm.
+fn find_wildcard_protocol_matches(stripped: &str, enums: &[String]) -> Vec<WildcardMatch> {
+    let chars: Vec<char> = stripped.chars().collect();
+    let mut found = Vec::new();
+    let mut i = 0usize;
+    while i + 5 <= chars.len() {
+        if !is_keyword_at(&chars, i, "match") {
+            i += 1;
+            continue;
+        }
+        // Walk past the scrutinee to the block's opening brace (tracking
+        // parens/brackets so closures or tuples in the scrutinee don't
+        // confuse us; struct literals are not legal in scrutinee position).
+        let mut j = i + 5;
+        let mut nesting = 0i32;
+        let block_open = loop {
+            match chars.get(j) {
+                None => break None,
+                Some('(') | Some('[') => nesting += 1,
+                Some(')') | Some(']') => nesting -= 1,
+                Some('{') if nesting == 0 => break Some(j),
+                Some(';') if nesting == 0 => break None, // not a match expr
+                _ => {}
+            }
+            j += 1;
+        };
+        let Some(open) = block_open else {
+            i += 5;
+            continue;
+        };
+        if let Some(wm) = analyze_match_block(&chars, open, enums) {
+            found.push(wm);
+        }
+        // Continue after the `match` keyword: nested matches inside this
+        // block are analyzed by their own keyword occurrences.
+        i += 5;
+    }
+    found
+}
+
+fn is_keyword_at(chars: &[char], i: usize, kw: &str) -> bool {
+    let kw_chars: Vec<char> = kw.chars().collect();
+    if i + kw_chars.len() > chars.len() || chars[i..i + kw_chars.len()] != kw_chars[..] {
+        return false;
+    }
+    let left_ok = i == 0 || !(chars[i - 1].is_alphanumeric() || chars[i - 1] == '_');
+    let right = chars.get(i + kw_chars.len());
+    let right_ok = right.is_none_or(|c| !(c.is_alphanumeric() || *c == '_'));
+    left_ok && right_ok
+}
+
+/// Splits the arms of the match block opening at `chars[open] == '{'` and
+/// reports a wildcard finding if an arm pattern references a protocol enum
+/// while another top-level arm is `_`.
+fn analyze_match_block(chars: &[char], open: usize, enums: &[String]) -> Option<WildcardMatch> {
+    let mut depth = 0i32;
+    let mut i = open;
+    let mut pattern = String::new();
+    let mut in_pattern = true;
+    let mut enum_hit: Option<String> = None;
+    let mut wildcard_pos: Option<usize> = None;
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '{' | '(' | '[' => depth += 1,
+            '}' | ')' | ']' => {
+                depth -= 1;
+                if depth == 0 {
+                    break; // end of the match block
+                }
+                // A close at depth 1 while in a body ends a braced arm.
+                if depth == 1 && !in_pattern {
+                    in_pattern = true;
+                    pattern.clear();
+                    i += 1;
+                    continue;
+                }
+            }
+            _ => {}
+        }
+        if depth == 1 && in_pattern {
+            if c == '=' && chars.get(i + 1) == Some(&'>') {
+                // End of a pattern: classify it. Leading commas left over
+                // from a preceding braced arm are not part of the pattern.
+                let trimmed = pattern.trim_matches(|c: char| c.is_whitespace() || c == ',');
+                for e in enums {
+                    if pattern.contains(&format!("{e}::")) {
+                        enum_hit = Some(e.clone());
+                    }
+                }
+                if trimmed == "_" || trimmed.starts_with("_ if") || trimmed.starts_with("_\n") {
+                    wildcard_pos.get_or_insert(i);
+                }
+                in_pattern = false;
+                pattern.clear();
+                i += 2;
+                continue;
+            }
+            if depth == 1 {
+                pattern.push(c);
+            }
+        } else if depth == 1 && !in_pattern && c == ',' {
+            // A comma at depth 1 ends an expression arm.
+            in_pattern = true;
+            pattern.clear();
+        }
+        i += 1;
+    }
+
+    match (enum_hit, wildcard_pos) {
+        (Some(enum_name), Some(pos)) => Some(WildcardMatch {
+            enum_name,
+            wildcard_line: line_of(chars, pos),
+        }),
+        _ => None,
+    }
+}
+
+fn line_of(chars: &[char], pos: usize) -> usize {
+    1 + chars[..pos].iter().filter(|&&c| c == '\n').count()
+}
+
+/// Audited exceptions, loaded from `crates/check/allowlist.txt`.
+///
+/// One entry per line: `<lint-id> <path-suffix> <substring>`, where the
+/// entry suppresses findings of that lint in files whose path ends with
+/// `path-suffix` and whose offending source line contains `substring`.
+/// Blank lines and `#` comments are ignored.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    entries: Vec<AllowEntry>,
+}
+
+#[derive(Debug)]
+struct AllowEntry {
+    lint_id: String,
+    path_suffix: String,
+    substring: String,
+    used: std::cell::Cell<bool>,
+}
+
+impl Allowlist {
+    /// Parses the allowlist format; returns an error message on a
+    /// malformed line.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, char::is_whitespace);
+            let (Some(lint_id), Some(path_suffix), Some(substring)) =
+                (parts.next(), parts.next(), parts.next())
+            else {
+                return Err(format!(
+                    "allowlist line {}: expected `<lint-id> <path-suffix> <substring>`",
+                    lineno + 1
+                ));
+            };
+            entries.push(AllowEntry {
+                lint_id: lint_id.to_string(),
+                path_suffix: path_suffix.to_string(),
+                substring: substring.trim().to_string(),
+                used: std::cell::Cell::new(false),
+            });
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// True if the finding matches an entry (marks the entry used).
+    pub fn permits(&self, finding: &Finding) -> bool {
+        let path = finding.file.to_string_lossy().replace('\\', "/");
+        for e in &self.entries {
+            if e.lint_id == finding.lint.id()
+                && path.ends_with(&e.path_suffix)
+                && finding.excerpt.contains(&e.substring)
+            {
+                e.used.set(true);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Entries that never matched a finding — stale audits worth pruning.
+    pub fn unused(&self) -> Vec<String> {
+        self.entries
+            .iter()
+            .filter(|e| !e.used.get())
+            .map(|e| format!("{} {} {}", e.lint_id, e.path_suffix, e.substring))
+            .collect()
+    }
+}
+
+/// Recursively collects `.rs` files under `root` (or `root` itself if it
+/// is a file), sorted for deterministic output.
+pub fn collect_rs_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    if root.is_file() {
+        if root.extension().is_some_and(|e| e == "rs") {
+            files.push(root.to_path_buf());
+        }
+        return Ok(files);
+    }
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let path = entry?.path();
+            if path.is_dir() {
+                if path.file_name().is_some_and(|n| n == "target") {
+                    continue;
+                }
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Scans a set of roots, applying the allowlist. Returns the surviving
+/// findings, sorted by file and line.
+pub fn scan_paths(
+    roots: &[PathBuf],
+    config: &Config,
+    allowlist: &Allowlist,
+) -> std::io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for root in roots {
+        for file in collect_rs_files(root)? {
+            let source = std::fs::read_to_string(&file)?;
+            findings.extend(
+                scan_source(&file, &source, config)
+                    .into_iter()
+                    .filter(|f| !allowlist.permits(f)),
+            );
+        }
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(findings)
+}
+
+/// Discovers protocol enum names by scanning the message definition files
+/// for `pub enum` declarations; falls back to the defaults when a file is
+/// missing (e.g. when linting fixtures outside the workspace).
+pub fn discover_protocol_enums(workspace_root: &Path) -> Vec<String> {
+    let mut enums = Vec::new();
+    for rel in ["crates/core/src/messages.rs", "crates/group/src/message.rs"] {
+        let Ok(source) = std::fs::read_to_string(workspace_root.join(rel)) else {
+            continue;
+        };
+        let stripped = strip_source(&source);
+        for line in stripped.lines() {
+            let line = line.trim();
+            if let Some(rest) = line.strip_prefix("pub enum ") {
+                let name: String = rest
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect();
+                if !name.is_empty() {
+                    enums.push(name);
+                }
+            }
+        }
+    }
+    if enums.is_empty() {
+        enums = Config::default().protocol_enums;
+    }
+    enums.sort();
+    enums.dedup();
+    enums
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(name: &str, src: &str) -> Vec<Finding> {
+        scan_source(Path::new(name), src, &Config::default())
+    }
+
+    #[test]
+    fn flags_hashmap_in_code_but_not_in_comments() {
+        let src = "use std::collections::HashMap; // HashMap is fine here\n";
+        let findings = scan("proto.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].lint, Lint::Nondeterminism);
+        assert_eq!(findings[0].line, 1);
+    }
+
+    #[test]
+    fn does_not_flag_identifiers_containing_token() {
+        let findings = scan("proto.rs", "struct MyHashMapLike; let sleepy = 1;\n");
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn flags_wildcard_match_over_protocol_enum() {
+        let src = r#"
+fn f(m: ReplicatorMsg) {
+    match m {
+        ReplicatorMsg::Invoke { .. } => handle(),
+        _ => {}
+    }
+}
+"#;
+        let findings = scan("proto.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].lint, Lint::WildcardMatch);
+        assert_eq!(findings[0].line, 5);
+    }
+
+    #[test]
+    fn exhaustive_protocol_match_is_clean() {
+        let src = r#"
+fn f(m: GroupMsg) {
+    match m {
+        GroupMsg::Data { .. } => a(),
+        GroupMsg::Ack { .. } => b(),
+    }
+}
+"#;
+        assert!(scan("proto.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wildcard_over_plain_enum_is_clean() {
+        let src = r#"
+fn f(t: u64, m: ReplicatorMsg) {
+    match t {
+        1 => send(ReplicatorMsg::Invoke { id: 0 }),
+        _ => {}
+    }
+}
+"#;
+        // ReplicatorMsg:: appears in an arm *body*, not a pattern.
+        assert!(scan("proto.rs", src).is_empty());
+    }
+
+    #[test]
+    fn nested_match_wildcard_is_found() {
+        let src = r#"
+fn f(m: GroupMsg, k: u8) {
+    match k {
+        0 => match m {
+            GroupMsg::Data { .. } => a(),
+            _ => ignore(),
+        },
+        1 => b(),
+        _ => c(),
+    }
+}
+"#;
+        let findings = scan("proto.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].lint, Lint::WildcardMatch);
+        assert_eq!(findings[0].line, 6);
+    }
+
+    #[test]
+    fn unwrap_flagged_only_in_decode_files() {
+        let src = "fn decode(b: &[u8]) -> Msg { parse(b).unwrap() }\n";
+        assert_eq!(scan("cdr.rs", src).len(), 1);
+        assert_eq!(scan("message.rs", src).len(), 1);
+        assert!(scan("engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_test_module_is_ignored() {
+        let src = "\
+fn ok() {}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { super::parse(b\"x\").unwrap(); }
+}
+";
+        assert!(scan("cdr.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allowlist_suppresses_and_tracks_usage() {
+        let src = "use std::collections::HashMap;\nuse std::collections::HashSet;\n";
+        let allow = Allowlist::parse("# audited\nnondeterminism proto.rs HashMap\n").unwrap();
+        let findings: Vec<Finding> = scan("proto.rs", src)
+            .into_iter()
+            .filter(|f| !allow.permits(f))
+            .collect();
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].excerpt.contains("HashSet"));
+        assert!(allow.unused().is_empty());
+    }
+
+    #[test]
+    fn malformed_allowlist_is_an_error() {
+        assert!(Allowlist::parse("just-two fields\n").is_err());
+    }
+}

@@ -1,0 +1,106 @@
+//! CLI entry point for the workspace determinism linter.
+//!
+//! ```text
+//! cargo run -p vd-check              # lint the four protocol crates
+//! cargo run -p vd-check -- <paths>   # lint specific files or directories
+//! ```
+//!
+//! Exits non-zero when any lint fires (after allowlist filtering), so CI
+//! can gate on it.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use vd_check::{discover_protocol_enums, scan_paths, Allowlist, Config};
+
+/// The crates under the determinism contract. `vd-bench` is deliberately
+/// excluded: it measures wall-clock performance and may use `Instant`.
+const DEFAULT_ROOTS: &[&str] = &["crates/core", "crates/group", "crates/orb", "crates/simnet"];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let workspace_root = match find_workspace_root() {
+        Some(root) => root,
+        None => {
+            eprintln!("vd-check: run from inside the workspace (no Cargo.toml with crates/ found)");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let roots: Vec<PathBuf> = if args.is_empty() {
+        DEFAULT_ROOTS
+            .iter()
+            .map(|r| workspace_root.join(r))
+            .collect()
+    } else {
+        args.iter().map(PathBuf::from).collect()
+    };
+    for root in &roots {
+        if !root.exists() {
+            eprintln!("vd-check: path does not exist: {}", root.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let config = Config {
+        protocol_enums: discover_protocol_enums(&workspace_root),
+        ..Config::default()
+    };
+
+    let allowlist_path = workspace_root.join("crates/check/allowlist.txt");
+    let allowlist = match std::fs::read_to_string(&allowlist_path) {
+        Ok(text) => match Allowlist::parse(&text) {
+            Ok(list) => list,
+            Err(err) => {
+                eprintln!("vd-check: {}: {err}", allowlist_path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(_) => Allowlist::default(),
+    };
+
+    let findings = match scan_paths(&roots, &config, &allowlist) {
+        Ok(findings) => findings,
+        Err(err) => {
+            eprintln!("vd-check: io error: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for finding in &findings {
+        println!("{finding}");
+    }
+    for stale in allowlist.unused() {
+        eprintln!("vd-check: warning: unused allowlist entry: {stale}");
+    }
+
+    if findings.is_empty() {
+        println!(
+            "vd-check: clean — {} scanned, protocol enums: {}",
+            roots
+                .iter()
+                .map(|r| r.display().to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
+            config.protocol_enums.join(", ")
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("vd-check: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// Walks up from the current directory to the checkout root (identified by
+/// a `crates/` directory next to a `Cargo.toml`).
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

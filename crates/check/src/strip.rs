@@ -1,0 +1,293 @@
+//! Lexical preprocessing for the lint pass.
+//!
+//! The linter works on source text, not an AST, so before pattern-matching
+//! it must blank out the places where lint tokens may legitimately appear
+//! without being code: comments (including doc comments, where examples
+//! often call `unwrap`), string/char literals, and `#[cfg(test)]` blocks
+//! (tests are free to use `HashMap` or panic).
+//!
+//! Blanking replaces every stripped character with a space while keeping
+//! newlines, so byte columns shift but line numbers in findings stay exact.
+
+/// Replaces comments and string/char literal *contents* with spaces,
+/// preserving the line structure of the input.
+pub fn strip_source(src: &str) -> String {
+    #[derive(PartialEq)]
+    enum State {
+        Normal,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(u32),
+    }
+
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut state = State::Normal;
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match state {
+            State::Normal => match c {
+                '/' if next == Some('/') => {
+                    state = State::LineComment;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                }
+                '/' if next == Some('*') => {
+                    state = State::BlockComment(1);
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                }
+                '"' => {
+                    state = State::Str;
+                    out.push('"');
+                    i += 1;
+                }
+                'r' if is_raw_string_start(&chars, i) => {
+                    let hashes = count_hashes(&chars, i + 1);
+                    state = State::RawStr(hashes);
+                    out.push(' ');
+                    for _ in 0..hashes {
+                        out.push(' ');
+                    }
+                    out.push('"');
+                    i += 2 + hashes as usize;
+                }
+                '\'' => {
+                    // Distinguish a char literal from a lifetime: a char
+                    // literal is 'x' or an escape; a lifetime has no
+                    // closing quote right after its identifier start.
+                    if next == Some('\\') {
+                        // Escaped char literal: skip to the closing quote.
+                        out.push(' ');
+                        i += 1;
+                        while i < chars.len() && chars[i] != '\'' {
+                            out.push(if chars[i] == '\n' { '\n' } else { ' ' });
+                            i += 1;
+                        }
+                        if i < chars.len() {
+                            out.push(' ');
+                            i += 1;
+                        }
+                    } else if chars.get(i + 2) == Some(&'\'') {
+                        out.push(' ');
+                        out.push(' ');
+                        out.push(' ');
+                        i += 3;
+                    } else {
+                        // A lifetime (or a lone quote): keep as-is.
+                        out.push('\'');
+                        i += 1;
+                    }
+                }
+                _ => {
+                    out.push(c);
+                    i += 1;
+                }
+            },
+            State::LineComment => {
+                if c == '\n' {
+                    state = State::Normal;
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Normal
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    out.push(' ');
+                    if next.is_some() {
+                        out.push(if next == Some('\n') { '\n' } else { ' ' });
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                } else if c == '"' {
+                    state = State::Normal;
+                    out.push('"');
+                    i += 1;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw_string(&chars, i, hashes) {
+                    state = State::Normal;
+                    out.push('"');
+                    for _ in 0..hashes {
+                        out.push(' ');
+                    }
+                    i += 1 + hashes as usize;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// True when `chars[i] == 'r'` begins a raw string literal (`r"`, `r#"`,
+/// …) rather than an identifier containing the letter r.
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    if i > 0 {
+        let prev = chars[i - 1];
+        if prev.is_alphanumeric() || prev == '_' {
+            return false;
+        }
+    }
+    let mut j = i + 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+fn count_hashes(chars: &[char], mut i: usize) -> u32 {
+    let mut n = 0;
+    while chars.get(i) == Some(&'#') {
+        n += 1;
+        i += 1;
+    }
+    n
+}
+
+fn closes_raw_string(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Blanks every `#[cfg(test)]`-gated item (typically `mod tests { … }`) in
+/// already-stripped source, again preserving line structure.
+pub fn blank_test_blocks(stripped: &str) -> String {
+    let mut text: Vec<char> = stripped.chars().collect();
+    let needle: Vec<char> = "#[cfg(test)]".chars().collect();
+    let mut i = 0usize;
+    while i + needle.len() <= text.len() {
+        if text[i..i + needle.len()] != needle[..] {
+            i += 1;
+            continue;
+        }
+        // Find the end of the gated item: the matching `}` of its first
+        // brace block, or a `;` that arrives before any `{`.
+        let mut j = i + needle.len();
+        let mut depth = 0usize;
+        let end = loop {
+            match text.get(j) {
+                None => break j,
+                Some('{') => depth += 1,
+                Some('}') => {
+                    if depth == 0 {
+                        // A stray close brace means we ran past the gated
+                        // item's enclosing scope; stop without eating it.
+                        break j;
+                    }
+                    depth -= 1;
+                    if depth == 0 {
+                        break j + 1;
+                    }
+                }
+                Some(';') if depth == 0 => break j + 1,
+                _ => {}
+            }
+            j += 1;
+        };
+        for cell in text[i..end].iter_mut() {
+            if *cell != '\n' {
+                *cell = ' ';
+            }
+        }
+        i = end;
+    }
+    text.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let src = "let a = 1; // HashMap here\nlet b = /* HashMap */ 2;\n";
+        let out = strip_source(src);
+        assert!(!out.contains("HashMap"));
+        assert!(out.contains("let a = 1;"));
+        assert!(out.contains("let b ="));
+        assert_eq!(out.matches('\n').count(), 2);
+    }
+
+    #[test]
+    fn strips_nested_block_comments() {
+        let src = "/* outer /* inner HashMap */ still out */ let x = 3;";
+        let out = strip_source(src);
+        assert!(!out.contains("HashMap"));
+        assert!(out.contains("let x = 3;"));
+    }
+
+    #[test]
+    fn strips_string_contents_but_keeps_quotes() {
+        let src = "let s = \"HashMap::new()\"; let c = 'H';";
+        let out = strip_source(src);
+        assert!(!out.contains("HashMap"));
+        assert!(out.contains("let s = \""));
+    }
+
+    #[test]
+    fn strips_raw_strings() {
+        let src = "let s = r#\"uses \"HashMap\" inside\"#; let t = 1;";
+        let out = strip_source(src);
+        assert!(!out.contains("HashMap"));
+        assert!(out.contains("let t = 1;"));
+    }
+
+    #[test]
+    fn keeps_lifetimes_intact() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        let out = strip_source(src);
+        assert_eq!(out, src);
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let src = "let s = \"a \\\" HashMap\"; let u = 9;";
+        let out = strip_source(src);
+        assert!(!out.contains("HashMap"));
+        assert!(out.contains("let u = 9;"));
+    }
+
+    #[test]
+    fn blanks_cfg_test_modules() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\nfn after() {}\n";
+        let out = blank_test_blocks(&strip_source(src));
+        assert!(!out.contains("HashMap"));
+        assert!(out.contains("fn real()"));
+        assert!(out.contains("fn after()"));
+        assert_eq!(out.matches('\n').count(), src.matches('\n').count());
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture: panicking calls on a decode path (file named like the real
+//! decode modules, so the decode-unwrap lint applies).
+//! Not compiled — scanned as text by the fixture tests.
+
+fn decode_header(buf: &[u8]) -> Header {
+    let magic = read_u32(buf).unwrap();
+    let version = read_u8(&buf[4..]).expect("version byte");
+    Header { magic, version }
+}

@@ -1,0 +1,15 @@
+//! Fixture: every nondeterminism source vd-check must reject.
+//! Not compiled — scanned as text by the fixture tests.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::time::Instant;
+use std::time::SystemTime;
+
+fn protocol_step(pending: &mut HashMap<u64, Vec<u8>>, seen: &mut HashSet<u64>) {
+    let started = Instant::now();
+    let _wall = SystemTime::now();
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    let mut rng = rand::thread_rng();
+    let _ = (started, &mut rng, pending, seen);
+}

@@ -1,0 +1,12 @@
+//! Fixture: a wildcard `_ =>` arm in a match over a protocol message enum.
+//! Not compiled — scanned as text by the fixture tests.
+
+fn handle(msg: ReplicatorMsg) {
+    match msg {
+        ReplicatorMsg::Invoke { client, .. } => deliver(client),
+        ReplicatorMsg::Checkpoint { version, .. } => apply(version),
+        // New variants silently fall through here — exactly the bug class
+        // vd-check exists to catch.
+        _ => {}
+    }
+}

@@ -1,0 +1,38 @@
+//! Fixture: determinism-respecting protocol code that must produce zero
+//! findings — including the decoy tokens in comments, strings and tests.
+//! Not compiled — scanned as text by the fixture tests.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+// A comment mentioning HashMap, Instant and thread_rng is fine.
+const NOTE: &str = "strings mentioning HashMap and SystemTime are fine too";
+
+fn handle(msg: ReplicatorMsg, pending: &mut BTreeMap<u64, BTreeSet<u64>>) {
+    match msg {
+        ReplicatorMsg::Invoke { client, .. } => deliver(client, pending),
+        ReplicatorMsg::Checkpoint { version, .. } => apply(version),
+    }
+}
+
+fn route(kind: u8) -> Option<Route> {
+    // A wildcard over a plain integer is allowed; the lint only guards
+    // protocol message enums.
+    match kind {
+        0 => Some(Route::Local),
+        1 => Some(Route::Remote),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn tests_may_use_hash_collections_and_unwrap() {
+        let mut m = HashMap::new();
+        m.insert(1, 2);
+        assert_eq!(m.get(&1).copied().unwrap(), 2);
+    }
+}

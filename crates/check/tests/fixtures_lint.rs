@@ -1,0 +1,109 @@
+//! End-to-end lint tests over the fixture files: each known-bad fixture
+//! must trip exactly its lint, and the clean fixture must produce zero
+//! findings (no false positives from comments, strings or test modules).
+
+use std::path::{Path, PathBuf};
+
+use vd_check::{scan_paths, scan_source, Allowlist, Config, Lint};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn scan_fixture(name: &str) -> Vec<vd_check::Finding> {
+    let path = fixture(name);
+    let source = std::fs::read_to_string(&path).unwrap();
+    scan_source(&path, &source, &Config::default())
+}
+
+#[test]
+fn nondeterminism_fixture_trips_every_token() {
+    let findings = scan_fixture("bad_nondeterminism.rs");
+    assert!(
+        findings.iter().all(|f| f.lint == Lint::Nondeterminism),
+        "{findings:?}"
+    );
+    for token in [
+        "HashMap",
+        "HashSet",
+        "Instant",
+        "SystemTime",
+        "thread::sleep",
+        "thread_rng",
+    ] {
+        assert!(
+            findings.iter().any(|f| f.message.contains(token)),
+            "no finding for {token}: {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn wildcard_fixture_trips_the_match_lint() {
+    let findings = scan_fixture("bad_wildcard_match.rs");
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].lint, Lint::WildcardMatch);
+    assert!(findings[0].message.contains("ReplicatorMsg"));
+    // The wildcard arm in the fixture is on line 10.
+    assert_eq!(findings[0].line, 10);
+}
+
+#[test]
+fn decode_fixture_trips_unwrap_and_expect() {
+    let findings = scan_fixture("bad_decode/cdr.rs");
+    assert_eq!(findings.len(), 2, "{findings:?}");
+    assert!(findings.iter().all(|f| f.lint == Lint::DecodeUnwrap));
+}
+
+#[test]
+fn clean_fixture_has_no_findings() {
+    let findings = scan_fixture("clean.rs");
+    assert!(findings.is_empty(), "false positives: {findings:?}");
+}
+
+#[test]
+fn scanning_the_fixture_tree_finds_all_bad_files() {
+    let roots = vec![fixture("")];
+    let findings = scan_paths(&roots, &Config::default(), &Allowlist::default()).unwrap();
+    let files: std::collections::BTreeSet<String> = findings
+        .iter()
+        .map(|f| f.file.file_name().unwrap().to_string_lossy().into_owned())
+        .collect();
+    assert!(files.contains("bad_nondeterminism.rs"));
+    assert!(files.contains("bad_wildcard_match.rs"));
+    assert!(files.contains("cdr.rs"));
+    assert!(!files.contains("clean.rs"));
+}
+
+#[test]
+fn allowlist_can_suppress_a_fixture_finding() {
+    let allow = Allowlist::parse(
+        "decode-unwrap bad_decode/cdr.rs read_u32\ndecode-unwrap bad_decode/cdr.rs read_u8\n",
+    )
+    .unwrap();
+    let roots = vec![fixture("bad_decode")];
+    let findings = scan_paths(&roots, &Config::default(), &allow).unwrap();
+    assert!(findings.is_empty(), "{findings:?}");
+    assert!(allow.unused().is_empty());
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    // The acceptance bar: the four protocol crates pass their own linter.
+    let workspace = Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap();
+    let roots: Vec<PathBuf> = ["core", "group", "orb", "simnet"]
+        .iter()
+        .map(|c| workspace.join(c))
+        .collect();
+    let config = Config {
+        protocol_enums: vd_check::discover_protocol_enums(workspace.parent().unwrap()),
+        ..Config::default()
+    };
+    let findings = scan_paths(&roots, &config, &Allowlist::default()).unwrap();
+    assert!(
+        findings.is_empty(),
+        "workspace lint findings: {findings:#?}"
+    );
+}

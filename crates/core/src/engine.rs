@@ -326,7 +326,10 @@ impl Engine {
             let old = self.style;
             self.style = style;
             if old != style {
-                ops.push(EngineOp::StyleChanged { from: old, to: style });
+                ops.push(EngineOp::StyleChanged {
+                    from: old,
+                    to: style,
+                });
             }
             ops.push(EngineOp::ApplyCheckpoint {
                 version,
@@ -609,7 +612,10 @@ mod tests {
     #[test]
     fn semi_active_followers_execute_silently() {
         let (mut leader, _) = trio(ReplicationStyle::SemiActive, 1);
-        assert_eq!(executed_entries(&invoke(&mut leader, 9, 1)), vec![(1, true)]);
+        assert_eq!(
+            executed_entries(&invoke(&mut leader, 9, 1)),
+            vec![(1, true)]
+        );
         let (mut follower, _) = trio(ReplicationStyle::SemiActive, 2);
         assert_eq!(
             executed_entries(&invoke(&mut follower, 9, 1)),
@@ -633,7 +639,11 @@ mod tests {
         );
         assert!(matches!(
             ops[0],
-            EngineOp::ApplyCheckpoint { version: 3, at_failover: false, .. }
+            EngineOp::ApplyCheckpoint {
+                version: 3,
+                at_failover: false,
+                ..
+            }
         ));
         assert_eq!(backup.executed(), 3);
         assert_eq!(backup.backlog(), 2);
@@ -681,7 +691,11 @@ mod tests {
         let ops = backup.on_view_change(vec![p(2), p(3)], &[p(1)], &[]);
         assert!(matches!(
             ops[0],
-            EngineOp::ApplyCheckpoint { version: 4, at_failover: true, .. }
+            EngineOp::ApplyCheckpoint {
+                version: 4,
+                at_failover: true,
+                ..
+            }
         ));
         assert_eq!(executed_entries(&ops), vec![(5, true), (6, true)]);
         assert_eq!(backup.executed(), 6);
@@ -692,7 +706,9 @@ mod tests {
         let (mut primary, _) = trio(ReplicationStyle::WarmPassive, 1);
         invoke(&mut primary, 100, 1);
         let ops = primary.on_switch_request(ReplicationStyle::Active);
-        assert!(ops.contains(&EngineOp::BroadcastCheckpoint { final_for_switch: true }));
+        assert!(ops.contains(&EngineOp::BroadcastCheckpoint {
+            final_for_switch: true
+        }));
         assert!(ops.contains(&EngineOp::StopCheckpointTimer));
         assert_eq!(primary.style(), ReplicationStyle::Active);
         // And it keeps executing immediately.
@@ -704,23 +720,23 @@ mod tests {
     fn switch_warm_to_active_backup_waits_for_final_checkpoint() {
         let (mut backup, _) = trio(ReplicationStyle::WarmPassive, 2);
         invoke(&mut backup, 100, 1);
-        assert!(backup.on_switch_request(ReplicationStyle::Active).is_empty());
+        assert!(backup
+            .on_switch_request(ReplicationStyle::Active)
+            .is_empty());
         assert!(backup.is_switching());
         // Post-switch invokes are held, not executed.
         assert!(invoke(&mut backup, 100, 2).is_empty());
         assert_eq!(backup.backlog(), 2);
         // The final checkpoint covers the pre-switch prefix (version 1);
         // the backlog beyond it executes as active.
-        let ops = backup.on_checkpoint(
-            1,
-            ReplicationStyle::WarmPassive,
-            true,
-            Bytes::new(),
-            vec![],
-        );
+        let ops =
+            backup.on_checkpoint(1, ReplicationStyle::WarmPassive, true, Bytes::new(), vec![]);
         assert!(ops.iter().any(|op| matches!(
             op,
-            EngineOp::StyleChanged { to: ReplicationStyle::Active, .. }
+            EngineOp::StyleChanged {
+                to: ReplicationStyle::Active,
+                ..
+            }
         )));
         assert_eq!(executed_entries(&ops), vec![(2, true)]);
         assert!(!backup.is_switching());
@@ -737,7 +753,10 @@ mod tests {
         backup.on_switch_request(ReplicationStyle::Active);
         invoke(&mut backup, 100, 3);
         let ops = backup.on_view_change(vec![p(2), p(3)], &[p(1)], &[]);
-        assert_eq!(executed_entries(&ops), vec![(1, true), (2, true), (3, true)]);
+        assert_eq!(
+            executed_entries(&ops),
+            vec![(1, true), (2, true), (3, true)]
+        );
         assert_eq!(backup.style(), ReplicationStyle::Active);
         assert!(!backup.is_switching());
     }
@@ -762,8 +781,12 @@ mod tests {
     #[test]
     fn duplicate_switch_requests_are_discarded() {
         let (mut e, _) = trio(ReplicationStyle::Active, 1);
-        assert!(!e.on_switch_request(ReplicationStyle::WarmPassive).is_empty());
-        assert!(e.on_switch_request(ReplicationStyle::WarmPassive).is_empty());
+        assert!(!e
+            .on_switch_request(ReplicationStyle::WarmPassive)
+            .is_empty());
+        assert!(e
+            .on_switch_request(ReplicationStyle::WarmPassive)
+            .is_empty());
     }
 
     #[test]
@@ -789,7 +812,10 @@ mod tests {
         let (mut e, _) = trio(ReplicationStyle::Active, 1);
         assert_eq!(e.on_client_request(p(100), 1), GatewayDecision::Multicast);
         invoke(&mut e, 100, 1);
-        assert_eq!(e.on_client_request(p(100), 1), GatewayDecision::ResendCached);
+        assert_eq!(
+            e.on_client_request(p(100), 1),
+            GatewayDecision::ResendCached
+        );
         assert_eq!(e.on_client_request(p(100), 2), GatewayDecision::Multicast);
         let (mut b, _) = trio(ReplicationStyle::WarmPassive, 2);
         invoke(&mut b, 100, 1);
@@ -798,8 +824,12 @@ mod tests {
 
     #[test]
     fn joiner_syncs_from_checkpoint_and_drains_backlog() {
-        let (mut joiner, init) =
-            Engine::new(p(4), ReplicationStyle::Active, vec![p(1), p(2), p(3), p(4)], false);
+        let (mut joiner, init) = Engine::new(
+            p(4),
+            ReplicationStyle::Active,
+            vec![p(1), p(2), p(3), p(4)],
+            false,
+        );
         assert!(init.is_empty());
         // Invokes before the sync checkpoint are buffered.
         assert!(invoke(&mut joiner, 100, 1).is_empty());
@@ -811,7 +841,10 @@ mod tests {
             Bytes::from_static(b"xfer"),
             vec![],
         );
-        assert!(matches!(ops[0], EngineOp::ApplyCheckpoint { version: 1, .. }));
+        assert!(matches!(
+            ops[0],
+            EngineOp::ApplyCheckpoint { version: 1, .. }
+        ));
         // Entry 1 was covered by the checkpoint; entry 2 executes now.
         assert_eq!(executed_entries(&ops), vec![(2, true)]);
         assert!(joiner.is_synced());
@@ -823,10 +856,14 @@ mod tests {
         let ops = e.on_view_change(vec![p(1), p(2), p(3), p(4)], &[], &[p(4)]);
         assert_eq!(
             ops,
-            vec![EngineOp::BroadcastCheckpoint { final_for_switch: false }]
+            vec![EngineOp::BroadcastCheckpoint {
+                final_for_switch: false
+            }]
         );
         let (mut e2, _) = trio(ReplicationStyle::Active, 2);
-        assert!(e2.on_view_change(vec![p(1), p(2), p(3), p(4)], &[], &[p(4)]).is_empty());
+        assert!(e2
+            .on_view_change(vec![p(1), p(2), p(3), p(4)], &[], &[p(4)])
+            .is_empty());
     }
 
     #[test]
@@ -859,7 +896,13 @@ mod tests {
         for id in 1..=3 {
             invoke(&mut backup, 100, id);
         }
-        backup.on_checkpoint(2, ReplicationStyle::ColdPassive, false, Bytes::new(), vec![]);
+        backup.on_checkpoint(
+            2,
+            ReplicationStyle::ColdPassive,
+            false,
+            Bytes::new(),
+            vec![],
+        );
         let ops = backup.on_switch_request(ReplicationStyle::WarmPassive);
         assert!(ops
             .iter()

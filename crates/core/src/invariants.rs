@@ -1,0 +1,175 @@
+//! Runtime invariant layer for systematic exploration (feature
+//! `check-invariants`).
+//!
+//! When the feature is enabled, every [`ReplicaActor`] keeps an
+//! [`InvariantLog`] — an audit trail of request executions and the reply
+//! each produced — and this module provides [`SwitchInvariants`], a
+//! world-level checker meant to be passed to
+//! [`World::explore`](vd_simnet::explore::explore) while driving the
+//! paper's Fig. 5 runtime switch protocol through adversarial
+//! interleavings and crash injections.
+//!
+//! The three checked properties:
+//!
+//! 1. **Single primary** — at most one live replica believes it is the
+//!    primary. Two simultaneous primaries would both execute and answer,
+//!    breaking the passive styles' sequential-execution contract.
+//! 2. **Exactly-once execution** — no replica executes the same
+//!    `(client, request id)` twice. Retries must be absorbed by the
+//!    gateway dedup / reply cache, including across failovers and style
+//!    switches (the FT-CORBA exactly-once guarantee the replicator
+//!    interposes for).
+//! 3. **Reply convergence** — every replica that executed a given request
+//!    produced the identical reply. Since the hosted application is
+//!    deterministic, a divergent reply means replica state diverged:
+//!    a checkpoint overtook or dropped part of the request backlog (the
+//!    exact failure mode the switch protocol's final checkpoint exists to
+//!    prevent).
+//!
+//! The checks are intentionally safety-only: they hold in *every*
+//! reachable state, including mid-switch and mid-failover, so the
+//! explorer can evaluate them after each step without false alarms.
+
+use std::collections::BTreeMap;
+
+use vd_simnet::explore::Fnv64;
+use vd_simnet::topology::ProcessId;
+use vd_simnet::world::World;
+
+use crate::replica::ReplicaActor;
+
+/// A content digest of a reply body, as stored in the [`InvariantLog`].
+pub fn reply_digest(body: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_bytes(body);
+    h.finish()
+}
+
+/// Per-replica audit trail maintained while `check-invariants` is on.
+#[derive(Debug, Clone, Default)]
+pub struct InvariantLog {
+    /// Every execution, in order: `(client, request id)`.
+    pub executed: Vec<(ProcessId, u64)>,
+    /// Digest of the reply produced for each executed request.
+    pub replies: BTreeMap<(ProcessId, u64), u64>,
+}
+
+impl InvariantLog {
+    /// Records one application execution and the reply it produced.
+    pub fn record_execution(&mut self, client: ProcessId, request_id: u64, reply_body: &[u8]) {
+        self.executed.push((client, request_id));
+        self.replies
+            .insert((client, request_id), reply_digest(reply_body));
+    }
+
+    /// The first `(client, request id)` executed more than once, if any.
+    pub fn first_duplicate(&self) -> Option<(ProcessId, u64)> {
+        let mut seen = std::collections::BTreeSet::new();
+        self.executed.iter().find(|&&e| !seen.insert(e)).copied()
+    }
+}
+
+/// World-level switch-protocol invariants over a fixed replica group.
+#[derive(Debug, Clone)]
+pub struct SwitchInvariants {
+    replicas: Vec<ProcessId>,
+}
+
+impl SwitchInvariants {
+    /// A checker over the given replica processes.
+    pub fn new(replicas: Vec<ProcessId>) -> Self {
+        SwitchInvariants { replicas }
+    }
+
+    /// Checks all three invariants; `Err` carries a diagnostic naming the
+    /// violated property and the replicas involved.
+    pub fn check(&self, world: &World) -> Result<(), String> {
+        self.single_primary(world)?;
+        self.exactly_once(world)?;
+        self.reply_convergence(world)
+    }
+
+    fn live_replicas<'a>(
+        &'a self,
+        world: &'a World,
+    ) -> impl Iterator<Item = (ProcessId, &'a ReplicaActor)> + 'a {
+        self.replicas.iter().filter_map(move |&pid| {
+            if !world.is_alive(pid) {
+                return None;
+            }
+            world.actor_ref::<ReplicaActor>(pid).map(|a| (pid, a))
+        })
+    }
+
+    fn single_primary(&self, world: &World) -> Result<(), String> {
+        let primaries: Vec<ProcessId> = self
+            .live_replicas(world)
+            .filter(|(_, actor)| actor.engine().is_primary())
+            .map(|(pid, _)| pid)
+            .collect();
+        if primaries.len() > 1 {
+            return Err(format!(
+                "single-primary violated at {}: {primaries:?} all believe they are primary",
+                world.now()
+            ));
+        }
+        Ok(())
+    }
+
+    fn exactly_once(&self, world: &World) -> Result<(), String> {
+        for (pid, actor) in self.live_replicas(world) {
+            if let Some((client, request_id)) = actor.invariant_log().first_duplicate() {
+                return Err(format!(
+                    "exactly-once violated at {}: replica {pid} executed \
+                     ({client}, {request_id}) twice",
+                    world.now()
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn reply_convergence(&self, world: &World) -> Result<(), String> {
+        let mut agreed: BTreeMap<(ProcessId, u64), (ProcessId, u64)> = BTreeMap::new();
+        for (pid, actor) in self.live_replicas(world) {
+            for (&request, &digest) in &actor.invariant_log().replies {
+                match agreed.get(&request) {
+                    None => {
+                        agreed.insert(request, (pid, digest));
+                    }
+                    Some(&(first_pid, first_digest)) if first_digest != digest => {
+                        let (client, request_id) = request;
+                        return Err(format!(
+                            "reply convergence violated at {}: replicas {first_pid} and \
+                             {pid} produced different replies for ({client}, {request_id})",
+                            world.now()
+                        ));
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_records_and_finds_duplicates() {
+        let mut log = InvariantLog::default();
+        log.record_execution(ProcessId(9), 1, b"a");
+        log.record_execution(ProcessId(9), 2, b"b");
+        assert_eq!(log.first_duplicate(), None);
+        log.record_execution(ProcessId(9), 1, b"a");
+        assert_eq!(log.first_duplicate(), Some((ProcessId(9), 1)));
+    }
+
+    #[test]
+    fn reply_digest_separates_bodies() {
+        assert_ne!(reply_digest(b"counter=1"), reply_digest(b"counter=2"));
+        assert_eq!(reply_digest(b"same"), reply_digest(b"same"));
+    }
+}

@@ -184,9 +184,7 @@ pub mod mapping {
                 AppParameter::SizeOfRequestsAndResponses,
                 AppParameter::Resources,
             ],
-            HighLevelKnob::Availability => {
-                &[AppParameter::SizeOfState, AppParameter::Resources]
-            }
+            HighLevelKnob::Availability => &[AppParameter::SizeOfState, AppParameter::Resources],
             HighLevelKnob::RealTimeGuarantees => &[
                 AppParameter::FrequencyOfRequests,
                 AppParameter::SizeOfRequestsAndResponses,
@@ -227,8 +225,14 @@ mod tests {
 
     #[test]
     fn faults_tolerated_is_replicas_minus_one() {
-        assert_eq!(LowLevelKnobs::default().num_replicas(3).faults_tolerated(), 2);
-        assert_eq!(LowLevelKnobs::default().num_replicas(1).faults_tolerated(), 0);
+        assert_eq!(
+            LowLevelKnobs::default().num_replicas(3).faults_tolerated(),
+            2
+        );
+        assert_eq!(
+            LowLevelKnobs::default().num_replicas(1).faults_tolerated(),
+            0
+        );
     }
 
     #[test]

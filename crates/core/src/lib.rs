@@ -64,6 +64,8 @@
 pub mod client;
 pub mod contract;
 pub mod engine;
+#[cfg(feature = "check-invariants")]
+pub mod invariants;
 pub mod knobs;
 pub mod messages;
 pub mod monitor;
@@ -82,8 +84,9 @@ pub mod prelude {
     pub use crate::messages::{CachedReply, ReplicatorMsg};
     pub use crate::monitor::{Monitor, Observations};
     pub use crate::policy::{
-        plan_scalability, AdaptationAction, AdaptationPolicy, AvailabilityPolicy, ChosenConfig, ContractPolicy,
-        ConfigMeasurement, PolicyContext, RateThresholdPolicy, ScalabilityRequirements,
+        plan_scalability, AdaptationAction, AdaptationPolicy, AvailabilityPolicy, ChosenConfig,
+        ConfigMeasurement, ContractPolicy, PolicyContext, RateThresholdPolicy,
+        ScalabilityRequirements,
     };
     pub use crate::replica::{ReplicaActor, ReplicaCommand, ReplicaConfig, ReplicaCosts};
     pub use crate::repstate::SystemBoard;

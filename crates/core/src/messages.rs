@@ -8,7 +8,7 @@
 
 use bytes::Bytes;
 
-use vd_orb::cdr::{Decoder, DecodeError, Encoder};
+use vd_orb::cdr::{DecodeError, Decoder, Encoder};
 use vd_orb::wire::{Reply, ReplyStatus};
 use vd_simnet::topology::ProcessId;
 

@@ -211,9 +211,11 @@ pub fn plan_scalability(
             // Requirement 3 first (max faults tolerated), then requirement 4
             // (min cost).
             .max_by(|a, b| {
-                a.faults_tolerated
-                    .cmp(&b.faults_tolerated)
-                    .then_with(|| b.cost.partial_cmp(&a.cost).unwrap_or(std::cmp::Ordering::Equal))
+                a.faults_tolerated.cmp(&b.faults_tolerated).then_with(|| {
+                    b.cost
+                        .partial_cmp(&a.cost)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
             });
         plan.insert(n, best);
     }
@@ -423,21 +425,87 @@ mod tests {
         // Fig. 7: we include representative values for the alternatives).
         let measurements = vec![
             // clients = 1
-            ConfigMeasurement { style: Active, replicas: 3, clients: 1, latency_micros: 1245.8, bandwidth_mbps: 1.074 },
-            ConfigMeasurement { style: WarmPassive, replicas: 3, clients: 1, latency_micros: 3100.0, bandwidth_mbps: 0.9 },
+            ConfigMeasurement {
+                style: Active,
+                replicas: 3,
+                clients: 1,
+                latency_micros: 1245.8,
+                bandwidth_mbps: 1.074,
+            },
+            ConfigMeasurement {
+                style: WarmPassive,
+                replicas: 3,
+                clients: 1,
+                latency_micros: 3100.0,
+                bandwidth_mbps: 0.9,
+            },
             // clients = 2
-            ConfigMeasurement { style: Active, replicas: 3, clients: 2, latency_micros: 1457.2, bandwidth_mbps: 2.032 },
-            ConfigMeasurement { style: WarmPassive, replicas: 3, clients: 2, latency_micros: 3900.0, bandwidth_mbps: 1.4 },
+            ConfigMeasurement {
+                style: Active,
+                replicas: 3,
+                clients: 2,
+                latency_micros: 1457.2,
+                bandwidth_mbps: 2.032,
+            },
+            ConfigMeasurement {
+                style: WarmPassive,
+                replicas: 3,
+                clients: 2,
+                latency_micros: 3900.0,
+                bandwidth_mbps: 1.4,
+            },
             // clients = 3: active's bandwidth now breaks the 3 MB/s limit.
-            ConfigMeasurement { style: Active, replicas: 3, clients: 3, latency_micros: 1700.0, bandwidth_mbps: 3.1 },
-            ConfigMeasurement { style: WarmPassive, replicas: 3, clients: 3, latency_micros: 4966.0, bandwidth_mbps: 1.887 },
+            ConfigMeasurement {
+                style: Active,
+                replicas: 3,
+                clients: 3,
+                latency_micros: 1700.0,
+                bandwidth_mbps: 3.1,
+            },
+            ConfigMeasurement {
+                style: WarmPassive,
+                replicas: 3,
+                clients: 3,
+                latency_micros: 4966.0,
+                bandwidth_mbps: 1.887,
+            },
             // clients = 4
-            ConfigMeasurement { style: Active, replicas: 3, clients: 4, latency_micros: 1900.0, bandwidth_mbps: 4.0 },
-            ConfigMeasurement { style: WarmPassive, replicas: 3, clients: 4, latency_micros: 6141.1, bandwidth_mbps: 2.315 },
+            ConfigMeasurement {
+                style: Active,
+                replicas: 3,
+                clients: 4,
+                latency_micros: 1900.0,
+                bandwidth_mbps: 4.0,
+            },
+            ConfigMeasurement {
+                style: WarmPassive,
+                replicas: 3,
+                clients: 4,
+                latency_micros: 6141.1,
+                bandwidth_mbps: 2.315,
+            },
             // clients = 5: no 3-replica configuration fits; P(2) does.
-            ConfigMeasurement { style: Active, replicas: 3, clients: 5, latency_micros: 2100.0, bandwidth_mbps: 4.9 },
-            ConfigMeasurement { style: WarmPassive, replicas: 3, clients: 5, latency_micros: 7400.0, bandwidth_mbps: 2.7 },
-            ConfigMeasurement { style: WarmPassive, replicas: 2, clients: 5, latency_micros: 6006.2, bandwidth_mbps: 2.799 },
+            ConfigMeasurement {
+                style: Active,
+                replicas: 3,
+                clients: 5,
+                latency_micros: 2100.0,
+                bandwidth_mbps: 4.9,
+            },
+            ConfigMeasurement {
+                style: WarmPassive,
+                replicas: 3,
+                clients: 5,
+                latency_micros: 7400.0,
+                bandwidth_mbps: 2.7,
+            },
+            ConfigMeasurement {
+                style: WarmPassive,
+                replicas: 2,
+                clients: 5,
+                latency_micros: 6006.2,
+                bandwidth_mbps: 2.799,
+            },
         ];
         let plan = plan_scalability(&measurements, &ScalabilityRequirements::paper());
         let expect = [
@@ -555,10 +623,7 @@ mod tests {
     #[test]
     fn contract_policy_grows_the_group_for_ft_violations() {
         use crate::contract::Contract;
-        let mut p = ContractPolicy::new(
-            Contract::unconstrained().min_faults_tolerated(2),
-            1,
-        );
+        let mut p = ContractPolicy::new(Contract::unconstrained().min_faults_tolerated(2), 1);
         let ctx = PolicyContext {
             style: ReplicationStyle::Active,
             replicas: 2,
@@ -567,10 +632,7 @@ mod tests {
             replicas: 2,
             ..obs_with_rate(0.0)
         };
-        assert_eq!(
-            p.evaluate(&obs, &ctx),
-            Some(AdaptationAction::AddReplica)
-        );
+        assert_eq!(p.evaluate(&obs, &ctx), Some(AdaptationAction::AddReplica));
     }
 
     #[test]

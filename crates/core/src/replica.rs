@@ -199,6 +199,9 @@ pub struct ReplicaActor {
     pub directives: Vec<(SimTime, AdaptationAction)>,
     /// Requests executed by this replica (inspection).
     pub executed_requests: u64,
+    /// Audit trail for the exploration invariant layer.
+    #[cfg(feature = "check-invariants")]
+    invariant_log: crate::invariants::InvariantLog,
 }
 
 impl ReplicaActor {
@@ -251,6 +254,8 @@ impl ReplicaActor {
             style_history: Vec::new(),
             directives: Vec::new(),
             executed_requests: 0,
+            #[cfg(feature = "check-invariants")]
+            invariant_log: crate::invariants::InvariantLog::default(),
         }
     }
 
@@ -279,6 +284,12 @@ impl ReplicaActor {
     /// across replicas to assert consistency).
     pub fn app(&self) -> &dyn ReplicatedApplication {
         self.app.as_ref()
+    }
+
+    /// The execution/reply audit trail kept for the invariant layer.
+    #[cfg(feature = "check-invariants")]
+    pub fn invariant_log(&self) -> &crate::invariants::InvariantLog {
+        &self.invariant_log
     }
 
     /// Initiates a runtime style switch, as an operator/manual knob.
@@ -368,9 +379,9 @@ impl ReplicaActor {
                 state,
                 replies,
             } => {
-                let ops = self
-                    .engine
-                    .on_checkpoint(version, style, final_for_switch, state, replies);
+                let ops =
+                    self.engine
+                        .on_checkpoint(version, style, final_for_switch, state, replies);
                 self.apply_ops(ctx, ops);
             }
             ReplicatorMsg::SwitchRequest { target, .. } => {
@@ -381,7 +392,8 @@ impl ReplicaActor {
                 // The request completed somewhere: close out any gateway
                 // timing entry for it.
                 if let Some(arrived) = self.request_arrivals.remove(&(client, request_id)) {
-                    self.monitor.record_latency(ctx.now().duration_since(arrived));
+                    self.monitor
+                        .record_latency(ctx.now().duration_since(arrived));
                 }
                 // Backups record the completion and acknowledge; the
                 // primary ignores its own log record.
@@ -488,6 +500,9 @@ impl ReplicaActor {
                 body: Bytes::from(exc.reason),
             },
         };
+        #[cfg(feature = "check-invariants")]
+        self.invariant_log
+            .record_execution(entry.client, entry.request_id, &wire_reply.body);
         self.reply_cache
             .insert(entry.client, (entry.request_id, wire_reply.clone()));
         if reply {
@@ -519,10 +534,7 @@ impl ReplicaActor {
         // reply departure, queueing included (the paper's monitored
         // "latency" metric). Only requests this replica relayed are
         // timed — a uniform sample under staggered gateways.
-        if let Some(arrived) = self
-            .request_arrivals
-            .remove(&(client, reply.request_id))
-        {
+        if let Some(arrived) = self.request_arrivals.remove(&(client, reply.request_id)) {
             let departs = ctx.now() + ctx.cpu_used();
             self.monitor.record_latency(departs.duration_since(arrived));
         }
@@ -583,7 +595,9 @@ impl ReplicaActor {
         let obs = self.monitor.observe(ctx.now());
         let prefix = self.config.metrics_prefix.clone();
         let rate_metric = format!("{prefix}.rate");
-        ctx.metrics().series(&rate_metric).push(obs.at, obs.request_rate);
+        ctx.metrics()
+            .series(&rate_metric)
+            .push(obs.at, obs.request_rate);
         let latency_metric = format!("{prefix}.latency");
         ctx.metrics()
             .series(&latency_metric)

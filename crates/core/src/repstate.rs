@@ -95,7 +95,11 @@ impl SystemBoard {
         if self.replicas.is_empty() {
             return 0.0;
         }
-        self.replicas.values().map(|i| i.latency_micros).sum::<f64>() / self.replicas.len() as f64
+        self.replicas
+            .values()
+            .map(|i| i.latency_micros)
+            .sum::<f64>()
+            / self.replicas.len() as f64
     }
 
     /// Total reported bandwidth across replicas, bytes/second.

@@ -31,7 +31,10 @@ pub enum ReplicationStyle {
 impl ReplicationStyle {
     /// Whether every live replica executes every request.
     pub fn all_replicas_execute(self) -> bool {
-        matches!(self, ReplicationStyle::Active | ReplicationStyle::SemiActive)
+        matches!(
+            self,
+            ReplicationStyle::Active | ReplicationStyle::SemiActive
+        )
     }
 
     /// Whether only a designated replica sends replies to clients.

@@ -46,12 +46,19 @@ fn lan(n: u32) -> Topology {
     topo
 }
 
-fn spawn_replicas(world: &mut World, n: u32, style: ReplicationStyle, corrupt: &[u64]) -> Vec<ProcessId> {
+fn spawn_replicas(
+    world: &mut World,
+    n: u32,
+    style: ReplicationStyle,
+    corrupt: &[u64],
+) -> Vec<ProcessId> {
     let members: Vec<ProcessId> = (0..n as u64).map(ProcessId).collect();
     let mut replicas = Vec::new();
     for i in 0..n {
         let config = ReplicaConfig {
-            knobs: LowLevelKnobs::default().style(style).num_replicas(n as usize),
+            knobs: LowLevelKnobs::default()
+                .style(style)
+                .num_replicas(n as usize),
             ..ReplicaConfig::default()
         };
         let pid = world.spawn(

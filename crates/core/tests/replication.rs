@@ -231,7 +231,11 @@ fn switch_warm_passive_to_active_under_load() {
     assert_eq!(counter_value(&reference), 400);
     for &r in &c.replicas {
         let actor = c.world.actor_ref::<ReplicaActor>(r).unwrap();
-        assert_eq!(actor.engine().style(), ReplicationStyle::Active, "replica {r}");
+        assert_eq!(
+            actor.engine().style(),
+            ReplicationStyle::Active,
+            "replica {r}"
+        );
         assert_eq!(replica_state(&c.world, r), reference, "replica {r}");
         assert!(actor
             .style_history
@@ -285,7 +289,11 @@ fn switch_survives_primary_crash_mid_switch() {
     assert_eq!(counter_value(&reference), 200);
     for &r in &c.replicas[1..] {
         let actor = c.world.actor_ref::<ReplicaActor>(r).unwrap();
-        assert_eq!(actor.engine().style(), ReplicationStyle::Active, "replica {r}");
+        assert_eq!(
+            actor.engine().style(),
+            ReplicationStyle::Active,
+            "replica {r}"
+        );
         assert_eq!(replica_state(&c.world, r), reference);
     }
 }
@@ -295,7 +303,8 @@ fn client_fails_over_to_another_gateway() {
     let mut c = cluster(3, 1, ReplicationStyle::Active, 9);
     // The client's first gateway is replica 0; kill it before it can serve
     // anything.
-    c.world.crash_process_at(c.replicas[0], SimTime::from_micros(10));
+    c.world
+        .crash_process_at(c.replicas[0], SimTime::from_micros(10));
     c.world.run_for(SimDuration::from_secs(10));
     assert_eq!(completed(&c.world, c.clients[0]), 200);
     let client = c
@@ -354,8 +363,7 @@ fn rate_policy_triggers_automatic_switch_end_to_end() {
         // cycle drained and the rate fell below the low threshold, the
         // same policy switched it back — both transitions are in the
         // history (this is exactly the Fig. 6 behavior).
-        let styles: Vec<ReplicationStyle> =
-            actor.style_history.iter().map(|&(_, s)| s).collect();
+        let styles: Vec<ReplicationStyle> = actor.style_history.iter().map(|&(_, s)| s).collect();
         assert!(
             styles.contains(&ReplicationStyle::Active),
             "replica {r} never went active: {styles:?}"
@@ -391,7 +399,11 @@ fn replicas_state_converges_after_chaotic_run() {
     let reference = replica_state(&c.world, c.replicas[0]);
     assert_eq!(counter_value(&reference), 400);
     for &r in &c.replicas {
-        assert_eq!(replica_state(&c.world, r), reference, "replica {r} diverged");
+        assert_eq!(
+            replica_state(&c.world, r),
+            reference,
+            "replica {r} diverged"
+        );
     }
 }
 

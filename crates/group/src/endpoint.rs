@@ -611,10 +611,7 @@ impl Endpoint {
         // loss): record their existence so the NACK machinery recovers them.
         for &(sender, acked) in &acks {
             if sender != self.me {
-                self.streams
-                    .entry(sender)
-                    .or_default()
-                    .note_exists(acked);
+                self.streams.entry(sender).or_default().note_exists(acked);
             }
         }
         self.peer_acks.insert(from, acks.into_iter().collect());
@@ -648,7 +645,10 @@ impl Endpoint {
                     .unwrap_or(0);
                 stable = stable.min(ack);
             }
-            self.streams.get_mut(&s).expect("stream exists").prune(stable);
+            self.streams
+                .get_mut(&s)
+                .expect("stream exists")
+                .prune(stable);
         }
         let mut min_delivered = self.next_global_deliver;
         for m in &others {
@@ -800,7 +800,10 @@ impl Endpoint {
                     .iter()
                     .all(|m| !self.suspected.contains(m) && !self.pending_leaves.contains(m));
                 if participants_intact
-                    && desired.iter().filter(|m| flush.proposal.contains(**m)).count()
+                    && desired
+                        .iter()
+                        .filter(|m| flush.proposal.contains(**m))
+                        .count()
                         == flush.proposal.len()
                 {
                     return;
@@ -996,10 +999,8 @@ impl Endpoint {
             for (sender, seqs) in &missing {
                 for &seq in seqs {
                     if let Some(holder) = infos.iter().find_map(|(m, h)| {
-                        let has_contig = h
-                            .contiguous
-                            .iter()
-                            .any(|&(s, c)| s == *sender && c >= seq);
+                        let has_contig =
+                            h.contiguous.iter().any(|&(s, c)| s == *sender && c >= seq);
                         let has_extra = h
                             .extras
                             .iter()
@@ -1067,7 +1068,12 @@ impl Endpoint {
         }
     }
 
-    fn leader_broadcast_cut(&mut self, now: SimTime, cut: BTreeMap<ProcessId, u64>, out: &mut Vec<Output>) {
+    fn leader_broadcast_cut(
+        &mut self,
+        now: SimTime,
+        cut: BTreeMap<ProcessId, u64>,
+        out: &mut Vec<Output>,
+    ) {
         let (final_assignments, participants, proposal_id) = {
             let flush = self.flush.as_ref().expect("flush active");
             let merged = merge_assignments(&flush.infos);
@@ -1287,11 +1293,7 @@ impl Endpoint {
                 for seq in 1..=limit {
                     if let Some(msg) = stream.get(seq) {
                         if msg.order == DeliveryOrder::Causal {
-                            let stamp = msg
-                                .vclock
-                                .as_ref()
-                                .map(|c| c.get(sender))
-                                .unwrap_or(0);
+                            let stamp = msg.vclock.as_ref().map(|c| c.get(sender)).unwrap_or(0);
                             if stamp > vc.get(sender) {
                                 vc.set(sender, stamp);
                             }
@@ -1331,7 +1333,8 @@ impl Endpoint {
             // Joiners skip old-view history: start every stream at the cut.
             self.streams.clear();
             for (&sender, &limit) in &cut {
-                self.streams.insert(sender, SenderStream::starting_after(limit));
+                self.streams
+                    .insert(sender, SenderStream::starting_after(limit));
             }
             self.delivered_clock = causal_after.clone();
             self.next_global_deliver = next_global;

@@ -104,9 +104,7 @@ impl FlushProgress {
 /// union of sequence numbers held by any reporting member. Messages beyond
 /// the cut (possible only for crashed senders, since live senders hold their
 /// own sends) are discarded, which virtual synchrony permits.
-pub(crate) fn compute_cut(
-    infos: &BTreeMap<ProcessId, FlushHoldings>,
-) -> BTreeMap<ProcessId, u64> {
+pub(crate) fn compute_cut(infos: &BTreeMap<ProcessId, FlushHoldings>) -> BTreeMap<ProcessId, u64> {
     // Union per sender: the highest contiguous ack anyone reports, plus
     // sparse extras beyond gaps.
     let mut base: BTreeMap<ProcessId, u64> = BTreeMap::new();
@@ -119,7 +117,10 @@ pub(crate) fn compute_cut(
             }
         }
         for (sender, seqs) in &holdings.extras {
-            extras.entry(*sender).or_default().extend(seqs.iter().copied());
+            extras
+                .entry(*sender)
+                .or_default()
+                .extend(seqs.iter().copied());
         }
     }
     // Extend each base with contiguous extras.

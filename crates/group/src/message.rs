@@ -229,9 +229,7 @@ impl Payload for GroupMsg {
             }
             GroupMsg::AssignNack { .. } => HEADER_BYTES + 8,
             GroupMsg::JoinRequest { .. } | GroupMsg::LeaveRequest { .. } => HEADER_BYTES + 8,
-            GroupMsg::ViewProposal { proposal, .. } => {
-                HEADER_BYTES + proposal.len() * 8 + 8
-            }
+            GroupMsg::ViewProposal { proposal, .. } => HEADER_BYTES + proposal.len() * 8 + 8,
             GroupMsg::FlushInfo { holdings, .. } => HEADER_BYTES + holdings.wire_size(),
             GroupMsg::FlushCut {
                 cut,
@@ -286,7 +284,10 @@ mod tests {
     fn group_accessor_covers_all_variants() {
         let g = GroupId(7);
         let msgs = vec![
-            GroupMsg::Data(DataMsg { group: g, ..data(0, None) }),
+            GroupMsg::Data(DataMsg {
+                group: g,
+                ..data(0, None)
+            }),
             GroupMsg::Heartbeat {
                 group: g,
                 view_id: ViewId(0),

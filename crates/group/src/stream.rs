@@ -181,7 +181,9 @@ impl SenderStream {
     /// The lowest of the three class cursors: nothing below it is
     /// undelivered.
     pub fn min_cursor(&self) -> u64 {
-        self.cursor_fifo.min(self.cursor_causal).min(self.cursor_agreed)
+        self.cursor_fifo
+            .min(self.cursor_causal)
+            .min(self.cursor_agreed)
     }
 
     /// Prunes delivered messages with `seq ≤ stable` (stability-based GC).

@@ -87,7 +87,11 @@ fn agreed_multicast_from_the_sequencer_assigns_immediately() {
     // message is assigned and self-delivered in the same call, and the
     // assignment is broadcast to the peer.
     let outputs = a
-        .multicast(SimTime::ZERO, DeliveryOrder::Agreed, Bytes::from_static(b"t"))
+        .multicast(
+            SimTime::ZERO,
+            DeliveryOrder::Agreed,
+            Bytes::from_static(b"t"),
+        )
         .unwrap();
     assert_eq!(deliveries(&outputs), vec![b"t".to_vec()]);
     let assignment_broadcasts = sends(&outputs)
@@ -102,9 +106,16 @@ fn agreed_multicast_from_a_follower_waits_for_the_assignment() {
     let (mut a, mut b) = pair();
     // p(2) multicasts: no self-delivery yet (no assignment).
     let outputs = b
-        .multicast(SimTime::ZERO, DeliveryOrder::Agreed, Bytes::from_static(b"w"))
+        .multicast(
+            SimTime::ZERO,
+            DeliveryOrder::Agreed,
+            Bytes::from_static(b"w"),
+        )
         .unwrap();
-    assert!(deliveries(&outputs).is_empty(), "must wait for the sequencer");
+    assert!(
+        deliveries(&outputs).is_empty(),
+        "must wait for the sequencer"
+    );
     // Relay the data to the sequencer; it assigns and delivers.
     let data = sends(&outputs)[0].1.clone();
     let at_sequencer = a.handle_message(SimTime::ZERO, p(2), data);

@@ -78,7 +78,10 @@ fn cascading_crashes_shrink_to_a_working_singleton() {
         "survivor view: {}",
         survivor.endpoint().view()
     );
-    assert!(!survivor.endpoint().is_blocked(), "survivor stuck in a flush");
+    assert!(
+        !survivor.endpoint().is_blocked(),
+        "survivor stuck in a flush"
+    );
     // A singleton group still self-delivers.
     multicast(&mut world, pids[3], b"alone");
     world.run_for(SimDuration::from_millis(50));
@@ -103,8 +106,7 @@ fn singleton_group_accepts_a_joiner_and_regrows() {
     multicast(&mut world, solo, b"solo");
     world.run_for(SimDuration::from_millis(10));
 
-    let joiner_ep =
-        Endpoint::joining(ProcessId(1), GROUP, GroupConfig::default(), vec![solo]);
+    let joiner_ep = Endpoint::joining(ProcessId(1), GROUP, GroupConfig::default(), vec![solo]);
     let joiner = world.spawn(NodeId(1), Box::new(GroupMemberActor::new(joiner_ep)));
     world.run_for(SimDuration::from_secs(1));
     for pid in [solo, joiner] {
@@ -128,12 +130,7 @@ fn join_concurrent_with_crash_converges() {
     world.run_for(SimDuration::from_millis(5));
     // A member crashes at the same moment a joiner shows up.
     world.crash_process_at(pids[2], SimTime::from_millis(10));
-    let joiner_ep = Endpoint::joining(
-        ProcessId(3),
-        GROUP,
-        GroupConfig::default(),
-        vec![pids[0]],
-    );
+    let joiner_ep = Endpoint::joining(ProcessId(3), GROUP, GroupConfig::default(), vec![pids[0]]);
     let joiner = world.spawn(NodeId(3), Box::new(GroupMemberActor::new(joiner_ep)));
     world.run_for(SimDuration::from_secs(3));
     // Everyone alive converges on {0, 1, joiner}.

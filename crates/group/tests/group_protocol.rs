@@ -15,12 +15,7 @@ fn spawn_group(world: &mut World, n: u32, config: GroupConfig) -> Vec<ProcessId>
     let members: Vec<ProcessId> = (0..n as u64).map(ProcessId).collect();
     let mut pids = Vec::new();
     for i in 0..n {
-        let endpoint = Endpoint::bootstrap(
-            ProcessId(i as u64),
-            GROUP,
-            config,
-            members.clone(),
-        );
+        let endpoint = Endpoint::bootstrap(ProcessId(i as u64), GROUP, config, members.clone());
         let pid = world.spawn(NodeId(i), Box::new(GroupMemberActor::new(endpoint)));
         assert_eq!(pid, ProcessId(i as u64), "sequential pid assumption");
         pids.push(pid);
@@ -129,7 +124,9 @@ fn causal_precedence_is_respected_despite_slow_links() {
     // Wait until B has delivered "cause", then B replies.
     world.run_for(SimDuration::from_millis(1));
     assert!(
-        deliveries_of(&world, pids[1]).iter().any(|(_, p)| p == b"cause"),
+        deliveries_of(&world, pids[1])
+            .iter()
+            .any(|(_, p)| p == b"cause"),
         "B should have the first message"
     );
     multicast(&mut world, pids[1], DeliveryOrder::Causal, b"effect");
@@ -140,8 +137,14 @@ fn causal_precedence_is_respected_despite_slow_links() {
             .into_iter()
             .map(|(_, p)| p)
             .collect();
-        let cause = order.iter().position(|p| p == b"cause").expect("cause delivered");
-        let effect = order.iter().position(|p| p == b"effect").expect("effect delivered");
+        let cause = order
+            .iter()
+            .position(|p| p == b"cause")
+            .expect("cause delivered");
+        let effect = order
+            .iter()
+            .position(|p| p == b"effect")
+            .expect("effect delivered");
         assert!(
             cause < effect,
             "member {pid} delivered effect before its cause"
@@ -157,7 +160,12 @@ fn reliable_classes_survive_heavy_message_loss() {
     world.set_drop_probability(0.2);
     for i in 0..30u32 {
         multicast(&mut world, pids[0], DeliveryOrder::Agreed, &i.to_be_bytes());
-        multicast(&mut world, pids[1], DeliveryOrder::Fifo, &(1000 + i).to_be_bytes());
+        multicast(
+            &mut world,
+            pids[1],
+            DeliveryOrder::Fifo,
+            &(1000 + i).to_be_bytes(),
+        );
         world.run_for(SimDuration::from_micros(300));
     }
     // Stop losing messages and give retransmission time to converge.
@@ -223,7 +231,9 @@ fn crash_triggers_view_change_and_service_continues() {
     world.run_for(SimDuration::from_millis(20));
     for &pid in &pids[..2] {
         assert!(
-            deliveries_of(&world, pid).iter().any(|(_, p)| p == b"after"),
+            deliveries_of(&world, pid)
+                .iter()
+                .any(|(_, p)| p == b"after"),
             "member {pid} missed post-crash traffic"
         );
     }
@@ -289,9 +299,7 @@ fn virtual_synchrony_survivors_deliver_identical_prefix_before_view_change() {
         for event in &actor.events {
             match event {
                 GroupEvent::Delivered(d) => delivered.push(d.payload.to_vec()),
-                GroupEvent::ViewInstalled { view, .. } => {
-                    return (delivered, Some(view.clone()))
-                }
+                GroupEvent::ViewInstalled { view, .. } => return (delivered, Some(view.clone())),
                 _ => {}
             }
         }
@@ -361,7 +369,10 @@ fn graceful_leave_evicts_self_and_shrinks_view() {
 
     let leaver = world.actor_ref::<GroupMemberActor>(pids[2]).unwrap();
     assert!(
-        leaver.events.iter().any(|e| matches!(e, GroupEvent::SelfEvicted)),
+        leaver
+            .events
+            .iter()
+            .any(|e| matches!(e, GroupEvent::SelfEvicted)),
         "leaver never saw SelfEvicted"
     );
     for &pid in &pids[..2] {
@@ -413,5 +424,7 @@ fn coordinator_crash_during_flush_is_survived() {
     // And the group still works.
     multicast(&mut world, pids[1], DeliveryOrder::Agreed, b"alive");
     world.run_for(SimDuration::from_millis(20));
-    assert!(deliveries_of(&world, pids[2]).iter().any(|(_, p)| p == b"alive"));
+    assert!(deliveries_of(&world, pids[2])
+        .iter()
+        .any(|(_, p)| p == b"alive"));
 }

@@ -46,7 +46,10 @@ impl fmt::Display for DecodeError {
                 what,
                 needed,
                 available,
-            } => write!(f, "truncated {what}: needed {needed} bytes, had {available}"),
+            } => write!(
+                f,
+                "truncated {what}: needed {needed} bytes, had {available}"
+            ),
             DecodeError::LengthOverflow { what, claimed } => {
                 write!(f, "{what} length {claimed} exceeds sanity limit")
             }
@@ -410,7 +413,10 @@ mod tests {
         let mut dec = Decoder::new(enc.finish());
         assert!(matches!(
             dec.get_bytes().unwrap_err(),
-            DecodeError::Truncated { what: "bytes body", .. }
+            DecodeError::Truncated {
+                what: "bytes body",
+                ..
+            }
         ));
     }
 }

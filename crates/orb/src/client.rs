@@ -211,7 +211,10 @@ mod tests {
             ReplyOutcome::Accepted(_)
         ));
         // Duplicates from other replicas are identified as such.
-        assert_eq!(t.on_reply(reply(req.request_id, b"a")), ReplyOutcome::Duplicate);
+        assert_eq!(
+            t.on_reply(reply(req.request_id, b"a")),
+            ReplyOutcome::Duplicate
+        );
         assert_eq!(t.outstanding(), 0);
     }
 
@@ -219,9 +222,15 @@ mod tests {
     fn majority_voting_waits_for_quorum() {
         let mut t = RequestTracker::with_majority(2);
         let req = make(&mut t);
-        assert_eq!(t.on_reply(reply(req.request_id, b"x")), ReplyOutcome::Pending);
+        assert_eq!(
+            t.on_reply(reply(req.request_id, b"x")),
+            ReplyOutcome::Pending
+        );
         // A different (faulty) answer does not contribute to x's quorum.
-        assert_eq!(t.on_reply(reply(req.request_id, b"y")), ReplyOutcome::Pending);
+        assert_eq!(
+            t.on_reply(reply(req.request_id, b"y")),
+            ReplyOutcome::Pending
+        );
         assert!(matches!(
             t.on_reply(reply(req.request_id, b"x")),
             ReplyOutcome::Accepted(_)
@@ -238,14 +247,14 @@ mod tests {
     fn expiry_removes_old_requests() {
         let mut t = RequestTracker::new();
         let req = make(&mut t);
-        let expired = t.expire(
-            SimTime::from_millis(100),
-            SimDuration::from_millis(50),
-        );
+        let expired = t.expire(SimTime::from_millis(100), SimDuration::from_millis(50));
         assert_eq!(expired, vec![req.request_id]);
         assert_eq!(t.outstanding(), 0);
         // A late reply after expiry counts as a duplicate, not unmatched.
-        assert_eq!(t.on_reply(reply(req.request_id, b"")), ReplyOutcome::Duplicate);
+        assert_eq!(
+            t.on_reply(reply(req.request_id, b"")),
+            ReplyOutcome::Duplicate
+        );
     }
 
     #[test]

@@ -129,6 +129,9 @@ mod tests {
     fn costs_are_configurable() {
         let p = Passthrough::with_cost(SimDuration::from_micros(100));
         assert_eq!(p.traversal_cost(), SimDuration::from_micros(100));
-        assert_eq!(Passthrough::new().traversal_cost(), SimDuration::from_micros(38));
+        assert_eq!(
+            Passthrough::new().traversal_cost(),
+            SimDuration::from_micros(38)
+        );
     }
 }

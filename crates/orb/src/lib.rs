@@ -44,7 +44,7 @@ pub mod wire;
 
 /// The most commonly used names, for glob import.
 pub mod prelude {
-    pub use crate::cdr::{Decoder, DecodeError, Encoder};
+    pub use crate::cdr::{DecodeError, Decoder, Encoder};
     pub use crate::client::{ReplyOutcome, RequestTracker, ResponseSelection};
     pub use crate::interceptor::{Interceptor, Passthrough, RecvAction, SendAction};
     pub use crate::object::{InvokeResult, ObjectAdapter, ObjectKey, Servant, UserException};

@@ -114,7 +114,11 @@ impl ObjectAdapter {
 
     /// Registers (or replaces) the servant behind `key`. Returns the
     /// previous servant, if any.
-    pub fn register(&mut self, key: ObjectKey, servant: Box<dyn Servant>) -> Option<Box<dyn Servant>> {
+    pub fn register(
+        &mut self,
+        key: ObjectKey,
+        servant: Box<dyn Servant>,
+    ) -> Option<Box<dyn Servant>> {
         self.servants.insert(key, servant)
     }
 
@@ -227,8 +231,12 @@ mod tests {
     fn register_replaces_and_deactivate_removes() {
         let mut adapter = ObjectAdapter::new();
         assert!(adapter.is_empty());
-        assert!(adapter.register(ObjectKey::new("f"), Box::new(Failing)).is_none());
-        assert!(adapter.register(ObjectKey::new("f"), Box::new(Failing)).is_some());
+        assert!(adapter
+            .register(ObjectKey::new("f"), Box::new(Failing))
+            .is_none());
+        assert!(adapter
+            .register(ObjectKey::new("f"), Box::new(Failing))
+            .is_some());
         assert_eq!(adapter.len(), 1);
         assert!(adapter.deactivate(&ObjectKey::new("f")).is_some());
         assert!(!adapter.contains(&ObjectKey::new("f")));

@@ -261,7 +261,12 @@ pub struct ClientActor {
 impl ClientActor {
     /// A client that will run `driver`'s cycle against `server`, recording
     /// round trips into the world histogram named `rtt_metric`.
-    pub fn new(server: ProcessId, driver: RequestDriver, costs: OrbCosts, rtt_metric: impl Into<String>) -> Self {
+    pub fn new(
+        server: ProcessId,
+        driver: RequestDriver,
+        costs: OrbCosts,
+        rtt_metric: impl Into<String>,
+    ) -> Self {
         ClientActor {
             server,
             driver,
@@ -396,12 +401,7 @@ mod tests {
             total: Some(total),
             ..DriverConfig::default()
         });
-        let mut client = ClientActor::new(
-            server_pid,
-            driver,
-            OrbCosts::paper_calibrated(),
-            "rtt",
-        );
+        let mut client = ClientActor::new(server_pid, driver, OrbCosts::paper_calibrated(), "rtt");
         if let Some(i) = client_interceptor {
             client = client.with_interceptor(i);
         }

@@ -12,7 +12,7 @@ use std::fmt;
 use bytes::Bytes;
 use vd_simnet::actor::Payload;
 
-use crate::cdr::{Decoder, DecodeError, Encoder};
+use crate::cdr::{DecodeError, Decoder, Encoder};
 use crate::object::ObjectKey;
 
 /// The 4-byte frame magic ("MIOP": mini inter-ORB protocol).
@@ -254,7 +254,10 @@ mod tests {
         bytes[0] = b'X';
         assert!(matches!(
             OrbMessage::decode(Bytes::from(bytes)),
-            Err(DecodeError::InvalidDiscriminant { what: "frame magic", .. })
+            Err(DecodeError::InvalidDiscriminant {
+                what: "frame magic",
+                ..
+            })
         ));
     }
 
@@ -264,7 +267,10 @@ mod tests {
         bytes[4] = 99;
         assert!(matches!(
             OrbMessage::decode(Bytes::from(bytes)),
-            Err(DecodeError::InvalidDiscriminant { what: "frame version", .. })
+            Err(DecodeError::InvalidDiscriminant {
+                what: "frame version",
+                ..
+            })
         ));
     }
 

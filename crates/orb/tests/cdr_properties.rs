@@ -1,0 +1,192 @@
+//! Property tests: CDR-lite and GIOP-lite marshaling round-trips for
+//! randomized values, and decoder robustness on arbitrary bytes.
+//!
+//! Each property runs many cases drawn from a [`DeterministicRng`] with a
+//! fixed seed, so failures reproduce exactly (the failing case seed is in
+//! the assertion message) and the suite needs no external fuzzing
+//! dependency.
+
+use bytes::Bytes;
+
+use vd_orb::cdr::{Decoder, Encoder};
+use vd_orb::object::ObjectKey;
+use vd_orb::wire::{OrbMessage, Reply, ReplyStatus, Request};
+use vd_simnet::rng::DeterministicRng;
+
+fn random_bytes(rng: &mut DeterministicRng, max_len: u64) -> Vec<u8> {
+    let len = rng.gen_range_u64(0..=max_len) as usize;
+    (0..len).map(|_| rng.next_u64() as u8).collect()
+}
+
+fn random_string(rng: &mut DeterministicRng, max_len: u64) -> String {
+    // A mix of ASCII and multi-byte characters to exercise UTF-8 paths.
+    const PALETTE: &[char] = &[
+        'a', 'Z', '0', '_', '/', ' ', '"', '\\', '\n', 'é', 'ß', '→', '𝄞', '中',
+    ];
+    let len = rng.gen_range_u64(0..=max_len) as usize;
+    (0..len)
+        .map(|_| PALETTE[rng.gen_range_u64(0..=(PALETTE.len() as u64 - 1)) as usize])
+        .collect()
+}
+
+fn random_ident(rng: &mut DeterministicRng, max_len: u64) -> String {
+    const PALETTE: &[char] = &['a', 'b', 'Z', '9', '0', '_', '/'];
+    let len = rng.gen_range_u64(0..=max_len) as usize;
+    (0..len)
+        .map(|_| PALETTE[rng.gen_range_u64(0..=(PALETTE.len() as u64 - 1)) as usize])
+        .collect()
+}
+
+/// Any sequence of scalars written is read back identically.
+#[test]
+fn scalars_round_trip() {
+    for case in 0..256u64 {
+        let mut rng = DeterministicRng::new(0xCD50_0000 + case);
+        let count = rng.gen_range_u64(0..=63);
+        let values: Vec<u64> = (0..count).map(|_| rng.next_u64()).collect();
+        let mut enc = Encoder::new();
+        for &v in &values {
+            enc.put_u64(v);
+        }
+        let mut dec = Decoder::new(enc.finish());
+        for &v in &values {
+            assert_eq!(dec.get_u64().unwrap(), v, "case {case}");
+        }
+        assert!(dec.is_empty(), "case {case}");
+    }
+}
+
+/// Mixed-type frames round-trip.
+#[test]
+fn mixed_frames_round_trip() {
+    for case in 0..256u64 {
+        let mut rng = DeterministicRng::new(0xCD50_1000 + case);
+        let a = rng.next_u64() as u8;
+        let b = rng.gen_bool(0.5);
+        let c = rng.next_u64() as u32;
+        let s = random_string(&mut rng, 100);
+        let bytes_payload = random_bytes(&mut rng, 511);
+        let opt = if rng.gen_bool(0.5) {
+            Some(rng.next_u64() as i64)
+        } else {
+            None
+        };
+        let mut enc = Encoder::new();
+        enc.put_u8(a);
+        enc.put_bool(b);
+        enc.put_u32(c);
+        enc.put_str(&s);
+        enc.put_bytes(&bytes_payload);
+        enc.put_option(opt, |e, v| e.put_i64(v));
+        let mut dec = Decoder::new(enc.finish());
+        assert_eq!(dec.get_u8().unwrap(), a, "case {case}");
+        assert_eq!(dec.get_bool().unwrap(), b, "case {case}");
+        assert_eq!(dec.get_u32().unwrap(), c, "case {case}");
+        assert_eq!(dec.get_string().unwrap(), s, "case {case}");
+        let decoded_bytes = dec.get_bytes().unwrap();
+        assert_eq!(
+            decoded_bytes.as_ref(),
+            bytes_payload.as_slice(),
+            "case {case}"
+        );
+        assert_eq!(dec.get_option(|d| d.get_i64()).unwrap(), opt, "case {case}");
+    }
+}
+
+/// f64 round-trips bit-exactly (including non-finite values).
+#[test]
+fn f64_round_trips_bitwise() {
+    let specials = [
+        0.0_f64,
+        -0.0,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::NAN,
+        f64::MIN_POSITIVE,
+        f64::MAX,
+    ];
+    let mut rng = DeterministicRng::new(0xCD50_2000);
+    let randoms: Vec<f64> = (0..256).map(|_| f64::from_bits(rng.next_u64())).collect();
+    for v in specials.into_iter().chain(randoms) {
+        let mut enc = Encoder::new();
+        enc.put_f64(v);
+        let mut dec = Decoder::new(enc.finish());
+        assert_eq!(dec.get_f64().unwrap().to_bits(), v.to_bits(), "value {v}");
+    }
+}
+
+/// Arbitrary GIOP requests round-trip and the length estimate is exact.
+#[test]
+fn requests_round_trip() {
+    for case in 0..256u64 {
+        let mut rng = DeterministicRng::new(0xCD50_3000 + case);
+        let msg = OrbMessage::Request(Request {
+            request_id: rng.next_u64(),
+            object_key: ObjectKey::new(random_ident(&mut rng, 40)),
+            operation: random_ident(&mut rng, 40),
+            args: Bytes::from(random_bytes(&mut rng, 1023)),
+            response_expected: rng.gen_bool(0.5),
+        });
+        let encoded = msg.encode();
+        assert_eq!(encoded.len(), msg.encoded_len(), "case {case}");
+        assert_eq!(OrbMessage::decode(encoded).unwrap(), msg, "case {case}");
+    }
+}
+
+/// Arbitrary replies round-trip.
+#[test]
+fn replies_round_trip() {
+    for case in 0..256u64 {
+        let mut rng = DeterministicRng::new(0xCD50_4000 + case);
+        let status = match rng.gen_range_u64(0..=2) {
+            0 => ReplyStatus::NoException,
+            1 => ReplyStatus::UserException,
+            _ => ReplyStatus::SystemException,
+        };
+        let msg = OrbMessage::Reply(Reply {
+            request_id: rng.next_u64(),
+            status,
+            body: Bytes::from(random_bytes(&mut rng, 1023)),
+        });
+        assert_eq!(
+            OrbMessage::decode(msg.encode()).unwrap(),
+            msg,
+            "case {case}"
+        );
+    }
+}
+
+/// The decoder never panics on arbitrary input bytes — it returns errors
+/// instead.
+#[test]
+fn decoder_never_panics_on_garbage() {
+    for case in 0..512u64 {
+        let mut rng = DeterministicRng::new(0xCD50_5000 + case);
+        let raw = random_bytes(&mut rng, 255);
+        let _ = OrbMessage::decode(Bytes::from(raw.clone()));
+        let mut dec = Decoder::new(Bytes::from(raw));
+        let _ = dec.get_u64();
+        let _ = dec.get_string();
+        let _ = dec.get_bytes();
+    }
+}
+
+/// Truncating any valid frame yields an error, never a wrong value.
+#[test]
+fn truncation_always_detected() {
+    for case in 0..256u64 {
+        let mut rng = DeterministicRng::new(0xCD50_6000 + case);
+        let args_len = rng.gen_range_u64(1..=255);
+        let msg = OrbMessage::Request(Request {
+            request_id: 7,
+            object_key: ObjectKey::new("k"),
+            operation: "op".into(),
+            args: Bytes::from(random_bytes(&mut rng, args_len)),
+            response_expected: true,
+        });
+        let encoded = msg.encode();
+        let cut = (rng.gen_range_u64(1..=19) as usize).min(encoded.len());
+        let truncated = encoded.slice(0..encoded.len() - cut);
+        assert!(OrbMessage::decode(truncated).is_err(), "case {case}");
+    }
+}

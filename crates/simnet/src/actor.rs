@@ -24,6 +24,15 @@ use crate::topology::{NodeId, ProcessId};
 pub trait Payload: Any + fmt::Debug {
     /// The number of bytes this message would occupy on the wire.
     fn wire_size(&self) -> usize;
+
+    /// An optional content digest for interleaving exploration
+    /// ([`crate::explore`]). Two payloads with the same digest are treated
+    /// as interchangeable when pruning revisited world states; returning
+    /// `None` (the default) disables pruning for any state in which this
+    /// payload is in flight, which is always safe.
+    fn digest(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Identifies a timer registered by an actor. The actor chooses the value;
@@ -203,6 +212,16 @@ pub trait Actor: Any {
 
     /// Invoked when a timer set via [`Context::set_timer`] fires.
     fn on_timer(&mut self, _ctx: &mut Context<'_>, _timer: TimerToken) {}
+
+    /// An optional digest of this actor's logical state, used by
+    /// [`crate::explore`] to prune interleavings that reconverge to an
+    /// already-visited world state. The digest must cover everything that
+    /// influences future behavior (and nothing that doesn't, or pruning
+    /// degenerates to a no-op). Returning `None` (the default) exempts any
+    /// world containing this actor from pruning, which is always safe.
+    fn state_digest(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Downcasts a boxed payload to a concrete type, returning the box back on

@@ -112,6 +112,56 @@ impl EventQueue {
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
+
+    /// A summary of every pending event, sorted by `(time, seq)` — the
+    /// order in which the default scheduler would fire them. This is the
+    /// branch frontier of [`crate::explore`].
+    pub fn snapshot(&self) -> Vec<PendingEvent> {
+        let mut pending: Vec<PendingEvent> = self
+            .heap
+            .iter()
+            .map(|e| PendingEvent {
+                seq: e.seq,
+                time: e.time,
+                is_deliver: matches!(e.kind, EventKind::Deliver { .. }),
+            })
+            .collect();
+        pending.sort_by_key(|e| (e.time, e.seq));
+        pending
+    }
+
+    /// Removes and returns the pending event with the given sequence
+    /// number, leaving the rest of the queue (and the sequence counter)
+    /// untouched. O(n) — exploration queues are small by construction.
+    pub fn take(&mut self, seq: u64) -> Option<ScheduledEvent> {
+        let drained = std::mem::take(&mut self.heap).into_vec();
+        let mut found = None;
+        let mut rest = Vec::with_capacity(drained.len());
+        for ev in drained {
+            if ev.seq == seq && found.is_none() {
+                found = Some(ev);
+            } else {
+                rest.push(ev);
+            }
+        }
+        self.heap = BinaryHeap::from(rest);
+        found
+    }
+
+    /// Iterates over pending events in arbitrary (heap) order. Callers
+    /// that need a deterministic order must sort by `(time, seq)`.
+    pub fn iter(&self) -> impl Iterator<Item = &ScheduledEvent> {
+        self.heap.iter()
+    }
+}
+
+/// One entry of an [`EventQueue::snapshot`]: enough to decide whether the
+/// event is a branch point and to name it in a recorded schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct PendingEvent {
+    pub seq: u64,
+    pub time: SimTime,
+    pub is_deliver: bool,
 }
 
 #[cfg(test)]
@@ -151,6 +201,31 @@ mod tests {
             })
             .collect();
         assert_eq!(tokens, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn take_removes_exactly_the_requested_event() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_micros(30), timer_event(1, 0)); // seq 0
+        q.push(SimTime::from_micros(10), timer_event(2, 0)); // seq 1
+        q.push(SimTime::from_micros(20), timer_event(3, 0)); // seq 2
+        let taken = q.take(2).expect("seq 2 is pending");
+        assert_eq!(taken.time, SimTime::from_micros(20));
+        assert!(q.take(2).is_none());
+        let remaining: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.seq).collect();
+        assert_eq!(remaining, vec![1, 0]);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_time_then_seq() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_micros(30), timer_event(1, 0));
+        q.push(SimTime::from_micros(10), timer_event(2, 0));
+        q.push(SimTime::from_micros(10), timer_event(3, 0));
+        let snap = q.snapshot();
+        let order: Vec<(u64, u64)> = snap.iter().map(|e| (e.time.as_micros(), e.seq)).collect();
+        assert_eq!(order, vec![(10, 1), (10, 2), (30, 0)]);
+        assert!(snap.iter().all(|e| !e.is_deliver));
     }
 
     #[test]

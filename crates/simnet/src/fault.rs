@@ -7,7 +7,7 @@
 //! Crash and slowdown injections are scheduled through the world's control
 //! queue (see [`crate::world::World`]).
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use crate::rng::DeterministicRng;
 use crate::topology::NodeId;
@@ -19,7 +19,7 @@ pub struct FaultState {
     /// (transient communication faults).
     drop_probability: f64,
     /// Directed node pairs whose traffic is blocked (network partitions).
-    blocked: HashSet<(NodeId, NodeId)>,
+    blocked: BTreeSet<(NodeId, NodeId)>,
 }
 
 impl FaultState {

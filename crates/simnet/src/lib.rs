@@ -49,6 +49,7 @@
 
 pub mod actor;
 pub(crate) mod event;
+pub mod explore;
 pub mod fault;
 pub mod metrics;
 pub mod node;
@@ -61,6 +62,7 @@ pub mod world;
 /// The most commonly used names, for glob import.
 pub mod prelude {
     pub use crate::actor::{downcast_payload, payload_ref, Actor, Context, Payload, TimerToken};
+    pub use crate::explore::{Choice, ExploreConfig, ExploreReport, Fnv64, Violation};
     pub use crate::metrics::{BandwidthMeter, Counter, Histogram, MetricsHub, TimeSeries};
     pub use crate::rng::DeterministicRng;
     pub use crate::time::{SimDuration, SimTime};

@@ -4,11 +4,12 @@
 //! workload think times) flows through a [`DeterministicRng`] seeded from the
 //! experiment configuration, so a given seed always reproduces the same
 //! trace, metrics and figures.
+//!
+//! The generator is a self-contained xoshiro256++ seeded via SplitMix64 —
+//! no external dependency, identical output on every platform, and fully
+//! cloneable so systematic explorers can snapshot and restore RNG state.
 
 use std::ops::RangeInclusive;
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A seeded random-number generator with the handful of distributions the
 /// simulator needs.
@@ -22,34 +23,83 @@ use rand::{Rng, SeedableRng};
 /// let mut b = DeterministicRng::new(42);
 /// assert_eq!(a.gen_range_u64(0..=100), b.gen_range_u64(0..=100));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DeterministicRng {
-    inner: StdRng,
+    state: [u64; 4],
+}
+
+fn splitmix64(seed: &mut u64) -> u64 {
+    *seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *seed;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl DeterministicRng {
     /// Creates a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
         DeterministicRng {
-            inner: StdRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
         }
+    }
+
+    /// The next raw 64-bit draw (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.state = s;
+        result
     }
 
     /// Derives an independent child stream; used to give each component its
     /// own stream so adding draws in one place does not perturb another.
     pub fn fork(&mut self, salt: u64) -> DeterministicRng {
-        let seed = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let seed = self.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         DeterministicRng::new(seed)
     }
 
     /// A uniform draw from an inclusive range.
     pub fn gen_range_u64(&mut self, range: RangeInclusive<u64>) -> u64 {
-        self.inner.gen_range(range)
+        let (lo, hi) = (*range.start(), *range.end());
+        debug_assert!(lo <= hi, "empty range");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        // Unbiased rejection sampling (Lemire-style threshold).
+        let bound = span + 1;
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let r = self.next_u64();
+            let (hi_mul, lo_mul) = {
+                let wide = (r as u128) * (bound as u128);
+                ((wide >> 64) as u64, wide as u64)
+            };
+            if lo_mul >= threshold {
+                return lo + hi_mul;
+            }
+        }
     }
 
     /// A uniform draw from `[0, 1)`.
     pub fn gen_f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// A Bernoulli trial with probability `p` (clamped to `[0, 1]`).
@@ -60,14 +110,14 @@ impl DeterministicRng {
         } else if p == 1.0 {
             true
         } else {
-            self.inner.gen_bool(p)
+            self.gen_f64() < p
         }
     }
 
-    /// A normal draw via Box–Muller (avoids a `rand_distr` dependency).
+    /// A normal draw via Box–Muller (avoids a distributions dependency).
     pub fn gen_normal(&mut self, mean: f64, std_dev: f64) -> f64 {
-        let u1: f64 = self.inner.gen_range(f64::EPSILON..1.0);
-        let u2: f64 = self.inner.gen::<f64>();
+        let u1: f64 = self.gen_f64().max(f64::EPSILON);
+        let u2: f64 = self.gen_f64();
         let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
         mean + std_dev * z
     }
@@ -78,7 +128,7 @@ impl DeterministicRng {
         if rate <= 0.0 {
             return f64::INFINITY;
         }
-        let u: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        let u: f64 = self.gen_f64().max(f64::EPSILON);
         -u.ln() / rate
     }
 }
@@ -92,7 +142,10 @@ mod tests {
         let mut a = DeterministicRng::new(7);
         let mut b = DeterministicRng::new(7);
         for _ in 0..100 {
-            assert_eq!(a.gen_range_u64(0..=1_000_000), b.gen_range_u64(0..=1_000_000));
+            assert_eq!(
+                a.gen_range_u64(0..=1_000_000),
+                b.gen_range_u64(0..=1_000_000)
+            );
         }
     }
 
@@ -106,12 +159,24 @@ mod tests {
     }
 
     #[test]
+    fn clone_resumes_identically() {
+        let mut a = DeterministicRng::new(99);
+        let _ = a.next_u64();
+        let mut snapshot = a.clone();
+        assert_eq!(a.next_u64(), snapshot.next_u64());
+        assert_eq!(a.gen_f64(), snapshot.gen_f64());
+    }
+
+    #[test]
     fn fork_is_deterministic_and_independent() {
         let mut parent1 = DeterministicRng::new(9);
         let mut parent2 = DeterministicRng::new(9);
         let mut c1 = parent1.fork(1);
         let mut c2 = parent2.fork(1);
-        assert_eq!(c1.gen_range_u64(0..=u64::MAX), c2.gen_range_u64(0..=u64::MAX));
+        assert_eq!(
+            c1.gen_range_u64(0..=u64::MAX),
+            c2.gen_range_u64(0..=u64::MAX)
+        );
         // A different salt gives a different stream.
         let mut parent3 = DeterministicRng::new(9);
         let mut c3 = parent3.fork(2);
@@ -119,6 +184,25 @@ mod tests {
             DeterministicRng::new(9).fork(1).gen_range_u64(0..=u64::MAX),
             c3.gen_range_u64(0..=u64::MAX)
         );
+    }
+
+    #[test]
+    fn range_draws_stay_in_bounds() {
+        let mut rng = DeterministicRng::new(5);
+        for _ in 0..10_000 {
+            let v = rng.gen_range_u64(10..=17);
+            assert!((10..=17).contains(&v));
+        }
+        assert_eq!(rng.gen_range_u64(4..=4), 4);
+    }
+
+    #[test]
+    fn uniform_f64_is_in_unit_interval() {
+        let mut rng = DeterministicRng::new(8);
+        for _ in 0..10_000 {
+            let v = rng.gen_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
     }
 
     #[test]

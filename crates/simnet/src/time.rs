@@ -245,7 +245,10 @@ mod tests {
 
     #[test]
     fn from_secs_f64_rounds() {
-        assert_eq!(SimDuration::from_secs_f64(0.0000015), SimDuration::from_micros(2));
+        assert_eq!(
+            SimDuration::from_secs_f64(0.0000015),
+            SimDuration::from_micros(2)
+        );
         assert_eq!(SimDuration::from_secs_f64(-3.0), SimDuration::ZERO);
     }
 

@@ -6,7 +6,7 @@
 //! bandwidth. Messages between processes on the *same* node bypass the
 //! network and only pay a configurable loopback cost.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::rng::DeterministicRng;
@@ -185,7 +185,7 @@ impl Default for LinkConfig {
 pub struct Topology {
     nodes: Vec<NodeId>,
     default_link: LinkConfig,
-    overrides: HashMap<(NodeId, NodeId), LinkConfig>,
+    overrides: BTreeMap<(NodeId, NodeId), LinkConfig>,
     loopback: SimDuration,
 }
 
@@ -195,7 +195,7 @@ impl Topology {
         Topology {
             nodes: (0..n).map(NodeId).collect(),
             default_link: LinkConfig::default(),
-            overrides: HashMap::new(),
+            overrides: BTreeMap::new(),
             loopback: SimDuration::from_micros(5),
         }
     }
@@ -239,7 +239,9 @@ impl Topology {
 
     /// The effective link configuration `from → to`.
     pub fn link(&self, from: NodeId, to: NodeId) -> &LinkConfig {
-        self.overrides.get(&(from, to)).unwrap_or(&self.default_link)
+        self.overrides
+            .get(&(from, to))
+            .unwrap_or(&self.default_link)
     }
 }
 
@@ -282,7 +284,8 @@ mod tests {
 
     #[test]
     fn uniform_latency_stays_in_range() {
-        let model = LatencyModel::uniform(SimDuration::from_micros(100), SimDuration::from_micros(50));
+        let model =
+            LatencyModel::uniform(SimDuration::from_micros(100), SimDuration::from_micros(50));
         let mut rng = DeterministicRng::new(2);
         for _ in 0..1000 {
             let d = model.sample(&mut rng);
@@ -302,7 +305,7 @@ mod tests {
     #[test]
     fn transmission_delay_scales_with_size() {
         let link = LinkConfig::default(); // 12.5 MB/s
-        // 12500 bytes at 12.5 MB/s = 1 ms.
+                                          // 12500 bytes at 12.5 MB/s = 1 ms.
         assert_eq!(link.transmission_delay(12_500), SimDuration::from_millis(1));
         let unlimited = LinkConfig::with_latency(LatencyModel::default());
         assert_eq!(unlimited.transmission_delay(1 << 20), SimDuration::ZERO);
@@ -311,7 +314,8 @@ mod tests {
     #[test]
     fn mean_matches_model() {
         assert_eq!(
-            LatencyModel::uniform(SimDuration::from_micros(100), SimDuration::from_micros(50)).mean(),
+            LatencyModel::uniform(SimDuration::from_micros(100), SimDuration::from_micros(50))
+                .mean(),
             SimDuration::from_micros(125)
         );
         assert_eq!(

@@ -190,7 +190,9 @@ mod tests {
     use super::*;
 
     fn ev(pid: u64) -> TraceEventKind {
-        TraceEventKind::Crashed { pid: ProcessId(pid) }
+        TraceEventKind::Crashed {
+            pid: ProcessId(pid),
+        }
     }
 
     #[test]

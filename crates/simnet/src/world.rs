@@ -31,7 +31,7 @@
 //! ```
 
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::actor::{Action, Actor, Context, Payload, TimerToken};
 use crate::event::{ControlAction, EventKind, EventQueue};
@@ -63,13 +63,13 @@ pub struct World {
     queue: EventQueue,
     topology: Topology,
     nodes: Vec<NodeState>,
-    procs: HashMap<ProcessId, ProcEntry>,
+    procs: BTreeMap<ProcessId, ProcEntry>,
     rng: DeterministicRng,
     metrics: MetricsHub,
     fault: FaultState,
     trace: Trace,
     next_pid: u64,
-    canceled_timers: HashMap<(ProcessId, TimerToken), u32>,
+    canceled_timers: BTreeMap<(ProcessId, TimerToken), u32>,
     events_processed: u64,
 }
 
@@ -78,19 +78,23 @@ impl World {
     /// built with the same topology, seed and subsequent calls behave
     /// identically.
     pub fn new(topology: Topology, seed: u64) -> Self {
-        let nodes = topology.nodes().iter().map(|&id| NodeState::new(id)).collect();
+        let nodes = topology
+            .nodes()
+            .iter()
+            .map(|&id| NodeState::new(id))
+            .collect();
         World {
             time: SimTime::ZERO,
             queue: EventQueue::new(),
             topology,
             nodes,
-            procs: HashMap::new(),
+            procs: BTreeMap::new(),
             rng: DeterministicRng::new(seed),
             metrics: MetricsHub::new(),
             fault: FaultState::new(),
             trace: Trace::default(),
             next_pid: 0,
-            canceled_timers: HashMap::new(),
+            canceled_timers: BTreeMap::new(),
             events_processed: 0,
         }
     }
@@ -162,7 +166,8 @@ impl World {
                 alive: true,
             },
         );
-        self.trace.record(self.time, TraceEventKind::Spawned { pid, node });
+        self.trace
+            .record(self.time, TraceEventKind::Spawned { pid, node });
         self.queue.push(self.time, EventKind::Start { pid });
         pid
     }
@@ -288,8 +293,37 @@ impl World {
         };
         debug_assert!(ev.time >= self.time, "time went backwards");
         self.time = ev.time;
+        self.process_event(ev.kind);
+        true
+    }
+
+    /// Processes the pending event with sequence number `seq` *out of
+    /// order*, as directed by [`crate::explore`]. The event fires at the
+    /// earliest pending instant: the network is asynchronous, so any
+    /// in-flight message may legally arrive as soon as the next scheduled
+    /// event, and firing there keeps time monotone and timers punctual.
+    /// Returns `false` if no such event is pending.
+    pub(crate) fn step_seq(&mut self, seq: u64) -> bool {
+        let Some(frontier) = self.queue.peek_time() else {
+            return false;
+        };
+        let Some(ev) = self.queue.take(seq) else {
+            return false;
+        };
+        self.time = self.time.max(frontier);
+        self.process_event(ev.kind);
+        true
+    }
+
+    /// A `(time, seq)`-sorted summary of the pending event queue — the
+    /// branch frontier for exploration.
+    pub(crate) fn pending_events(&self) -> Vec<crate::event::PendingEvent> {
+        self.queue.snapshot()
+    }
+
+    fn process_event(&mut self, kind: EventKind) {
         self.events_processed += 1;
-        match ev.kind {
+        match kind {
             EventKind::Deliver {
                 src,
                 dst,
@@ -309,12 +343,12 @@ impl World {
                         alive: true,
                     },
                 );
-                self.trace.record(self.time, TraceEventKind::Spawned { pid, node });
+                self.trace
+                    .record(self.time, TraceEventKind::Spawned { pid, node });
                 self.dispatch(pid, |actor, ctx| actor.on_start(ctx));
             }
             EventKind::Control(action) => self.apply_control(action),
         }
-        true
     }
 
     /// Runs until the queue is exhausted or virtual time reaches `deadline`.
@@ -348,6 +382,72 @@ impl World {
             self.step();
         }
         true
+    }
+
+    /// A structural digest of the current world state, or `None` when any
+    /// live actor or in-flight payload does not provide one.
+    ///
+    /// [`crate::explore`] uses this to prune interleavings that reconverge
+    /// to an already-visited state. The digest covers process liveness,
+    /// actor state digests, node availability, pending timer cancellations
+    /// and the pending event queue with *now-relative* times — two worlds
+    /// that differ only by a time shift (or by RNG position) hash equal,
+    /// which is what makes pruning effective. That makes pruning a
+    /// heuristic reduction, not an exact bisimulation; it is opt-in per
+    /// [`crate::explore::ExploreConfig`].
+    pub fn state_digest(&self) -> Option<u64> {
+        let mut h = crate::explore::Fnv64::new();
+        for (&pid, entry) in &self.procs {
+            h.write_u64(pid.0);
+            h.write_u64(u64::from(entry.node.0));
+            h.write_u64(u64::from(entry.alive));
+            if entry.alive {
+                h.write_u64(entry.actor.as_deref()?.state_digest()?);
+            }
+        }
+        for node in &self.nodes {
+            h.write_u64(u64::from(node.is_up()));
+        }
+        for (&(pid, token), &count) in &self.canceled_timers {
+            h.write_u64(pid.0);
+            h.write_u64(token.0);
+            h.write_u64(u64::from(count));
+        }
+        let mut events: Vec<&crate::event::ScheduledEvent> = self.queue.iter().collect();
+        events.sort_by_key(|e| (e.time, e.seq));
+        for ev in events {
+            h.write_u64(ev.time.duration_since(self.time).as_micros());
+            match &ev.kind {
+                EventKind::Deliver {
+                    src,
+                    dst,
+                    payload,
+                    wire_size,
+                } => {
+                    h.write_u64(0);
+                    h.write_u64(src.0);
+                    h.write_u64(dst.0);
+                    h.write_u64(*wire_size as u64);
+                    h.write_u64(payload.digest()?);
+                }
+                EventKind::Timer { pid, token } => {
+                    h.write_u64(1);
+                    h.write_u64(pid.0);
+                    h.write_u64(token.0);
+                }
+                EventKind::Start { pid } => {
+                    h.write_u64(2);
+                    h.write_u64(pid.0);
+                }
+                // A not-yet-spawned actor has no inspectable state.
+                EventKind::SpawnDynamic { .. } => return None,
+                EventKind::Control(action) => {
+                    h.write_u64(4);
+                    h.write_bytes(format!("{action:?}").as_bytes());
+                }
+            }
+        }
+        Some(h.finish())
     }
 
     // ----- internals -------------------------------------------------------
@@ -562,9 +662,7 @@ impl World {
             );
             return;
         }
-        if self.fault.drop_probability() > 0.0
-            && self.rng.gen_bool(self.fault.drop_probability())
-        {
+        if self.fault.drop_probability() > 0.0 && self.rng.gen_bool(self.fault.drop_probability()) {
             self.trace.record(
                 self.time,
                 TraceEventKind::Dropped {
@@ -589,11 +687,12 @@ impl World {
         );
     }
 
-    fn crash_process_now(&mut self, pid: ProcessId) {
+    pub(crate) fn crash_process_now(&mut self, pid: ProcessId) {
         if let Some(entry) = self.procs.get_mut(&pid) {
             if entry.alive {
                 entry.alive = false;
-                self.trace.record(self.time, TraceEventKind::Crashed { pid });
+                self.trace
+                    .record(self.time, TraceEventKind::Crashed { pid });
             }
         }
     }
@@ -674,7 +773,12 @@ mod tests {
         seen: u32,
     }
     impl Actor for Echo {
-        fn on_message(&mut self, ctx: &mut Context<'_>, from: ProcessId, payload: Box<dyn Payload>) {
+        fn on_message(
+            &mut self,
+            ctx: &mut Context<'_>,
+            from: ProcessId,
+            payload: Box<dyn Payload>,
+        ) {
             if let Ok(ping) = crate::actor::downcast_payload::<Ping>(payload) {
                 self.seen += 1;
                 ctx.use_cpu(self.cpu);
@@ -696,7 +800,12 @@ mod tests {
             self.sent_at = ctx.now();
             ctx.send(self.target, Ping(0));
         }
-        fn on_message(&mut self, ctx: &mut Context<'_>, _from: ProcessId, payload: Box<dyn Payload>) {
+        fn on_message(
+            &mut self,
+            ctx: &mut Context<'_>,
+            _from: ProcessId,
+            payload: Box<dyn Payload>,
+        ) {
             if crate::actor::downcast_payload::<Pong>(payload).is_ok() {
                 self.rtts.push(ctx.now() - self.sent_at);
             }

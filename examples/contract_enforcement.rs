@@ -87,7 +87,10 @@ fn main() {
         merged.mean_micros_f64()
     );
     for (t, directive) in &r0.directives {
-        println!("operator notification at {:.2}s: {directive:?}", t.as_secs_f64());
+        println!(
+            "operator notification at {:.2}s: {directive:?}",
+            t.as_secs_f64()
+        );
     }
     if r0.directives.is_empty() {
         println!("no operator escalation was needed — the knobs sufficed.");

@@ -94,13 +94,14 @@ fn main() {
     // --- cruise phase -----------------------------------------------------
     world.run_for(SimDuration::from_secs(3));
     let (n_cruise, mean_cruise) = window_stats(&world, SimTime::ZERO);
-    println!(
-        "cruise (warm passive): {n_cruise} commands, mean RTT {mean_cruise:.0} µs"
-    );
+    println!("cruise (warm passive): {n_cruise} commands, mean RTT {mean_cruise:.0} µs");
 
     // --- window of opportunity: switch to mission mode ---------------------
     println!("\n>>> window of opportunity opens: switching to ACTIVE replication");
-    world.inject(replicas[0], ReplicaCommand::Switch(ReplicationStyle::Active));
+    world.inject(
+        replicas[0],
+        ReplicaCommand::Switch(ReplicationStyle::Active),
+    );
     let window_start = world.now();
     world.run_for(SimDuration::from_secs(3));
     let (n_total, _) = window_stats(&world, window_start);
@@ -117,7 +118,10 @@ fn main() {
 
     // A replica dies during the mission window — active replication rides
     // through it with no recovery delay (this is why the mode was chosen).
-    println!("\n>>> radiation hit: replica {} dies mid-window", replicas[1]);
+    println!(
+        "\n>>> radiation hit: replica {} dies mid-window",
+        replicas[1]
+    );
     world.crash_process_at(replicas[1], world.now());
     world.run_for(SimDuration::from_secs(2));
     println!(

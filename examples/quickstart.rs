@@ -7,9 +7,9 @@
 
 use bytes::Bytes;
 use versatile_dependability::bench::testbed::gc_topology;
-use versatile_dependability::prelude::*;
 use versatile_dependability::core::client::{ReplicatedClientActor, ReplicatedClientConfig};
 use versatile_dependability::orb::sim::{DriverConfig, RequestDriver};
+use versatile_dependability::prelude::*;
 
 /// The replicated application: a counter whose replies expose its state.
 struct Counter(u64);
@@ -86,7 +86,11 @@ fn main() {
         .unwrap()
         .driver()
         .completed();
-    println!("t={} — {before} requests served; crashing {}", world.now(), replicas[2]);
+    println!(
+        "t={} — {before} requests served; crashing {}",
+        world.now(),
+        replicas[2]
+    );
     world.crash_process_at(replicas[2], world.now());
 
     // Run to completion.

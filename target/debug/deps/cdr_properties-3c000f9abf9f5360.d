@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cdr_properties-3c000f9abf9f5360.d: crates/orb/tests/cdr_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcdr_properties-3c000f9abf9f5360.rmeta: crates/orb/tests/cdr_properties.rs Cargo.toml
+
+crates/orb/tests/cdr_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cdr_properties-8645f2cf3ebcc551.d: crates/orb/tests/cdr_properties.rs
+
+/root/repo/target/debug/deps/cdr_properties-8645f2cf3ebcc551: crates/orb/tests/cdr_properties.rs
+
+crates/orb/tests/cdr_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-493b7df2132bd416.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-493b7df2132bd416: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/endpoint_unit-0bc2f10650053dd9.d: crates/group/tests/endpoint_unit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libendpoint_unit-0bc2f10650053dd9.rmeta: crates/group/tests/endpoint_unit.rs Cargo.toml
+
+crates/group/tests/endpoint_unit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

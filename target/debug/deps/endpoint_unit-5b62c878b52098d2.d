@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/endpoint_unit-5b62c878b52098d2.d: crates/group/tests/endpoint_unit.rs
+
+/root/repo/target/debug/deps/endpoint_unit-5b62c878b52098d2: crates/group/tests/endpoint_unit.rs
+
+crates/group/tests/endpoint_unit.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_properties-200c1c01cc9e4abe.d: crates/core/tests/engine_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_properties-200c1c01cc9e4abe.rmeta: crates/core/tests/engine_properties.rs Cargo.toml
+
+crates/core/tests/engine_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_properties-300cdb57f6a43dd2.d: crates/core/tests/engine_properties.rs
+
+/root/repo/target/debug/deps/engine_properties-300cdb57f6a43dd2: crates/core/tests/engine_properties.rs
+
+crates/core/tests/engine_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_properties-907bbd04b3d1d880.d: crates/core/tests/engine_properties.rs
+
+/root/repo/target/debug/deps/engine_properties-907bbd04b3d1d880: crates/core/tests/engine_properties.rs
+
+crates/core/tests/engine_properties.rs:

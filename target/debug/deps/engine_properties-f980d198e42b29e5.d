@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_properties-f980d198e42b29e5.d: crates/core/tests/engine_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_properties-f980d198e42b29e5.rmeta: crates/core/tests/engine_properties.rs Cargo.toml
+
+crates/core/tests/engine_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-2f1b375f5594e89f.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-2f1b375f5594e89f: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

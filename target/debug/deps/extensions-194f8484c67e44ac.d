@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-194f8484c67e44ac.d: crates/core/tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-194f8484c67e44ac: crates/core/tests/extensions.rs
+
+crates/core/tests/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-1e78988f1b57ff40.d: crates/core/tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-1e78988f1b57ff40: crates/core/tests/extensions.rs
+
+crates/core/tests/extensions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extensions-454dd794e158d4bd.d: crates/core/tests/extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions-454dd794e158d4bd.rmeta: crates/core/tests/extensions.rs Cargo.toml
+
+crates/core/tests/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fixtures_lint-05c2ef959d645895.d: crates/check/tests/fixtures_lint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfixtures_lint-05c2ef959d645895.rmeta: crates/check/tests/fixtures_lint.rs Cargo.toml
+
+crates/check/tests/fixtures_lint.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/check
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

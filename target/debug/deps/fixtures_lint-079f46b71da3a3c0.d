@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fixtures_lint-079f46b71da3a3c0.d: crates/check/tests/fixtures_lint.rs
+
+/root/repo/target/debug/deps/fixtures_lint-079f46b71da3a3c0: crates/check/tests/fixtures_lint.rs
+
+crates/check/tests/fixtures_lint.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/check

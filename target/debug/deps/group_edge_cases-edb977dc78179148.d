@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/group_edge_cases-edb977dc78179148.d: crates/group/tests/group_edge_cases.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgroup_edge_cases-edb977dc78179148.rmeta: crates/group/tests/group_edge_cases.rs Cargo.toml
+
+crates/group/tests/group_edge_cases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

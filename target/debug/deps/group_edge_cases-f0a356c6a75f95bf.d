@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/group_edge_cases-f0a356c6a75f95bf.d: crates/group/tests/group_edge_cases.rs
+
+/root/repo/target/debug/deps/group_edge_cases-f0a356c6a75f95bf: crates/group/tests/group_edge_cases.rs
+
+crates/group/tests/group_edge_cases.rs:

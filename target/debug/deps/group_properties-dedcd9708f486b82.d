@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/group_properties-dedcd9708f486b82.d: crates/group/tests/group_properties.rs
+
+/root/repo/target/debug/deps/group_properties-dedcd9708f486b82: crates/group/tests/group_properties.rs
+
+crates/group/tests/group_properties.rs:

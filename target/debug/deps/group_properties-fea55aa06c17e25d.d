@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/group_properties-fea55aa06c17e25d.d: crates/group/tests/group_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgroup_properties-fea55aa06c17e25d.rmeta: crates/group/tests/group_properties.rs Cargo.toml
+
+crates/group/tests/group_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

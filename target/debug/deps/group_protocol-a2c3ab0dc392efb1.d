@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/group_protocol-a2c3ab0dc392efb1.d: crates/group/tests/group_protocol.rs
+
+/root/repo/target/debug/deps/group_protocol-a2c3ab0dc392efb1: crates/group/tests/group_protocol.rs
+
+crates/group/tests/group_protocol.rs:

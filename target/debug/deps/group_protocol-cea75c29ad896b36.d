@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/group_protocol-cea75c29ad896b36.d: crates/group/tests/group_protocol.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgroup_protocol-cea75c29ad896b36.rmeta: crates/group/tests/group_protocol.rs Cargo.toml
+
+crates/group/tests/group_protocol.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

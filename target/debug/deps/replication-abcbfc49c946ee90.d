@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/replication-abcbfc49c946ee90.d: crates/core/tests/replication.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreplication-abcbfc49c946ee90.rmeta: crates/core/tests/replication.rs Cargo.toml
+
+crates/core/tests/replication.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

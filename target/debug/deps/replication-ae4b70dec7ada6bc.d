@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/replication-ae4b70dec7ada6bc.d: crates/core/tests/replication.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreplication-ae4b70dec7ada6bc.rmeta: crates/core/tests/replication.rs Cargo.toml
+
+crates/core/tests/replication.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

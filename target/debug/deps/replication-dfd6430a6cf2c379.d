@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/replication-dfd6430a6cf2c379.d: crates/core/tests/replication.rs
+
+/root/repo/target/debug/deps/replication-dfd6430a6cf2c379: crates/core/tests/replication.rs
+
+crates/core/tests/replication.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/replication-fa775c8cf0dfc9f2.d: crates/core/tests/replication.rs
+
+/root/repo/target/debug/deps/replication-fa775c8cf0dfc9f2: crates/core/tests/replication.rs
+
+crates/core/tests/replication.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simnet_properties-0ae1af6a9faf0dda.d: crates/simnet/tests/simnet_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimnet_properties-0ae1af6a9faf0dda.rmeta: crates/simnet/tests/simnet_properties.rs Cargo.toml
+
+crates/simnet/tests/simnet_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simnet_properties-5de1ae580093138f.d: crates/simnet/tests/simnet_properties.rs
+
+/root/repo/target/debug/deps/simnet_properties-5de1ae580093138f: crates/simnet/tests/simnet_properties.rs
+
+crates/simnet/tests/simnet_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/switch_explore-8d7a1e28e5e5e97a.d: crates/core/tests/switch_explore.rs
+
+/root/repo/target/debug/deps/switch_explore-8d7a1e28e5e5e97a: crates/core/tests/switch_explore.rs
+
+crates/core/tests/switch_explore.rs:

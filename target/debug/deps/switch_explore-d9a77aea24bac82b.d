@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/switch_explore-d9a77aea24bac82b.d: crates/core/tests/switch_explore.rs Cargo.toml
+
+/root/repo/target/debug/deps/libswitch_explore-d9a77aea24bac82b.rmeta: crates/core/tests/switch_explore.rs Cargo.toml
+
+crates/core/tests/switch_explore.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/vd_bench-57a69356d4bc0108.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/fig3.rs crates/bench/src/experiments/fig4.rs crates/bench/src/experiments/fig6.rs crates/bench/src/experiments/fig7.rs crates/bench/src/experiments/fig8.rs crates/bench/src/experiments/fig9.rs crates/bench/src/harness.rs crates/bench/src/report.rs crates/bench/src/testbed.rs crates/bench/src/workload.rs
+
+/root/repo/target/debug/deps/libvd_bench-57a69356d4bc0108.rlib: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/fig3.rs crates/bench/src/experiments/fig4.rs crates/bench/src/experiments/fig6.rs crates/bench/src/experiments/fig7.rs crates/bench/src/experiments/fig8.rs crates/bench/src/experiments/fig9.rs crates/bench/src/harness.rs crates/bench/src/report.rs crates/bench/src/testbed.rs crates/bench/src/workload.rs
+
+/root/repo/target/debug/deps/libvd_bench-57a69356d4bc0108.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablation.rs crates/bench/src/experiments/fig3.rs crates/bench/src/experiments/fig4.rs crates/bench/src/experiments/fig6.rs crates/bench/src/experiments/fig7.rs crates/bench/src/experiments/fig8.rs crates/bench/src/experiments/fig9.rs crates/bench/src/harness.rs crates/bench/src/report.rs crates/bench/src/testbed.rs crates/bench/src/workload.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/ablation.rs:
+crates/bench/src/experiments/fig3.rs:
+crates/bench/src/experiments/fig4.rs:
+crates/bench/src/experiments/fig6.rs:
+crates/bench/src/experiments/fig7.rs:
+crates/bench/src/experiments/fig8.rs:
+crates/bench/src/experiments/fig9.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/report.rs:
+crates/bench/src/testbed.rs:
+crates/bench/src/workload.rs:

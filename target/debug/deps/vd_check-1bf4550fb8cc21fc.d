@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/vd_check-1bf4550fb8cc21fc.d: crates/check/src/lib.rs crates/check/src/strip.rs
+
+/root/repo/target/debug/deps/libvd_check-1bf4550fb8cc21fc.rlib: crates/check/src/lib.rs crates/check/src/strip.rs
+
+/root/repo/target/debug/deps/libvd_check-1bf4550fb8cc21fc.rmeta: crates/check/src/lib.rs crates/check/src/strip.rs
+
+crates/check/src/lib.rs:
+crates/check/src/strip.rs:

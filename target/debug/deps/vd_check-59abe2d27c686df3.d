@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/vd_check-59abe2d27c686df3.d: crates/check/src/lib.rs crates/check/src/strip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvd_check-59abe2d27c686df3.rmeta: crates/check/src/lib.rs crates/check/src/strip.rs Cargo.toml
+
+crates/check/src/lib.rs:
+crates/check/src/strip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/vd_check-6ebc72bde1db600d.d: crates/check/src/lib.rs crates/check/src/strip.rs
+
+/root/repo/target/debug/deps/vd_check-6ebc72bde1db600d: crates/check/src/lib.rs crates/check/src/strip.rs
+
+crates/check/src/lib.rs:
+crates/check/src/strip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vd_check-8c92fed074ab11fe.d: crates/check/src/main.rs
+
+/root/repo/target/debug/deps/vd_check-8c92fed074ab11fe: crates/check/src/main.rs
+
+crates/check/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vd_check-9e440c66ca0c78bb.d: crates/check/src/main.rs
+
+/root/repo/target/debug/deps/vd_check-9e440c66ca0c78bb: crates/check/src/main.rs
+
+crates/check/src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vd_check-a6550ac094054312.d: crates/check/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvd_check-a6550ac094054312.rmeta: crates/check/src/main.rs Cargo.toml
+
+crates/check/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vd_check-c25d1247aaa56cdc.d: crates/check/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvd_check-c25d1247aaa56cdc.rmeta: crates/check/src/main.rs Cargo.toml
+
+crates/check/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

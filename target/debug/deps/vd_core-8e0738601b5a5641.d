@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/vd_core-8e0738601b5a5641.d: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/contract.rs crates/core/src/engine.rs crates/core/src/invariants.rs crates/core/src/knobs.rs crates/core/src/messages.rs crates/core/src/monitor.rs crates/core/src/policy.rs crates/core/src/replica.rs crates/core/src/repstate.rs crates/core/src/state.rs crates/core/src/style.rs
+
+/root/repo/target/debug/deps/vd_core-8e0738601b5a5641: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/contract.rs crates/core/src/engine.rs crates/core/src/invariants.rs crates/core/src/knobs.rs crates/core/src/messages.rs crates/core/src/monitor.rs crates/core/src/policy.rs crates/core/src/replica.rs crates/core/src/repstate.rs crates/core/src/state.rs crates/core/src/style.rs
+
+crates/core/src/lib.rs:
+crates/core/src/client.rs:
+crates/core/src/contract.rs:
+crates/core/src/engine.rs:
+crates/core/src/invariants.rs:
+crates/core/src/knobs.rs:
+crates/core/src/messages.rs:
+crates/core/src/monitor.rs:
+crates/core/src/policy.rs:
+crates/core/src/replica.rs:
+crates/core/src/repstate.rs:
+crates/core/src/state.rs:
+crates/core/src/style.rs:

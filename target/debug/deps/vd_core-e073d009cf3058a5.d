@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/vd_core-e073d009cf3058a5.d: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/contract.rs crates/core/src/engine.rs crates/core/src/knobs.rs crates/core/src/messages.rs crates/core/src/monitor.rs crates/core/src/policy.rs crates/core/src/replica.rs crates/core/src/repstate.rs crates/core/src/state.rs crates/core/src/style.rs
+
+/root/repo/target/debug/deps/libvd_core-e073d009cf3058a5.rlib: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/contract.rs crates/core/src/engine.rs crates/core/src/knobs.rs crates/core/src/messages.rs crates/core/src/monitor.rs crates/core/src/policy.rs crates/core/src/replica.rs crates/core/src/repstate.rs crates/core/src/state.rs crates/core/src/style.rs
+
+/root/repo/target/debug/deps/libvd_core-e073d009cf3058a5.rmeta: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/contract.rs crates/core/src/engine.rs crates/core/src/knobs.rs crates/core/src/messages.rs crates/core/src/monitor.rs crates/core/src/policy.rs crates/core/src/replica.rs crates/core/src/repstate.rs crates/core/src/state.rs crates/core/src/style.rs
+
+crates/core/src/lib.rs:
+crates/core/src/client.rs:
+crates/core/src/contract.rs:
+crates/core/src/engine.rs:
+crates/core/src/knobs.rs:
+crates/core/src/messages.rs:
+crates/core/src/monitor.rs:
+crates/core/src/policy.rs:
+crates/core/src/replica.rs:
+crates/core/src/repstate.rs:
+crates/core/src/state.rs:
+crates/core/src/style.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/vd_core-fe91a4e78fa1f76c.d: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/contract.rs crates/core/src/engine.rs crates/core/src/knobs.rs crates/core/src/messages.rs crates/core/src/monitor.rs crates/core/src/policy.rs crates/core/src/replica.rs crates/core/src/repstate.rs crates/core/src/state.rs crates/core/src/style.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvd_core-fe91a4e78fa1f76c.rmeta: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/contract.rs crates/core/src/engine.rs crates/core/src/knobs.rs crates/core/src/messages.rs crates/core/src/monitor.rs crates/core/src/policy.rs crates/core/src/replica.rs crates/core/src/repstate.rs crates/core/src/state.rs crates/core/src/style.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/client.rs:
+crates/core/src/contract.rs:
+crates/core/src/engine.rs:
+crates/core/src/knobs.rs:
+crates/core/src/messages.rs:
+crates/core/src/monitor.rs:
+crates/core/src/policy.rs:
+crates/core/src/replica.rs:
+crates/core/src/repstate.rs:
+crates/core/src/state.rs:
+crates/core/src/style.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/vd_group-2b6bd6b5e07674f1.d: crates/group/src/lib.rs crates/group/src/api.rs crates/group/src/config.rs crates/group/src/endpoint.rs crates/group/src/flush.rs crates/group/src/message.rs crates/group/src/order.rs crates/group/src/sim.rs crates/group/src/stream.rs crates/group/src/vclock.rs crates/group/src/view.rs
+
+/root/repo/target/debug/deps/vd_group-2b6bd6b5e07674f1: crates/group/src/lib.rs crates/group/src/api.rs crates/group/src/config.rs crates/group/src/endpoint.rs crates/group/src/flush.rs crates/group/src/message.rs crates/group/src/order.rs crates/group/src/sim.rs crates/group/src/stream.rs crates/group/src/vclock.rs crates/group/src/view.rs
+
+crates/group/src/lib.rs:
+crates/group/src/api.rs:
+crates/group/src/config.rs:
+crates/group/src/endpoint.rs:
+crates/group/src/flush.rs:
+crates/group/src/message.rs:
+crates/group/src/order.rs:
+crates/group/src/sim.rs:
+crates/group/src/stream.rs:
+crates/group/src/vclock.rs:
+crates/group/src/view.rs:

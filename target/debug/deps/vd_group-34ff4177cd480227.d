@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/vd_group-34ff4177cd480227.d: crates/group/src/lib.rs crates/group/src/api.rs crates/group/src/config.rs crates/group/src/endpoint.rs crates/group/src/flush.rs crates/group/src/message.rs crates/group/src/order.rs crates/group/src/sim.rs crates/group/src/stream.rs crates/group/src/vclock.rs crates/group/src/view.rs
+
+/root/repo/target/debug/deps/libvd_group-34ff4177cd480227.rlib: crates/group/src/lib.rs crates/group/src/api.rs crates/group/src/config.rs crates/group/src/endpoint.rs crates/group/src/flush.rs crates/group/src/message.rs crates/group/src/order.rs crates/group/src/sim.rs crates/group/src/stream.rs crates/group/src/vclock.rs crates/group/src/view.rs
+
+/root/repo/target/debug/deps/libvd_group-34ff4177cd480227.rmeta: crates/group/src/lib.rs crates/group/src/api.rs crates/group/src/config.rs crates/group/src/endpoint.rs crates/group/src/flush.rs crates/group/src/message.rs crates/group/src/order.rs crates/group/src/sim.rs crates/group/src/stream.rs crates/group/src/vclock.rs crates/group/src/view.rs
+
+crates/group/src/lib.rs:
+crates/group/src/api.rs:
+crates/group/src/config.rs:
+crates/group/src/endpoint.rs:
+crates/group/src/flush.rs:
+crates/group/src/message.rs:
+crates/group/src/order.rs:
+crates/group/src/sim.rs:
+crates/group/src/stream.rs:
+crates/group/src/vclock.rs:
+crates/group/src/view.rs:

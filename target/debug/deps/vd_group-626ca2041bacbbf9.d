@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/vd_group-626ca2041bacbbf9.d: crates/group/src/lib.rs crates/group/src/api.rs crates/group/src/config.rs crates/group/src/endpoint.rs crates/group/src/flush.rs crates/group/src/message.rs crates/group/src/order.rs crates/group/src/sim.rs crates/group/src/stream.rs crates/group/src/vclock.rs crates/group/src/view.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvd_group-626ca2041bacbbf9.rmeta: crates/group/src/lib.rs crates/group/src/api.rs crates/group/src/config.rs crates/group/src/endpoint.rs crates/group/src/flush.rs crates/group/src/message.rs crates/group/src/order.rs crates/group/src/sim.rs crates/group/src/stream.rs crates/group/src/vclock.rs crates/group/src/view.rs Cargo.toml
+
+crates/group/src/lib.rs:
+crates/group/src/api.rs:
+crates/group/src/config.rs:
+crates/group/src/endpoint.rs:
+crates/group/src/flush.rs:
+crates/group/src/message.rs:
+crates/group/src/order.rs:
+crates/group/src/sim.rs:
+crates/group/src/stream.rs:
+crates/group/src/vclock.rs:
+crates/group/src/view.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/vd_orb-900cb239967fde97.d: crates/orb/src/lib.rs crates/orb/src/cdr.rs crates/orb/src/client.rs crates/orb/src/interceptor.rs crates/orb/src/object.rs crates/orb/src/sim.rs crates/orb/src/wire.rs
+
+/root/repo/target/debug/deps/libvd_orb-900cb239967fde97.rlib: crates/orb/src/lib.rs crates/orb/src/cdr.rs crates/orb/src/client.rs crates/orb/src/interceptor.rs crates/orb/src/object.rs crates/orb/src/sim.rs crates/orb/src/wire.rs
+
+/root/repo/target/debug/deps/libvd_orb-900cb239967fde97.rmeta: crates/orb/src/lib.rs crates/orb/src/cdr.rs crates/orb/src/client.rs crates/orb/src/interceptor.rs crates/orb/src/object.rs crates/orb/src/sim.rs crates/orb/src/wire.rs
+
+crates/orb/src/lib.rs:
+crates/orb/src/cdr.rs:
+crates/orb/src/client.rs:
+crates/orb/src/interceptor.rs:
+crates/orb/src/object.rs:
+crates/orb/src/sim.rs:
+crates/orb/src/wire.rs:

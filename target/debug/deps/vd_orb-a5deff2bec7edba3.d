@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/vd_orb-a5deff2bec7edba3.d: crates/orb/src/lib.rs crates/orb/src/cdr.rs crates/orb/src/client.rs crates/orb/src/interceptor.rs crates/orb/src/object.rs crates/orb/src/sim.rs crates/orb/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvd_orb-a5deff2bec7edba3.rmeta: crates/orb/src/lib.rs crates/orb/src/cdr.rs crates/orb/src/client.rs crates/orb/src/interceptor.rs crates/orb/src/object.rs crates/orb/src/sim.rs crates/orb/src/wire.rs Cargo.toml
+
+crates/orb/src/lib.rs:
+crates/orb/src/cdr.rs:
+crates/orb/src/client.rs:
+crates/orb/src/interceptor.rs:
+crates/orb/src/object.rs:
+crates/orb/src/sim.rs:
+crates/orb/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/vd_orb-b4d29e537488c74a.d: crates/orb/src/lib.rs crates/orb/src/cdr.rs crates/orb/src/client.rs crates/orb/src/interceptor.rs crates/orb/src/object.rs crates/orb/src/sim.rs crates/orb/src/wire.rs
+
+/root/repo/target/debug/deps/vd_orb-b4d29e537488c74a: crates/orb/src/lib.rs crates/orb/src/cdr.rs crates/orb/src/client.rs crates/orb/src/interceptor.rs crates/orb/src/object.rs crates/orb/src/sim.rs crates/orb/src/wire.rs
+
+crates/orb/src/lib.rs:
+crates/orb/src/cdr.rs:
+crates/orb/src/client.rs:
+crates/orb/src/interceptor.rs:
+crates/orb/src/object.rs:
+crates/orb/src/sim.rs:
+crates/orb/src/wire.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/vd_simnet-6c29c033b15479f0.d: crates/simnet/src/lib.rs crates/simnet/src/actor.rs crates/simnet/src/event.rs crates/simnet/src/explore.rs crates/simnet/src/fault.rs crates/simnet/src/metrics.rs crates/simnet/src/node.rs crates/simnet/src/rng.rs crates/simnet/src/time.rs crates/simnet/src/topology.rs crates/simnet/src/trace.rs crates/simnet/src/world.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvd_simnet-6c29c033b15479f0.rmeta: crates/simnet/src/lib.rs crates/simnet/src/actor.rs crates/simnet/src/event.rs crates/simnet/src/explore.rs crates/simnet/src/fault.rs crates/simnet/src/metrics.rs crates/simnet/src/node.rs crates/simnet/src/rng.rs crates/simnet/src/time.rs crates/simnet/src/topology.rs crates/simnet/src/trace.rs crates/simnet/src/world.rs Cargo.toml
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/actor.rs:
+crates/simnet/src/event.rs:
+crates/simnet/src/explore.rs:
+crates/simnet/src/fault.rs:
+crates/simnet/src/metrics.rs:
+crates/simnet/src/node.rs:
+crates/simnet/src/rng.rs:
+crates/simnet/src/time.rs:
+crates/simnet/src/topology.rs:
+crates/simnet/src/trace.rs:
+crates/simnet/src/world.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

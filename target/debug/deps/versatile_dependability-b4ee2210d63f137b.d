@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/versatile_dependability-b4ee2210d63f137b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libversatile_dependability-b4ee2210d63f137b.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libversatile_dependability-b4ee2210d63f137b.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/versatile_dependability-d0a2631ca72b665b.d: src/lib.rs
+
+/root/repo/target/debug/deps/versatile_dependability-d0a2631ca72b665b: src/lib.rs
+
+src/lib.rs:

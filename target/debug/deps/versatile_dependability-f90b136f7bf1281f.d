@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/versatile_dependability-f90b136f7bf1281f.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libversatile_dependability-f90b136f7bf1281f.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adaptive_replication-92e184511f7a9baa.d: examples/adaptive_replication.rs
+
+/root/repo/target/debug/examples/adaptive_replication-92e184511f7a9baa: examples/adaptive_replication.rs
+
+examples/adaptive_replication.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/contract_enforcement-108c8e94e8b3c8bf.d: examples/contract_enforcement.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcontract_enforcement-108c8e94e8b3c8bf.rmeta: examples/contract_enforcement.rs Cargo.toml
+
+examples/contract_enforcement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/contract_enforcement-9c638d02f6113920.d: examples/contract_enforcement.rs
+
+/root/repo/target/debug/examples/contract_enforcement-9c638d02f6113920: examples/contract_enforcement.rs
+
+examples/contract_enforcement.rs:

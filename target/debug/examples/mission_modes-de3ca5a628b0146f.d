@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mission_modes-de3ca5a628b0146f.d: examples/mission_modes.rs
+
+/root/repo/target/debug/examples/mission_modes-de3ca5a628b0146f: examples/mission_modes.rs
+
+examples/mission_modes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mission_modes-fa89adababf79b27.d: examples/mission_modes.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmission_modes-fa89adababf79b27.rmeta: examples/mission_modes.rs Cargo.toml
+
+examples/mission_modes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/model_check_demo-cf9d9c2a78cc6de8.d: crates/core/examples/model_check_demo.rs
+
+/root/repo/target/debug/examples/model_check_demo-cf9d9c2a78cc6de8: crates/core/examples/model_check_demo.rs
+
+crates/core/examples/model_check_demo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e388c3af799e5172.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e388c3af799e5172: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scalability_knob-cfc20a3014608c7a.d: examples/scalability_knob.rs
+
+/root/repo/target/debug/examples/scalability_knob-cfc20a3014608c7a: examples/scalability_knob.rs
+
+examples/scalability_knob.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/scalability_knob-eb239f8056f3e311.d: examples/scalability_knob.rs Cargo.toml
+
+/root/repo/target/debug/examples/libscalability_knob-eb239f8056f3e311.rmeta: examples/scalability_knob.rs Cargo.toml
+
+examples/scalability_knob.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

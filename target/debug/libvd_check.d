@@ -1,0 +1,1 @@
+/root/repo/target/debug/libvd_check.rlib: /root/repo/crates/check/src/lib.rs /root/repo/crates/check/src/strip.rs

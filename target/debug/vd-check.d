@@ -1,0 +1,1 @@
+/root/repo/target/debug/vd-check: /root/repo/crates/check/src/lib.rs /root/repo/crates/check/src/main.rs /root/repo/crates/check/src/strip.rs

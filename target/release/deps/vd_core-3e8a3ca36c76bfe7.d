@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/vd_core-3e8a3ca36c76bfe7.d: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/contract.rs crates/core/src/engine.rs crates/core/src/knobs.rs crates/core/src/messages.rs crates/core/src/monitor.rs crates/core/src/policy.rs crates/core/src/replica.rs crates/core/src/repstate.rs crates/core/src/state.rs crates/core/src/style.rs
+
+/root/repo/target/release/deps/libvd_core-3e8a3ca36c76bfe7.rlib: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/contract.rs crates/core/src/engine.rs crates/core/src/knobs.rs crates/core/src/messages.rs crates/core/src/monitor.rs crates/core/src/policy.rs crates/core/src/replica.rs crates/core/src/repstate.rs crates/core/src/state.rs crates/core/src/style.rs
+
+/root/repo/target/release/deps/libvd_core-3e8a3ca36c76bfe7.rmeta: crates/core/src/lib.rs crates/core/src/client.rs crates/core/src/contract.rs crates/core/src/engine.rs crates/core/src/knobs.rs crates/core/src/messages.rs crates/core/src/monitor.rs crates/core/src/policy.rs crates/core/src/replica.rs crates/core/src/repstate.rs crates/core/src/state.rs crates/core/src/style.rs
+
+crates/core/src/lib.rs:
+crates/core/src/client.rs:
+crates/core/src/contract.rs:
+crates/core/src/engine.rs:
+crates/core/src/knobs.rs:
+crates/core/src/messages.rs:
+crates/core/src/monitor.rs:
+crates/core/src/policy.rs:
+crates/core/src/replica.rs:
+crates/core/src/repstate.rs:
+crates/core/src/state.rs:
+crates/core/src/style.rs:

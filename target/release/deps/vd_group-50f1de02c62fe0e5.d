@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/vd_group-50f1de02c62fe0e5.d: crates/group/src/lib.rs crates/group/src/api.rs crates/group/src/config.rs crates/group/src/endpoint.rs crates/group/src/flush.rs crates/group/src/message.rs crates/group/src/order.rs crates/group/src/sim.rs crates/group/src/stream.rs crates/group/src/vclock.rs crates/group/src/view.rs
+
+/root/repo/target/release/deps/libvd_group-50f1de02c62fe0e5.rlib: crates/group/src/lib.rs crates/group/src/api.rs crates/group/src/config.rs crates/group/src/endpoint.rs crates/group/src/flush.rs crates/group/src/message.rs crates/group/src/order.rs crates/group/src/sim.rs crates/group/src/stream.rs crates/group/src/vclock.rs crates/group/src/view.rs
+
+/root/repo/target/release/deps/libvd_group-50f1de02c62fe0e5.rmeta: crates/group/src/lib.rs crates/group/src/api.rs crates/group/src/config.rs crates/group/src/endpoint.rs crates/group/src/flush.rs crates/group/src/message.rs crates/group/src/order.rs crates/group/src/sim.rs crates/group/src/stream.rs crates/group/src/vclock.rs crates/group/src/view.rs
+
+crates/group/src/lib.rs:
+crates/group/src/api.rs:
+crates/group/src/config.rs:
+crates/group/src/endpoint.rs:
+crates/group/src/flush.rs:
+crates/group/src/message.rs:
+crates/group/src/order.rs:
+crates/group/src/sim.rs:
+crates/group/src/stream.rs:
+crates/group/src/vclock.rs:
+crates/group/src/view.rs:

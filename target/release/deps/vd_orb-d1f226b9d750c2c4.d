@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/vd_orb-d1f226b9d750c2c4.d: crates/orb/src/lib.rs crates/orb/src/cdr.rs crates/orb/src/client.rs crates/orb/src/interceptor.rs crates/orb/src/object.rs crates/orb/src/sim.rs crates/orb/src/wire.rs
+
+/root/repo/target/release/deps/libvd_orb-d1f226b9d750c2c4.rlib: crates/orb/src/lib.rs crates/orb/src/cdr.rs crates/orb/src/client.rs crates/orb/src/interceptor.rs crates/orb/src/object.rs crates/orb/src/sim.rs crates/orb/src/wire.rs
+
+/root/repo/target/release/deps/libvd_orb-d1f226b9d750c2c4.rmeta: crates/orb/src/lib.rs crates/orb/src/cdr.rs crates/orb/src/client.rs crates/orb/src/interceptor.rs crates/orb/src/object.rs crates/orb/src/sim.rs crates/orb/src/wire.rs
+
+crates/orb/src/lib.rs:
+crates/orb/src/cdr.rs:
+crates/orb/src/client.rs:
+crates/orb/src/interceptor.rs:
+crates/orb/src/object.rs:
+crates/orb/src/sim.rs:
+crates/orb/src/wire.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/vd_simnet-775f652b0016e9d1.d: crates/simnet/src/lib.rs crates/simnet/src/actor.rs crates/simnet/src/event.rs crates/simnet/src/explore.rs crates/simnet/src/fault.rs crates/simnet/src/metrics.rs crates/simnet/src/node.rs crates/simnet/src/rng.rs crates/simnet/src/time.rs crates/simnet/src/topology.rs crates/simnet/src/trace.rs crates/simnet/src/world.rs
+
+/root/repo/target/release/deps/libvd_simnet-775f652b0016e9d1.rlib: crates/simnet/src/lib.rs crates/simnet/src/actor.rs crates/simnet/src/event.rs crates/simnet/src/explore.rs crates/simnet/src/fault.rs crates/simnet/src/metrics.rs crates/simnet/src/node.rs crates/simnet/src/rng.rs crates/simnet/src/time.rs crates/simnet/src/topology.rs crates/simnet/src/trace.rs crates/simnet/src/world.rs
+
+/root/repo/target/release/deps/libvd_simnet-775f652b0016e9d1.rmeta: crates/simnet/src/lib.rs crates/simnet/src/actor.rs crates/simnet/src/event.rs crates/simnet/src/explore.rs crates/simnet/src/fault.rs crates/simnet/src/metrics.rs crates/simnet/src/node.rs crates/simnet/src/rng.rs crates/simnet/src/time.rs crates/simnet/src/topology.rs crates/simnet/src/trace.rs crates/simnet/src/world.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/actor.rs:
+crates/simnet/src/event.rs:
+crates/simnet/src/explore.rs:
+crates/simnet/src/fault.rs:
+crates/simnet/src/metrics.rs:
+crates/simnet/src/node.rs:
+crates/simnet/src/rng.rs:
+crates/simnet/src/time.rs:
+crates/simnet/src/topology.rs:
+crates/simnet/src/trace.rs:
+crates/simnet/src/world.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/versatile_dependability-598918d75a9d0a8a.d: src/lib.rs
+
+/root/repo/target/release/deps/libversatile_dependability-598918d75a9d0a8a.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libversatile_dependability-598918d75a9d0a8a.rmeta: src/lib.rs
+
+src/lib.rs:
