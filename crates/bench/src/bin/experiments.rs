@@ -1,13 +1,16 @@
 //! CLI that regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! experiments [fig3|fig4|fig6|fig7|fig8|fig9|all] [--requests N] [--seed S]
+//! experiments [fig3|fig4|fig6|fig7|fig8|fig9|fanout|all] [--requests N] [--seed S]
 //! ```
+//!
+//! `fanout` additionally writes the machine-readable `BENCH_PR2.json`
+//! summary and fails if the data-plane acceptance gate does not hold.
 
 use std::env;
 use std::process::ExitCode;
 
-use vd_bench::experiments::{ablation, fig3, fig4, fig6, fig7, fig8, fig9};
+use vd_bench::experiments::{ablation, fanout, fig3, fig4, fig6, fig7, fig8, fig9};
 
 struct Options {
     which: String,
@@ -35,7 +38,7 @@ fn parse() -> Result<Options, String> {
             }
             "--help" | "-h" => {
                 return Err(
-                    "usage: experiments [fig3|fig4|fig6|fig7|fig8|fig9|all] [--requests N] [--seed S]"
+                    "usage: experiments [fig3|fig4|fig6|fig7|fig8|fig9|fanout|all] [--requests N] [--seed S]"
                         .into(),
                 );
             }
@@ -77,6 +80,17 @@ fn main() -> ExitCode {
             println!("{}", fig9::derive(&data).render());
         }
     };
+    let run_fanout = || -> Result<(), String> {
+        let result = fanout::run(requests, seed);
+        println!("{}", result.render());
+        std::fs::write("BENCH_PR2.json", result.to_json())
+            .map_err(|e| format!("failed to write BENCH_PR2.json: {e}"))?;
+        println!("wrote BENCH_PR2.json");
+        if !result.passes_gate() {
+            return Err("data-plane gate failed (see the fanout table above)".into());
+        }
+        Ok(())
+    };
     match which.as_str() {
         "fig3" => run_fig3(),
         "fig4" => run_fig4(),
@@ -85,16 +99,26 @@ fn main() -> ExitCode {
         "fig8" | "table2" => run_fig7_8_9(false, true, false),
         "fig9" => run_fig7_8_9(false, false, true),
         "ablation" => println!("{}", ablation::run(requests.min(500), seed).render()),
+        "fanout" => {
+            if let Err(msg) = run_fanout() {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+        }
         "all" => {
             run_fig3();
             run_fig4();
             run_fig6();
             run_fig7_8_9(true, true, true);
             println!("{}", ablation::run(requests.min(500), seed).render());
+            if let Err(msg) = run_fanout() {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
         }
         other => {
             eprintln!(
-                "unknown experiment: {other} (expected fig3|fig4|fig6|fig7|fig8|fig9|ablation|all)"
+                "unknown experiment: {other} (expected fig3|fig4|fig6|fig7|fig8|fig9|ablation|fanout|all)"
             );
             return ExitCode::FAILURE;
         }

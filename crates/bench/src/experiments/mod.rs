@@ -9,11 +9,13 @@
 //! | [`fig8`] | Fig. 8 + Table 2 — the scalability-knob policy |
 //! | [`fig9`] | Fig. 9 — normalized dependability design space |
 //! | [`ablation`] | style-space, detection-timeout and checkpointing ablations (beyond the paper) |
+//! | [`fanout`] | data-plane gate — zero-copy fan-out, batching, delta checkpoints (`BENCH_PR2.json`) |
 //!
 //! Each runner returns a structured result with a `render()` method that
 //! prints the same rows/series the paper reports.
 
 pub mod ablation;
+pub mod fanout;
 pub mod fig3;
 pub mod fig4;
 pub mod fig6;

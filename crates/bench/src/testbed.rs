@@ -68,6 +68,11 @@ pub struct TestbedConfig {
     pub state_bytes: usize,
     /// Checkpoint interval for passive styles.
     pub checkpoint_interval: SimDuration,
+    /// Incremental checkpointing: every K-th checkpoint is a full snapshot,
+    /// the rest are byte deltas (≤ 1 disables deltas — the paper's default).
+    pub checkpoint_full_every: u32,
+    /// Data-plane batching limit (1 = send each multicast immediately).
+    pub batch_max_messages: usize,
     /// Fault-monitoring timeout (the FT-CORBA fault-detection knob):
     /// silence longer than this marks a replica as suspected.
     pub failure_timeout: SimDuration,
@@ -86,6 +91,8 @@ impl Default for TestbedConfig {
             response_bytes: 448,
             state_bytes: 4 * 1024,
             checkpoint_interval: SimDuration::from_millis(10),
+            checkpoint_full_every: 1,
+            batch_max_messages: 1,
             failure_timeout: SimDuration::from_millis(50),
             seed: 42,
         }
@@ -153,7 +160,9 @@ pub fn build_replicated(config: &TestbedConfig) -> Testbed {
         let mut knobs = LowLevelKnobs::default()
             .style(config.style)
             .num_replicas(config.replicas)
-            .checkpoint_interval(config.checkpoint_interval);
+            .checkpoint_interval(config.checkpoint_interval)
+            .checkpoint_full_every(config.checkpoint_full_every)
+            .batch_max_messages(config.batch_max_messages.max(1));
         knobs.fault_monitoring_timeout = config.failure_timeout;
         let replica_config = ReplicaConfig {
             knobs,

@@ -108,7 +108,7 @@ impl Default for Config {
     fn default() -> Self {
         Config {
             protocol_enums: vec!["ReplicatorMsg".into(), "GroupMsg".into()],
-            decode_file_names: vec!["cdr.rs".into(), "message.rs".into()],
+            decode_file_names: vec!["cdr.rs".into(), "message.rs".into(), "endpoint.rs".into()],
         }
     }
 }

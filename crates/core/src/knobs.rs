@@ -28,6 +28,17 @@ pub struct LowLevelKnobs {
     /// Fault-monitoring timeout: silence longer than this raises a
     /// suspicion.
     pub fault_monitoring_timeout: SimDuration,
+    /// Incremental checkpoint period: every `K`-th checkpoint is a full
+    /// snapshot and the `K−1` in between are byte deltas against the
+    /// previous checkpoint. `0` or `1` disables deltas (every checkpoint
+    /// is full). Trades recovery-chain length for transfer bytes — the
+    /// paper's checkpointing-frequency knob extended along the size axis.
+    pub checkpoint_full_every: u32,
+    /// Maximum data messages coalesced into one batched wire frame by the
+    /// group-communication endpoint; `1` disables batching. The paper's
+    /// Table 1 scalability knob: batching amortizes per-message header and
+    /// daemon cost at high request rates, at a small latency cost.
+    pub batch_max_messages: usize,
 }
 
 impl LowLevelKnobs {
@@ -49,6 +60,9 @@ impl LowLevelKnobs {
         }
         if self.style.uses_checkpoints() && self.checkpoint_interval.is_zero() {
             return Err("passive styles need a positive checkpoint interval".into());
+        }
+        if self.batch_max_messages == 0 {
+            return Err("batch_max_messages must be at least 1 (1 = batching off)".into());
         }
         Ok(())
     }
@@ -75,6 +89,24 @@ impl LowLevelKnobs {
         self.checkpoint_interval = d;
         self
     }
+
+    /// Builder: sets the full-snapshot period for incremental
+    /// checkpointing (`0`/`1` = always full).
+    pub fn checkpoint_full_every(mut self, k: u32) -> Self {
+        self.checkpoint_full_every = k;
+        self
+    }
+
+    /// Builder: sets the data-plane batching limit (`1` = off).
+    pub fn batch_max_messages(mut self, n: usize) -> Self {
+        self.batch_max_messages = n;
+        self
+    }
+
+    /// Whether incremental (delta) checkpointing is enabled.
+    pub fn delta_checkpoints_enabled(&self) -> bool {
+        self.checkpoint_full_every > 1
+    }
 }
 
 impl Default for LowLevelKnobs {
@@ -85,6 +117,8 @@ impl Default for LowLevelKnobs {
             checkpoint_interval: SimDuration::from_millis(10),
             fault_monitoring_interval: SimDuration::from_millis(10),
             fault_monitoring_timeout: SimDuration::from_millis(50),
+            checkpoint_full_every: 1,
+            batch_max_messages: 1,
         }
     }
 }
@@ -93,12 +127,14 @@ impl fmt::Display for LowLevelKnobs {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}×{} ckpt={} fd={}/{}",
+            "{}×{} ckpt={} full/{} fd={}/{} batch={}",
             self.style,
             self.num_replicas,
             self.checkpoint_interval,
+            self.checkpoint_full_every.max(1),
             self.fault_monitoring_interval,
-            self.fault_monitoring_timeout
+            self.fault_monitoring_timeout,
+            self.batch_max_messages
         )
     }
 }
@@ -221,6 +257,23 @@ mod tests {
             .checkpoint_interval(SimDuration::ZERO)
             .validate()
             .is_ok());
+    }
+
+    #[test]
+    fn data_plane_knobs_validate_and_report() {
+        assert!(LowLevelKnobs::default()
+            .batch_max_messages(0)
+            .validate()
+            .is_err());
+        let k = LowLevelKnobs::default()
+            .batch_max_messages(16)
+            .checkpoint_full_every(8);
+        assert!(k.validate().is_ok());
+        assert!(k.delta_checkpoints_enabled());
+        assert!(!LowLevelKnobs::default().delta_checkpoints_enabled());
+        assert!(!LowLevelKnobs::default()
+            .checkpoint_full_every(0)
+            .delta_checkpoints_enabled());
     }
 
     #[test]

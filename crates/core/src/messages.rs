@@ -66,13 +66,18 @@ pub enum ReplicatorMsg {
     Checkpoint {
         /// Requests applied to produce this state.
         version: u64,
+        /// `None`: `state` is a full snapshot. `Some(v)`: `state` is a
+        /// delta (see `vd_core::state::diff_state`) that applies only on
+        /// top of the full state at exactly version `v`. Receivers without
+        /// that base must wait for the next full snapshot.
+        delta_base: Option<u64>,
         /// The style in force when the checkpoint was taken (joiners adopt
         /// it).
         style: ReplicationStyle,
         /// `true` when this is the "one more checkpoint" of a warm-passive
         /// → active switch (paper Fig. 5).
         final_for_switch: bool,
-        /// Captured application state.
+        /// Captured application state (full snapshot or delta).
         state: Bytes,
         /// Recently issued replies, for retry dedup after failover.
         replies: Vec<CachedReply>,
@@ -111,9 +116,40 @@ pub enum ReplicatorMsg {
 }
 
 impl ReplicatorMsg {
+    /// Exact encoded size, used to presize the encode buffer so every
+    /// message marshals with a single allocation.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            ReplicatorMsg::Invoke {
+                operation, args, ..
+            } => 1 + 8 + 8 + 4 + operation.len() + 4 + args.len(),
+            ReplicatorMsg::Checkpoint {
+                delta_base,
+                state,
+                replies,
+                ..
+            } => {
+                1 + 8
+                    + if delta_base.is_some() { 9 } else { 1 }
+                    + 1
+                    + 1
+                    + 4
+                    + state.len()
+                    + 4
+                    + replies
+                        .iter()
+                        .map(|r| 8 + 8 + 1 + 4 + r.body.len())
+                        .sum::<usize>()
+            }
+            ReplicatorMsg::SwitchRequest { .. } => 1 + 1 + 8,
+            ReplicatorMsg::ReplyLog { .. } => 1 + 8 + 8,
+            ReplicatorMsg::MonitorReport { .. } => 1 + 8 + 8 + 8 + 8,
+        }
+    }
+
     /// Encodes to bytes for transport as a group payload.
     pub fn encode(&self) -> Bytes {
-        let mut enc = Encoder::with_capacity(64);
+        let mut enc = Encoder::with_capacity(self.encoded_len());
         match self {
             ReplicatorMsg::Invoke {
                 client,
@@ -129,6 +165,7 @@ impl ReplicatorMsg {
             }
             ReplicatorMsg::Checkpoint {
                 version,
+                delta_base,
                 style,
                 final_for_switch,
                 state,
@@ -136,6 +173,7 @@ impl ReplicatorMsg {
             } => {
                 enc.put_u8(1);
                 enc.put_u64(*version);
+                enc.put_option(*delta_base, |e, v| e.put_u64(v));
                 enc.put_u8(style.to_tag());
                 enc.put_bool(*final_for_switch);
                 enc.put_bytes(state);
@@ -189,6 +227,7 @@ impl ReplicatorMsg {
             }),
             1 => {
                 let version = dec.get_u64()?;
+                let delta_base = dec.get_option(|d| d.get_u64())?;
                 let style_tag = dec.get_u8()?;
                 let style = ReplicationStyle::from_tag(style_tag).ok_or(
                     DecodeError::InvalidDiscriminant {
@@ -210,6 +249,7 @@ impl ReplicatorMsg {
                 }
                 Ok(ReplicatorMsg::Checkpoint {
                     version,
+                    delta_base,
                     style,
                     final_for_switch,
                     state,
@@ -268,6 +308,7 @@ mod tests {
     fn checkpoint_round_trips_with_replies() {
         round_trip(ReplicatorMsg::Checkpoint {
             version: 100,
+            delta_base: None,
             style: ReplicationStyle::WarmPassive,
             final_for_switch: true,
             state: Bytes::from(vec![7u8; 512]),
@@ -286,6 +327,60 @@ mod tests {
                 },
             ],
         });
+    }
+
+    #[test]
+    fn delta_checkpoint_round_trips() {
+        round_trip(ReplicatorMsg::Checkpoint {
+            version: 101,
+            delta_base: Some(95),
+            style: ReplicationStyle::WarmPassive,
+            final_for_switch: false,
+            state: Bytes::from_static(&[1, 2, 3]),
+            replies: vec![],
+        });
+    }
+
+    #[test]
+    fn encoded_len_is_exact() {
+        let msgs = [
+            ReplicatorMsg::Invoke {
+                client: ProcessId(9),
+                request_id: 42,
+                operation: "increment".into(),
+                args: Bytes::from_static(&[1, 2, 3]),
+            },
+            ReplicatorMsg::Checkpoint {
+                version: 100,
+                delta_base: Some(90),
+                style: ReplicationStyle::Active,
+                final_for_switch: false,
+                state: Bytes::from(vec![7u8; 64]),
+                replies: vec![CachedReply {
+                    client: ProcessId(3),
+                    request_id: 10,
+                    status: 0,
+                    body: Bytes::from_static(b"ok"),
+                }],
+            },
+            ReplicatorMsg::SwitchRequest {
+                target: ReplicationStyle::Active,
+                initiator: ProcessId(2),
+            },
+            ReplicatorMsg::ReplyLog {
+                client: ProcessId(5),
+                request_id: 77,
+            },
+            ReplicatorMsg::MonitorReport {
+                replica: ProcessId(1),
+                request_rate: 812.5,
+                latency_micros: 1432.0,
+                bandwidth_bps: 2.5e6,
+            },
+        ];
+        for msg in msgs {
+            assert_eq!(msg.encode().len(), msg.encoded_len());
+        }
     }
 
     #[test]

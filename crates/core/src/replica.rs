@@ -35,8 +35,8 @@ use crate::knobs::LowLevelKnobs;
 use crate::messages::{CachedReply, ReplicatorMsg};
 use crate::monitor::Monitor;
 use crate::policy::{AdaptationAction, AdaptationPolicy, PolicyContext};
-use crate::repstate::SystemBoard;
-use crate::state::ReplicatedApplication;
+use crate::repstate::{CheckpointAccounting, SystemBoard};
+use crate::state::{apply_delta, diff_state, ReplicatedApplication};
 use crate::style::ReplicationStyle;
 
 /// Timer token for the periodic checkpoint.
@@ -199,6 +199,16 @@ pub struct ReplicaActor {
     pub directives: Vec<(SimTime, AdaptationAction)>,
     /// Requests executed by this replica (inspection).
     pub executed_requests: u64,
+    /// Checkpoint transfer ledger (full vs delta bytes; inspection).
+    pub checkpoints: CheckpointAccounting,
+    /// Last checkpoint broadcast by this replica as primary: the version
+    /// and the *full* state, kept as the diff base for incremental mode.
+    ckpt_sent: Option<(u64, Bytes)>,
+    /// Deltas sent since the last full snapshot (send side).
+    ckpt_since_full: u32,
+    /// Last checkpoint state resolved from the wire (full, after delta
+    /// application) — the base the next incoming delta applies on.
+    ckpt_mirror: Option<(u64, Bytes)>,
     /// Audit trail for the exploration invariant layer.
     #[cfg(feature = "check-invariants")]
     invariant_log: crate::invariants::InvariantLog,
@@ -214,6 +224,7 @@ impl ReplicaActor {
         app: Box<dyn ReplicatedApplication>,
         config: ReplicaConfig,
     ) -> Self {
+        let config = ReplicaActor::push_down_knobs(config);
         let endpoint = Endpoint::bootstrap(me, config.group, config.group_config, members.clone());
         let (engine, _init) = Engine::new(me, config.knobs.style, members, true);
         ReplicaActor::assemble(me, endpoint, engine, app, config)
@@ -227,9 +238,18 @@ impl ReplicaActor {
         app: Box<dyn ReplicatedApplication>,
         config: ReplicaConfig,
     ) -> Self {
+        let config = ReplicaActor::push_down_knobs(config);
         let endpoint = Endpoint::joining(me, config.group, config.group_config, contacts);
         let (engine, _init) = Engine::new(me, config.knobs.style, Vec::new(), false);
         ReplicaActor::assemble(me, endpoint, engine, app, config)
+    }
+
+    /// Projects the fault-tolerance knobs onto the group-communication
+    /// layer: the knob surface (paper Table 1) is authoritative for the
+    /// data-plane batching limit.
+    fn push_down_knobs(mut config: ReplicaConfig) -> ReplicaConfig {
+        config.group_config.batch_max_messages = config.knobs.batch_max_messages.max(1);
+        config
     }
 
     fn assemble(
@@ -254,6 +274,10 @@ impl ReplicaActor {
             style_history: Vec::new(),
             directives: Vec::new(),
             executed_requests: 0,
+            checkpoints: CheckpointAccounting::default(),
+            ckpt_sent: None,
+            ckpt_since_full: 0,
+            ckpt_mirror: None,
             #[cfg(feature = "check-invariants")]
             invariant_log: crate::invariants::InvariantLog::default(),
         }
@@ -348,6 +372,11 @@ impl ReplicaActor {
                 }
                 self.monitor.set_replicas(view.len());
                 self.board.retain_members(view.members());
+                // Any membership change resets the delta chain: joiners
+                // hold no base at all, and after a failover the new
+                // primary cannot assume peers mirror its last broadcast.
+                // The next checkpoint is a full snapshot.
+                self.ckpt_sent = None;
                 let ops = self
                     .engine
                     .on_view_change(view.members().to_vec(), &departed, &joined);
@@ -374,11 +403,17 @@ impl ReplicaActor {
             }
             ReplicatorMsg::Checkpoint {
                 version,
+                delta_base,
                 style,
                 final_for_switch,
                 state,
                 replies,
             } => {
+                let Some(state) = self.resolve_checkpoint_state(version, delta_base, state) else {
+                    // Missing or stale delta base: drop and wait for the
+                    // next full snapshot to resynchronize the chain.
+                    return;
+                };
                 let ops =
                     self.engine
                         .on_checkpoint(version, style, final_for_switch, state, replies);
@@ -471,6 +506,9 @@ impl ReplicaActor {
                     }
                 }
                 EngineOp::StyleChanged { to, .. } => {
+                    // Styles hand the checkpointing role around; restart
+                    // the delta chain from a full snapshot to be safe.
+                    self.ckpt_sent = None;
                     let now = ctx.now();
                     self.style_history.push((now, to));
                     let metric = format!("{}.style", self.config.metrics_prefix);
@@ -571,15 +609,78 @@ impl ReplicaActor {
                 body: reply.body.clone(),
             })
             .collect();
+        let version = self.engine.executed();
+        // Incremental mode: every K-th checkpoint is a full snapshot and
+        // the ones between are byte deltas against the previous broadcast.
+        // Switch-final checkpoints are always full — a backup whose delta
+        // chain broke must still be able to complete the style switch.
+        let full_every = self.config.knobs.checkpoint_full_every;
+        let delta = if final_for_switch || full_every <= 1 {
+            None
+        } else {
+            match &self.ckpt_sent {
+                Some((base_version, base)) if self.ckpt_since_full + 1 < full_every => {
+                    Some((*base_version, diff_state(base, &state)))
+                }
+                _ => None,
+            }
+        };
+        let (delta_base, wire_state) = match delta {
+            Some((base_version, bytes)) => {
+                self.ckpt_since_full += 1;
+                (Some(base_version), bytes)
+            }
+            None => {
+                self.ckpt_since_full = 0;
+                (None, state.clone())
+            }
+        };
+        self.ckpt_sent = Some((version, state));
         let msg = ReplicatorMsg::Checkpoint {
-            version: self.engine.executed(),
+            version,
+            delta_base,
             style: self.engine.style(),
             final_for_switch,
-            state,
+            state: wire_state,
             replies,
         };
-        self.monitor.record_bytes(msg.encode().len());
+        let frame_len = msg.encoded_len();
+        self.checkpoints.note_sent(delta_base.is_some(), frame_len);
+        self.monitor.record_bytes(frame_len);
         self.multicast(ctx, DeliveryOrder::Agreed, msg);
+    }
+
+    /// Materializes the full state carried by a wire checkpoint. Full
+    /// snapshots pass through; deltas are applied on the mirrored previous
+    /// checkpoint. Returns `None` when the delta's base version does not
+    /// match the mirror — the chain rule — in which case the replica skips
+    /// the checkpoint and recovers at the next full snapshot.
+    fn resolve_checkpoint_state(
+        &mut self,
+        version: u64,
+        delta_base: Option<u64>,
+        state: Bytes,
+    ) -> Option<Bytes> {
+        let full = match delta_base {
+            None => state,
+            Some(base_version) => match &self.ckpt_mirror {
+                Some((mirrored, base)) if *mirrored == base_version => {
+                    match apply_delta(base, &state) {
+                        Ok(full) => full,
+                        Err(_) => {
+                            self.checkpoints.note_rejected();
+                            return None;
+                        }
+                    }
+                }
+                _ => {
+                    self.checkpoints.note_rejected();
+                    return None;
+                }
+            },
+        };
+        self.ckpt_mirror = Some((version, full.clone()));
+        Some(full)
     }
 
     fn capture_cost(&self, state_len: usize) -> SimDuration {

@@ -86,6 +86,134 @@ impl Checkpoint {
     }
 }
 
+// ---- delta checkpoints ------------------------------------------------------
+//
+// Incremental mode (paper Fig. 6/7 cost knob): the primary sends a full
+// snapshot every K checkpoints and byte-level deltas in between, so
+// warm-passive sync cost scales with the change rate instead of the state
+// size. A delta is a run-length encoding of the byte ranges that differ
+// between two snapshots of equal length, applied strictly in version order
+// on top of the exact base it was diffed against (the chain rule; see
+// DESIGN.md "Data-plane allocation and batching contract").
+
+/// Error applying a state delta.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaError {
+    /// The delta's recorded base length does not match the state it is
+    /// being applied to (wrong base version, or the state was resized).
+    BaseMismatch {
+        /// Length the delta expects the base to have.
+        expected: usize,
+        /// Length of the state actually supplied.
+        actual: usize,
+    },
+    /// The delta bytes are malformed (truncated or out-of-bounds run).
+    Malformed,
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::BaseMismatch { expected, actual } => write!(
+                f,
+                "delta base mismatch: expects a {expected}-byte base, got {actual}"
+            ),
+            DeltaError::Malformed => f.write_str("malformed state delta"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// Encodes the byte runs where `new` differs from `old` into a delta that
+/// [`apply_delta`] can replay on top of `old`.
+///
+/// Format: `new_len: u32`, then runs of `(offset: u32, len: u32, bytes)`.
+/// States that changed length are encoded as one whole-state run (the diff
+/// degenerates gracefully instead of failing).
+pub fn diff_state(old: &Bytes, new: &Bytes) -> Bytes {
+    let mut out = Vec::with_capacity(64);
+    out.extend_from_slice(&(new.len() as u32).to_le_bytes());
+    if old.len() != new.len() {
+        out.extend_from_slice(&0u32.to_le_bytes());
+        out.extend_from_slice(&(new.len() as u32).to_le_bytes());
+        out.extend_from_slice(new);
+        return Bytes::from(out);
+    }
+    let mut i = 0;
+    let n = new.len();
+    while i < n {
+        if old[i] == new[i] {
+            i += 1;
+            continue;
+        }
+        // Extend the run while bytes differ, absorbing gaps shorter than
+        // the 8-byte run header (one longer run beats two headers).
+        let start = i;
+        let mut end = i + 1;
+        let mut scan = end;
+        while scan < n {
+            if old[scan] != new[scan] {
+                end = scan + 1;
+                scan = end;
+            } else if scan - end < 8 {
+                scan += 1;
+            } else {
+                break;
+            }
+        }
+        out.extend_from_slice(&(start as u32).to_le_bytes());
+        out.extend_from_slice(&((end - start) as u32).to_le_bytes());
+        out.extend_from_slice(&new[start..end]);
+        i = end;
+    }
+    Bytes::from(out)
+}
+
+/// Applies a delta produced by [`diff_state`] to `base`, yielding the new
+/// state.
+///
+/// # Errors
+///
+/// [`DeltaError::BaseMismatch`] when `base` is not the state the delta was
+/// diffed against (by length), [`DeltaError::Malformed`] on corrupt bytes.
+/// The chain rule — apply deltas in version order on the exact base — is
+/// the caller's responsibility; version bookkeeping lives in the engine.
+pub fn apply_delta(base: &Bytes, delta: &Bytes) -> Result<Bytes, DeltaError> {
+    let header = delta.get(0..4).ok_or(DeltaError::Malformed)?;
+    let new_len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as usize;
+    let mut pos = 4;
+    // A whole-state run replaces the base outright (length-change case).
+    if let Some(run) = delta.get(4..12) {
+        let off = u32::from_le_bytes([run[0], run[1], run[2], run[3]]) as usize;
+        let len = u32::from_le_bytes([run[4], run[5], run[6], run[7]]) as usize;
+        if off == 0 && len == new_len && new_len != base.len() {
+            if delta.len() != 12 + len {
+                return Err(DeltaError::Malformed);
+            }
+            return Ok(delta.slice(12..12 + len));
+        }
+    }
+    if base.len() != new_len {
+        return Err(DeltaError::BaseMismatch {
+            expected: new_len,
+            actual: base.len(),
+        });
+    }
+    let mut out = base.to_vec();
+    while pos < delta.len() {
+        let run = delta.get(pos..pos + 8).ok_or(DeltaError::Malformed)?;
+        let off = u32::from_le_bytes([run[0], run[1], run[2], run[3]]) as usize;
+        let len = u32::from_le_bytes([run[4], run[5], run[6], run[7]]) as usize;
+        pos += 8;
+        let bytes = delta.get(pos..pos + len).ok_or(DeltaError::Malformed)?;
+        let target = out.get_mut(off..off + len).ok_or(DeltaError::Malformed)?;
+        target.copy_from_slice(bytes);
+        pos += len;
+    }
+    Ok(Bytes::from(out))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,5 +253,85 @@ mod tests {
     fn default_processing_cost_matches_paper_microbenchmark() {
         let r = Register(vec![]);
         assert_eq!(r.processing_micros("anything"), 15);
+    }
+
+    #[test]
+    fn delta_round_trips_sparse_changes() {
+        let old = Bytes::from(vec![0u8; 4096]);
+        let mut new = old.to_vec();
+        new[0] = 1;
+        new[100] = 2;
+        new[4095] = 3;
+        let new = Bytes::from(new);
+        let delta = diff_state(&old, &new);
+        assert!(
+            delta.len() < 64,
+            "sparse delta should be tiny: {}",
+            delta.len()
+        );
+        assert_eq!(apply_delta(&old, &delta).unwrap(), new);
+    }
+
+    #[test]
+    fn delta_of_identical_states_is_header_only() {
+        let s = Bytes::from(vec![7u8; 256]);
+        let delta = diff_state(&s, &s);
+        assert_eq!(delta.len(), 4);
+        assert_eq!(apply_delta(&s, &delta).unwrap(), s);
+    }
+
+    #[test]
+    fn delta_handles_length_changes_as_full_replacement() {
+        let old = Bytes::from(vec![1u8; 16]);
+        let new = Bytes::from(vec![2u8; 32]);
+        let delta = diff_state(&old, &new);
+        assert_eq!(apply_delta(&old, &delta).unwrap(), new);
+        let empty = Bytes::new();
+        let delta = diff_state(&new, &empty);
+        assert_eq!(apply_delta(&new, &delta).unwrap(), empty);
+    }
+
+    #[test]
+    fn delta_merges_nearby_runs() {
+        let old = Bytes::from(vec![0u8; 64]);
+        let mut new = old.to_vec();
+        new[10] = 1;
+        new[14] = 1; // 3-byte gap: cheaper to absorb than start a new run
+        let new = Bytes::from(new);
+        let delta = diff_state(&old, &new);
+        // header + one run header + 5 bytes
+        assert_eq!(delta.len(), 4 + 8 + 5);
+        assert_eq!(apply_delta(&old, &delta).unwrap(), new);
+    }
+
+    #[test]
+    fn delta_rejects_wrong_base() {
+        let old = Bytes::from(vec![0u8; 64]);
+        let mut new = old.to_vec();
+        new[5] = 9;
+        let delta = diff_state(&old, &Bytes::from(new));
+        let wrong = Bytes::from(vec![0u8; 63]);
+        assert!(matches!(
+            apply_delta(&wrong, &delta),
+            Err(DeltaError::BaseMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn delta_rejects_malformed_bytes() {
+        assert!(matches!(
+            apply_delta(&Bytes::new(), &Bytes::from_static(&[1, 2])),
+            Err(DeltaError::Malformed)
+        ));
+        // Run pointing past the end of the base.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&8u32.to_le_bytes()); // new_len 8
+        bad.extend_from_slice(&6u32.to_le_bytes()); // off 6
+        bad.extend_from_slice(&4u32.to_le_bytes()); // len 4 (6+4 > 8)
+        bad.extend_from_slice(&[0, 0, 0, 0]);
+        assert!(matches!(
+            apply_delta(&Bytes::from(vec![0u8; 8]), &Bytes::from(bad)),
+            Err(DeltaError::Malformed)
+        ));
     }
 }

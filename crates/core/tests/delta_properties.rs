@@ -1,0 +1,190 @@
+//! Seeded property tests for incremental checkpoints: a receiver that
+//! follows the chain rule (full snapshot every K, deltas applied in order
+//! on the exact base they were diffed against) reconstructs byte-identical
+//! state, and any break in the chain — a dropped, reordered or
+//! wrong-base delta — is detected rather than silently corrupting state.
+
+use bytes::Bytes;
+
+use vd_core::messages::ReplicatorMsg;
+use vd_core::state::{apply_delta, diff_state, DeltaError};
+use vd_core::style::ReplicationStyle;
+use vd_simnet::rng::DeterministicRng;
+
+/// Mutates `state` the way a replicated application would between
+/// checkpoints: a few scattered byte writes, occasionally a resize.
+fn mutate(state: &mut Vec<u8>, rng: &mut DeterministicRng) {
+    if !state.is_empty() {
+        let writes = rng.gen_range_u64(0..=8);
+        for _ in 0..writes {
+            let at = rng.gen_range_u64(0..=(state.len() as u64 - 1)) as usize;
+            state[at] = rng.next_u64() as u8;
+        }
+    }
+    if rng.gen_range_u64(0..=9) == 0 {
+        let new_len = rng.gen_range_u64(0..=4096) as usize;
+        state.resize(new_len, 0x5A);
+    }
+}
+
+/// The receiver side of incremental mode, as the replica implements it:
+/// a mirror of the last reconstructed state plus its version; deltas apply
+/// only when their base version matches the mirror.
+struct Mirror {
+    version: u64,
+    state: Bytes,
+}
+
+impl Mirror {
+    fn apply(
+        &mut self,
+        version: u64,
+        delta_base: Option<u64>,
+        wire_state: &Bytes,
+    ) -> Result<(), DeltaError> {
+        let full = match delta_base {
+            None => wire_state.clone(),
+            Some(base) => {
+                if base != self.version {
+                    // The chain rule: wrong base version, reject.
+                    return Err(DeltaError::BaseMismatch {
+                        expected: base as usize,
+                        actual: self.version as usize,
+                    });
+                }
+                apply_delta(&self.state, wire_state)?
+            }
+        };
+        self.version = version;
+        self.state = full;
+        Ok(())
+    }
+}
+
+#[test]
+fn delta_chains_reconstruct_full_state_exactly() {
+    let mut rng = DeterministicRng::new(0xDE17A);
+    for round in 0..25 {
+        let full_every = rng.gen_range_u64(2..=8);
+        let initial_len = rng.gen_range_u64(1..=4096) as usize;
+        let mut app_state = vec![0u8; initial_len];
+        let mut sender_base = Bytes::from(app_state.clone());
+        let mut mirror = Mirror {
+            version: 0,
+            state: sender_base.clone(),
+        };
+        for version in 1..=40u64 {
+            mutate(&mut app_state, &mut rng);
+            let full = Bytes::from(app_state.clone());
+            let is_full = version % full_every == 0;
+            let (delta_base, wire_state) = if is_full {
+                (None, full.clone())
+            } else {
+                (Some(version - 1), diff_state(&sender_base, &full))
+            };
+            sender_base = full.clone();
+            mirror
+                .apply(version, delta_base, &wire_state)
+                .unwrap_or_else(|e| {
+                    panic!("round {round} version {version}: in-order chain rejected: {e}")
+                });
+            assert_eq!(
+                mirror.state, full,
+                "round {round} version {version}: delta restore diverged from full state"
+            );
+        }
+    }
+}
+
+#[test]
+fn missing_or_reordered_deltas_are_rejected() {
+    let mut rng = DeterministicRng::new(0xBAD5EED);
+    for _ in 0..25 {
+        // Build a 3-link chain: full v1, delta v2 (on v1), delta v3 (on v2).
+        let mut app_state = vec![7u8; rng.gen_range_u64(64..=1024) as usize];
+        let v1 = Bytes::from(app_state.clone());
+        mutate(&mut app_state, &mut rng);
+        let v2 = Bytes::from(app_state.clone());
+        mutate(&mut app_state, &mut rng);
+        let v3 = Bytes::from(app_state.clone());
+        let d2 = diff_state(&v1, &v2);
+        let d3 = diff_state(&v2, &v3);
+
+        // Skipping d2 (lost message) must not let d3 apply.
+        let mut mirror = Mirror {
+            version: 1,
+            state: v1.clone(),
+        };
+        assert!(mirror.apply(3, Some(2), &d3).is_err(), "missing delta");
+        // The rejection left the mirror untouched…
+        assert_eq!(mirror.version, 1);
+        assert_eq!(mirror.state, v1);
+
+        // …and applying out of order (d3 before d2) fails the same way.
+        let mut mirror = Mirror {
+            version: 1,
+            state: v1.clone(),
+        };
+        assert!(mirror.apply(3, Some(2), &d3).is_err(), "out of order");
+        assert!(mirror.apply(2, Some(1), &d2).is_ok(), "in order is fine");
+        assert_eq!(mirror.state, v2);
+        assert!(mirror.apply(3, Some(2), &d3).is_ok());
+        assert_eq!(mirror.state, v3);
+
+        // A later full snapshot always resynchronizes a broken mirror.
+        let mut broken = Mirror {
+            version: 1,
+            state: v1.clone(),
+        };
+        assert!(broken.apply(3, Some(2), &d3).is_err());
+        assert!(broken.apply(3, None, &v3).is_ok());
+        assert_eq!(broken.state, v3);
+    }
+}
+
+#[test]
+fn wrong_length_bases_fail_at_the_byte_layer_too() {
+    // Even without version bookkeeping, a delta diffed against a state of
+    // a different length cannot apply (defense in depth below the chain
+    // rule).
+    let mut rng = DeterministicRng::new(0x1E46);
+    for _ in 0..25 {
+        let a = Bytes::from(vec![1u8; rng.gen_range_u64(10..=100) as usize]);
+        let mut b = a.to_vec();
+        b[0] ^= 0xFF;
+        let delta = diff_state(&a, &Bytes::from(b));
+        let shorter = Bytes::from(vec![1u8; a.len() - 1]);
+        assert!(matches!(
+            apply_delta(&shorter, &delta),
+            Err(DeltaError::BaseMismatch { .. })
+        ));
+    }
+}
+
+#[test]
+fn checkpoint_frames_with_random_deltas_round_trip() {
+    let mut rng = DeterministicRng::new(0xC0DEC);
+    for i in 0..50u64 {
+        let state_len = rng.gen_range_u64(0..=2048) as usize;
+        let mut state = Vec::with_capacity(state_len);
+        for _ in 0..state_len {
+            state.push(rng.next_u64() as u8);
+        }
+        let delta_base = if i % 2 == 0 {
+            Some(rng.next_u64())
+        } else {
+            None
+        };
+        let msg = ReplicatorMsg::Checkpoint {
+            version: rng.next_u64(),
+            delta_base,
+            style: ReplicationStyle::WarmPassive,
+            final_for_switch: i % 7 == 0,
+            state: Bytes::from(state),
+            replies: vec![],
+        };
+        let encoded = msg.encode();
+        assert_eq!(encoded.len(), msg.encoded_len(), "presizing must be exact");
+        assert_eq!(ReplicatorMsg::decode(encoded).unwrap(), msg);
+    }
+}

@@ -77,7 +77,7 @@ fn client_request(request_id: u64) -> OrbMessage {
 /// Builds a settled three-replica Active cluster and leaves it with client
 /// requests and a `Switch(WarmPassive)` command concurrently in flight —
 /// the adversarial window the explorer branches over.
-fn switch_world() -> World {
+fn switch_world_with(knobs: LowLevelKnobs, switch_to: ReplicationStyle) -> World {
     let mut topo = Topology::full_mesh(3);
     topo.set_default_link(LinkConfig::with_latency(LatencyModel::uniform(
         SimDuration::from_micros(50),
@@ -87,9 +87,7 @@ fn switch_world() -> World {
     let members: Vec<ProcessId> = (0..3).map(ProcessId).collect();
     for i in 0..3u32 {
         let config = ReplicaConfig {
-            knobs: LowLevelKnobs::default()
-                .style(ReplicationStyle::Active)
-                .num_replicas(3),
+            knobs,
             ..ReplicaConfig::default()
         };
         let pid = world.spawn(
@@ -110,11 +108,32 @@ fn switch_world() -> World {
     world.inject(ProcessId(0), client_request(1));
     world.inject(ProcessId(0), client_request(2));
     world.inject(ProcessId(1), client_request(3));
-    world.inject(
-        ProcessId(0),
-        ReplicaCommand::Switch(ReplicationStyle::WarmPassive),
-    );
+    world.inject(ProcessId(0), ReplicaCommand::Switch(switch_to));
     world
+}
+
+fn switch_world() -> World {
+    switch_world_with(
+        LowLevelKnobs::default()
+            .style(ReplicationStyle::Active)
+            .num_replicas(3),
+        ReplicationStyle::WarmPassive,
+    )
+}
+
+/// The same adversarial window in incremental-checkpoint mode: a settled
+/// warm-passive cluster mid-delta-chain (full every 4th, batching on),
+/// switching to active — the direction whose final checkpoint must be a
+/// full snapshot for the switch to complete.
+fn delta_switch_world() -> World {
+    switch_world_with(
+        LowLevelKnobs::default()
+            .style(ReplicationStyle::WarmPassive)
+            .num_replicas(3)
+            .checkpoint_full_every(4)
+            .batch_max_messages(2),
+        ReplicationStyle::Active,
+    )
 }
 
 #[test]
@@ -136,6 +155,30 @@ fn switch_survives_explored_interleavings_and_primary_crash() {
         report.violation
     );
     // The exploration must have actually branched through the window.
+    assert_eq!(report.max_depth_reached, config.max_depth);
+    assert!(
+        report.schedules >= 100,
+        "explored only {} schedules",
+        report.schedules
+    );
+}
+
+#[test]
+fn switch_survives_exploration_in_delta_checkpoint_mode() {
+    let config = ExploreConfig {
+        max_depth: env_u64("VD_EXPLORE_DEPTH", 8) as usize,
+        max_schedules: env_u64("VD_EXPLORE_SCHEDULES", 4_000),
+        crash_candidates: vec![ProcessId(0)],
+        max_crashes: 1,
+        prune_equivalent_states: true,
+    };
+    let invariants = SwitchInvariants::new((0..3).map(ProcessId).collect());
+    let report = World::explore(delta_switch_world, &config, |w| invariants.check(w));
+    assert!(
+        report.violation.is_none(),
+        "delta-mode switch violated an invariant: {:?}",
+        report.violation
+    );
     assert_eq!(report.max_depth_reached, config.max_depth);
     assert!(
         report.schedules >= 100,

@@ -69,6 +69,8 @@ pub enum GroupTimer {
     FlushTimeout(ViewId),
     /// Periodic join-request retry while not yet a member.
     JoinRetry,
+    /// One-shot deadline for flushing a partially-filled send batch.
+    BatchFlush,
 }
 
 /// An effect the host must perform on the endpoint's behalf.

@@ -30,6 +30,15 @@ pub struct GroupConfig {
     /// How long the flush leader waits for the round to complete before
     /// re-proposing.
     pub flush_timeout: SimDuration,
+    /// Maximum application messages coalesced into one batched wire frame
+    /// per destination. `1` disables batching: every multicast goes out as
+    /// its own `Data` frame immediately (the paper's latency-first default).
+    /// Larger values amortize the frame header across messages — the
+    /// Table 1 scalability knob traded against added latency.
+    pub batch_max_messages: usize,
+    /// How long a partially-filled batch may wait before it is flushed.
+    /// Only consulted when `batch_max_messages > 1`.
+    pub batch_flush_interval: SimDuration,
 }
 
 impl GroupConfig {
@@ -57,6 +66,18 @@ impl GroupConfig {
         self
     }
 
+    /// Sets the maximum batch size (builder style). `1` disables batching.
+    pub fn batch_max_messages(mut self, n: usize) -> Self {
+        self.batch_max_messages = n;
+        self
+    }
+
+    /// Sets the batch flush interval (builder style).
+    pub fn batch_flush_interval(mut self, d: SimDuration) -> Self {
+        self.batch_flush_interval = d;
+        self
+    }
+
     /// Validates the invariants between intervals.
     ///
     /// # Errors
@@ -80,6 +101,12 @@ impl GroupConfig {
                 self.failure_timeout, self.heartbeat_interval
             ));
         }
+        if self.batch_max_messages == 0 {
+            return Err("batch_max_messages must be at least 1 (1 = batching off)".into());
+        }
+        if self.batch_max_messages > 1 && self.batch_flush_interval.is_zero() {
+            return Err("batch_flush_interval must be positive when batching is on".into());
+        }
         Ok(())
     }
 }
@@ -91,6 +118,8 @@ impl Default for GroupConfig {
             failure_timeout: SimDuration::from_millis(50),
             nack_interval: SimDuration::from_millis(5),
             flush_timeout: SimDuration::from_millis(100),
+            batch_max_messages: 1,
+            batch_flush_interval: SimDuration::from_micros(500),
         }
     }
 }
@@ -126,6 +155,28 @@ mod tests {
             .flush_timeout(SimDuration::ZERO)
             .validate()
             .is_err());
+    }
+
+    #[test]
+    fn batch_knobs_validated() {
+        assert!(GroupConfig::default()
+            .batch_max_messages(0)
+            .validate()
+            .is_err());
+        assert!(GroupConfig::default()
+            .batch_max_messages(16)
+            .batch_flush_interval(SimDuration::ZERO)
+            .validate()
+            .is_err());
+        // Zero flush interval is fine while batching is off.
+        assert!(GroupConfig::default()
+            .batch_flush_interval(SimDuration::ZERO)
+            .validate()
+            .is_ok());
+        assert!(GroupConfig::default()
+            .batch_max_messages(16)
+            .validate()
+            .is_ok());
     }
 
     #[test]

@@ -11,9 +11,11 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::Arc;
 
 use bytes::Bytes;
 
+use vd_simnet::actor::Payload;
 use vd_simnet::time::SimTime;
 use vd_simnet::topology::ProcessId;
 
@@ -61,8 +63,49 @@ enum Status {
 #[derive(Debug, Clone)]
 struct InstallRecord {
     view: View,
-    causal_after: VectorClock,
+    causal_after: Arc<VectorClock>,
     next_global: u64,
+}
+
+/// Counters the data plane maintains so benchmarks and regression tests can
+/// observe copy and fan-out behaviour without instrumenting the host.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DataPlaneStats {
+    /// Data-carrying frames handed to the host (`Data`, `DataBatch`,
+    /// `Retransmit`), counting each destination copy.
+    pub data_frames_sent: u64,
+    /// Application messages inside those frames (a batch of N counts N).
+    pub data_msgs_sent: u64,
+    /// Modeled wire bytes of those frames (header + payload cost model).
+    pub wire_bytes_sent: u64,
+    /// Messages delivered to the local application.
+    pub deliveries: u64,
+}
+
+impl DataPlaneStats {
+    fn note_sent(&mut self, msg: &GroupMsg, copies: u64) {
+        if copies == 0 {
+            return;
+        }
+        let msgs_per_frame = match msg {
+            GroupMsg::Data(_) | GroupMsg::Retransmit(_) => 1,
+            GroupMsg::DataBatch { msgs, .. } => msgs.len() as u64,
+            GroupMsg::Heartbeat { .. }
+            | GroupMsg::Nack { .. }
+            | GroupMsg::Assign { .. }
+            | GroupMsg::AssignNack { .. }
+            | GroupMsg::JoinRequest { .. }
+            | GroupMsg::LeaveRequest { .. }
+            | GroupMsg::ViewProposal { .. }
+            | GroupMsg::FlushInfo { .. }
+            | GroupMsg::FlushCut { .. }
+            | GroupMsg::FlushDone { .. }
+            | GroupMsg::InstallView { .. } => return,
+        };
+        self.data_frames_sent += copies;
+        self.data_msgs_sent += msgs_per_frame * copies;
+        self.wire_bytes_sent += msg.wire_size() as u64 * copies;
+    }
 }
 
 /// A sans-IO group-communication endpoint (see module docs).
@@ -78,6 +121,11 @@ pub struct Endpoint {
     next_send_seq: u64,
     causal_sends: u64,
     pending_sends: Vec<(DeliveryOrder, Bytes)>,
+    /// Messages coalesced for the next batched frame (batching enabled only
+    /// when `config.batch_max_messages > 1`).
+    batch: Vec<DataMsg>,
+    batch_timer_armed: bool,
+    stats: DataPlaneStats,
 
     // --- receiving ---
     streams: BTreeMap<ProcessId, SenderStream>,
@@ -159,6 +207,9 @@ impl Endpoint {
             next_send_seq: 0,
             causal_sends: 0,
             pending_sends: Vec::new(),
+            batch: Vec::new(),
+            batch_timer_armed: false,
+            stats: DataPlaneStats::default(),
             streams: BTreeMap::new(),
             delivered_clock: VectorClock::new(),
             assignments: BTreeMap::new(),
@@ -214,6 +265,11 @@ impl Endpoint {
     /// Members currently suspected by the local failure detector.
     pub fn suspected(&self) -> impl Iterator<Item = ProcessId> + '_ {
         self.suspected.iter().copied()
+    }
+
+    /// Data-plane counters accumulated since construction.
+    pub fn stats(&self) -> DataPlaneStats {
+        self.stats
     }
 
     // ---- lifecycle ---------------------------------------------------------
@@ -280,18 +336,28 @@ impl Endpoint {
         }
         let mut out = Vec::new();
         let msg = self.make_data(order, payload);
-        // Broadcast to the other members…
-        for &m in self.view.members() {
-            if m != self.me {
-                out.push(Output::Send {
-                    to: m,
-                    msg: GroupMsg::Data(msg.clone()),
+        // Broadcast to the other members: either coalesced into the pending
+        // batch, or immediately as one shared frame whose per-member copies
+        // are reference-count bumps of the same body.
+        if self.config.batch_max_messages > 1 {
+            self.batch.push(msg.clone());
+            if self.batch.len() >= self.config.batch_max_messages {
+                self.flush_batch(&mut out);
+            } else if !self.batch_timer_armed {
+                self.batch_timer_armed = true;
+                out.push(Output::SetTimer {
+                    delay: self.config.batch_flush_interval,
+                    timer: GroupTimer::BatchFlush,
                 });
             }
+        } else {
+            let frame = GroupMsg::Data(msg.clone());
+            self.fan_out(&frame, &mut out);
         }
         // …and loop the message back to ourselves through the normal path,
         // so self-delivery obeys the same ordering rules.
         if msg.order == DeliveryOrder::BestEffort {
+            self.stats.deliveries += 1;
             out.push(Output::Event(GroupEvent::Delivered(Delivery {
                 group: self.group,
                 sender: self.me,
@@ -305,6 +371,45 @@ impl Endpoint {
             self.accept_data(now, msg, &mut out);
         }
         Ok(out)
+    }
+
+    /// Sends one shared frame to every other member. Each destination copy
+    /// aliases the same message body (`Arc`/`Bytes`): the frame is built
+    /// once and fanned out by reference count, never re-encoded per member.
+    fn fan_out(&mut self, msg: &GroupMsg, out: &mut Vec<Output>) {
+        let mut copies = 0;
+        for &m in self.view.members() {
+            if m != self.me {
+                out.push(Output::Send {
+                    to: m,
+                    msg: msg.clone(),
+                });
+                copies += 1;
+            }
+        }
+        self.stats.note_sent(msg, copies);
+    }
+
+    /// Fans out the coalesced batch (if any) as a single frame per member:
+    /// one header plus N sub-framed payloads instead of N full frames.
+    fn flush_batch(&mut self, out: &mut Vec<Output>) {
+        self.batch_timer_armed = false;
+        if self.batch.is_empty() {
+            return;
+        }
+        let mut msgs = std::mem::take(&mut self.batch);
+        let frame = if msgs.len() == 1 {
+            match msgs.pop() {
+                Some(m) => GroupMsg::Data(m),
+                None => return,
+            }
+        } else {
+            GroupMsg::DataBatch {
+                group: self.group,
+                msgs: Arc::new(msgs),
+            }
+        };
+        self.fan_out(&frame, out);
     }
 
     /// Announces a graceful departure. The endpoint keeps participating in
@@ -341,7 +446,7 @@ impl Endpoint {
                 self.causal_sends += 1;
                 let mut vc = self.delivered_clock.clone();
                 vc.set(self.me, self.causal_sends);
-                (Some(self.next_send_seq), Some(vc))
+                (Some(self.next_send_seq), Some(Arc::new(vc)))
             }
             DeliveryOrder::Fifo | DeliveryOrder::Agreed => {
                 self.next_send_seq += 1;
@@ -373,6 +478,11 @@ impl Endpoint {
         self.last_heard.insert(from, now);
         match msg {
             GroupMsg::Data(d) | GroupMsg::Retransmit(d) => self.handle_data(now, from, d, &mut out),
+            GroupMsg::DataBatch { msgs, .. } => {
+                for d in msgs.iter() {
+                    self.handle_data(now, from, d.clone(), &mut out);
+                }
+            }
             GroupMsg::Heartbeat {
                 view_id,
                 acks,
@@ -427,6 +537,7 @@ impl Endpoint {
     fn handle_data(&mut self, now: SimTime, from: ProcessId, d: DataMsg, out: &mut Vec<Output>) {
         if d.order == DeliveryOrder::BestEffort {
             // Unsequenced, unordered: deliver on arrival.
+            self.stats.deliveries += 1;
             out.push(Output::Event(GroupEvent::Delivered(Delivery {
                 group: self.group,
                 sender: d.sender,
@@ -471,7 +582,9 @@ impl Endpoint {
         let mut batch = Vec::new();
         let senders: Vec<ProcessId> = self.streams.keys().copied().collect();
         for s in senders {
-            let stream = self.streams.get_mut(&s).expect("stream exists");
+            let Some(stream) = self.streams.get_mut(&s) else {
+                continue;
+            };
             let mut cursor = self.assign_cursors.get(&s).copied().unwrap_or(1);
             while cursor <= stream.contiguous() {
                 if let Some(msg) = stream.get(cursor) {
@@ -497,16 +610,9 @@ impl Endpoint {
         let msg = GroupMsg::Assign {
             group: self.group,
             view_id: self.view.id(),
-            assignments: batch,
+            assignments: Arc::new(batch),
         };
-        for &m in self.view.members() {
-            if m != self.me {
-                out.push(Output::Send {
-                    to: m,
-                    msg: msg.clone(),
-                });
-            }
-        }
+        self.fan_out(&msg, out);
     }
 
     fn handle_assign(
@@ -514,7 +620,7 @@ impl Endpoint {
         _now: SimTime,
         from: ProcessId,
         view_id: ViewId,
-        assignments: Vec<Assignment>,
+        assignments: Arc<Vec<Assignment>>,
         out: &mut Vec<Output>,
     ) {
         if view_id > self.view.id() {
@@ -537,7 +643,7 @@ impl Endpoint {
             // the leader never learns were ordered.
             return;
         }
-        for a in assignments {
+        for &a in assignments.iter() {
             self.assignments.insert(a.global_seq, (a.sender, a.seq));
             if a.global_seq >= self.next_assign {
                 self.next_assign = a.global_seq + 1;
@@ -572,7 +678,7 @@ impl Endpoint {
                 msg: GroupMsg::Assign {
                     group: self.group,
                     view_id,
-                    assignments: batch,
+                    assignments: Arc::new(batch),
                 },
             });
         }
@@ -585,15 +691,18 @@ impl Endpoint {
         missing: Vec<u64>,
         out: &mut Vec<Output>,
     ) {
-        if let Some(stream) = self.streams.get(&sender) {
-            for seq in missing {
-                if let Some(msg) = stream.get(seq) {
-                    out.push(Output::Send {
-                        to: from,
-                        msg: GroupMsg::Retransmit(msg.clone()),
-                    });
-                }
-            }
+        let frames: Vec<GroupMsg> = {
+            let Some(stream) = self.streams.get(&sender) else {
+                return;
+            };
+            missing
+                .iter()
+                .filter_map(|&seq| stream.get(seq).map(|m| GroupMsg::Retransmit(m.clone())))
+                .collect()
+        };
+        for msg in frames {
+            self.stats.note_sent(&msg, 1);
+            out.push(Output::Send { to: from, msg });
         }
     }
 
@@ -601,7 +710,7 @@ impl Endpoint {
         &mut self,
         from: ProcessId,
         view_id: ViewId,
-        acks: Vec<(ProcessId, u64)>,
+        acks: Arc<Vec<(ProcessId, u64)>>,
         delivered_global: u64,
     ) {
         if view_id != self.view.id() || !self.view.contains(from) {
@@ -609,12 +718,12 @@ impl Endpoint {
         }
         // A peer's acks reveal messages we may never have seen at all (tail
         // loss): record their existence so the NACK machinery recovers them.
-        for &(sender, acked) in &acks {
+        for &(sender, acked) in acks.iter() {
             if sender != self.me {
                 self.streams.entry(sender).or_default().note_exists(acked);
             }
         }
-        self.peer_acks.insert(from, acks.into_iter().collect());
+        self.peer_acks.insert(from, acks.iter().copied().collect());
         self.peer_delivered_global.insert(from, delivered_global);
         if self.blocked {
             // Never garbage-collect while a flush may need old messages.
@@ -634,21 +743,17 @@ impl Endpoint {
             .filter(|&m| m != self.me)
             .collect();
         // A sender's messages are stable up to the minimum contiguous ack.
-        let senders: Vec<ProcessId> = self.streams.keys().copied().collect();
-        for s in senders {
-            let mut stable = self.streams[&s].contiguous();
+        let peer_acks = &self.peer_acks;
+        for (&s, stream) in self.streams.iter_mut() {
+            let mut stable = stream.contiguous();
             for m in &others {
-                let ack = self
-                    .peer_acks
+                let ack = peer_acks
                     .get(m)
                     .and_then(|a| a.get(&s).copied())
                     .unwrap_or(0);
                 stable = stable.min(ack);
             }
-            self.streams
-                .get_mut(&s)
-                .expect("stream exists")
-                .prune(stable);
+            stream.prune(stable);
         }
         let mut min_delivered = self.next_global_deliver;
         for m in &others {
@@ -674,7 +779,9 @@ impl Endpoint {
                 if stream.peek_class(DeliveryOrder::Agreed) != Some(seq) {
                     break;
                 }
-                let msg = stream.get(seq).expect("peeked message exists").clone();
+                let Some(msg) = stream.get(seq).cloned() else {
+                    break;
+                };
                 stream.mark_delivered(DeliveryOrder::Agreed);
                 let g = self.next_global_deliver;
                 self.next_global_deliver += 1;
@@ -684,31 +791,37 @@ impl Endpoint {
             // FIFO and causal: per-sender class cursors.
             let senders: Vec<ProcessId> = self.streams.keys().copied().collect();
             for s in senders {
-                loop {
-                    let stream = self.streams.get_mut(&s).expect("stream exists");
+                while let Some(stream) = self.streams.get_mut(&s) {
                     let Some(seq) = stream.peek_class(DeliveryOrder::Fifo) else {
                         break;
                     };
-                    let msg = stream.get(seq).expect("peeked").clone();
+                    let Some(msg) = stream.get(seq).cloned() else {
+                        break;
+                    };
                     stream.mark_delivered(DeliveryOrder::Fifo);
                     self.emit_delivery(&msg, None, out);
                     progress = true;
                 }
-                loop {
-                    let stream = self.streams.get_mut(&s).expect("stream exists");
+                while let Some(stream) = self.streams.get_mut(&s) {
                     let Some(seq) = stream.peek_class(DeliveryOrder::Causal) else {
                         break;
                     };
-                    let msg = stream.get(seq).expect("peeked").clone();
-                    let vc = msg.vclock.as_ref().expect("causal message carries clock");
-                    if !self.delivered_clock.deliverable(s, vc) {
+                    let Some(msg) = stream.get(seq).cloned() else {
+                        break;
+                    };
+                    // A causal message always carries its clock; a missing
+                    // one means the stream is corrupt — stop delivering from
+                    // it rather than panic.
+                    let Some(vc) = msg.vclock.clone() else {
+                        break;
+                    };
+                    if !self.delivered_clock.deliverable(s, &vc) {
                         break;
                     }
                     let stamp = vc.get(s);
-                    self.streams
-                        .get_mut(&s)
-                        .expect("stream exists")
-                        .mark_delivered(DeliveryOrder::Causal);
+                    if let Some(stream) = self.streams.get_mut(&s) {
+                        stream.mark_delivered(DeliveryOrder::Causal);
+                    }
                     self.delivered_clock.set(s, stamp);
                     self.emit_delivery(&msg, None, out);
                     progress = true;
@@ -720,7 +833,8 @@ impl Endpoint {
         }
     }
 
-    fn emit_delivery(&self, msg: &DataMsg, global_seq: Option<u64>, out: &mut Vec<Output>) {
+    fn emit_delivery(&mut self, msg: &DataMsg, global_seq: Option<u64>, out: &mut Vec<Output>) {
+        self.stats.deliveries += 1;
         out.push(Output::Event(GroupEvent::Delivered(Delivery {
             group: self.group,
             sender: msg.sender,
@@ -820,6 +934,9 @@ impl Endpoint {
     }
 
     fn begin_round_as_leader(&mut self, now: SimTime, proposal: View, out: &mut Vec<Output>) {
+        // Push out any coalesced sends first: they belong to the old view
+        // and should reach peers before holdings are compared.
+        self.flush_batch(out);
         let mut round = FlushProgress::new(proposal.clone(), self.me);
         // Participants: everyone in the old view or the proposal that is
         // not suspected (evicted-but-alive members still contribute their
@@ -917,6 +1034,8 @@ impl Endpoint {
         if proposal.id() > self.highest_proposal {
             self.highest_proposal = proposal.id();
         }
+        // Old-view batched sends must go out before we block.
+        self.flush_batch(out);
         let is_same_round = self
             .flush
             .as_ref()
@@ -957,14 +1076,17 @@ impl Endpoint {
         flush.infos.insert(from, holdings);
         if flush.cut_sent {
             // Late (re-sent) info: the participant evidently missed the cut.
+            // The assignments Arc is shared with the original broadcast.
             let msg = GroupMsg::FlushCut {
                 group: self.group,
                 proposal_id,
-                cut: flush
-                    .cut
-                    .as_ref()
-                    .map(|c| c.iter().map(|(&s, &v)| (s, v)).collect())
-                    .unwrap_or_default(),
+                cut: Arc::new(
+                    flush
+                        .cut
+                        .as_ref()
+                        .map(|c| c.iter().map(|(&s, &v)| (s, v)).collect())
+                        .unwrap_or_default(),
+                ),
                 final_assignments: flush.final_assignments.clone(),
             };
             out.push(Output::Send { to: from, msg });
@@ -976,51 +1098,47 @@ impl Endpoint {
     /// Leader: if all holdings are in, compute the cut and either fill our
     /// own gaps or broadcast the cut immediately.
     fn leader_check_infos(&mut self, now: SimTime, out: &mut Vec<Output>) {
-        let Some(flush) = &self.flush else {
-            return;
+        let cut = {
+            let Some(flush) = &self.flush else {
+                return;
+            };
+            if flush.leader != self.me || flush.cut_sent || !flush.all_infos() {
+                return;
+            }
+            compute_cut(&flush.infos)
         };
-        if flush.leader != self.me || flush.cut_sent || !flush.all_infos() {
-            return;
-        }
-        let cut = compute_cut(&flush.infos);
         let missing = self.leader_missing(&cut);
         if missing.is_empty() {
             self.leader_broadcast_cut(now, cut, out);
-        } else {
-            // NACK the members that reported holding what we lack.
-            let infos: Vec<(ProcessId, FlushHoldings)> = self
-                .flush
-                .as_ref()
-                .expect("flush active")
-                .infos
-                .iter()
-                .map(|(&m, h)| (m, h.clone()))
-                .collect();
-            for (sender, seqs) in &missing {
-                for &seq in seqs {
-                    if let Some(holder) = infos.iter().find_map(|(m, h)| {
-                        let has_contig =
-                            h.contiguous.iter().any(|&(s, c)| s == *sender && c >= seq);
-                        let has_extra = h
-                            .extras
-                            .iter()
-                            .any(|(s, v)| *s == *sender && v.contains(&seq));
-                        (*m != self.me && (has_contig || has_extra)).then_some(*m)
-                    }) {
-                        out.push(Output::Send {
-                            to: holder,
-                            msg: GroupMsg::Nack {
-                                group: self.group,
-                                sender: *sender,
-                                missing: vec![seq],
-                            },
-                        });
-                    }
+            return;
+        }
+        // NACK the members that reported holding what we lack.
+        let Some(flush) = &self.flush else {
+            return;
+        };
+        for (sender, seqs) in &missing {
+            for &seq in seqs {
+                if let Some(holder) = flush.infos.iter().find_map(|(&m, h)| {
+                    let has_contig = h.contiguous.iter().any(|&(s, c)| s == *sender && c >= seq);
+                    let has_extra = h
+                        .extras
+                        .iter()
+                        .any(|(s, v)| *s == *sender && v.contains(&seq));
+                    (m != self.me && (has_contig || has_extra)).then_some(m)
+                }) {
+                    out.push(Output::Send {
+                        to: holder,
+                        msg: GroupMsg::Nack {
+                            group: self.group,
+                            sender: *sender,
+                            missing: vec![seq],
+                        },
+                    });
                 }
             }
-            if let Some(flush) = &mut self.flush {
-                flush.cut = Some(cut);
-            }
+        }
+        if let Some(flush) = &mut self.flush {
+            flush.cut = Some(cut);
         }
     }
 
@@ -1075,7 +1193,9 @@ impl Endpoint {
         out: &mut Vec<Output>,
     ) {
         let (final_assignments, participants, proposal_id) = {
-            let flush = self.flush.as_ref().expect("flush active");
+            let Some(flush) = &self.flush else {
+                return;
+            };
             let merged = merge_assignments(&flush.infos);
             let mut finals = filter_assignments_to_cut(&merged, &cut);
             // Assign any agreed messages within the cut the old sequencer
@@ -1109,12 +1229,14 @@ impl Endpoint {
             }
             finals.sort_by_key(|a| a.global_seq);
             let participants: Vec<ProcessId> = flush.infos.keys().copied().collect();
-            (finals, participants, flush.proposal.id())
+            (Arc::new(finals), participants, flush.proposal.id())
         };
+        // One shared cut/assignment body fans out to every participant and
+        // is retained for timeout re-drives.
         let msg = GroupMsg::FlushCut {
             group: self.group,
             proposal_id,
-            cut: cut.iter().map(|(&s, &c)| (s, c)).collect(),
+            cut: Arc::new(cut.iter().map(|(&s, &c)| (s, c)).collect()),
             final_assignments: final_assignments.clone(),
         };
         for &m in &participants {
@@ -1125,8 +1247,7 @@ impl Endpoint {
                 });
             }
         }
-        {
-            let flush = self.flush.as_mut().expect("flush active");
+        if let Some(flush) = self.flush.as_mut() {
             flush.cut = Some(cut);
             flush.final_assignments = final_assignments;
             flush.cut_sent = true;
@@ -1160,8 +1281,8 @@ impl Endpoint {
         &mut self,
         _now: SimTime,
         proposal_id: ViewId,
-        cut: Vec<(ProcessId, u64)>,
-        final_assignments: Vec<Assignment>,
+        cut: Arc<Vec<(ProcessId, u64)>>,
+        final_assignments: Arc<Vec<Assignment>>,
         out: &mut Vec<Output>,
     ) {
         let Some(flush) = &mut self.flush else {
@@ -1170,8 +1291,9 @@ impl Endpoint {
         if flush.proposal.id() != proposal_id {
             return;
         }
-        let cut: BTreeMap<ProcessId, u64> = cut.into_iter().collect();
+        let cut: BTreeMap<ProcessId, u64> = cut.iter().copied().collect();
         flush.cut = Some(cut.clone());
+        // Keep the leader's list shared rather than copying it out.
         flush.final_assignments = final_assignments;
         flush.phase = FlushPhase::Filling;
         let leader = flush.leader;
@@ -1231,36 +1353,29 @@ impl Endpoint {
     }
 
     fn leader_check_done(&mut self, now: SimTime, out: &mut Vec<Output>) {
-        let ready = {
+        let (view, participants, cut, next_global) = {
             let Some(flush) = &self.flush else {
                 return;
             };
-            flush.leader == self.me && flush.cut_sent && flush.all_done()
-        };
-        if !ready {
-            return;
-        }
-        let (view, participants) = {
-            let flush = self.flush.as_ref().expect("flush active");
-            (flush.proposal.clone(), flush.participants.clone())
-        };
-        let cut = self
-            .flush
-            .as_ref()
-            .and_then(|f| f.cut.clone())
-            .unwrap_or_default();
-        let causal_after = self.compute_causal_after(&cut);
-        let next_global = {
-            let flush = self.flush.as_ref().expect("flush active");
-            flush
+            if flush.leader != self.me || !flush.cut_sent || !flush.all_done() {
+                return;
+            }
+            let next_global = flush
                 .final_assignments
                 .iter()
                 .map(|a| a.global_seq + 1)
                 .max()
                 .unwrap_or(self.next_global_deliver)
                 .max(self.next_global_deliver)
-                .max(self.next_assign)
+                .max(self.next_assign);
+            (
+                flush.proposal.clone(),
+                flush.participants.clone(),
+                flush.cut.clone().unwrap_or_default(),
+                next_global,
+            )
         };
+        let causal_after = Arc::new(self.compute_causal_after(&cut));
         let msg = GroupMsg::InstallView {
             group: self.group,
             view: view.clone(),
@@ -1310,7 +1425,7 @@ impl Endpoint {
         &mut self,
         now: SimTime,
         view: View,
-        causal_after: VectorClock,
+        causal_after: Arc<VectorClock>,
         next_global: u64,
         out: &mut Vec<Output>,
     ) {
@@ -1336,13 +1451,13 @@ impl Endpoint {
                 self.streams
                     .insert(sender, SenderStream::starting_after(limit));
             }
-            self.delivered_clock = causal_after.clone();
+            self.delivered_clock = (*causal_after).clone();
             self.next_global_deliver = next_global;
             self.assignments.clear();
         } else {
             // Install the authoritative assignments and deliver everything
             // up to the cut.
-            for a in &flush.final_assignments {
+            for a in flush.final_assignments.iter() {
                 if a.global_seq >= self.next_global_deliver {
                     self.assignments.insert(a.global_seq, (a.sender, a.seq));
                 }
@@ -1364,9 +1479,16 @@ impl Endpoint {
                 let Some(stream) = self.streams.get_mut(&sender) else {
                     continue;
                 };
-                if stream.peek_class(DeliveryOrder::Agreed) == Some(seq) {
-                    let msg = stream.get(seq).expect("peeked").clone();
-                    stream.mark_delivered(DeliveryOrder::Agreed);
+                let msg = if stream.peek_class(DeliveryOrder::Agreed) == Some(seq) {
+                    let m = stream.get(seq).cloned();
+                    if m.is_some() {
+                        stream.mark_delivered(DeliveryOrder::Agreed);
+                    }
+                    m
+                } else {
+                    None
+                };
+                if let Some(msg) = msg {
                     self.emit_delivery(&msg, Some(g), out);
                 }
                 self.next_global_deliver = self.next_global_deliver.max(g + 1);
@@ -1375,7 +1497,7 @@ impl Endpoint {
             self.try_deliver(out);
             self.next_global_deliver = self.next_global_deliver.max(next_global);
             self.assignments.clear();
-            self.delivered_clock = causal_after.clone();
+            self.delivered_clock = (*causal_after).clone();
         }
 
         // Swap in the new view.
@@ -1460,21 +1582,15 @@ impl Endpoint {
                     let msg = GroupMsg::Heartbeat {
                         group: self.group,
                         view_id: self.view.id(),
-                        acks: self
-                            .streams
-                            .iter()
-                            .map(|(&s, st)| (s, st.contiguous()))
-                            .collect(),
+                        acks: Arc::new(
+                            self.streams
+                                .iter()
+                                .map(|(&s, st)| (s, st.contiguous()))
+                                .collect(),
+                        ),
                         delivered_global: self.next_global_deliver.saturating_sub(1),
                     };
-                    for &m in self.view.members() {
-                        if m != self.me {
-                            out.push(Output::Send {
-                                to: m,
-                                msg: msg.clone(),
-                            });
-                        }
-                    }
+                    self.fan_out(&msg, &mut out);
                 }
             }
             GroupTimer::FailureCheck => {
@@ -1494,6 +1610,13 @@ impl Endpoint {
                 self.nack_retry(&mut out);
             }
             GroupTimer::FlushTimeout(proposal_id) => self.flush_timeout(now, proposal_id, &mut out),
+            GroupTimer::BatchFlush => {
+                if self.status == Status::Member && !self.blocked {
+                    self.flush_batch(&mut out);
+                } else {
+                    self.batch_timer_armed = false;
+                }
+            }
             GroupTimer::JoinRetry => {
                 if let Status::Joining { contacts } = &self.status {
                     let contacts = contacts.clone();
@@ -1715,7 +1838,7 @@ impl Endpoint {
             let msg = GroupMsg::FlushCut {
                 group: self.group,
                 proposal_id,
-                cut: cut.iter().map(|(&s, &c)| (s, c)).collect(),
+                cut: Arc::new(cut.iter().map(|(&s, &c)| (s, c)).collect()),
                 final_assignments: flush.final_assignments.clone(),
             };
             let not_done: Vec<ProcessId> = flush

@@ -22,6 +22,7 @@
 //!    to the cut and installs.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use vd_simnet::topology::ProcessId;
 
@@ -51,7 +52,9 @@ pub(crate) struct FlushProgress {
     /// The cut, once known (`FlushCut` received or, for the leader, computed).
     pub cut: Option<BTreeMap<ProcessId, u64>>,
     /// Authoritative assignments received with (or computed for) the cut.
-    pub final_assignments: Vec<Assignment>,
+    /// Shared: the leader broadcasts one copy per participant and keeps this
+    /// handle for timeout re-drives, all aliasing the same list.
+    pub final_assignments: Arc<Vec<Assignment>>,
     // ---- leader-side state ----
     /// Everyone whose holdings and confirmation the leader waits for: the
     /// union of the old view and the proposal, minus suspects. Members being
@@ -80,7 +83,7 @@ impl FlushProgress {
             leader,
             phase: FlushPhase::AwaitingCut,
             cut: None,
-            final_assignments: Vec::new(),
+            final_assignments: Arc::default(),
             participants,
             infos: BTreeMap::new(),
             dones: BTreeSet::new(),

@@ -4,6 +4,15 @@
 //! fields) so the simulator's bandwidth and transmission-delay models see
 //! realistic byte counts, which is what the paper's Fig. 7(b) bandwidth
 //! results hinge on.
+//!
+//! Variable-length bodies (payloads, ack vectors, assignment batches, cuts,
+//! causal clocks) are held behind shared buffers (`Bytes`/`Arc`) so the
+//! endpoint's per-member fan-out, retransmit buffer and flush re-broadcast
+//! paths all alias one encoding: cloning a `GroupMsg` is a reference-count
+//! bump, never a body copy (see DESIGN.md, "Data-plane allocation and
+//! batching contract").
+
+use std::sync::Arc;
 
 use bytes::Bytes;
 use vd_simnet::actor::Payload;
@@ -24,6 +33,11 @@ pub const HEADER_BYTES: usize = 40;
 /// Bytes per `(member, counter)` pair in vectors and maps.
 pub const PAIR_BYTES: usize = 12;
 
+/// Per-message sub-header inside a batched data frame (sender seq, order
+/// tag, payload length) — much smaller than the full [`HEADER_BYTES`]
+/// header the batch amortizes across its messages.
+pub const BATCH_SUBHEADER_BYTES: usize = 12;
+
 /// An application data multicast.
 #[derive(Debug, Clone)]
 pub struct DataMsg {
@@ -38,8 +52,9 @@ pub struct DataMsg {
     pub seq: Option<u64>,
     /// Requested delivery guarantee.
     pub order: DeliveryOrder,
-    /// Causal timestamp (present only for causal messages).
-    pub vclock: Option<VectorClock>,
+    /// Causal timestamp (present only for causal messages). Shared so the
+    /// per-member fan-out of a causal multicast aliases one clock.
+    pub vclock: Option<Arc<VectorClock>>,
     /// Opaque application bytes.
     pub payload: Bytes,
 }
@@ -47,9 +62,17 @@ pub struct DataMsg {
 impl DataMsg {
     /// Estimated bytes on the wire.
     pub fn wire_size(&self) -> usize {
-        HEADER_BYTES
-            + self.payload.len()
-            + self.vclock.as_ref().map_or(0, |vc| vc.len() * PAIR_BYTES)
+        HEADER_BYTES + self.body_size()
+    }
+
+    /// Bytes this message contributes inside a batched frame: its body plus
+    /// a small sub-header, with the full header paid once per batch.
+    pub fn batched_wire_size(&self) -> usize {
+        BATCH_SUBHEADER_BYTES + self.body_size()
+    }
+
+    fn body_size(&self) -> usize {
+        self.payload.len() + self.vclock.as_ref().map_or(0, |vc| vc.len() * PAIR_BYTES)
     }
 }
 
@@ -92,6 +115,15 @@ impl FlushHoldings {
 pub enum GroupMsg {
     /// Application data (original transmission).
     Data(DataMsg),
+    /// Several data messages coalesced under one wire header (the endpoint's
+    /// batching knob): one header + N sub-framed payloads per destination.
+    /// The batch body is shared across the per-member fan-out.
+    DataBatch {
+        /// Target group.
+        group: GroupId,
+        /// The coalesced messages, oldest first.
+        msgs: Arc<Vec<DataMsg>>,
+    },
     /// Application data retransmitted in response to a NACK.
     Retransmit(DataMsg),
     /// Periodic liveness + acknowledgement vector (drives failure detection
@@ -102,7 +134,8 @@ pub enum GroupMsg {
         /// Sender's current view.
         view_id: ViewId,
         /// For each sender: highest contiguously-received sequence number.
-        acks: Vec<(ProcessId, u64)>,
+        /// Shared across the per-member heartbeat fan-out.
+        acks: Arc<Vec<(ProcessId, u64)>>,
         /// The sender's delivered position in the agreed total order.
         delivered_global: u64,
     },
@@ -121,8 +154,8 @@ pub enum GroupMsg {
         group: GroupId,
         /// View the assignments belong to.
         view_id: ViewId,
-        /// Newly assigned total-order slots.
-        assignments: Vec<Assignment>,
+        /// Newly assigned total-order slots. Shared across the broadcast.
+        assignments: Arc<Vec<Assignment>>,
     },
     /// Request to re-send assignments at or beyond `from_global`.
     AssignNack {
@@ -172,10 +205,11 @@ pub enum GroupMsg {
         /// Which proposal this belongs to.
         proposal_id: ViewId,
         /// For each old-view sender: the last sequence number included in
-        /// the old view (messages beyond it are discarded).
-        cut: Vec<(ProcessId, u64)>,
+        /// the old view (messages beyond it are discarded). Shared across
+        /// the broadcast and the leader's timeout re-drives.
+        cut: Arc<Vec<(ProcessId, u64)>>,
         /// The authoritative agreed-order assignments up to the cut.
-        final_assignments: Vec<Assignment>,
+        final_assignments: Arc<Vec<Assignment>>,
     },
     /// A participant confirms it holds every message up to the cut.
     FlushDone {
@@ -191,8 +225,9 @@ pub enum GroupMsg {
         group: GroupId,
         /// The new agreed view.
         view: View,
-        /// Causal-clock state at the cut (adopted by joiners).
-        causal_after: VectorClock,
+        /// Causal-clock state at the cut (adopted by joiners). Shared
+        /// across the broadcast and straggler re-sends.
+        causal_after: Arc<VectorClock>,
         /// The next free agreed-order slot after the cut.
         next_global: u64,
     },
@@ -203,7 +238,8 @@ impl GroupMsg {
     pub fn group(&self) -> GroupId {
         match self {
             GroupMsg::Data(d) | GroupMsg::Retransmit(d) => d.group,
-            GroupMsg::Heartbeat { group, .. }
+            GroupMsg::DataBatch { group, .. }
+            | GroupMsg::Heartbeat { group, .. }
             | GroupMsg::Nack { group, .. }
             | GroupMsg::Assign { group, .. }
             | GroupMsg::AssignNack { group, .. }
@@ -222,6 +258,9 @@ impl Payload for GroupMsg {
     fn wire_size(&self) -> usize {
         match self {
             GroupMsg::Data(d) | GroupMsg::Retransmit(d) => d.wire_size(),
+            GroupMsg::DataBatch { msgs, .. } => {
+                HEADER_BYTES + msgs.iter().map(DataMsg::batched_wire_size).sum::<usize>()
+            }
             GroupMsg::Heartbeat { acks, .. } => HEADER_BYTES + acks.len() * PAIR_BYTES + 8,
             GroupMsg::Nack { missing, .. } => HEADER_BYTES + 8 + missing.len() * 8,
             GroupMsg::Assign { assignments, .. } => {
@@ -259,7 +298,7 @@ mod tests {
             sender: p(1),
             seq: Some(1),
             order: DeliveryOrder::Fifo,
-            vclock,
+            vclock: vclock.map(Arc::new),
             payload: Bytes::from(vec![0u8; payload_len]),
         }
     }
@@ -291,7 +330,7 @@ mod tests {
             GroupMsg::Heartbeat {
                 group: g,
                 view_id: ViewId(0),
-                acks: vec![],
+                acks: Arc::new(vec![]),
                 delivered_global: 0,
             },
             GroupMsg::Nack {
@@ -314,9 +353,39 @@ mod tests {
         let m = GroupMsg::InstallView {
             group: GroupId(0),
             view: View::new(ViewId(1), vec![p(1), p(2)]),
-            causal_after: VectorClock::new(),
+            causal_after: Arc::new(VectorClock::new()),
             next_global: 5,
         };
         assert!(m.wire_size() >= HEADER_BYTES);
+    }
+
+    #[test]
+    fn batch_amortizes_the_header() {
+        let msgs: Vec<DataMsg> = (0..8).map(|_| data(64, None)).collect();
+        let separate: usize = msgs.iter().map(DataMsg::wire_size).sum();
+        let batched = GroupMsg::DataBatch {
+            group: GroupId(1),
+            msgs: Arc::new(msgs),
+        }
+        .wire_size();
+        // 8 headers collapse into 1 header + 8 small sub-headers.
+        assert!(batched < separate, "{batched} < {separate}");
+        assert_eq!(batched, HEADER_BYTES + 8 * (BATCH_SUBHEADER_BYTES + 64));
+    }
+
+    #[test]
+    fn cloning_a_batch_shares_the_body() {
+        let msgs = Arc::new(vec![data(1024, None)]);
+        let m = GroupMsg::DataBatch {
+            group: GroupId(1),
+            msgs: msgs.clone(),
+        };
+        let m2 = m.clone();
+        if let (GroupMsg::DataBatch { msgs: a, .. }, GroupMsg::DataBatch { msgs: b, .. }) =
+            (&m, &m2)
+        {
+            assert!(Arc::ptr_eq(a, b), "clone must alias, not copy");
+        }
+        assert_eq!(Arc::strong_count(&msgs), 3);
     }
 }

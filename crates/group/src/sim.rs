@@ -25,6 +25,7 @@ pub fn timer_token(timer: GroupTimer) -> TimerToken {
         GroupTimer::FailureCheck => TimerToken(2),
         GroupTimer::NackRetry => TimerToken(3),
         GroupTimer::JoinRetry => TimerToken(4),
+        GroupTimer::BatchFlush => TimerToken(5),
         GroupTimer::FlushTimeout(ViewId(id)) => TimerToken(1_000 + id),
     }
 }
@@ -38,6 +39,7 @@ pub fn timer_from_token(token: TimerToken) -> Option<GroupTimer> {
         2 => Some(GroupTimer::FailureCheck),
         3 => Some(GroupTimer::NackRetry),
         4 => Some(GroupTimer::JoinRetry),
+        5 => Some(GroupTimer::BatchFlush),
         id if id >= 1_000 => Some(GroupTimer::FlushTimeout(ViewId(id - 1_000))),
         _ => None,
     }
@@ -194,6 +196,7 @@ mod tests {
             GroupTimer::FailureCheck,
             GroupTimer::NackRetry,
             GroupTimer::JoinRetry,
+            GroupTimer::BatchFlush,
             GroupTimer::FlushTimeout(ViewId(0)),
             GroupTimer::FlushTimeout(ViewId(42)),
         ] {

@@ -6,6 +6,7 @@
 //! (Fig. 5) depends on to survive the crash of any replica mid-switch.
 
 use std::fmt;
+use std::sync::Arc;
 
 use vd_simnet::topology::ProcessId;
 
@@ -45,7 +46,9 @@ impl fmt::Display for ViewId {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct View {
     id: ViewId,
-    members: Vec<ProcessId>,
+    // Shared so cloning a view — which the flush protocol does once per
+    // fan-out destination — is a reference-count bump, not a list copy.
+    members: Arc<[ProcessId]>,
 }
 
 impl View {
@@ -53,7 +56,10 @@ impl View {
     pub fn new(id: ViewId, mut members: Vec<ProcessId>) -> Self {
         members.sort_unstable();
         members.dedup();
-        View { id, members }
+        View {
+            id,
+            members: members.into(),
+        }
     }
 
     /// The view id.

@@ -236,7 +236,7 @@ fn silence_past_the_timeout_triggers_a_view_change_round() {
         GroupMsg::Heartbeat {
             group: GROUP,
             view_id: ViewId(0),
-            acks: vec![],
+            acks: std::sync::Arc::new(vec![]),
             delivered_global: 0,
         },
     );

@@ -294,7 +294,12 @@ impl Decoder {
     /// [`DecodeError::InvalidUtf8`].
     pub fn get_string(&mut self) -> Result<String, DecodeError> {
         let bytes = self.get_bytes()?;
-        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::InvalidUtf8)
+        // Validate in place on the shared slice; only a valid string is
+        // copied out, and malformed input costs no allocation at all.
+        match std::str::from_utf8(&bytes) {
+            Ok(s) => Ok(s.to_owned()),
+            Err(_) => Err(DecodeError::InvalidUtf8),
+        }
     }
 
     /// Reads an option written by [`Encoder::put_option`].

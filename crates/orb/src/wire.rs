@@ -111,8 +111,11 @@ impl OrbMessage {
     }
 
     /// Encodes this frame (header included) into bytes.
+    ///
+    /// The buffer is presized to [`OrbMessage::encoded_len`], so encoding
+    /// performs exactly one allocation regardless of body size.
     pub fn encode(&self) -> Bytes {
-        let mut enc = Encoder::with_capacity(64);
+        let mut enc = Encoder::with_capacity(self.encoded_len());
         enc.put_u8(MAGIC[0]);
         enc.put_u8(MAGIC[1]);
         enc.put_u8(MAGIC[2]);
@@ -246,6 +249,20 @@ mod tests {
         for msg in [request(), reply()] {
             assert_eq!(msg.encode().len(), msg.encoded_len());
         }
+    }
+
+    #[test]
+    fn large_bodies_round_trip_with_exact_presizing() {
+        let msg = OrbMessage::Request(Request {
+            request_id: 7,
+            object_key: ObjectKey::new("bulk"),
+            operation: "write".into(),
+            args: Bytes::from(vec![0xA5u8; 16 * 1024]),
+            response_expected: true,
+        });
+        let encoded = msg.encode();
+        assert_eq!(encoded.len(), msg.encoded_len());
+        assert_eq!(OrbMessage::decode(encoded).unwrap(), msg);
     }
 
     #[test]
