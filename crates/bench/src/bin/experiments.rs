@@ -1,16 +1,18 @@
 //! CLI that regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! experiments [fig3|fig4|fig6|fig7|fig8|fig9|fanout|all] [--requests N] [--seed S]
+//! experiments [fig3|fig4|fig6|fig7|fig8|fig9|fanout|trace|all] [--requests N] [--seed S]
 //! ```
 //!
-//! `fanout` additionally writes the machine-readable `BENCH_PR2.json`
-//! summary and fails if the data-plane acceptance gate does not hold.
+//! `fanout` additionally writes the machine-readable `BENCH_PR2.json` and
+//! `BENCH_PR3.json` summaries; `trace` writes the structured event export
+//! `trace_switch.jsonl`. Both print the names of any failing acceptance
+//! gates and exit nonzero.
 
 use std::env;
 use std::process::ExitCode;
 
-use vd_bench::experiments::{ablation, fanout, fig3, fig4, fig6, fig7, fig8, fig9};
+use vd_bench::experiments::{ablation, fanout, fig3, fig4, fig6, fig7, fig8, fig9, trace};
 
 struct Options {
     which: String,
@@ -38,7 +40,7 @@ fn parse() -> Result<Options, String> {
             }
             "--help" | "-h" => {
                 return Err(
-                    "usage: experiments [fig3|fig4|fig6|fig7|fig8|fig9|fanout|all] [--requests N] [--seed S]"
+                    "usage: experiments [fig3|fig4|fig6|fig7|fig8|fig9|fanout|trace|all] [--requests N] [--seed S]"
                         .into(),
                 );
             }
@@ -85,9 +87,24 @@ fn main() -> ExitCode {
         println!("{}", result.render());
         std::fs::write("BENCH_PR2.json", result.to_json())
             .map_err(|e| format!("failed to write BENCH_PR2.json: {e}"))?;
-        println!("wrote BENCH_PR2.json");
-        if !result.passes_gate() {
-            return Err("data-plane gate failed (see the fanout table above)".into());
+        std::fs::write("BENCH_PR3.json", result.to_json_pr3())
+            .map_err(|e| format!("failed to write BENCH_PR3.json: {e}"))?;
+        println!("wrote BENCH_PR2.json, BENCH_PR3.json");
+        let failing = result.failing_gates();
+        if !failing.is_empty() {
+            return Err(format!("fanout gate(s) failed: {}", failing.join(", ")));
+        }
+        Ok(())
+    };
+    let run_trace = || -> Result<(), String> {
+        let result = trace::run(12, 1200.0, seed);
+        println!("{}", result.render());
+        std::fs::write("trace_switch.jsonl", result.jsonl())
+            .map_err(|e| format!("failed to write trace_switch.jsonl: {e}"))?;
+        println!("wrote trace_switch.jsonl ({} events)", result.events.len());
+        let failing = result.failing_gates();
+        if !failing.is_empty() {
+            return Err(format!("trace gate(s) failed: {}", failing.join(", ")));
         }
         Ok(())
     };
@@ -105,20 +122,28 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+        "trace" => {
+            if let Err(msg) = run_trace() {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+        }
         "all" => {
             run_fig3();
             run_fig4();
             run_fig6();
             run_fig7_8_9(true, true, true);
             println!("{}", ablation::run(requests.min(500), seed).render());
-            if let Err(msg) = run_fanout() {
-                eprintln!("{msg}");
-                return ExitCode::FAILURE;
+            for step in [&run_fanout as &dyn Fn() -> Result<(), String>, &run_trace] {
+                if let Err(msg) = step() {
+                    eprintln!("{msg}");
+                    return ExitCode::FAILURE;
+                }
             }
         }
         other => {
             eprintln!(
-                "unknown experiment: {other} (expected fig3|fig4|fig6|fig7|fig8|fig9|ablation|fanout|all)"
+                "unknown experiment: {other} (expected fig3|fig4|fig6|fig7|fig8|fig9|ablation|fanout|trace|all)"
             );
             return ExitCode::FAILURE;
         }

@@ -9,7 +9,8 @@
 //! | [`fig8`] | Fig. 8 + Table 2 — the scalability-knob policy |
 //! | [`fig9`] | Fig. 9 — normalized dependability design space |
 //! | [`ablation`] | style-space, detection-timeout and checkpointing ablations (beyond the paper) |
-//! | [`fanout`] | data-plane gate — zero-copy fan-out, batching, delta checkpoints (`BENCH_PR2.json`) |
+//! | [`fanout`] | data-plane gate — zero-copy fan-out, batching, delta checkpoints, trace overhead (`BENCH_PR2.json`, `BENCH_PR3.json`) |
+//! | [`trace`] | observability gate — structured event export of the Fig. 6 switch run (`trace_switch.jsonl`) |
 //!
 //! Each runner returns a structured result with a `render()` method that
 //! prints the same rows/series the paper reports.
@@ -22,3 +23,4 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod trace;

@@ -1,10 +1,13 @@
 //! The simulated test-bed: the paper's seven Pentium-III machines on a
 //! switched 100 Mb/s LAN, with calibration constants from its Fig. 3.
 
+use std::sync::Arc;
+
 use vd_core::client::{ReplicatedClientActor, ReplicatedClientConfig};
 use vd_core::knobs::LowLevelKnobs;
 use vd_core::replica::{ReplicaActor, ReplicaConfig};
 use vd_core::style::ReplicationStyle;
+use vd_obs::{Obs, ObsHandle, TraceSink};
 use vd_orb::interceptor::Passthrough;
 use vd_orb::object::{ObjectAdapter, ObjectKey};
 use vd_orb::sim::{ClientActor, DriverConfig, OrbCosts, RequestDriver, ServerActor};
@@ -78,6 +81,11 @@ pub struct TestbedConfig {
     pub failure_timeout: SimDuration,
     /// RNG seed.
     pub seed: u64,
+    /// Shared trace sink: when set, every replica and the simulated world
+    /// get an observability handle writing into this one ring, so the run
+    /// produces a single chronological event trace. `None` = tracing off
+    /// (the hot paths still cost one atomic load per emit site).
+    pub trace: Option<Arc<TraceSink>>,
 }
 
 impl Default for TestbedConfig {
@@ -95,6 +103,7 @@ impl Default for TestbedConfig {
             batch_max_messages: 1,
             failure_timeout: SimDuration::from_millis(50),
             seed: 42,
+            trace: None,
         }
     }
 }
@@ -108,6 +117,10 @@ pub struct Testbed {
     pub replicas: Vec<ProcessId>,
     /// Client process ids.
     pub clients: Vec<ProcessId>,
+    /// Per-replica observability handles (`obs[i]` belongs to
+    /// `replicas[i]`): each carries that replica's metrics registry, and
+    /// all share the run's trace sink when one was configured.
+    pub obs: Vec<ObsHandle>,
 }
 
 impl Testbed {
@@ -154,8 +167,14 @@ impl Testbed {
 pub fn build_replicated(config: &TestbedConfig) -> Testbed {
     let total_nodes = (config.replicas + config.clients) as u32;
     let mut world = World::new(gc_topology(total_nodes), config.seed);
+    let new_obs = || match &config.trace {
+        Some(sink) => Obs::with_trace(Arc::clone(sink)),
+        None => Obs::disabled(),
+    };
+    world.set_obs(new_obs());
     let members: Vec<ProcessId> = (0..config.replicas as u64).map(ProcessId).collect();
     let mut replicas = Vec::new();
+    let mut obs = Vec::new();
     for i in 0..config.replicas {
         let mut knobs = LowLevelKnobs::default()
             .style(config.style)
@@ -164,11 +183,14 @@ pub fn build_replicated(config: &TestbedConfig) -> Testbed {
             .checkpoint_full_every(config.checkpoint_full_every)
             .batch_max_messages(config.batch_max_messages.max(1));
         knobs.fault_monitoring_timeout = config.failure_timeout;
+        let replica_obs = new_obs();
+        obs.push(replica_obs.clone());
         let replica_config = ReplicaConfig {
             knobs,
             group_config: vd_group::config::GroupConfig::default()
                 .failure_timeout(config.failure_timeout),
             metrics_prefix: format!("replica{i}"),
+            obs: replica_obs,
             ..ReplicaConfig::default()
         };
         let app = PaddedApp::new(config.state_bytes, config.response_bytes, 15);
@@ -209,6 +231,7 @@ pub fn build_replicated(config: &TestbedConfig) -> Testbed {
         world,
         replicas,
         clients,
+        obs,
     }
 }
 

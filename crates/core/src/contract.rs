@@ -206,6 +206,7 @@ mod tests {
             jitter_micros: 0.0,
             bandwidth_bps: bandwidth,
             replicas,
+            fault_detection_micros: 0.0,
         }
     }
 

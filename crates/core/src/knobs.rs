@@ -17,16 +17,27 @@ use crate::style::ReplicationStyle;
 /// The internal fault-tolerance parameters (paper Table 1, rows).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LowLevelKnobs {
-    /// Replication style for the process.
+    /// Replication style for the process — paper Table 1's "replication
+    /// style" row, the knob every high-level property depends on; §4.1
+    /// describes switching it at run time (protocol in Fig. 5).
     pub style: ReplicationStyle,
-    /// Target number of replicas (`MinimumNumberReplicas` in FT-CORBA).
+    /// Target number of replicas (`MinimumNumberReplicas` in the paper's
+    /// §2 FT-CORBA discussion) — Table 1's "number of replicas" row,
+    /// swept 1–3 in the Fig. 7 evaluation.
     pub num_replicas: usize,
-    /// Interval between checkpoints (passive styles).
+    /// Interval between checkpoints (passive styles) — Table 1's
+    /// "frequency of checkpointing" row; §4.2 ties it to the
+    /// availability/bandwidth trade-off.
     pub checkpoint_interval: SimDuration,
-    /// Fault-monitoring (heartbeat) interval.
+    /// Fault-monitoring (heartbeat) interval — the FT-CORBA
+    /// fault-monitoring knob of the paper's §2; together with the
+    /// timeout it sets the fault-detection time of Table 1's
+    /// availability column.
     pub fault_monitoring_interval: SimDuration,
     /// Fault-monitoring timeout: silence longer than this raises a
-    /// suspicion.
+    /// suspicion (§2, FT-CORBA fault monitoring). Measured detection
+    /// latency lands in `(timeout, timeout + interval]`; the
+    /// `group.fault_detection_us` histogram records the real value.
     pub fault_monitoring_timeout: SimDuration,
     /// Incremental checkpoint period: every `K`-th checkpoint is a full
     /// snapshot and the `K−1` in between are byte deltas against the
@@ -142,12 +153,16 @@ impl fmt::Display for LowLevelKnobs {
 /// The externally-meaningful properties (paper Table 1, columns).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum HighLevelKnob {
-    /// Number of clients the system can serve within its constraints.
+    /// Number of clients the system can serve within its constraints —
+    /// Table 1's scalability column; §4.3 derives its Table 2 policy
+    /// (style × replica count per client load) from measurements.
     Scalability,
-    /// Fraction of time the service answers (replica count, recovery
-    /// speed).
+    /// Fraction of time the service answers — Table 1's availability
+    /// column: replica count, checkpointing frequency and the
+    /// fault-detection knobs (§3.1, §4.2).
     Availability,
-    /// Bounded response times.
+    /// Bounded response times — Table 1's real-time column, influenced
+    /// by all three low-level knobs (§3.1; §5 mission modes).
     RealTimeGuarantees,
 }
 

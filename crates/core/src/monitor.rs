@@ -8,6 +8,7 @@
 
 use std::collections::VecDeque;
 
+use vd_obs::{Ctr, Hist, MetricsRegistry};
 use vd_simnet::time::{SimDuration, SimTime};
 
 /// An exponentially-weighted moving average.
@@ -105,6 +106,12 @@ pub struct Observations {
     pub bandwidth_bps: f64,
     /// Live replicas in the group.
     pub replicas: usize,
+    /// Mean measured fault-detection latency (failure-detector silence at
+    /// the moment suspicion was raised), microseconds; 0 before any
+    /// failure has been observed. Fed from the observability registry's
+    /// `group.fault_detection_us` histogram — a *measured* input to the
+    /// availability policies, not the configured timeout.
+    pub fault_detection_micros: f64,
 }
 
 impl Default for Observations {
@@ -116,6 +123,7 @@ impl Default for Observations {
             jitter_micros: 0.0,
             bandwidth_bps: 0.0,
             replicas: 0,
+            fault_detection_micros: 0.0,
         }
     }
 }
@@ -129,6 +137,9 @@ pub struct Monitor {
     bytes_sent: u64,
     window_start: SimTime,
     replicas: usize,
+    /// Registry counter value already folded into the rate window.
+    ingested_requests: u64,
+    fault_detection_micros: f64,
 }
 
 impl Monitor {
@@ -141,12 +152,36 @@ impl Monitor {
             bytes_sent: 0,
             window_start: SimTime::ZERO,
             replicas: 0,
+            ingested_requests: 0,
+            fault_detection_micros: 0.0,
         }
     }
 
     /// Records a request arrival.
     pub fn record_request(&mut self, now: SimTime) {
         self.requests.record(now);
+    }
+
+    /// Folds the observability registry into the monitor (the "measure"
+    /// edge of the paper's Fig. 8 loop): new `replicator.invokes_delivered`
+    /// counts since the last ingest enter the request-rate window at
+    /// `now`, and the mean of the `group.fault_detection_us` histogram
+    /// becomes [`Observations::fault_detection_micros`].
+    ///
+    /// Idempotent per counter value — callers may ingest on every
+    /// delivery (exact event timing) and again on every policy tick
+    /// (catch-up) without double counting.
+    pub fn ingest_registry(&mut self, now: SimTime, metrics: &MetricsRegistry) {
+        let total = metrics.counter(Ctr::RepInvokesDelivered);
+        let fresh = total.saturating_sub(self.ingested_requests);
+        self.ingested_requests = total;
+        for _ in 0..fresh {
+            self.requests.record(now);
+        }
+        let fd = metrics.hist(Hist::FaultDetectionUs);
+        if fd.count > 0 {
+            self.fault_detection_micros = fd.mean();
+        }
     }
 
     /// Records a completed service (delivery-to-reply latency).
@@ -184,6 +219,7 @@ impl Monitor {
             jitter_micros: self.jitter.value(),
             bandwidth_bps: bandwidth,
             replicas: self.replicas,
+            fault_detection_micros: self.fault_detection_micros,
         }
     }
 
@@ -252,6 +288,30 @@ mod tests {
         assert!(obs.request_rate > 0.0);
         assert!((obs.latency_micros - 1000.0).abs() < 1e-9);
         assert!((obs.bandwidth_bps - 10_000_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ingest_registry_is_idempotent_and_feeds_rate() {
+        let metrics = MetricsRegistry::new();
+        let mut m = Monitor::new(SimDuration::from_millis(100));
+        for _ in 0..10 {
+            metrics.incr(Ctr::RepInvokesDelivered);
+        }
+        m.ingest_registry(SimTime::from_millis(10), &metrics);
+        // Re-ingesting the same counter value adds nothing.
+        m.ingest_registry(SimTime::from_millis(10), &metrics);
+        let obs = m.observe(SimTime::from_millis(10));
+        assert!(
+            (obs.request_rate - 100.0).abs() < 1e-9,
+            "{}",
+            obs.request_rate
+        );
+        assert_eq!(obs.fault_detection_micros, 0.0);
+        metrics.record(Hist::FaultDetectionUs, 55_000);
+        metrics.record(Hist::FaultDetectionUs, 65_000);
+        m.ingest_registry(SimTime::from_millis(20), &metrics);
+        let obs = m.observe(SimTime::from_millis(20));
+        assert!((obs.fault_detection_micros - 60_000.0).abs() < 1e-9);
     }
 
     #[test]

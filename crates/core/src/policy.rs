@@ -377,6 +377,7 @@ mod tests {
             jitter_micros: 0.0,
             bandwidth_bps: 0.0,
             replicas: 3,
+            fault_detection_micros: 0.0,
         }
     }
 

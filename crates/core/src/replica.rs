@@ -25,6 +25,7 @@ use vd_group::endpoint::Endpoint;
 use vd_group::message::{GroupId, GroupMsg};
 use vd_group::order::DeliveryOrder;
 use vd_group::sim::{timer_from_token, timer_token};
+use vd_obs::{Ctr, EventKind as ObsEvent, Gauge, Hist, Obs, ObsHandle, SmallStr, SwitchPhase};
 use vd_orb::wire::{OrbMessage, Reply, ReplyStatus};
 use vd_simnet::actor::{downcast_payload, Actor, Context, Payload, TimerToken};
 use vd_simnet::time::{SimDuration, SimTime};
@@ -123,6 +124,11 @@ pub struct ReplicaConfig {
     pub report_interval: Option<SimDuration>,
     /// Prefix for the world-level metrics this replica records.
     pub metrics_prefix: String,
+    /// Observability endpoint (trace sink + metrics registry) shared with
+    /// the embedded group endpoint. Defaults to a disabled sink with a
+    /// private registry; testbeds install one per replica, all sharing a
+    /// run-wide trace sink.
+    pub obs: ObsHandle,
 }
 
 impl Default for ReplicaConfig {
@@ -135,6 +141,7 @@ impl Default for ReplicaConfig {
             policy_interval: SimDuration::from_millis(20),
             report_interval: None,
             metrics_prefix: "replica".into(),
+            obs: Obs::disabled(),
         }
     }
 }
@@ -254,11 +261,12 @@ impl ReplicaActor {
 
     fn assemble(
         me: ProcessId,
-        endpoint: Endpoint,
+        mut endpoint: Endpoint,
         engine: Engine,
         app: Box<dyn ReplicatedApplication>,
         config: ReplicaConfig,
     ) -> Self {
+        endpoint.set_obs(config.obs.clone());
         ReplicaActor {
             me,
             endpoint,
@@ -328,6 +336,16 @@ impl ReplicaActor {
 
     // ---- plumbing -----------------------------------------------------------
 
+    /// Emits one trace event stamped with the virtual clock and this
+    /// replica's process id.
+    fn emit(&self, ctx: &Context<'_>, kind: ObsEvent) {
+        self.config.obs.emit(ctx.now().as_micros(), self.me.0, kind);
+    }
+
+    fn style_str(style: ReplicationStyle) -> SmallStr {
+        SmallStr::new(&style.to_string())
+    }
+
     fn multicast(&mut self, ctx: &mut Context<'_>, order: DeliveryOrder, msg: ReplicatorMsg) {
         let copies = self.endpoint.view().len().saturating_sub(1) as u64;
         ctx.use_cpu(
@@ -371,16 +389,40 @@ impl ReplicaActor {
                     self.send_reply(ctx, client, reply);
                 }
                 self.monitor.set_replicas(view.len());
+                self.config
+                    .obs
+                    .metrics
+                    .gauge_set(Gauge::RepReplicas, view.len() as u64);
                 self.board.retain_members(view.members());
                 // Any membership change resets the delta chain: joiners
                 // hold no base at all, and after a failover the new
                 // primary cannot assume peers mirror its last broadcast.
                 // The next checkpoint is a full snapshot.
                 self.ckpt_sent = None;
+                let departed_count = departed.len() as u64;
                 let ops = self
                     .engine
                     .on_view_change(view.members().to_vec(), &departed, &joined);
                 self.apply_ops(ctx, ops);
+                if departed_count > 0 {
+                    self.config.obs.metrics.incr(Ctr::Failovers);
+                    self.emit(
+                        ctx,
+                        ObsEvent::Failover {
+                            departed: departed_count,
+                            now_primary: self.engine.is_primary(),
+                        },
+                    );
+                }
+                // Replica count is itself a low-level knob (Table 1);
+                // record its actuated value.
+                self.emit(
+                    ctx,
+                    ObsEvent::KnobChanged {
+                        knob: SmallStr::new("num_replicas"),
+                        value: view.len() as u64,
+                    },
+                );
             }
             GroupEvent::Blocked | GroupEvent::SelfEvicted => {}
         }
@@ -396,8 +438,12 @@ impl ReplicaActor {
             } => {
                 // The paper's Fig. 6 policy keys on "the request arrival
                 // rate observed at the server": count delivered requests,
-                // which every replica sees identically.
-                self.monitor.record_request(ctx.now());
+                // which every replica sees identically. The count flows
+                // through the observability registry and is folded into
+                // the monitor from there (Fig. 8 "measure").
+                self.config.obs.metrics.incr(Ctr::RepInvokesDelivered);
+                self.monitor
+                    .ingest_registry(ctx.now(), &self.config.obs.metrics);
                 let ops = self.engine.on_invoke(client, request_id, operation, args);
                 self.apply_ops(ctx, ops);
             }
@@ -412,15 +458,49 @@ impl ReplicaActor {
                 let Some(state) = self.resolve_checkpoint_state(version, delta_base, state) else {
                     // Missing or stale delta base: drop and wait for the
                     // next full snapshot to resynchronize the chain.
+                    self.config.obs.metrics.incr(Ctr::CkptRejected);
+                    self.emit(ctx, ObsEvent::CheckpointRejected { version });
                     return;
                 };
+                self.config.obs.metrics.incr(Ctr::CkptApplied);
+                self.emit(
+                    ctx,
+                    ObsEvent::CheckpointApplied {
+                        version,
+                        delta: delta_base.is_some(),
+                    },
+                );
                 let ops =
                     self.engine
                         .on_checkpoint(version, style, final_for_switch, state, replies);
                 self.apply_ops(ctx, ops);
             }
             ReplicatorMsg::SwitchRequest { target, .. } => {
+                let from = self.engine.style();
                 let ops = self.engine.on_switch_request(target);
+                // Fig. 5 phase transitions: the request was accepted if the
+                // engine produced work or parked itself awaiting the final
+                // checkpoint of the old style.
+                if !ops.is_empty() || self.engine.is_switching() {
+                    self.emit(
+                        ctx,
+                        ObsEvent::StyleSwitch {
+                            phase: SwitchPhase::Requested,
+                            from: Self::style_str(from),
+                            to: Self::style_str(target),
+                        },
+                    );
+                }
+                if self.engine.is_switching() {
+                    self.emit(
+                        ctx,
+                        ObsEvent::StyleSwitch {
+                            phase: SwitchPhase::AwaitingFinal,
+                            from: Self::style_str(from),
+                            to: Self::style_str(target),
+                        },
+                    );
+                }
                 self.apply_ops(ctx, ops);
             }
             ReplicatorMsg::ReplyLog { client, request_id } => {
@@ -461,6 +541,8 @@ impl ReplicaActor {
             match op {
                 EngineOp::Execute { entry, reply } => self.execute(ctx, entry, reply),
                 EngineOp::ResendCached { client, request_id } => {
+                    self.config.obs.metrics.incr(Ctr::RepDuplicatesSuppressed);
+                    self.emit(ctx, ObsEvent::DuplicateSuppressed { request_id });
                     self.resend_cached(ctx, client, request_id);
                 }
                 EngineOp::ApplyCheckpoint {
@@ -505,7 +587,7 @@ impl ReplicaActor {
                         self.send_reply(ctx, client, reply);
                     }
                 }
-                EngineOp::StyleChanged { to, .. } => {
+                EngineOp::StyleChanged { from, to } => {
                     // Styles hand the checkpointing role around; restart
                     // the delta chain from a full snapshot to be safe.
                     self.ckpt_sent = None;
@@ -513,6 +595,27 @@ impl ReplicaActor {
                     self.style_history.push((now, to));
                     let metric = format!("{}.style", self.config.metrics_prefix);
                     ctx.metrics().series(&metric).push(now, to.to_tag() as f64);
+                    self.config.obs.metrics.incr(Ctr::StyleSwitches);
+                    self.config
+                        .obs
+                        .metrics
+                        .gauge_set(Gauge::RepStyle, to.to_tag() as u64);
+                    self.emit(
+                        ctx,
+                        ObsEvent::StyleSwitch {
+                            phase: SwitchPhase::Completed,
+                            from: Self::style_str(from),
+                            to: Self::style_str(to),
+                        },
+                    );
+                    // The actuated low-level knob (Fig. 8 "actuate").
+                    self.emit(
+                        ctx,
+                        ObsEvent::KnobChanged {
+                            knob: SmallStr::new("style"),
+                            value: to.to_tag() as u64,
+                        },
+                    );
                 }
             }
         }
@@ -573,11 +676,20 @@ impl ReplicaActor {
         // "latency" metric). Only requests this replica relayed are
         // timed — a uniform sample under staggered gateways.
         if let Some(arrived) = self.request_arrivals.remove(&(client, reply.request_id)) {
-            let departs = ctx.now() + ctx.cpu_used();
-            self.monitor.record_latency(departs.duration_since(arrived));
+            let latency = (ctx.now() + ctx.cpu_used()).duration_since(arrived);
+            self.monitor.record_latency(latency);
+            self.config
+                .obs
+                .metrics
+                .record(Hist::RequestLatencyUs, latency.as_micros());
         }
+        let request_id = reply.request_id;
         let frame = OrbMessage::Reply(reply);
+        let bytes = frame.wire_size() as u64;
         self.monitor.record_bytes(frame.wire_size());
+        self.config.obs.metrics.incr(Ctr::OrbRepliesOut);
+        self.config.obs.metrics.add(Ctr::OrbMarshalBytes, bytes);
+        self.emit(ctx, ObsEvent::ReplyExit { request_id, bytes });
         ctx.send(client, frame);
     }
 
@@ -636,6 +748,8 @@ impl ReplicaActor {
             }
         };
         self.ckpt_sent = Some((version, state));
+        let is_delta = delta_base.is_some();
+        let state_bytes = wire_state.len() as u64;
         let msg = ReplicatorMsg::Checkpoint {
             version,
             delta_base,
@@ -645,8 +759,37 @@ impl ReplicaActor {
             replies,
         };
         let frame_len = msg.encoded_len();
-        self.checkpoints.note_sent(delta_base.is_some(), frame_len);
+        self.checkpoints.note_sent(is_delta, frame_len);
         self.monitor.record_bytes(frame_len);
+        self.config.obs.metrics.incr(if is_delta {
+            Ctr::CkptDeltaSent
+        } else {
+            Ctr::CkptFullSent
+        });
+        self.config.obs.metrics.add(Ctr::CkptBytesSent, state_bytes);
+        self.config.obs.metrics.record(Hist::CkptBytes, state_bytes);
+        self.emit(
+            ctx,
+            ObsEvent::CheckpointSent {
+                version,
+                bytes: state_bytes,
+                delta: is_delta,
+                final_for_switch,
+            },
+        );
+        if final_for_switch {
+            // Fig. 5: the old primary closes out the old style with one
+            // final (always full) checkpoint.
+            let style = self.engine.style();
+            self.emit(
+                ctx,
+                ObsEvent::StyleSwitch {
+                    phase: SwitchPhase::FinalCheckpoint,
+                    from: Self::style_str(style),
+                    to: Self::style_str(style),
+                },
+            );
+        }
         self.multicast(ctx, DeliveryOrder::Agreed, msg);
     }
 
@@ -693,6 +836,11 @@ impl ReplicaActor {
     }
 
     fn evaluate_policies(&mut self, ctx: &mut Context<'_>) {
+        // Fold the registry into the monitor first: the policies below
+        // must see the freshest measured request rate and fault-detection
+        // latency (Fig. 8 measure → decide).
+        self.monitor
+            .ingest_registry(ctx.now(), &self.config.obs.metrics);
         let obs = self.monitor.observe(ctx.now());
         let prefix = self.config.metrics_prefix.clone();
         let rate_metric = format!("{prefix}.rate");
@@ -707,13 +855,28 @@ impl ReplicaActor {
             style: self.engine.style(),
             replicas: self.engine.members().len(),
         };
-        let mut actions = Vec::new();
+        let mut actions: Vec<(SmallStr, AdaptationAction)> = Vec::new();
         for policy in &mut self.policies {
             if let Some(action) = policy.evaluate(&obs, &policy_ctx) {
-                actions.push(action);
+                actions.push((SmallStr::new(policy.name()), action));
             }
         }
-        for action in actions {
+        for (policy_name, action) in actions {
+            // Fig. 8 "decide": every policy decision is itself observable.
+            let action_name = match &action {
+                AdaptationAction::SwitchStyle(_) => "switch_style",
+                AdaptationAction::AddReplica => "add_replica",
+                AdaptationAction::RemoveReplica => "remove_replica",
+                AdaptationAction::NotifyOperators(_) => "notify_operators",
+            };
+            self.config.obs.metrics.incr(Ctr::PolicyDecisions);
+            self.emit(
+                ctx,
+                ObsEvent::PolicyDecision {
+                    policy: policy_name,
+                    action: SmallStr::new(action_name),
+                },
+            );
             match action {
                 AdaptationAction::SwitchStyle(target) => {
                     if target != self.engine.style() && !self.engine.is_switching() {
@@ -733,6 +896,9 @@ impl Actor for ReplicaActor {
         self.absorb(ctx, outputs);
         self.monitor.set_replicas(self.engine.members().len());
         self.monitor.reset_bandwidth(ctx.now());
+        let metrics = &self.config.obs.metrics;
+        metrics.gauge_set(Gauge::RepReplicas, self.engine.members().len() as u64);
+        metrics.gauge_set(Gauge::RepStyle, self.engine.style().to_tag() as u64);
         if self.engine.style().uses_checkpoints() && self.engine.is_primary() {
             ctx.set_timer(self.config.knobs.checkpoint_interval, CHECKPOINT_TIMER);
         }
@@ -784,9 +950,22 @@ impl Actor for ReplicaActor {
                 };
                 // Interposed client traffic (paper Fig. 2 top layer).
                 ctx.use_cpu(self.config.costs.interposition);
+                let request_bytes = orb_msg.wire_size() as u64;
                 let OrbMessage::Request(request) = *orb_msg else {
                     return;
                 };
+                self.config.obs.metrics.incr(Ctr::OrbRequestsIn);
+                self.config
+                    .obs
+                    .metrics
+                    .add(Ctr::OrbMarshalBytes, request_bytes);
+                self.emit(
+                    ctx,
+                    ObsEvent::RequestEnter {
+                        request_id: request.request_id,
+                        bytes: request_bytes,
+                    },
+                );
                 match self.engine.on_client_request(from, request.request_id) {
                     GatewayDecision::Multicast => {
                         self.request_arrivals
@@ -800,6 +979,13 @@ impl Actor for ReplicaActor {
                         self.multicast(ctx, DeliveryOrder::Agreed, msg);
                     }
                     GatewayDecision::ResendCached => {
+                        self.config.obs.metrics.incr(Ctr::RepDuplicatesSuppressed);
+                        self.emit(
+                            ctx,
+                            ObsEvent::DuplicateSuppressed {
+                                request_id: request.request_id,
+                            },
+                        );
                         self.resend_cached(ctx, from, request.request_id);
                     }
                     GatewayDecision::InFlight => {}

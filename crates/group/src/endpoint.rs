@@ -15,6 +15,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 
+use vd_obs::{Ctr, EventKind, Gauge, Hist, Obs, ObsHandle};
 use vd_simnet::actor::Payload;
 use vd_simnet::time::SimTime;
 use vd_simnet::topology::ProcessId;
@@ -83,9 +84,11 @@ pub struct DataPlaneStats {
 }
 
 impl DataPlaneStats {
-    fn note_sent(&mut self, msg: &GroupMsg, copies: u64) {
+    /// Returns `true` when `msg` was a data-carrying frame (so callers
+    /// can mirror the send into the observability registry).
+    fn note_sent(&mut self, msg: &GroupMsg, copies: u64) -> bool {
         if copies == 0 {
-            return;
+            return false;
         }
         let msgs_per_frame = match msg {
             GroupMsg::Data(_) | GroupMsg::Retransmit(_) => 1,
@@ -100,11 +103,12 @@ impl DataPlaneStats {
             | GroupMsg::FlushInfo { .. }
             | GroupMsg::FlushCut { .. }
             | GroupMsg::FlushDone { .. }
-            | GroupMsg::InstallView { .. } => return,
+            | GroupMsg::InstallView { .. } => return false,
         };
         self.data_frames_sent += copies;
         self.data_msgs_sent += msgs_per_frame * copies;
         self.wire_bytes_sent += msg.wire_size() as u64 * copies;
+        true
     }
 }
 
@@ -126,6 +130,10 @@ pub struct Endpoint {
     batch: Vec<DataMsg>,
     batch_timer_armed: bool,
     stats: DataPlaneStats,
+    obs: ObsHandle,
+    /// Virtual time of the most recent entry-point call, in µs; stamps
+    /// trace events emitted from internal helpers that have no `now`.
+    now_us: u64,
 
     // --- receiving ---
     streams: BTreeMap<ProcessId, SenderStream>,
@@ -210,6 +218,8 @@ impl Endpoint {
             batch: Vec::new(),
             batch_timer_armed: false,
             stats: DataPlaneStats::default(),
+            obs: Obs::disabled(),
+            now_us: 0,
             streams: BTreeMap::new(),
             delivered_clock: VectorClock::new(),
             assignments: BTreeMap::new(),
@@ -231,6 +241,19 @@ impl Endpoint {
     }
 
     // ---- accessors ---------------------------------------------------------
+
+    /// Attaches an observability endpoint: group-layer counters
+    /// (`group.*`), the fault-detection-latency histogram, and
+    /// send/suspicion/batch trace events flow into it. Defaults to a
+    /// disabled sink with a private registry.
+    pub fn set_obs(&mut self, obs: ObsHandle) {
+        self.obs = obs;
+    }
+
+    /// The attached observability endpoint.
+    pub fn obs(&self) -> &ObsHandle {
+        &self.obs
+    }
 
     /// This endpoint's member id.
     pub fn me(&self) -> ProcessId {
@@ -277,6 +300,7 @@ impl Endpoint {
     /// Arms the periodic timers (and, for a joining endpoint, sends the
     /// first join request). Call exactly once, when the host starts.
     pub fn start(&mut self, now: SimTime) -> Vec<Output> {
+        self.now_us = now.as_micros();
         let mut out = Vec::new();
         for &m in self.view.members() {
             self.last_heard.insert(m, now);
@@ -327,6 +351,7 @@ impl Endpoint {
         order: DeliveryOrder,
         payload: Bytes,
     ) -> Result<Vec<Output>, MulticastError> {
+        self.now_us = now.as_micros();
         if self.status != Status::Member {
             return Err(MulticastError::NotMember);
         }
@@ -358,6 +383,7 @@ impl Endpoint {
         // so self-delivery obeys the same ordering rules.
         if msg.order == DeliveryOrder::BestEffort {
             self.stats.deliveries += 1;
+            self.obs.metrics.incr(Ctr::GroupDeliveries);
             out.push(Output::Event(GroupEvent::Delivered(Delivery {
                 group: self.group,
                 sender: self.me,
@@ -387,7 +413,17 @@ impl Endpoint {
                 copies += 1;
             }
         }
-        self.stats.note_sent(msg, copies);
+        let bytes = msg.wire_size() as u64;
+        if self.stats.note_sent(msg, copies) {
+            self.obs.metrics.incr(Ctr::GroupSends);
+            self.obs.metrics.add(Ctr::GroupFrameCopies, copies);
+            self.obs.metrics.add(Ctr::GroupWireBytes, bytes * copies);
+            self.obs.emit(
+                self.now_us,
+                self.me.0,
+                EventKind::GroupSend { bytes, copies },
+            );
+        }
     }
 
     /// Fans out the coalesced batch (if any) as a single frame per member:
@@ -398,6 +434,13 @@ impl Endpoint {
             return;
         }
         let mut msgs = std::mem::take(&mut self.batch);
+        let occupancy = msgs.len() as u64;
+        self.obs.metrics.record(Hist::BatchOccupancy, occupancy);
+        self.obs.emit(
+            self.now_us,
+            self.me.0,
+            EventKind::BatchFlushed { occupancy },
+        );
         let frame = if msgs.len() == 1 {
             match msgs.pop() {
                 Some(m) => GroupMsg::Data(m),
@@ -475,6 +518,7 @@ impl Endpoint {
         if msg.group() != self.group {
             return out;
         }
+        self.now_us = now.as_micros();
         self.last_heard.insert(from, now);
         match msg {
             GroupMsg::Data(d) | GroupMsg::Retransmit(d) => self.handle_data(now, from, d, &mut out),
@@ -538,6 +582,7 @@ impl Endpoint {
         if d.order == DeliveryOrder::BestEffort {
             // Unsequenced, unordered: deliver on arrival.
             self.stats.deliveries += 1;
+            self.obs.metrics.incr(Ctr::GroupDeliveries);
             out.push(Output::Event(GroupEvent::Delivered(Delivery {
                 group: self.group,
                 sender: d.sender,
@@ -691,17 +736,25 @@ impl Endpoint {
         missing: Vec<u64>,
         out: &mut Vec<Output>,
     ) {
-        let frames: Vec<GroupMsg> = {
+        let frames: Vec<(u64, GroupMsg)> = {
             let Some(stream) = self.streams.get(&sender) else {
                 return;
             };
             missing
                 .iter()
-                .filter_map(|&seq| stream.get(seq).map(|m| GroupMsg::Retransmit(m.clone())))
+                .filter_map(|&seq| {
+                    stream
+                        .get(seq)
+                        .map(|m| (seq, GroupMsg::Retransmit(m.clone())))
+                })
                 .collect()
         };
-        for msg in frames {
-            self.stats.note_sent(&msg, 1);
+        for (seq, msg) in frames {
+            if self.stats.note_sent(&msg, 1) {
+                self.obs.metrics.incr(Ctr::GroupRetransmits);
+                self.obs
+                    .emit(self.now_us, self.me.0, EventKind::Retransmit { seq });
+            }
             out.push(Output::Send { to: from, msg });
         }
     }
@@ -716,6 +769,7 @@ impl Endpoint {
         if view_id != self.view.id() || !self.view.contains(from) {
             return;
         }
+        self.obs.metrics.incr(Ctr::GroupHeartbeatsRecv);
         // A peer's acks reveal messages we may never have seen at all (tail
         // loss): record their existence so the NACK machinery recovers them.
         for &(sender, acked) in acks.iter() {
@@ -835,6 +889,14 @@ impl Endpoint {
 
     fn emit_delivery(&mut self, msg: &DataMsg, global_seq: Option<u64>, out: &mut Vec<Output>) {
         self.stats.deliveries += 1;
+        self.obs.metrics.incr(Ctr::GroupDeliveries);
+        self.obs.emit(
+            self.now_us,
+            self.me.0,
+            EventKind::GroupDeliver {
+                seq: global_seq.or(msg.seq).unwrap_or(0),
+            },
+        );
         out.push(Output::Event(GroupEvent::Delivered(Delivery {
             group: self.group,
             sender: msg.sender,
@@ -1540,6 +1602,16 @@ impl Endpoint {
         }
         self.status = Status::Member;
         self.blocked = false;
+        let members = view.members().len() as u64;
+        self.obs.metrics.gauge_set(Gauge::GroupMembers, members);
+        self.obs.emit(
+            self.now_us,
+            self.me.0,
+            EventKind::ViewInstalled {
+                view_id: view.id().0,
+                members,
+            },
+        );
         out.push(Output::Event(GroupEvent::ViewInstalled {
             view,
             joined,
@@ -1568,6 +1640,7 @@ impl Endpoint {
 
     /// Processes a timer previously requested via [`Output::SetTimer`].
     pub fn handle_timer(&mut self, now: SimTime, timer: GroupTimer) -> Vec<Output> {
+        self.now_us = now.as_micros();
         let mut out = Vec::new();
         if self.status == Status::Evicted {
             return out;
@@ -1591,6 +1664,9 @@ impl Endpoint {
                         delivered_global: self.next_global_deliver.saturating_sub(1),
                     };
                     self.fan_out(&msg, &mut out);
+                    self.obs.metrics.incr(Ctr::GroupHeartbeatsSent);
+                    self.obs
+                        .emit(self.now_us, self.me.0, EventKind::HeartbeatSent);
                 }
             }
             GroupTimer::FailureCheck => {
@@ -1645,8 +1721,20 @@ impl Endpoint {
                 continue;
             }
             let heard = self.last_heard.get(&m).copied().unwrap_or(now);
-            if now.duration_since(heard) > self.config.failure_timeout {
+            let silence = now.duration_since(heard);
+            if silence > self.config.failure_timeout {
                 self.suspected.insert(m);
+                let silence_us = silence.as_micros();
+                self.obs.metrics.incr(Ctr::GroupSuspicions);
+                self.obs.metrics.record(Hist::FaultDetectionUs, silence_us);
+                self.obs.emit(
+                    self.now_us,
+                    self.me.0,
+                    EventKind::SuspicionRaised {
+                        peer: m.0,
+                        silence_us,
+                    },
+                );
             }
         }
         // A joiner that died while waiting must not wedge future rounds.
@@ -1787,6 +1875,20 @@ impl Endpoint {
                 for m in &silent {
                     self.suspected.insert(*m);
                     self.pending_joins.remove(m);
+                    let silence_us = self
+                        .last_heard
+                        .get(m)
+                        .map(|&heard| now.duration_since(heard).as_micros())
+                        .unwrap_or(0);
+                    self.obs.metrics.incr(Ctr::GroupSuspicions);
+                    self.obs.emit(
+                        self.now_us,
+                        self.me.0,
+                        EventKind::SuspicionRaised {
+                            peer: m.0,
+                            silence_us,
+                        },
+                    );
                 }
                 self.flush = None;
                 // Everyone that adopted the stuck round is blocked; a fresh

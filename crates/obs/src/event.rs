@@ -1,0 +1,296 @@
+//! Structured trace events: a fixed, `Copy` taxonomy covering all four
+//! runtime layers (ORB, replicator, group endpoint, simnet).
+//!
+//! Events are plain data — no heap pointers — so the ring buffer in
+//! [`crate::sink::TraceSink`] can store them without allocating on the
+//! emit path. Variable-length detail (policy names, knob names) travels
+//! in [`SmallStr`], an inline fixed-capacity string.
+
+use core::fmt;
+
+/// Maximum bytes an inline [`SmallStr`] can hold.
+pub const SMALL_STR_CAP: usize = 23;
+
+/// A fixed-capacity inline string, truncating on overflow.
+///
+/// Used for free-form identifiers inside events (policy names, knob
+/// names, style names) so that [`Event`] stays `Copy` and the trace
+/// hot path never touches the heap.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct SmallStr {
+    len: u8,
+    buf: [u8; SMALL_STR_CAP],
+}
+
+impl SmallStr {
+    /// Builds an inline string from `s`, truncating to
+    /// [`SMALL_STR_CAP`] bytes on a UTF-8 character boundary.
+    pub fn new(s: &str) -> Self {
+        let mut end = s.len().min(SMALL_STR_CAP);
+        while end > 0 && !s.is_char_boundary(end) {
+            end -= 1;
+        }
+        let mut buf = [0u8; SMALL_STR_CAP];
+        buf[..end].copy_from_slice(&s.as_bytes()[..end]);
+        SmallStr {
+            len: end as u8,
+            buf,
+        }
+    }
+
+    /// The stored string.
+    pub fn as_str(&self) -> &str {
+        // Construction only ever copies a prefix of a valid &str ending
+        // on a char boundary, so this cannot fail.
+        core::str::from_utf8(&self.buf[..self.len as usize]).unwrap_or("")
+    }
+}
+
+impl From<&str> for SmallStr {
+    fn from(s: &str) -> Self {
+        SmallStr::new(s)
+    }
+}
+
+impl fmt::Debug for SmallStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.as_str())
+    }
+}
+
+impl fmt::Display for SmallStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Phases of the runtime replication-style switch protocol (paper
+/// Fig. 5): request accepted, final checkpoint multicast by the old
+/// primary, backups parked awaiting that checkpoint, and completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchPhase {
+    /// A `SwitchRequest` was delivered in total order and accepted.
+    Requested,
+    /// The primary multicast the final (always full) checkpoint that
+    /// closes out the old style.
+    FinalCheckpoint,
+    /// A replica is parked, deferring requests until the final
+    /// checkpoint of the old style arrives.
+    AwaitingFinal,
+    /// The style change took effect on this replica.
+    Completed,
+}
+
+impl SwitchPhase {
+    /// Stable lower-case name used in JSONL output.
+    pub fn name(self) -> &'static str {
+        match self {
+            SwitchPhase::Requested => "requested",
+            SwitchPhase::FinalCheckpoint => "final_checkpoint",
+            SwitchPhase::AwaitingFinal => "awaiting_final",
+            SwitchPhase::Completed => "completed",
+        }
+    }
+}
+
+/// What happened. One variant per observable occurrence, grouped by the
+/// runtime layer that emits it. All payload fields are fixed-size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    // --- ORB interposition layer -------------------------------------
+    /// A client request entered the replicator gateway (interposed ORB
+    /// inbound path). `bytes` is the marshaled request size.
+    RequestEnter {
+        /// Client-assigned request identifier.
+        request_id: u64,
+        /// Marshaled (CDR) size of the request in bytes.
+        bytes: u64,
+    },
+    /// A reply left the gateway toward the client. `bytes` is the
+    /// marshaled reply size.
+    ReplyExit {
+        /// Request identifier the reply answers.
+        request_id: u64,
+        /// Marshaled (CDR) size of the reply in bytes.
+        bytes: u64,
+    },
+    /// The gateway suppressed a duplicate in-flight or completed
+    /// request and (re)used the cached reply instead of re-executing.
+    DuplicateSuppressed {
+        /// Request identifier of the suppressed duplicate.
+        request_id: u64,
+    },
+
+    // --- Replicator core ---------------------------------------------
+    /// A checkpoint was multicast to the group.
+    CheckpointSent {
+        /// State version the checkpoint carries.
+        version: u64,
+        /// Wire size of the state payload (full bytes or delta bytes).
+        bytes: u64,
+        /// True if this was a delta against the previous checkpoint.
+        delta: bool,
+        /// True if this is the final checkpoint of a style switch
+        /// (always full, per Fig. 5).
+        final_for_switch: bool,
+    },
+    /// A received checkpoint was applied to local state.
+    CheckpointApplied {
+        /// State version now installed.
+        version: u64,
+        /// True if it arrived as a delta.
+        delta: bool,
+    },
+    /// A received delta checkpoint was rejected by the chain rule
+    /// (no matching base version); a full checkpoint must re-anchor.
+    CheckpointRejected {
+        /// Version of the rejected checkpoint.
+        version: u64,
+    },
+    /// A style-switch phase transition (paper Fig. 5).
+    StyleSwitch {
+        /// Which phase of the switch protocol this replica entered.
+        phase: SwitchPhase,
+        /// Style being switched away from.
+        from: SmallStr,
+        /// Style being switched to.
+        to: SmallStr,
+    },
+    /// The membership view changed with at least one departure; the
+    /// replicator ran its failover path (possible primary promotion).
+    Failover {
+        /// Number of members that left in this view change.
+        departed: u64,
+        /// True if this replica is the primary in the new view.
+        now_primary: bool,
+    },
+    /// An adaptation policy fired and recommended an action
+    /// (measure→decide of the Fig. 8 loop).
+    PolicyDecision {
+        /// `AdaptationPolicy::name()` of the deciding policy.
+        policy: SmallStr,
+        /// Short action description, e.g. `switch_style` or
+        /// `add_replica`.
+        action: SmallStr,
+    },
+    /// A low-level knob actually changed value (actuate of the Fig. 8
+    /// loop).
+    KnobChanged {
+        /// Knob name, e.g. `style` or `num_replicas`.
+        knob: SmallStr,
+        /// New value, encoded as an integer (styles use their wire
+        /// tag).
+        value: u64,
+    },
+
+    // --- Group communication endpoint --------------------------------
+    /// A data multicast left this endpoint (after batching).
+    GroupSend {
+        /// Bytes of the encoded frame (per member copy).
+        bytes: u64,
+        /// Number of per-member copies fanned out.
+        copies: u64,
+    },
+    /// A data message was delivered to the application in order.
+    GroupDeliver {
+        /// Group sequence number of the delivered message.
+        seq: u64,
+    },
+    /// A pending batch was flushed to the wire.
+    BatchFlushed {
+        /// Messages the batch carried when it flushed.
+        occupancy: u64,
+    },
+    /// A NACK triggered retransmission of a stored message.
+    Retransmit {
+        /// Sequence number retransmitted.
+        seq: u64,
+    },
+    /// A heartbeat round was multicast by this endpoint.
+    HeartbeatSent,
+    /// The failure detector raised suspicion on a silent peer.
+    SuspicionRaised {
+        /// Process id of the suspected peer.
+        peer: u64,
+        /// Measured silence when suspicion was raised, in virtual µs.
+        /// This is the observed fault-detection latency.
+        silence_us: u64,
+    },
+    /// A new membership view was installed.
+    ViewInstalled {
+        /// Monotonic view identifier.
+        view_id: u64,
+        /// Member count of the new view.
+        members: u64,
+    },
+}
+
+impl EventKind {
+    /// Stable snake-case event name used in JSONL output and the
+    /// timeline.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::RequestEnter { .. } => "request_enter",
+            EventKind::ReplyExit { .. } => "reply_exit",
+            EventKind::DuplicateSuppressed { .. } => "duplicate_suppressed",
+            EventKind::CheckpointSent { .. } => "checkpoint_sent",
+            EventKind::CheckpointApplied { .. } => "checkpoint_applied",
+            EventKind::CheckpointRejected { .. } => "checkpoint_rejected",
+            EventKind::StyleSwitch { .. } => "style_switch",
+            EventKind::Failover { .. } => "failover",
+            EventKind::PolicyDecision { .. } => "policy_decision",
+            EventKind::KnobChanged { .. } => "knob_changed",
+            EventKind::GroupSend { .. } => "group_send",
+            EventKind::GroupDeliver { .. } => "group_deliver",
+            EventKind::BatchFlushed { .. } => "batch_flushed",
+            EventKind::Retransmit { .. } => "retransmit",
+            EventKind::HeartbeatSent => "heartbeat_sent",
+            EventKind::SuspicionRaised { .. } => "suspicion_raised",
+            EventKind::ViewInstalled { .. } => "view_installed",
+        }
+    }
+}
+
+/// One trace record: what happened, to whom, at which virtual instant.
+///
+/// `t_us` is the simnet virtual clock in microseconds, so a trace taken
+/// from a deterministic run is itself deterministic and replayable —
+/// two runs with the same seed produce byte-identical JSONL.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Virtual time of the occurrence, in microseconds since the
+    /// simulation epoch.
+    pub t_us: u64,
+    /// Numeric id of the emitting actor (simnet `ProcessId` value);
+    /// `u64::MAX` marks the world/scheduler itself.
+    pub actor: u64,
+    /// The occurrence.
+    pub kind: EventKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_str_truncates_on_char_boundary() {
+        let s = SmallStr::new("abc");
+        assert_eq!(s.as_str(), "abc");
+        let long = "x".repeat(40);
+        assert_eq!(SmallStr::new(&long).as_str().len(), SMALL_STR_CAP);
+        // Multi-byte char straddling the cap must not split.
+        let tricky = format!("{}é", "a".repeat(SMALL_STR_CAP - 1));
+        let t = SmallStr::new(&tricky);
+        assert!(t.as_str().len() < SMALL_STR_CAP + 1);
+        assert!(t.as_str().is_char_boundary(t.as_str().len()));
+    }
+
+    #[test]
+    fn event_is_small_and_copy() {
+        fn assert_copy<T: Copy>() {}
+        assert_copy::<Event>();
+        // Keep the ring slot compact; this bound is generous but catches
+        // accidental growth (e.g. a String sneaking into a variant).
+        assert!(core::mem::size_of::<Event>() <= 96);
+    }
+}

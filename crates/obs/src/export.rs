@@ -1,0 +1,204 @@
+//! Trace export: JSONL (one event per line, machine-readable) and a
+//! human-readable timeline.
+//!
+//! Both renderers are deterministic functions of the event slice: a
+//! trace from a seeded simulation run exports byte-identically across
+//! runs, so traces can be diffed and replayed.
+
+use std::fmt::Write as _;
+
+use crate::event::{Event, EventKind};
+
+fn write_fields(out: &mut String, kind: &EventKind) {
+    match *kind {
+        EventKind::RequestEnter { request_id, bytes } => {
+            let _ = write!(out, ",\"request_id\":{request_id},\"bytes\":{bytes}");
+        }
+        EventKind::ReplyExit { request_id, bytes } => {
+            let _ = write!(out, ",\"request_id\":{request_id},\"bytes\":{bytes}");
+        }
+        EventKind::DuplicateSuppressed { request_id } => {
+            let _ = write!(out, ",\"request_id\":{request_id}");
+        }
+        EventKind::CheckpointSent {
+            version,
+            bytes,
+            delta,
+            final_for_switch,
+        } => {
+            let _ = write!(
+                out,
+                ",\"version\":{version},\"bytes\":{bytes},\"delta\":{delta},\"final_for_switch\":{final_for_switch}"
+            );
+        }
+        EventKind::CheckpointApplied { version, delta } => {
+            let _ = write!(out, ",\"version\":{version},\"delta\":{delta}");
+        }
+        EventKind::CheckpointRejected { version } => {
+            let _ = write!(out, ",\"version\":{version}");
+        }
+        EventKind::StyleSwitch { phase, from, to } => {
+            let _ = write!(
+                out,
+                ",\"phase\":\"{}\",\"from\":\"{from}\",\"to\":\"{to}\"",
+                phase.name()
+            );
+        }
+        EventKind::Failover {
+            departed,
+            now_primary,
+        } => {
+            let _ = write!(
+                out,
+                ",\"departed\":{departed},\"now_primary\":{now_primary}"
+            );
+        }
+        EventKind::PolicyDecision { policy, action } => {
+            let _ = write!(out, ",\"policy\":\"{policy}\",\"action\":\"{action}\"");
+        }
+        EventKind::KnobChanged { knob, value } => {
+            let _ = write!(out, ",\"knob\":\"{knob}\",\"value\":{value}");
+        }
+        EventKind::GroupSend { bytes, copies } => {
+            let _ = write!(out, ",\"bytes\":{bytes},\"copies\":{copies}");
+        }
+        EventKind::GroupDeliver { seq } => {
+            let _ = write!(out, ",\"seq\":{seq}");
+        }
+        EventKind::BatchFlushed { occupancy } => {
+            let _ = write!(out, ",\"occupancy\":{occupancy}");
+        }
+        EventKind::Retransmit { seq } => {
+            let _ = write!(out, ",\"seq\":{seq}");
+        }
+        EventKind::HeartbeatSent => {}
+        EventKind::SuspicionRaised { peer, silence_us } => {
+            let _ = write!(out, ",\"peer\":{peer},\"silence_us\":{silence_us}");
+        }
+        EventKind::ViewInstalled { view_id, members } => {
+            let _ = write!(out, ",\"view_id\":{view_id},\"members\":{members}");
+        }
+    }
+}
+
+/// Renders `events` as JSON Lines: one object per event, fields
+/// `t_us`, `actor`, `event`, plus the event-specific payload fields
+/// documented in OBSERVABILITY.md.
+pub fn export_jsonl(events: &[Event]) -> String {
+    let mut out = String::with_capacity(events.len() * 96);
+    for e in events {
+        let _ = write!(
+            out,
+            "{{\"t_us\":{},\"actor\":{},\"event\":\"{}\"",
+            e.t_us,
+            e.actor,
+            e.kind.name()
+        );
+        write_fields(&mut out, &e.kind);
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Renders `events` as an indented human-readable timeline keyed by
+/// virtual time, e.g.:
+///
+/// ```text
+/// [   1.204000s] actor 3  style_switch phase=requested from=warm-passive to=active
+/// ```
+///
+/// High-rate events (heartbeats, sends, deliveries) can be skipped with
+/// `verbose = false` to keep the protocol-level story readable.
+pub fn render_timeline(events: &[Event], verbose: bool) -> String {
+    let mut out = String::new();
+    for e in events {
+        if !verbose
+            && matches!(
+                e.kind,
+                EventKind::HeartbeatSent
+                    | EventKind::GroupSend { .. }
+                    | EventKind::GroupDeliver { .. }
+                    | EventKind::RequestEnter { .. }
+                    | EventKind::ReplyExit { .. }
+            )
+        {
+            continue;
+        }
+        let secs = e.t_us / 1_000_000;
+        let micros = e.t_us % 1_000_000;
+        let _ = write!(
+            out,
+            "[{secs:4}.{micros:06}s] actor {:<3} {}",
+            e.actor,
+            e.kind.name()
+        );
+        let mut fields = String::new();
+        write_fields(&mut fields, &e.kind);
+        // Reuse the JSONL field renderer, reshaped as key=value pairs.
+        let pretty = fields
+            .trim_start_matches(',')
+            .replace("\":", "=")
+            .replace(",\"", " ")
+            .replace(['"', '\\'], "");
+        if !pretty.is_empty() {
+            let _ = write!(out, " {pretty}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{SmallStr, SwitchPhase};
+
+    fn sample() -> Vec<Event> {
+        vec![
+            Event {
+                t_us: 1_500,
+                actor: 2,
+                kind: EventKind::StyleSwitch {
+                    phase: SwitchPhase::Requested,
+                    from: SmallStr::new("warm-passive"),
+                    to: SmallStr::new("active"),
+                },
+            },
+            Event {
+                t_us: 2_000,
+                actor: 2,
+                kind: EventKind::HeartbeatSent,
+            },
+            Event {
+                t_us: 2_500,
+                actor: 3,
+                kind: EventKind::KnobChanged {
+                    knob: SmallStr::new("style"),
+                    value: 0,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_is_one_valid_object_per_line() {
+        let s = export_jsonl(&sample());
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("{\"t_us\":1500,\"actor\":2,\"event\":\"style_switch\""));
+        assert!(lines[0].contains("\"phase\":\"requested\""));
+        assert!(lines[0].ends_with('}'));
+        assert!(lines[1].contains("\"event\":\"heartbeat_sent\"}"));
+        assert!(lines[2].contains("\"knob\":\"style\",\"value\":0"));
+    }
+
+    #[test]
+    fn timeline_filters_noise_unless_verbose() {
+        let quiet = render_timeline(&sample(), false);
+        assert!(quiet.contains("style_switch"));
+        assert!(quiet.contains("phase=requested"));
+        assert!(!quiet.contains("heartbeat_sent"));
+        let loud = render_timeline(&sample(), true);
+        assert!(loud.contains("heartbeat_sent"));
+    }
+}

@@ -1,0 +1,139 @@
+//! # vd-obs — zero-allocation observability substrate
+//!
+//! Always-on structured tracing and metrics for the versatile
+//! dependability runtime. The paper's adaptation loop (Fig. 8) is
+//! *measure → decide → actuate*: policies can only be as good as the
+//! measurements feeding them, and measurements are only trustworthy if
+//! taking them is so cheap it never perturbs the system under test.
+//! This crate is that measurement layer:
+//!
+//! - [`event::Event`] — a `Copy` trace record stamped with the simnet
+//!   **virtual clock** (`t_us`), so traces are deterministic and
+//!   replayable across seeded runs.
+//! - [`sink::TraceSink`] — a pre-allocated overwrite-oldest ring.
+//!   Disabled emit is one atomic load; enabled emit writes one record
+//!   in place. Neither allocates (`tests/alloc_obs.rs` proves it with a
+//!   counting global allocator).
+//! - [`registry::MetricsRegistry`] — counters, gauges, and
+//!   log₂-histograms with **fixed** name/label sets declared up front,
+//!   stored in atomic arrays. Recording is a few relaxed atomics.
+//! - [`export`] — JSONL and human-readable timeline renderers (cold
+//!   path; allocation is fine there).
+//!
+//! The crate is dependency-free on purpose: `vd-simnet` (the bottom of
+//! the stack) depends on it, so it cannot depend on anything above.
+//! Events therefore carry plain `u64` time and actor ids rather than
+//! simnet types.
+//!
+//! ## Sharing model
+//!
+//! Each process-like component owns an [`ObsHandle`] (`Arc<Obs>`). The
+//! [`registry::MetricsRegistry`] inside is **per-handle** — like a real
+//! process's metrics endpoint — while the [`sink::TraceSink`] is itself
+//! behind an `Arc` and is typically **shared across every handle in a
+//! run**, producing one chronological trace of the whole distributed
+//! system. See OBSERVABILITY.md for the event taxonomy and metric
+//! tables.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod event;
+pub mod export;
+pub mod registry;
+pub mod sink;
+
+use std::sync::Arc;
+
+pub use event::{Event, EventKind, SmallStr, SwitchPhase};
+pub use registry::{Ctr, Gauge, Hist, HistStats, MetricsRegistry};
+pub use sink::TraceSink;
+
+/// Actor id used for events emitted by the simulation scheduler itself
+/// rather than any process.
+pub const WORLD_ACTOR: u64 = u64::MAX;
+
+/// One component's observability endpoint: its private metrics registry
+/// plus a (usually shared) trace sink.
+#[derive(Debug)]
+pub struct Obs {
+    trace: Arc<TraceSink>,
+    /// The component's metrics. Public: recording methods are `&self`.
+    pub metrics: MetricsRegistry,
+}
+
+/// How instrumented components hold their observability endpoint.
+pub type ObsHandle = Arc<Obs>;
+
+impl Obs {
+    /// An endpoint whose sink records nothing. Metrics still count —
+    /// counting is cheap enough to leave on unconditionally.
+    pub fn disabled() -> ObsHandle {
+        Arc::new(Obs {
+            trace: Arc::new(TraceSink::disabled()),
+            metrics: MetricsRegistry::new(),
+        })
+    }
+
+    /// An endpoint with its own enabled sink of default capacity.
+    pub fn enabled() -> ObsHandle {
+        Arc::new(Obs {
+            trace: Arc::new(TraceSink::enabled()),
+            metrics: MetricsRegistry::new(),
+        })
+    }
+
+    /// An endpoint appending into an existing (shared) sink — the way a
+    /// testbed builds one chronological trace from many components.
+    pub fn with_trace(trace: Arc<TraceSink>) -> ObsHandle {
+        Arc::new(Obs {
+            trace,
+            metrics: MetricsRegistry::new(),
+        })
+    }
+
+    /// The trace sink.
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
+    }
+
+    /// A clone of the sink handle (to share with another component).
+    pub fn trace_arc(&self) -> Arc<TraceSink> {
+        Arc::clone(&self.trace)
+    }
+
+    /// Emits one trace event. Hot path: allocation-free; a single
+    /// atomic load when the sink is disabled.
+    #[inline]
+    pub fn emit(&self, t_us: u64, actor: u64, kind: EventKind) {
+        self.trace.emit_at(t_us, actor, kind);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_sink_collects_from_many_handles() {
+        let sink = Arc::new(TraceSink::with_capacity(16));
+        let a = Obs::with_trace(Arc::clone(&sink));
+        let b = Obs::with_trace(Arc::clone(&sink));
+        a.emit(10, 1, EventKind::HeartbeatSent);
+        b.emit(20, 2, EventKind::HeartbeatSent);
+        assert_eq!(sink.len(), 2);
+        // Registries stay per-handle.
+        a.metrics.incr(Ctr::GroupSends);
+        assert_eq!(a.metrics.counter(Ctr::GroupSends), 1);
+        assert_eq!(b.metrics.counter(Ctr::GroupSends), 0);
+    }
+
+    #[test]
+    fn disabled_endpoint_still_counts() {
+        let o = Obs::disabled();
+        o.emit(1, 1, EventKind::HeartbeatSent);
+        o.metrics.incr(Ctr::SimDeliveries);
+        assert_eq!(o.trace().total_emitted(), 0);
+        assert_eq!(o.metrics.counter(Ctr::SimDeliveries), 1);
+    }
+}

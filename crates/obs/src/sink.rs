@@ -1,0 +1,213 @@
+//! Ring-buffer trace sink with a zero-allocation emit path.
+//!
+//! The sink pre-allocates its entire ring at construction. Emitting an
+//! event when the sink is disabled costs one relaxed atomic load;
+//! emitting when enabled writes one `Copy` record into the
+//! pre-allocated ring under a mutex. Neither path allocates — proven by
+//! the counting-allocator test in `tests/alloc_obs.rs`.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::event::{Event, EventKind};
+
+/// Default ring capacity used by [`TraceSink::enabled`].
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+struct Ring {
+    buf: Vec<Event>,
+    /// Next slot to overwrite once the ring is full.
+    head: usize,
+}
+
+/// A bounded, overwrite-oldest trace buffer shared by every
+/// instrumented component of one run.
+///
+/// Cloning the surrounding `Arc` is how multiple layers (replicator,
+/// endpoint, ORB) append into a single chronological trace.
+pub struct TraceSink {
+    enabled: AtomicBool,
+    total: AtomicU64,
+    ring: Mutex<Ring>,
+    capacity: usize,
+}
+
+impl TraceSink {
+    /// A sink that records nothing: emit is a single atomic load and
+    /// the ring holds no storage.
+    pub fn disabled() -> Self {
+        TraceSink {
+            enabled: AtomicBool::new(false),
+            total: AtomicU64::new(0),
+            ring: Mutex::new(Ring {
+                buf: Vec::new(),
+                head: 0,
+            }),
+            capacity: 0,
+        }
+    }
+
+    /// An enabled sink with the [`DEFAULT_TRACE_CAPACITY`] ring.
+    pub fn enabled() -> Self {
+        TraceSink::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// An enabled sink whose ring holds the latest `capacity` events.
+    /// The full ring is allocated here, up front.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceSink {
+            enabled: AtomicBool::new(capacity > 0),
+            total: AtomicU64::new(0),
+            ring: Mutex::new(Ring {
+                buf: Vec::with_capacity(capacity),
+                head: 0,
+            }),
+            capacity,
+        }
+    }
+
+    /// Turns recording on or off at runtime. A sink built with zero
+    /// capacity stays off.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled
+            .store(on && self.capacity > 0, Ordering::Relaxed);
+    }
+
+    /// Whether emits are currently recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Records `event`. Hot path: never allocates — a disabled sink
+    /// returns after one atomic load; an enabled sink writes into its
+    /// pre-allocated ring (overwriting the oldest record when full).
+    #[inline]
+    pub fn emit(&self, event: Event) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        self.total.fetch_add(1, Ordering::Relaxed);
+        let mut ring = match self.ring.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if ring.buf.len() < self.capacity {
+            // Within reserved capacity: push never reallocates.
+            ring.buf.push(event);
+        } else {
+            let head = ring.head;
+            ring.buf[head] = event;
+            ring.head = (head + 1) % self.capacity;
+        }
+    }
+
+    /// Convenience wrapper assembling the [`Event`] in place.
+    #[inline]
+    pub fn emit_at(&self, t_us: u64, actor: u64, kind: EventKind) {
+        self.emit(Event { t_us, actor, kind });
+    }
+
+    /// Events recorded since construction (including any the ring has
+    /// since overwritten).
+    pub fn total_emitted(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Number of events currently held in the ring.
+    pub fn len(&self) -> usize {
+        match self.ring.lock() {
+            Ok(g) => g.buf.len(),
+            Err(poisoned) => poisoned.into_inner().buf.len(),
+        }
+    }
+
+    /// True if no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies the retained events out in chronological (emission)
+    /// order. Allocates; intended for export after a run, not for the
+    /// hot path.
+    pub fn snapshot(&self) -> Vec<Event> {
+        let ring = match self.ring.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let mut out = Vec::with_capacity(ring.buf.len());
+        if ring.buf.len() == self.capacity && self.capacity > 0 {
+            out.extend_from_slice(&ring.buf[ring.head..]);
+            out.extend_from_slice(&ring.buf[..ring.head]);
+        } else {
+            out.extend_from_slice(&ring.buf);
+        }
+        out
+    }
+
+    /// Drops all retained events (the total-emitted count is kept).
+    pub fn clear(&self) {
+        let mut ring = match self.ring.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        ring.buf.clear();
+        ring.head = 0;
+    }
+}
+
+impl std::fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceSink")
+            .field("enabled", &self.is_enabled())
+            .field("capacity", &self.capacity)
+            .field("total_emitted", &self.total_emitted())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64) -> Event {
+        Event {
+            t_us: t,
+            actor: 1,
+            kind: EventKind::HeartbeatSent,
+        }
+    }
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let s = TraceSink::disabled();
+        s.emit(ev(1));
+        assert_eq!(s.total_emitted(), 0);
+        assert!(s.snapshot().is_empty());
+        // Zero-capacity sinks cannot be switched on.
+        s.set_enabled(true);
+        assert!(!s.is_enabled());
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_snapshots_in_order() {
+        let s = TraceSink::with_capacity(4);
+        for t in 0..6 {
+            s.emit(ev(t));
+        }
+        assert_eq!(s.total_emitted(), 6);
+        let times: Vec<u64> = s.snapshot().iter().map(|e| e.t_us).collect();
+        assert_eq!(times, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn toggling_pauses_recording() {
+        let s = TraceSink::with_capacity(8);
+        s.emit(ev(0));
+        s.set_enabled(false);
+        s.emit(ev(1));
+        s.set_enabled(true);
+        s.emit(ev(2));
+        let times: Vec<u64> = s.snapshot().iter().map(|e| e.t_us).collect();
+        assert_eq!(times, vec![0, 2]);
+    }
+}

@@ -8,6 +8,7 @@
 
 use bytes::Bytes;
 
+use vd_obs::{Ctr, EventKind as ObsEvent, Obs, ObsHandle};
 use vd_simnet::actor::{downcast_payload, Actor, Context, Payload, TimerToken};
 use vd_simnet::time::{SimDuration, SimTime};
 use vd_simnet::topology::ProcessId;
@@ -56,6 +57,7 @@ pub struct ServerActor {
     adapter: ObjectAdapter,
     costs: OrbCosts,
     interceptor: Option<Box<dyn Interceptor>>,
+    obs: ObsHandle,
     /// Requests served (inspection).
     pub served: u64,
 }
@@ -67,8 +69,16 @@ impl ServerActor {
             adapter,
             costs,
             interceptor: None,
+            obs: Obs::disabled(),
             served: 0,
         }
+    }
+
+    /// Attaches an observability endpoint: request enter/exit events and
+    /// `orb.*` counters (marshaling bytes included) flow into it.
+    pub fn with_obs(mut self, obs: ObsHandle) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Attaches an interposition layer (the Fig. 4 "server intercepted"
@@ -96,9 +106,20 @@ impl Actor for ServerActor {
                 return;
             }
         }
+        let request_bytes = msg.wire_size() as u64;
         let OrbMessage::Request(request) = *msg else {
             return; // servers ignore stray replies
         };
+        self.obs.metrics.incr(Ctr::OrbRequestsIn);
+        self.obs.metrics.add(Ctr::OrbMarshalBytes, request_bytes);
+        self.obs.emit(
+            ctx.now().as_micros(),
+            ctx.self_id().0,
+            ObsEvent::RequestEnter {
+                request_id: request.request_id,
+                bytes: request_bytes,
+            },
+        );
         // ORB inbound traversal + application processing + outbound traversal.
         ctx.use_cpu(self.costs.marshal);
         ctx.use_cpu(SimDuration::from_micros(
@@ -110,7 +131,19 @@ impl Actor for ServerActor {
             return;
         }
         ctx.use_cpu(self.costs.marshal);
+        let request_id = reply.request_id;
         let out = OrbMessage::Reply(reply);
+        let reply_bytes = out.wire_size() as u64;
+        self.obs.metrics.incr(Ctr::OrbRepliesOut);
+        self.obs.metrics.add(Ctr::OrbMarshalBytes, reply_bytes);
+        self.obs.emit(
+            ctx.now().as_micros(),
+            ctx.self_id().0,
+            ObsEvent::ReplyExit {
+                request_id,
+                bytes: reply_bytes,
+            },
+        );
         let mut dst = from;
         if let Some(interceptor) = &mut self.interceptor {
             ctx.use_cpu(interceptor.traversal_cost());

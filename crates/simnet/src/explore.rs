@@ -17,7 +17,7 @@
 //!
 //! * the earliest pending event (whatever its kind — timers and control
 //!   actions fire in deterministic time order), and
-//! * **every** pending [`Deliver`](crate::event::EventKind) event: the
+//! * **every** pending `Deliver` event (`crate::event::EventKind`): the
 //!   network is asynchronous, so any in-flight message may legally arrive
 //!   before anything else. An out-of-order delivery fires at the earliest
 //!   pending instant, which keeps virtual time monotone and local timers

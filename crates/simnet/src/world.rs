@@ -33,6 +33,8 @@
 use std::any::Any;
 use std::collections::BTreeMap;
 
+use vd_obs::{Ctr, Obs, ObsHandle};
+
 use crate::actor::{Action, Actor, Context, Payload, TimerToken};
 use crate::event::{ControlAction, EventKind, EventQueue};
 use crate::fault::FaultState;
@@ -68,6 +70,7 @@ pub struct World {
     metrics: MetricsHub,
     fault: FaultState,
     trace: Trace,
+    obs: ObsHandle,
     next_pid: u64,
     canceled_timers: BTreeMap<(ProcessId, TimerToken), u32>,
     events_processed: u64,
@@ -93,6 +96,7 @@ impl World {
             metrics: MetricsHub::new(),
             fault: FaultState::new(),
             trace: Trace::default(),
+            obs: Obs::disabled(),
             next_pid: 0,
             canceled_timers: BTreeMap::new(),
             events_processed: 0,
@@ -132,6 +136,19 @@ impl World {
     /// Mutable access to the trace buffer.
     pub fn trace_mut(&mut self) -> &mut Trace {
         &mut self.trace
+    }
+
+    /// The scheduler's observability endpoint: virtual-time event
+    /// counters (`simnet.deliveries` / `simnet.drops` /
+    /// `simnet.timer_fires`) land in its registry.
+    pub fn obs(&self) -> &ObsHandle {
+        &self.obs
+    }
+
+    /// Replaces the scheduler's observability endpoint — typically with
+    /// one sharing the run-wide [`vd_obs::TraceSink`].
+    pub fn set_obs(&mut self, obs: ObsHandle) {
+        self.obs = obs;
     }
 
     /// The standing fault state.
@@ -452,6 +469,12 @@ impl World {
 
     // ----- internals -------------------------------------------------------
 
+    fn record_drop(&mut self, src: ProcessId, dst: ProcessId, reason: DropReason) {
+        self.obs.metrics.incr(Ctr::SimDrops);
+        self.trace
+            .record(self.time, TraceEventKind::Dropped { src, dst, reason });
+    }
+
     fn handle_deliver(
         &mut self,
         src: ProcessId,
@@ -462,37 +485,16 @@ impl World {
         // Destination may have died or its node gone down since the message
         // was routed.
         let Some(entry) = self.procs.get(&dst) else {
-            self.trace.record(
-                self.time,
-                TraceEventKind::Dropped {
-                    src,
-                    dst,
-                    reason: DropReason::DeadProcess,
-                },
-            );
+            self.record_drop(src, dst, DropReason::DeadProcess);
             return;
         };
         if !entry.alive {
-            self.trace.record(
-                self.time,
-                TraceEventKind::Dropped {
-                    src,
-                    dst,
-                    reason: DropReason::DeadProcess,
-                },
-            );
+            self.record_drop(src, dst, DropReason::DeadProcess);
             return;
         }
         let node = entry.node;
         if !self.nodes[node.0 as usize].is_up() {
-            self.trace.record(
-                self.time,
-                TraceEventKind::Dropped {
-                    src,
-                    dst,
-                    reason: DropReason::NodeDown,
-                },
-            );
+            self.record_drop(src, dst, DropReason::NodeDown);
             return;
         }
         // CPU queueing: if the node is busy, retry when it frees up.
@@ -509,6 +511,7 @@ impl World {
             );
             return;
         }
+        self.obs.metrics.incr(Ctr::SimDeliveries);
         self.trace.record(
             self.time,
             TraceEventKind::Delivered {
@@ -543,6 +546,7 @@ impl World {
             self.queue.push(busy_until, EventKind::Timer { pid, token });
             return;
         }
+        self.obs.metrics.incr(Ctr::SimTimerFires);
         self.trace
             .record(self.time, TraceEventKind::TimerFired { pid, token });
         self.dispatch(pid, |actor, ctx| actor.on_timer(ctx, token));
@@ -620,14 +624,7 @@ impl World {
         depart: SimTime,
     ) {
         let Some(dst_entry) = self.procs.get(&dst) else {
-            self.trace.record(
-                self.time,
-                TraceEventKind::Dropped {
-                    src,
-                    dst,
-                    reason: DropReason::DeadProcess,
-                },
-            );
+            self.record_drop(src, dst, DropReason::DeadProcess);
             return;
         };
         let dst_node = dst_entry.node;
@@ -652,25 +649,11 @@ impl World {
         self.metrics.bandwidth(NET_BANDWIDTH).record(now, wire_size);
 
         if self.fault.is_blocked(src_node, dst_node) {
-            self.trace.record(
-                self.time,
-                TraceEventKind::Dropped {
-                    src,
-                    dst,
-                    reason: DropReason::Partition,
-                },
-            );
+            self.record_drop(src, dst, DropReason::Partition);
             return;
         }
         if self.fault.drop_probability() > 0.0 && self.rng.gen_bool(self.fault.drop_probability()) {
-            self.trace.record(
-                self.time,
-                TraceEventKind::Dropped {
-                    src,
-                    dst,
-                    reason: DropReason::RandomLoss,
-                },
-            );
+            self.record_drop(src, dst, DropReason::RandomLoss);
             return;
         }
 
