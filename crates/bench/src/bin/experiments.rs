@@ -1,18 +1,19 @@
 //! CLI that regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! experiments [fig3|fig4|fig6|fig7|fig8|fig9|fanout|trace|all] [--requests N] [--seed S]
+//! experiments [fig3|fig4|fig6|fig7|fig8|fig9|fanout|trace|chaos|all] [--requests N] [--seed S]
 //! ```
 //!
 //! `fanout` additionally writes the machine-readable `BENCH_PR2.json` and
 //! `BENCH_PR3.json` summaries; `trace` writes the structured event export
-//! `trace_switch.jsonl`. Both print the names of any failing acceptance
-//! gates and exit nonzero.
+//! `trace_switch.jsonl`; `chaos` writes the recovery gate `BENCH_PR4.json`.
+//! All three print the names of any failing acceptance gates and exit
+//! nonzero.
 
 use std::env;
 use std::process::ExitCode;
 
-use vd_bench::experiments::{ablation, fanout, fig3, fig4, fig6, fig7, fig8, fig9, trace};
+use vd_bench::experiments::{ablation, chaos, fanout, fig3, fig4, fig6, fig7, fig8, fig9, trace};
 
 struct Options {
     which: String,
@@ -40,7 +41,7 @@ fn parse() -> Result<Options, String> {
             }
             "--help" | "-h" => {
                 return Err(
-                    "usage: experiments [fig3|fig4|fig6|fig7|fig8|fig9|fanout|trace|all] [--requests N] [--seed S]"
+                    "usage: experiments [fig3|fig4|fig6|fig7|fig8|fig9|fanout|trace|chaos|all] [--requests N] [--seed S]"
                         .into(),
                 );
             }
@@ -96,6 +97,18 @@ fn main() -> ExitCode {
         }
         Ok(())
     };
+    let run_chaos = || -> Result<(), String> {
+        let result = chaos::run(requests, seed);
+        println!("{}", result.render());
+        std::fs::write("BENCH_PR4.json", result.to_json())
+            .map_err(|e| format!("failed to write BENCH_PR4.json: {e}"))?;
+        println!("wrote BENCH_PR4.json");
+        let failing = result.failing_gates();
+        if !failing.is_empty() {
+            return Err(format!("chaos gate(s) failed: {}", failing.join(", ")));
+        }
+        Ok(())
+    };
     let run_trace = || -> Result<(), String> {
         let result = trace::run(12, 1200.0, seed);
         println!("{}", result.render());
@@ -128,13 +141,23 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+        "chaos" => {
+            if let Err(msg) = run_chaos() {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+        }
         "all" => {
             run_fig3();
             run_fig4();
             run_fig6();
             run_fig7_8_9(true, true, true);
             println!("{}", ablation::run(requests.min(500), seed).render());
-            for step in [&run_fanout as &dyn Fn() -> Result<(), String>, &run_trace] {
+            for step in [
+                &run_fanout as &dyn Fn() -> Result<(), String>,
+                &run_trace,
+                &run_chaos,
+            ] {
                 if let Err(msg) = step() {
                     eprintln!("{msg}");
                     return ExitCode::FAILURE;
@@ -143,7 +166,7 @@ fn main() -> ExitCode {
         }
         other => {
             eprintln!(
-                "unknown experiment: {other} (expected fig3|fig4|fig6|fig7|fig8|fig9|ablation|fanout|trace|all)"
+                "unknown experiment: {other} (expected fig3|fig4|fig6|fig7|fig8|fig9|ablation|fanout|trace|chaos|all)"
             );
             return ExitCode::FAILURE;
         }

@@ -1,0 +1,575 @@
+//! Chaos campaign gate (`experiments -- chaos`, `BENCH_PR4.json`).
+//!
+//! Declarative fault storms ([`FaultPlan::storm`]) drive the replicated
+//! test-bed across every replication style and several seeds, with a
+//! deterministic replica crash folded into each storm (so every campaign
+//! exercises the recovery manager) and a Fig. 5-style mid-run switch while
+//! the storm rages. A separate scripted run reproduces the double-fault
+//! acceptance scenario — primary crashed during an active→warm-passive
+//! switch AND the first replacement joiner crashed mid-state-transfer.
+//!
+//! Per campaign the gate checks that the closed-loop client workload
+//! completed 100%, the replication degree was restored to `num_replicas`,
+//! no recovery was abandoned, and (with the `check-invariants` feature)
+//! the switch invariants hold over originals and replacements alike.
+//! Across campaigns it bounds the MTTR p99 and the availability floor.
+
+use vd_core::recovery::RecoveryManager;
+use vd_core::replica::{ReplicaActor, ReplicaCommand};
+use vd_core::style::ReplicationStyle;
+use vd_simnet::chaos::{FaultPlan, StormConfig};
+use vd_simnet::prelude::*;
+
+use crate::report::Table;
+use crate::testbed::{build_replicated, Testbed, TestbedConfig};
+
+/// Seeds each style's storm campaign runs under (fixed, so CI failures
+/// reproduce locally with the same command).
+pub const CAMPAIGN_SEEDS: [u64; 3] = [11, 23, 47];
+
+/// Outcome of one storm campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignOutcome {
+    /// Replication style the campaign started in.
+    pub style: ReplicationStyle,
+    /// Storm seed.
+    pub seed: u64,
+    /// Requests the closed-loop clients were asked to complete.
+    pub expected: u64,
+    /// Requests actually completed.
+    pub completed: u64,
+    /// Replication degree at the end of the run.
+    pub final_degree: usize,
+    /// Target degree (the `num_replicas` knob).
+    pub target_degree: usize,
+    /// Recovery episodes closed (degree restored), across managers.
+    pub restored: u64,
+    /// Recovery episodes abandoned (give-up), across managers.
+    pub abandoned: u64,
+    /// Join attempts spawned, across managers.
+    pub attempts: u64,
+    /// Exact MTTR samples (µs) from the managers' episode logs.
+    pub mttr_us: Vec<u64>,
+    /// Virtual horizon of the run, µs.
+    pub horizon_us: u64,
+    /// Whether the switch invariants held (always `true` when the
+    /// `check-invariants` feature is off — CI runs with it on).
+    pub invariants_ok: bool,
+}
+
+impl CampaignOutcome {
+    /// Fraction of the horizon the group spent at full replication degree
+    /// (1 − Σ MTTR / horizon) — the measured availability the paper's
+    /// §5 availability policy only predicts.
+    pub fn availability(&self) -> f64 {
+        let downtime: u64 = self.mttr_us.iter().sum();
+        1.0 - downtime as f64 / self.horizon_us.max(1) as f64
+    }
+}
+
+/// Outcome of the scripted double-fault acceptance run.
+#[derive(Debug, Clone)]
+pub struct ScriptedOutcome {
+    /// Requests expected / completed.
+    pub expected: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Final replication degree vs the target of 3.
+    pub final_degree: usize,
+    /// Join attempts the manager needed (≥ 2: the first joiner was
+    /// murdered mid-state-transfer).
+    pub attempts: u64,
+    /// Episodes closed with the degree restored.
+    pub restored: u64,
+}
+
+impl ScriptedOutcome {
+    /// The acceptance predicate: degree restored despite the double
+    /// fault, on the second or later attempt, with a complete workload.
+    pub fn recovered(&self) -> bool {
+        self.final_degree == 3
+            && self.completed == self.expected
+            && self.attempts >= 2
+            && self.restored >= 1
+    }
+}
+
+/// Everything the `chaos` experiment measures.
+#[derive(Debug, Clone)]
+pub struct ChaosResult {
+    /// One storm campaign per style × seed.
+    pub campaigns: Vec<CampaignOutcome>,
+    /// The scripted double-fault run.
+    pub scripted: ScriptedOutcome,
+}
+
+/// Percentile (0–100) over a sample set, nearest-rank.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+impl ChaosResult {
+    /// All MTTR samples across campaigns, sorted, in µs.
+    pub fn mttr_samples(&self) -> Vec<u64> {
+        let mut all: Vec<u64> = self
+            .campaigns
+            .iter()
+            .flat_map(|c| c.mttr_us.iter().copied())
+            .collect();
+        all.sort_unstable();
+        all
+    }
+
+    /// MTTR median across campaigns, µs.
+    pub fn mttr_p50_us(&self) -> u64 {
+        percentile(&self.mttr_samples(), 50.0)
+    }
+
+    /// MTTR 99th percentile across campaigns, µs.
+    pub fn mttr_p99_us(&self) -> u64 {
+        percentile(&self.mttr_samples(), 99.0)
+    }
+
+    /// Worst-case availability across campaigns.
+    pub fn min_availability(&self) -> f64 {
+        self.campaigns
+            .iter()
+            .map(|c| c.availability())
+            .fold(1.0, f64::min)
+    }
+
+    /// Fraction of opened recovery episodes that closed with the degree
+    /// restored (1.0 = every recovery succeeded).
+    pub fn recovery_success_rate(&self) -> f64 {
+        let restored: u64 = self.campaigns.iter().map(|c| c.restored).sum();
+        let abandoned: u64 = self.campaigns.iter().map(|c| c.abandoned).sum();
+        restored as f64 / (restored + abandoned).max(1) as f64
+    }
+
+    /// The named acceptance gates CI enforces.
+    pub fn gates(&self) -> Vec<(&'static str, bool)> {
+        vec![
+            (
+                "chaos_workload_completed",
+                self.campaigns.iter().all(|c| c.completed == c.expected),
+            ),
+            (
+                "chaos_degree_restored",
+                self.campaigns
+                    .iter()
+                    .all(|c| c.final_degree == c.target_degree),
+            ),
+            (
+                "chaos_recovery_observed",
+                self.campaigns.iter().all(|c| c.restored >= 1),
+            ),
+            (
+                "chaos_recovery_success_rate_1",
+                self.recovery_success_rate() >= 1.0,
+            ),
+            (
+                "chaos_mttr_p99_le_2s",
+                self.mttr_p99_us() > 0 && self.mttr_p99_us() <= 2_000_000,
+            ),
+            (
+                "chaos_availability_ge_90pct",
+                self.min_availability() >= 0.90,
+            ),
+            (
+                "chaos_invariants_hold",
+                self.campaigns.iter().all(|c| c.invariants_ok),
+            ),
+            (
+                "chaos_scripted_double_fault_recovers",
+                self.scripted.recovered(),
+            ),
+        ]
+    }
+
+    /// Names of the gates that do not hold (empty = pass).
+    pub fn failing_gates(&self) -> Vec<&'static str> {
+        self.gates()
+            .into_iter()
+            .filter_map(|(name, ok)| (!ok).then_some(name))
+            .collect()
+    }
+
+    /// `true` when every [`gates`](Self::gates) entry holds.
+    pub fn passes_gate(&self) -> bool {
+        self.failing_gates().is_empty()
+    }
+
+    /// Renders the campaign matrix plus the summary lines.
+    pub fn render(&self) -> String {
+        let mut table = Table::new(
+            "chaos — fault storms + automated recovery",
+            &[
+                "style", "seed", "done", "degree", "restored", "attempts", "mttr p50", "avail",
+            ],
+        );
+        for c in &self.campaigns {
+            let mut mttr = c.mttr_us.clone();
+            mttr.sort_unstable();
+            table.row(&[
+                format!("{:?}", c.style),
+                format!("{}", c.seed),
+                format!("{}/{}", c.completed, c.expected),
+                format!("{}/{}", c.final_degree, c.target_degree),
+                format!("{}", c.restored),
+                format!("{}", c.attempts),
+                format!("{:.1} ms", percentile(&mttr, 50.0) as f64 / 1000.0),
+                format!("{:.4}", c.availability()),
+            ]);
+        }
+        let mut out = table.render();
+        let gate = if self.passes_gate() {
+            "PASS".to_owned()
+        } else {
+            format!("FAIL ({})", self.failing_gates().join(", "))
+        };
+        out.push_str(&format!(
+            "\nMTTR across {} episodes: p50 {:.1} ms, p99 {:.1} ms; availability floor {:.4}; \
+             recovery success rate {:.2}\n\
+             scripted double fault (primary mid-switch + joiner mid-transfer): degree {}/3, \
+             {} attempts, {}/{} requests\n\
+             gate: {gate}\n",
+            self.mttr_samples().len(),
+            self.mttr_p50_us() as f64 / 1000.0,
+            self.mttr_p99_us() as f64 / 1000.0,
+            self.min_availability(),
+            self.recovery_success_rate(),
+            self.scripted.final_degree,
+            self.scripted.attempts,
+            self.scripted.completed,
+            self.scripted.expected,
+        ));
+        out
+    }
+
+    /// The machine-readable summary CI archives as `BENCH_PR4.json`.
+    pub fn to_json(&self) -> String {
+        let mut campaigns = String::new();
+        for c in &self.campaigns {
+            if !campaigns.is_empty() {
+                campaigns.push_str(",\n");
+            }
+            campaigns.push_str(&format!(
+                "    {{ \"style\": \"{:?}\", \"seed\": {}, \"completed\": {}, \"expected\": {}, \"final_degree\": {}, \"restored\": {}, \"abandoned\": {}, \"attempts\": {}, \"availability\": {:.6} }}",
+                c.style, c.seed, c.completed, c.expected, c.final_degree, c.restored, c.abandoned,
+                c.attempts, c.availability()
+            ));
+        }
+        let mut gates = String::new();
+        for (name, ok) in self.gates() {
+            if !gates.is_empty() {
+                gates.push_str(",\n");
+            }
+            gates.push_str(&format!("    \"{name}\": {ok}"));
+        }
+        format!(
+            "{{\n  \"campaigns\": [\n{}\n  ],\n  \"mttr_us\": {{ \"episodes\": {}, \"p50\": {}, \"p99\": {} }},\n  \"availability_floor\": {:.6},\n  \"recovery_success_rate\": {:.4},\n  \"scripted_double_fault\": {{ \"recovered\": {}, \"attempts\": {}, \"completed\": {}, \"expected\": {} }},\n  \"gates\": {{\n{}\n  }},\n  \"gate_passed\": {}\n}}\n",
+            campaigns,
+            self.mttr_samples().len(),
+            self.mttr_p50_us(),
+            self.mttr_p99_us(),
+            self.min_availability(),
+            self.recovery_success_rate(),
+            self.scripted.recovered(),
+            self.scripted.attempts,
+            self.scripted.completed,
+            self.scripted.expected,
+            gates,
+            self.passes_gate()
+        )
+    }
+}
+
+/// Sums a counter across the test-bed's manager registries.
+fn manager_counter(bed: &Testbed, ctr: vd_obs::Ctr) -> u64 {
+    bed.manager_obs.iter().map(|o| o.metrics.counter(ctr)).sum()
+}
+
+/// All MTTR samples (µs) across the test-bed's managers.
+fn manager_mttrs(bed: &Testbed) -> Vec<u64> {
+    bed.managers
+        .iter()
+        .filter_map(|&pid| bed.world.actor_ref::<RecoveryManager>(pid))
+        .flat_map(|m| m.mttr_log.iter().map(|d| d.as_micros()))
+        .collect()
+}
+
+/// Every replica pid the run ever had: originals plus manager spawns.
+fn all_replicas(bed: &Testbed) -> Vec<ProcessId> {
+    let mut all = bed.replicas.clone();
+    for &pid in &bed.managers {
+        if let Some(m) = bed.world.actor_ref::<RecoveryManager>(pid) {
+            all.extend(m.spawned.iter().copied());
+        }
+    }
+    all
+}
+
+/// The replication degree as seen by any live, joined replica.
+fn observed_degree(bed: &Testbed) -> usize {
+    all_replicas(bed)
+        .iter()
+        .filter_map(|&pid| bed.world.actor_ref::<ReplicaActor>(pid))
+        .filter(|r| r.endpoint().is_member())
+        .map(|r| r.engine().members().len())
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(feature = "check-invariants")]
+fn check_invariants(bed: &Testbed) -> bool {
+    match vd_core::invariants::SwitchInvariants::new(all_replicas(bed)).check(&bed.world) {
+        Ok(()) => true,
+        Err(msg) => {
+            eprintln!("invariant violation: {msg}");
+            false
+        }
+    }
+}
+
+#[cfg(not(feature = "check-invariants"))]
+fn check_invariants(_bed: &Testbed) -> bool {
+    true
+}
+
+/// One storm campaign: a seeded fault storm plus a deterministic replica
+/// crash and a mid-run style switch, against the managed test-bed.
+fn run_campaign(style: ReplicationStyle, seed: u64, requests: u64) -> CampaignOutcome {
+    let config = TestbedConfig {
+        replicas: 3,
+        clients: 1,
+        style,
+        requests_per_client: requests,
+        min_view: 2,
+        managers: 2,
+        spare_nodes: 3,
+        seed,
+        ..TestbedConfig::default()
+    };
+    let mut bed = build_replicated(&config);
+    let replica_nodes = [NodeId(0), NodeId(1), NodeId(2)];
+    // Seeded storm over the replica nodes, plus one guaranteed crash so
+    // every campaign exercises the recovery path even when the storm's
+    // dice favor loss/slowdown faults.
+    let storm = FaultPlan::storm(&StormConfig {
+        seed,
+        start: SimTime::from_millis(200),
+        end: SimTime::from_millis(2_500),
+        min_gap: SimDuration::from_millis(400),
+        max_concurrent: 1,
+        crash_nodes: replica_nodes.to_vec(),
+        partition_pairs: vec![
+            (replica_nodes[0], replica_nodes[1]),
+            (replica_nodes[1], replica_nodes[2]),
+            (replica_nodes[0], replica_nodes[2]),
+        ],
+        max_loss: 0.05,
+        slowdown_factor: 4.0,
+        mean_active: SimDuration::from_millis(250),
+    });
+    let plan =
+        storm.merge(FaultPlan::new().crash_process(SimTime::from_millis(320), bed.replicas[2]));
+    plan.schedule(&mut bed.world);
+
+    // Fig. 5 mid-storm switch (and back), injected at a surviving replica.
+    let other = match style {
+        ReplicationStyle::Active => ReplicationStyle::WarmPassive,
+        _ => ReplicationStyle::Active,
+    };
+    bed.world.run_for(SimDuration::from_millis(700));
+    bed.world
+        .inject(bed.replicas[1], ReplicaCommand::Switch(other));
+    bed.world.run_for(SimDuration::from_millis(1_100));
+    bed.world
+        .inject(bed.replicas[1], ReplicaCommand::Switch(style));
+
+    // Run the workload out (the storm has fully unwound by 2.5 s).
+    let expected = requests * config.clients as u64;
+    let deadline = bed.world.now() + SimDuration::from_secs(120);
+    while bed.total_completed() < expected && bed.world.now() < deadline {
+        bed.world.run_for(SimDuration::from_millis(50));
+    }
+    // Let the last recovery settle before measuring the degree.
+    let settle = bed.world.now() + SimDuration::from_secs(10);
+    while observed_degree(&bed) < config.replicas && bed.world.now() < settle {
+        bed.world.run_for(SimDuration::from_millis(50));
+    }
+
+    CampaignOutcome {
+        style,
+        seed,
+        expected,
+        completed: bed.total_completed(),
+        final_degree: observed_degree(&bed),
+        target_degree: config.replicas,
+        restored: manager_counter(&bed, vd_obs::Ctr::RecoveryRestored),
+        abandoned: manager_counter(&bed, vd_obs::Ctr::RecoveryAbandoned),
+        attempts: manager_counter(&bed, vd_obs::Ctr::RecoveryAttempts),
+        mttr_us: manager_mttrs(&bed),
+        horizon_us: bed.world.now().as_micros(),
+        invariants_ok: check_invariants(&bed),
+    }
+}
+
+/// The scripted acceptance scenario at bench scale: crash the primary
+/// ~900 µs after an active→warm-passive switch is injected, then crash
+/// the manager's first replacement joiner before its state transfer can
+/// finish. The manager must retry and still restore the degree.
+fn run_scripted(seed: u64, requests: u64) -> ScriptedOutcome {
+    let config = TestbedConfig {
+        replicas: 3,
+        clients: 1,
+        style: ReplicationStyle::Active,
+        requests_per_client: requests,
+        managers: 1,
+        spare_nodes: 2,
+        seed,
+        ..TestbedConfig::default()
+    };
+    let mut bed = build_replicated(&config);
+    bed.world.run_for(SimDuration::from_millis(100));
+    bed.world.inject(
+        bed.replicas[1],
+        ReplicaCommand::Switch(ReplicationStyle::WarmPassive),
+    );
+    bed.world.crash_process_at(
+        bed.replicas[0],
+        bed.world.now() + SimDuration::from_micros(900),
+    );
+    // Catch the first replacement joiner and kill it mid-state-transfer.
+    let mut joiner = None;
+    for _ in 0..8_000 {
+        bed.world.run_for(SimDuration::from_micros(250));
+        let mgr = bed
+            .world
+            .actor_ref::<RecoveryManager>(bed.managers[0])
+            .expect("manager lives");
+        if let Some(&j) = mgr.spawned.first() {
+            if bed.world.actor_ref::<ReplicaActor>(j).is_some() {
+                joiner = Some(j);
+                break;
+            }
+        }
+    }
+    if let Some(j) = joiner {
+        bed.world.crash_process_at(j, bed.world.now());
+    }
+    let expected = requests;
+    let deadline = bed.world.now() + SimDuration::from_secs(120);
+    while bed.total_completed() < expected && bed.world.now() < deadline {
+        bed.world.run_for(SimDuration::from_millis(50));
+    }
+    let settle = bed.world.now() + SimDuration::from_secs(10);
+    while observed_degree(&bed) < 3 && bed.world.now() < settle {
+        bed.world.run_for(SimDuration::from_millis(50));
+    }
+    ScriptedOutcome {
+        expected,
+        completed: bed.total_completed(),
+        final_degree: observed_degree(&bed),
+        attempts: manager_counter(&bed, vd_obs::Ctr::RecoveryAttempts),
+        restored: manager_counter(&bed, vd_obs::Ctr::RecoveryRestored),
+    }
+}
+
+/// Runs the full chaos suite: every style × [`CAMPAIGN_SEEDS`], plus the
+/// scripted double-fault run. `requests` sizes each campaign's workload
+/// (clamped to keep the CI smoke fast).
+pub fn run(requests: u64, seed: u64) -> ChaosResult {
+    let requests = requests.clamp(100, 500);
+    let mut campaigns = Vec::new();
+    for style in [
+        ReplicationStyle::Active,
+        ReplicationStyle::WarmPassive,
+        ReplicationStyle::ColdPassive,
+    ] {
+        for campaign_seed in CAMPAIGN_SEEDS {
+            campaigns.push(run_campaign(style, campaign_seed ^ seed, requests));
+        }
+    }
+    let scripted = run_scripted(seed, requests);
+    ChaosResult {
+        campaigns,
+        scripted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripted_double_fault_recovers() {
+        let outcome = run_scripted(42, 150);
+        assert!(outcome.recovered(), "{outcome:?}");
+    }
+
+    #[test]
+    fn one_campaign_restores_degree_and_completes() {
+        let outcome = run_campaign(ReplicationStyle::Active, 11, 150);
+        assert_eq!(outcome.completed, outcome.expected, "{outcome:?}");
+        assert_eq!(outcome.final_degree, outcome.target_degree, "{outcome:?}");
+        assert!(outcome.restored >= 1, "{outcome:?}");
+        assert_eq!(outcome.abandoned, 0, "{outcome:?}");
+        assert!(outcome.availability() > 0.5, "{outcome:?}");
+        assert!(outcome.invariants_ok);
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        assert_eq!(percentile(&[], 99.0), 0);
+        assert_eq!(percentile(&[7], 50.0), 7);
+        let samples: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&samples, 50.0), 50);
+        assert_eq!(percentile(&samples, 99.0), 99);
+        assert_eq!(percentile(&samples, 100.0), 100);
+    }
+
+    #[test]
+    fn json_summary_carries_the_gate_fields() {
+        let result = ChaosResult {
+            campaigns: vec![CampaignOutcome {
+                style: ReplicationStyle::Active,
+                seed: 11,
+                expected: 100,
+                completed: 100,
+                final_degree: 3,
+                target_degree: 3,
+                restored: 2,
+                abandoned: 0,
+                attempts: 3,
+                mttr_us: vec![150_000, 420_000],
+                horizon_us: 20_000_000,
+                invariants_ok: true,
+            }],
+            scripted: ScriptedOutcome {
+                expected: 100,
+                completed: 100,
+                final_degree: 3,
+                attempts: 2,
+                restored: 1,
+            },
+        };
+        assert!(result.passes_gate(), "{:?}", result.failing_gates());
+        let json = result.to_json();
+        for key in [
+            "campaigns",
+            "mttr_us",
+            "availability_floor",
+            "recovery_success_rate",
+            "scripted_double_fault",
+            "chaos_mttr_p99_le_2s",
+            "gate_passed",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

@@ -11,11 +11,13 @@
 //! | [`ablation`] | style-space, detection-timeout and checkpointing ablations (beyond the paper) |
 //! | [`fanout`] | data-plane gate — zero-copy fan-out, batching, delta checkpoints, trace overhead (`BENCH_PR2.json`, `BENCH_PR3.json`) |
 //! | [`trace`] | observability gate — structured event export of the Fig. 6 switch run (`trace_switch.jsonl`) |
+//! | [`chaos`] | robustness gate — fault storms + automated recovery manager, MTTR/availability (`BENCH_PR4.json`) |
 //!
 //! Each runner returns a structured result with a `render()` method that
 //! prints the same rows/series the paper reports.
 
 pub mod ablation;
+pub mod chaos;
 pub mod fanout;
 pub mod fig3;
 pub mod fig4;

@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use vd_core::client::{ReplicatedClientActor, ReplicatedClientConfig};
 use vd_core::knobs::LowLevelKnobs;
+use vd_core::recovery::{RecoveryConfig, RecoveryManager};
 use vd_core::replica::{ReplicaActor, ReplicaConfig};
 use vd_core::style::ReplicationStyle;
 use vd_obs::{Obs, ObsHandle, TraceSink};
@@ -79,6 +80,19 @@ pub struct TestbedConfig {
     /// Fault-monitoring timeout (the FT-CORBA fault-detection knob):
     /// silence longer than this marks a replica as suspected.
     pub failure_timeout: SimDuration,
+    /// Minimum view size a replica will accept before evicting itself
+    /// (the `min_view` quorum rule). 1 = historical behavior; chaos
+    /// campaigns with partitions set 2 so a cut-off minority cannot
+    /// soldier on as a rump primary.
+    pub min_view: usize,
+    /// Recovery managers to deploy (0 = none, the historical layout).
+    /// Managers run on their own nodes after the clients, ranked by
+    /// position; replicas report membership and suspicions to all of them.
+    pub managers: usize,
+    /// Empty spare nodes after the managers, the spawn targets for
+    /// replacement replicas (chaos campaigns crash replica *nodes*, so
+    /// replacements need somewhere else to live).
+    pub spare_nodes: usize,
     /// RNG seed.
     pub seed: u64,
     /// Shared trace sink: when set, every replica and the simulated world
@@ -102,6 +116,9 @@ impl Default for TestbedConfig {
             checkpoint_full_every: 1,
             batch_max_messages: 1,
             failure_timeout: SimDuration::from_millis(50),
+            min_view: 1,
+            managers: 0,
+            spare_nodes: 0,
             seed: 42,
             trace: None,
         }
@@ -121,6 +138,14 @@ pub struct Testbed {
     /// `replicas[i]`): each carries that replica's metrics registry, and
     /// all share the run's trace sink when one was configured.
     pub obs: Vec<ObsHandle>,
+    /// Recovery-manager process ids, in rank order (empty unless
+    /// [`TestbedConfig::managers`] > 0).
+    pub managers: Vec<ProcessId>,
+    /// Per-manager observability handles (MTTR histogram, recovery
+    /// counters).
+    pub manager_obs: Vec<ObsHandle>,
+    /// The spare nodes replacements are spawned on.
+    pub spare_nodes: Vec<NodeId>,
 }
 
 impl Testbed {
@@ -165,7 +190,8 @@ impl Testbed {
 /// Builds a replicated test-bed: replicas on nodes `0..r`, one client per
 /// node after that (mirroring the paper's one-process-per-machine layout).
 pub fn build_replicated(config: &TestbedConfig) -> Testbed {
-    let total_nodes = (config.replicas + config.clients) as u32;
+    let total_nodes =
+        (config.replicas + config.clients + config.managers + config.spare_nodes) as u32;
     let mut world = World::new(gc_topology(total_nodes), config.seed);
     let new_obs = || match &config.trace {
         Some(sink) => Obs::with_trace(Arc::clone(sink)),
@@ -173,8 +199,14 @@ pub fn build_replicated(config: &TestbedConfig) -> Testbed {
     };
     world.set_obs(new_obs());
     let members: Vec<ProcessId> = (0..config.replicas as u64).map(ProcessId).collect();
+    // Manager pids are predictable from the spawn order (replicas, then
+    // clients, then managers) — the replicas need them up front.
+    let manager_pids: Vec<ProcessId> = (0..config.managers as u64)
+        .map(|m| ProcessId((config.replicas + config.clients) as u64 + m))
+        .collect();
     let mut replicas = Vec::new();
     let mut obs = Vec::new();
+    let mut recovery_replica_config = None;
     for i in 0..config.replicas {
         let mut knobs = LowLevelKnobs::default()
             .style(config.style)
@@ -188,11 +220,22 @@ pub fn build_replicated(config: &TestbedConfig) -> Testbed {
         let replica_config = ReplicaConfig {
             knobs,
             group_config: vd_group::config::GroupConfig::default()
-                .failure_timeout(config.failure_timeout),
+                .failure_timeout(config.failure_timeout)
+                .min_view(config.min_view.max(1)),
             metrics_prefix: format!("replica{i}"),
             obs: replica_obs,
+            managers: manager_pids.clone(),
             ..ReplicaConfig::default()
         };
+        if recovery_replica_config.is_none() {
+            // Template for manager-spawned replacements: same knobs and
+            // group tuning, fresh metrics prefix, no dedicated registry.
+            recovery_replica_config = Some(ReplicaConfig {
+                metrics_prefix: "replacement".into(),
+                obs: new_obs(),
+                ..replica_config.clone()
+            });
+        }
         let app = PaddedApp::new(config.state_bytes, config.response_bytes, 15);
         let pid = world.spawn(
             NodeId(i as u32),
@@ -227,11 +270,50 @@ pub fn build_replicated(config: &TestbedConfig) -> Testbed {
         );
         clients.push(pid);
     }
+    let spare_nodes: Vec<NodeId> = (0..config.spare_nodes)
+        .map(|s| NodeId((config.replicas + config.clients + config.managers + s) as u32))
+        .collect();
+    let mut managers = Vec::new();
+    let mut manager_obs = Vec::new();
+    for m in 0..config.managers {
+        let mgr_obs = new_obs();
+        let recovery = RecoveryConfig {
+            target_replicas: config.replicas,
+            max_replicas: config.replicas + 2,
+            spawn_nodes: spare_nodes.clone(),
+            replica_config: recovery_replica_config
+                .clone()
+                .expect("managers require at least one replica"),
+            probe_interval: SimDuration::from_millis(5),
+            attempt_deadline: SimDuration::from_millis(250),
+            backoff_base: SimDuration::from_millis(20),
+            backoff_cap: SimDuration::from_millis(200),
+            max_attempts: 8,
+            peers: manager_pids.clone(),
+            takeover_silence: SimDuration::from_millis(50),
+            obs: mgr_obs.clone(),
+        };
+        let state_bytes = config.state_bytes;
+        let response_bytes = config.response_bytes;
+        let pid = world.spawn(
+            NodeId((config.replicas + config.clients + m) as u32),
+            Box::new(RecoveryManager::new(
+                recovery,
+                Box::new(move || Box::new(PaddedApp::new(state_bytes, response_bytes, 15))),
+            )),
+        );
+        debug_assert_eq!(pid, manager_pids[m]);
+        managers.push(pid);
+        manager_obs.push(mgr_obs);
+    }
     Testbed {
         world,
         replicas,
         clients,
         obs,
+        managers,
+        manager_obs,
+        spare_nodes,
     }
 }
 

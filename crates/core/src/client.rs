@@ -31,10 +31,18 @@ pub struct ReplicatedClientConfig {
     pub costs: OrbCosts,
     /// Client-side interposition cost per traversal.
     pub interposition: SimDuration,
-    /// How long to wait for a reply before retrying through the next
-    /// gateway. Should comfortably exceed a normal round trip plus the
-    /// failure-detection and view-change delays.
+    /// How long to wait for a reply before the first retry through the
+    /// next gateway. Should comfortably exceed a normal round trip plus
+    /// the failure-detection and view-change delays. Subsequent retries
+    /// back off deterministically: the wait doubles per attempt up to
+    /// [`ReplicatedClientConfig::retry_backoff_cap`].
     pub retry_timeout: SimDuration,
+    /// Ceiling on the exponential retry backoff.
+    pub retry_backoff_cap: SimDuration,
+    /// Retries allowed per request before the client gives the request
+    /// up (counted in [`ReplicatedClientActor::gave_up`]) and moves on
+    /// with its workload.
+    pub retry_budget: u32,
     /// Histogram name under which round trips are recorded.
     pub rtt_metric: String,
     /// Index into `replicas` of the first gateway used (stagger this
@@ -49,10 +57,28 @@ impl Default for ReplicatedClientConfig {
             costs: OrbCosts::paper_calibrated(),
             interposition: SimDuration::from_micros(38),
             retry_timeout: SimDuration::from_millis(200),
+            retry_backoff_cap: SimDuration::from_secs(2),
+            retry_budget: 16,
             rtt_metric: "client.rtt".into(),
             initial_gateway: 0,
         }
     }
+}
+
+/// The request id encoded in a retry timer token, if it is one. Tokens
+/// at or above [`RETRY_TIMER_BASE`] are retry timers (`>=` discipline:
+/// the base itself encodes request id 0).
+fn retry_request_id(token: u64) -> Option<u64> {
+    token.checked_sub(RETRY_TIMER_BASE)
+}
+
+/// The capped deterministic exponential backoff before retry number
+/// `attempt` (0 = the initial send): `base · 2^attempt`, clamped to
+/// `cap`.
+fn backoff_delay(base: SimDuration, cap: SimDuration, attempt: u32) -> SimDuration {
+    let factor = 1u64 << attempt.min(32);
+    let us = base.as_micros().saturating_mul(factor);
+    SimDuration::from_micros(us.min(cap.as_micros().max(base.as_micros())))
 }
 
 /// A closed-loop client whose invocations transparently survive replica
@@ -62,8 +88,12 @@ pub struct ReplicatedClientActor {
     driver: RequestDriver,
     gateway: usize,
     outstanding: Option<Request>,
+    /// Retries already spent on the outstanding request.
+    attempt: u32,
     /// Retries performed (inspection).
     pub retries: u64,
+    /// Requests abandoned after the retry budget ran out (inspection).
+    pub gave_up: u64,
 }
 
 impl ReplicatedClientActor {
@@ -83,7 +113,9 @@ impl ReplicatedClientActor {
             driver,
             gateway,
             outstanding: None,
+            attempt: 0,
             retries: 0,
+            gave_up: 0,
         }
     }
 
@@ -106,11 +138,22 @@ impl ReplicatedClientActor {
         ctx.use_cpu(self.config.interposition);
         let gateway = self.gateway();
         ctx.send(gateway, OrbMessage::Request(request.clone()));
+        self.attempt = 0;
         ctx.set_timer(
-            self.config.retry_timeout,
+            self.retry_delay(),
             TimerToken(RETRY_TIMER_BASE + request.request_id),
         );
         self.outstanding = Some(request);
+    }
+
+    /// The backoff before the *next* retry fires, given retries already
+    /// spent on the outstanding request.
+    fn retry_delay(&self) -> SimDuration {
+        backoff_delay(
+            self.config.retry_timeout,
+            self.config.retry_backoff_cap,
+            self.attempt,
+        )
     }
 
     fn resend(&mut self, ctx: &mut Context<'_>) {
@@ -118,13 +161,30 @@ impl ReplicatedClientActor {
             return;
         };
         self.retries += 1;
+        self.attempt += 1;
         self.gateway = (self.gateway + 1) % self.config.replicas.len();
         ctx.use_cpu(self.config.interposition);
         ctx.set_timer(
-            self.config.retry_timeout,
+            self.retry_delay(),
             TimerToken(RETRY_TIMER_BASE + request.request_id),
         );
         ctx.send(self.gateway(), OrbMessage::Request(request));
+    }
+
+    /// Abandons the outstanding request (budget exhausted) and moves on
+    /// with the workload so one black-holed request cannot wedge the
+    /// closed loop forever.
+    fn give_up(&mut self, ctx: &mut Context<'_>) {
+        self.gave_up += 1;
+        self.outstanding = None;
+        if !self.driver.is_done() {
+            let think = self.driver.think();
+            if think.is_zero() {
+                self.issue(ctx);
+            } else {
+                ctx.set_timer(think, THINK_TIMER);
+            }
+        }
     }
 }
 
@@ -164,8 +224,10 @@ impl Actor for ReplicatedClientActor {
     fn on_timer(&mut self, ctx: &mut Context<'_>, timer: TimerToken) {
         match timer {
             THINK_TIMER => self.issue(ctx),
-            TimerToken(token) if token > RETRY_TIMER_BASE => {
-                let request_id = token - RETRY_TIMER_BASE;
+            TimerToken(token) => {
+                let Some(request_id) = retry_request_id(token) else {
+                    return;
+                };
                 // Only a timer for the request still outstanding is a real
                 // timeout; anything else is a stale fire.
                 if self
@@ -173,10 +235,13 @@ impl Actor for ReplicatedClientActor {
                     .as_ref()
                     .is_some_and(|r| r.request_id == request_id)
                 {
-                    self.resend(ctx);
+                    if self.attempt >= self.config.retry_budget {
+                        self.give_up(ctx);
+                    } else {
+                        self.resend(ctx);
+                    }
                 }
             }
-            _ => {}
         }
     }
 }
@@ -187,6 +252,43 @@ impl std::fmt::Debug for ReplicatedClientActor {
             .field("gateway", &self.gateway())
             .field("completed", &self.driver.completed())
             .field("retries", &self.retries)
+            .field("gave_up", &self.gave_up)
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_token_base_encodes_request_id_zero() {
+        // Regression: the old guard (`token > RETRY_TIMER_BASE`) silently
+        // dropped the retry timer of request id 0 — the `>=` discipline
+        // must map the base token to exactly that request.
+        assert_eq!(retry_request_id(RETRY_TIMER_BASE), Some(0));
+        assert_eq!(retry_request_id(RETRY_TIMER_BASE + 7), Some(7));
+        // Tokens below the base (think timer etc.) are not retry timers.
+        assert_eq!(retry_request_id(THINK_TIMER.0), None);
+        assert_eq!(retry_request_id(RETRY_TIMER_BASE - 1), None);
+    }
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        let base = SimDuration::from_millis(100);
+        let cap = SimDuration::from_millis(700);
+        assert_eq!(backoff_delay(base, cap, 0), SimDuration::from_millis(100));
+        assert_eq!(backoff_delay(base, cap, 1), SimDuration::from_millis(200));
+        assert_eq!(backoff_delay(base, cap, 2), SimDuration::from_millis(400));
+        assert_eq!(backoff_delay(base, cap, 3), SimDuration::from_millis(700));
+        assert_eq!(backoff_delay(base, cap, 40), SimDuration::from_millis(700));
+        // A cap below the base never shrinks the first wait.
+        let tiny_cap = SimDuration::from_millis(10);
+        assert_eq!(
+            backoff_delay(base, tiny_cap, 0),
+            SimDuration::from_millis(100)
+        );
+        // The schedule is deterministic: same inputs, same waits.
+        assert_eq!(backoff_delay(base, cap, 2), backoff_delay(base, cap, 2));
     }
 }

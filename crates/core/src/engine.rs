@@ -221,6 +221,19 @@ impl Engine {
         &self.members
     }
 
+    /// Demotes this replica after it was evicted from the group (thrown
+    /// out of the view, or the view fell below the configured quorum).
+    /// The engine forgets the membership — so [`Engine::is_primary`] is
+    /// false and no replies or checkpoints will be produced — and drops
+    /// unexecutable buffered work. An evicted replica must rejoin through
+    /// the state-transfer path before serving again.
+    pub fn on_eviction(&mut self) {
+        self.members.clear();
+        self.synced = false;
+        self.buffered.clear();
+        self.awaiting_final_checkpoint = false;
+    }
+
     fn i_reply(&self) -> bool {
         if self.style.single_replier() {
             self.is_primary()
@@ -320,6 +333,14 @@ impl Engine {
         replies: Vec<CachedReply>,
     ) -> Vec<EngineOp> {
         let mut ops = Vec::new();
+        // The checkpointed replies double as the duplicate-suppression
+        // watermark: a joiner that missed the original deliveries must not
+        // re-execute a client retry that veterans answer from cache.
+        // Monotone max, so seeding is a no-op for current members.
+        for cached in &replies {
+            let last = self.last_delivered.entry(cached.client).or_insert(0);
+            *last = (*last).max(cached.request_id);
+        }
         if !self.synced {
             // Joining replica: adopt the group's style and state wholesale.
             self.synced = true;
@@ -331,6 +352,17 @@ impl Engine {
                     to: style,
                 });
             }
+            // Entries delivered between our view install and this state
+            // transfer carry local indices that mean nothing against the
+            // group's `version` numbering (and, unlike veterans, we also
+            // numbered re-disseminated duplicates). The checkpoint's reply
+            // watermark says exactly which requests its state already
+            // covers: drop those, renumber the survivors after `version`,
+            // and replay them.
+            let covered: BTreeMap<ProcessId, u64> = replies
+                .iter()
+                .map(|cached| (cached.client, cached.request_id))
+                .collect();
             ops.push(EngineOp::ApplyCheckpoint {
                 version,
                 state,
@@ -338,7 +370,17 @@ impl Engine {
                 at_failover: false,
             });
             self.executed = version;
-            self.buffered.retain(|e| e.index > version);
+            self.buffered.retain(|entry| {
+                covered
+                    .get(&entry.client)
+                    .is_none_or(|&last| entry.request_id > last)
+            });
+            let mut next = version;
+            for entry in &mut self.buffered {
+                next += 1;
+                entry.index = next;
+            }
+            self.delivered = next;
             self.drain_backlog_if_executing(&mut ops);
             if self.style.uses_checkpoints() && self.is_primary() {
                 ops.push(EngineOp::StartCheckpointTimer);
@@ -839,15 +881,26 @@ mod tests {
             ReplicationStyle::Active,
             false,
             Bytes::from_static(b"xfer"),
-            vec![],
+            vec![CachedReply {
+                client: p(100),
+                request_id: 1,
+                status: 0,
+                body: Bytes::from_static(b"r1"),
+            }],
         );
         assert!(matches!(
             ops[0],
             EngineOp::ApplyCheckpoint { version: 1, .. }
         ));
-        // Entry 1 was covered by the checkpoint; entry 2 executes now.
+        // The reply watermark shows request 1 is covered by the checkpoint;
+        // request 2 is rebased after `version` and executes now.
         assert_eq!(executed_entries(&ops), vec![(2, true)]);
         assert!(joiner.is_synced());
+        // The covered request stays suppressed after the join.
+        assert_eq!(
+            joiner.on_client_request(p(100), 1),
+            GatewayDecision::ResendCached
+        );
     }
 
     #[test]

@@ -70,6 +70,7 @@ pub mod knobs;
 pub mod messages;
 pub mod monitor;
 pub mod policy;
+pub mod recovery;
 pub mod replica;
 pub mod repstate;
 pub mod state;
@@ -87,6 +88,10 @@ pub mod prelude {
         plan_scalability, AdaptationAction, AdaptationPolicy, AvailabilityPolicy, ChosenConfig,
         ConfigMeasurement, ContractPolicy, PolicyContext, RateThresholdPolicy,
         ScalabilityRequirements,
+    };
+    pub use crate::recovery::{
+        DirectiveNotice, ManagerHeartbeat, MembershipReport, RecoveryConfig, RecoveryManager,
+        SuspicionNotice,
     };
     pub use crate::replica::{ReplicaActor, ReplicaCommand, ReplicaConfig, ReplicaCosts};
     pub use crate::repstate::SystemBoard;

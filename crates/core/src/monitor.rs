@@ -140,6 +140,8 @@ pub struct Monitor {
     /// Registry counter value already folded into the rate window.
     ingested_requests: u64,
     fault_detection_micros: f64,
+    /// Cumulative failure-detector suspicions seen via the registry.
+    suspicions: u64,
 }
 
 impl Monitor {
@@ -154,6 +156,7 @@ impl Monitor {
             replicas: 0,
             ingested_requests: 0,
             fault_detection_micros: 0.0,
+            suspicions: 0,
         }
     }
 
@@ -182,6 +185,15 @@ impl Monitor {
         if fd.count > 0 {
             self.fault_detection_micros = fd.mean();
         }
+        self.suspicions = self.suspicions.max(metrics.counter(Ctr::GroupSuspicions));
+    }
+
+    /// Cumulative failure-detector suspicions folded in so far. The
+    /// replicator watermarks this to forward fresh suspicion evidence to
+    /// the recovery manager (earlier MTTR detection than waiting for the
+    /// next view change).
+    pub fn suspicions(&self) -> u64 {
+        self.suspicions
     }
 
     /// Records a completed service (delivery-to-reply latency).

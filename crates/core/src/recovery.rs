@@ -1,0 +1,596 @@
+//! Automated recovery: the actuator that closes the availability loop.
+//!
+//! The paper's availability policy (§5, Table 2) computes a replica count
+//! from MTTF/MTTR — but a knob is only as good as its actuator. The
+//! [`RecoveryManager`] is that actuator: it watches group membership
+//! (via [`MembershipReport`]s from the replicas) and fault-detector
+//! suspicions (via [`SuspicionNotice`]s), compares the live replica count
+//! against the `num_replicas` target (including upward actuations from
+//! `AvailabilityPolicy`, forwarded as [`DirectiveNotice`]s), and re-spawns
+//! replacements through the existing [`ReplicaActor::joining`]
+//! state-transfer path.
+//!
+//! The manager is hardened for the paper's fault model:
+//!
+//! * **Joiner crash mid-state-transfer** — every attempt carries a
+//!   deadline; a stalled joiner is killed and retried with capped
+//!   deterministic exponential backoff.
+//! * **Checkpoint-source crash** — retries use the freshest membership
+//!   report as contact list, so the next attempt goes to survivors.
+//! * **Manager crash** — managers run in a ranked list; standbys
+//!   heartbeat each other and take over when every lower rank goes
+//!   silent.
+//! * **Give-up-and-alarm** — after `max_attempts` failed attempts the
+//!   manager stops retrying and raises an operator alarm (the paper's
+//!   §4.3 "a new policy must be defined" escape hatch).
+//!
+//! Every phase emits `vd-obs` events, and the virtual time from fault
+//! detection to degree restoration is recorded in the `recovery.mttr_us`
+//! histogram — turning the availability policy's MTTR *assumption* into a
+//! *measurement*.
+
+use std::collections::BTreeMap;
+
+use vd_obs::{Ctr, EventKind as ObsEvent, Hist, Obs, ObsHandle};
+use vd_simnet::actor::{downcast_payload, Actor, Context, Payload, TimerToken};
+use vd_simnet::time::{SimDuration, SimTime};
+use vd_simnet::topology::{NodeId, ProcessId};
+
+use crate::replica::{ReplicaActor, ReplicaConfig};
+use crate::state::ReplicatedApplication;
+use crate::style::ReplicationStyle;
+
+/// Timer token driving the manager's periodic probe tick.
+const PROBE_TIMER: TimerToken = TimerToken(300);
+
+/// Factory producing a fresh application instance for each replacement
+/// replica the manager spawns.
+pub type AppFactory = Box<dyn Fn() -> Box<dyn ReplicatedApplication>>;
+
+/// Replica → manager: a snapshot of the replica's installed view. Sent on
+/// every view change and on every policy tick; the manager trusts the
+/// report with the highest view id (stale or evicted reporters cannot
+/// mislead it).
+#[derive(Debug, Clone)]
+pub struct MembershipReport {
+    /// The reporting replica.
+    pub replica: ProcessId,
+    /// Monotonic id of the reporter's installed view.
+    pub view_id: u64,
+    /// Members of that view.
+    pub members: Vec<ProcessId>,
+    /// The reporter's current replication style.
+    pub style: ReplicationStyle,
+    /// Whether the reporter holds synchronized state.
+    pub synced: bool,
+}
+
+impl Payload for MembershipReport {
+    fn wire_size(&self) -> usize {
+        40 + 8 * self.members.len()
+    }
+}
+
+/// Replica → manager: the reporter's failure detector raised new
+/// suspicions. Arrives ahead of the view change, so the manager can start
+/// the MTTR clock at first evidence rather than at quorum agreement.
+#[derive(Debug, Clone, Copy)]
+pub struct SuspicionNotice {
+    /// The reporting replica.
+    pub replica: ProcessId,
+    /// Cumulative suspicions the reporter has observed.
+    pub suspicions: u64,
+}
+
+impl Payload for SuspicionNotice {
+    fn wire_size(&self) -> usize {
+        24
+    }
+}
+
+/// Replica → manager: an adaptation policy asked for a replica-count
+/// change the replicator cannot enact alone. The manager anchors the new
+/// target on the replica count the policy observed, so repeated firings
+/// converge instead of ratcheting.
+#[derive(Debug, Clone, Copy)]
+pub struct DirectiveNotice {
+    /// The replica whose policy fired.
+    pub replica: ProcessId,
+    /// True for `AddReplica`, false for `RemoveReplica`.
+    pub add: bool,
+    /// Replica count the policy observed when it decided.
+    pub observed_replicas: usize,
+}
+
+impl Payload for DirectiveNotice {
+    fn wire_size(&self) -> usize {
+        24
+    }
+}
+
+/// Manager ↔ manager: liveness heartbeat for standby takeover.
+#[derive(Debug, Clone, Copy)]
+pub struct ManagerHeartbeat {
+    /// Rank (position in the shared peer list) of the sender.
+    pub rank: usize,
+}
+
+impl Payload for ManagerHeartbeat {
+    fn wire_size(&self) -> usize {
+        16
+    }
+}
+
+/// Static configuration of a [`RecoveryManager`].
+pub struct RecoveryConfig {
+    /// Baseline replication degree to restore (the `num_replicas` knob).
+    pub target_replicas: usize,
+    /// Hard cap on policy-driven upward actuation.
+    pub max_replicas: usize,
+    /// Nodes replacements are spawned on, round-robin. Retries advance
+    /// the cursor, so an attempt wedged on a dead node is followed by one
+    /// on the next node.
+    pub spawn_nodes: Vec<NodeId>,
+    /// Template configuration for spawned replacement replicas.
+    pub replica_config: ReplicaConfig,
+    /// How often the manager re-evaluates the world.
+    pub probe_interval: SimDuration,
+    /// How long one join attempt may run before the joiner is declared
+    /// stuck, killed, and retried.
+    pub attempt_deadline: SimDuration,
+    /// Backoff before the second attempt; doubles per failed attempt.
+    pub backoff_base: SimDuration,
+    /// Ceiling on the exponential backoff.
+    pub backoff_cap: SimDuration,
+    /// Attempts per episode before giving up and alarming.
+    pub max_attempts: u32,
+    /// All managers, in rank order (must include this manager's own
+    /// process id). Rank 0 is active; higher ranks are standbys that take
+    /// over when every lower rank goes silent.
+    pub peers: Vec<ProcessId>,
+    /// Silence after which a lower-ranked manager is presumed dead.
+    pub takeover_silence: SimDuration,
+    /// Observability endpoint for events and the MTTR histogram.
+    pub obs: ObsHandle,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            target_replicas: 3,
+            max_replicas: 7,
+            spawn_nodes: Vec::new(),
+            replica_config: ReplicaConfig::default(),
+            probe_interval: SimDuration::from_millis(10),
+            attempt_deadline: SimDuration::from_millis(250),
+            backoff_base: SimDuration::from_millis(20),
+            backoff_cap: SimDuration::from_millis(500),
+            max_attempts: 5,
+            peers: Vec::new(),
+            takeover_silence: SimDuration::from_millis(60),
+            obs: Obs::disabled(),
+        }
+    }
+}
+
+/// One open under-replication episode: the MTTR clock plus retry state.
+#[derive(Debug, Clone, Copy)]
+struct Episode {
+    /// When the deficit was detected (first suspicion evidence if it
+    /// preceded the deficit report). The MTTR clock starts here.
+    detected_at: SimTime,
+    /// Join attempts spawned so far in this episode.
+    attempts: u32,
+    /// The in-flight joiner and its per-attempt deadline.
+    in_flight: Option<(ProcessId, SimTime)>,
+    /// Earliest instant the next attempt may be spawned (backoff).
+    next_attempt_at: SimTime,
+}
+
+/// The recovery actor. Spawn one per manager node, all sharing the same
+/// `peers` list; replicas list every manager in
+/// [`crate::replica::ReplicaConfig::managers`].
+pub struct RecoveryManager {
+    config: RecoveryConfig,
+    app_factory: AppFactory,
+    me: ProcessId,
+    /// Freshest authoritative membership report (highest view id wins).
+    best: Option<MembershipReport>,
+    /// Replica-count requirement from policy directives (anchored).
+    policy_target: usize,
+    /// Highest cumulative suspicion count seen across reporters.
+    seen_suspicions: u64,
+    /// Arrival time of fresh suspicion evidence awaiting a deficit report.
+    suspicion_hint: Option<SimTime>,
+    episode: Option<Episode>,
+    /// True after give-up; cleared once the degree is observed restored
+    /// (by outside intervention or late joins).
+    abandoned: bool,
+    spawn_cursor: usize,
+    /// Last heartbeat arrival per manager peer.
+    last_heard: BTreeMap<ProcessId, SimTime>,
+    was_active: bool,
+    /// View id the last over-replication trim was issued against.
+    last_trim_view: u64,
+    /// Every replacement joiner this manager spawned (inspection; tests
+    /// and experiments fold these into invariant checks).
+    pub spawned: Vec<ProcessId>,
+    /// Give-up alarms raised (virtual time + description). The simulated
+    /// stand-in for paging the operators.
+    pub alarms: Vec<(SimTime, String)>,
+    /// Duration of every closed episode (detection → degree restored) —
+    /// the exact MTTR samples behind the `recovery.mttr_us` histogram,
+    /// kept for percentile computation in tests and experiments.
+    pub mttr_log: Vec<SimDuration>,
+}
+
+impl RecoveryManager {
+    /// A manager with the given configuration and replacement-application
+    /// factory.
+    pub fn new(config: RecoveryConfig, app_factory: AppFactory) -> Self {
+        let policy_target = config.target_replicas;
+        RecoveryManager {
+            config,
+            app_factory,
+            me: ProcessId(u64::MAX),
+            best: None,
+            policy_target,
+            seen_suspicions: 0,
+            suspicion_hint: None,
+            episode: None,
+            abandoned: false,
+            spawn_cursor: 0,
+            last_heard: BTreeMap::new(),
+            was_active: false,
+            last_trim_view: 0,
+            spawned: Vec::new(),
+            alarms: Vec::new(),
+            mttr_log: Vec::new(),
+        }
+    }
+
+    /// The replication degree currently being enforced.
+    pub fn target(&self) -> usize {
+        self.policy_target
+            .max(self.config.target_replicas)
+            .min(self.config.max_replicas)
+            .max(1)
+    }
+
+    /// Whether this manager currently holds active duty (rank 0, or every
+    /// lower rank has gone silent past the takeover threshold).
+    pub fn is_active(&self) -> bool {
+        self.was_active
+    }
+
+    /// Whether an under-replication episode is currently open.
+    pub fn recovering(&self) -> bool {
+        self.episode.is_some()
+    }
+
+    fn rank(&self) -> usize {
+        self.config
+            .peers
+            .iter()
+            .position(|&p| p == self.me)
+            .unwrap_or(0)
+    }
+
+    fn emit(&self, ctx: &Context<'_>, kind: ObsEvent) {
+        self.config.obs.emit(ctx.now().as_micros(), self.me.0, kind);
+    }
+
+    /// Capped deterministic exponential backoff after `failed` attempts.
+    fn backoff(&self, failed: u32) -> SimDuration {
+        let factor = 1u64 << failed.saturating_sub(1).min(32);
+        let us = self.config.backoff_base.as_micros().saturating_mul(factor);
+        SimDuration::from_micros(us.min(self.config.backoff_cap.as_micros()))
+    }
+
+    /// Rank-based activity: active iff every lower-ranked peer has been
+    /// silent longer than the takeover threshold.
+    fn compute_active(&self, now: SimTime) -> bool {
+        let rank = self.rank();
+        self.config.peers[..rank].iter().all(|p| {
+            let Some(&heard) = self.last_heard.get(p) else {
+                return true;
+            };
+            now.duration_since(heard) > self.config.takeover_silence
+        })
+    }
+
+    fn tick(&mut self, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        // Heartbeat the peer managers.
+        let rank = self.rank();
+        for &peer in &self.config.peers {
+            if peer != self.me {
+                ctx.send(peer, ManagerHeartbeat { rank });
+            }
+        }
+        let active = self.compute_active(now);
+        if active && !self.was_active && rank > 0 {
+            self.config.obs.metrics.incr(Ctr::RecoveryTakeovers);
+            self.emit(ctx, ObsEvent::ManagerTakeover { rank: rank as u64 });
+        }
+        self.was_active = active;
+        if active {
+            self.evaluate(ctx);
+        }
+        ctx.set_timer(self.config.probe_interval, PROBE_TIMER);
+    }
+
+    fn evaluate(&mut self, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        let target = self.target();
+        let Some(report) = self.best.clone() else {
+            return; // nothing known yet
+        };
+        let live = report.members.len();
+
+        if let Some(mut ep) = self.episode.take() {
+            if live >= target {
+                // Degree restored: close the episode and record its MTTR.
+                let mttr = now.duration_since(ep.detected_at);
+                self.mttr_log.push(mttr);
+                self.config.obs.metrics.incr(Ctr::RecoveryRestored);
+                self.config
+                    .obs
+                    .metrics
+                    .record(Hist::MttrUs, mttr.as_micros());
+                self.emit(
+                    ctx,
+                    ObsEvent::RecoveryRestored {
+                        mttr_us: mttr.as_micros(),
+                        attempts: ep.attempts as u64,
+                    },
+                );
+                self.suspicion_hint = None;
+            } else {
+                self.advance_episode(ctx, &report, &mut ep, target);
+                if !self.abandoned {
+                    self.episode = Some(ep);
+                }
+            }
+        } else if live >= target {
+            self.abandoned = false;
+            self.suspicion_hint = None;
+            if live > target && report.view_id != self.last_trim_view {
+                // Over-replicated (e.g. duplicate recovery across a
+                // takeover, or the policy relaxed): trim the
+                // highest-numbered member, once per observed view.
+                self.last_trim_view = report.view_id;
+                if let Some(&victim) = report.members.last() {
+                    ctx.send(victim, crate::replica::ReplicaCommand::Leave);
+                }
+            }
+        } else if live > 0 && !self.abandoned {
+            // Open a new episode; backdate detection to the suspicion
+            // notice when one preceded the deficit report.
+            let detected_at = self.suspicion_hint.take().unwrap_or(now);
+            self.config.obs.metrics.incr(Ctr::RecoveryEpisodes);
+            self.emit(
+                ctx,
+                ObsEvent::RecoveryDetected {
+                    live: live as u64,
+                    target: target as u64,
+                },
+            );
+            let mut ep = Episode {
+                detected_at,
+                attempts: 0,
+                in_flight: None,
+                next_attempt_at: now,
+            };
+            self.advance_episode(ctx, &report, &mut ep, target);
+            if !self.abandoned {
+                self.episode = Some(ep);
+            }
+        }
+    }
+
+    fn advance_episode(
+        &mut self,
+        ctx: &mut Context<'_>,
+        report: &MembershipReport,
+        ep: &mut Episode,
+        _target: usize,
+    ) {
+        let now = ctx.now();
+        if let Some((joiner, deadline)) = ep.in_flight {
+            if report.members.contains(&joiner) {
+                // The joiner made it into the view but the degree is still
+                // short (double fault): allow the next attempt immediately.
+                ep.in_flight = None;
+                ep.next_attempt_at = now;
+            } else if now >= deadline {
+                // Stuck mid-join (crashed joiner, dead checkpoint source,
+                // black-holed node): kill it and back off.
+                ctx.kill(joiner);
+                ep.in_flight = None;
+                ep.next_attempt_at = now + self.backoff(ep.attempts);
+            } else {
+                return; // attempt still within its deadline
+            }
+        }
+        if now < ep.next_attempt_at {
+            return;
+        }
+        if ep.attempts >= self.config.max_attempts {
+            // Budget exhausted: give up and alarm.
+            self.abandoned = true;
+            self.config.obs.metrics.incr(Ctr::RecoveryAbandoned);
+            self.emit(
+                ctx,
+                ObsEvent::RecoveryAbandoned {
+                    attempts: ep.attempts as u64,
+                },
+            );
+            self.alarms.push((
+                now,
+                format!(
+                    "recovery abandoned after {} attempts (live {}, target {})",
+                    ep.attempts,
+                    report.members.len(),
+                    self.target()
+                ),
+            ));
+            // The caller drops the episode when `abandoned` is set.
+            return;
+        }
+        if self.config.spawn_nodes.is_empty() {
+            return;
+        }
+        // Spawn the next replacement joiner.
+        let node = self.config.spawn_nodes[self.spawn_cursor % self.config.spawn_nodes.len()];
+        self.spawn_cursor += 1;
+        ep.attempts += 1;
+        let pid = ctx.upcoming_spawn_id();
+        let replica = ReplicaActor::joining(
+            pid,
+            report.members.clone(),
+            (self.app_factory)(),
+            self.config.replica_config.clone(),
+        );
+        let spawned = ctx.spawn(node, Box::new(replica));
+        debug_assert_eq!(spawned, pid);
+        self.spawned.push(pid);
+        ep.in_flight = Some((pid, now + self.config.attempt_deadline));
+        self.config.obs.metrics.incr(Ctr::RecoveryAttempts);
+        self.emit(
+            ctx,
+            ObsEvent::RecoveryAttempt {
+                node: node.0 as u64,
+                attempt: ep.attempts as u64,
+                joiner: pid.0,
+            },
+        );
+    }
+}
+
+impl Actor for RecoveryManager {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.me = ctx.self_id();
+        let now = ctx.now();
+        // Presume peers alive at start: takeover needs genuine silence.
+        for &peer in &self.config.peers {
+            if peer != self.me {
+                self.last_heard.insert(peer, now);
+            }
+        }
+        self.was_active = self.rank() == 0;
+        ctx.set_timer(self.config.probe_interval, PROBE_TIMER);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_>, from: ProcessId, payload: Box<dyn Payload>) {
+        let payload = match downcast_payload::<MembershipReport>(payload) {
+            Ok(report) => {
+                let better = self
+                    .best
+                    .as_ref()
+                    .is_none_or(|b| report.view_id >= b.view_id);
+                if better {
+                    self.best = Some(*report);
+                }
+                return;
+            }
+            Err(other) => other,
+        };
+        let payload = match downcast_payload::<SuspicionNotice>(payload) {
+            Ok(notice) => {
+                if notice.suspicions > self.seen_suspicions {
+                    self.seen_suspicions = notice.suspicions;
+                    if self.episode.is_none() && self.suspicion_hint.is_none() {
+                        self.suspicion_hint = Some(ctx.now());
+                    }
+                }
+                return;
+            }
+            Err(other) => other,
+        };
+        let payload = match downcast_payload::<DirectiveNotice>(payload) {
+            Ok(directive) => {
+                if directive.add {
+                    self.policy_target = self
+                        .policy_target
+                        .max(directive.observed_replicas + 1)
+                        .min(self.config.max_replicas);
+                } else {
+                    self.policy_target = self
+                        .policy_target
+                        .min(directive.observed_replicas.saturating_sub(1))
+                        .max(1);
+                }
+                return;
+            }
+            Err(other) => other,
+        };
+        if downcast_payload::<ManagerHeartbeat>(payload).is_ok() {
+            self.last_heard.insert(from, ctx.now());
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, timer: TimerToken) {
+        if timer == PROBE_TIMER {
+            self.tick(ctx);
+        }
+    }
+}
+
+impl std::fmt::Debug for RecoveryManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecoveryManager")
+            .field("me", &self.me)
+            .field("target", &self.target())
+            .field("active", &self.was_active)
+            .field("recovering", &self.episode.is_some())
+            .field("spawned", &self.spawned.len())
+            .field("alarms", &self.alarms.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        let mgr = RecoveryManager::new(
+            RecoveryConfig {
+                backoff_base: SimDuration::from_millis(20),
+                backoff_cap: SimDuration::from_millis(70),
+                ..RecoveryConfig::default()
+            },
+            Box::new(|| unreachable!("no app needed")),
+        );
+        assert_eq!(mgr.backoff(1), SimDuration::from_millis(20));
+        assert_eq!(mgr.backoff(2), SimDuration::from_millis(40));
+        assert_eq!(mgr.backoff(3), SimDuration::from_millis(70));
+        assert_eq!(mgr.backoff(30), SimDuration::from_millis(70));
+    }
+
+    #[test]
+    fn directive_anchoring_converges() {
+        let mut mgr = RecoveryManager::new(
+            RecoveryConfig {
+                target_replicas: 2,
+                max_replicas: 5,
+                ..RecoveryConfig::default()
+            },
+            Box::new(|| unreachable!("no app needed")),
+        );
+        // Policy saw 3 replicas and asked for one more → target 4, even
+        // if the directive is repeated (anchored, not ratcheting).
+        for _ in 0..5 {
+            mgr.policy_target = mgr.policy_target.max(3 + 1).min(mgr.config.max_replicas);
+        }
+        assert_eq!(mgr.target(), 4);
+        // A remove anchored on 4 observed pulls back to 3… but never
+        // below the configured baseline.
+        mgr.policy_target = mgr.policy_target.clamp(1, 4 - 1);
+        assert_eq!(mgr.target(), 3);
+        mgr.policy_target = 1;
+        assert_eq!(mgr.target(), 2, "baseline target_replicas is a floor");
+    }
+}

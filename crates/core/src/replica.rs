@@ -129,6 +129,12 @@ pub struct ReplicaConfig {
     /// private registry; testbeds install one per replica, all sharing a
     /// run-wide trace sink.
     pub obs: ObsHandle,
+    /// Recovery managers (see [`crate::recovery`]) this replica keeps
+    /// informed: it sends them membership reports on every view change
+    /// and policy tick, fresh fault-detector suspicions, and the
+    /// replica-count directives its policies emit. Empty (the default)
+    /// disables all manager traffic.
+    pub managers: Vec<ProcessId>,
 }
 
 impl Default for ReplicaConfig {
@@ -142,6 +148,7 @@ impl Default for ReplicaConfig {
             report_interval: None,
             metrics_prefix: "replica".into(),
             obs: Obs::disabled(),
+            managers: Vec::new(),
         }
     }
 }
@@ -216,6 +223,12 @@ pub struct ReplicaActor {
     /// Last checkpoint state resolved from the wire (full, after delta
     /// application) — the base the next incoming delta applies on.
     ckpt_mirror: Option<(u64, Bytes)>,
+    /// Set once the group evicted this replica (minority partition or
+    /// departure): the process goes inert instead of soldiering on as a
+    /// rump primary.
+    evicted: bool,
+    /// Suspicion watermark already forwarded to the recovery managers.
+    reported_suspicions: u64,
     /// Audit trail for the exploration invariant layer.
     #[cfg(feature = "check-invariants")]
     invariant_log: crate::invariants::InvariantLog,
@@ -286,6 +299,8 @@ impl ReplicaActor {
             ckpt_sent: None,
             ckpt_since_full: 0,
             ckpt_mirror: None,
+            evicted: false,
+            reported_suspicions: 0,
             #[cfg(feature = "check-invariants")]
             invariant_log: crate::invariants::InvariantLog::default(),
         }
@@ -423,8 +438,46 @@ impl ReplicaActor {
                         value: view.len() as u64,
                     },
                 );
+                self.report_membership(ctx);
             }
-            GroupEvent::Blocked | GroupEvent::SelfEvicted => {}
+            GroupEvent::Blocked => {}
+            GroupEvent::SelfEvicted => self.handle_eviction(ctx),
+        }
+    }
+
+    /// The group threw this replica out (departure it asked for, or a
+    /// minority partition below the view quorum): drop all replication
+    /// duties and go inert. The process keeps running — a rejoin goes
+    /// through a fresh [`ReplicaActor::joining`] spawned by the recovery
+    /// manager, not through resurrecting this one.
+    fn handle_eviction(&mut self, ctx: &mut Context<'_>) {
+        if self.evicted {
+            return;
+        }
+        self.evicted = true;
+        let view_id = self.endpoint.view().id().0;
+        self.engine.on_eviction();
+        self.monitor.set_replicas(0);
+        self.config.obs.metrics.gauge_set(Gauge::RepReplicas, 0);
+        self.emit(ctx, ObsEvent::ReplicaEvicted { view_id });
+    }
+
+    /// Sends the installed view to every recovery manager. The manager
+    /// trusts the highest view id, so stale reporters are harmless.
+    fn report_membership(&mut self, ctx: &mut Context<'_>) {
+        if self.config.managers.is_empty() || self.evicted {
+            return;
+        }
+        let view = self.endpoint.view();
+        let report = crate::recovery::MembershipReport {
+            replica: self.me,
+            view_id: view.id().0,
+            members: view.members().to_vec(),
+            style: self.engine.style(),
+            synced: self.engine.is_synced(),
+        };
+        for &manager in &self.config.managers {
+            ctx.send(manager, report.clone());
         }
     }
 
@@ -841,6 +894,23 @@ impl ReplicaActor {
         // latency (Fig. 8 measure → decide).
         self.monitor
             .ingest_registry(ctx.now(), &self.config.obs.metrics);
+        // Forward fresh fault-detector evidence to the recovery managers
+        // ahead of the view change — this is what starts their MTTR clock
+        // at detection time rather than at quorum agreement.
+        let suspicions = self.monitor.suspicions();
+        if suspicions > self.reported_suspicions && !self.config.managers.is_empty() {
+            self.reported_suspicions = suspicions;
+            let notice = crate::recovery::SuspicionNotice {
+                replica: self.me,
+                suspicions,
+            };
+            for &manager in &self.config.managers {
+                ctx.send(manager, notice);
+            }
+        }
+        // Periodic (not just view-change-driven) membership reports keep
+        // a freshly taken-over standby manager informed.
+        self.report_membership(ctx);
         let obs = self.monitor.observe(ctx.now());
         let prefix = self.config.metrics_prefix.clone();
         let rate_metric = format!("{prefix}.rate");
@@ -883,7 +953,24 @@ impl ReplicaActor {
                         self.request_switch(ctx, target);
                     }
                 }
-                other => self.directives.push((ctx.now(), other)),
+                other => {
+                    // Replica-count changes need an external actuator: the
+                    // recovery manager. Anchor the directive on the count
+                    // this policy observed so repeated firings converge.
+                    let add = matches!(other, AdaptationAction::AddReplica);
+                    let remove = matches!(other, AdaptationAction::RemoveReplica);
+                    if add || remove {
+                        let notice = crate::recovery::DirectiveNotice {
+                            replica: self.me,
+                            add,
+                            observed_replicas: self.engine.members().len(),
+                        };
+                        for &manager in &self.config.managers {
+                            ctx.send(manager, notice);
+                        }
+                    }
+                    self.directives.push((ctx.now(), other));
+                }
             }
         }
     }
@@ -909,6 +996,11 @@ impl Actor for ReplicaActor {
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_>, from: ProcessId, payload: Box<dyn Payload>) {
+        if self.evicted {
+            // An evicted replica is inert: it must not answer clients,
+            // ack logs, or rejoin protocol rounds from its stale view.
+            return;
+        }
         match downcast_payload::<GroupMsg>(payload) {
             Ok(group_msg) => {
                 let outputs = self.endpoint.handle_message(ctx.now(), from, *group_msg);
@@ -995,6 +1087,12 @@ impl Actor for ReplicaActor {
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, timer: TimerToken) {
+        if self.evicted {
+            // Let pending timers fire into the void; cancelling them is
+            // riskier (a cancel of a non-pending token suppresses the
+            // next set of that token).
+            return;
+        }
         if let Some(group_timer) = timer_from_token(timer) {
             let outputs = self.endpoint.handle_timer(ctx.now(), group_timer);
             self.absorb(ctx, outputs);

@@ -39,6 +39,14 @@ pub struct GroupConfig {
     /// How long a partially-filled batch may wait before it is flushed.
     /// Only consulted when `batch_max_messages > 1`.
     pub batch_flush_interval: SimDuration,
+    /// Minimum membership a view must have for this endpoint to stay a
+    /// member. Installing a view smaller than this evicts the endpoint
+    /// (it emits `SelfEvicted` and goes inert) — a quorum rule that stops
+    /// a partitioned minority from soldiering on as a rump group (e.g. a
+    /// cut-off primary staying "primary" of a singleton view). `1`
+    /// (the default) preserves the historical behavior: any non-empty
+    /// view is acceptable.
+    pub min_view: usize,
 }
 
 impl GroupConfig {
@@ -78,6 +86,12 @@ impl GroupConfig {
         self
     }
 
+    /// Sets the minimum view size / quorum rule (builder style).
+    pub fn min_view(mut self, n: usize) -> Self {
+        self.min_view = n;
+        self
+    }
+
     /// Validates the invariants between intervals.
     ///
     /// # Errors
@@ -107,6 +121,9 @@ impl GroupConfig {
         if self.batch_max_messages > 1 && self.batch_flush_interval.is_zero() {
             return Err("batch_flush_interval must be positive when batching is on".into());
         }
+        if self.min_view == 0 {
+            return Err("min_view must be at least 1 (a member is always in its own view)".into());
+        }
         Ok(())
     }
 }
@@ -120,6 +137,7 @@ impl Default for GroupConfig {
             flush_timeout: SimDuration::from_millis(100),
             batch_max_messages: 1,
             batch_flush_interval: SimDuration::from_micros(500),
+            min_view: 1,
         }
     }
 }
@@ -177,6 +195,13 @@ mod tests {
             .batch_max_messages(16)
             .validate()
             .is_ok());
+    }
+
+    #[test]
+    fn min_view_validated() {
+        assert_eq!(GroupConfig::default().min_view, 1);
+        assert!(GroupConfig::default().min_view(0).validate().is_err());
+        assert!(GroupConfig::default().min_view(2).validate().is_ok());
     }
 
     #[test]

@@ -1594,7 +1594,11 @@ impl Endpoint {
             self.last_heard.entry(m).or_insert(now);
         }
 
-        if !view.contains(self.me) {
+        if !view.contains(self.me) || view.members().len() < self.config.min_view {
+            // Either the group threw us out, or the view is below the
+            // configured quorum — a partitioned minority must not soldier
+            // on as a rump group (e.g. a cut-off primary installing a
+            // singleton view and staying "primary").
             self.status = Status::Evicted;
             self.blocked = false;
             out.push(Output::Event(GroupEvent::SelfEvicted));

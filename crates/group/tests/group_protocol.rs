@@ -428,3 +428,36 @@ fn coordinator_crash_during_flush_is_survived() {
         .iter()
         .any(|(_, p)| p == b"alive"));
 }
+
+#[test]
+fn minority_below_min_view_self_evicts_instead_of_rump_group() {
+    let mut world = World::new(lan_topology(3), 17);
+    let pids = spawn_group(&mut world, 3, GroupConfig::default().min_view(2));
+    world.run_for(SimDuration::from_millis(5));
+    // Cut member 0 off from the other two. Its failure detector suspects
+    // both peers and it runs a flush alone — but the resulting singleton
+    // view is below `min_view`, so it must self-evict rather than carry
+    // on as a rump group.
+    world.partition_at(vec![NodeId(0)], vec![NodeId(1), NodeId(2)], world.now());
+    world.run_for(SimDuration::from_millis(400));
+
+    let lone = world.actor_ref::<GroupMemberActor>(pids[0]).unwrap();
+    assert!(
+        lone.events
+            .iter()
+            .any(|e| matches!(e, GroupEvent::SelfEvicted)),
+        "cut-off member never self-evicted"
+    );
+    assert!(!lone.endpoint().is_member());
+
+    // The majority side converged on a two-member view and still works.
+    for &pid in &pids[1..] {
+        let actor = world.actor_ref::<GroupMemberActor>(pid).unwrap();
+        assert_eq!(actor.endpoint().view().members(), &[pids[1], pids[2]]);
+    }
+    multicast(&mut world, pids[1], DeliveryOrder::Agreed, b"after-cut");
+    world.run_for(SimDuration::from_millis(50));
+    assert!(deliveries_of(&world, pids[2])
+        .iter()
+        .any(|(_, p)| p == b"after-cut"));
+}

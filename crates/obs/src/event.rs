@@ -183,6 +183,53 @@ pub enum EventKind {
         value: u64,
     },
 
+    // --- Recovery manager --------------------------------------------
+    /// The recovery manager observed fewer live replicas than the
+    /// `num_replicas` target and opened a recovery episode. The MTTR
+    /// clock starts here.
+    RecoveryDetected {
+        /// Live replicas observed at detection.
+        live: u64,
+        /// Target replication degree being restored.
+        target: u64,
+    },
+    /// The recovery manager spawned a replacement joiner (one recovery
+    /// attempt; retries increment `attempt`).
+    RecoveryAttempt {
+        /// Node the replacement was spawned on.
+        node: u64,
+        /// 1-based attempt number within the episode.
+        attempt: u64,
+        /// Process id of the spawned joiner.
+        joiner: u64,
+    },
+    /// The replication degree reached the target again; the episode
+    /// closes and its MTTR is recorded.
+    RecoveryRestored {
+        /// Virtual µs from detection to restoration (the MTTR sample).
+        mttr_us: u64,
+        /// Attempts the episode needed.
+        attempts: u64,
+    },
+    /// The recovery manager exhausted its attempt budget and raised an
+    /// operator alarm instead of retrying further.
+    RecoveryAbandoned {
+        /// Attempts made before giving up.
+        attempts: u64,
+    },
+    /// A standby recovery manager stopped hearing from all higher-rank
+    /// peers and took over active duty.
+    ManagerTakeover {
+        /// Rank (list position) of the manager taking over.
+        rank: u64,
+    },
+    /// This replica was evicted from the group (thrown out or below the
+    /// view quorum) and went inert.
+    ReplicaEvicted {
+        /// Last view id this replica had installed before eviction.
+        view_id: u64,
+    },
+
     // --- Group communication endpoint --------------------------------
     /// A data multicast left this endpoint (after batching).
     GroupSend {
@@ -240,6 +287,12 @@ impl EventKind {
             EventKind::Failover { .. } => "failover",
             EventKind::PolicyDecision { .. } => "policy_decision",
             EventKind::KnobChanged { .. } => "knob_changed",
+            EventKind::RecoveryDetected { .. } => "recovery_detected",
+            EventKind::RecoveryAttempt { .. } => "recovery_attempt",
+            EventKind::RecoveryRestored { .. } => "recovery_restored",
+            EventKind::RecoveryAbandoned { .. } => "recovery_abandoned",
+            EventKind::ManagerTakeover { .. } => "manager_takeover",
+            EventKind::ReplicaEvicted { .. } => "replica_evicted",
             EventKind::GroupSend { .. } => "group_send",
             EventKind::GroupDeliver { .. } => "group_deliver",
             EventKind::BatchFlushed { .. } => "batch_flushed",

@@ -59,6 +59,31 @@ fn write_fields(out: &mut String, kind: &EventKind) {
         EventKind::KnobChanged { knob, value } => {
             let _ = write!(out, ",\"knob\":\"{knob}\",\"value\":{value}");
         }
+        EventKind::RecoveryDetected { live, target } => {
+            let _ = write!(out, ",\"live\":{live},\"target\":{target}");
+        }
+        EventKind::RecoveryAttempt {
+            node,
+            attempt,
+            joiner,
+        } => {
+            let _ = write!(
+                out,
+                ",\"node\":{node},\"attempt\":{attempt},\"joiner\":{joiner}"
+            );
+        }
+        EventKind::RecoveryRestored { mttr_us, attempts } => {
+            let _ = write!(out, ",\"mttr_us\":{mttr_us},\"attempts\":{attempts}");
+        }
+        EventKind::RecoveryAbandoned { attempts } => {
+            let _ = write!(out, ",\"attempts\":{attempts}");
+        }
+        EventKind::ManagerTakeover { rank } => {
+            let _ = write!(out, ",\"rank\":{rank}");
+        }
+        EventKind::ReplicaEvicted { view_id } => {
+            let _ = write!(out, ",\"view_id\":{view_id}");
+        }
         EventKind::GroupSend { bytes, copies } => {
             let _ = write!(out, ",\"bytes\":{bytes},\"copies\":{copies}");
         }

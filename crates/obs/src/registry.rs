@@ -56,6 +56,7 @@ const L_CKPT_FULL: Labels = &[("layer", "replicator"), ("kind", "full")];
 const L_CKPT_DELTA: Labels = &[("layer", "replicator"), ("kind", "delta")];
 const L_GRP: Labels = &[("layer", "group")];
 const L_SIM: Labels = &[("layer", "simnet")];
+const L_REC: Labels = &[("layer", "recovery")];
 
 metric_enum! {
     /// Monotonic counters. Names mirror the event taxonomy in
@@ -106,6 +107,16 @@ metric_enum! {
         GroupHeartbeatsRecv => ("group.heartbeats_recv", L_GRP),
         /// Suspicions raised by the failure detector.
         GroupSuspicions => ("group.suspicions", L_GRP),
+        /// Recovery episodes opened (replication degree below target).
+        RecoveryEpisodes => ("recovery.episodes", L_REC),
+        /// Replacement joiners spawned (attempts, retries included).
+        RecoveryAttempts => ("recovery.attempts", L_REC),
+        /// Episodes closed with the target degree restored.
+        RecoveryRestored => ("recovery.restored", L_REC),
+        /// Episodes abandoned after the attempt budget ran out.
+        RecoveryAbandoned => ("recovery.abandoned", L_REC),
+        /// Standby managers that assumed active duty.
+        RecoveryTakeovers => ("recovery.takeovers", L_REC),
         /// Messages delivered by the simulated network.
         SimDeliveries => ("simnet.deliveries", L_SIM),
         /// Messages dropped (loss, partition, crash) by the network.
@@ -142,6 +153,10 @@ metric_enum! {
         BatchOccupancy => ("group.batch_occupancy", L_GRP),
         /// State payload bytes per checkpoint sent.
         CkptBytes => ("replicator.checkpoint_size_bytes", L_REP),
+        /// Mean-time-to-repair samples: virtual µs from a recovery
+        /// episode's detection to the replication degree being restored
+        /// (the availability policy's MTTR input, now measured).
+        MttrUs => ("recovery.mttr_us", L_REC),
     }
 }
 

@@ -148,6 +148,13 @@ impl<'a> Context<'a> {
         self.cpu_cost
     }
 
+    /// The process id the next [`Context::spawn`] on this context will
+    /// allocate. Lets an actor construct a child that must be told its own
+    /// id up front (e.g. a joining replica) before calling `spawn`.
+    pub fn upcoming_spawn_id(&self) -> ProcessId {
+        ProcessId(*self.next_pid)
+    }
+
     /// Spawns a new actor on `node`, returning the id it will have. The
     /// new actor's [`Actor::on_start`] runs at the current time.
     pub fn spawn(&mut self, node: NodeId, actor: Box<dyn Actor>) -> ProcessId {

@@ -1,0 +1,497 @@
+//! Declarative chaos campaigns.
+//!
+//! The paper's fault model (§3.1) — crash faults, transient communication
+//! faults, performance/timing faults — becomes a first-class, continuously
+//! exercised input here instead of test scaffolding. A [`FaultPlan`] is a
+//! time-ordered list of fault (and repair) steps that compiles onto the
+//! world's control queue via [`FaultPlan::schedule`]; [`FaultPlan::storm`]
+//! generates seeded randomized campaigns under explicit safety budgets
+//! (minimum gap between injections, maximum concurrently-active faults)
+//! so multi-seed chaos runs stay reproducible and bounded.
+
+use crate::rng::DeterministicRng;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{NodeId, ProcessId};
+use crate::world::World;
+
+/// One fault — or repair — a chaos plan can inject.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChaosAction {
+    /// Crash a single process (it stops receiving messages and timers).
+    CrashProcess(ProcessId),
+    /// Crash a node: every process on it dies and traffic stops flowing.
+    CrashNode(NodeId),
+    /// Restart a crashed node (crashed processes stay dead; new ones may
+    /// be spawned onto it).
+    RestartNode(NodeId),
+    /// Symmetric partition: block all traffic between the two groups.
+    Partition(Vec<NodeId>, Vec<NodeId>),
+    /// Asymmetric partition: block traffic `from → to` only.
+    PartitionOneWay(NodeId, NodeId),
+    /// Heal every standing partition.
+    HealAll,
+    /// Heal both directions between one node pair, leaving other
+    /// partitions in place.
+    HealPair(NodeId, NodeId),
+    /// Set the global message-loss probability (transient communication
+    /// faults; `0.0` repairs).
+    LossRate(f64),
+    /// Multiply CPU costs on a node — a timing fault (`1.0` repairs).
+    Slowdown(NodeId, f64),
+}
+
+impl ChaosAction {
+    /// Whether this action repairs (rather than injects) a fault: node
+    /// restarts, heals, zero loss, unit slowdown.
+    pub fn is_repair(&self) -> bool {
+        match self {
+            ChaosAction::RestartNode(_) | ChaosAction::HealAll | ChaosAction::HealPair(_, _) => {
+                true
+            }
+            ChaosAction::LossRate(p) => *p == 0.0,
+            ChaosAction::Slowdown(_, f) => *f == 1.0,
+            _ => false,
+        }
+    }
+}
+
+/// A [`ChaosAction`] bound to a virtual instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultStep {
+    /// When the action fires.
+    pub at: SimTime,
+    /// What happens.
+    pub action: ChaosAction,
+}
+
+/// A declarative fault campaign: a list of timed steps, built either by
+/// hand (builder methods) or by the seeded [`FaultPlan::storm`] generator,
+/// then compiled onto a world's control queue with [`FaultPlan::schedule`].
+///
+/// # Examples
+///
+/// ```
+/// use vd_simnet::chaos::FaultPlan;
+/// use vd_simnet::prelude::*;
+///
+/// let plan = FaultPlan::new()
+///     .crash_node(SimTime::from_millis(10), NodeId(1))
+///     .loss_rate(SimTime::from_millis(20), 0.05)
+///     .restart_node(SimTime::from_millis(40), NodeId(1))
+///     .loss_rate(SimTime::from_millis(50), 0.0);
+/// assert_eq!(plan.steps().len(), 4);
+///
+/// let mut world = World::new(Topology::full_mesh(2), 7);
+/// plan.schedule(&mut world);
+/// world.run_until(SimTime::from_millis(15));
+/// assert!(!world.is_node_up(NodeId(1)));
+/// world.run_until(SimTime::from_millis(60));
+/// assert!(world.is_node_up(NodeId(1)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    steps: Vec<FaultStep>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Appends an arbitrary step.
+    pub fn step(mut self, at: SimTime, action: ChaosAction) -> Self {
+        self.steps.push(FaultStep { at, action });
+        self
+    }
+
+    /// Crashes process `pid` at `at`.
+    pub fn crash_process(self, at: SimTime, pid: ProcessId) -> Self {
+        self.step(at, ChaosAction::CrashProcess(pid))
+    }
+
+    /// Crashes node `node` at `at`.
+    pub fn crash_node(self, at: SimTime, node: NodeId) -> Self {
+        self.step(at, ChaosAction::CrashNode(node))
+    }
+
+    /// Restarts node `node` at `at`.
+    pub fn restart_node(self, at: SimTime, node: NodeId) -> Self {
+        self.step(at, ChaosAction::RestartNode(node))
+    }
+
+    /// Symmetrically partitions `left` from `right` at `at`.
+    pub fn partition(self, at: SimTime, left: Vec<NodeId>, right: Vec<NodeId>) -> Self {
+        self.step(at, ChaosAction::Partition(left, right))
+    }
+
+    /// Blocks traffic `from → to` only, at `at`.
+    pub fn partition_oneway(self, at: SimTime, from: NodeId, to: NodeId) -> Self {
+        self.step(at, ChaosAction::PartitionOneWay(from, to))
+    }
+
+    /// Heals all partitions at `at`.
+    pub fn heal_all(self, at: SimTime) -> Self {
+        self.step(at, ChaosAction::HealAll)
+    }
+
+    /// Heals both directions between `a` and `b` at `at`.
+    pub fn heal_pair(self, at: SimTime, a: NodeId, b: NodeId) -> Self {
+        self.step(at, ChaosAction::HealPair(a, b))
+    }
+
+    /// Sets the message-loss probability at `at`.
+    pub fn loss_rate(self, at: SimTime, p: f64) -> Self {
+        self.step(at, ChaosAction::LossRate(p))
+    }
+
+    /// Applies CPU slowdown `factor` to `node` at `at`.
+    pub fn slowdown(self, at: SimTime, node: NodeId, factor: f64) -> Self {
+        self.step(at, ChaosAction::Slowdown(node, factor))
+    }
+
+    /// The plan's steps, in insertion order.
+    pub fn steps(&self) -> &[FaultStep] {
+        &self.steps
+    }
+
+    /// Whether the plan has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Concatenates another plan's steps onto this one.
+    pub fn merge(mut self, other: FaultPlan) -> Self {
+        self.steps.extend(other.steps);
+        self
+    }
+
+    /// Compiles every step onto the world's control queue. Steps fire in
+    /// time order (ties in insertion order); scheduling consumes no
+    /// randomness, so a plan perturbs a run only at its fault instants.
+    pub fn schedule(&self, world: &mut World) {
+        for s in &self.steps {
+            match &s.action {
+                ChaosAction::CrashProcess(pid) => world.crash_process_at(*pid, s.at),
+                ChaosAction::CrashNode(n) => world.crash_node_at(*n, s.at),
+                ChaosAction::RestartNode(n) => world.restart_node_at(*n, s.at),
+                ChaosAction::Partition(l, r) => world.partition_at(l.clone(), r.clone(), s.at),
+                ChaosAction::PartitionOneWay(f, t) => world.partition_oneway_at(*f, *t, s.at),
+                ChaosAction::HealAll => world.heal_partitions_at(s.at),
+                ChaosAction::HealPair(a, b) => world.heal_pair_at(*a, *b, s.at),
+                ChaosAction::LossRate(p) => world.set_drop_probability_at(*p, s.at),
+                ChaosAction::Slowdown(n, f) => world.slow_node_at(*n, *f, s.at),
+            }
+        }
+    }
+
+    /// Generates a seeded randomized fault storm under the budgets in
+    /// `cfg`. The generator guarantees:
+    ///
+    /// * consecutive injections are at least [`StormConfig::min_gap`]
+    ///   apart;
+    /// * at most [`StormConfig::max_concurrent`] faults are active at any
+    ///   instant (a crash is active until its restart, a partition until
+    ///   its heal, a loss burst until loss returns to zero, a slowdown
+    ///   until the factor returns to `1.0`);
+    /// * every injected fault is paired with its repair no later than
+    ///   [`StormConfig::end`], so the storm leaves the world clean.
+    ///
+    /// The same config always produces the same plan.
+    pub fn storm(cfg: &StormConfig) -> FaultPlan {
+        let mut rng = DeterministicRng::new(cfg.seed);
+        let mut plan = FaultPlan::new();
+        // Faults currently active, as (repair_time, kind-specific key).
+        let mut down_nodes: Vec<(SimTime, NodeId)> = Vec::new();
+        let mut cut_pairs: Vec<(SimTime, (NodeId, NodeId))> = Vec::new();
+        let mut loss_until: Option<SimTime> = None;
+        let mut slow_nodes: Vec<(SimTime, NodeId)> = Vec::new();
+
+        let gap_us = cfg.min_gap.as_micros().max(1);
+        let mut t = cfg.start;
+        loop {
+            // Next injection instant: min_gap plus up to one extra gap of
+            // deterministic jitter.
+            let jitter = rng.gen_range_u64(0..=gap_us);
+            t += SimDuration::from_micros(gap_us + jitter);
+            if t >= cfg.end {
+                break;
+            }
+            // Retire repairs that have fired by now.
+            down_nodes.retain(|(until, _)| *until > t);
+            cut_pairs.retain(|(until, _)| *until > t);
+            slow_nodes.retain(|(until, _)| *until > t);
+            if loss_until.is_some_and(|until| until <= t) {
+                loss_until = None;
+            }
+            let active = down_nodes.len()
+                + cut_pairs.len()
+                + slow_nodes.len()
+                + usize::from(loss_until.is_some());
+            if active >= cfg.max_concurrent {
+                continue;
+            }
+            // Fault lifetime, bounded to [mean/2, 3·mean/2] and clipped so
+            // the repair lands before the horizon.
+            let mean_us = cfg.mean_active.as_micros().max(2);
+            let dur =
+                SimDuration::from_micros(rng.gen_range_u64(mean_us / 2..=mean_us + mean_us / 2));
+            let mut until = t + dur;
+            if until > cfg.end {
+                until = cfg.end;
+            }
+
+            // Eligible fault kinds, in fixed order for determinism.
+            #[derive(Clone, Copy)]
+            enum Kind {
+                Crash,
+                Cut,
+                Loss,
+                Slow,
+            }
+            let mut kinds: Vec<Kind> = Vec::new();
+            if cfg
+                .crash_nodes
+                .iter()
+                .any(|n| !down_nodes.iter().any(|(_, d)| d == n))
+            {
+                kinds.push(Kind::Crash);
+            }
+            if cfg
+                .partition_pairs
+                .iter()
+                .any(|p| !cut_pairs.iter().any(|(_, c)| c == p))
+            {
+                kinds.push(Kind::Cut);
+            }
+            if cfg.max_loss > 0.0 && loss_until.is_none() {
+                kinds.push(Kind::Loss);
+            }
+            if cfg.slowdown_factor > 1.0
+                && cfg
+                    .crash_nodes
+                    .iter()
+                    .any(|n| !slow_nodes.iter().any(|(_, s)| s == n))
+            {
+                kinds.push(Kind::Slow);
+            }
+            if kinds.is_empty() {
+                continue;
+            }
+            let kind = kinds[rng.gen_range_u64(0..=(kinds.len() as u64 - 1)) as usize];
+            match kind {
+                Kind::Crash => {
+                    let free: Vec<NodeId> = cfg
+                        .crash_nodes
+                        .iter()
+                        .copied()
+                        .filter(|n| !down_nodes.iter().any(|(_, d)| d == n))
+                        .collect();
+                    let node = free[rng.gen_range_u64(0..=(free.len() as u64 - 1)) as usize];
+                    plan = plan.crash_node(t, node).restart_node(until, node);
+                    down_nodes.push((until, node));
+                }
+                Kind::Cut => {
+                    let free: Vec<(NodeId, NodeId)> = cfg
+                        .partition_pairs
+                        .iter()
+                        .copied()
+                        .filter(|p| !cut_pairs.iter().any(|(_, c)| c == p))
+                        .collect();
+                    let (a, b) = free[rng.gen_range_u64(0..=(free.len() as u64 - 1)) as usize];
+                    // Half the cuts are asymmetric (one-way) link failures.
+                    if rng.gen_bool(0.5) {
+                        plan = plan.partition_oneway(t, a, b);
+                    } else {
+                        plan = plan.partition(t, vec![a], vec![b]);
+                    }
+                    plan = plan.heal_pair(until, a, b);
+                    cut_pairs.push((until, (a, b)));
+                }
+                Kind::Loss => {
+                    let p = cfg.max_loss * (0.25 + 0.75 * rng.gen_f64());
+                    plan = plan.loss_rate(t, p).loss_rate(until, 0.0);
+                    loss_until = Some(until);
+                }
+                Kind::Slow => {
+                    let free: Vec<NodeId> = cfg
+                        .crash_nodes
+                        .iter()
+                        .copied()
+                        .filter(|n| !slow_nodes.iter().any(|(_, s)| s == n))
+                        .collect();
+                    let node = free[rng.gen_range_u64(0..=(free.len() as u64 - 1)) as usize];
+                    plan = plan
+                        .slowdown(t, node, cfg.slowdown_factor)
+                        .slowdown(until, node, 1.0);
+                    slow_nodes.push((until, node));
+                }
+            }
+        }
+        plan
+    }
+}
+
+/// Budgets and fault population for a seeded [`FaultPlan::storm`].
+#[derive(Debug, Clone)]
+pub struct StormConfig {
+    /// Seed for the storm's private deterministic RNG.
+    pub seed: u64,
+    /// First instant a fault may be injected.
+    pub start: SimTime,
+    /// Horizon: no injections at or after this instant, and every repair
+    /// is clipped to land by it.
+    pub end: SimTime,
+    /// Minimum virtual-time gap between consecutive injections.
+    pub min_gap: SimDuration,
+    /// Maximum number of simultaneously-active faults.
+    pub max_concurrent: usize,
+    /// Nodes eligible for crash/restart and slowdown faults.
+    pub crash_nodes: Vec<NodeId>,
+    /// Node pairs eligible for (possibly one-way) partitions.
+    pub partition_pairs: Vec<(NodeId, NodeId)>,
+    /// Peak message-loss probability for loss bursts (`0.0` disables
+    /// loss faults).
+    pub max_loss: f64,
+    /// CPU slowdown factor applied by timing faults (`≤ 1.0` disables
+    /// slowdown faults).
+    pub slowdown_factor: f64,
+    /// Mean time a fault stays active before its paired repair.
+    pub mean_active: SimDuration,
+}
+
+impl Default for StormConfig {
+    fn default() -> Self {
+        StormConfig {
+            seed: 0,
+            start: SimTime::from_millis(10),
+            end: SimTime::from_millis(500),
+            min_gap: SimDuration::from_millis(50),
+            max_concurrent: 1,
+            crash_nodes: Vec::new(),
+            partition_pairs: Vec::new(),
+            max_loss: 0.0,
+            slowdown_factor: 1.0,
+            mean_active: SimDuration::from_millis(30),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+
+    fn storm_cfg(seed: u64) -> StormConfig {
+        StormConfig {
+            seed,
+            start: SimTime::from_millis(5),
+            end: SimTime::from_millis(2_000),
+            min_gap: SimDuration::from_millis(40),
+            max_concurrent: 2,
+            crash_nodes: vec![NodeId(1), NodeId(2)],
+            partition_pairs: vec![(NodeId(0), NodeId(1)), (NodeId(1), NodeId(2))],
+            max_loss: 0.1,
+            slowdown_factor: 4.0,
+            mean_active: SimDuration::from_millis(60),
+        }
+    }
+
+    #[test]
+    fn storm_is_deterministic() {
+        let a = FaultPlan::storm(&storm_cfg(7));
+        let b = FaultPlan::storm(&storm_cfg(7));
+        assert!(!a.is_empty());
+        assert_eq!(a, b);
+        let c = FaultPlan::storm(&storm_cfg(8));
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn storm_respects_min_gap_between_injections() {
+        let cfg = storm_cfg(11);
+        let plan = FaultPlan::storm(&cfg);
+        let mut injections: Vec<SimTime> = plan
+            .steps()
+            .iter()
+            .filter(|s| !s.action.is_repair())
+            .map(|s| s.at)
+            .collect();
+        injections.sort();
+        assert!(injections.len() >= 2, "storm too quiet to test");
+        for w in injections.windows(2) {
+            let gap = w[1].duration_since(w[0]);
+            assert!(
+                gap >= cfg.min_gap,
+                "injections {} and {} only {:?} apart",
+                w[0].as_micros(),
+                w[1].as_micros(),
+                gap
+            );
+        }
+    }
+
+    #[test]
+    fn storm_respects_concurrency_budget_and_repairs_all() {
+        let cfg = storm_cfg(13);
+        let plan = FaultPlan::storm(&cfg);
+        // Replay the plan counting active faults.
+        let mut steps: Vec<&FaultStep> = plan.steps().iter().collect();
+        steps.sort_by_key(|s| s.at);
+        let mut active = 0usize;
+        let mut peak = 0usize;
+        for s in &steps {
+            if s.action.is_repair() {
+                active = active.saturating_sub(1);
+            } else {
+                active += 1;
+                peak = peak.max(active);
+            }
+        }
+        assert!(peak >= 1);
+        assert!(
+            peak <= cfg.max_concurrent,
+            "peak {peak} exceeds budget {}",
+            cfg.max_concurrent
+        );
+        assert_eq!(active, 0, "storm must repair everything it breaks");
+        assert!(steps.iter().all(|s| s.at <= cfg.end));
+    }
+
+    #[test]
+    fn schedule_compiles_onto_control_queue() {
+        let mut world = World::new(Topology::full_mesh(3), 3);
+        let plan = FaultPlan::new()
+            .crash_node(SimTime::from_millis(1), NodeId(2))
+            .loss_rate(SimTime::from_millis(2), 0.5)
+            .partition_oneway(SimTime::from_millis(3), NodeId(0), NodeId(1))
+            .restart_node(SimTime::from_millis(4), NodeId(2))
+            .heal_pair(SimTime::from_millis(5), NodeId(0), NodeId(1))
+            .loss_rate(SimTime::from_millis(6), 0.0);
+        plan.schedule(&mut world);
+        world.run_until(SimTime::from_micros(3_500));
+        assert!(!world.is_node_up(NodeId(2)));
+        assert_eq!(world.fault().drop_probability(), 0.5);
+        assert!(world.fault().is_blocked(NodeId(0), NodeId(1)));
+        assert!(!world.fault().is_blocked(NodeId(1), NodeId(0)));
+        world.run_until(SimTime::from_millis(7));
+        assert!(world.is_node_up(NodeId(2)));
+        assert_eq!(world.fault().drop_probability(), 0.0);
+        assert!(!world.fault().is_blocked(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn merge_concatenates_and_repair_classification() {
+        let a = FaultPlan::new().crash_node(SimTime::from_millis(1), NodeId(0));
+        let b = FaultPlan::new().restart_node(SimTime::from_millis(2), NodeId(0));
+        let merged = a.merge(b);
+        assert_eq!(merged.steps().len(), 2);
+        assert!(!merged.steps()[0].action.is_repair());
+        assert!(merged.steps()[1].action.is_repair());
+        assert!(ChaosAction::LossRate(0.0).is_repair());
+        assert!(!ChaosAction::LossRate(0.1).is_repair());
+        assert!(ChaosAction::Slowdown(NodeId(0), 1.0).is_repair());
+        assert!(!ChaosAction::Slowdown(NodeId(0), 2.0).is_repair());
+        assert!(ChaosAction::HealAll.is_repair());
+    }
+}

@@ -43,7 +43,9 @@ pub(crate) enum ControlAction {
     SetNodeSlowdown(NodeId, f64),
     SetDropProbability(f64),
     PartitionNodes(Vec<NodeId>, Vec<NodeId>),
+    PartitionOneWay(NodeId, NodeId),
     HealPartitions,
+    HealPair(NodeId, NodeId),
 }
 
 pub(crate) struct ScheduledEvent {

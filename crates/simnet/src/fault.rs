@@ -49,9 +49,24 @@ impl FaultState {
         }
     }
 
+    /// Blocks traffic in one direction only: messages `from → to` are
+    /// dropped while `to → from` still flows. Chaos plans use this to
+    /// express asymmetric link failures (a sender whose NIC transmits but
+    /// no longer receives, or a router that black-holes one direction).
+    pub fn partition_oneway(&mut self, from: NodeId, to: NodeId) {
+        self.blocked.insert((from, to));
+    }
+
     /// Removes all partitions.
     pub fn heal(&mut self) {
         self.blocked.clear();
+    }
+
+    /// Heals both directions between a single pair of nodes, leaving every
+    /// other standing partition in place.
+    pub fn heal_pair(&mut self, a: NodeId, b: NodeId) {
+        self.blocked.remove(&(a, b));
+        self.blocked.remove(&(b, a));
     }
 
     /// Whether traffic `from → to` is currently blocked by a partition.
@@ -94,6 +109,30 @@ mod tests {
         assert!(!f.is_blocked(NodeId(0), NodeId(1)));
         f.heal();
         assert!(!f.is_blocked(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn oneway_partition_blocks_only_one_direction() {
+        let mut f = FaultState::new();
+        f.partition_oneway(NodeId(0), NodeId(1));
+        assert!(f.is_blocked(NodeId(0), NodeId(1)));
+        assert!(!f.is_blocked(NodeId(1), NodeId(0)));
+        let mut rng = DeterministicRng::new(9);
+        assert!(f.should_drop(NodeId(0), NodeId(1), &mut rng));
+        assert!(!f.should_drop(NodeId(1), NodeId(0), &mut rng));
+        f.heal_pair(NodeId(0), NodeId(1));
+        assert!(!f.is_blocked(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn heal_pair_leaves_other_partitions_standing() {
+        let mut f = FaultState::new();
+        f.partition(&[NodeId(0)], &[NodeId(1), NodeId(2)]);
+        f.heal_pair(NodeId(0), NodeId(1));
+        assert!(!f.is_blocked(NodeId(0), NodeId(1)));
+        assert!(!f.is_blocked(NodeId(1), NodeId(0)));
+        assert!(f.is_blocked(NodeId(0), NodeId(2)));
+        assert!(f.is_blocked(NodeId(2), NodeId(0)));
     }
 
     #[test]

@@ -48,6 +48,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod actor;
+pub mod chaos;
 pub(crate) mod event;
 pub mod explore;
 pub mod fault;
@@ -62,6 +63,7 @@ pub mod world;
 /// The most commonly used names, for glob import.
 pub mod prelude {
     pub use crate::actor::{downcast_payload, payload_ref, Actor, Context, Payload, TimerToken};
+    pub use crate::chaos::{ChaosAction, FaultPlan, FaultStep, StormConfig};
     pub use crate::explore::{Choice, ExploreConfig, ExploreReport, Fnv64, Violation};
     pub use crate::metrics::{BandwidthMeter, Counter, Histogram, MetricsHub, TimeSeries};
     pub use crate::rng::DeterministicRng;

@@ -295,10 +295,25 @@ impl World {
         );
     }
 
+    /// Blocks traffic `from → to` only (asymmetric link failure) at `at`.
+    pub fn partition_oneway_at(&mut self, from: NodeId, to: NodeId, at: SimTime) {
+        self.queue.push(
+            at,
+            EventKind::Control(ControlAction::PartitionOneWay(from, to)),
+        );
+    }
+
     /// Heals all partitions at time `at`.
     pub fn heal_partitions_at(&mut self, at: SimTime) {
         self.queue
             .push(at, EventKind::Control(ControlAction::HealPartitions));
+    }
+
+    /// Heals both directions between `a` and `b` at time `at`, leaving any
+    /// other standing partition in place.
+    pub fn heal_pair_at(&mut self, a: NodeId, b: NodeId, at: SimTime) {
+        self.queue
+            .push(at, EventKind::Control(ControlAction::HealPair(a, b)));
     }
 
     // ----- execution -------------------------------------------------------
@@ -713,7 +728,9 @@ impl World {
             }
             ControlAction::SetDropProbability(p) => self.fault.set_drop_probability(p),
             ControlAction::PartitionNodes(left, right) => self.fault.partition(&left, &right),
+            ControlAction::PartitionOneWay(from, to) => self.fault.partition_oneway(from, to),
             ControlAction::HealPartitions => self.fault.heal(),
+            ControlAction::HealPair(a, b) => self.fault.heal_pair(a, b),
         }
     }
 }
