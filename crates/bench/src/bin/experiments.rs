@@ -1,19 +1,21 @@
 //! CLI that regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! experiments [fig3|fig4|fig6|fig7|fig8|fig9|fanout|trace|chaos|all] [--requests N] [--seed S]
+//! experiments [fig3|fig4|fig6|fig7|fig8|fig9|fanout|trace|chaos|shard|all] [--requests N] [--seed S]
 //! ```
 //!
 //! `fanout` additionally writes the machine-readable `BENCH_PR2.json` and
 //! `BENCH_PR3.json` summaries; `trace` writes the structured event export
-//! `trace_switch.jsonl`; `chaos` writes the recovery gate `BENCH_PR4.json`.
-//! All three print the names of any failing acceptance gates and exit
-//! nonzero.
+//! `trace_switch.jsonl`; `chaos` writes the recovery gate `BENCH_PR4.json`;
+//! `shard` writes the multi-group scaling gate `BENCH_PR5.json`. All four
+//! print the names of any failing acceptance gates and exit nonzero.
 
 use std::env;
 use std::process::ExitCode;
 
-use vd_bench::experiments::{ablation, chaos, fanout, fig3, fig4, fig6, fig7, fig8, fig9, trace};
+use vd_bench::experiments::{
+    ablation, chaos, fanout, fig3, fig4, fig6, fig7, fig8, fig9, shard, trace,
+};
 
 struct Options {
     which: String,
@@ -41,7 +43,7 @@ fn parse() -> Result<Options, String> {
             }
             "--help" | "-h" => {
                 return Err(
-                    "usage: experiments [fig3|fig4|fig6|fig7|fig8|fig9|fanout|trace|chaos|all] [--requests N] [--seed S]"
+                    "usage: experiments [fig3|fig4|fig6|fig7|fig8|fig9|fanout|trace|chaos|shard|all] [--requests N] [--seed S]"
                         .into(),
                 );
             }
@@ -109,6 +111,18 @@ fn main() -> ExitCode {
         }
         Ok(())
     };
+    let run_shard = || -> Result<(), String> {
+        let result = shard::run(requests, seed);
+        println!("{}", result.render());
+        std::fs::write("BENCH_PR5.json", result.to_json())
+            .map_err(|e| format!("failed to write BENCH_PR5.json: {e}"))?;
+        println!("wrote BENCH_PR5.json");
+        let failing = result.failing_gates();
+        if !failing.is_empty() {
+            return Err(format!("shard gate(s) failed: {}", failing.join(", ")));
+        }
+        Ok(())
+    };
     let run_trace = || -> Result<(), String> {
         let result = trace::run(12, 1200.0, seed);
         println!("{}", result.render());
@@ -147,6 +161,12 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+        "shard" => {
+            if let Err(msg) = run_shard() {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+        }
         "all" => {
             run_fig3();
             run_fig4();
@@ -157,6 +177,7 @@ fn main() -> ExitCode {
                 &run_fanout as &dyn Fn() -> Result<(), String>,
                 &run_trace,
                 &run_chaos,
+                &run_shard,
             ] {
                 if let Err(msg) = step() {
                     eprintln!("{msg}");
@@ -166,7 +187,7 @@ fn main() -> ExitCode {
         }
         other => {
             eprintln!(
-                "unknown experiment: {other} (expected fig3|fig4|fig6|fig7|fig8|fig9|ablation|fanout|trace|chaos|all)"
+                "unknown experiment: {other} (expected fig3|fig4|fig6|fig7|fig8|fig9|ablation|fanout|trace|chaos|shard|all)"
             );
             return ExitCode::FAILURE;
         }

@@ -385,11 +385,21 @@ fn run_campaign(style: ReplicationStyle, seed: u64, requests: u64) -> CampaignOu
         _ => ReplicationStyle::Active,
     };
     bed.world.run_for(SimDuration::from_millis(700));
-    bed.world
-        .inject(bed.replicas[1], ReplicaCommand::Switch(other));
+    bed.world.inject(
+        bed.replicas[1],
+        ReplicaCommand::Switch {
+            group: config.group,
+            style: other,
+        },
+    );
     bed.world.run_for(SimDuration::from_millis(1_100));
-    bed.world
-        .inject(bed.replicas[1], ReplicaCommand::Switch(style));
+    bed.world.inject(
+        bed.replicas[1],
+        ReplicaCommand::Switch {
+            group: config.group,
+            style,
+        },
+    );
 
     // Run the workload out (the storm has fully unwound by 2.5 s).
     let expected = requests * config.clients as u64;
@@ -438,7 +448,10 @@ fn run_scripted(seed: u64, requests: u64) -> ScriptedOutcome {
     bed.world.run_for(SimDuration::from_millis(100));
     bed.world.inject(
         bed.replicas[1],
-        ReplicaCommand::Switch(ReplicationStyle::WarmPassive),
+        ReplicaCommand::Switch {
+            group: config.group,
+            style: ReplicationStyle::WarmPassive,
+        },
     );
     bed.world.crash_process_at(
         bed.replicas[0],

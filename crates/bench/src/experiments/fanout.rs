@@ -304,10 +304,13 @@ impl FanoutResult {
     }
 }
 
+/// The group the fan-out microbenchmark runs in.
+const FANOUT_GROUP: GroupId = GroupId(1);
+
 /// A bootstrapped sans-IO endpoint in a `members`-sized group.
 fn endpoint(members: u64, config: GroupConfig) -> Endpoint {
     let ids: Vec<ProcessId> = (1..=members).map(ProcessId).collect();
-    let mut e = Endpoint::bootstrap(ProcessId(1), GroupId(1), config, ids);
+    let mut e = Endpoint::bootstrap(ProcessId(1), FANOUT_GROUP, config, ids);
     let _ = e.start(SimTime::ZERO);
     e
 }
@@ -392,7 +395,7 @@ fn measure_checkpoints(full_every: u32, requests: u64, seed: u64) -> CheckpointT
         let acct: CheckpointAccounting = bed
             .world
             .actor_ref::<ReplicaActor>(pid)
-            .map(|r| r.checkpoints)
+            .map(|r| *r.checkpoints())
             .unwrap_or_default();
         total.fulls += acct.full_sent;
         total.deltas += acct.deltas_sent;

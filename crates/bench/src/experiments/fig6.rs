@@ -12,6 +12,7 @@ use vd_core::knobs::LowLevelKnobs;
 use vd_core::policy::RateThresholdPolicy;
 use vd_core::replica::{ReplicaActor, ReplicaConfig};
 use vd_core::style::ReplicationStyle;
+use vd_group::message::GroupId;
 use vd_simnet::prelude::*;
 
 use crate::report::render_series;
@@ -75,7 +76,7 @@ fn spawn_group(world: &mut World, adaptive: bool) -> Vec<ProcessId> {
         let config = ReplicaConfig {
             knobs: LowLevelKnobs::default().style(ReplicationStyle::WarmPassive),
             metrics_prefix: format!("replica{i}"),
-            ..ReplicaConfig::default()
+            ..ReplicaConfig::for_group(GroupId(1))
         };
         let mut actor = ReplicaActor::bootstrap(
             ProcessId(i as u64),
@@ -123,7 +124,7 @@ pub fn run_timeline(duration_secs: u64, peak_rate: f64, seed: u64) -> Fig6Result
     let style_timeline = world
         .actor_ref::<ReplicaActor>(replicas[0])
         .map(|r| {
-            r.style_history
+            r.style_history()
                 .iter()
                 .map(|&(t, s)| (t.as_secs_f64(), s))
                 .collect()

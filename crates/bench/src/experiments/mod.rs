@@ -12,6 +12,7 @@
 //! | [`fanout`] | data-plane gate — zero-copy fan-out, batching, delta checkpoints, trace overhead (`BENCH_PR2.json`, `BENCH_PR3.json`) |
 //! | [`trace`] | observability gate — structured event export of the Fig. 6 switch run (`trace_switch.jsonl`) |
 //! | [`chaos`] | robustness gate — fault storms + automated recovery manager, MTTR/availability (`BENCH_PR4.json`) |
+//! | [`shard`] | scalability gate — multi-group hosting, aggregate throughput over 1/2/4 groups + concurrent switches (`BENCH_PR5.json`) |
 //!
 //! Each runner returns a structured result with a `render()` method that
 //! prints the same rows/series the paper reports.
@@ -25,4 +26,5 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod shard;
 pub mod trace;

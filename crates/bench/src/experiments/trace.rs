@@ -21,6 +21,7 @@ use vd_core::knobs::LowLevelKnobs;
 use vd_core::policy::RateThresholdPolicy;
 use vd_core::replica::{ReplicaActor, ReplicaConfig};
 use vd_core::style::ReplicationStyle;
+use vd_group::message::GroupId;
 use vd_obs::export::{export_jsonl, render_timeline};
 use vd_obs::{Event, EventKind, Obs, ObsHandle, SwitchPhase, TraceSink};
 use vd_simnet::prelude::*;
@@ -178,7 +179,7 @@ fn spawn_group(world: &mut World, sink: &Arc<TraceSink>) -> (Vec<ProcessId>, Vec
             knobs: LowLevelKnobs::default().style(ReplicationStyle::WarmPassive),
             metrics_prefix: format!("replica{i}"),
             obs,
-            ..ReplicaConfig::default()
+            ..ReplicaConfig::for_group(GroupId(1))
         };
         let actor = ReplicaActor::bootstrap(
             ProcessId(i as u64),

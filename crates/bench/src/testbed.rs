@@ -8,6 +8,7 @@ use vd_core::knobs::LowLevelKnobs;
 use vd_core::recovery::{RecoveryConfig, RecoveryManager};
 use vd_core::replica::{ReplicaActor, ReplicaConfig};
 use vd_core::style::ReplicationStyle;
+use vd_group::message::GroupId;
 use vd_obs::{Obs, ObsHandle, TraceSink};
 use vd_orb::interceptor::Passthrough;
 use vd_orb::object::{ObjectAdapter, ObjectKey};
@@ -61,6 +62,9 @@ pub struct TestbedConfig {
     pub clients: usize,
     /// Replication style under test.
     pub style: ReplicationStyle,
+    /// The object group the replicas host. Single-group beds keep the
+    /// historical `GroupId(1)`; sharded beds build one bed per group.
+    pub group: GroupId,
     /// Requests per client (paper: a cycle of 10 000; experiments here
     /// default to 2 000 which converges to the same means).
     pub requests_per_client: u64,
@@ -108,6 +112,7 @@ impl Default for TestbedConfig {
             replicas: 3,
             clients: 1,
             style: ReplicationStyle::Active,
+            group: GroupId(1),
             requests_per_client: 2_000,
             request_bytes: 256,
             response_bytes: 448,
@@ -225,7 +230,7 @@ pub fn build_replicated(config: &TestbedConfig) -> Testbed {
             metrics_prefix: format!("replica{i}"),
             obs: replica_obs,
             managers: manager_pids.clone(),
-            ..ReplicaConfig::default()
+            ..ReplicaConfig::for_group(config.group)
         };
         if recovery_replica_config.is_none() {
             // Template for manager-spawned replacements: same knobs and

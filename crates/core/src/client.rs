@@ -9,6 +9,7 @@
 //! over to another gateway on timeout — the application-visible behavior is
 //! a plain synchronous invocation that happens to survive replica crashes.
 
+use vd_orb::directory::RoutingDirectory;
 use vd_orb::sim::{OrbCosts, RequestDriver};
 use vd_orb::wire::{OrbMessage, Request};
 use vd_simnet::actor::{downcast_payload, Actor, Context, Payload, TimerToken};
@@ -25,8 +26,16 @@ const RETRY_TIMER_BASE: u64 = 1_000_000;
 /// Configuration of a replicated client.
 #[derive(Debug, Clone)]
 pub struct ReplicatedClientConfig {
-    /// The replica processes, in gateway preference order.
+    /// The replica processes, in gateway preference order — the fallback
+    /// gateway pool when the [`RoutingDirectory`] does not resolve a
+    /// request's object key (and the whole pool in single-group setups).
     pub replicas: Vec<ProcessId>,
+    /// Key→group routing: when a request's object key resolves here, its
+    /// gateway pool is the hosting group's gateway list instead of
+    /// [`ReplicatedClientConfig::replicas`]. Clients address objects;
+    /// which group — and therefore which processes — serve them is the
+    /// directory's business.
+    pub directory: RoutingDirectory,
     /// ORB cost model (marshal per traversal).
     pub costs: OrbCosts,
     /// Client-side interposition cost per traversal.
@@ -54,6 +63,7 @@ impl Default for ReplicatedClientConfig {
     fn default() -> Self {
         ReplicatedClientConfig {
             replicas: Vec::new(),
+            directory: RoutingDirectory::new(),
             costs: OrbCosts::paper_calibrated(),
             interposition: SimDuration::from_micros(38),
             retry_timeout: SimDuration::from_millis(200),
@@ -104,10 +114,10 @@ impl ReplicatedClientActor {
     /// Panics if no replicas are configured.
     pub fn new(driver: RequestDriver, config: ReplicatedClientConfig) -> Self {
         assert!(
-            !config.replicas.is_empty(),
-            "a replicated client needs at least one replica"
+            !config.replicas.is_empty() || !config.directory.is_empty(),
+            "a replicated client needs replicas or a routing directory"
         );
-        let gateway = config.initial_gateway % config.replicas.len();
+        let gateway = config.initial_gateway;
         ReplicatedClientActor {
             config,
             driver,
@@ -124,9 +134,43 @@ impl ReplicatedClientActor {
         &self.driver
     }
 
-    /// The replica currently used as gateway.
+    /// The gateway pool serving `request`: the directory's resolution of
+    /// its object key, else the static replica list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key does not resolve and no fallback replicas are
+    /// configured.
+    fn pool_for(&self, request: &Request) -> &[ProcessId] {
+        let pool = self
+            .config
+            .directory
+            .gateways_for(&request.object_key)
+            .unwrap_or(&self.config.replicas);
+        assert!(
+            !pool.is_empty(),
+            "no gateways for object {:?} and no fallback replicas",
+            request.object_key
+        );
+        pool
+    }
+
+    /// The replica currently used as gateway (for the outstanding
+    /// request's group when one is in flight).
     pub fn gateway(&self) -> ProcessId {
-        self.config.replicas[self.gateway % self.config.replicas.len()]
+        let pool = match &self.outstanding {
+            Some(request) => self.pool_for(request),
+            // Idle with no fallback list: show the first routed group's
+            // pool (directory-only configurations).
+            None if self.config.replicas.is_empty() => {
+                let dir = &self.config.directory;
+                dir.groups()
+                    .find_map(|g| dir.gateways_of(g))
+                    .expect("directory-only client with no gateways")
+            }
+            None => &self.config.replicas,
+        };
+        pool[self.gateway % pool.len()]
     }
 
     fn issue(&mut self, ctx: &mut Context<'_>) {
@@ -136,7 +180,8 @@ impl ReplicatedClientActor {
         };
         ctx.use_cpu(self.config.costs.marshal);
         ctx.use_cpu(self.config.interposition);
-        let gateway = self.gateway();
+        let pool = self.pool_for(&request);
+        let gateway = pool[self.gateway % pool.len()];
         ctx.send(gateway, OrbMessage::Request(request.clone()));
         self.attempt = 0;
         ctx.set_timer(
@@ -162,13 +207,17 @@ impl ReplicatedClientActor {
         };
         self.retries += 1;
         self.attempt += 1;
-        self.gateway = (self.gateway + 1) % self.config.replicas.len();
+        // Rotate within the request's own gateway pool: failover for an
+        // object stays inside the group hosting it.
+        self.gateway = self.gateway.wrapping_add(1);
         ctx.use_cpu(self.config.interposition);
         ctx.set_timer(
             self.retry_delay(),
             TimerToken(RETRY_TIMER_BASE + request.request_id),
         );
-        ctx.send(self.gateway(), OrbMessage::Request(request));
+        let pool = self.pool_for(&request);
+        let target = pool[self.gateway % pool.len()];
+        ctx.send(target, OrbMessage::Request(request));
     }
 
     /// Abandons the outstanding request (budget exhausted) and moves on

@@ -32,10 +32,12 @@
 
 use std::collections::BTreeMap;
 
+use vd_group::message::GroupId;
 use vd_simnet::explore::Fnv64;
 use vd_simnet::topology::ProcessId;
 use vd_simnet::world::World;
 
+use crate::engine::Engine;
 use crate::replica::ReplicaActor;
 
 /// A content digest of a reply body, as stored in the [`InvariantLog`].
@@ -70,15 +72,34 @@ impl InvariantLog {
 }
 
 /// World-level switch-protocol invariants over a fixed replica group.
+///
+/// Built with [`SwitchInvariants::new`], the checker reads each process's
+/// *first* hosted group (the single-group case). Built with
+/// [`SwitchInvariants::for_group`], it reads the engine and audit trail
+/// of that specific group on each process — two checkers over different
+/// groups of the same co-hosting processes are independent, which is how
+/// concurrent per-group switches are validated.
 #[derive(Debug, Clone)]
 pub struct SwitchInvariants {
     replicas: Vec<ProcessId>,
+    group: Option<GroupId>,
 }
 
 impl SwitchInvariants {
-    /// A checker over the given replica processes.
+    /// A checker over the given replica processes (first hosted group).
     pub fn new(replicas: Vec<ProcessId>) -> Self {
-        SwitchInvariants { replicas }
+        SwitchInvariants {
+            replicas,
+            group: None,
+        }
+    }
+
+    /// A checker over one named group hosted by the given processes.
+    pub fn for_group(group: GroupId, replicas: Vec<ProcessId>) -> Self {
+        SwitchInvariants {
+            replicas,
+            group: Some(group),
+        }
     }
 
     /// Checks all three invariants; `Err` carries a diagnostic naming the
@@ -101,16 +122,32 @@ impl SwitchInvariants {
         })
     }
 
+    fn engine_of<'a>(&self, actor: &'a ReplicaActor) -> Option<&'a Engine> {
+        match self.group {
+            None => Some(actor.engine()),
+            Some(group) => actor.engine_of(group),
+        }
+    }
+
+    fn log_of<'a>(&self, actor: &'a ReplicaActor) -> Option<&'a InvariantLog> {
+        match self.group {
+            None => Some(actor.invariant_log()),
+            Some(group) => actor.invariant_log_of(group),
+        }
+    }
+
     fn single_primary(&self, world: &World) -> Result<(), String> {
         let primaries: Vec<ProcessId> = self
             .live_replicas(world)
-            .filter(|(_, actor)| actor.engine().is_primary())
+            .filter(|(_, actor)| self.engine_of(actor).is_some_and(|e| e.is_primary()))
             .map(|(pid, _)| pid)
             .collect();
         if primaries.len() > 1 {
             return Err(format!(
-                "single-primary violated at {}: {primaries:?} all believe they are primary",
-                world.now()
+                "single-primary violated at {} (group {:?}): {primaries:?} all believe \
+                 they are primary",
+                world.now(),
+                self.group
             ));
         }
         Ok(())
@@ -118,7 +155,10 @@ impl SwitchInvariants {
 
     fn exactly_once(&self, world: &World) -> Result<(), String> {
         for (pid, actor) in self.live_replicas(world) {
-            if let Some((client, request_id)) = actor.invariant_log().first_duplicate() {
+            let Some(log) = self.log_of(actor) else {
+                continue;
+            };
+            if let Some((client, request_id)) = log.first_duplicate() {
                 return Err(format!(
                     "exactly-once violated at {}: replica {pid} executed \
                      ({client}, {request_id}) twice",
@@ -132,7 +172,10 @@ impl SwitchInvariants {
     fn reply_convergence(&self, world: &World) -> Result<(), String> {
         let mut agreed: BTreeMap<(ProcessId, u64), (ProcessId, u64)> = BTreeMap::new();
         for (pid, actor) in self.live_replicas(world) {
-            for (&request, &digest) in &actor.invariant_log().replies {
+            let Some(log) = self.log_of(actor) else {
+                continue;
+            };
+            for (&request, &digest) in &log.replies {
                 match agreed.get(&request) {
                     None => {
                         agreed.insert(request, (pid, digest));

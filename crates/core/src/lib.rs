@@ -69,6 +69,7 @@ pub mod invariants;
 pub mod knobs;
 pub mod messages;
 pub mod monitor;
+pub mod placement;
 pub mod policy;
 pub mod recovery;
 pub mod replica;
@@ -84,6 +85,7 @@ pub mod prelude {
     pub use crate::knobs::{HighLevelKnob, LowLevelKnobs};
     pub use crate::messages::{CachedReply, ReplicatorMsg};
     pub use crate::monitor::{Monitor, Observations};
+    pub use crate::placement::{GroupLoad, GroupPlacement, PlacementPolicy};
     pub use crate::policy::{
         plan_scalability, AdaptationAction, AdaptationPolicy, AvailabilityPolicy, ChosenConfig,
         ConfigMeasurement, ContractPolicy, PolicyContext, RateThresholdPolicy,
@@ -93,7 +95,10 @@ pub mod prelude {
         DirectiveNotice, ManagerHeartbeat, MembershipReport, RecoveryConfig, RecoveryManager,
         SuspicionNotice,
     };
-    pub use crate::replica::{ReplicaActor, ReplicaCommand, ReplicaConfig, ReplicaCosts};
+    pub use crate::replica::{
+        GroupMembership, HostedGroup, ReplicaActor, ReplicaCommand, ReplicaConfig, ReplicaCosts,
+        ReplicationEngine,
+    };
     pub use crate::repstate::SystemBoard;
     pub use crate::state::{Checkpoint, InvokeResult, ReplicatedApplication, UserException};
     pub use crate::style::ReplicationStyle;

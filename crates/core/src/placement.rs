@@ -1,0 +1,343 @@
+//! Multi-group placement: the scalability knob grown into a balancer.
+//!
+//! The paper's §4.3 planner ([`crate::policy::plan_scalability`]) picks
+//! one {style, degree} configuration per measured client count. With
+//! multi-group hosting the same empirical data drives a *placement*
+//! decision: given the measured load of every object group, the
+//! [`PlacementPolicy`]
+//!
+//! 1. selects each group's replication style and degree from the Table-2
+//!    plan keyed by that group's own load,
+//! 2. bin-packs the group's replicas onto the least-loaded nodes —
+//!    spreading primaries so co-hosted groups execute on different CPUs
+//!    (the source of the aggregate-throughput scaling the shard
+//!    experiment gates on), and
+//! 3. diffs successive placements into the [`AdaptationAction`]s the
+//!    existing directive path already actuates (style switch via the
+//!    Fig. 5 protocol, degree changes via the recovery manager).
+
+use std::collections::BTreeMap;
+
+use vd_group::message::GroupId;
+use vd_simnet::topology::NodeId;
+
+use crate::policy::{
+    plan_scalability, AdaptationAction, ChosenConfig, ConfigMeasurement, ScalabilityRequirements,
+};
+use crate::style::ReplicationStyle;
+
+/// Measured load of one object group — the per-group analogue of the
+/// client count keying the paper's Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupLoad {
+    /// The object group.
+    pub group: GroupId,
+    /// Concurrent clients (or request-rate bucket) measured against it.
+    pub clients: usize,
+}
+
+/// Where one group's replicas run and how they replicate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupPlacement {
+    /// The object group.
+    pub group: GroupId,
+    /// Hosting nodes, primary first.
+    pub nodes: Vec<NodeId>,
+    /// The chosen replication style.
+    pub style: ReplicationStyle,
+}
+
+impl GroupPlacement {
+    /// The replication degree of this placement.
+    pub fn replicas(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The node hosting the primary.
+    pub fn primary_node(&self) -> NodeId {
+        self.nodes[0]
+    }
+}
+
+/// The scalability placement policy: per-group {style, degree} selection
+/// from measured data plus least-loaded placement of groups onto nodes.
+#[derive(Debug, Clone)]
+pub struct PlacementPolicy {
+    measurements: Vec<ConfigMeasurement>,
+    requirements: ScalabilityRequirements,
+    /// Configuration used when no measured configuration satisfies the
+    /// requirements for a load (the paper's "notify the operators" case
+    /// still needs *something* running).
+    fallback: (ReplicationStyle, usize),
+}
+
+impl PlacementPolicy {
+    /// A policy over the given measured configuration points and hard
+    /// requirements. The fallback for infeasible loads defaults to
+    /// warm-passive with 2 replicas.
+    pub fn new(
+        measurements: Vec<ConfigMeasurement>,
+        requirements: ScalabilityRequirements,
+    ) -> Self {
+        PlacementPolicy {
+            measurements,
+            requirements,
+            fallback: (ReplicationStyle::WarmPassive, 2),
+        }
+    }
+
+    /// Overrides the configuration used for infeasible loads.
+    pub fn with_fallback(mut self, style: ReplicationStyle, replicas: usize) -> Self {
+        self.fallback = (style, replicas.max(1));
+        self
+    }
+
+    /// The Table-2 choice for `clients` concurrent clients: the plan entry
+    /// for the largest measured client count not exceeding `clients`
+    /// (loads below the smallest measurement use the smallest). `None`
+    /// when the nearest entry is infeasible.
+    pub fn choose(&self, clients: usize) -> Option<ChosenConfig> {
+        let plan = plan_scalability(&self.measurements, &self.requirements);
+        let key = plan
+            .keys()
+            .rev()
+            .find(|&&n| n <= clients)
+            .or_else(|| plan.keys().next())
+            .copied()?;
+        plan[&key]
+    }
+
+    /// The {style, degree} applied to a group under `clients` load,
+    /// falling back when the plan has no feasible entry.
+    pub fn configuration(&self, clients: usize) -> (ReplicationStyle, usize) {
+        match self.choose(clients) {
+            Some(chosen) => (chosen.style, chosen.replicas.max(1)),
+            None => self.fallback,
+        }
+    }
+
+    /// Assigns every group to nodes: heaviest group first, replicas on the
+    /// currently least-loaded nodes (deterministic — ties break on node
+    /// id), primary on the least-loaded of those. Node load accounts for
+    /// the style: active replication charges every replica the execution
+    /// work, passive styles charge backups only checkpoint application.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty.
+    pub fn place(&self, loads: &[GroupLoad], nodes: &[NodeId]) -> Vec<GroupPlacement> {
+        assert!(!nodes.is_empty(), "placement needs at least one node");
+        // Heaviest first so large groups get first pick of empty nodes.
+        let mut ordered: Vec<GroupLoad> = loads.to_vec();
+        ordered.sort_by(|a, b| b.clients.cmp(&a.clients).then(a.group.0.cmp(&b.group.0)));
+        let mut node_load: BTreeMap<NodeId, f64> = nodes.iter().map(|&n| (n, 0.0)).collect();
+        let mut out = Vec::with_capacity(ordered.len());
+        for load in ordered {
+            let (style, replicas) = self.configuration(load.clients);
+            let replicas = replicas.min(nodes.len());
+            // The `replicas` least-loaded nodes, least-loaded first.
+            let mut ranked: Vec<NodeId> = nodes.to_vec();
+            ranked.sort_by(|a, b| {
+                node_load[a]
+                    .partial_cmp(&node_load[b])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.0.cmp(&b.0))
+            });
+            let chosen: Vec<NodeId> = ranked.into_iter().take(replicas).collect();
+            let primary_cost = load.clients as f64;
+            let backup_cost = if style == ReplicationStyle::Active {
+                primary_cost // every active replica executes
+            } else {
+                primary_cost * 0.25 // backups only apply checkpoints
+            };
+            for (i, node) in chosen.iter().enumerate() {
+                let cost = if i == 0 { primary_cost } else { backup_cost };
+                *node_load.get_mut(node).expect("chosen from nodes") += cost;
+            }
+            out.push(GroupPlacement {
+                group: load.group,
+                nodes: chosen,
+                style,
+            });
+        }
+        out.sort_by_key(|p| p.group.0);
+        out
+    }
+
+    /// Diffs two successive placements into per-group adaptation actions
+    /// for the existing directive path: a style change becomes
+    /// [`AdaptationAction::SwitchStyle`] (actuated by the Fig. 5 switch
+    /// protocol), a degree change becomes one
+    /// [`AdaptationAction::AddReplica`] / [`AdaptationAction::RemoveReplica`]
+    /// per unit (actuated by the recovery manager). Groups present only
+    /// in `new` are bootstrap work, not rebalancing, and produce nothing.
+    pub fn rebalance(
+        old: &[GroupPlacement],
+        new: &[GroupPlacement],
+    ) -> Vec<(GroupId, AdaptationAction)> {
+        let old_by_group: BTreeMap<GroupId, &GroupPlacement> =
+            old.iter().map(|p| (p.group, p)).collect();
+        let mut actions = Vec::new();
+        for next in new {
+            let Some(prev) = old_by_group.get(&next.group) else {
+                continue;
+            };
+            if prev.style != next.style {
+                actions.push((next.group, AdaptationAction::SwitchStyle(next.style)));
+            }
+            let (from, to) = (prev.replicas(), next.replicas());
+            for _ in to..from {
+                actions.push((next.group, AdaptationAction::RemoveReplica));
+            }
+            for _ in from..to {
+                actions.push((next.group, AdaptationAction::AddReplica));
+            }
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn measurement(
+        style: ReplicationStyle,
+        replicas: usize,
+        clients: usize,
+        latency: f64,
+        bandwidth: f64,
+    ) -> ConfigMeasurement {
+        ConfigMeasurement {
+            style,
+            replicas,
+            clients,
+            latency_micros: latency,
+            bandwidth_mbps: bandwidth,
+        }
+    }
+
+    fn policy() -> PlacementPolicy {
+        use ReplicationStyle::{Active, WarmPassive};
+        PlacementPolicy::new(
+            vec![
+                measurement(Active, 3, 1, 1_200.0, 1.0),
+                measurement(WarmPassive, 3, 1, 3_000.0, 0.9),
+                measurement(Active, 3, 4, 1_900.0, 4.0),
+                measurement(WarmPassive, 3, 4, 6_100.0, 2.3),
+                measurement(Active, 3, 8, 2_400.0, 8.0),
+                measurement(WarmPassive, 2, 8, 6_500.0, 2.9),
+            ],
+            ScalabilityRequirements::paper(),
+        )
+    }
+
+    #[test]
+    fn per_load_configuration_follows_the_plan() {
+        let p = policy();
+        // Light load: active 3-replica wins (most faults tolerated).
+        assert_eq!(p.configuration(1), (ReplicationStyle::Active, 3));
+        // Active's bandwidth breaks the limit at 4 clients: warm passive.
+        assert_eq!(p.configuration(4), (ReplicationStyle::WarmPassive, 3));
+        // At 8 only the 2-replica passive configuration fits.
+        assert_eq!(p.configuration(8), (ReplicationStyle::WarmPassive, 2));
+        // In-between loads key on the largest measured count below.
+        assert_eq!(p.configuration(6), (ReplicationStyle::WarmPassive, 3));
+        // Loads below the smallest measurement use the smallest.
+        assert_eq!(p.configuration(0), (ReplicationStyle::Active, 3));
+    }
+
+    #[test]
+    fn infeasible_loads_use_the_fallback() {
+        let p = PlacementPolicy::new(
+            vec![measurement(ReplicationStyle::Active, 3, 2, 50_000.0, 10.0)],
+            ScalabilityRequirements::paper(),
+        )
+        .with_fallback(ReplicationStyle::ColdPassive, 1);
+        assert_eq!(p.configuration(2), (ReplicationStyle::ColdPassive, 1));
+    }
+
+    #[test]
+    fn equal_loads_spread_primaries_across_nodes() {
+        let p = policy();
+        let nodes: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let loads: Vec<GroupLoad> = (1..=4)
+            .map(|g| GroupLoad {
+                group: GroupId(g),
+                clients: 1,
+            })
+            .collect();
+        let placements = p.place(&loads, &nodes);
+        assert_eq!(placements.len(), 4);
+        let mut primaries: Vec<NodeId> = placements.iter().map(|p| p.primary_node()).collect();
+        primaries.sort_by_key(|n| n.0);
+        primaries.dedup();
+        assert_eq!(
+            primaries.len(),
+            4,
+            "each group's primary should land on its own node"
+        );
+        for placement in &placements {
+            assert_eq!(placement.replicas(), 3, "degree from the plan");
+        }
+    }
+
+    #[test]
+    fn degree_is_capped_by_the_node_pool() {
+        let p = policy();
+        let nodes = vec![NodeId(0), NodeId(1)];
+        let placements = p.place(
+            &[GroupLoad {
+                group: GroupId(7),
+                clients: 1,
+            }],
+            &nodes,
+        );
+        assert_eq!(placements[0].replicas(), 2);
+    }
+
+    #[test]
+    fn rebalance_diffs_style_and_degree() {
+        let old = vec![
+            GroupPlacement {
+                group: GroupId(1),
+                nodes: vec![NodeId(0), NodeId(1), NodeId(2)],
+                style: ReplicationStyle::Active,
+            },
+            GroupPlacement {
+                group: GroupId(2),
+                nodes: vec![NodeId(1), NodeId(2)],
+                style: ReplicationStyle::WarmPassive,
+            },
+        ];
+        let new = vec![
+            GroupPlacement {
+                group: GroupId(1),
+                nodes: vec![NodeId(0), NodeId(1)],
+                style: ReplicationStyle::WarmPassive,
+            },
+            GroupPlacement {
+                group: GroupId(2),
+                nodes: vec![NodeId(1), NodeId(2), NodeId(3)],
+                style: ReplicationStyle::WarmPassive,
+            },
+            GroupPlacement {
+                group: GroupId(3),
+                nodes: vec![NodeId(0)],
+                style: ReplicationStyle::Active,
+            },
+        ];
+        let actions = PlacementPolicy::rebalance(&old, &new);
+        assert_eq!(
+            actions,
+            vec![
+                (
+                    GroupId(1),
+                    AdaptationAction::SwitchStyle(ReplicationStyle::WarmPassive)
+                ),
+                (GroupId(1), AdaptationAction::RemoveReplica),
+                (GroupId(2), AdaptationAction::AddReplica),
+            ]
+        );
+    }
+}

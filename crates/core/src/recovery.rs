@@ -31,6 +31,7 @@
 
 use std::collections::BTreeMap;
 
+use vd_group::message::GroupId;
 use vd_obs::{Ctr, EventKind as ObsEvent, Hist, Obs, ObsHandle};
 use vd_simnet::actor::{downcast_payload, Actor, Context, Payload, TimerToken};
 use vd_simnet::time::{SimDuration, SimTime};
@@ -53,6 +54,10 @@ pub type AppFactory = Box<dyn Fn() -> Box<dyn ReplicatedApplication>>;
 /// mislead it).
 #[derive(Debug, Clone)]
 pub struct MembershipReport {
+    /// The object group the report describes. Each manager enforces the
+    /// degree of exactly one group; reports about other co-hosted groups
+    /// are ignored.
+    pub group: GroupId,
     /// The reporting replica.
     pub replica: ProcessId,
     /// Monotonic id of the reporter's installed view.
@@ -67,7 +72,7 @@ pub struct MembershipReport {
 
 impl Payload for MembershipReport {
     fn wire_size(&self) -> usize {
-        40 + 8 * self.members.len()
+        44 + 8 * self.members.len()
     }
 }
 
@@ -76,6 +81,8 @@ impl Payload for MembershipReport {
 /// the MTTR clock at first evidence rather than at quorum agreement.
 #[derive(Debug, Clone, Copy)]
 pub struct SuspicionNotice {
+    /// The object group the suspicions were raised in.
+    pub group: GroupId,
     /// The reporting replica.
     pub replica: ProcessId,
     /// Cumulative suspicions the reporter has observed.
@@ -84,7 +91,7 @@ pub struct SuspicionNotice {
 
 impl Payload for SuspicionNotice {
     fn wire_size(&self) -> usize {
-        24
+        28
     }
 }
 
@@ -94,6 +101,8 @@ impl Payload for SuspicionNotice {
 /// converge instead of ratcheting.
 #[derive(Debug, Clone, Copy)]
 pub struct DirectiveNotice {
+    /// The object group whose policy fired.
+    pub group: GroupId,
     /// The replica whose policy fired.
     pub replica: ProcessId,
     /// True for `AddReplica`, false for `RemoveReplica`.
@@ -104,7 +113,7 @@ pub struct DirectiveNotice {
 
 impl Payload for DirectiveNotice {
     fn wire_size(&self) -> usize {
-        24
+        28
     }
 }
 
@@ -154,13 +163,17 @@ pub struct RecoveryConfig {
     pub obs: ObsHandle,
 }
 
-impl Default for RecoveryConfig {
-    fn default() -> Self {
+impl RecoveryConfig {
+    /// The default manager configuration around a replacement-replica
+    /// template. The manager enforces the degree of exactly the group
+    /// named in `replica_config.group` (there is no `Default`: the
+    /// managed group is always explicit).
+    pub fn for_replica(replica_config: ReplicaConfig) -> Self {
         RecoveryConfig {
             target_replicas: 3,
             max_replicas: 7,
             spawn_nodes: Vec::new(),
-            replica_config: ReplicaConfig::default(),
+            replica_config,
             probe_interval: SimDuration::from_millis(10),
             attempt_deadline: SimDuration::from_millis(250),
             backoff_base: SimDuration::from_millis(20),
@@ -247,6 +260,11 @@ impl RecoveryManager {
             alarms: Vec::new(),
             mttr_log: Vec::new(),
         }
+    }
+
+    /// The object group this manager enforces.
+    pub fn group(&self) -> GroupId {
+        self.config.replica_config.group
     }
 
     /// The replication degree currently being enforced.
@@ -361,7 +379,12 @@ impl RecoveryManager {
                 // highest-numbered member, once per observed view.
                 self.last_trim_view = report.view_id;
                 if let Some(&victim) = report.members.last() {
-                    ctx.send(victim, crate::replica::ReplicaCommand::Leave);
+                    ctx.send(
+                        victim,
+                        crate::replica::ReplicaCommand::Leave {
+                            group: self.group(),
+                        },
+                    );
                 }
             }
         } else if live > 0 && !self.abandoned {
@@ -485,6 +508,9 @@ impl Actor for RecoveryManager {
     fn on_message(&mut self, ctx: &mut Context<'_>, from: ProcessId, payload: Box<dyn Payload>) {
         let payload = match downcast_payload::<MembershipReport>(payload) {
             Ok(report) => {
+                if report.group != self.group() {
+                    return; // another group's manager handles it
+                }
                 let better = self
                     .best
                     .as_ref()
@@ -498,6 +524,9 @@ impl Actor for RecoveryManager {
         };
         let payload = match downcast_payload::<SuspicionNotice>(payload) {
             Ok(notice) => {
+                if notice.group != self.group() {
+                    return;
+                }
                 if notice.suspicions > self.seen_suspicions {
                     self.seen_suspicions = notice.suspicions;
                     if self.episode.is_none() && self.suspicion_hint.is_none() {
@@ -510,6 +539,9 @@ impl Actor for RecoveryManager {
         };
         let payload = match downcast_payload::<DirectiveNotice>(payload) {
             Ok(directive) => {
+                if directive.group != self.group() {
+                    return;
+                }
                 if directive.add {
                     self.policy_target = self
                         .policy_target
@@ -560,7 +592,7 @@ mod tests {
             RecoveryConfig {
                 backoff_base: SimDuration::from_millis(20),
                 backoff_cap: SimDuration::from_millis(70),
-                ..RecoveryConfig::default()
+                ..RecoveryConfig::for_replica(ReplicaConfig::for_group(GroupId(1)))
             },
             Box::new(|| unreachable!("no app needed")),
         );
@@ -576,7 +608,7 @@ mod tests {
             RecoveryConfig {
                 target_replicas: 2,
                 max_replicas: 5,
-                ..RecoveryConfig::default()
+                ..RecoveryConfig::for_replica(ReplicaConfig::for_group(GroupId(1)))
             },
             Box::new(|| unreachable!("no app needed")),
         );

@@ -1,31 +1,40 @@
 //! The replicator process: the paper's three-layer stack, hosted as one
-//! simulator actor per replica.
+//! simulator actor per replica — now multiplexed over any number of
+//! object groups (the scalability knob's unit of distribution).
 //!
 //! Layering (paper Fig. 2):
 //!
 //! * **Top — interface to the application/ORB.** Client GIOP frames arrive
-//!   point-to-point (the interposed "TCP" path); the replicator classifies
-//!   them (new / in-flight / already answered) and redirects new requests
-//!   onto group communication. Replies flow back out through the same
+//!   point-to-point (the interposed "TCP" path); the replicator routes
+//!   them to the hosting object group by [`ObjectKey`], classifies them
+//!   (new / in-flight / already answered) and redirects new requests onto
+//!   group communication. Replies flow back out through the same
 //!   interposition layer.
-//! * **Middle — tunable replication mechanisms.** The [`Engine`] state
-//!   machine: per-style execution, checkpointing, failover and the runtime
-//!   switch protocol.
+//! * **Middle — tunable replication mechanisms.** One
+//!   [`ReplicationEngine`] per hosted group: per-style execution,
+//!   checkpointing, failover and the runtime switch protocol, each group
+//!   with its own independent knobs, policies and monitor.
 //! * **Bottom — interface to group communication.** An embedded
-//!   [`Endpoint`]; all replica coordination rides its agreed-order
-//!   multicast and view-synchronous membership.
+//!   [`MultiEndpoint`]: per-group agreed-order multicast and
+//!   view-synchronous membership behind one *shared* process-level
+//!   failure detector (heartbeat traffic does not scale with the number
+//!   of co-located groups).
 
 use std::collections::BTreeMap;
 
 use bytes::Bytes;
 
-use vd_group::api::{GroupEvent, Output};
+use vd_group::api::GroupEvent;
 use vd_group::config::GroupConfig;
 use vd_group::endpoint::Endpoint;
 use vd_group::message::{GroupId, GroupMsg};
+use vd_group::multi::{MultiEndpoint, MultiOutput, MultiTimer, ProcessHeartbeat};
 use vd_group::order::DeliveryOrder;
-use vd_group::sim::{timer_from_token, timer_token};
+use vd_group::sim::{
+    group_scoped_from_token, group_scoped_token, multi_timer_from_token, multi_timer_token,
+};
 use vd_obs::{Ctr, EventKind as ObsEvent, Gauge, Hist, Obs, ObsHandle, SmallStr, SwitchPhase};
+use vd_orb::object::ObjectKey;
 use vd_orb::wire::{OrbMessage, Reply, ReplyStatus};
 use vd_simnet::actor::{downcast_payload, Actor, Context, Payload, TimerToken};
 use vd_simnet::time::{SimDuration, SimTime};
@@ -40,12 +49,12 @@ use crate::repstate::{CheckpointAccounting, SystemBoard};
 use crate::state::{apply_delta, diff_state, ReplicatedApplication};
 use crate::style::ReplicationStyle;
 
-/// Timer token for the periodic checkpoint.
-const CHECKPOINT_TIMER: TimerToken = TimerToken(200);
-/// Timer token for periodic policy evaluation.
-const POLICY_TIMER: TimerToken = TimerToken(201);
-/// Timer token for periodic monitoring reports to the group board.
-const REPORT_TIMER: TimerToken = TimerToken(202);
+/// Low bits of the group-scoped periodic-checkpoint timer token.
+const CHECKPOINT_LOW: u64 = 200;
+/// Low bits of the group-scoped policy-evaluation timer token.
+const POLICY_LOW: u64 = 201;
+/// Low bits of the group-scoped monitoring-report timer token.
+const REPORT_LOW: u64 = 202;
 
 /// CPU-cost model of the replicator itself, calibrated to the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,7 +114,10 @@ impl Default for ReplicaCosts {
     }
 }
 
-/// Static configuration of one replica process.
+/// Static configuration of one replication group hosted by a replica
+/// process. There is no `Default`: the group id must always be supplied
+/// by the caller (via [`ReplicaConfig::for_group`]), never defaulted
+/// inline.
 #[derive(Debug, Clone)]
 pub struct ReplicaConfig {
     /// The replica group id.
@@ -122,14 +134,15 @@ pub struct ReplicaConfig {
     /// How often this replica multicasts a monitoring report to the
     /// replicated system board (`None` disables reports).
     pub report_interval: Option<SimDuration>,
-    /// Prefix for the world-level metrics this replica records.
+    /// Prefix for the world-level metrics this group records.
     pub metrics_prefix: String,
     /// Observability endpoint (trace sink + metrics registry) shared with
     /// the embedded group endpoint. Defaults to a disabled sink with a
-    /// private registry; testbeds install one per replica, all sharing a
-    /// run-wide trace sink.
+    /// private registry; testbeds install one per group — built with
+    /// [`Obs::for_group`] so every event carries the group label — all
+    /// sharing a run-wide trace sink.
     pub obs: ObsHandle,
-    /// Recovery managers (see [`crate::recovery`]) this replica keeps
+    /// Recovery managers (see [`crate::recovery`]) this group keeps
     /// informed: it sends them membership reports on every view change
     /// and policy tick, fresh fault-detector suspicions, and the
     /// replica-count directives its policies emit. Empty (the default)
@@ -137,10 +150,11 @@ pub struct ReplicaConfig {
     pub managers: Vec<ProcessId>,
 }
 
-impl Default for ReplicaConfig {
-    fn default() -> Self {
+impl ReplicaConfig {
+    /// The default configuration for one explicitly-named object group.
+    pub fn for_group(group: GroupId) -> Self {
         ReplicaConfig {
-            group: GroupId(1),
+            group,
             group_config: GroupConfig::default(),
             knobs: LowLevelKnobs::default(),
             costs: ReplicaCosts::default(),
@@ -157,15 +171,23 @@ impl Default for ReplicaConfig {
 /// (tests, examples, the experiment harness) — the "manual knob" surface.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReplicaCommand {
-    /// Initiate a runtime replication-style switch.
-    Switch(ReplicationStyle),
-    /// Leave the replica group gracefully.
-    Leave,
+    /// Initiate a runtime replication-style switch in one hosted group.
+    Switch {
+        /// The group whose style should change.
+        group: GroupId,
+        /// The target style.
+        style: ReplicationStyle,
+    },
+    /// Leave one hosted replica group gracefully.
+    Leave {
+        /// The group to depart from.
+        group: GroupId,
+    },
 }
 
 impl Payload for ReplicaCommand {
     fn wire_size(&self) -> usize {
-        8
+        12
     }
 }
 
@@ -174,6 +196,8 @@ impl Payload for ReplicaCommand {
 /// (exactly-once semantics require the record at all survivors).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ReplyLogAck {
+    /// The group the logged request belongs to.
+    pub group: GroupId,
     /// The client whose request was logged.
     pub client: ProcessId,
     /// The logged request id.
@@ -182,14 +206,38 @@ pub struct ReplyLogAck {
 
 impl Payload for ReplyLogAck {
     fn wire_size(&self) -> usize {
-        24
+        28
     }
 }
 
-/// A replicated server process: replicator + application, as one actor.
-pub struct ReplicaActor {
+/// How a hosted group comes up: from a statically-known bootstrap
+/// membership, or by joining a running group through contact replicas.
+#[derive(Debug, Clone)]
+pub enum GroupMembership {
+    /// Every bootstrap replica of the group (including this process).
+    Bootstrap(Vec<ProcessId>),
+    /// Contact processes of an already-running group to join through.
+    Joining(Vec<ProcessId>),
+}
+
+/// The specification of one object group hosted by a replica process.
+pub struct HostedGroup {
+    /// How this process enters the group.
+    pub membership: GroupMembership,
+    /// The replicated application served by this group.
+    pub app: Box<dyn ReplicatedApplication>,
+    /// Per-group configuration (knobs, costs, policies interval, obs).
+    pub config: ReplicaConfig,
+}
+
+/// The per-group replication machinery extracted from the old
+/// single-group replica: engine, reply cache, checkpoint chain, monitor,
+/// policies and audit trails. One replica process owns one
+/// `ReplicationEngine` per hosted object group; all group communication
+/// goes through the process-wide [`MultiEndpoint`] passed into each
+/// method.
+pub struct ReplicationEngine {
     me: ProcessId,
-    endpoint: Endpoint,
     engine: Engine,
     app: Box<dyn ReplicatedApplication>,
     config: ReplicaConfig,
@@ -207,14 +255,14 @@ pub struct ReplicaActor {
     policies: Vec<Box<dyn AdaptationPolicy>>,
     /// Style transitions observed, with their completion times (tests &
     /// experiments read this).
-    pub style_history: Vec<(SimTime, ReplicationStyle)>,
+    style_history: Vec<(SimTime, ReplicationStyle)>,
     /// Policy directives the replicator cannot enact alone (replica
     /// addition/removal); an external manager drains these.
-    pub directives: Vec<(SimTime, AdaptationAction)>,
-    /// Requests executed by this replica (inspection).
-    pub executed_requests: u64,
+    directives: Vec<(SimTime, AdaptationAction)>,
+    /// Requests executed by this group (inspection).
+    executed_requests: u64,
     /// Checkpoint transfer ledger (full vs delta bytes; inspection).
-    pub checkpoints: CheckpointAccounting,
+    checkpoints: CheckpointAccounting,
     /// Last checkpoint broadcast by this replica as primary: the version
     /// and the *full* state, kept as the diff base for incremental mode.
     ckpt_sent: Option<(u64, Bytes)>,
@@ -224,8 +272,8 @@ pub struct ReplicaActor {
     /// application) — the base the next incoming delta applies on.
     ckpt_mirror: Option<(u64, Bytes)>,
     /// Set once the group evicted this replica (minority partition or
-    /// departure): the process goes inert instead of soldiering on as a
-    /// rump primary.
+    /// departure): this group goes inert instead of soldiering on as a
+    /// rump primary. Other co-located groups are unaffected.
     evicted: bool,
     /// Suspicion watermark already forwarded to the recovery managers.
     reported_suspicions: u64,
@@ -234,34 +282,37 @@ pub struct ReplicaActor {
     invariant_log: crate::invariants::InvariantLog,
 }
 
-impl ReplicaActor {
-    /// A replica bootstrapped into a statically-known group. `me` must be
-    /// the process id this actor will receive from the world, and
-    /// `members` must list every bootstrap replica (including `me`).
+impl ReplicationEngine {
+    /// A group bootstrapped from a statically-known membership. Returns
+    /// the engine plus the group endpoint to hand to the process's
+    /// [`MultiEndpoint`].
     pub fn bootstrap(
         me: ProcessId,
         members: Vec<ProcessId>,
         app: Box<dyn ReplicatedApplication>,
         config: ReplicaConfig,
-    ) -> Self {
-        let config = ReplicaActor::push_down_knobs(config);
-        let endpoint = Endpoint::bootstrap(me, config.group, config.group_config, members.clone());
+    ) -> (Self, Endpoint) {
+        let config = Self::push_down_knobs(config);
+        let mut endpoint =
+            Endpoint::bootstrap(me, config.group, config.group_config, members.clone());
+        endpoint.set_obs(config.obs.clone());
         let (engine, _init) = Engine::new(me, config.knobs.style, members, true);
-        ReplicaActor::assemble(me, endpoint, engine, app, config)
+        (Self::assemble(me, engine, app, config), endpoint)
     }
 
-    /// A replica that joins a running group through `contacts` and
-    /// synchronizes state from the first checkpoint it receives.
+    /// A group this process joins through `contacts`, synchronizing state
+    /// from the first checkpoint it receives.
     pub fn joining(
         me: ProcessId,
         contacts: Vec<ProcessId>,
         app: Box<dyn ReplicatedApplication>,
         config: ReplicaConfig,
-    ) -> Self {
-        let config = ReplicaActor::push_down_knobs(config);
-        let endpoint = Endpoint::joining(me, config.group, config.group_config, contacts);
+    ) -> (Self, Endpoint) {
+        let config = Self::push_down_knobs(config);
+        let mut endpoint = Endpoint::joining(me, config.group, config.group_config, contacts);
+        endpoint.set_obs(config.obs.clone());
         let (engine, _init) = Engine::new(me, config.knobs.style, Vec::new(), false);
-        ReplicaActor::assemble(me, endpoint, engine, app, config)
+        (Self::assemble(me, engine, app, config), endpoint)
     }
 
     /// Projects the fault-tolerance knobs onto the group-communication
@@ -274,15 +325,12 @@ impl ReplicaActor {
 
     fn assemble(
         me: ProcessId,
-        mut endpoint: Endpoint,
         engine: Engine,
         app: Box<dyn ReplicatedApplication>,
         config: ReplicaConfig,
     ) -> Self {
-        endpoint.set_obs(config.obs.clone());
-        ReplicaActor {
+        ReplicationEngine {
             me,
-            endpoint,
             engine,
             app,
             config,
@@ -306,31 +354,52 @@ impl ReplicaActor {
         }
     }
 
-    /// Installs an adaptation policy (builder style).
-    pub fn with_policy(mut self, policy: Box<dyn AdaptationPolicy>) -> Self {
-        self.policies.push(policy);
-        self
+    // ---- inspection ---------------------------------------------------------
+
+    /// The group this engine replicates.
+    pub fn group(&self) -> GroupId {
+        self.config.group
     }
 
-    /// The replication engine (inspection).
+    /// The per-style replication state machine.
     pub fn engine(&self) -> &Engine {
         &self.engine
     }
 
-    /// The group endpoint (inspection).
-    pub fn endpoint(&self) -> &Endpoint {
-        &self.endpoint
-    }
-
-    /// The replicated system-state board (inspection).
+    /// The replicated system-state board.
     pub fn board(&self) -> &SystemBoard {
         &self.board
     }
 
-    /// The hosted application (inspection: tests compare captured state
-    /// across replicas to assert consistency).
+    /// The hosted application (tests compare captured state across
+    /// replicas to assert consistency).
     pub fn app(&self) -> &dyn ReplicatedApplication {
         self.app.as_ref()
+    }
+
+    /// Style transitions observed, with their completion times.
+    pub fn style_history(&self) -> &[(SimTime, ReplicationStyle)] {
+        &self.style_history
+    }
+
+    /// Policy directives requiring an external actuator.
+    pub fn directives(&self) -> &[(SimTime, AdaptationAction)] {
+        &self.directives
+    }
+
+    /// Requests executed by this group on this replica.
+    pub fn executed_requests(&self) -> u64 {
+        self.executed_requests
+    }
+
+    /// Checkpoint transfer ledger (full vs delta bytes).
+    pub fn checkpoints(&self) -> &CheckpointAccounting {
+        &self.checkpoints
+    }
+
+    /// Whether the group evicted this replica.
+    pub fn evicted(&self) -> bool {
+        self.evicted
     }
 
     /// The execution/reply audit trail kept for the invariant layer.
@@ -339,20 +408,29 @@ impl ReplicaActor {
         &self.invariant_log
     }
 
-    /// Initiates a runtime style switch, as an operator/manual knob.
-    /// (Policies initiate switches the same way, automatically.)
-    pub fn request_switch(&mut self, ctx: &mut Context<'_>, target: ReplicationStyle) {
-        let msg = ReplicatorMsg::SwitchRequest {
-            target,
-            initiator: self.me,
-        };
-        self.multicast(ctx, DeliveryOrder::Agreed, msg);
+    /// Installs an adaptation policy.
+    pub fn add_policy(&mut self, policy: Box<dyn AdaptationPolicy>) {
+        self.policies.push(policy);
+    }
+
+    // ---- timer tokens -------------------------------------------------------
+
+    fn checkpoint_token(&self) -> TimerToken {
+        group_scoped_token(self.config.group, CHECKPOINT_LOW)
+    }
+
+    fn policy_token(&self) -> TimerToken {
+        group_scoped_token(self.config.group, POLICY_LOW)
+    }
+
+    fn report_token(&self) -> TimerToken {
+        group_scoped_token(self.config.group, REPORT_LOW)
     }
 
     // ---- plumbing -----------------------------------------------------------
 
     /// Emits one trace event stamped with the virtual clock and this
-    /// replica's process id.
+    /// replica's process id (the group label rides on the obs handle).
     fn emit(&self, ctx: &Context<'_>, kind: ObsEvent) {
         self.config.obs.emit(ctx.now().as_micros(), self.me.0, kind);
     }
@@ -361,36 +439,69 @@ impl ReplicaActor {
         SmallStr::new(&style.to_string())
     }
 
-    fn multicast(&mut self, ctx: &mut Context<'_>, order: DeliveryOrder, msg: ReplicatorMsg) {
-        let copies = self.endpoint.view().len().saturating_sub(1) as u64;
+    fn multicast(
+        &mut self,
+        ctx: &mut Context<'_>,
+        multi: &mut MultiEndpoint,
+        order: DeliveryOrder,
+        msg: ReplicatorMsg,
+    ) {
+        let copies = multi
+            .group(self.config.group)
+            .map(|ep| ep.view().len().saturating_sub(1) as u64)
+            .unwrap_or(0);
         ctx.use_cpu(
             self.config.costs.group_send_base + self.config.costs.group_send_per_copy * copies,
         );
         let payload = msg.encode();
-        match self.endpoint.multicast(ctx.now(), order, payload) {
-            Ok(outputs) => self.absorb(ctx, outputs),
+        match multi.multicast(ctx.now(), self.config.group, order, payload) {
+            Ok(outputs) => self.absorb(ctx, multi, outputs),
             Err(_) => { /* not a member (joiner): drop */ }
         }
     }
 
-    fn absorb(&mut self, ctx: &mut Context<'_>, outputs: Vec<Output>) {
+    /// Performs endpoint outputs that concern this group (self-delivery,
+    /// sends, timer arming triggered by this group's own calls).
+    fn absorb(
+        &mut self,
+        ctx: &mut Context<'_>,
+        multi: &mut MultiEndpoint,
+        outputs: Vec<MultiOutput>,
+    ) {
         for output in outputs {
             match output {
-                Output::Send { to, msg } => ctx.send(to, msg),
-                Output::SetTimer { delay, timer } => ctx.set_timer(delay, timer_token(timer)),
-                Output::Event(event) => self.handle_group_event(ctx, event),
+                MultiOutput::Send { to, msg } => ctx.send(to, msg),
+                MultiOutput::Heartbeat { to, msg } => ctx.send(to, msg),
+                MultiOutput::SetTimer { delay, timer } => {
+                    ctx.set_timer(delay, multi_timer_token(timer));
+                }
+                MultiOutput::Event { group, event } => {
+                    // Outputs produced by this group's endpoint can only
+                    // surface this group's events.
+                    debug_assert_eq!(group, self.config.group, "cross-group event leak");
+                    self.handle_group_event(ctx, multi, event);
+                }
             }
         }
     }
 
-    fn handle_group_event(&mut self, ctx: &mut Context<'_>, event: GroupEvent) {
+    /// Handles one group event surfaced by the endpoint for this group.
+    pub(crate) fn handle_group_event(
+        &mut self,
+        ctx: &mut Context<'_>,
+        multi: &mut MultiEndpoint,
+        event: GroupEvent,
+    ) {
+        if self.evicted {
+            return;
+        }
         match event {
             GroupEvent::Delivered(delivery) => {
                 ctx.use_cpu(self.config.costs.group_delivery);
                 let Ok(msg) = ReplicatorMsg::decode(delivery.payload) else {
                     return;
                 };
-                self.handle_delivery(ctx, msg);
+                self.handle_delivery(ctx, multi, msg);
             }
             GroupEvent::ViewInstalled {
                 view,
@@ -418,7 +529,7 @@ impl ReplicaActor {
                 let ops = self
                     .engine
                     .on_view_change(view.members().to_vec(), &departed, &joined);
-                self.apply_ops(ctx, ops);
+                self.apply_ops(ctx, multi, ops);
                 if departed_count > 0 {
                     self.config.obs.metrics.incr(Ctr::Failovers);
                     self.emit(
@@ -438,24 +549,28 @@ impl ReplicaActor {
                         value: view.len() as u64,
                     },
                 );
-                self.report_membership(ctx);
+                self.report_membership(ctx, multi);
             }
             GroupEvent::Blocked => {}
-            GroupEvent::SelfEvicted => self.handle_eviction(ctx),
+            GroupEvent::SelfEvicted => self.handle_eviction(ctx, multi),
         }
     }
 
     /// The group threw this replica out (departure it asked for, or a
     /// minority partition below the view quorum): drop all replication
-    /// duties and go inert. The process keeps running — a rejoin goes
-    /// through a fresh [`ReplicaActor::joining`] spawned by the recovery
-    /// manager, not through resurrecting this one.
-    fn handle_eviction(&mut self, ctx: &mut Context<'_>) {
+    /// duties for this group and go inert. Co-located groups and the
+    /// process keep running — a rejoin goes through a fresh joining
+    /// engine spawned by the recovery manager, not through resurrecting
+    /// this one.
+    fn handle_eviction(&mut self, ctx: &mut Context<'_>, multi: &MultiEndpoint) {
         if self.evicted {
             return;
         }
         self.evicted = true;
-        let view_id = self.endpoint.view().id().0;
+        let view_id = multi
+            .group(self.config.group)
+            .map(|ep| ep.view().id().0)
+            .unwrap_or(0);
         self.engine.on_eviction();
         self.monitor.set_replicas(0);
         self.config.obs.metrics.gauge_set(Gauge::RepReplicas, 0);
@@ -464,12 +579,16 @@ impl ReplicaActor {
 
     /// Sends the installed view to every recovery manager. The manager
     /// trusts the highest view id, so stale reporters are harmless.
-    fn report_membership(&mut self, ctx: &mut Context<'_>) {
+    fn report_membership(&mut self, ctx: &mut Context<'_>, multi: &MultiEndpoint) {
         if self.config.managers.is_empty() || self.evicted {
             return;
         }
-        let view = self.endpoint.view();
+        let Some(ep) = multi.group(self.config.group) else {
+            return;
+        };
+        let view = ep.view();
         let report = crate::recovery::MembershipReport {
+            group: self.config.group,
             replica: self.me,
             view_id: view.id().0,
             members: view.members().to_vec(),
@@ -481,7 +600,12 @@ impl ReplicaActor {
         }
     }
 
-    fn handle_delivery(&mut self, ctx: &mut Context<'_>, msg: ReplicatorMsg) {
+    fn handle_delivery(
+        &mut self,
+        ctx: &mut Context<'_>,
+        multi: &mut MultiEndpoint,
+        msg: ReplicatorMsg,
+    ) {
         match msg {
             ReplicatorMsg::Invoke {
                 client,
@@ -498,7 +622,7 @@ impl ReplicaActor {
                 self.monitor
                     .ingest_registry(ctx.now(), &self.config.obs.metrics);
                 let ops = self.engine.on_invoke(client, request_id, operation, args);
-                self.apply_ops(ctx, ops);
+                self.apply_ops(ctx, multi, ops);
             }
             ReplicatorMsg::Checkpoint {
                 version,
@@ -526,7 +650,7 @@ impl ReplicaActor {
                 let ops =
                     self.engine
                         .on_checkpoint(version, style, final_for_switch, state, replies);
-                self.apply_ops(ctx, ops);
+                self.apply_ops(ctx, multi, ops);
             }
             ReplicatorMsg::SwitchRequest { target, .. } => {
                 let from = self.engine.style();
@@ -554,7 +678,7 @@ impl ReplicaActor {
                         },
                     );
                 }
-                self.apply_ops(ctx, ops);
+                self.apply_ops(ctx, multi, ops);
             }
             ReplicatorMsg::ReplyLog { client, request_id } => {
                 // The request completed somewhere: close out any gateway
@@ -568,7 +692,14 @@ impl ReplicaActor {
                 if self.engine.primary() != Some(self.me) {
                     ctx.use_cpu(self.config.costs.reply_log_processing);
                     if let Some(primary) = self.engine.primary() {
-                        ctx.send(primary, ReplyLogAck { client, request_id });
+                        ctx.send(
+                            primary,
+                            ReplyLogAck {
+                                group: self.config.group,
+                                client,
+                                request_id,
+                            },
+                        );
                     }
                 }
             }
@@ -589,10 +720,10 @@ impl ReplicaActor {
         }
     }
 
-    fn apply_ops(&mut self, ctx: &mut Context<'_>, ops: Vec<EngineOp>) {
+    fn apply_ops(&mut self, ctx: &mut Context<'_>, multi: &mut MultiEndpoint, ops: Vec<EngineOp>) {
         for op in ops {
             match op {
-                EngineOp::Execute { entry, reply } => self.execute(ctx, entry, reply),
+                EngineOp::Execute { entry, reply } => self.execute(ctx, multi, entry, reply),
                 EngineOp::ResendCached { client, request_id } => {
                     self.config.obs.metrics.incr(Ctr::RepDuplicatesSuppressed);
                     self.emit(ctx, ObsEvent::DuplicateSuppressed { request_id });
@@ -622,13 +753,16 @@ impl ReplicaActor {
                     }
                 }
                 EngineOp::BroadcastCheckpoint { final_for_switch } => {
-                    self.broadcast_checkpoint(ctx, final_for_switch);
+                    self.broadcast_checkpoint(ctx, multi, final_for_switch);
                 }
                 EngineOp::StartCheckpointTimer => {
-                    ctx.set_timer(self.config.knobs.checkpoint_interval, CHECKPOINT_TIMER);
+                    ctx.set_timer(
+                        self.config.knobs.checkpoint_interval,
+                        self.checkpoint_token(),
+                    );
                 }
                 EngineOp::StopCheckpointTimer => {
-                    ctx.cancel_timer(CHECKPOINT_TIMER);
+                    ctx.cancel_timer(self.checkpoint_token());
                 }
                 EngineOp::ResendAllCached => {
                     let cached: Vec<(ProcessId, Reply)> = self
@@ -674,7 +808,13 @@ impl ReplicaActor {
         }
     }
 
-    fn execute(&mut self, ctx: &mut Context<'_>, entry: InvokeEntry, reply: bool) {
+    fn execute(
+        &mut self,
+        ctx: &mut Context<'_>,
+        multi: &mut MultiEndpoint,
+        entry: InvokeEntry,
+        reply: bool,
+    ) {
         // Inbound ORB traversal, application work, outbound ORB traversal.
         ctx.use_cpu(self.config.costs.orb_marshal);
         ctx.use_cpu(SimDuration::from_micros(
@@ -714,7 +854,7 @@ impl ReplicaActor {
                     client: entry.client,
                     request_id: entry.request_id,
                 };
-                self.multicast(ctx, DeliveryOrder::Fifo, msg);
+                self.multicast(ctx, multi, DeliveryOrder::Fifo, msg);
             } else {
                 self.send_reply(ctx, entry.client, wire_reply);
             }
@@ -757,7 +897,12 @@ impl ReplicaActor {
         }
     }
 
-    fn broadcast_checkpoint(&mut self, ctx: &mut Context<'_>, final_for_switch: bool) {
+    fn broadcast_checkpoint(
+        &mut self,
+        ctx: &mut Context<'_>,
+        multi: &mut MultiEndpoint,
+        final_for_switch: bool,
+    ) {
         let state = self.app.capture_state();
         ctx.use_cpu(self.capture_cost(state.len()));
         let replies: Vec<CachedReply> = self
@@ -843,7 +988,7 @@ impl ReplicaActor {
                 },
             );
         }
-        self.multicast(ctx, DeliveryOrder::Agreed, msg);
+        self.multicast(ctx, multi, DeliveryOrder::Agreed, msg);
     }
 
     /// Materializes the full state carried by a wire checkpoint. Full
@@ -888,7 +1033,132 @@ impl ReplicaActor {
         self.capture_cost(state_len)
     }
 
-    fn evaluate_policies(&mut self, ctx: &mut Context<'_>) {
+    /// Initiates a runtime style switch for this group, as an
+    /// operator/manual knob. (Policies initiate switches the same way,
+    /// automatically.)
+    pub fn request_switch(
+        &mut self,
+        ctx: &mut Context<'_>,
+        multi: &mut MultiEndpoint,
+        target: ReplicationStyle,
+    ) {
+        let msg = ReplicatorMsg::SwitchRequest {
+            target,
+            initiator: self.me,
+        };
+        self.multicast(ctx, multi, DeliveryOrder::Agreed, msg);
+    }
+
+    // ---- lifecycle ----------------------------------------------------------
+
+    /// Arms this group's periodic timers and seeds its gauges; called once
+    /// at actor start, after the endpoints started.
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.monitor.set_replicas(self.engine.members().len());
+        self.monitor.reset_bandwidth(ctx.now());
+        let metrics = &self.config.obs.metrics;
+        metrics.gauge_set(Gauge::RepReplicas, self.engine.members().len() as u64);
+        metrics.gauge_set(Gauge::RepStyle, self.engine.style().to_tag() as u64);
+        if self.engine.style().uses_checkpoints() && self.engine.is_primary() {
+            ctx.set_timer(
+                self.config.knobs.checkpoint_interval,
+                self.checkpoint_token(),
+            );
+        }
+        ctx.set_timer(self.config.policy_interval, self.policy_token());
+        if let Some(interval) = self.config.report_interval {
+            ctx.set_timer(interval, self.report_token());
+        }
+    }
+
+    /// Handles this group's periodic-checkpoint timer.
+    fn on_checkpoint_timer(&mut self, ctx: &mut Context<'_>, multi: &mut MultiEndpoint) {
+        let ops = self.engine.on_checkpoint_timer();
+        self.apply_ops(ctx, multi, ops);
+    }
+
+    /// Handles this group's policy-evaluation timer (self-rearming).
+    fn on_policy_timer(&mut self, ctx: &mut Context<'_>, multi: &mut MultiEndpoint) {
+        self.evaluate_policies(ctx, multi);
+        ctx.set_timer(self.config.policy_interval, self.policy_token());
+    }
+
+    /// Handles this group's monitoring-report timer (self-rearming).
+    fn on_report_timer(&mut self, ctx: &mut Context<'_>, multi: &mut MultiEndpoint) {
+        let obs = self.monitor.observe(ctx.now());
+        let msg = ReplicatorMsg::MonitorReport {
+            replica: self.me,
+            request_rate: obs.request_rate,
+            latency_micros: obs.latency_micros,
+            bandwidth_bps: obs.bandwidth_bps,
+        };
+        self.multicast(ctx, multi, DeliveryOrder::Agreed, msg);
+        if let Some(interval) = self.config.report_interval {
+            ctx.set_timer(interval, self.report_token());
+        }
+    }
+
+    /// Handles one interposed client frame routed to this group.
+    fn on_orb_request(
+        &mut self,
+        ctx: &mut Context<'_>,
+        multi: &mut MultiEndpoint,
+        from: ProcessId,
+        request: vd_orb::wire::Request,
+        request_bytes: u64,
+    ) {
+        self.config.obs.metrics.incr(Ctr::OrbRequestsIn);
+        self.config
+            .obs
+            .metrics
+            .add(Ctr::OrbMarshalBytes, request_bytes);
+        self.emit(
+            ctx,
+            ObsEvent::RequestEnter {
+                request_id: request.request_id,
+                bytes: request_bytes,
+            },
+        );
+        match self.engine.on_client_request(from, request.request_id) {
+            GatewayDecision::Multicast => {
+                self.request_arrivals
+                    .insert((from, request.request_id), ctx.now());
+                let msg = ReplicatorMsg::Invoke {
+                    client: from,
+                    request_id: request.request_id,
+                    operation: request.operation,
+                    args: request.args,
+                };
+                self.multicast(ctx, multi, DeliveryOrder::Agreed, msg);
+            }
+            GatewayDecision::ResendCached => {
+                self.config.obs.metrics.incr(Ctr::RepDuplicatesSuppressed);
+                self.emit(
+                    ctx,
+                    ObsEvent::DuplicateSuppressed {
+                        request_id: request.request_id,
+                    },
+                );
+                self.resend_cached(ctx, from, request.request_id);
+            }
+            GatewayDecision::InFlight => {}
+        }
+    }
+
+    /// Handles a backup's reply-log acknowledgement for this group.
+    fn on_reply_log_ack(&mut self, ctx: &mut Context<'_>, ack: ReplyLogAck) {
+        ctx.use_cpu(self.config.costs.ack_processing);
+        let key = (ack.client, ack.request_id);
+        if let Some((_, outstanding)) = self.pending_replies.get_mut(&key) {
+            *outstanding = outstanding.saturating_sub(1);
+            if *outstanding == 0 {
+                let (reply, _) = self.pending_replies.remove(&key).expect("entry just seen");
+                self.send_reply(ctx, ack.client, reply);
+            }
+        }
+    }
+
+    fn evaluate_policies(&mut self, ctx: &mut Context<'_>, multi: &mut MultiEndpoint) {
         // Fold the registry into the monitor first: the policies below
         // must see the freshest measured request rate and fault-detection
         // latency (Fig. 8 measure → decide).
@@ -901,6 +1171,7 @@ impl ReplicaActor {
         if suspicions > self.reported_suspicions && !self.config.managers.is_empty() {
             self.reported_suspicions = suspicions;
             let notice = crate::recovery::SuspicionNotice {
+                group: self.config.group,
                 replica: self.me,
                 suspicions,
             };
@@ -910,7 +1181,7 @@ impl ReplicaActor {
         }
         // Periodic (not just view-change-driven) membership reports keep
         // a freshly taken-over standby manager informed.
-        self.report_membership(ctx);
+        self.report_membership(ctx, multi);
         let obs = self.monitor.observe(ctx.now());
         let prefix = self.config.metrics_prefix.clone();
         let rate_metric = format!("{prefix}.rate");
@@ -950,7 +1221,7 @@ impl ReplicaActor {
             match action {
                 AdaptationAction::SwitchStyle(target) => {
                     if target != self.engine.style() && !self.engine.is_switching() {
-                        self.request_switch(ctx, target);
+                        self.request_switch(ctx, multi, target);
                     }
                 }
                 other => {
@@ -961,6 +1232,7 @@ impl ReplicaActor {
                     let remove = matches!(other, AdaptationAction::RemoveReplica);
                     if add || remove {
                         let notice = crate::recovery::DirectiveNotice {
+                            group: self.config.group,
                             replica: self.me,
                             add,
                             observed_replicas: self.engine.members().len(),
@@ -976,52 +1248,312 @@ impl ReplicaActor {
     }
 }
 
+impl std::fmt::Debug for ReplicationEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicationEngine")
+            .field("group", &self.config.group)
+            .field("style", &self.engine.style())
+            .field("executed", &self.executed_requests)
+            .field("evicted", &self.evicted)
+            .finish()
+    }
+}
+
+/// A replicated server process: N per-group replicators + applications
+/// multiplexed over one group-communication endpoint, as one actor.
+pub struct ReplicaActor {
+    me: ProcessId,
+    multi: MultiEndpoint,
+    groups: BTreeMap<GroupId, ReplicationEngine>,
+    /// Object-key → hosting-group routing table (the client directory's
+    /// server-side mirror). Unrouted keys fall back to the first group.
+    routes: BTreeMap<ObjectKey, GroupId>,
+}
+
+impl ReplicaActor {
+    /// A single-group replica bootstrapped into a statically-known group.
+    /// `me` must be the process id this actor will receive from the
+    /// world, and `members` must list every bootstrap replica (including
+    /// `me`).
+    pub fn bootstrap(
+        me: ProcessId,
+        members: Vec<ProcessId>,
+        app: Box<dyn ReplicatedApplication>,
+        config: ReplicaConfig,
+    ) -> Self {
+        ReplicaActor::host(
+            me,
+            vec![HostedGroup {
+                membership: GroupMembership::Bootstrap(members),
+                app,
+                config,
+            }],
+            None,
+        )
+    }
+
+    /// A single-group replica that joins a running group through
+    /// `contacts` and synchronizes state from the first checkpoint it
+    /// receives.
+    pub fn joining(
+        me: ProcessId,
+        contacts: Vec<ProcessId>,
+        app: Box<dyn ReplicatedApplication>,
+        config: ReplicaConfig,
+    ) -> Self {
+        ReplicaActor::host(
+            me,
+            vec![HostedGroup {
+                membership: GroupMembership::Joining(contacts),
+                app,
+                config,
+            }],
+            None,
+        )
+    }
+
+    /// A replica process hosting any number of object groups behind one
+    /// shared failure detector. The process-level observability handle
+    /// (heartbeat counters land there) defaults to the first group's
+    /// handle when `process_obs` is `None`; the failure-detection cadence
+    /// is the tightest of the hosted groups' fault-monitoring knobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` is empty or two entries share a group id.
+    pub fn host(me: ProcessId, groups: Vec<HostedGroup>, process_obs: Option<ObsHandle>) -> Self {
+        assert!(!groups.is_empty(), "a replica must host at least one group");
+        let heartbeat_interval = groups
+            .iter()
+            .map(|g| g.config.group_config.heartbeat_interval)
+            .min()
+            .expect("nonempty");
+        let failure_timeout = groups
+            .iter()
+            .map(|g| g.config.group_config.failure_timeout)
+            .min()
+            .expect("nonempty");
+        let obs = process_obs.unwrap_or_else(|| groups[0].config.obs.clone());
+        let mut multi = MultiEndpoint::new(me, heartbeat_interval, failure_timeout);
+        multi.set_obs(obs);
+        let mut engines = BTreeMap::new();
+        for hosted in groups {
+            let HostedGroup {
+                membership,
+                app,
+                config,
+            } = hosted;
+            let (engine, endpoint) = match membership {
+                GroupMembership::Bootstrap(members) => {
+                    ReplicationEngine::bootstrap(me, members, app, config)
+                }
+                GroupMembership::Joining(contacts) => {
+                    ReplicationEngine::joining(me, contacts, app, config)
+                }
+            };
+            let prev = engines.insert(engine.group(), engine);
+            assert!(prev.is_none(), "duplicate hosted group id");
+            multi.add_endpoint(endpoint);
+        }
+        ReplicaActor {
+            me,
+            multi,
+            groups: engines,
+            routes: BTreeMap::new(),
+        }
+    }
+
+    /// Routes `key` to hosted group `group` (builder style). Keys without
+    /// a route fall back to the first hosted group, which keeps
+    /// single-group replicas route-free.
+    pub fn with_route(mut self, key: ObjectKey, group: GroupId) -> Self {
+        self.routes.insert(key, group);
+        self
+    }
+
+    /// Installs an adaptation policy on the first hosted group (builder
+    /// style; single-group convenience).
+    pub fn with_policy(mut self, policy: Box<dyn AdaptationPolicy>) -> Self {
+        self.first_mut().add_policy(policy);
+        self
+    }
+
+    /// Installs an adaptation policy on one hosted group (builder style).
+    pub fn with_group_policy(mut self, group: GroupId, policy: Box<dyn AdaptationPolicy>) -> Self {
+        self.groups
+            .get_mut(&group)
+            .expect("policy for a group this replica does not host")
+            .add_policy(policy);
+        self
+    }
+
+    fn first(&self) -> &ReplicationEngine {
+        self.groups.values().next().expect("at least one group")
+    }
+
+    fn first_mut(&mut self) -> &mut ReplicationEngine {
+        self.groups.values_mut().next().expect("at least one group")
+    }
+
+    /// The hosted group ids, ascending.
+    pub fn group_ids(&self) -> Vec<GroupId> {
+        self.groups.keys().copied().collect()
+    }
+
+    /// The replication machinery of one hosted group (inspection).
+    pub fn replication(&self, group: GroupId) -> Option<&ReplicationEngine> {
+        self.groups.get(&group)
+    }
+
+    /// The replication engine of the first hosted group (inspection;
+    /// single-group convenience).
+    pub fn engine(&self) -> &Engine {
+        self.first().engine()
+    }
+
+    /// The engine of one hosted group (inspection).
+    pub fn engine_of(&self, group: GroupId) -> Option<&Engine> {
+        self.groups.get(&group).map(|g| g.engine())
+    }
+
+    /// The group endpoint of the first hosted group (inspection).
+    pub fn endpoint(&self) -> &Endpoint {
+        self.multi
+            .group(self.first().group())
+            .expect("first group is hosted")
+    }
+
+    /// The multiplexed group-communication endpoint (inspection).
+    pub fn multi_endpoint(&self) -> &MultiEndpoint {
+        &self.multi
+    }
+
+    /// The replicated system-state board of the first hosted group
+    /// (inspection).
+    pub fn board(&self) -> &SystemBoard {
+        self.first().board()
+    }
+
+    /// The first hosted group's application (inspection: tests compare
+    /// captured state across replicas to assert consistency).
+    pub fn app(&self) -> &dyn ReplicatedApplication {
+        self.first().app()
+    }
+
+    /// The first hosted group's application state (inspection).
+    pub fn app_of(&self, group: GroupId) -> Option<&dyn ReplicatedApplication> {
+        self.groups.get(&group).map(|g| g.app())
+    }
+
+    /// Style transitions of the first hosted group.
+    pub fn style_history(&self) -> &[(SimTime, ReplicationStyle)] {
+        self.first().style_history()
+    }
+
+    /// Undrained policy directives of the first hosted group.
+    pub fn directives(&self) -> &[(SimTime, AdaptationAction)] {
+        self.first().directives()
+    }
+
+    /// Requests executed by the first hosted group.
+    pub fn executed_requests(&self) -> u64 {
+        self.first().executed_requests()
+    }
+
+    /// Checkpoint ledger of the first hosted group.
+    pub fn checkpoints(&self) -> &CheckpointAccounting {
+        self.first().checkpoints()
+    }
+
+    /// The execution/reply audit trail of the first hosted group.
+    #[cfg(feature = "check-invariants")]
+    pub fn invariant_log(&self) -> &crate::invariants::InvariantLog {
+        self.first().invariant_log()
+    }
+
+    /// The audit trail of one hosted group.
+    #[cfg(feature = "check-invariants")]
+    pub fn invariant_log_of(&self, group: GroupId) -> Option<&crate::invariants::InvariantLog> {
+        self.groups.get(&group).map(|g| g.invariant_log())
+    }
+
+    /// Initiates a runtime style switch in the first hosted group, as an
+    /// operator/manual knob.
+    pub fn request_switch(&mut self, ctx: &mut Context<'_>, target: ReplicationStyle) {
+        let Self { multi, groups, .. } = self;
+        let group = groups.values_mut().next().expect("at least one group");
+        group.request_switch(ctx, multi, target);
+    }
+
+    /// The hosted group serving `key`: its routed group, else the first.
+    fn route_of(&self, key: &ObjectKey) -> GroupId {
+        self.routes
+            .get(key)
+            .copied()
+            .unwrap_or_else(|| self.first().group())
+    }
+
+    /// Performs multiplexer outputs, dispatching group events to the
+    /// owning replication engine.
+    fn absorb(&mut self, ctx: &mut Context<'_>, outputs: Vec<MultiOutput>) {
+        for output in outputs {
+            match output {
+                MultiOutput::Send { to, msg } => ctx.send(to, msg),
+                MultiOutput::Heartbeat { to, msg } => ctx.send(to, msg),
+                MultiOutput::SetTimer { delay, timer } => {
+                    ctx.set_timer(delay, multi_timer_token(timer));
+                }
+                MultiOutput::Event { group, event } => {
+                    let Self { multi, groups, .. } = self;
+                    if let Some(engine) = groups.get_mut(&group) {
+                        engine.handle_group_event(ctx, multi, event);
+                    }
+                }
+            }
+        }
+    }
+}
+
 impl Actor for ReplicaActor {
     fn on_start(&mut self, ctx: &mut Context<'_>) {
         debug_assert_eq!(ctx.self_id(), self.me, "spawn order must match config");
-        let outputs = self.endpoint.start(ctx.now());
+        let outputs = self.multi.start(ctx.now());
         self.absorb(ctx, outputs);
-        self.monitor.set_replicas(self.engine.members().len());
-        self.monitor.reset_bandwidth(ctx.now());
-        let metrics = &self.config.obs.metrics;
-        metrics.gauge_set(Gauge::RepReplicas, self.engine.members().len() as u64);
-        metrics.gauge_set(Gauge::RepStyle, self.engine.style().to_tag() as u64);
-        if self.engine.style().uses_checkpoints() && self.engine.is_primary() {
-            ctx.set_timer(self.config.knobs.checkpoint_interval, CHECKPOINT_TIMER);
-        }
-        ctx.set_timer(self.config.policy_interval, POLICY_TIMER);
-        if let Some(interval) = self.config.report_interval {
-            ctx.set_timer(interval, REPORT_TIMER);
+        for group in self.groups.values_mut() {
+            group.on_start(ctx);
         }
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_>, from: ProcessId, payload: Box<dyn Payload>) {
-        if self.evicted {
-            // An evicted replica is inert: it must not answer clients,
-            // ack logs, or rejoin protocol rounds from its stale view.
-            return;
-        }
         match downcast_payload::<GroupMsg>(payload) {
             Ok(group_msg) => {
-                let outputs = self.endpoint.handle_message(ctx.now(), from, *group_msg);
+                // An evicted group is inert: it must not rejoin protocol
+                // rounds from its stale view. Other hosted groups keep
+                // processing.
+                let group = group_msg.group();
+                if self.groups.get(&group).is_none_or(|g| g.evicted()) {
+                    return;
+                }
+                let outputs = self.multi.handle_message(ctx.now(), from, *group_msg);
                 self.absorb(ctx, outputs);
             }
             Err(other) => {
+                let other = match downcast_payload::<ProcessHeartbeat>(other) {
+                    Ok(hb) => {
+                        self.multi.handle_heartbeat(ctx.now(), from, &hb);
+                        return;
+                    }
+                    Err(other) => other,
+                };
                 let orb_msg = match downcast_payload::<OrbMessage>(other) {
                     Ok(msg) => msg,
                     Err(other) => {
                         let other = match downcast_payload::<ReplyLogAck>(other) {
                             Ok(ack) => {
-                                ctx.use_cpu(self.config.costs.ack_processing);
-                                let key = (ack.client, ack.request_id);
-                                if let Some((_, outstanding)) = self.pending_replies.get_mut(&key) {
-                                    *outstanding = outstanding.saturating_sub(1);
-                                    if *outstanding == 0 {
-                                        let (reply, _) = self
-                                            .pending_replies
-                                            .remove(&key)
-                                            .expect("entry just seen");
-                                        self.send_reply(ctx, ack.client, reply);
+                                let Self { groups, .. } = self;
+                                if let Some(engine) = groups.get_mut(&ack.group) {
+                                    if !engine.evicted() {
+                                        engine.on_reply_log_ack(ctx, *ack);
                                     }
                                 }
                                 return;
@@ -1029,98 +1561,74 @@ impl Actor for ReplicaActor {
                             Err(other) => other,
                         };
                         if let Ok(cmd) = downcast_payload::<ReplicaCommand>(other) {
+                            let Self { multi, groups, .. } = self;
                             match *cmd {
-                                ReplicaCommand::Switch(target) => self.request_switch(ctx, target),
-                                ReplicaCommand::Leave => {
-                                    let outputs = self.endpoint.leave(ctx.now());
-                                    self.absorb(ctx, outputs);
+                                ReplicaCommand::Switch { group, style } => {
+                                    if let Some(engine) = groups.get_mut(&group) {
+                                        if !engine.evicted() {
+                                            engine.request_switch(ctx, multi, style);
+                                        }
+                                    }
+                                }
+                                ReplicaCommand::Leave { group } => {
+                                    if groups.get(&group).is_some_and(|g| !g.evicted()) {
+                                        let outputs = multi.leave(ctx.now(), group);
+                                        self.absorb(ctx, outputs);
+                                    }
                                 }
                             }
                         }
                         return;
                     }
                 };
-                // Interposed client traffic (paper Fig. 2 top layer).
-                ctx.use_cpu(self.config.costs.interposition);
+                // Interposed client traffic (paper Fig. 2 top layer),
+                // routed to the hosting group by object key.
                 let request_bytes = orb_msg.wire_size() as u64;
                 let OrbMessage::Request(request) = *orb_msg else {
                     return;
                 };
-                self.config.obs.metrics.incr(Ctr::OrbRequestsIn);
-                self.config
-                    .obs
-                    .metrics
-                    .add(Ctr::OrbMarshalBytes, request_bytes);
-                self.emit(
-                    ctx,
-                    ObsEvent::RequestEnter {
-                        request_id: request.request_id,
-                        bytes: request_bytes,
-                    },
-                );
-                match self.engine.on_client_request(from, request.request_id) {
-                    GatewayDecision::Multicast => {
-                        self.request_arrivals
-                            .insert((from, request.request_id), ctx.now());
-                        let msg = ReplicatorMsg::Invoke {
-                            client: from,
-                            request_id: request.request_id,
-                            operation: request.operation,
-                            args: request.args,
-                        };
-                        self.multicast(ctx, DeliveryOrder::Agreed, msg);
-                    }
-                    GatewayDecision::ResendCached => {
-                        self.config.obs.metrics.incr(Ctr::RepDuplicatesSuppressed);
-                        self.emit(
-                            ctx,
-                            ObsEvent::DuplicateSuppressed {
-                                request_id: request.request_id,
-                            },
-                        );
-                        self.resend_cached(ctx, from, request.request_id);
-                    }
-                    GatewayDecision::InFlight => {}
+                let group = self.route_of(&request.object_key);
+                let Self { multi, groups, .. } = self;
+                let Some(engine) = groups.get_mut(&group) else {
+                    return;
+                };
+                if engine.evicted() {
+                    return;
                 }
+                ctx.use_cpu(engine.config.costs.interposition);
+                engine.on_orb_request(ctx, multi, from, request, request_bytes);
             }
         }
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, timer: TimerToken) {
-        if self.evicted {
-            // Let pending timers fire into the void; cancelling them is
-            // riskier (a cancel of a non-pending token suppresses the
-            // next set of that token).
-            return;
-        }
-        if let Some(group_timer) = timer_from_token(timer) {
-            let outputs = self.endpoint.handle_timer(ctx.now(), group_timer);
+        if let Some(multi_timer) = multi_timer_from_token(timer) {
+            // Let an evicted group's pending protocol timers fire into the
+            // void; cancelling them is riskier (a cancel of a non-pending
+            // token suppresses the next set of that token).
+            if let MultiTimer::Group(group, _) = multi_timer {
+                if self.groups.get(&group).is_none_or(|g| g.evicted()) {
+                    return;
+                }
+            }
+            let outputs = self.multi.handle_timer(ctx.now(), multi_timer);
             self.absorb(ctx, outputs);
             return;
         }
-        match timer {
-            CHECKPOINT_TIMER => {
-                let ops = self.engine.on_checkpoint_timer();
-                self.apply_ops(ctx, ops);
+        if let Some((group, low)) = group_scoped_from_token(timer) {
+            let Self { multi, groups, .. } = self;
+            let Some(engine) = groups.get_mut(&group) else {
+                return;
+            };
+            if engine.evicted() {
+                return;
             }
-            POLICY_TIMER => {
-                self.evaluate_policies(ctx);
-                ctx.set_timer(self.config.policy_interval, POLICY_TIMER);
+            match low {
+                CHECKPOINT_LOW => engine.on_checkpoint_timer(ctx, multi),
+                POLICY_LOW => engine.on_policy_timer(ctx, multi),
+                REPORT_LOW => engine.on_report_timer(ctx, multi),
+                _ => {}
             }
-            REPORT_TIMER => {
-                let obs = self.monitor.observe(ctx.now());
-                let msg = ReplicatorMsg::MonitorReport {
-                    replica: self.me,
-                    request_rate: obs.request_rate,
-                    latency_micros: obs.latency_micros,
-                    bandwidth_bps: obs.bandwidth_bps,
-                };
-                self.multicast(ctx, DeliveryOrder::Agreed, msg);
-                if let Some(interval) = self.config.report_interval {
-                    ctx.set_timer(interval, REPORT_TIMER);
-                }
-            }
-            _ => {}
         }
     }
 }
@@ -1129,8 +1637,7 @@ impl std::fmt::Debug for ReplicaActor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ReplicaActor")
             .field("me", &self.me)
-            .field("style", &self.engine.style())
-            .field("executed", &self.executed_requests)
+            .field("groups", &self.groups)
             .finish()
     }
 }

@@ -8,6 +8,7 @@
 use bytes::Bytes;
 
 use vd_core::prelude::*;
+use vd_group::message::GroupId;
 use vd_orb::sim::{DriverConfig, RequestDriver};
 use vd_simnet::prelude::*;
 use vd_simnet::time::SimDuration;
@@ -61,7 +62,7 @@ fn cluster(n_replicas: u32, knobs: LowLevelKnobs, seed: u64) -> Cluster {
     for i in 0..n_replicas {
         let config = ReplicaConfig {
             knobs,
-            ..ReplicaConfig::default()
+            ..ReplicaConfig::for_group(GroupId(1))
         };
         let pid = world.spawn(
             NodeId(i),
@@ -131,7 +132,7 @@ fn deltas_carry_the_checkpoint_traffic_and_backups_stay_current() {
     assert_eq!(counter_value(&c.world, c.replicas[0]), 200);
 
     let primary = c.world.actor_ref::<ReplicaActor>(c.replicas[0]).unwrap();
-    let acct = primary.checkpoints;
+    let acct = primary.checkpoints();
     assert!(acct.full_sent >= 1, "chain anchors on full snapshots");
     assert!(
         acct.deltas_sent >= acct.full_sent,
@@ -151,7 +152,7 @@ fn deltas_carry_the_checkpoint_traffic_and_backups_stay_current() {
     // current up to checkpoint lag, and no delta was ever rejected.
     for &r in &c.replicas[1..] {
         let backup = c.world.actor_ref::<ReplicaActor>(r).unwrap();
-        assert_eq!(backup.checkpoints.rejected_deltas, 0, "replica {r}");
+        assert_eq!(backup.checkpoints().rejected_deltas, 0, "replica {r}");
         assert!(counter_value(&c.world, r) > 0, "replica {r} never synced");
     }
 }
@@ -171,7 +172,7 @@ fn failover_under_delta_mode_loses_nothing() {
     // And its own chain restarted with a full snapshot, so the remaining
     // backup kept in sync without rejections after the takeover.
     let backup = c.world.actor_ref::<ReplicaActor>(c.replicas[2]).unwrap();
-    assert_eq!(backup.checkpoints.rejected_deltas, 0);
+    assert_eq!(backup.checkpoints().rejected_deltas, 0);
 }
 
 #[test]
@@ -182,7 +183,10 @@ fn style_switch_under_delta_mode_converges() {
     c.world.run_for(SimDuration::from_millis(100));
     c.world.inject(
         c.replicas[1],
-        ReplicaCommand::Switch(ReplicationStyle::Active),
+        ReplicaCommand::Switch {
+            group: GroupId(1),
+            style: ReplicationStyle::Active,
+        },
     );
     c.world.run_for(SimDuration::from_secs(5));
     assert_eq!(completed(&c.world, c.client), 200);

@@ -6,6 +6,7 @@
 use bytes::Bytes;
 
 use vd_core::prelude::*;
+use vd_group::message::GroupId;
 use vd_orb::sim::{DriverConfig, RequestDriver};
 use vd_simnet::prelude::*;
 
@@ -59,7 +60,7 @@ fn spawn_replicas(
             knobs: LowLevelKnobs::default()
                 .style(style)
                 .num_replicas(n as usize),
-            ..ReplicaConfig::default()
+            ..ReplicaConfig::for_group(GroupId(1))
         };
         let pid = world.spawn(
             NodeId(i),
@@ -179,7 +180,7 @@ fn replica_joins_at_runtime_and_syncs_state() {
     world.run_for(SimDuration::from_millis(100));
     let joiner_config = ReplicaConfig {
         knobs: LowLevelKnobs::default().style(ReplicationStyle::Active),
-        ..ReplicaConfig::default()
+        ..ReplicaConfig::for_group(GroupId(1))
     };
     let joiner = world.spawn(
         NodeId(2),
@@ -287,7 +288,10 @@ fn replica_leaves_gracefully_at_runtime() {
         )),
     );
     world.run_for(SimDuration::from_millis(100));
-    world.inject(replicas[2], vd_core::replica::ReplicaCommand::Leave);
+    world.inject(
+        replicas[2],
+        vd_core::replica::ReplicaCommand::Leave { group: GroupId(1) },
+    );
     world.run_for(SimDuration::from_secs(10));
     let c = world.actor_ref::<ReplicatedClientActor>(client).unwrap();
     assert_eq!(c.driver().completed(), 300);
@@ -312,7 +316,7 @@ fn availability_policy_emits_directives_in_situ() {
     for i in 0..2u32 {
         let config = ReplicaConfig {
             knobs: LowLevelKnobs::default().style(ReplicationStyle::Active),
-            ..ReplicaConfig::default()
+            ..ReplicaConfig::for_group(GroupId(1))
         };
         let actor = ReplicaActor::bootstrap(
             ProcessId(i as u64),
@@ -335,11 +339,11 @@ fn availability_policy_emits_directives_in_situ() {
     world.run_for(SimDuration::from_millis(200));
     let r = world.actor_ref::<ReplicaActor>(replicas[0]).unwrap();
     assert!(
-        r.directives
+        r.directives()
             .iter()
             .any(|(_, d)| *d == AdaptationAction::AddReplica),
         "no add-replica directive was raised: {:?}",
-        r.directives
+        r.directives()
     );
 }
 
@@ -355,7 +359,7 @@ fn system_boards_converge_across_replicas() {
         let config = ReplicaConfig {
             knobs: LowLevelKnobs::default().style(ReplicationStyle::Active),
             report_interval: Some(SimDuration::from_millis(25)),
-            ..ReplicaConfig::default()
+            ..ReplicaConfig::for_group(GroupId(1))
         };
         replicas.push(world.spawn(
             NodeId(i),

@@ -22,13 +22,16 @@ use vd_simnet::topology::ProcessId;
 /// Runs a two-member group where the peer heartbeats for a while and
 /// then goes silent; returns the silence the survivor measured at
 /// suspicion time, in µs.
+/// The single group under test — named once, threaded everywhere below.
+const GROUP: GroupId = GroupId(1);
+
 fn measured_detection_us(heartbeat_ms: u64, timeout_ms: u64) -> u64 {
     let hb = SimDuration::from_millis(heartbeat_ms);
     let config = GroupConfig::default()
         .heartbeat_interval(hb)
         .failure_timeout(SimDuration::from_millis(timeout_ms));
     let members = vec![ProcessId(1), ProcessId(2)];
-    let mut survivor = Endpoint::bootstrap(ProcessId(1), GroupId(1), config, members);
+    let mut survivor = Endpoint::bootstrap(ProcessId(1), GROUP, config, members);
     let obs = Obs::enabled();
     survivor.set_obs(obs.clone());
     let _ = survivor.start(SimTime::ZERO);
@@ -49,7 +52,7 @@ fn measured_detection_us(heartbeat_ms: u64, timeout_ms: u64) -> u64 {
                 now,
                 ProcessId(2),
                 GroupMsg::Heartbeat {
-                    group: GroupId(1),
+                    group: GROUP,
                     view_id,
                     acks: Arc::new(Vec::new()),
                     delivered_global: 0,

@@ -9,6 +9,7 @@ use bytes::Bytes;
 
 use vd_core::prelude::*;
 use vd_group::config::GroupConfig;
+use vd_group::message::GroupId;
 use vd_obs::{Ctr, Obs};
 use vd_orb::sim::{DriverConfig, RequestDriver};
 use vd_simnet::prelude::*;
@@ -56,7 +57,7 @@ fn partitioned_primary_self_evicts_and_degree_is_restored() {
         // side of a partition — evict yourself, do not act as primary".
         group_config: GroupConfig::default().min_view(2),
         managers: vec![manager_pid],
-        ..ReplicaConfig::default()
+        ..ReplicaConfig::for_group(GroupId(1))
     };
     let mut replicas = Vec::new();
     for i in 0..3u32 {

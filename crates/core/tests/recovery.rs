@@ -9,6 +9,7 @@
 use bytes::Bytes;
 
 use vd_core::prelude::*;
+use vd_group::message::GroupId;
 use vd_obs::{Ctr, Hist, Obs, ObsHandle};
 use vd_orb::sim::{DriverConfig, RequestDriver};
 use vd_simnet::prelude::*;
@@ -74,7 +75,7 @@ fn fixture(
             .style(style)
             .num_replicas(n_replicas as usize),
         managers: manager_pids.clone(),
-        ..ReplicaConfig::default()
+        ..ReplicaConfig::for_group(GroupId(1))
     };
     let mut replicas = Vec::new();
     for i in 0..n_replicas {
@@ -203,7 +204,10 @@ fn double_fault_during_switch_still_restores_degree() {
     f.world.run_for(SimDuration::from_millis(100));
     f.world.inject(
         f.replicas[1],
-        ReplicaCommand::Switch(ReplicationStyle::WarmPassive),
+        ReplicaCommand::Switch {
+            group: GroupId(1),
+            style: ReplicationStyle::WarmPassive,
+        },
     );
     // Crash the primary a whisker after it can deliver the switch.
     f.world

@@ -5,6 +5,7 @@
 use bytes::Bytes;
 
 use vd_core::prelude::*;
+use vd_group::message::GroupId;
 use vd_orb::sim::{DriverConfig, RequestDriver};
 use vd_simnet::prelude::*;
 use vd_simnet::time::SimDuration;
@@ -68,7 +69,7 @@ fn cluster(n_replicas: u32, n_clients: u32, style: ReplicationStyle, seed: u64) 
             knobs: LowLevelKnobs::default()
                 .style(style)
                 .num_replicas(n_replicas as usize),
-            ..ReplicaConfig::default()
+            ..ReplicaConfig::for_group(GroupId(1))
         };
         let pid = world.spawn(
             NodeId(i),
@@ -151,10 +152,14 @@ fn warm_passive_only_primary_executes() {
     c.world.run_for(SimDuration::from_secs(5));
     assert_eq!(completed(&c.world, c.clients[0]), 200);
     let primary = c.world.actor_ref::<ReplicaActor>(c.replicas[0]).unwrap();
-    assert_eq!(primary.executed_requests, 200);
+    assert_eq!(primary.executed_requests(), 200);
     for &r in &c.replicas[1..] {
         let backup = c.world.actor_ref::<ReplicaActor>(r).unwrap();
-        assert_eq!(backup.executed_requests, 0, "backup {r} executed requests");
+        assert_eq!(
+            backup.executed_requests(),
+            0,
+            "backup {r} executed requests"
+        );
         // But checkpoints kept its state close to the primary's.
         assert!(counter_value(&replica_state(&c.world, r)) > 0);
     }
@@ -220,7 +225,10 @@ fn switch_warm_passive_to_active_under_load() {
     c.world.run_for(SimDuration::from_millis(100));
     c.world.inject(
         c.replicas[1],
-        ReplicaCommand::Switch(ReplicationStyle::Active),
+        ReplicaCommand::Switch {
+            group: GroupId(1),
+            style: ReplicationStyle::Active,
+        },
     );
     c.world.run_for(SimDuration::from_secs(5));
     for &client in &c.clients {
@@ -238,7 +246,7 @@ fn switch_warm_passive_to_active_under_load() {
         );
         assert_eq!(replica_state(&c.world, r), reference, "replica {r}");
         assert!(actor
-            .style_history
+            .style_history()
             .iter()
             .any(|(_, s)| *s == ReplicationStyle::Active));
     }
@@ -250,7 +258,10 @@ fn switch_active_to_warm_passive_under_load() {
     c.world.run_for(SimDuration::from_millis(100));
     c.world.inject(
         c.replicas[2],
-        ReplicaCommand::Switch(ReplicationStyle::WarmPassive),
+        ReplicaCommand::Switch {
+            group: GroupId(1),
+            style: ReplicationStyle::WarmPassive,
+        },
     );
     c.world.run_for(SimDuration::from_secs(5));
     for &client in &c.clients {
@@ -278,7 +289,10 @@ fn switch_survives_primary_crash_mid_switch() {
     c.world.run_for(SimDuration::from_millis(100));
     c.world.inject(
         c.replicas[1],
-        ReplicaCommand::Switch(ReplicationStyle::Active),
+        ReplicaCommand::Switch {
+            group: GroupId(1),
+            style: ReplicationStyle::Active,
+        },
     );
     // Crash the primary a whisker after it can deliver the switch.
     c.world
@@ -329,7 +343,7 @@ fn rate_policy_triggers_automatic_switch_end_to_end() {
     for i in 0..3u32 {
         let config = ReplicaConfig {
             knobs: LowLevelKnobs::default().style(ReplicationStyle::WarmPassive),
-            ..ReplicaConfig::default()
+            ..ReplicaConfig::for_group(GroupId(1))
         };
         let actor = ReplicaActor::bootstrap(
             ProcessId(i as u64),
@@ -363,7 +377,7 @@ fn rate_policy_triggers_automatic_switch_end_to_end() {
         // cycle drained and the rate fell below the low threshold, the
         // same policy switched it back — both transitions are in the
         // history (this is exactly the Fig. 6 behavior).
-        let styles: Vec<ReplicationStyle> = actor.style_history.iter().map(|&(_, s)| s).collect();
+        let styles: Vec<ReplicationStyle> = actor.style_history().iter().map(|&(_, s)| s).collect();
         assert!(
             styles.contains(&ReplicationStyle::Active),
             "replica {r} never went active: {styles:?}"
@@ -382,12 +396,18 @@ fn replicas_state_converges_after_chaotic_run() {
     c.world.run_for(SimDuration::from_millis(50));
     c.world.inject(
         c.replicas[0],
-        ReplicaCommand::Switch(ReplicationStyle::WarmPassive),
+        ReplicaCommand::Switch {
+            group: GroupId(1),
+            style: ReplicationStyle::WarmPassive,
+        },
     );
     c.world.run_for(SimDuration::from_millis(120));
     c.world.inject(
         c.replicas[1],
-        ReplicaCommand::Switch(ReplicationStyle::Active),
+        ReplicaCommand::Switch {
+            group: GroupId(1),
+            style: ReplicationStyle::Active,
+        },
     );
     c.world.set_drop_probability(0.02);
     c.world.run_for(SimDuration::from_millis(300));

@@ -24,6 +24,7 @@ use bytes::Bytes;
 
 use vd_core::invariants::SwitchInvariants;
 use vd_core::prelude::*;
+use vd_group::message::GroupId;
 use vd_orb::object::ObjectKey;
 use vd_orb::wire::{OrbMessage, Request};
 use vd_simnet::explore::{Choice, ExploreConfig, Fnv64};
@@ -88,7 +89,7 @@ fn switch_world_with(knobs: LowLevelKnobs, switch_to: ReplicationStyle) -> World
     for i in 0..3u32 {
         let config = ReplicaConfig {
             knobs,
-            ..ReplicaConfig::default()
+            ..ReplicaConfig::for_group(GroupId(1))
         };
         let pid = world.spawn(
             NodeId(i),
@@ -108,7 +109,13 @@ fn switch_world_with(knobs: LowLevelKnobs, switch_to: ReplicationStyle) -> World
     world.inject(ProcessId(0), client_request(1));
     world.inject(ProcessId(0), client_request(2));
     world.inject(ProcessId(1), client_request(3));
-    world.inject(ProcessId(0), ReplicaCommand::Switch(switch_to));
+    world.inject(
+        ProcessId(0),
+        ReplicaCommand::Switch {
+            group: GroupId(1),
+            style: switch_to,
+        },
+    );
     world
 }
 

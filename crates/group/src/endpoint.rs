@@ -48,6 +48,11 @@ impl fmt::Display for MulticastError {
 
 impl std::error::Error for MulticastError {}
 
+/// The per-group slice of a process-level heartbeat: the sender's view
+/// id, per-sender contiguous acks, and the delivered position in the
+/// agreed order.
+pub type HeartbeatSection = (ViewId, Arc<Vec<(ProcessId, u64)>>, u64);
+
 /// Membership status of the endpoint.
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Status {
@@ -120,6 +125,12 @@ pub struct Endpoint {
     config: GroupConfig,
     status: Status,
     view: View,
+    /// When `true`, liveness is tracked by a process-level failure detector
+    /// shared with co-located groups (see [`crate::multi`]): this endpoint
+    /// arms no heartbeat or failure-check timers of its own and instead
+    /// receives heartbeat sections via [`Endpoint::apply_heartbeat`] and
+    /// suspicions via [`Endpoint::inject_suspicion`].
+    external_fd: bool,
 
     // --- sending ---
     next_send_seq: u64,
@@ -212,6 +223,7 @@ impl Endpoint {
             config,
             status,
             view,
+            external_fd: false,
             next_send_seq: 0,
             causal_sends: 0,
             pending_sends: Vec::new(),
@@ -295,6 +307,100 @@ impl Endpoint {
         self.stats
     }
 
+    /// Hands liveness tracking to a process-level failure detector shared
+    /// between co-located groups ([`crate::multi::MultiEndpoint`]). Must be
+    /// called before [`Endpoint::start`]: the endpoint then arms no
+    /// heartbeat or failure-check timers and expects heartbeat sections and
+    /// suspicions to be pushed in from outside.
+    pub fn set_external_fd(&mut self) {
+        self.external_fd = true;
+    }
+
+    /// Whether a process-level failure detector drives this endpoint.
+    pub fn uses_external_fd(&self) -> bool {
+        self.external_fd
+    }
+
+    // ---- process-level failure-detector hooks ------------------------------
+
+    /// The per-group content of a heartbeat — per-sender contiguous acks and
+    /// the delivered position in the agreed order — for a process-level
+    /// detector to fold into one frame per peer process. `None` while this
+    /// endpoint is not a member.
+    pub fn heartbeat_section(&self) -> Option<HeartbeatSection> {
+        if self.status != Status::Member {
+            return None;
+        }
+        Some((
+            self.view.id(),
+            Arc::new(
+                self.streams
+                    .iter()
+                    .map(|(&s, st)| (s, st.contiguous()))
+                    .collect(),
+            ),
+            self.next_global_deliver.saturating_sub(1),
+        ))
+    }
+
+    /// Applies one heartbeat section received by the process-level detector:
+    /// refreshes liveness for `from` and runs the normal ack/stability path.
+    pub fn apply_heartbeat(
+        &mut self,
+        now: SimTime,
+        from: ProcessId,
+        view_id: ViewId,
+        acks: Arc<Vec<(ProcessId, u64)>>,
+        delivered_global: u64,
+    ) {
+        if self.status == Status::Evicted {
+            return;
+        }
+        self.now_us = now.as_micros();
+        self.last_heard.insert(from, now);
+        self.handle_heartbeat(from, view_id, acks, delivered_global);
+    }
+
+    /// Records a suspicion raised by the process-level failure detector:
+    /// marks `peer` suspected (with the measured silence, for the
+    /// fault-detection-latency histogram) and starts a flush if this
+    /// endpoint should lead one.
+    pub fn inject_suspicion(
+        &mut self,
+        now: SimTime,
+        peer: ProcessId,
+        silence_us: u64,
+    ) -> Vec<Output> {
+        let mut out = Vec::new();
+        if self.status != Status::Member
+            || peer == self.me
+            || !self.view.contains(peer)
+            || self.suspected.contains(&peer)
+        {
+            return out;
+        }
+        self.now_us = now.as_micros();
+        self.suspect_peer(peer, silence_us);
+        self.pending_joins.remove(&peer);
+        self.maybe_start_flush(now, &mut out);
+        out
+    }
+
+    /// Marks `m` suspected and records it in the observability registry.
+    fn suspect_peer(&mut self, m: ProcessId, silence_us: u64) {
+        self.suspected.insert(m);
+        self.obs.metrics.incr(Ctr::GroupSuspicions);
+        self.obs.metrics.record(Hist::FaultDetectionUs, silence_us);
+        self.obs.emit(
+            self.now_us,
+            self.me.0,
+            EventKind::SuspicionRaised {
+                peer: m.0,
+                silence_us,
+            },
+        );
+    }
+
     // ---- lifecycle ---------------------------------------------------------
 
     /// Arms the periodic timers (and, for a joining endpoint, sends the
@@ -305,14 +411,16 @@ impl Endpoint {
         for &m in self.view.members() {
             self.last_heard.insert(m, now);
         }
-        out.push(Output::SetTimer {
-            delay: self.config.heartbeat_interval,
-            timer: GroupTimer::Heartbeat,
-        });
-        out.push(Output::SetTimer {
-            delay: self.config.heartbeat_interval,
-            timer: GroupTimer::FailureCheck,
-        });
+        if !self.external_fd {
+            out.push(Output::SetTimer {
+                delay: self.config.heartbeat_interval,
+                timer: GroupTimer::Heartbeat,
+            });
+            out.push(Output::SetTimer {
+                delay: self.config.heartbeat_interval,
+                timer: GroupTimer::FailureCheck,
+            });
+        }
         out.push(Output::SetTimer {
             delay: self.config.nack_interval,
             timer: GroupTimer::NackRetry,
@@ -1655,17 +1763,12 @@ impl Endpoint {
                     delay: self.config.heartbeat_interval,
                     timer: GroupTimer::Heartbeat,
                 });
-                if self.status == Status::Member {
+                if let Some((view_id, acks, delivered_global)) = self.heartbeat_section() {
                     let msg = GroupMsg::Heartbeat {
                         group: self.group,
-                        view_id: self.view.id(),
-                        acks: Arc::new(
-                            self.streams
-                                .iter()
-                                .map(|(&s, st)| (s, st.contiguous()))
-                                .collect(),
-                        ),
-                        delivered_global: self.next_global_deliver.saturating_sub(1),
+                        view_id,
+                        acks,
+                        delivered_global,
                     };
                     self.fan_out(&msg, &mut out);
                     self.obs.metrics.incr(Ctr::GroupHeartbeatsSent);
@@ -1720,25 +1823,15 @@ impl Endpoint {
     }
 
     fn check_failures(&mut self, now: SimTime, out: &mut Vec<Output>) {
-        for &m in self.view.members() {
+        let members: Vec<ProcessId> = self.view.members().to_vec();
+        for m in members {
             if m == self.me || self.suspected.contains(&m) {
                 continue;
             }
             let heard = self.last_heard.get(&m).copied().unwrap_or(now);
             let silence = now.duration_since(heard);
             if silence > self.config.failure_timeout {
-                self.suspected.insert(m);
-                let silence_us = silence.as_micros();
-                self.obs.metrics.incr(Ctr::GroupSuspicions);
-                self.obs.metrics.record(Hist::FaultDetectionUs, silence_us);
-                self.obs.emit(
-                    self.now_us,
-                    self.me.0,
-                    EventKind::SuspicionRaised {
-                        peer: m.0,
-                        silence_us,
-                    },
-                );
+                self.suspect_peer(m, silence.as_micros());
             }
         }
         // A joiner that died while waiting must not wedge future rounds.

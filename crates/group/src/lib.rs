@@ -46,6 +46,7 @@ pub mod config;
 pub mod endpoint;
 pub mod flush;
 pub mod message;
+pub mod multi;
 pub mod order;
 pub mod sim;
 pub mod stream;
@@ -58,8 +59,11 @@ pub mod prelude {
     pub use crate::config::GroupConfig;
     pub use crate::endpoint::{Endpoint, MulticastError};
     pub use crate::message::{Assignment, DataMsg, GroupId, GroupMsg};
+    pub use crate::multi::{
+        HeartbeatSection, MultiEndpoint, MultiOutput, MultiTimer, ProcessHeartbeat,
+    };
     pub use crate::order::DeliveryOrder;
-    pub use crate::sim::GroupMemberActor;
+    pub use crate::sim::{GroupMemberActor, MultiCommand, MultiGroupMemberActor};
     pub use crate::vclock::VectorClock;
     pub use crate::view::{View, ViewId};
 }

@@ -287,13 +287,16 @@ impl Payload for GroupMsg {
 mod tests {
     use super::*;
 
+    /// The group all wire-format fixtures below belong to.
+    const GROUP: GroupId = GroupId(1);
+
     fn p(n: u64) -> ProcessId {
         ProcessId(n)
     }
 
     fn data(payload_len: usize, vclock: Option<VectorClock>) -> DataMsg {
         DataMsg {
-            group: GroupId(1),
+            group: GROUP,
             view_id: ViewId(0),
             sender: p(1),
             seq: Some(1),
@@ -364,7 +367,7 @@ mod tests {
         let msgs: Vec<DataMsg> = (0..8).map(|_| data(64, None)).collect();
         let separate: usize = msgs.iter().map(DataMsg::wire_size).sum();
         let batched = GroupMsg::DataBatch {
-            group: GroupId(1),
+            group: GROUP,
             msgs: Arc::new(msgs),
         }
         .wire_size();
@@ -377,7 +380,7 @@ mod tests {
     fn cloning_a_batch_shares_the_body() {
         let msgs = Arc::new(vec![data(1024, None)]);
         let m = GroupMsg::DataBatch {
-            group: GroupId(1),
+            group: GROUP,
             msgs: msgs.clone(),
         };
         let m2 = m.clone();

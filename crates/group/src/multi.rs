@@ -1,0 +1,423 @@
+//! Process-level multiplexing of several group endpoints.
+//!
+//! The paper's scalability knob distributes *object groups* across nodes:
+//! one daemon process hosts many groups. Naively running one [`Endpoint`]
+//! per group multiplies the failure-detection traffic by the number of
+//! co-located groups, even though liveness is a property of the *process*,
+//! not the group. [`MultiEndpoint`] therefore owns exactly one failure
+//! detector per process pair: a single [`ProcessHeartbeat`] frame per peer
+//! per interval carries one [`HeartbeatSection`] for every group the two
+//! processes share, and a raised suspicion is fanned out to every
+//! co-located group containing the silent peer.
+//!
+//! Everything group-scoped — views, ordering, vector clocks, batches,
+//! flushes — stays per-group inside the wrapped [`Endpoint`]s (created with
+//! [`Endpoint::set_external_fd`]). Like `Endpoint`, the multiplexer is
+//! sans-IO: hosts perform the returned [`MultiOutput`]s.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use vd_obs::{Ctr, EventKind, Obs, ObsHandle};
+use vd_simnet::actor::Payload;
+use vd_simnet::time::{SimDuration, SimTime};
+use vd_simnet::topology::ProcessId;
+
+use crate::api::{GroupEvent, GroupTimer, Output};
+use crate::endpoint::{Endpoint, MulticastError};
+use crate::message::{GroupId, GroupMsg, HEADER_BYTES, PAIR_BYTES};
+use crate::order::DeliveryOrder;
+use crate::view::ViewId;
+
+/// The per-group slice of a [`ProcessHeartbeat`]: the same acknowledgement
+/// vector and agreed-order position a single-group heartbeat carries.
+#[derive(Debug, Clone)]
+pub struct HeartbeatSection {
+    /// The group this section belongs to.
+    pub group: GroupId,
+    /// Sender's current view of that group.
+    pub view_id: ViewId,
+    /// For each sender: highest contiguously-received sequence number.
+    /// Shared (not copied) across the per-peer heartbeat fan-out.
+    pub acks: Arc<Vec<(ProcessId, u64)>>,
+    /// The sender's delivered position in the group's agreed total order.
+    pub delivered_global: u64,
+}
+
+/// One process-level heartbeat frame: liveness for the process pair plus a
+/// section per shared group. Replaces N per-group [`GroupMsg::Heartbeat`]s
+/// with one frame, so heartbeat traffic does not scale with the number of
+/// co-located groups.
+#[derive(Debug, Clone)]
+pub struct ProcessHeartbeat {
+    /// One section per group the sender shares with the destination.
+    pub sections: Vec<HeartbeatSection>,
+}
+
+impl Payload for ProcessHeartbeat {
+    fn wire_size(&self) -> usize {
+        HEADER_BYTES
+            + self
+                .sections
+                .iter()
+                .map(|s| 8 + s.acks.len() * PAIR_BYTES + 8)
+                .sum::<usize>()
+    }
+}
+
+/// A timer owned by a [`MultiEndpoint`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MultiTimer {
+    /// The process-level heartbeat round (one frame per peer process).
+    Heartbeat,
+    /// The process-level failure check.
+    FailureCheck,
+    /// A protocol timer of one hosted group.
+    Group(GroupId, GroupTimer),
+}
+
+/// An effect the host must perform for a [`MultiEndpoint`].
+#[derive(Debug)]
+pub enum MultiOutput {
+    /// Send a group-protocol message to a peer process.
+    Send {
+        /// Destination process.
+        to: ProcessId,
+        /// The message (routes by its group tag at the receiver).
+        msg: GroupMsg,
+    },
+    /// Send a process-level heartbeat frame to a peer process.
+    Heartbeat {
+        /// Destination process.
+        to: ProcessId,
+        /// The sectioned frame.
+        msg: ProcessHeartbeat,
+    },
+    /// Surface a group event to the application layer.
+    Event {
+        /// The group the event belongs to.
+        group: GroupId,
+        /// The event.
+        event: GroupEvent,
+    },
+    /// Arm a one-shot timer.
+    SetTimer {
+        /// Delay from now.
+        delay: SimDuration,
+        /// Which timer to deliver back via [`MultiEndpoint::handle_timer`].
+        timer: MultiTimer,
+    },
+}
+
+/// Hosts any number of group [`Endpoint`]s behind one shared process-level
+/// failure detector (see module docs).
+#[derive(Debug)]
+pub struct MultiEndpoint {
+    me: ProcessId,
+    heartbeat_interval: SimDuration,
+    failure_timeout: SimDuration,
+    groups: BTreeMap<GroupId, Endpoint>,
+    last_heard: BTreeMap<ProcessId, SimTime>,
+    suspected: BTreeSet<ProcessId>,
+    obs: ObsHandle,
+    now_us: u64,
+}
+
+impl MultiEndpoint {
+    /// Creates an empty multiplexer for process `me`. The heartbeat interval
+    /// and failure timeout are process-wide (hosts typically pass the
+    /// tightest of the co-located groups' fault-monitoring knobs).
+    pub fn new(
+        me: ProcessId,
+        heartbeat_interval: SimDuration,
+        failure_timeout: SimDuration,
+    ) -> Self {
+        MultiEndpoint {
+            me,
+            heartbeat_interval,
+            failure_timeout,
+            groups: BTreeMap::new(),
+            last_heard: BTreeMap::new(),
+            suspected: BTreeSet::new(),
+            obs: Obs::disabled(),
+            now_us: 0,
+        }
+    }
+
+    /// Attaches the process-level observability endpoint. Heartbeat
+    /// send/receive counters land here (once per round/frame, independent
+    /// of group count); per-group counters stay on each endpoint's handle.
+    pub fn set_obs(&mut self, obs: ObsHandle) {
+        self.obs = obs;
+    }
+
+    /// Adds a group endpoint (must belong to this process). The endpoint is
+    /// switched to external failure detection; add every group before
+    /// calling [`MultiEndpoint::start`].
+    pub fn add_endpoint(&mut self, mut endpoint: Endpoint) {
+        debug_assert_eq!(
+            endpoint.me(),
+            self.me,
+            "endpoint belongs to another process"
+        );
+        endpoint.set_external_fd();
+        self.groups.insert(endpoint.group(), endpoint);
+    }
+
+    // ---- accessors ---------------------------------------------------------
+
+    /// This process's id.
+    pub fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    /// The endpoint of one hosted group.
+    pub fn group(&self, id: GroupId) -> Option<&Endpoint> {
+        self.groups.get(&id)
+    }
+
+    /// Mutable access to the endpoint of one hosted group.
+    pub fn group_mut(&mut self, id: GroupId) -> Option<&mut Endpoint> {
+        self.groups.get_mut(&id)
+    }
+
+    /// The hosted group ids, ascending.
+    pub fn group_ids(&self) -> Vec<GroupId> {
+        self.groups.keys().copied().collect()
+    }
+
+    /// Iterates over the hosted endpoints.
+    pub fn endpoints(&self) -> impl Iterator<Item = &Endpoint> {
+        self.groups.values()
+    }
+
+    /// Peers currently suspected by the process-level failure detector.
+    pub fn suspected(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.suspected.iter().copied()
+    }
+
+    // ---- lifecycle ---------------------------------------------------------
+
+    /// Starts every hosted endpoint and arms the process-level heartbeat and
+    /// failure-check timers. Call exactly once.
+    pub fn start(&mut self, now: SimTime) -> Vec<MultiOutput> {
+        self.now_us = now.as_micros();
+        let mut out = Vec::new();
+        for (gid, ep) in &mut self.groups {
+            let outputs = ep.start(now);
+            translate(*gid, outputs, &mut out);
+        }
+        for peer in self.peer_union() {
+            self.last_heard.insert(peer, now);
+        }
+        out.push(MultiOutput::SetTimer {
+            delay: self.heartbeat_interval,
+            timer: MultiTimer::Heartbeat,
+        });
+        out.push(MultiOutput::SetTimer {
+            delay: self.heartbeat_interval,
+            timer: MultiTimer::FailureCheck,
+        });
+        out
+    }
+
+    /// Multicasts `payload` in `group` with the requested guarantee.
+    ///
+    /// # Errors
+    ///
+    /// [`MulticastError::NotMember`] if the group is not hosted here or its
+    /// endpoint is not (or no longer) a member.
+    pub fn multicast(
+        &mut self,
+        now: SimTime,
+        group: GroupId,
+        order: DeliveryOrder,
+        payload: Bytes,
+    ) -> Result<Vec<MultiOutput>, MulticastError> {
+        let ep = self
+            .groups
+            .get_mut(&group)
+            .ok_or(MulticastError::NotMember)?;
+        let outputs = ep.multicast(now, order, payload)?;
+        let mut out = Vec::new();
+        translate(group, outputs, &mut out);
+        Ok(out)
+    }
+
+    /// Announces a graceful departure from one hosted group.
+    pub fn leave(&mut self, now: SimTime, group: GroupId) -> Vec<MultiOutput> {
+        let mut out = Vec::new();
+        if let Some(ep) = self.groups.get_mut(&group) {
+            let outputs = ep.leave(now);
+            translate(group, outputs, &mut out);
+        }
+        out
+    }
+
+    // ---- inputs ------------------------------------------------------------
+
+    /// Processes a group-protocol message from peer process `from`, routing
+    /// it to the tagged group. Any group traffic also counts as liveness
+    /// for the process-level detector.
+    pub fn handle_message(
+        &mut self,
+        now: SimTime,
+        from: ProcessId,
+        msg: GroupMsg,
+    ) -> Vec<MultiOutput> {
+        self.now_us = now.as_micros();
+        self.last_heard.insert(from, now);
+        let mut out = Vec::new();
+        let group = msg.group();
+        if let Some(ep) = self.groups.get_mut(&group) {
+            let outputs = ep.handle_message(now, from, msg);
+            translate(group, outputs, &mut out);
+        }
+        out
+    }
+
+    /// Processes a process-level heartbeat from peer `from`: refreshes the
+    /// shared liveness record and applies each section to its group.
+    pub fn handle_heartbeat(&mut self, now: SimTime, from: ProcessId, hb: &ProcessHeartbeat) {
+        self.now_us = now.as_micros();
+        self.last_heard.insert(from, now);
+        self.obs.metrics.incr(Ctr::GroupHeartbeatsRecv);
+        for section in &hb.sections {
+            if let Some(ep) = self.groups.get_mut(&section.group) {
+                ep.apply_heartbeat(
+                    now,
+                    from,
+                    section.view_id,
+                    section.acks.clone(),
+                    section.delivered_global,
+                );
+            }
+        }
+    }
+
+    /// Processes a timer previously requested via [`MultiOutput::SetTimer`].
+    pub fn handle_timer(&mut self, now: SimTime, timer: MultiTimer) -> Vec<MultiOutput> {
+        self.now_us = now.as_micros();
+        let mut out = Vec::new();
+        match timer {
+            MultiTimer::Heartbeat => {
+                out.push(MultiOutput::SetTimer {
+                    delay: self.heartbeat_interval,
+                    timer: MultiTimer::Heartbeat,
+                });
+                self.heartbeat_round(&mut out);
+            }
+            MultiTimer::FailureCheck => {
+                out.push(MultiOutput::SetTimer {
+                    delay: self.heartbeat_interval,
+                    timer: MultiTimer::FailureCheck,
+                });
+                self.failure_round(now, &mut out);
+            }
+            MultiTimer::Group(group, t) => {
+                if let Some(ep) = self.groups.get_mut(&group) {
+                    let outputs = ep.handle_timer(now, t);
+                    translate(group, outputs, &mut out);
+                }
+            }
+        }
+        out
+    }
+
+    // ---- the shared failure detector ---------------------------------------
+
+    /// Every peer process appearing in some hosted group's view.
+    fn peer_union(&self) -> BTreeSet<ProcessId> {
+        let mut peers = BTreeSet::new();
+        for ep in self.groups.values() {
+            if ep.is_member() {
+                peers.extend(
+                    ep.view()
+                        .members()
+                        .iter()
+                        .copied()
+                        .filter(|&m| m != self.me),
+                );
+            }
+        }
+        peers
+    }
+
+    /// One heartbeat round: a single sectioned frame per peer process,
+    /// whatever the number of shared groups.
+    fn heartbeat_round(&mut self, out: &mut Vec<MultiOutput>) {
+        let mut per_peer: BTreeMap<ProcessId, Vec<HeartbeatSection>> = BTreeMap::new();
+        let mut member_anywhere = false;
+        for (gid, ep) in &self.groups {
+            let Some((view_id, acks, delivered_global)) = ep.heartbeat_section() else {
+                continue;
+            };
+            member_anywhere = true;
+            for &m in ep.view().members() {
+                if m != self.me {
+                    per_peer.entry(m).or_default().push(HeartbeatSection {
+                        group: *gid,
+                        view_id,
+                        acks: acks.clone(),
+                        delivered_global,
+                    });
+                }
+            }
+        }
+        if !member_anywhere {
+            return;
+        }
+        for (peer, sections) in per_peer {
+            out.push(MultiOutput::Heartbeat {
+                to: peer,
+                msg: ProcessHeartbeat { sections },
+            });
+        }
+        // One logical heartbeat per round — the counter must not scale with
+        // the number of co-located groups.
+        self.obs.metrics.incr(Ctr::GroupHeartbeatsSent);
+        self.obs
+            .emit(self.now_us, self.me.0, EventKind::HeartbeatSent);
+    }
+
+    /// One failure-detection round over the union of all hosted views. A
+    /// raised suspicion fans out into every co-located group containing the
+    /// silent peer.
+    fn failure_round(&mut self, now: SimTime, out: &mut Vec<MultiOutput>) {
+        let peers = self.peer_union();
+        self.suspected.retain(|p| peers.contains(p));
+        self.last_heard.retain(|p, _| peers.contains(p));
+        for peer in peers {
+            if self.suspected.contains(&peer) {
+                continue;
+            }
+            let heard = *self.last_heard.entry(peer).or_insert(now);
+            let silence = now.duration_since(heard);
+            if silence <= self.failure_timeout {
+                continue;
+            }
+            self.suspected.insert(peer);
+            let silence_us = silence.as_micros();
+            for (gid, ep) in &mut self.groups {
+                let outputs = ep.inject_suspicion(now, peer, silence_us);
+                translate(*gid, outputs, out);
+            }
+        }
+    }
+}
+
+/// Lifts single-group endpoint outputs into the multiplexed output space.
+fn translate(group: GroupId, outputs: Vec<Output>, out: &mut Vec<MultiOutput>) {
+    for output in outputs {
+        out.push(match output {
+            Output::Send { to, msg } => MultiOutput::Send { to, msg },
+            Output::Event(event) => MultiOutput::Event { group, event },
+            Output::SetTimer { delay, timer } => MultiOutput::SetTimer {
+                delay,
+                timer: MultiTimer::Group(group, timer),
+            },
+        });
+    }
+}

@@ -461,3 +461,147 @@ fn minority_below_min_view_self_evicts_instead_of_rump_group() {
         .iter()
         .any(|(_, p)| p == b"after-cut"));
 }
+
+// ---------------------------------------------------------------------------
+// Multi-group hosting: shared process-level failure detection.
+// ---------------------------------------------------------------------------
+
+/// Spawns `n` processes each hosting `groups` co-located group endpoints
+/// behind one shared [`MultiEndpoint`]. Returns the pids and each process's
+/// process-level obs handle (where heartbeat counters land).
+fn spawn_multi(
+    world: &mut World,
+    n: u32,
+    groups: &[GroupId],
+    config: GroupConfig,
+) -> (Vec<ProcessId>, Vec<vd_obs::ObsHandle>) {
+    let members: Vec<ProcessId> = (0..n as u64).map(ProcessId).collect();
+    let mut pids = Vec::new();
+    let mut handles = Vec::new();
+    for i in 0..n {
+        let me = ProcessId(i as u64);
+        let obs = vd_obs::Obs::enabled();
+        let mut multi = MultiEndpoint::new(me, config.heartbeat_interval, config.failure_timeout);
+        multi.set_obs(obs.clone());
+        for &g in groups {
+            multi.add_endpoint(Endpoint::bootstrap(me, g, config, members.clone()));
+        }
+        let pid = world.spawn(NodeId(i), Box::new(MultiGroupMemberActor::new(multi)));
+        assert_eq!(pid, me, "sequential pid assumption");
+        pids.push(pid);
+        handles.push(obs);
+    }
+    (pids, handles)
+}
+
+fn multi_multicast(
+    world: &mut World,
+    member: ProcessId,
+    group: GroupId,
+    order: DeliveryOrder,
+    payload: &[u8],
+) {
+    world.inject(
+        member,
+        MultiCommand::Multicast {
+            group,
+            order,
+            payload: Bytes::copy_from_slice(payload),
+        },
+    );
+}
+
+fn multi_deliveries_of(world: &World, pid: ProcessId, group: GroupId) -> Vec<Vec<u8>> {
+    world
+        .actor_ref::<MultiGroupMemberActor>(pid)
+        .expect("member exists")
+        .delivered_payloads(group)
+}
+
+/// Satellite regression: heartbeat traffic is per process pair, not per
+/// group — hosting three co-located groups must cost the same number of
+/// heartbeats as hosting one.
+#[test]
+fn co_located_groups_share_one_heartbeat_stream() {
+    let run = |groups: &[GroupId]| -> (u64, Vec<Vec<u8>>) {
+        let mut world = World::new(lan_topology(3), 23);
+        let (pids, obs) = spawn_multi(&mut world, 3, groups, GroupConfig::default());
+        world.run_for(SimDuration::from_millis(5));
+        for &g in groups {
+            multi_multicast(
+                &mut world,
+                pids[0],
+                g,
+                DeliveryOrder::Agreed,
+                &g.0.to_be_bytes(),
+            );
+        }
+        world.run_for(SimDuration::from_millis(500));
+        let sent = obs[0].metrics.counter(vd_obs::Ctr::GroupHeartbeatsSent);
+        let got: Vec<Vec<u8>> = groups
+            .iter()
+            .map(|&g| {
+                multi_deliveries_of(&world, pids[2], g)
+                    .into_iter()
+                    .next()
+                    .unwrap_or_default()
+            })
+            .collect();
+        (sent, got)
+    };
+
+    let (sent_one, got_one) = run(&[GroupId(1)]);
+    let (sent_three, got_three) = run(&[GroupId(1), GroupId(2), GroupId(3)]);
+
+    // Every hosted group still delivers its traffic.
+    assert_eq!(got_one, vec![1u32.to_be_bytes().to_vec()]);
+    assert_eq!(
+        got_three,
+        (1u32..=3)
+            .map(|g| g.to_be_bytes().to_vec())
+            .collect::<Vec<_>>()
+    );
+
+    // The heartbeat stream is process-level: identical round count whether
+    // the process hosts one group or three (it must NOT triple).
+    assert!(sent_one > 0, "no heartbeats recorded at all");
+    assert_eq!(
+        sent_three, sent_one,
+        "heartbeats scaled with co-located group count ({sent_three} vs {sent_one})"
+    );
+}
+
+/// A process crash is detected once by the shared failure detector and the
+/// suspicion fans out into every co-located group: both groups converge on
+/// a view excluding the crashed peer, and both keep delivering.
+#[test]
+fn shared_detector_fans_suspicion_into_every_colocated_group() {
+    let groups = [GroupId(4), GroupId(9)];
+    let mut world = World::new(lan_topology(3), 29);
+    let (pids, _obs) = spawn_multi(&mut world, 3, &groups, GroupConfig::default());
+    world.run_for(SimDuration::from_millis(5));
+    world.crash_process_at(pids[2], world.now());
+    world.run_for(SimDuration::from_millis(400));
+
+    for &pid in &pids[..2] {
+        let actor = world.actor_ref::<MultiGroupMemberActor>(pid).unwrap();
+        for &g in &groups {
+            let ep = actor.multi().group(g).expect("hosted group");
+            assert_eq!(
+                ep.view().members(),
+                &[pids[0], pids[1]],
+                "group {g:?} on {pid} did not exclude the crashed process"
+            );
+        }
+    }
+    for &g in &groups {
+        multi_multicast(&mut world, pids[0], g, DeliveryOrder::Agreed, b"post-crash");
+        world.run_for(SimDuration::from_millis(30));
+        assert!(
+            multi_deliveries_of(&world, pids[1], g)
+                .iter()
+                .any(|p| p == b"post-crash"),
+            "group {g:?} stalled after the shared detector fired"
+        );
+    }
+}

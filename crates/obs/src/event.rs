@@ -317,6 +317,11 @@ pub struct Event {
     /// Numeric id of the emitting actor (simnet `ProcessId` value);
     /// `u64::MAX` marks the world/scheduler itself.
     pub actor: u64,
+    /// Object-group label (`vd-group` `GroupId` value) the occurrence
+    /// belongs to; `0` marks process-level / unsharded events. Multi-group
+    /// hosting stamps every per-group component's events with its group so
+    /// one chronological trace can be sliced per shard.
+    pub group: u32,
     /// The occurrence.
     pub kind: EventKind,
 }

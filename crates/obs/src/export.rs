@@ -107,18 +107,16 @@ fn write_fields(out: &mut String, kind: &EventKind) {
 }
 
 /// Renders `events` as JSON Lines: one object per event, fields
-/// `t_us`, `actor`, `event`, plus the event-specific payload fields
-/// documented in OBSERVABILITY.md.
+/// `t_us`, `actor`, `event` (plus `group` for group-labeled events) and
+/// the event-specific payload fields documented in OBSERVABILITY.md.
 pub fn export_jsonl(events: &[Event]) -> String {
     let mut out = String::with_capacity(events.len() * 96);
     for e in events {
-        let _ = write!(
-            out,
-            "{{\"t_us\":{},\"actor\":{},\"event\":\"{}\"",
-            e.t_us,
-            e.actor,
-            e.kind.name()
-        );
+        let _ = write!(out, "{{\"t_us\":{},\"actor\":{}", e.t_us, e.actor);
+        if e.group != 0 {
+            let _ = write!(out, ",\"group\":{}", e.group);
+        }
+        let _ = write!(out, ",\"event\":\"{}\"", e.kind.name());
         write_fields(&mut out, &e.kind);
         out.push_str("}\n");
     }
@@ -157,6 +155,9 @@ pub fn render_timeline(events: &[Event], verbose: bool) -> String {
             e.actor,
             e.kind.name()
         );
+        if e.group != 0 {
+            let _ = write!(out, " group={}", e.group);
+        }
         let mut fields = String::new();
         write_fields(&mut fields, &e.kind);
         // Reuse the JSONL field renderer, reshaped as key=value pairs.
@@ -183,6 +184,7 @@ mod tests {
             Event {
                 t_us: 1_500,
                 actor: 2,
+                group: 0,
                 kind: EventKind::StyleSwitch {
                     phase: SwitchPhase::Requested,
                     from: SmallStr::new("warm-passive"),
@@ -192,11 +194,13 @@ mod tests {
             Event {
                 t_us: 2_000,
                 actor: 2,
+                group: 0,
                 kind: EventKind::HeartbeatSent,
             },
             Event {
                 t_us: 2_500,
                 actor: 3,
+                group: 7,
                 kind: EventKind::KnobChanged {
                     knob: SmallStr::new("style"),
                     value: 0,
@@ -215,6 +219,9 @@ mod tests {
         assert!(lines[0].ends_with('}'));
         assert!(lines[1].contains("\"event\":\"heartbeat_sent\"}"));
         assert!(lines[2].contains("\"knob\":\"style\",\"value\":0"));
+        // Group-labeled events carry the label; unlabeled ones omit it.
+        assert!(lines[2].contains("\"group\":7"));
+        assert!(!lines[0].contains("\"group\""));
     }
 
     #[test]

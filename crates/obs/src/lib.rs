@@ -58,6 +58,9 @@ pub const WORLD_ACTOR: u64 = u64::MAX;
 #[derive(Debug)]
 pub struct Obs {
     trace: Arc<TraceSink>,
+    /// Group label stamped on every event emitted through this handle
+    /// (`0` = process-level / unsharded).
+    group: u32,
     /// The component's metrics. Public: recording methods are `&self`.
     pub metrics: MetricsRegistry,
 }
@@ -71,6 +74,7 @@ impl Obs {
     pub fn disabled() -> ObsHandle {
         Arc::new(Obs {
             trace: Arc::new(TraceSink::disabled()),
+            group: 0,
             metrics: MetricsRegistry::new(),
         })
     }
@@ -79,6 +83,7 @@ impl Obs {
     pub fn enabled() -> ObsHandle {
         Arc::new(Obs {
             trace: Arc::new(TraceSink::enabled()),
+            group: 0,
             metrics: MetricsRegistry::new(),
         })
     }
@@ -88,8 +93,27 @@ impl Obs {
     pub fn with_trace(trace: Arc<TraceSink>) -> ObsHandle {
         Arc::new(Obs {
             trace,
+            group: 0,
             metrics: MetricsRegistry::new(),
         })
+    }
+
+    /// A per-group endpoint: its own metrics registry (so counters can be
+    /// reported per shard) appending into the shared sink, with every
+    /// event stamped with `group`. This is how one replica process hosting
+    /// N object groups keeps N labeled metric sets over one trace.
+    pub fn for_group(group: u32, trace: Arc<TraceSink>) -> ObsHandle {
+        Arc::new(Obs {
+            trace,
+            group,
+            metrics: MetricsRegistry::new(),
+        })
+    }
+
+    /// The group label stamped on events from this handle (`0` =
+    /// unsharded).
+    pub fn group(&self) -> u32 {
+        self.group
     }
 
     /// The trace sink.
@@ -102,11 +126,12 @@ impl Obs {
         Arc::clone(&self.trace)
     }
 
-    /// Emits one trace event. Hot path: allocation-free; a single
-    /// atomic load when the sink is disabled.
+    /// Emits one trace event, stamped with this handle's group label.
+    /// Hot path: allocation-free; a single atomic load when the sink is
+    /// disabled.
     #[inline]
     pub fn emit(&self, t_us: u64, actor: u64, kind: EventKind) {
-        self.trace.emit_at(t_us, actor, kind);
+        self.trace.emit_group_at(t_us, actor, self.group, kind);
     }
 }
 

@@ -101,10 +101,27 @@ impl TraceSink {
         }
     }
 
-    /// Convenience wrapper assembling the [`Event`] in place.
+    /// Convenience wrapper assembling an unlabeled (`group = 0`)
+    /// [`Event`] in place.
     #[inline]
     pub fn emit_at(&self, t_us: u64, actor: u64, kind: EventKind) {
-        self.emit(Event { t_us, actor, kind });
+        self.emit(Event {
+            t_us,
+            actor,
+            group: 0,
+            kind,
+        });
+    }
+
+    /// Convenience wrapper assembling a group-labeled [`Event`] in place.
+    #[inline]
+    pub fn emit_group_at(&self, t_us: u64, actor: u64, group: u32, kind: EventKind) {
+        self.emit(Event {
+            t_us,
+            actor,
+            group,
+            kind,
+        });
     }
 
     /// Events recorded since construction (including any the ring has
@@ -173,6 +190,7 @@ mod tests {
         Event {
             t_us: t,
             actor: 1,
+            group: 0,
             kind: EventKind::HeartbeatSent,
         }
     }

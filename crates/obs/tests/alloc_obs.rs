@@ -50,6 +50,7 @@ fn sample_event(t: u64) -> Event {
     Event {
         t_us: t,
         actor: 7,
+        group: 0,
         kind: EventKind::StyleSwitch {
             phase: SwitchPhase::Requested,
             from: SmallStr::new("warm-passive"),

@@ -1,0 +1,140 @@
+//! Key→group routing: clients address *objects*, not replica groups.
+//!
+//! Under multi-group hosting one replica process serves several object
+//! groups, and different groups may live on entirely different process
+//! sets. The [`RoutingDirectory`] is the client-side name service that
+//! hides this: it maps each [`ObjectKey`] to the [`GroupId`] hosting it,
+//! and each group to its gateway processes (in preference order). A
+//! client resolves a request's object key to the gateway list for that
+//! group and keeps its failover rotation within it — requests for two
+//! objects in different groups leave the same client through different
+//! doors.
+//!
+//! The directory is plain data handed to clients at configuration time
+//! (the simulated analogue of an FT-CORBA IOGR profile set); a placement
+//! rebalance ships an updated directory the same way it ships replica
+//! directives.
+
+use std::collections::BTreeMap;
+
+use vd_group::message::GroupId;
+use vd_simnet::topology::ProcessId;
+
+use crate::object::ObjectKey;
+
+/// Maps object keys to hosting groups and groups to gateway processes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RoutingDirectory {
+    objects: BTreeMap<ObjectKey, GroupId>,
+    groups: BTreeMap<GroupId, Vec<ProcessId>>,
+}
+
+impl RoutingDirectory {
+    /// An empty directory (every lookup misses).
+    pub fn new() -> Self {
+        RoutingDirectory::default()
+    }
+
+    /// Builder form of [`RoutingDirectory::register_object`].
+    pub fn with_object(mut self, key: ObjectKey, group: GroupId) -> Self {
+        self.register_object(key, group);
+        self
+    }
+
+    /// Builder form of [`RoutingDirectory::register_group`].
+    pub fn with_group(mut self, group: GroupId, gateways: Vec<ProcessId>) -> Self {
+        self.register_group(group, gateways);
+        self
+    }
+
+    /// Binds an object key to the group hosting it (rebinding replaces).
+    pub fn register_object(&mut self, key: ObjectKey, group: GroupId) {
+        self.objects.insert(key, group);
+    }
+
+    /// Records a group's gateway processes in preference order
+    /// (re-registering replaces — how a rebalance is published).
+    pub fn register_group(&mut self, group: GroupId, gateways: Vec<ProcessId>) {
+        self.groups.insert(group, gateways);
+    }
+
+    /// The group hosting `key`, if bound.
+    pub fn group_of(&self, key: &ObjectKey) -> Option<GroupId> {
+        self.objects.get(key).copied()
+    }
+
+    /// The gateway processes for `key`'s hosting group: the full
+    /// resolution clients use per request. `None` when the key is
+    /// unbound or its group has no registered gateways.
+    pub fn gateways_for(&self, key: &ObjectKey) -> Option<&[ProcessId]> {
+        let group = self.group_of(key)?;
+        self.gateways_of(group)
+    }
+
+    /// The gateway processes registered for `group`.
+    pub fn gateways_of(&self, group: GroupId) -> Option<&[ProcessId]> {
+        self.groups
+            .get(&group)
+            .map(Vec::as_slice)
+            .filter(|g| !g.is_empty())
+    }
+
+    /// All bound object keys with their groups.
+    pub fn objects(&self) -> impl Iterator<Item = (&ObjectKey, GroupId)> {
+        self.objects.iter().map(|(k, &g)| (k, g))
+    }
+
+    /// All registered groups.
+    pub fn groups(&self) -> impl Iterator<Item = GroupId> + '_ {
+        self.groups.keys().copied()
+    }
+
+    /// True when nothing is bound (clients fall back to a static list).
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty() && self.groups.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_key_through_group_to_gateways() {
+        let dir = RoutingDirectory::new()
+            .with_object(ObjectKey::new("accounts"), GroupId(1))
+            .with_object(ObjectKey::new("orders"), GroupId(2))
+            .with_group(GroupId(1), vec![ProcessId(0), ProcessId(1)])
+            .with_group(GroupId(2), vec![ProcessId(2), ProcessId(3)]);
+        assert_eq!(dir.group_of(&ObjectKey::new("accounts")), Some(GroupId(1)));
+        assert_eq!(
+            dir.gateways_for(&ObjectKey::new("orders")),
+            Some(&[ProcessId(2), ProcessId(3)][..])
+        );
+    }
+
+    #[test]
+    fn misses_are_none_not_panics() {
+        let dir = RoutingDirectory::new()
+            .with_object(ObjectKey::new("orphan"), GroupId(9))
+            .with_group(GroupId(3), Vec::new());
+        // Unbound key.
+        assert_eq!(dir.gateways_for(&ObjectKey::new("nope")), None);
+        // Bound key, unregistered group.
+        assert_eq!(dir.gateways_for(&ObjectKey::new("orphan")), None);
+        // Registered group with no gateways resolves to nothing usable.
+        assert_eq!(dir.gateways_of(GroupId(3)), None);
+    }
+
+    #[test]
+    fn reregistering_replaces_a_rebalanced_group() {
+        let mut dir = RoutingDirectory::new()
+            .with_object(ObjectKey::new("k"), GroupId(1))
+            .with_group(GroupId(1), vec![ProcessId(0)]);
+        dir.register_group(GroupId(1), vec![ProcessId(5), ProcessId(6)]);
+        assert_eq!(
+            dir.gateways_for(&ObjectKey::new("k")),
+            Some(&[ProcessId(5), ProcessId(6)][..])
+        );
+    }
+}

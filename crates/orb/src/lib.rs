@@ -37,6 +37,7 @@
 
 pub mod cdr;
 pub mod client;
+pub mod directory;
 pub mod interceptor;
 pub mod object;
 pub mod sim;
@@ -46,6 +47,7 @@ pub mod wire;
 pub mod prelude {
     pub use crate::cdr::{DecodeError, Decoder, Encoder};
     pub use crate::client::{ReplyOutcome, RequestTracker, ResponseSelection};
+    pub use crate::directory::RoutingDirectory;
     pub use crate::interceptor::{Interceptor, Passthrough, RecvAction, SendAction};
     pub use crate::object::{InvokeResult, ObjectAdapter, ObjectKey, Servant, UserException};
     pub use crate::sim::{ClientActor, DriverConfig, OrbCosts, RequestDriver, ServerActor};

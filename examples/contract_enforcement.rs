@@ -30,7 +30,7 @@ fn main() {
         let config = ReplicaConfig {
             // Start in the frugal configuration…
             knobs: LowLevelKnobs::default().style(ReplicationStyle::WarmPassive),
-            ..ReplicaConfig::default()
+            ..ReplicaConfig::for_group(GroupId(1))
         };
         let actor = ReplicaActor::bootstrap(
             ProcessId(i as u64),
@@ -67,7 +67,7 @@ fn main() {
 
     let r0 = world.actor_ref::<ReplicaActor>(replicas[0]).unwrap();
     println!("style history at replica 0:");
-    for (t, style) in &r0.style_history {
+    for (t, style) in r0.style_history() {
         println!("  {:>7.2}s  → {style}", t.as_secs_f64());
     }
     println!(
@@ -86,13 +86,13 @@ fn main() {
         "\nworkload: {total} requests served, mean RTT {:.0} µs",
         merged.mean_micros_f64()
     );
-    for (t, directive) in &r0.directives {
+    for (t, directive) in r0.directives() {
         println!(
             "operator notification at {:.2}s: {directive:?}",
             t.as_secs_f64()
         );
     }
-    if r0.directives.is_empty() {
+    if r0.directives().is_empty() {
         println!("no operator escalation was needed — the knobs sufficed.");
     }
 

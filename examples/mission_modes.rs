@@ -60,7 +60,7 @@ fn main() {
         let config = ReplicaConfig {
             // Cruise mode: warm passive — backups idle, resources conserved.
             knobs: LowLevelKnobs::default().style(ReplicationStyle::WarmPassive),
-            ..ReplicaConfig::default()
+            ..ReplicaConfig::for_group(GroupId(1))
         };
         replicas.push(world.spawn(
             NodeId(i),
@@ -100,7 +100,10 @@ fn main() {
     println!("\n>>> window of opportunity opens: switching to ACTIVE replication");
     world.inject(
         replicas[0],
-        ReplicaCommand::Switch(ReplicationStyle::Active),
+        ReplicaCommand::Switch {
+            group: GroupId(1),
+            style: ReplicationStyle::Active,
+        },
     );
     let window_start = world.now();
     world.run_for(SimDuration::from_secs(3));
@@ -110,7 +113,7 @@ fn main() {
         "mission (active): style now {}, {} commands total; switch history: {:?}",
         r0.engine().style(),
         n_total,
-        r0.style_history
+        r0.style_history()
             .iter()
             .map(|(t, s)| format!("{:.2}s→{s}", t.as_secs_f64()))
             .collect::<Vec<_>>()
@@ -137,7 +140,10 @@ fn main() {
     println!("\n>>> window closes: back to WARM PASSIVE to conserve power");
     world.inject(
         replicas[0],
-        ReplicaCommand::Switch(ReplicationStyle::WarmPassive),
+        ReplicaCommand::Switch {
+            group: GroupId(1),
+            style: ReplicationStyle::WarmPassive,
+        },
     );
     world.run_for(SimDuration::from_secs(3));
     let r0 = world.actor_ref::<ReplicaActor>(replicas[0]).unwrap();

@@ -46,7 +46,7 @@ fn main() {
             knobs: LowLevelKnobs::default()
                 .style(ReplicationStyle::Active)
                 .num_replicas(3),
-            ..ReplicaConfig::default()
+            ..ReplicaConfig::for_group(GroupId(1))
         };
         let pid = world.spawn(
             NodeId(i),

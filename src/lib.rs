@@ -48,7 +48,7 @@
 //! for i in 0..3u32 {
 //!     let config = ReplicaConfig {
 //!         knobs: LowLevelKnobs::default().style(ReplicationStyle::Active),
-//!         ..ReplicaConfig::default()
+//!         ..ReplicaConfig::for_group(GroupId(1))
 //!     };
 //!     world.spawn(NodeId(i), Box::new(ReplicaActor::bootstrap(
 //!         ProcessId(i as u64), members.clone(), Box::new(Counter(0)), config,

@@ -118,7 +118,7 @@ fn repeated_switches_under_load_converge_and_lose_nothing() {
     for i in 0..3u32 {
         let config = ReplicaConfig {
             knobs: LowLevelKnobs::default().style(ReplicationStyle::Active),
-            ..ReplicaConfig::default()
+            ..ReplicaConfig::for_group(GroupId(1))
         };
         replicas.push(world.spawn(
             NodeId(i),
@@ -160,7 +160,13 @@ fn repeated_switches_under_load_converge_and_lose_nothing() {
     .enumerate()
     {
         world.run_for(SimDuration::from_millis(80));
-        world.inject(replicas[i % 3], ReplicaCommand::Switch(*style));
+        world.inject(
+            replicas[i % 3],
+            ReplicaCommand::Switch {
+                group: GroupId(1),
+                style: *style,
+            },
+        );
     }
     // Run to completion.
     let deadline = world.now() + SimDuration::from_secs(120);
@@ -272,7 +278,7 @@ fn user_exceptions_flow_back_to_the_client() {
             ProcessId(0),
             vec![ProcessId(0)],
             Box::new(Grumpy),
-            ReplicaConfig::default(),
+            ReplicaConfig::for_group(GroupId(1)),
         )),
     );
     let driver = RequestDriver::new(DriverConfig {
