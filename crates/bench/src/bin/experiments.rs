@@ -7,8 +7,11 @@
 //! `fanout` additionally writes the machine-readable `BENCH_PR2.json` and
 //! `BENCH_PR3.json` summaries; `trace` writes the structured event export
 //! `trace_switch.jsonl`; `chaos` writes the recovery gate `BENCH_PR4.json`;
-//! `shard` writes the multi-group scaling gate `BENCH_PR5.json`. All four
-//! print the names of any failing acceptance gates and exit nonzero.
+//! `shard` writes the multi-group scaling gate `BENCH_PR5.json`; `explore`
+//! (requires `--features check-invariants`) writes the verification gate
+//! `BENCH_PR6.json` plus, on violation, the counterexample JSONL
+//! `explore_counterexamples.jsonl`. All of them print the names of any
+//! failing acceptance gates and exit nonzero.
 
 use std::env;
 use std::process::ExitCode;
@@ -43,7 +46,7 @@ fn parse() -> Result<Options, String> {
             }
             "--help" | "-h" => {
                 return Err(
-                    "usage: experiments [fig3|fig4|fig6|fig7|fig8|fig9|fanout|trace|chaos|shard|all] [--requests N] [--seed S]"
+                    "usage: experiments [fig3|fig4|fig6|fig7|fig8|fig9|fanout|trace|chaos|shard|explore|all] [--requests N] [--seed S]"
                         .into(),
                 );
             }
@@ -123,6 +126,26 @@ fn main() -> ExitCode {
         }
         Ok(())
     };
+    #[cfg(feature = "check-invariants")]
+    let run_explore = || -> Result<(), String> {
+        use vd_bench::experiments::explore;
+        let result = explore::run(requests, seed);
+        println!("{}", result.render());
+        std::fs::write("BENCH_PR6.json", result.to_json())
+            .map_err(|e| format!("failed to write BENCH_PR6.json: {e}"))?;
+        println!("wrote BENCH_PR6.json");
+        let failing = result.failing_gates();
+        if !failing.is_empty() {
+            return Err(format!("explore gate(s) failed: {}", failing.join(", ")));
+        }
+        Ok(())
+    };
+    #[cfg(not(feature = "check-invariants"))]
+    let run_explore = || -> Result<(), String> {
+        Err("the explore gate needs the runtime invariant layer: \
+             rerun with `--features check-invariants`"
+            .into())
+    };
     let run_trace = || -> Result<(), String> {
         let result = trace::run(12, 1200.0, seed);
         println!("{}", result.render());
@@ -167,18 +190,27 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+        "explore" => {
+            if let Err(msg) = run_explore() {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+        }
         "all" => {
             run_fig3();
             run_fig4();
             run_fig6();
             run_fig7_8_9(true, true, true);
             println!("{}", ablation::run(requests.min(500), seed).render());
-            for step in [
-                &run_fanout as &dyn Fn() -> Result<(), String>,
-                &run_trace,
-                &run_chaos,
-                &run_shard,
-            ] {
+            let mut steps: Vec<&dyn Fn() -> Result<(), String>> =
+                vec![&run_fanout, &run_trace, &run_chaos, &run_shard];
+            // The explore gate joins `all` only when its invariant layer
+            // is compiled in; without the feature it stays an explicit
+            // opt-in (and explains what it needs).
+            if cfg!(feature = "check-invariants") {
+                steps.push(&run_explore);
+            }
+            for step in steps {
                 if let Err(msg) = step() {
                     eprintln!("{msg}");
                     return ExitCode::FAILURE;
@@ -187,7 +219,7 @@ fn main() -> ExitCode {
         }
         other => {
             eprintln!(
-                "unknown experiment: {other} (expected fig3|fig4|fig6|fig7|fig8|fig9|ablation|fanout|trace|chaos|shard|all)"
+                "unknown experiment: {other} (expected fig3|fig4|fig6|fig7|fig8|fig9|ablation|fanout|trace|chaos|shard|explore|all)"
             );
             return ExitCode::FAILURE;
         }

@@ -13,12 +13,15 @@
 //! | [`trace`] | observability gate — structured event export of the Fig. 6 switch run (`trace_switch.jsonl`) |
 //! | [`chaos`] | robustness gate — fault storms + automated recovery manager, MTTR/availability (`BENCH_PR4.json`) |
 //! | [`shard`] | scalability gate — multi-group hosting, aggregate throughput over 1/2/4 groups + concurrent switches (`BENCH_PR5.json`) |
+//! | `explore` | verification gate — parallel bounded model checking of the recovery stack (`BENCH_PR6.json`; needs `--features check-invariants`) |
 //!
 //! Each runner returns a structured result with a `render()` method that
 //! prints the same rows/series the paper reports.
 
 pub mod ablation;
 pub mod chaos;
+#[cfg(feature = "check-invariants")]
+pub mod explore;
 pub mod fanout;
 pub mod fig3;
 pub mod fig4;

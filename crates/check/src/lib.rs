@@ -25,8 +25,26 @@
 //!   files (`cdr.rs`, `message.rs`), where malformed input must surface as
 //!   a `DecodeError`.
 //!
+//! A second family statically enforces *explorability* — the properties
+//! `vd_simnet::explore`-style bounded model checking relies on:
+//!
+//! - [`Lint::DigestCoverage`]: an `impl Actor` block without a
+//!   `state_digest` in `crates/core` / `crates/group`. One digest-less
+//!   actor makes `World::state_digest` return `None` and silently turns
+//!   state-space pruning into a no-op for every world containing it.
+//! - [`Lint::ProtocolExhaustiveness`]: a `_ =>` arm in a match over the
+//!   *extended* protocol surface (wire frames, delivery events, commands,
+//!   exploration choices — discovered by
+//!   [`discover_extended_protocol_enums`]). A silently-dropped new
+//!   variant is an unexplored branch of the state space.
+//! - [`Lint::BlockingInActor`]: std sync/IO calls (`Mutex`, `Condvar`,
+//!   `std::fs`, sockets, …) inside `on_message` / `on_timer` bodies.
+//!   Actors run on the simulator's virtual clock; real blocking stalls
+//!   the whole deterministic run and is invisible to the explorer.
+//!
 //! Audited exceptions go in `crates/check/allowlist.txt`; see
-//! [`Allowlist`] for the format. The scanner is a hand-rolled lexical
+//! [`Allowlist`] for the format. Unused entries are an *error* (stale
+//! audits must not rot silently). The scanner is a hand-rolled lexical
 //! pass (the workspace builds fully offline, so no `syn`), which is why it
 //! works on stripped text rather than an AST — see [`strip`].
 
@@ -46,6 +64,14 @@ pub enum Lint {
     WildcardMatch,
     /// `unwrap()`/`expect()` on a decode path.
     DecodeUnwrap,
+    /// An `impl Actor` without a `state_digest` in a crate whose actors
+    /// are exploration targets.
+    DigestCoverage,
+    /// A wildcard `_ =>` arm in a match over the extended protocol
+    /// surface (wire frames, delivery events, commands, choices).
+    ProtocolExhaustiveness,
+    /// A std sync/IO call inside an actor's `on_message`/`on_timer` body.
+    BlockingInActor,
 }
 
 impl Lint {
@@ -55,6 +81,9 @@ impl Lint {
             Lint::Nondeterminism => "nondeterminism",
             Lint::WildcardMatch => "wildcard-match",
             Lint::DecodeUnwrap => "decode-unwrap",
+            Lint::DigestCoverage => "digest-coverage",
+            Lint::ProtocolExhaustiveness => "protocol-exhaustiveness",
+            Lint::BlockingInActor => "blocking-in-actor",
         }
     }
 }
@@ -99,16 +128,32 @@ impl fmt::Display for Finding {
 pub struct Config {
     /// Names of protocol message enums whose matches must be exhaustive.
     pub protocol_enums: Vec<String>,
+    /// Names of the *extended* protocol surface (wire frames, delivery
+    /// events, commands, exploration choices) for
+    /// [`Lint::ProtocolExhaustiveness`]. Enums also present in
+    /// [`Config::protocol_enums`] report as [`Lint::WildcardMatch`].
+    pub extended_protocol_enums: Vec<String>,
     /// File names (not paths) treated as decode paths for the
     /// unwrap/expect lint.
     pub decode_file_names: Vec<String>,
+    /// Path substrings under which every `impl Actor` must carry a
+    /// `state_digest` ([`Lint::DigestCoverage`]).
+    pub digest_required_paths: Vec<String>,
 }
 
 impl Default for Config {
     fn default() -> Self {
         Config {
             protocol_enums: vec!["ReplicatorMsg".into(), "GroupMsg".into()],
+            extended_protocol_enums: vec![
+                "Choice".into(),
+                "GroupEvent".into(),
+                "OrbMessage".into(),
+                "ReplicaCommand".into(),
+                "ReplyStatus".into(),
+            ],
             decode_file_names: vec!["cdr.rs".into(), "message.rs".into(), "endpoint.rs".into()],
+            digest_required_paths: vec!["crates/core".into(), "crates/group".into()],
         }
     }
 }
@@ -185,6 +230,63 @@ pub fn scan_source(file: &Path, source: &str, config: &Config) -> Vec<Finding> {
         });
     }
 
+    // Lint (d): Actor impls without a state_digest, in crates whose
+    // actors are exploration targets.
+    let path_text = file.to_string_lossy().replace('\\', "/");
+    if config
+        .digest_required_paths
+        .iter()
+        .any(|p| path_text.contains(p.as_str()))
+    {
+        for (name, line) in find_digestless_actor_impls(&stripped) {
+            findings.push(Finding {
+                file: file.to_path_buf(),
+                line,
+                lint: Lint::DigestCoverage,
+                message: format!(
+                    "`impl Actor for {name}` has no `state_digest`; one digest-less actor \
+                     makes World::state_digest return None and silently disables \
+                     state-space pruning for every world containing it"
+                ),
+                excerpt: excerpt(line),
+            });
+        }
+    }
+
+    // Lint (e): wildcard arms over the extended protocol surface. Enums
+    // already covered by lint (b) are excluded so one arm never reports
+    // under two ids.
+    let extended: Vec<String> = config
+        .extended_protocol_enums
+        .iter()
+        .filter(|e| !config.protocol_enums.contains(e))
+        .cloned()
+        .collect();
+    for wildcard in find_wildcard_protocol_matches(&stripped, &extended) {
+        findings.push(Finding {
+            file: file.to_path_buf(),
+            line: wildcard.wildcard_line,
+            lint: Lint::ProtocolExhaustiveness,
+            message: format!(
+                "`_ =>` arm in a match over `{}`; a new variant dropped here is an \
+                 unexplored branch of the state space — match every variant",
+                wildcard.enum_name
+            ),
+            excerpt: excerpt(wildcard.wildcard_line),
+        });
+    }
+
+    // Lint (f): std sync/IO inside actor message/timer handlers.
+    for (line, token, why) in find_blocking_in_actor_bodies(&stripped) {
+        findings.push(Finding {
+            file: file.to_path_buf(),
+            line,
+            lint: Lint::BlockingInActor,
+            message: format!("`{token}` inside an actor handler: {why}"),
+            excerpt: excerpt(line),
+        });
+    }
+
     // Lint (c): unwrap/expect in decode files.
     let name = file
         .file_name()
@@ -213,6 +315,11 @@ pub fn scan_source(file: &Path, source: &str, config: &Config) -> Vec<Finding> {
 /// True when `text` contains `token` as a whole word (identifier-bounded
 /// on both sides; `::`-paths like `thread::sleep` are matched verbatim).
 fn contains_token(text: &str, token: &str) -> bool {
+    token_pos(text, token).is_some()
+}
+
+/// Byte offset of the first identifier-bounded occurrence of `token`.
+fn token_pos(text: &str, token: &str) -> Option<usize> {
     let bytes = text.as_bytes();
     let mut start = 0usize;
     while let Some(pos) = text[start..].find(token) {
@@ -221,11 +328,11 @@ fn contains_token(text: &str, token: &str) -> bool {
         let left_ok = begin == 0 || !is_ident_char(bytes[begin - 1]);
         let right_ok = end >= bytes.len() || !is_ident_char(bytes[end]);
         if left_ok && right_ok {
-            return true;
+            return Some(begin);
         }
         start = begin + 1;
     }
-    false
+    None
 }
 
 fn is_ident_char(b: u8) -> bool {
@@ -362,6 +469,210 @@ fn line_of(chars: &[char], pos: usize) -> usize {
     1 + chars[..pos].iter().filter(|&&c| c == '\n').count()
 }
 
+/// Finds `impl … Actor for <Name>` blocks whose body lacks a
+/// `fn state_digest`. Returns `(type name, impl header line)`.
+fn find_digestless_actor_impls(stripped: &str) -> Vec<(String, usize)> {
+    let chars: Vec<char> = stripped.chars().collect();
+    let mut found = Vec::new();
+    let mut i = 0usize;
+    while i + 4 <= chars.len() {
+        if !is_keyword_at(&chars, i, "impl") {
+            i += 1;
+            continue;
+        }
+        // Collect the header (everything up to the body's opening brace).
+        let mut j = i + 4;
+        let mut header = String::new();
+        while j < chars.len() && chars[j] != '{' && chars[j] != ';' {
+            header.push(chars[j]);
+            j += 1;
+        }
+        if chars.get(j) != Some(&'{') {
+            i = j;
+            continue;
+        }
+        // Trait impls only: `… Actor for <Type>` with `Actor` as the final
+        // path segment of the trait (token-bounded, so `ReplicaActor` as a
+        // *type* never matches).
+        let Some(for_pos) = token_pos(&header, "for") else {
+            i = j + 1;
+            continue;
+        };
+        if !contains_token(&header[..for_pos], "Actor") {
+            i = j + 1;
+            continue;
+        }
+        let name: String = header[for_pos + 3..]
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_' || *c == ':')
+            .collect();
+        let name = name.rsplit("::").next().unwrap_or(&name).to_string();
+        // Brace-match the impl body and look for a state_digest method.
+        let mut depth = 0i32;
+        let mut k = j;
+        let mut body = String::new();
+        while k < chars.len() {
+            match chars[k] {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            body.push(chars[k]);
+            k += 1;
+        }
+        if !body.contains("fn state_digest") && !name.is_empty() {
+            found.push((name, line_of(&chars, i)));
+        }
+        i = k.max(j + 1);
+    }
+    found
+}
+
+/// The std sync/IO tokens lint (f) rejects inside actor handler bodies.
+const BLOCKING_TOKENS: &[(&str, &str)] = &[
+    (
+        "Mutex",
+        "actor state is single-threaded under the simulator; use plain fields",
+    ),
+    (
+        "RwLock",
+        "actor state is single-threaded under the simulator; use plain fields",
+    ),
+    (
+        "Condvar",
+        "OS-level waiting stalls the virtual clock; schedule a simulator timer",
+    ),
+    (
+        "Barrier",
+        "OS-level waiting stalls the virtual clock; coordinate through messages",
+    ),
+    (
+        "mpsc",
+        "OS channels bypass the simulated network; send simulator messages",
+    ),
+    (
+        "park",
+        "OS-level waiting stalls the virtual clock; schedule a simulator timer",
+    ),
+    (
+        "std::fs",
+        "filesystem IO inside a handler is unreplayable; hoist it out of the actor",
+    ),
+    (
+        "File",
+        "filesystem IO inside a handler is unreplayable; hoist it out of the actor",
+    ),
+    (
+        "TcpStream",
+        "real sockets bypass the simulated network; send simulator messages",
+    ),
+    (
+        "TcpListener",
+        "real sockets bypass the simulated network; send simulator messages",
+    ),
+    (
+        "UdpSocket",
+        "real sockets bypass the simulated network; send simulator messages",
+    ),
+    (
+        "stdin",
+        "console IO inside a handler blocks the deterministic run",
+    ),
+];
+
+/// Finds std sync/IO tokens inside `fn on_message` / `fn on_timer`
+/// bodies. Returns `(line, token, guidance)` triples.
+fn find_blocking_in_actor_bodies(stripped: &str) -> Vec<(usize, &'static str, &'static str)> {
+    let chars: Vec<char> = stripped.chars().collect();
+    let mut out = Vec::new();
+    for callback in ["on_message", "on_timer"] {
+        let len = callback.chars().count();
+        let mut i = 0usize;
+        while i + len <= chars.len() {
+            if !is_keyword_at(&chars, i, callback) {
+                i += 1;
+                continue;
+            }
+            // Definitions only: the preceding non-whitespace token is `fn`
+            // (call sites like `actor.on_message(…)` don't qualify).
+            let mut p = i;
+            while p > 0 && chars[p - 1].is_whitespace() {
+                p -= 1;
+            }
+            if p < 2 || !is_keyword_at(&chars, p - 2, "fn") {
+                i += len;
+                continue;
+            }
+            // Walk past the signature to the body's opening brace.
+            let mut j = i + len;
+            let mut nesting = 0i32;
+            let open = loop {
+                match chars.get(j) {
+                    None => break None,
+                    Some('(') | Some('[') => nesting += 1,
+                    Some(')') | Some(']') => nesting -= 1,
+                    Some('{') if nesting == 0 => break Some(j),
+                    Some(';') if nesting == 0 => break None, // trait decl, no body
+                    _ => {}
+                }
+                j += 1;
+            };
+            let Some(open) = open else {
+                i = j.max(i + len);
+                continue;
+            };
+            // Brace-match the body and scan it token by token.
+            let mut depth = 0i32;
+            let mut k = open;
+            while k < chars.len() {
+                match chars[k] {
+                    '{' => depth += 1,
+                    '}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            for &(token, why) in BLOCKING_TOKENS {
+                for pos in char_token_positions(&chars[open..k], token) {
+                    out.push((line_of(&chars, open + pos), token, why));
+                }
+            }
+            i = k.max(i + len);
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Every identifier-bounded occurrence of `token` in `chars`, as indices.
+fn char_token_positions(chars: &[char], token: &str) -> Vec<usize> {
+    let t: Vec<char> = token.chars().collect();
+    let mut out = Vec::new();
+    if t.is_empty() {
+        return out;
+    }
+    let mut i = 0usize;
+    while i + t.len() <= chars.len() {
+        if chars[i..i + t.len()] == t[..] && is_keyword_at(chars, i, token) {
+            out.push(i);
+        }
+        i += 1;
+    }
+    out
+}
+
 /// Audited exceptions, loaded from `crates/check/allowlist.txt`.
 ///
 /// One entry per line: `<lint-id> <path-suffix> <substring>`, where the
@@ -489,8 +800,39 @@ pub fn scan_paths(
 /// for `pub enum` declarations; falls back to the defaults when a file is
 /// missing (e.g. when linting fixtures outside the workspace).
 pub fn discover_protocol_enums(workspace_root: &Path) -> Vec<String> {
+    discover_pub_enums(
+        workspace_root,
+        &["crates/core/src/messages.rs", "crates/group/src/message.rs"],
+        || Config::default().protocol_enums,
+    )
+}
+
+/// Discovers the *extended* protocol surface for
+/// [`Lint::ProtocolExhaustiveness`]: wire frames (`OrbMessage`,
+/// `ReplyStatus`), group delivery events (`GroupEvent`, `GroupTimer`,
+/// `Output`), replica commands (`ReplicaCommand`, `GroupMembership`) and
+/// exploration choices (`Choice`). Falls back to the defaults when the
+/// files are missing.
+pub fn discover_extended_protocol_enums(workspace_root: &Path) -> Vec<String> {
+    discover_pub_enums(
+        workspace_root,
+        &[
+            "crates/orb/src/wire.rs",
+            "crates/group/src/api.rs",
+            "crates/core/src/replica.rs",
+            "crates/simnet/src/explore.rs",
+        ],
+        || Config::default().extended_protocol_enums,
+    )
+}
+
+fn discover_pub_enums(
+    workspace_root: &Path,
+    files: &[&str],
+    fallback: impl FnOnce() -> Vec<String>,
+) -> Vec<String> {
     let mut enums = Vec::new();
-    for rel in ["crates/core/src/messages.rs", "crates/group/src/message.rs"] {
+    for rel in files {
         let Ok(source) = std::fs::read_to_string(workspace_root.join(rel)) else {
             continue;
         };
@@ -509,7 +851,7 @@ pub fn discover_protocol_enums(workspace_root: &Path) -> Vec<String> {
         }
     }
     if enums.is_empty() {
-        enums = Config::default().protocol_enums;
+        enums = fallback();
     }
     enums.sort();
     enums.dedup();
@@ -639,5 +981,123 @@ mod tests {
     #[test]
     fn malformed_allowlist_is_an_error() {
         assert!(Allowlist::parse("just-two fields\n").is_err());
+    }
+
+    #[test]
+    fn digestless_actor_impl_is_flagged_in_required_paths() {
+        let src = r#"
+impl Actor for Widget {
+    fn on_message(&mut self, ctx: &mut Context<'_>, from: ProcessId, msg: Message) {
+        handle(msg);
+    }
+}
+"#;
+        let findings = scan("crates/core/src/widget.rs", src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].lint, Lint::DigestCoverage);
+        assert_eq!(findings[0].line, 2);
+        assert!(findings[0].message.contains("Widget"));
+        // Outside the digest-required paths the same source is clean.
+        assert!(scan("crates/bench/src/widget.rs", src).is_empty());
+    }
+
+    #[test]
+    fn actor_impl_with_digest_is_clean() {
+        let src = r#"
+impl vd_simnet::actor::Actor for Widget {
+    fn on_message(&mut self, ctx: &mut Context<'_>, from: ProcessId, msg: Message) {}
+    fn state_digest(&self) -> Option<u64> { Some(0) }
+}
+"#;
+        assert!(scan("crates/group/src/widget.rs", src).is_empty());
+    }
+
+    #[test]
+    fn inherent_impl_on_actor_named_type_is_not_a_digest_finding() {
+        // `ReplicaActor` contains the token `Actor` only as a suffix, and
+        // an inherent impl has no `for` — neither may fire.
+        let src = "impl ReplicaActor {\n    fn helper(&self) {}\n}\n";
+        assert!(scan("crates/core/src/replica.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wildcard_over_extended_protocol_enum_is_flagged() {
+        let src = r#"
+fn f(m: OrbMessage) {
+    match m {
+        OrbMessage::Request { .. } => handle(),
+        _ => {}
+    }
+}
+"#;
+        let findings = scan("proto.rs", src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].lint, Lint::ProtocolExhaustiveness);
+        assert_eq!(findings[0].line, 5);
+    }
+
+    #[test]
+    fn core_protocol_enum_reports_once_under_wildcard_match_only() {
+        // GroupMsg is in both the core and (hypothetically) extended sets;
+        // the finding must carry the original wildcard-match id, once.
+        let mut config = Config::default();
+        config.extended_protocol_enums.push("GroupMsg".into());
+        let src = "fn f(m: GroupMsg) {\n    match m {\n        GroupMsg::Data { .. } => a(),\n        _ => b(),\n    }\n}\n";
+        let findings = scan_source(Path::new("proto.rs"), src, &config);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].lint, Lint::WildcardMatch);
+    }
+
+    #[test]
+    fn blocking_call_in_on_message_is_flagged() {
+        let src = r#"
+impl Actor for Widget {
+    fn on_message(&mut self, ctx: &mut Context<'_>, from: ProcessId, msg: Message) {
+        let guard = Mutex::new(0);
+        std::fs::write("/tmp/state", b"x").ok();
+    }
+    fn state_digest(&self) -> Option<u64> { Some(0) }
+}
+"#;
+        let findings = scan("crates/orb/src/widget.rs", src);
+        let blocking: Vec<&Finding> = findings
+            .iter()
+            .filter(|f| f.lint == Lint::BlockingInActor)
+            .collect();
+        assert_eq!(blocking.len(), 2, "{findings:?}");
+        assert!(blocking[0].message.contains("Mutex"));
+        assert!(blocking[1].message.contains("std::fs"));
+    }
+
+    #[test]
+    fn blocking_token_outside_handler_bodies_is_clean() {
+        let src = r#"
+fn replay_counterexamples() {
+    let data = std::fs::read_to_string("ce.jsonl").unwrap_or_default();
+    drop(data);
+}
+impl Actor for Widget {
+    fn on_timer(&mut self, ctx: &mut Context<'_>, timer: TimerToken) {
+        ctx.send(self.peer, Message::new(0));
+    }
+    fn state_digest(&self) -> Option<u64> { Some(0) }
+}
+"#;
+        assert!(scan("crates/orb/src/widget.rs", src).is_empty());
+    }
+
+    #[test]
+    fn on_message_call_site_is_not_a_handler_body() {
+        // `world.on_message(…)` followed by unrelated code containing a
+        // Mutex must not be attributed to a handler.
+        let src = "fn drive(w: &mut W) {\n    w.on_message(1);\n    let m = Mutex::new(0);\n}\n";
+        assert!(scan("crates/orb/src/drive.rs", src).is_empty());
+    }
+
+    #[test]
+    fn discovers_extended_enums_falls_back_to_defaults() {
+        let enums = discover_extended_protocol_enums(Path::new("/nonexistent"));
+        assert!(enums.contains(&"OrbMessage".to_string()));
+        assert!(enums.contains(&"Choice".to_string()));
     }
 }

@@ -5,13 +5,16 @@
 //! cargo run -p vd-check -- <paths>   # lint specific files or directories
 //! ```
 //!
-//! Exits non-zero when any lint fires (after allowlist filtering), so CI
-//! can gate on it.
+//! Exits non-zero when any lint fires (after allowlist filtering) — and
+//! also when an allowlist entry no longer matches anything, so audited
+//! exceptions are pruned the moment the code they covered goes away.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use vd_check::{discover_protocol_enums, scan_paths, Allowlist, Config};
+use vd_check::{
+    discover_extended_protocol_enums, discover_protocol_enums, scan_paths, Allowlist, Config,
+};
 
 /// The crates under the determinism contract. `vd-bench` is deliberately
 /// excluded: it measures wall-clock performance and may use `Instant`.
@@ -44,6 +47,7 @@ fn main() -> ExitCode {
 
     let config = Config {
         protocol_enums: discover_protocol_enums(&workspace_root),
+        extended_protocol_enums: discover_extended_protocol_enums(&workspace_root),
         ..Config::default()
     };
 
@@ -70,23 +74,32 @@ fn main() -> ExitCode {
     for finding in &findings {
         println!("{finding}");
     }
-    for stale in allowlist.unused() {
-        eprintln!("vd-check: warning: unused allowlist entry: {stale}");
+    // A stale entry is an audit for code that no longer exists; failing
+    // here keeps the allowlist an exact mirror of the live exceptions.
+    let stale = allowlist.unused();
+    for entry in &stale {
+        eprintln!("vd-check: error: unused allowlist entry: {entry}");
     }
 
-    if findings.is_empty() {
+    if findings.is_empty() && stale.is_empty() {
         println!(
-            "vd-check: clean — {} scanned, protocol enums: {}",
+            "vd-check: clean — {} scanned, protocol enums: {} (+ extended: {})",
             roots
                 .iter()
                 .map(|r| r.display().to_string())
                 .collect::<Vec<_>>()
                 .join(", "),
-            config.protocol_enums.join(", ")
+            config.protocol_enums.join(", "),
+            config.extended_protocol_enums.join(", ")
         );
         ExitCode::SUCCESS
     } else {
-        eprintln!("vd-check: {} finding(s)", findings.len());
+        if !findings.is_empty() {
+            eprintln!("vd-check: {} finding(s)", findings.len());
+        }
+        if !stale.is_empty() {
+            eprintln!("vd-check: {} stale allowlist entr(ies)", stale.len());
+        }
         ExitCode::FAILURE
     }
 }

@@ -290,4 +290,70 @@ mod tests {
         assert!(out.contains("fn after()"));
         assert_eq!(out.matches('\n').count(), src.matches('\n').count());
     }
+
+    #[test]
+    fn strips_raw_strings_with_multiple_hashes() {
+        // The closing delimiter must match the opening hash count: `"#`
+        // inside an r##-string is content, not a terminator.
+        let src = "let s = r##\"has \"# HashMap \"# inside\"##; let tail = 7;";
+        let out = strip_source(src);
+        assert!(!out.contains("HashMap"), "{out}");
+        assert!(out.contains("let tail = 7;"), "{out}");
+    }
+
+    #[test]
+    fn raw_string_hash_identifier_is_not_a_raw_string() {
+        // `r#match` is a raw identifier, not a raw string opener; the
+        // stripper must not swallow the rest of the line as string content.
+        let src = "let r#match = 1; let m = HashMap::new();";
+        let out = strip_source(src);
+        assert!(out.contains("HashMap"), "{out}");
+    }
+
+    #[test]
+    fn strips_deeply_nested_block_comments() {
+        let src = "/* a /* b /* c HashMap */ b */ a */ let y = 4; /* tail */";
+        let out = strip_source(src);
+        assert!(!out.contains("HashMap"));
+        assert!(out.contains("let y = 4;"));
+        // An unbalanced inner close must not terminate the outer comment
+        // early: everything up to the true close is still comment.
+        let src = "/* open /* in */ still comment HashMap */ let z = 5;";
+        let out = strip_source(src);
+        assert!(!out.contains("HashMap"));
+        assert!(out.contains("let z = 5;"));
+    }
+
+    #[test]
+    fn blanks_test_modules_with_inner_attributes() {
+        // Inner attributes (with their own brackets) sit between the
+        // module brace and the body; the brace matcher must not be thrown
+        // off by them.
+        let src = "\
+fn real() {}
+#[cfg(test)]
+mod tests {
+    #![allow(dead_code)]
+    use std::collections::HashMap;
+    #[test]
+    fn t() { let _ = HashMap::<u8, u8>::new(); }
+}
+fn after() {}
+";
+        let out = blank_test_blocks(&strip_source(src));
+        assert!(!out.contains("HashMap"), "{out}");
+        assert!(out.contains("fn real()"));
+        assert!(out.contains("fn after()"));
+        assert_eq!(out.matches('\n').count(), src.matches('\n').count());
+    }
+
+    #[test]
+    fn blanks_cfg_test_gated_single_item() {
+        // `#[cfg(test)]` on a brace-less item ends at the semicolon, not
+        // at the next block.
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn live() { let _ = SystemTime::now(); }\n";
+        let out = blank_test_blocks(&strip_source(src));
+        assert!(!out.contains("HashMap"));
+        assert!(out.contains("SystemTime"));
+    }
 }

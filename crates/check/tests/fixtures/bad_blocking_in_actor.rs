@@ -1,0 +1,26 @@
+//! Fixture: std sync/IO calls inside actor handler bodies. Actors run on
+//! the simulator's virtual clock; real blocking stalls the deterministic
+//! run and is invisible to the explorer.
+
+pub struct BlockingWidget;
+
+impl Actor for BlockingWidget {
+    fn on_message(&mut self, _ctx: &mut Context<'_>, _from: ProcessId, _msg: Box<dyn Payload>) {
+        let shared = Mutex::new(0u64);
+        drop(shared);
+    }
+
+    fn on_timer(&mut self, _ctx: &mut Context<'_>, _timer: TimerToken) {
+        std::fs::write("/tmp/widget-state", b"snapshot").ok();
+    }
+
+    fn state_digest(&self) -> Option<u64> {
+        Some(0)
+    }
+}
+
+// Outside a handler body the same tokens are legitimate (e.g. the
+// explorer's own counterexample persistence) and must not fire.
+pub fn persist(path: &str, bytes: &[u8]) {
+    std::fs::write(path, bytes).ok();
+}

@@ -1,0 +1,15 @@
+//! Fixture: an Actor impl with no `state_digest`, which silently disables
+//! state-space pruning for every world containing the actor. The
+//! digest-coverage lint only applies under `digest_required_paths`, so the
+//! test scanning this file sets that to the fixture directory.
+
+pub struct DigestlessWidget {
+    hits: u64,
+}
+
+impl Actor for DigestlessWidget {
+    fn on_message(&mut self, ctx: &mut Context<'_>, _from: ProcessId, _msg: Box<dyn Payload>) {
+        self.hits += 1;
+        let _ = ctx;
+    }
+}

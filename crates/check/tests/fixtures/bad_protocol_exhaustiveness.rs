@@ -1,0 +1,10 @@
+//! Fixture: a wildcard arm over an extended-protocol-surface enum
+//! (`OrbMessage` — a wire frame). A new frame variant dropping through
+//! `_ =>` is an unexplored branch of the state space.
+
+fn classify(m: OrbMessage) -> bool {
+    match m {
+        OrbMessage::Request(_) => true,
+        _ => false,
+    }
+}

@@ -90,20 +90,79 @@ fn allowlist_can_suppress_a_fixture_finding() {
 }
 
 #[test]
+fn digest_coverage_fixture_trips_under_required_paths() {
+    let path = fixture("bad_digest_coverage.rs");
+    let source = std::fs::read_to_string(&path).unwrap();
+    let config = Config {
+        digest_required_paths: vec!["tests/fixtures".into()],
+        ..Config::default()
+    };
+    let findings = scan_source(&path, &source, &config);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].lint, Lint::DigestCoverage);
+    assert!(findings[0].message.contains("DigestlessWidget"));
+    // Outside the required paths the same file is clean — the lint is a
+    // per-crate contract, not a global one.
+    assert!(scan_source(&path, &source, &Config::default()).is_empty());
+}
+
+#[test]
+fn protocol_exhaustiveness_fixture_trips_on_extended_enums() {
+    let findings = scan_fixture("bad_protocol_exhaustiveness.rs");
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].lint, Lint::ProtocolExhaustiveness);
+    assert!(findings[0].message.contains("OrbMessage"));
+    // The wildcard arm in the fixture is on line 8.
+    assert_eq!(findings[0].line, 8);
+}
+
+#[test]
+fn blocking_fixture_trips_in_both_handlers_only() {
+    let findings = scan_fixture("bad_blocking_in_actor.rs");
+    assert_eq!(findings.len(), 2, "{findings:?}");
+    assert!(findings.iter().all(|f| f.lint == Lint::BlockingInActor));
+    assert!(findings[0].message.contains("Mutex"));
+    assert!(findings[1].message.contains("std::fs"));
+    // The free `persist` helper at the bottom of the fixture uses
+    // std::fs too and must NOT be flagged (both findings are above it).
+    let source = std::fs::read_to_string(fixture("bad_blocking_in_actor.rs")).unwrap();
+    let persist_line = source
+        .lines()
+        .position(|l| l.contains("fn persist"))
+        .unwrap()
+        + 1;
+    assert!(findings.iter().all(|f| f.line < persist_line));
+}
+
+#[test]
 fn real_workspace_is_clean() {
-    // The acceptance bar: the four protocol crates pass their own linter.
+    // The acceptance bar: the four protocol crates pass their own linter,
+    // under the same configuration the CLI uses — discovered protocol
+    // enums (core + extended) and the checked-in allowlist.
     let workspace = Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap();
+    let repo_root = workspace.parent().unwrap();
     let roots: Vec<PathBuf> = ["core", "group", "orb", "simnet"]
         .iter()
         .map(|c| workspace.join(c))
         .collect();
     let config = Config {
-        protocol_enums: vd_check::discover_protocol_enums(workspace.parent().unwrap()),
+        protocol_enums: vd_check::discover_protocol_enums(repo_root),
+        extended_protocol_enums: vd_check::discover_extended_protocol_enums(repo_root),
         ..Config::default()
     };
-    let findings = scan_paths(&roots, &config, &Allowlist::default()).unwrap();
+    let allowlist_text =
+        std::fs::read_to_string(repo_root.join("crates/check/allowlist.txt")).unwrap_or_default();
+    let allowlist = Allowlist::parse(&allowlist_text).unwrap();
+    let findings = scan_paths(&roots, &config, &allowlist).unwrap();
     assert!(
         findings.is_empty(),
         "workspace lint findings: {findings:#?}"
+    );
+    // The stale-entry contract: every allowlist entry must still cover a
+    // live finding.
+    assert!(
+        allowlist.unused().is_empty(),
+        "stale allowlist entries: {:?}",
+        allowlist.unused()
     );
 }

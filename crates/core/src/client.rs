@@ -293,6 +293,31 @@ impl Actor for ReplicatedClientActor {
             }
         }
     }
+
+    /// Exploration digest: the driver's progress, the gateway cursor, the
+    /// outstanding request and the retry counters. The static
+    /// configuration (replica pool, routing directory, cost model) is
+    /// excluded — it never changes after construction.
+    fn state_digest(&self) -> Option<u64> {
+        let mut h = vd_simnet::explore::Fnv64::new();
+        self.driver.fold_digest(&mut h);
+        h.write_u64(self.gateway as u64);
+        match &self.outstanding {
+            None => h.write_u8(0),
+            Some(request) => {
+                h.write_u8(1);
+                h.write_u64(request.request_id);
+                h.write_bytes(request.object_key.as_str().as_bytes());
+                h.write_bytes(request.operation.as_bytes());
+                h.write_bytes(&request.args);
+                h.write_u8(request.response_expected as u8);
+            }
+        }
+        h.write_u64(u64::from(self.attempt));
+        h.write_u64(self.retries);
+        h.write_u64(self.gave_up);
+        Some(h.finish())
+    }
 }
 
 impl std::fmt::Debug for ReplicatedClientActor {

@@ -597,6 +597,67 @@ impl Engine {
             ops.push(EngineOp::Execute { entry, reply });
         }
     }
+
+    /// Digest of the full state-machine state for interleaving exploration.
+    /// Every field influences future decisions, so all ten are covered.
+    pub fn state_digest(&self) -> u64 {
+        let mut h = vd_simnet::explore::Fnv64::new();
+        h.write_u64(self.me.0);
+        h.write_u8(style_tag(self.style));
+        for &m in &self.members {
+            h.write_u64(m.0);
+        }
+        h.write_u8(u8::from(self.synced));
+        h.write_u64(self.delivered);
+        h.write_u64(self.executed);
+        for entry in &self.buffered {
+            fold_invoke_entry(&mut h, entry);
+        }
+        if let Some((version, state, replies)) = &self.stored_checkpoint {
+            h.write_u8(1);
+            h.write_u64(*version);
+            h.write_bytes(state);
+            for r in replies {
+                fold_cached_reply(&mut h, r);
+            }
+        } else {
+            h.write_u8(0);
+        }
+        h.write_u8(u8::from(self.awaiting_final_checkpoint));
+        for (&client, &rid) in &self.last_delivered {
+            h.write_u64(client.0);
+            h.write_u64(rid);
+        }
+        h.finish()
+    }
+}
+
+/// Stable one-byte tag per replication style (exploration digests).
+pub(crate) fn style_tag(style: ReplicationStyle) -> u8 {
+    match style {
+        ReplicationStyle::Active => 0,
+        ReplicationStyle::WarmPassive => 1,
+        ReplicationStyle::ColdPassive => 2,
+        ReplicationStyle::SemiActive => 3,
+    }
+}
+
+/// Folds one totally-ordered invoke into an exploration digest.
+pub(crate) fn fold_invoke_entry(h: &mut vd_simnet::explore::Fnv64, entry: &InvokeEntry) {
+    h.write_u64(entry.index);
+    h.write_u64(entry.client.0);
+    h.write_u64(entry.request_id);
+    h.write_bytes(entry.operation.as_bytes());
+    h.write_u8(0xff);
+    h.write_bytes(&entry.args);
+}
+
+/// Folds one cached reply into an exploration digest.
+pub(crate) fn fold_cached_reply(h: &mut vd_simnet::explore::Fnv64, reply: &CachedReply) {
+    h.write_u64(reply.client.0);
+    h.write_u64(reply.request_id);
+    h.write_u8(reply.status);
+    h.write_bytes(&reply.body);
 }
 
 #[cfg(test)]

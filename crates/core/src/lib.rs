@@ -65,6 +65,8 @@ pub mod client;
 pub mod contract;
 pub mod engine;
 #[cfg(feature = "check-invariants")]
+pub mod harness;
+#[cfg(feature = "check-invariants")]
 pub mod invariants;
 pub mod knobs;
 pub mod messages;

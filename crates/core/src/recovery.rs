@@ -34,6 +34,7 @@ use std::collections::BTreeMap;
 use vd_group::message::GroupId;
 use vd_obs::{Ctr, EventKind as ObsEvent, Hist, Obs, ObsHandle};
 use vd_simnet::actor::{downcast_payload, Actor, Context, Payload, TimerToken};
+use vd_simnet::explore::Fnv64;
 use vd_simnet::time::{SimDuration, SimTime};
 use vd_simnet::topology::{NodeId, ProcessId};
 
@@ -74,6 +75,26 @@ impl Payload for MembershipReport {
     fn wire_size(&self) -> usize {
         44 + 8 * self.members.len()
     }
+
+    fn digest(&self) -> Option<u64> {
+        let mut h = Fnv64::new();
+        fold_membership_report(&mut h, self);
+        Some(h.finish())
+    }
+}
+
+/// Folds a [`MembershipReport`] into `h` (shared between the payload
+/// digest and the manager's own state digest, which retains the freshest
+/// report).
+fn fold_membership_report(h: &mut Fnv64, report: &MembershipReport) {
+    h.write_u64(report.group.0 as u64);
+    h.write_u64(report.replica.0);
+    h.write_u64(report.view_id);
+    for &member in &report.members {
+        h.write_u64(member.0);
+    }
+    h.write_u8(crate::engine::style_tag(report.style));
+    h.write_u8(report.synced as u8);
 }
 
 /// Replica → manager: the reporter's failure detector raised new
@@ -92,6 +113,14 @@ pub struct SuspicionNotice {
 impl Payload for SuspicionNotice {
     fn wire_size(&self) -> usize {
         28
+    }
+
+    fn digest(&self) -> Option<u64> {
+        let mut h = Fnv64::new();
+        h.write_u64(self.group.0 as u64);
+        h.write_u64(self.replica.0);
+        h.write_u64(self.suspicions);
+        Some(h.finish())
     }
 }
 
@@ -115,6 +144,15 @@ impl Payload for DirectiveNotice {
     fn wire_size(&self) -> usize {
         28
     }
+
+    fn digest(&self) -> Option<u64> {
+        let mut h = Fnv64::new();
+        h.write_u64(self.group.0 as u64);
+        h.write_u64(self.replica.0);
+        h.write_u8(self.add as u8);
+        h.write_u64(self.observed_replicas as u64);
+        Some(h.finish())
+    }
 }
 
 /// Manager ↔ manager: liveness heartbeat for standby takeover.
@@ -127,6 +165,12 @@ pub struct ManagerHeartbeat {
 impl Payload for ManagerHeartbeat {
     fn wire_size(&self) -> usize {
         16
+    }
+
+    fn digest(&self) -> Option<u64> {
+        let mut h = Fnv64::new();
+        h.write_u64(self.rank as u64);
+        Some(h.finish())
     }
 }
 
@@ -566,6 +610,61 @@ impl Actor for RecoveryManager {
         if timer == PROBE_TIMER {
             self.tick(ctx);
         }
+    }
+
+    /// Everything feeding the manager's next decision. Excluded as
+    /// decision-blind: `config`, `app_factory` (stateless factory), and
+    /// the inspection-only trails `alarms` and `mttr_log`.
+    fn state_digest(&self) -> Option<u64> {
+        let mut h = Fnv64::new();
+        h.write_u64(self.me.0);
+        match &self.best {
+            None => h.write_u8(0),
+            Some(report) => {
+                h.write_u8(1);
+                fold_membership_report(&mut h, report);
+            }
+        }
+        h.write_u64(self.policy_target as u64);
+        h.write_u64(self.seen_suspicions);
+        match self.suspicion_hint {
+            None => h.write_u8(0),
+            Some(t) => {
+                h.write_u8(1);
+                h.write_u64(t.as_micros());
+            }
+        }
+        match &self.episode {
+            None => h.write_u8(0),
+            Some(ep) => {
+                h.write_u8(1);
+                h.write_u64(ep.detected_at.as_micros());
+                h.write_u64(ep.attempts as u64);
+                match ep.in_flight {
+                    None => h.write_u8(0),
+                    Some((joiner, deadline)) => {
+                        h.write_u8(1);
+                        h.write_u64(joiner.0);
+                        h.write_u64(deadline.as_micros());
+                    }
+                }
+                h.write_u64(ep.next_attempt_at.as_micros());
+            }
+        }
+        h.write_u8(self.abandoned as u8);
+        h.write_u64(self.spawn_cursor as u64);
+        for (&peer, &at) in &self.last_heard {
+            h.write_u64(peer.0);
+            h.write_u64(at.as_micros());
+        }
+        h.write_u8(self.was_active as u8);
+        h.write_u64(self.last_trim_view);
+        // `spawned` feeds the probe tick's "is my joiner still the one I
+        // spawned" checks and the tests' invariants.
+        for &pid in &self.spawned {
+            h.write_u64(pid.0);
+        }
+        Some(h.finish())
     }
 }
 

@@ -37,6 +37,7 @@ use vd_obs::{Ctr, EventKind as ObsEvent, Gauge, Hist, Obs, ObsHandle, SmallStr, 
 use vd_orb::object::ObjectKey;
 use vd_orb::wire::{OrbMessage, Reply, ReplyStatus};
 use vd_simnet::actor::{downcast_payload, Actor, Context, Payload, TimerToken};
+use vd_simnet::explore::Fnv64;
 use vd_simnet::time::{SimDuration, SimTime};
 use vd_simnet::topology::ProcessId;
 
@@ -189,6 +190,22 @@ impl Payload for ReplicaCommand {
     fn wire_size(&self) -> usize {
         12
     }
+
+    fn digest(&self) -> Option<u64> {
+        let mut h = vd_simnet::explore::Fnv64::new();
+        match self {
+            ReplicaCommand::Switch { group, style } => {
+                h.write_u8(1);
+                h.write_u64(group.0 as u64);
+                h.write_u8(crate::engine::style_tag(*style));
+            }
+            ReplicaCommand::Leave { group } => {
+                h.write_u8(2);
+                h.write_u64(group.0 as u64);
+            }
+        }
+        Some(h.finish())
+    }
 }
 
 /// Point-to-point acknowledgement that a backup logged a reply record;
@@ -207,6 +224,14 @@ pub struct ReplyLogAck {
 impl Payload for ReplyLogAck {
     fn wire_size(&self) -> usize {
         28
+    }
+
+    fn digest(&self) -> Option<u64> {
+        let mut h = vd_simnet::explore::Fnv64::new();
+        h.write_u64(self.group.0 as u64);
+        h.write_u64(self.client.0);
+        h.write_u64(self.request_id);
+        Some(h.finish())
     }
 }
 
@@ -1246,6 +1271,78 @@ impl ReplicationEngine {
             }
         }
     }
+
+    // ---- exploration support ----
+
+    /// Folds everything that influences this group's future behavior —
+    /// and everything the invariant layer inspects — into `h`.
+    ///
+    /// Deliberately excluded as inspection-only (they never feed back
+    /// into protocol decisions within one bounded exploration): `config`,
+    /// `monitor`, `board`, `policies`, `style_history`, `directives`,
+    /// `executed_requests`, `checkpoints`, `request_arrivals`.
+    pub(crate) fn fold_digest(&self, h: &mut Fnv64) {
+        h.write_u64(self.me.0);
+        h.write_u64(self.engine.state_digest());
+        h.write_bytes(&self.app.capture_state());
+        for (client, (rid, reply)) in &self.reply_cache {
+            h.write_u64(client.0);
+            h.write_u64(*rid);
+            fold_reply(h, reply);
+        }
+        h.write_u8(0xff);
+        for (&(client, rid), (reply, outstanding)) in &self.pending_replies {
+            h.write_u64(client.0);
+            h.write_u64(rid);
+            fold_reply(h, reply);
+            h.write_u64(*outstanding as u64);
+        }
+        match &self.ckpt_sent {
+            None => h.write_u8(0),
+            Some((version, state)) => {
+                h.write_u8(1);
+                h.write_u64(*version);
+                h.write_bytes(state);
+            }
+        }
+        h.write_u64(self.ckpt_since_full as u64);
+        match &self.ckpt_mirror {
+            None => h.write_u8(0),
+            Some((version, state)) => {
+                h.write_u8(1);
+                h.write_u64(*version);
+                h.write_bytes(state);
+            }
+        }
+        h.write_u8(self.evicted as u8);
+        h.write_u64(self.reported_suspicions);
+        // The exactly-once verdicts read the audit trail, so two states
+        // with different trails must not merge.
+        #[cfg(feature = "check-invariants")]
+        {
+            for &(client, rid) in &self.invariant_log.executed {
+                h.write_u64(client.0);
+                h.write_u64(rid);
+            }
+            h.write_u8(0xfe);
+            for (&(client, rid), &digest) in &self.invariant_log.replies {
+                h.write_u64(client.0);
+                h.write_u64(rid);
+                h.write_u64(digest);
+            }
+        }
+    }
+}
+
+/// Folds one ORB reply (id, status, body) into a digest.
+fn fold_reply(h: &mut Fnv64, reply: &Reply) {
+    h.write_u64(reply.request_id);
+    h.write_u8(match reply.status {
+        ReplyStatus::NoException => 0,
+        ReplyStatus::UserException => 1,
+        ReplyStatus::SystemException => 2,
+    });
+    h.write_bytes(&reply.body);
 }
 
 impl std::fmt::Debug for ReplicationEngine {
@@ -1630,6 +1727,21 @@ impl Actor for ReplicaActor {
                 _ => {}
             }
         }
+    }
+
+    fn state_digest(&self) -> Option<u64> {
+        let mut h = Fnv64::new();
+        h.write_u64(self.me.0);
+        h.write_u64(self.multi.state_digest());
+        for (gid, engine) in &self.groups {
+            h.write_u64(gid.0 as u64);
+            engine.fold_digest(&mut h);
+        }
+        for (key, gid) in &self.routes {
+            h.write_bytes(key.as_str().as_bytes());
+            h.write_u64(gid.0 as u64);
+        }
+        Some(h.finish())
     }
 }
 

@@ -1,0 +1,82 @@
+//! Bounded exploration of the real recovery stack: the double-fault
+//! scenario (primary crash mid-switch, then the replacement joiner crash
+//! mid-state-transfer) and two concurrent Fig. 5 switches in co-hosted
+//! groups, each checked against the safety invariants after every explored
+//! choice. The world factories and invariants live in
+//! [`vd_core::harness`], shared with the `experiments -- explore` CI gate.
+//!
+//! Bounds come from `VD_EXPLORE_DEPTH` / `VD_EXPLORE_SCHEDULES`
+//! (defaults sized for a CI smoke run); raise them locally for a deeper
+//! sweep. Requires `--features check-invariants`.
+
+use vd_core::harness::{
+    cohosted_invariant, cohosted_world, double_fault_world, explore_config, recovery_invariant,
+    recovery_world, restores_degree_after_double_fault, JOINER, PRIMARY, REPLICAS,
+};
+use vd_simnet::prelude::*;
+
+/// Fault one explored: the primary may crash at every point while the
+/// style switch, client requests and manager probes are in flight.
+#[test]
+fn primary_crash_neighborhood_holds_safety_invariants() {
+    let config = explore_config(vec![PRIMARY], 1);
+    let report = World::explore(recovery_world, &config, recovery_invariant);
+    assert!(
+        report.violation.is_none(),
+        "recovery stack violated an invariant: {:?}",
+        report.violation
+    );
+    assert!(
+        report.schedules >= 100,
+        "explored only {} schedules",
+        report.schedules
+    );
+}
+
+/// Fault two explored: with the primary already gone and the replacement
+/// joiner mid-state-transfer, the joiner (or a surviving backup — the
+/// below-`min_view` eviction edge) may crash at every point.
+#[test]
+fn joiner_crash_neighborhood_holds_safety_invariants() {
+    let config = explore_config(vec![JOINER, REPLICAS[2]], 1);
+    let report = World::explore(double_fault_world, &config, recovery_invariant);
+    assert!(
+        report.violation.is_none(),
+        "double-fault recovery violated an invariant: {:?}",
+        report.violation
+    );
+    assert!(
+        report.schedules >= 100,
+        "explored only {} schedules",
+        report.schedules
+    );
+}
+
+/// The liveness leg: both faults replayed deterministically, the manager
+/// retries and restores the replication degree without giving up.
+#[test]
+fn double_fault_rundown_restores_degree() {
+    restores_degree_after_double_fault().expect("degree restored");
+}
+
+/// Two concurrent Fig. 5 switches in co-hosted groups: each group's
+/// switch invariants hold independently under every explored
+/// interleaving of the two protocol runs.
+#[test]
+fn cohosted_concurrent_switches_hold_per_group_invariants() {
+    let report = World::explore(
+        cohosted_world,
+        &explore_config(Vec::new(), 0),
+        cohosted_invariant,
+    );
+    assert!(
+        report.violation.is_none(),
+        "co-hosted switches violated an invariant: {:?}",
+        report.violation
+    );
+    assert!(
+        report.schedules >= 100,
+        "explored only {} schedules",
+        report.schedules
+    );
+}

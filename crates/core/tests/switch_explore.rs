@@ -153,6 +153,7 @@ fn switch_survives_explored_interleavings_and_primary_crash() {
         crash_candidates: vec![ProcessId(0)],
         max_crashes: 1,
         prune_equivalent_states: true,
+        ..ExploreConfig::default()
     };
     let invariants = SwitchInvariants::new((0..3).map(ProcessId).collect());
     let report = World::explore(switch_world, &config, |w| invariants.check(w));
@@ -178,6 +179,7 @@ fn switch_survives_exploration_in_delta_checkpoint_mode() {
         crash_candidates: vec![ProcessId(0)],
         max_crashes: 1,
         prune_equivalent_states: true,
+        ..ExploreConfig::default()
     };
     let invariants = SwitchInvariants::new((0..3).map(ProcessId).collect());
     let report = World::explore(delta_switch_world, &config, |w| invariants.check(w));
@@ -407,6 +409,7 @@ fn toy_config() -> ExploreConfig {
         crash_candidates: vec![PRIMARY],
         max_crashes: 1,
         prune_equivalent_states: true,
+        ..ExploreConfig::default()
     }
 }
 
@@ -428,6 +431,29 @@ fn explore_finds_the_seeded_switch_bug() {
     let mut world = toy_world(true);
     vd_simnet::explore::replay(&mut world, &violation.schedule);
     assert!(toy_durability(&world).is_err());
+}
+
+#[test]
+fn parallel_exploration_reports_the_identical_seeded_counterexample() {
+    // The determinism contract: 4 work-stealing workers must report the
+    // exact first violation a sequential run reports. Exact parity holds
+    // for unpruned exploration (pruning's digest-set insertion order is
+    // thread-dependent), so prune is off for both runs.
+    let sequential = ExploreConfig {
+        prune_equivalent_states: false,
+        ..toy_config()
+    };
+    let parallel = ExploreConfig {
+        workers: 4,
+        ..sequential.clone()
+    };
+    let seq = World::explore(|| toy_world(true), &sequential, toy_durability);
+    let par = World::explore(|| toy_world(true), &parallel, toy_durability);
+    let sv = seq.violation.expect("sequential finds the seeded bug");
+    let pv = par.violation.expect("parallel finds the seeded bug");
+    assert_eq!(sv.schedule, pv.schedule, "first-violation schedule differs");
+    assert_eq!(sv.message, pv.message);
+    assert_eq!(sv.time, pv.time);
 }
 
 #[test]

@@ -99,7 +99,7 @@ impl Output {
     pub fn as_event(&self) -> Option<&GroupEvent> {
         match self {
             Output::Event(e) => Some(e),
-            _ => None,
+            Output::Send { .. } | Output::SetTimer { .. } => None,
         }
     }
 
@@ -107,7 +107,9 @@ impl Output {
     pub fn as_delivery(&self) -> Option<&Delivery> {
         match self.as_event()? {
             GroupEvent::Delivered(d) => Some(d),
-            _ => None,
+            GroupEvent::ViewInstalled { .. } | GroupEvent::Blocked | GroupEvent::SelfEvicted => {
+                None
+            }
         }
     }
 }

@@ -25,7 +25,9 @@ use crate::config::GroupConfig;
 use crate::flush::{
     compute_cut, filter_assignments_to_cut, merge_assignments, FlushPhase, FlushProgress,
 };
-use crate::message::{Assignment, DataMsg, FlushHoldings, GroupId, GroupMsg};
+use crate::message::{
+    fold_vclock, fold_view, Assignment, DataMsg, FlushHoldings, GroupId, GroupMsg,
+};
 use crate::order::DeliveryOrder;
 use crate::stream::SenderStream;
 use crate::vclock::VectorClock;
@@ -2057,5 +2059,148 @@ impl Endpoint {
             delay: self.config.flush_timeout,
             timer: GroupTimer::FlushTimeout(proposal_id),
         });
+    }
+
+    // ---- exploration support ----------------------------------------------
+
+    /// Digest of the full protocol state for interleaving exploration:
+    /// membership, send/receive pipelines, total-order bookkeeping, failure
+    /// detection, flush progress and stability state. Excluded as
+    /// telemetry-blind: `config` (immutable), `stats`, `obs` and `now_us`
+    /// (observability only). `last_heard` carries absolute times, which
+    /// weakens merging across timing-different interleavings but never
+    /// soundness.
+    pub fn state_digest(&self) -> u64 {
+        let mut h = vd_simnet::explore::Fnv64::new();
+        h.write_u64(self.me.0);
+        h.write_u64(u64::from(self.group.0));
+        match &self.status {
+            Status::Joining { contacts } => {
+                h.write_u8(0);
+                for c in contacts {
+                    h.write_u64(c.0);
+                }
+            }
+            Status::Member => h.write_u8(1),
+            Status::Evicted => h.write_u8(2),
+        }
+        fold_view(&mut h, &self.view);
+        h.write_u8(u8::from(self.external_fd));
+
+        h.write_u64(self.next_send_seq);
+        h.write_u64(self.causal_sends);
+        for (order, payload) in &self.pending_sends {
+            h.write_u8(match order {
+                DeliveryOrder::BestEffort => 0,
+                DeliveryOrder::Fifo => 1,
+                DeliveryOrder::Causal => 2,
+                DeliveryOrder::Agreed => 3,
+            });
+            h.write_bytes(payload);
+        }
+        for msg in &self.batch {
+            msg.fold_digest(&mut h);
+        }
+        h.write_u8(u8::from(self.batch_timer_armed));
+
+        for (&sender, stream) in &self.streams {
+            h.write_u64(sender.0);
+            stream.fold_digest(&mut h);
+        }
+        fold_vclock(&mut h, &self.delivered_clock);
+
+        for (&global, &(sender, seq)) in &self.assignments {
+            h.write_u64(global);
+            h.write_u64(sender.0);
+            h.write_u64(seq);
+        }
+        h.write_u64(self.next_global_deliver);
+        h.write_u64(self.next_assign);
+        for (&m, &c) in &self.assign_cursors {
+            h.write_u64(m.0);
+            h.write_u64(c);
+        }
+
+        for (&m, &t) in &self.last_heard {
+            h.write_u64(m.0);
+            h.write_u64(t.as_micros());
+        }
+        for &m in &self.suspected {
+            h.write_u64(m.0);
+        }
+        for &m in &self.pending_joins {
+            h.write_u64(m.0);
+        }
+        h.write_u8(0xfc);
+        for &m in &self.pending_leaves {
+            h.write_u64(m.0);
+        }
+
+        if let Some(flush) = &self.flush {
+            h.write_u8(1);
+            fold_view(&mut h, &flush.proposal);
+            h.write_u64(flush.leader.0);
+            h.write_u8(match flush.phase {
+                FlushPhase::AwaitingCut => 0,
+                FlushPhase::Filling => 1,
+                FlushPhase::Done => 2,
+            });
+            if let Some(cut) = &flush.cut {
+                h.write_u8(1);
+                for (&m, &c) in cut {
+                    h.write_u64(m.0);
+                    h.write_u64(c);
+                }
+            } else {
+                h.write_u8(0);
+            }
+            for a in flush.final_assignments.iter() {
+                a.fold_digest(&mut h);
+            }
+            for &m in &flush.participants {
+                h.write_u64(m.0);
+            }
+            for (&m, holdings) in &flush.infos {
+                h.write_u64(m.0);
+                holdings.fold_digest(&mut h);
+            }
+            for &m in &flush.dones {
+                h.write_u64(m.0);
+            }
+            h.write_u8(u8::from(flush.cut_sent));
+            h.write_u64(u64::from(flush.retries));
+        } else {
+            h.write_u8(0);
+        }
+        h.write_u8(u8::from(self.blocked));
+        h.write_u64(self.highest_proposal.0);
+        for (from, msg) in &self.future_msgs {
+            h.write_u64(from.0);
+            // In-flight future-view messages hash by content, same as the
+            // payload digest the explorer uses for queued deliveries.
+            h.write_u64(msg.digest().unwrap_or(0));
+        }
+        if let Some(record) = &self.last_install {
+            h.write_u8(1);
+            fold_view(&mut h, &record.view);
+            fold_vclock(&mut h, &record.causal_after);
+            h.write_u64(record.next_global);
+        } else {
+            h.write_u8(0);
+        }
+
+        for (&peer, acks) in &self.peer_acks {
+            h.write_u64(peer.0);
+            for (&m, &a) in acks {
+                h.write_u64(m.0);
+                h.write_u64(a);
+            }
+            h.write_u8(0xfb);
+        }
+        for (&peer, &g) in &self.peer_delivered_global {
+            h.write_u64(peer.0);
+            h.write_u64(g);
+        }
+        h.finish()
     }
 }

@@ -16,11 +16,28 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use vd_simnet::actor::Payload;
+use vd_simnet::explore::Fnv64;
 use vd_simnet::topology::ProcessId;
 
 use crate::order::DeliveryOrder;
 use crate::vclock::VectorClock;
 use crate::view::{View, ViewId};
+
+/// Folds a view's identity (id + membership) into an exploration digest.
+pub(crate) fn fold_view(h: &mut Fnv64, view: &View) {
+    h.write_u64(view.id().0);
+    for &m in view.members() {
+        h.write_u64(m.0);
+    }
+}
+
+/// Folds a vector clock's non-zero components into an exploration digest.
+pub(crate) fn fold_vclock(h: &mut Fnv64, vc: &VectorClock) {
+    for (m, v) in vc.iter() {
+        h.write_u64(m.0);
+        h.write_u64(v);
+    }
+}
 
 /// Identifies a process group (a replica group, a monitoring group, …).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -74,6 +91,35 @@ impl DataMsg {
     fn body_size(&self) -> usize {
         self.payload.len() + self.vclock.as_ref().map_or(0, |vc| vc.len() * PAIR_BYTES)
     }
+
+    /// Folds the full message identity — headers, ordering metadata and
+    /// payload bytes — into an exploration digest.
+    pub(crate) fn fold_digest(&self, h: &mut Fnv64) {
+        h.write_u64(u64::from(self.group.0));
+        h.write_u64(self.view_id.0);
+        h.write_u64(self.sender.0);
+        match self.seq {
+            None => h.write_u8(0),
+            Some(s) => {
+                h.write_u8(1);
+                h.write_u64(s);
+            }
+        }
+        h.write_u8(match self.order {
+            DeliveryOrder::BestEffort => 0,
+            DeliveryOrder::Fifo => 1,
+            DeliveryOrder::Causal => 2,
+            DeliveryOrder::Agreed => 3,
+        });
+        if let Some(vc) = &self.vclock {
+            h.write_u8(1);
+            fold_vclock(h, vc);
+        } else {
+            h.write_u8(0);
+        }
+        h.write_u64(self.payload.len() as u64);
+        h.write_bytes(&self.payload);
+    }
 }
 
 /// One agreed-order assignment: global sequence → (sender, sender seq).
@@ -98,7 +144,33 @@ pub struct FlushHoldings {
     pub assignments: Vec<Assignment>,
 }
 
+impl Assignment {
+    pub(crate) fn fold_digest(&self, h: &mut Fnv64) {
+        h.write_u64(self.global_seq);
+        h.write_u64(self.sender.0);
+        h.write_u64(self.seq);
+    }
+}
+
 impl FlushHoldings {
+    pub(crate) fn fold_digest(&self, h: &mut Fnv64) {
+        for &(m, v) in &self.contiguous {
+            h.write_u64(m.0);
+            h.write_u64(v);
+        }
+        h.write_u8(0xfe);
+        for (m, seqs) in &self.extras {
+            h.write_u64(m.0);
+            for &s in seqs {
+                h.write_u64(s);
+            }
+            h.write_u8(0xfd);
+        }
+        for a in &self.assignments {
+            a.fold_digest(h);
+        }
+    }
+
     fn wire_size(&self) -> usize {
         self.contiguous.len() * PAIR_BYTES
             + self
@@ -280,6 +352,145 @@ impl Payload for GroupMsg {
                 view, causal_after, ..
             } => HEADER_BYTES + view.len() * 8 + causal_after.len() * PAIR_BYTES + 8,
         }
+    }
+
+    // Content digest for interleaving exploration: two in-flight group
+    // messages hash equal iff they are behaviorally interchangeable. Every
+    // variant is covered exhaustively (enforced by the vd-check
+    // protocol-exhaustiveness lint) with a distinct tag byte.
+    fn digest(&self) -> Option<u64> {
+        let mut h = Fnv64::new();
+        match self {
+            GroupMsg::Data(d) => {
+                h.write_u8(1);
+                d.fold_digest(&mut h);
+            }
+            GroupMsg::DataBatch { group, msgs } => {
+                h.write_u8(2);
+                h.write_u64(u64::from(group.0));
+                for d in msgs.iter() {
+                    d.fold_digest(&mut h);
+                }
+            }
+            GroupMsg::Retransmit(d) => {
+                h.write_u8(3);
+                d.fold_digest(&mut h);
+            }
+            GroupMsg::Heartbeat {
+                group,
+                view_id,
+                acks,
+                delivered_global,
+            } => {
+                h.write_u8(4);
+                h.write_u64(u64::from(group.0));
+                h.write_u64(view_id.0);
+                for &(m, v) in acks.iter() {
+                    h.write_u64(m.0);
+                    h.write_u64(v);
+                }
+                h.write_u64(*delivered_global);
+            }
+            GroupMsg::Nack {
+                group,
+                sender,
+                missing,
+            } => {
+                h.write_u8(5);
+                h.write_u64(u64::from(group.0));
+                h.write_u64(sender.0);
+                for &s in missing {
+                    h.write_u64(s);
+                }
+            }
+            GroupMsg::Assign {
+                group,
+                view_id,
+                assignments,
+            } => {
+                h.write_u8(6);
+                h.write_u64(u64::from(group.0));
+                h.write_u64(view_id.0);
+                for a in assignments.iter() {
+                    a.fold_digest(&mut h);
+                }
+            }
+            GroupMsg::AssignNack {
+                group,
+                view_id,
+                from_global,
+            } => {
+                h.write_u8(7);
+                h.write_u64(u64::from(group.0));
+                h.write_u64(view_id.0);
+                h.write_u64(*from_global);
+            }
+            GroupMsg::JoinRequest { group, joiner } => {
+                h.write_u8(8);
+                h.write_u64(u64::from(group.0));
+                h.write_u64(joiner.0);
+            }
+            GroupMsg::LeaveRequest { group, leaver } => {
+                h.write_u8(9);
+                h.write_u64(u64::from(group.0));
+                h.write_u64(leaver.0);
+            }
+            GroupMsg::ViewProposal {
+                group,
+                proposal,
+                leader,
+            } => {
+                h.write_u8(10);
+                h.write_u64(u64::from(group.0));
+                fold_view(&mut h, proposal);
+                h.write_u64(leader.0);
+            }
+            GroupMsg::FlushInfo {
+                group,
+                proposal_id,
+                holdings,
+            } => {
+                h.write_u8(11);
+                h.write_u64(u64::from(group.0));
+                h.write_u64(proposal_id.0);
+                holdings.fold_digest(&mut h);
+            }
+            GroupMsg::FlushCut {
+                group,
+                proposal_id,
+                cut,
+                final_assignments,
+            } => {
+                h.write_u8(12);
+                h.write_u64(u64::from(group.0));
+                h.write_u64(proposal_id.0);
+                for &(m, v) in cut.iter() {
+                    h.write_u64(m.0);
+                    h.write_u64(v);
+                }
+                for a in final_assignments.iter() {
+                    a.fold_digest(&mut h);
+                }
+            }
+            GroupMsg::FlushDone { group, proposal_id } => {
+                h.write_u8(13);
+                h.write_u64(u64::from(group.0));
+                h.write_u64(proposal_id.0);
+            }
+            GroupMsg::InstallView {
+                group,
+                view,
+                causal_after,
+                next_global,
+            } => {
+                h.write_u8(14);
+                h.write_u64(u64::from(group.0));
+                fold_view(&mut h, view);
+                fold_vclock(&mut h, causal_after);
+                h.write_u64(*next_global);
+            }
+        }
+        Some(h.finish())
     }
 }
 

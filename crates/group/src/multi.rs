@@ -65,6 +65,20 @@ impl Payload for ProcessHeartbeat {
                 .map(|s| 8 + s.acks.len() * PAIR_BYTES + 8)
                 .sum::<usize>()
     }
+
+    fn digest(&self) -> Option<u64> {
+        let mut h = vd_simnet::explore::Fnv64::new();
+        for s in &self.sections {
+            h.write_u64(u64::from(s.group.0));
+            h.write_u64(s.view_id.0);
+            for &(m, a) in s.acks.iter() {
+                h.write_u64(m.0);
+                h.write_u64(a);
+            }
+            h.write_u64(s.delivered_global);
+        }
+        Some(h.finish())
+    }
 }
 
 /// A timer owned by a [`MultiEndpoint`].
@@ -405,6 +419,29 @@ impl MultiEndpoint {
                 translate(*gid, outputs, out);
             }
         }
+    }
+
+    // ---- exploration support ----------------------------------------------
+
+    /// Digest of the multiplexer's state for interleaving exploration: every
+    /// hosted endpoint's full protocol digest plus the shared
+    /// failure-detector state. The heartbeat/failure intervals are immutable
+    /// config and `obs`/`now_us` are telemetry-blind, so they are excluded.
+    pub fn state_digest(&self) -> u64 {
+        let mut h = vd_simnet::explore::Fnv64::new();
+        h.write_u64(self.me.0);
+        for (gid, ep) in &self.groups {
+            h.write_u64(u64::from(gid.0));
+            h.write_u64(ep.state_digest());
+        }
+        for (&p, &t) in &self.last_heard {
+            h.write_u64(p.0);
+            h.write_u64(t.as_micros());
+        }
+        for &p in &self.suspected {
+            h.write_u64(p.0);
+        }
+        h.finish()
     }
 }
 

@@ -154,6 +154,12 @@ impl Payload for Command {
             Command::Leave => 8,
         }
     }
+
+    fn digest(&self) -> Option<u64> {
+        let mut h = vd_simnet::explore::Fnv64::new();
+        h.write_bytes(format!("{self:?}").as_bytes());
+        Some(h.finish())
+    }
 }
 
 /// A simulator actor hosting one group endpoint and recording everything it
@@ -192,7 +198,7 @@ impl GroupMemberActor {
             .iter()
             .filter_map(|e| match e {
                 GroupEvent::ViewInstalled { view, .. } => Some(view.clone()),
-                _ => None,
+                GroupEvent::Delivered(_) | GroupEvent::Blocked | GroupEvent::SelfEvicted => None,
             })
             .collect()
     }
@@ -245,6 +251,21 @@ impl Actor for GroupMemberActor {
             self.absorb(ctx, outputs);
         }
     }
+
+    fn state_digest(&self) -> Option<u64> {
+        let mut h = vd_simnet::explore::Fnv64::new();
+        h.write_u64(self.endpoint.state_digest());
+        // The recorded deliveries and events are what exploration
+        // invariants inspect, so they are part of the prunable state; their
+        // `Debug` form covers every field deterministically.
+        for d in &self.deliveries {
+            h.write_bytes(format!("{d:?}").as_bytes());
+        }
+        for e in &self.events {
+            h.write_bytes(format!("{e:?}").as_bytes());
+        }
+        Some(h.finish())
+    }
 }
 
 impl std::fmt::Debug for GroupMemberActor {
@@ -282,6 +303,12 @@ impl Payload for MultiCommand {
             MultiCommand::Multicast { payload, .. } => payload.len(),
             MultiCommand::Leave { .. } => 8,
         }
+    }
+
+    fn digest(&self) -> Option<u64> {
+        let mut h = vd_simnet::explore::Fnv64::new();
+        h.write_bytes(format!("{self:?}").as_bytes());
+        Some(h.finish())
     }
 }
 
@@ -375,6 +402,19 @@ impl Actor for MultiGroupMemberActor {
             let outputs = self.multi.handle_timer(ctx.now(), t);
             self.absorb(ctx, outputs);
         }
+    }
+
+    fn state_digest(&self) -> Option<u64> {
+        let mut h = vd_simnet::explore::Fnv64::new();
+        h.write_u64(self.multi.state_digest());
+        for d in &self.deliveries {
+            h.write_bytes(format!("{d:?}").as_bytes());
+        }
+        for (g, e) in &self.events {
+            h.write_u64(u64::from(g.0));
+            h.write_bytes(format!("{e:?}").as_bytes());
+        }
+        Some(h.finish())
     }
 }
 

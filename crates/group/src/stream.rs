@@ -217,6 +217,20 @@ impl SenderStream {
     pub fn buffered(&self) -> usize {
         self.buffer.len()
     }
+
+    /// Folds the full reception state — prefix, buffered messages and all
+    /// three class cursors — into an exploration digest.
+    pub fn fold_digest(&self, h: &mut vd_simnet::explore::Fnv64) {
+        h.write_u64(self.next_expected);
+        h.write_u64(self.max_received);
+        for (&seq, msg) in &self.buffer {
+            h.write_u64(seq);
+            msg.fold_digest(h);
+        }
+        h.write_u64(self.cursor_fifo);
+        h.write_u64(self.cursor_causal);
+        h.write_u64(self.cursor_agreed);
+    }
 }
 
 #[cfg(test)]

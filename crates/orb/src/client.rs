@@ -123,6 +123,30 @@ impl RequestTracker {
         self.outstanding.len()
     }
 
+    /// Folds the tracker's behavior-relevant state into an exploration
+    /// digest: the id counter, every outstanding entry (send instant and
+    /// vote tallies), the completion watermark and the selection mode.
+    pub fn fold_digest(&self, h: &mut vd_simnet::explore::Fnv64) {
+        h.write_u64(self.next_id);
+        for (id, entry) in &self.outstanding {
+            h.write_u64(*id);
+            h.write_u64(entry.sent_at.as_micros());
+            for (body, count) in &entry.votes {
+                h.write_bytes(body);
+                h.write_u64(*count as u64);
+            }
+            h.write_u8(0xff);
+        }
+        h.write_u64(self.completed_below);
+        match self.selection_quorum {
+            None => h.write_u8(0),
+            Some(quorum) => {
+                h.write_u8(1);
+                h.write_u64(quorum as u64);
+            }
+        }
+    }
+
     /// When the given outstanding request was sent, if it is still pending.
     pub fn sent_at(&self, request_id: u64) -> Option<SimTime> {
         self.outstanding.get(&request_id).map(|o| o.sent_at)

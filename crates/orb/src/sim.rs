@@ -235,6 +235,27 @@ impl RequestDriver {
         self.completed
     }
 
+    /// Folds the driver's behavior-relevant state into an exploration
+    /// digest: the workload shape, the reply tracker and the
+    /// issue/complete counters.
+    pub fn fold_digest(&self, h: &mut vd_simnet::explore::Fnv64) {
+        h.write_bytes(self.config.object.as_str().as_bytes());
+        h.write_bytes(self.config.operation.as_bytes());
+        h.write_u64(self.config.request_bytes as u64);
+        match self.config.total {
+            None => h.write_u8(0),
+            Some(total) => {
+                h.write_u8(1);
+                h.write_u64(total);
+            }
+        }
+        h.write_u64(self.config.think.as_micros());
+        self.tracker.fold_digest(h);
+        h.write_u64(self.issued);
+        h.write_u64(self.completed);
+        h.write_bytes(&self.args);
+    }
+
     /// Requests issued so far.
     pub fn issued(&self) -> u64 {
         self.issued

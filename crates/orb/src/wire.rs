@@ -208,6 +208,14 @@ impl Payload for OrbMessage {
     fn wire_size(&self) -> usize {
         self.encoded_len()
     }
+
+    // Content digest for interleaving exploration: the canonical wire
+    // encoding already covers every field, so hash that.
+    fn digest(&self) -> Option<u64> {
+        let mut h = vd_simnet::explore::Fnv64::new();
+        h.write_bytes(&self.encode());
+        Some(h.finish())
+    }
 }
 
 #[cfg(test)]
