@@ -10,14 +10,16 @@
 //! `shard` writes the multi-group scaling gate `BENCH_PR5.json`; `explore`
 //! (requires `--features check-invariants`) writes the verification gate
 //! `BENCH_PR6.json` plus, on violation, the counterexample JSONL
-//! `explore_counterexamples.jsonl`. All of them print the names of any
-//! failing acceptance gates and exit nonzero.
+//! `explore_counterexamples.jsonl`; `loopback` boots three real UDP nodes
+//! on 127.0.0.1, kills the primary mid-run, and writes the deployment gate
+//! `BENCH_PR8.json` (node logs land in `loopback-logs/`). All of them
+//! print the names of any failing acceptance gates and exit nonzero.
 
 use std::env;
 use std::process::ExitCode;
 
 use vd_bench::experiments::{
-    ablation, chaos, fanout, fig3, fig4, fig6, fig7, fig8, fig9, shard, trace,
+    ablation, chaos, fanout, fig3, fig4, fig6, fig7, fig8, fig9, loopback, shard, trace,
 };
 
 struct Options {
@@ -46,7 +48,7 @@ fn parse() -> Result<Options, String> {
             }
             "--help" | "-h" => {
                 return Err(
-                    "usage: experiments [fig3|fig4|fig6|fig7|fig8|fig9|fanout|trace|chaos|shard|explore|all] [--requests N] [--seed S]"
+                    "usage: experiments [fig3|fig4|fig6|fig7|fig8|fig9|fanout|trace|chaos|shard|explore|loopback|all] [--requests N] [--seed S]"
                         .into(),
                 );
             }
@@ -146,6 +148,18 @@ fn main() -> ExitCode {
              rerun with `--features check-invariants`"
             .into())
     };
+    let run_loopback = || -> Result<(), String> {
+        let result = loopback::run(requests, seed);
+        println!("{}", result.render());
+        std::fs::write("BENCH_PR8.json", result.to_json())
+            .map_err(|e| format!("failed to write BENCH_PR8.json: {e}"))?;
+        println!("wrote BENCH_PR8.json");
+        let failing = result.failing_gates();
+        if !failing.is_empty() {
+            return Err(format!("loopback gate(s) failed: {}", failing.join(", ")));
+        }
+        Ok(())
+    };
     let run_trace = || -> Result<(), String> {
         let result = trace::run(12, 1200.0, seed);
         println!("{}", result.render());
@@ -196,14 +210,25 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+        "loopback" => {
+            if let Err(msg) = run_loopback() {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+        }
         "all" => {
             run_fig3();
             run_fig4();
             run_fig6();
             run_fig7_8_9(true, true, true);
             println!("{}", ablation::run(requests.min(500), seed).render());
-            let mut steps: Vec<&dyn Fn() -> Result<(), String>> =
-                vec![&run_fanout, &run_trace, &run_chaos, &run_shard];
+            let mut steps: Vec<&dyn Fn() -> Result<(), String>> = vec![
+                &run_fanout,
+                &run_trace,
+                &run_chaos,
+                &run_shard,
+                &run_loopback,
+            ];
             // The explore gate joins `all` only when its invariant layer
             // is compiled in; without the feature it stays an explicit
             // opt-in (and explains what it needs).
@@ -219,7 +244,7 @@ fn main() -> ExitCode {
         }
         other => {
             eprintln!(
-                "unknown experiment: {other} (expected fig3|fig4|fig6|fig7|fig8|fig9|ablation|fanout|trace|chaos|shard|explore|all)"
+                "unknown experiment: {other} (expected fig3|fig4|fig6|fig7|fig8|fig9|ablation|fanout|trace|chaos|shard|explore|loopback|all)"
             );
             return ExitCode::FAILURE;
         }

@@ -14,6 +14,7 @@
 //! | [`chaos`] | robustness gate — fault storms + automated recovery manager, MTTR/availability (`BENCH_PR4.json`) |
 //! | [`shard`] | scalability gate — multi-group hosting, aggregate throughput over 1/2/4 groups + concurrent switches (`BENCH_PR5.json`) |
 //! | `explore` | verification gate — parallel bounded model checking of the recovery stack (`BENCH_PR6.json`; needs `--features check-invariants`) |
+//! | [`loopback`] | deployment gate — 3 real nodes over 127.0.0.1 UDP, primary killed mid-run, zero lost/duplicated replies within a wall-clock budget (`BENCH_PR8.json`) |
 //!
 //! Each runner returns a structured result with a `render()` method that
 //! prints the same rows/series the paper reports.
@@ -29,5 +30,6 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod loopback;
 pub mod shard;
 pub mod trace;

@@ -12,8 +12,9 @@
 //!    through a `_ =>` arm; and decode paths must return errors, not panic.
 //!
 //! `cargo run -p vd-check` scans every `.rs` file in `crates/core`,
-//! `crates/group`, `crates/orb` and `crates/simnet` (comments, string
-//! literals and `#[cfg(test)]` blocks excluded) and reports:
+//! `crates/group`, `crates/orb`, `crates/simnet` and `crates/node/src`
+//! (comments, string literals and `#[cfg(test)]` blocks excluded) and
+//! reports:
 //!
 //! - [`Lint::Nondeterminism`]: `std::time::Instant` / `SystemTime`,
 //!   `thread::sleep`, `rand::thread_rng`, and `HashMap` / `HashSet`
@@ -41,6 +42,18 @@
 //!   `std::fs`, sockets, …) inside `on_message` / `on_timer` bodies.
 //!   Actors run on the simulator's virtual clock; real blocking stalls
 //!   the whole deterministic run and is invisible to the explorer.
+//!
+//! The real-network backend (`crates/node/src`, see
+//! [`Config::blocking_everywhere_paths`]) inverts the blocking lint's
+//! scope: there, blocking and thread primitives are the *point* — but
+//! every one of them must be individually audited. Under those paths the
+//! scan covers **every line**, not just handler bodies, also rejects the
+//! thread primitives (`thread::spawn`, `thread::Builder`,
+//! `thread::sleep`), and the only way to silence a finding is a
+//! [`Allowlist`] entry carrying an explicit ` -- <justification>` suffix.
+//! The nondeterminism lint is skipped for those paths (a deployment
+//! backend runs on the wall clock by design); the blocking audit is its
+//! hazard class.
 //!
 //! Audited exceptions go in `crates/check/allowlist.txt`; see
 //! [`Allowlist`] for the format. Unused entries are an *error* (stale
@@ -139,6 +152,14 @@ pub struct Config {
     /// Path substrings under which every `impl Actor` must carry a
     /// `state_digest` ([`Lint::DigestCoverage`]).
     pub digest_required_paths: Vec<String>,
+    /// Path substrings under which the blocking lint scans **every line**
+    /// (not just `on_message`/`on_timer` bodies) and additionally rejects
+    /// thread primitives. This is the real-network backend, where
+    /// blocking IO and event-loop threads are deliberate — and where each
+    /// one must carry a justified allowlist entry. The nondeterminism
+    /// lint is skipped under these paths: the deployment backend runs on
+    /// the wall clock by design.
+    pub blocking_everywhere_paths: Vec<String>,
 }
 
 impl Default for Config {
@@ -152,8 +173,14 @@ impl Default for Config {
                 "ReplicaCommand".into(),
                 "ReplyStatus".into(),
             ],
-            decode_file_names: vec!["cdr.rs".into(), "message.rs".into(), "endpoint.rs".into()],
+            decode_file_names: vec![
+                "cdr.rs".into(),
+                "message.rs".into(),
+                "endpoint.rs".into(),
+                "codec.rs".into(),
+            ],
             digest_required_paths: vec!["crates/core".into(), "crates/group".into()],
+            blocking_everywhere_paths: vec!["crates/node/src".into()],
         }
     }
 }
@@ -199,18 +226,27 @@ pub fn scan_source(file: &Path, source: &str, config: &Config) -> Vec<Finding> {
     };
 
     let mut findings = Vec::new();
+    let path_text = file.to_string_lossy().replace('\\', "/");
+    let blocking_everywhere = config
+        .blocking_everywhere_paths
+        .iter()
+        .any(|p| path_text.contains(p.as_str()));
 
-    // Lint (a): nondeterminism tokens, word-bounded.
-    for (lineno, text) in stripped.lines().enumerate() {
-        for &(token, why) in NONDETERMINISM_TOKENS {
-            if contains_token(text, token) {
-                findings.push(Finding {
-                    file: file.to_path_buf(),
-                    line: lineno + 1,
-                    lint: Lint::Nondeterminism,
-                    message: format!("`{token}`: {why}"),
-                    excerpt: excerpt(lineno + 1),
-                });
+    // Lint (a): nondeterminism tokens, word-bounded. Skipped under the
+    // real-network backend paths — a deployment backend runs on the wall
+    // clock by design; its hazard class is the whole-file blocking audit.
+    if !blocking_everywhere {
+        for (lineno, text) in stripped.lines().enumerate() {
+            for &(token, why) in NONDETERMINISM_TOKENS {
+                if contains_token(text, token) {
+                    findings.push(Finding {
+                        file: file.to_path_buf(),
+                        line: lineno + 1,
+                        lint: Lint::Nondeterminism,
+                        message: format!("`{token}`: {why}"),
+                        excerpt: excerpt(lineno + 1),
+                    });
+                }
             }
         }
     }
@@ -232,7 +268,6 @@ pub fn scan_source(file: &Path, source: &str, config: &Config) -> Vec<Finding> {
 
     // Lint (d): Actor impls without a state_digest, in crates whose
     // actors are exploration targets.
-    let path_text = file.to_string_lossy().replace('\\', "/");
     if config
         .digest_required_paths
         .iter()
@@ -276,15 +311,38 @@ pub fn scan_source(file: &Path, source: &str, config: &Config) -> Vec<Finding> {
         });
     }
 
-    // Lint (f): std sync/IO inside actor message/timer handlers.
-    for (line, token, why) in find_blocking_in_actor_bodies(&stripped) {
-        findings.push(Finding {
-            file: file.to_path_buf(),
-            line,
-            lint: Lint::BlockingInActor,
-            message: format!("`{token}` inside an actor handler: {why}"),
-            excerpt: excerpt(line),
-        });
+    // Lint (f): std sync/IO inside actor message/timer handlers — or, under
+    // the real-network backend paths, on *every* line plus the thread
+    // primitives: there, each blocking call must be individually audited
+    // with a justified allowlist entry.
+    if blocking_everywhere {
+        for (lineno, text) in stripped.lines().enumerate() {
+            for &(token, why) in BLOCKING_TOKENS.iter().chain(EVENT_LOOP_TOKENS) {
+                if contains_token(text, token) {
+                    findings.push(Finding {
+                        file: file.to_path_buf(),
+                        line: lineno + 1,
+                        lint: Lint::BlockingInActor,
+                        message: format!(
+                            "`{token}` in the real-network backend ({why}); every blocking or \
+                             thread primitive here needs an allowlist entry with an explicit \
+                             ` -- <justification>`"
+                        ),
+                        excerpt: excerpt(lineno + 1),
+                    });
+                }
+            }
+        }
+    } else {
+        for (line, token, why) in find_blocking_in_actor_bodies(&stripped) {
+            findings.push(Finding {
+                file: file.to_path_buf(),
+                line,
+                lint: Lint::BlockingInActor,
+                message: format!("`{token}` inside an actor handler: {why}"),
+                excerpt: excerpt(line),
+            });
+        }
     }
 
     // Lint (c): unwrap/expect in decode files.
@@ -586,6 +644,25 @@ const BLOCKING_TOKENS: &[(&str, &str)] = &[
     ),
 ];
 
+/// Thread primitives additionally rejected under
+/// [`Config::blocking_everywhere_paths`]: the real transport's event-loop
+/// threads are legitimate there, but each spawn/sleep site must be
+/// explicitly justified, not ambient.
+const EVENT_LOOP_TOKENS: &[(&str, &str)] = &[
+    (
+        "thread::spawn",
+        "an unsupervised thread escapes the supervision tree",
+    ),
+    (
+        "thread::Builder",
+        "an unsupervised thread escapes the supervision tree",
+    ),
+    (
+        "thread::sleep",
+        "a sleeping thread holds its actor's mailbox hostage",
+    ),
+];
+
 /// Finds std sync/IO tokens inside `fn on_message` / `fn on_timer`
 /// bodies. Returns `(line, token, guidance)` triples.
 fn find_blocking_in_actor_bodies(stripped: &str) -> Vec<(usize, &'static str, &'static str)> {
@@ -679,6 +756,11 @@ fn char_token_positions(chars: &[char], token: &str) -> Vec<usize> {
 /// entry suppresses findings of that lint in files whose path ends with
 /// `path-suffix` and whose offending source line contains `substring`.
 /// Blank lines and `#` comments are ignored.
+///
+/// `blocking-in-actor` entries additionally **require** a
+/// ` -- <justification>` suffix after the substring — parsing fails
+/// without one. Blocking primitives in the real-network backend are
+/// audited one by one; an entry without a stated reason is not an audit.
 #[derive(Debug, Default)]
 pub struct Allowlist {
     entries: Vec<AllowEntry>,
@@ -689,6 +771,8 @@ struct AllowEntry {
     lint_id: String,
     path_suffix: String,
     substring: String,
+    /// Required for `blocking-in-actor` entries (` -- <reason>` suffix).
+    justification: Option<String>,
     used: std::cell::Cell<bool>,
 }
 
@@ -711,10 +795,29 @@ impl Allowlist {
                     lineno + 1
                 ));
             };
+            let substring = substring.trim();
+            let (substring, justification) = if lint_id == "blocking-in-actor" {
+                match substring.split_once(" -- ") {
+                    Some((s, j)) if !s.trim().is_empty() && !j.trim().is_empty() => {
+                        (s.trim().to_string(), Some(j.trim().to_string()))
+                    }
+                    _ => {
+                        return Err(format!(
+                            "allowlist line {}: blocking-in-actor entries must read \
+                             `blocking-in-actor <path-suffix> <substring> -- <justification>` — \
+                             a blocking primitive without a stated reason is not audited",
+                            lineno + 1
+                        ));
+                    }
+                }
+            } else {
+                (substring.to_string(), None)
+            };
             entries.push(AllowEntry {
                 lint_id: lint_id.to_string(),
                 path_suffix: path_suffix.to_string(),
-                substring: substring.trim().to_string(),
+                substring,
+                justification,
                 used: std::cell::Cell::new(false),
             });
         }
@@ -741,7 +844,10 @@ impl Allowlist {
         self.entries
             .iter()
             .filter(|e| !e.used.get())
-            .map(|e| format!("{} {} {}", e.lint_id, e.path_suffix, e.substring))
+            .map(|e| match &e.justification {
+                Some(j) => format!("{} {} {} -- {}", e.lint_id, e.path_suffix, e.substring, j),
+                None => format!("{} {} {}", e.lint_id, e.path_suffix, e.substring),
+            })
             .collect()
     }
 }
@@ -1092,6 +1198,55 @@ impl Actor for Widget {
         // Mutex must not be attributed to a handler.
         let src = "fn drive(w: &mut W) {\n    w.on_message(1);\n    let m = Mutex::new(0);\n}\n";
         assert!(scan("crates/orb/src/drive.rs", src).is_empty());
+    }
+
+    #[test]
+    fn blocking_everywhere_paths_scan_whole_files_and_skip_nondeterminism() {
+        // Outside handler bodies; would be clean under the default scope.
+        let src = "\
+pub fn pump(socket: UdpSocket) {
+    thread::spawn(move || loop {
+        let now = Instant::now();
+        drop(now);
+    });
+}
+";
+        let findings = scan("crates/node/src/transport.rs", src);
+        assert!(
+            findings.iter().all(|f| f.lint == Lint::BlockingInActor),
+            "nondeterminism must be skipped for the real-network backend: {findings:?}"
+        );
+        assert!(findings.iter().any(|f| f.message.contains("UdpSocket")));
+        assert!(findings.iter().any(|f| f.message.contains("thread::spawn")));
+        assert!(findings.iter().all(|f| f.message.contains("justification")));
+        // The same source under a normal path: no handler bodies, so the
+        // blocking lint is silent and nondeterminism flags the Instant.
+        let normal = scan("crates/orb/src/pump.rs", src);
+        assert_eq!(normal.len(), 1, "{normal:?}");
+        assert_eq!(normal[0].lint, Lint::Nondeterminism);
+    }
+
+    #[test]
+    fn blocking_allowlist_entries_require_a_justification() {
+        assert!(Allowlist::parse("blocking-in-actor transport.rs UdpSocket\n").is_err());
+        assert!(Allowlist::parse("blocking-in-actor transport.rs UdpSocket -- \n").is_err());
+        let allow = Allowlist::parse(
+            "blocking-in-actor transport.rs UdpSocket -- the send path of the UDP backend\n",
+        )
+        .unwrap();
+        let findings = scan(
+            "crates/node/src/transport.rs",
+            "pub struct T { socket: UdpSocket }\n",
+        );
+        assert_eq!(findings.len(), 1);
+        assert!(allow.permits(&findings[0]));
+        assert!(allow.unused().is_empty());
+        // The justification survives round-trips through unused() output.
+        let stale = Allowlist::parse("blocking-in-actor other.rs park -- reason here\n").unwrap();
+        assert_eq!(
+            stale.unused(),
+            vec!["blocking-in-actor other.rs park -- reason here".to_string()]
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! CLI entry point for the workspace determinism linter.
 //!
 //! ```text
-//! cargo run -p vd-check              # lint the four protocol crates
+//! cargo run -p vd-check              # lint the protocol crates + node backend
 //! cargo run -p vd-check -- <paths>   # lint specific files or directories
 //! ```
 //!
@@ -16,9 +16,19 @@ use vd_check::{
     discover_extended_protocol_enums, discover_protocol_enums, scan_paths, Allowlist, Config,
 };
 
-/// The crates under the determinism contract. `vd-bench` is deliberately
-/// excluded: it measures wall-clock performance and may use `Instant`.
-const DEFAULT_ROOTS: &[&str] = &["crates/core", "crates/group", "crates/orb", "crates/simnet"];
+/// The crates under the determinism contract, plus the real-network
+/// backend (`crates/node/src`), which is scanned under inverted blocking
+/// rules: every blocking or thread primitive there needs a justified
+/// allowlist entry (see `Config::blocking_everywhere_paths`). `vd-bench`
+/// is deliberately excluded: it measures wall-clock performance and may
+/// use `Instant`.
+const DEFAULT_ROOTS: &[&str] = &[
+    "crates/core",
+    "crates/group",
+    "crates/orb",
+    "crates/simnet",
+    "crates/node/src",
+];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();

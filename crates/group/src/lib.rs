@@ -50,6 +50,7 @@ pub mod multi;
 pub mod order;
 pub mod sim;
 pub mod stream;
+pub mod transport;
 pub mod vclock;
 pub mod view;
 

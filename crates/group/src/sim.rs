@@ -17,6 +17,7 @@ use crate::endpoint::Endpoint;
 use crate::message::{GroupId, GroupMsg};
 use crate::multi::{MultiEndpoint, MultiOutput, MultiTimer, ProcessHeartbeat};
 use crate::order::DeliveryOrder;
+use crate::transport::{perform_multi_outputs, perform_outputs, SimTransport};
 use crate::view::ViewId;
 
 /// Encodes a [`GroupTimer`] as a simulator timer token.
@@ -101,35 +102,30 @@ pub fn multi_timer_from_token(token: TimerToken) -> Option<MultiTimer> {
 /// Applies multiplexed-endpoint outputs through an actor context, invoking
 /// `on_event` for every surfaced `(group, event)` pair. Used by any actor
 /// embedding a [`MultiEndpoint`].
+///
+/// This is the simulator instantiation of the transport seam: the same
+/// effects, performed through [`SimTransport`] instead of a socket (see
+/// [`crate::transport`]).
 pub fn apply_multi_outputs<F>(ctx: &mut Context<'_>, outputs: Vec<MultiOutput>, mut on_event: F)
 where
     F: FnMut(&mut Context<'_>, GroupId, GroupEvent),
 {
-    for output in outputs {
-        match output {
-            MultiOutput::Send { to, msg } => ctx.send(to, msg),
-            MultiOutput::Heartbeat { to, msg } => ctx.send(to, msg),
-            MultiOutput::SetTimer { delay, timer } => {
-                ctx.set_timer(delay, multi_timer_token(timer));
-            }
-            MultiOutput::Event { group, event } => on_event(ctx, group, event),
-        }
-    }
+    let mut transport = SimTransport::new(ctx);
+    perform_multi_outputs(&mut transport, outputs, |t, group, event| {
+        on_event(t.ctx(), group, event);
+    });
 }
 
 /// Applies endpoint outputs through an actor context, invoking `on_event`
 /// for every surfaced event. Used by any actor embedding an [`Endpoint`].
+///
+/// Like [`apply_multi_outputs`], a thin wrapper over the transport seam.
 pub fn apply_outputs<F>(ctx: &mut Context<'_>, outputs: Vec<Output>, mut on_event: F)
 where
     F: FnMut(&mut Context<'_>, GroupEvent),
 {
-    for output in outputs {
-        match output {
-            Output::Send { to, msg } => ctx.send(to, msg),
-            Output::SetTimer { delay, timer } => ctx.set_timer(delay, timer_token(timer)),
-            Output::Event(event) => on_event(ctx, event),
-        }
-    }
+    let mut transport = SimTransport::new(ctx);
+    perform_outputs(&mut transport, outputs, |t, event| on_event(t.ctx(), event));
 }
 
 /// Harness commands injected into a [`GroupMemberActor`] from outside the

@@ -1,0 +1,351 @@
+//! Supervised actor threads: the real runtime's execution model.
+//!
+//! One OS thread per actor, one actor per process id, all state owned by
+//! the thread — the standard actors-and-supervision shape (SNIPPETS.md
+//! snippet 3). The thread runs a small event loop that mirrors the
+//! simulator scheduler for a single actor: fire due timers, then block on
+//! the mailbox until the next deadline, decode and dispatch one message,
+//! perform the handler's deferred [`Action`]s through the
+//! [`UdpTransport`]. Protocol actors (`ReplicaActor`, the recovery
+//! manager, …) run *unchanged* — they already speak the sans-IO
+//! `Context`/`Action` contract, and this module is simply a second
+//! scheduler for it.
+//!
+//! **Supervision.** The event loop runs under `catch_unwind`. A panic —
+//! organic or injected via [`crate::mailbox::MailItem::Crash`] — is a
+//! process-level fault: the supervisor logs it, waits a deterministic
+//! capped exponential backoff (the same `base · 2^attempt` shape as the
+//! client's retry backoff), bumps `node.supervisor_restarts`, and
+//! rebuilds the actor from its factory with the incremented attempt
+//! number. Factories use the attempt to choose the *re-join* constructor
+//! (`GroupMembership::Joining`) so a restarted replica re-enters its
+//! groups through the recovery manager's join-and-state-transfer path
+//! rather than pretending it never died. After `max_restarts` consecutive
+//! crashes the supervisor gives up and the actor stays down — degree
+//! repair is then the (remote) recovery manager's job, as in the paper's
+//! fault-treatment loop (§5).
+
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, UdpSocket};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use bytes::Bytes;
+use vd_group::transport::Transport;
+use vd_obs::registry::Ctr;
+use vd_obs::ObsHandle;
+use vd_simnet::actor::{Action, Actor, Context};
+use vd_simnet::metrics::MetricsHub;
+use vd_simnet::rng::DeterministicRng;
+use vd_simnet::topology::{NodeId, ProcessId};
+
+use crate::clock::NodeClock;
+use crate::codec;
+use crate::log::NodeLog;
+use crate::mailbox::{MailItem, Mailbox};
+use crate::transport::UdpTransport;
+
+/// Builds one incarnation of an actor. Called on the actor's own thread;
+/// the argument is the restart attempt (0 = first start), letting the
+/// factory pick bootstrap vs. re-join construction. The closure must be
+/// `Send` (it moves to the thread) but the actor it builds never leaves
+/// that thread, so `Box<dyn Actor>` needs no `Send` bound — the same
+/// no-shared-state rule the simulator's parallel explorer relies on.
+pub type ActorFactory = Box<dyn Fn(u64) -> Box<dyn Actor> + Send + 'static>;
+
+/// Restart policy for one supervised actor.
+#[derive(Debug, Clone, Copy)]
+pub struct SupervisorPolicy {
+    /// First backoff delay.
+    pub backoff_base: Duration,
+    /// Backoff ceiling (the cap in `base · 2^attempt`).
+    pub backoff_cap: Duration,
+    /// Consecutive crashes tolerated before the actor stays down.
+    pub max_restarts: u64,
+}
+
+impl Default for SupervisorPolicy {
+    fn default() -> Self {
+        SupervisorPolicy {
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+            max_restarts: 5,
+        }
+    }
+}
+
+impl SupervisorPolicy {
+    /// The deterministic capped exponential backoff before restart
+    /// `attempt` (1-based): `min(base · 2^(attempt-1), cap)`.
+    pub fn backoff(&self, attempt: u64) -> Duration {
+        let factor = 1u32 << attempt.saturating_sub(1).min(16) as u32;
+        self.backoff_base
+            .saturating_mul(factor)
+            .min(self.backoff_cap)
+    }
+}
+
+/// Everything an actor thread needs, bundled for the spawn call.
+pub struct ActorSpec {
+    /// The process id this actor answers for.
+    pub pid: ProcessId,
+    /// The node id reported through [`Context::node`].
+    pub node: NodeId,
+    /// Builds each incarnation.
+    pub factory: ActorFactory,
+    /// Seed for the actor's deterministic RNG.
+    pub seed: u64,
+    /// Restart policy.
+    pub policy: SupervisorPolicy,
+}
+
+/// How an actor incarnation ended (other than by panic).
+enum Exit {
+    /// Orderly stop requested via [`MailItem::Shutdown`].
+    Shutdown,
+    /// The actor killed itself via [`Action::Kill`].
+    Killed,
+}
+
+/// Spawns the supervised thread for one actor.
+#[allow(clippy::too_many_arguments)]
+pub fn spawn_supervised(
+    spec: ActorSpec,
+    clock: NodeClock,
+    socket: Arc<UdpSocket>,
+    peers: Arc<BTreeMap<ProcessId, SocketAddr>>,
+    mailbox: Arc<Mailbox>,
+    obs: ObsHandle,
+    log: Arc<NodeLog>,
+    shutdown: Arc<AtomicBool>,
+) -> std::io::Result<JoinHandle<()>> {
+    std::thread::Builder::new()
+        .name(format!("vd-actor-{}", spec.pid.0))
+        .spawn(move || {
+            supervise(spec, clock, socket, peers, mailbox, obs, log, shutdown);
+        })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn supervise(
+    spec: ActorSpec,
+    clock: NodeClock,
+    socket: Arc<UdpSocket>,
+    peers: Arc<BTreeMap<ProcessId, SocketAddr>>,
+    mailbox: Arc<Mailbox>,
+    obs: ObsHandle,
+    log: Arc<NodeLog>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let pid = spec.pid;
+    let mut attempt: u64 = 0;
+    loop {
+        if shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        if attempt > 0 {
+            let delay = spec.policy.backoff(attempt);
+            log.line(&format!(
+                "supervisor: restarting actor {} (attempt {attempt}, backoff {delay:?})",
+                pid.0
+            ));
+            obs.metrics.incr(Ctr::NodeSupervisorRestarts);
+            // The one legitimate sleep in the runtime: supervisor backoff
+            // between incarnations, while the actor is down anyway.
+            std::thread::sleep(delay);
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut actor = (spec.factory)(attempt);
+            run_actor(
+                actor.as_mut(),
+                &spec,
+                attempt,
+                clock.clone(),
+                Arc::clone(&socket),
+                Arc::clone(&peers),
+                &mailbox,
+                &obs,
+                &log,
+            )
+        }));
+        match outcome {
+            Ok(Exit::Shutdown) => return,
+            Ok(Exit::Killed) => {
+                log.line(&format!("actor {} stopped itself (Kill)", pid.0));
+                return;
+            }
+            Err(_) => {
+                if attempt >= spec.policy.max_restarts {
+                    log.line(&format!(
+                        "supervisor: actor {} exceeded {} restarts; staying down",
+                        pid.0, spec.policy.max_restarts
+                    ));
+                    return;
+                }
+                attempt += 1;
+            }
+        }
+    }
+}
+
+/// Upper bound on one mailbox wait, so the loop re-checks timers and
+/// shutdown even with an idle wheel.
+const MAX_WAIT: Duration = Duration::from_millis(100);
+
+#[allow(clippy::too_many_arguments)]
+fn run_actor(
+    actor: &mut dyn Actor,
+    spec: &ActorSpec,
+    attempt: u64,
+    clock: NodeClock,
+    socket: Arc<UdpSocket>,
+    peers: Arc<BTreeMap<ProcessId, SocketAddr>>,
+    mailbox: &Mailbox,
+    obs: &ObsHandle,
+    log: &Arc<NodeLog>,
+) -> Exit {
+    let pid = spec.pid;
+    let mut transport = UdpTransport::new(pid, clock, socket, peers, obs.clone(), Arc::clone(log));
+    // Distinct stream per (seed, actor, incarnation), all deterministic.
+    let mut rng =
+        DeterministicRng::new(spec.seed ^ pid.0.wrapping_mul(0x9e37_79b9) ^ (attempt << 48));
+    let mut hub = MetricsHub::new();
+    let mut next_pid = pid.0.wrapping_add(1 << 32);
+
+    let on_start = |actor: &mut dyn Actor,
+                    transport: &mut UdpTransport,
+                    rng: &mut DeterministicRng,
+                    hub: &mut MetricsHub,
+                    next_pid: &mut u64| {
+        let mut ctx = Context::external(transport.now(), pid, spec.node, rng, hub, next_pid);
+        actor.on_start(&mut ctx);
+        let actions = ctx.drain_actions();
+        drop(ctx);
+        perform(transport, pid, log, actions)
+    };
+    if let Some(exit) = on_start(actor, &mut transport, &mut rng, &mut hub, &mut next_pid) {
+        return exit;
+    }
+
+    loop {
+        // Fire every timer due by now (cancel-suppressed ones pop and
+        // vanish inside the wheel, exactly as in the simulator).
+        loop {
+            let now = transport.now();
+            let Some(token) = transport.pop_due(now) else {
+                break;
+            };
+            let mut ctx = Context::external(now, pid, spec.node, &mut rng, &mut hub, &mut next_pid);
+            actor.on_timer(&mut ctx, token);
+            let actions = ctx.drain_actions();
+            drop(ctx);
+            if let Some(exit) = perform(&mut transport, pid, log, actions) {
+                return exit;
+            }
+        }
+        // After the drain, every remaining deadline is in the future.
+        let wait = match transport.next_deadline() {
+            Some(at) => {
+                let gap = at.duration_since(transport.now());
+                Duration::from_micros(gap.as_micros()).min(MAX_WAIT)
+            }
+            None => MAX_WAIT,
+        };
+        match mailbox.recv_timeout(wait) {
+            None => continue,
+            Some(MailItem::Shutdown) => return Exit::Shutdown,
+            Some(MailItem::Crash) => {
+                log.line(&format!("actor {}: injected crash", pid.0));
+                panic!("injected actor crash (pid {})", pid.0);
+            }
+            Some(MailItem::Frame(raw)) => {
+                let frame = match codec::decode_frame(Bytes::from(raw)) {
+                    Ok(frame) => frame,
+                    Err(e) => {
+                        obs.metrics.incr(Ctr::NodeDecodeErrors);
+                        log.line(&format!("actor {}: undecodable frame: {e}", pid.0));
+                        continue;
+                    }
+                };
+                if frame.to != pid {
+                    log.line(&format!(
+                        "actor {}: misrouted frame for {} dropped",
+                        pid.0, frame.to.0
+                    ));
+                    continue;
+                }
+                let mut ctx = Context::external(
+                    transport.now(),
+                    pid,
+                    spec.node,
+                    &mut rng,
+                    &mut hub,
+                    &mut next_pid,
+                );
+                actor.on_message(&mut ctx, frame.from, frame.payload);
+                let actions = ctx.drain_actions();
+                drop(ctx);
+                if let Some(exit) = perform(&mut transport, pid, log, actions) {
+                    return exit;
+                }
+            }
+        }
+    }
+}
+
+/// Performs a handler's deferred actions against the real transport.
+///
+/// `Spawn` and `Kill`-of-another-actor are simulator-only harness powers
+/// (worlds conjure processes; real clusters start them out-of-band) — on
+/// this backend they log and no-op, which the parity contract in
+/// `DESIGN.md` §16 spells out. `Kill` of *self* maps to an orderly stop.
+fn perform(
+    transport: &mut UdpTransport,
+    pid: ProcessId,
+    log: &Arc<NodeLog>,
+    actions: Vec<Action>,
+) -> Option<Exit> {
+    let mut exit = None;
+    for action in actions {
+        match action {
+            Action::Send { dst, payload } => transport.send_frame(dst, payload),
+            Action::SetTimer { delay, token } => transport.set_timer(delay, token),
+            Action::CancelTimer { token } => transport.cancel_timer(token),
+            Action::Kill { pid: target } if target == pid => exit = Some(Exit::Killed),
+            Action::Kill { pid: target } => {
+                log.line(&format!(
+                    "actor {}: Kill({}) ignored — cross-actor kill is simulator-only",
+                    pid.0, target.0
+                ));
+            }
+            Action::Spawn { pid: target, .. } => {
+                log.line(&format!(
+                    "actor {}: Spawn({}) ignored — spawning is simulator-only",
+                    pid.0, target.0
+                ));
+            }
+        }
+    }
+    exit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        let policy = SupervisorPolicy {
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(35),
+            max_restarts: 5,
+        };
+        assert_eq!(policy.backoff(1), Duration::from_millis(10));
+        assert_eq!(policy.backoff(2), Duration::from_millis(20));
+        assert_eq!(policy.backoff(3), Duration::from_millis(35));
+        assert_eq!(policy.backoff(9), Duration::from_millis(35));
+    }
+}

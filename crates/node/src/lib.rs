@@ -1,0 +1,44 @@
+//! # vd-node — the real-network runtime
+//!
+//! Everything else in this workspace runs the replication stack inside
+//! the deterministic simulator. This crate runs the *same protocol code*
+//! on real UDP sockets and OS threads: it is the deployment backend of
+//! the two-implementation transport seam
+//! ([`vd_group::transport::Transport`]), with the simulator remaining
+//! the model-checked twin.
+//!
+//! The runtime is an actor supervision tree (`DESIGN.md` §16):
+//!
+//! * one **io pump** thread per node blocks on the shared UDP socket and
+//!   routes raw datagrams to mailboxes by destination pid
+//!   ([`transport::run_io_pump`]),
+//! * one **actor thread** per hosted process id owns that replica's
+//!   entire state and runs the sans-IO handlers unchanged ([`host`]),
+//! * a **supervisor** loop around each actor thread catches panics and
+//!   restarts the actor with capped deterministic backoff, re-joining
+//!   its groups through the recovery path ([`host::SupervisorPolicy`]).
+//!
+//! The `vd-node` binary boots a node from a TOML config ([`config`]);
+//! [`client::LoopbackClient`] is the external ORB client used by the
+//! loopback integration test and the `loopback` benchmark.
+//!
+//! This reproduces the deployment half of *"Architecting and
+//! Implementing Versatile Dependability"* (DSN 2004): §4's middleware
+//! architecture running on an actual cluster, with §6's
+//! Spread-equivalent messaging carried by [`codec`] over UDP.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod clock;
+pub mod codec;
+pub mod config;
+pub mod host;
+pub mod log;
+pub mod mailbox;
+pub mod node;
+pub mod transport;
+
+pub use client::LoopbackClient;
+pub use config::NodeConfig;
+pub use node::{Node, NodeHandle};

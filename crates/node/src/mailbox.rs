@@ -1,0 +1,145 @@
+//! Actor mailboxes: the only hand-off point between node threads.
+//!
+//! The real runtime mirrors the simulator's actor model (SNIPPETS.md
+//! snippet 3 idiom): every actor owns its state on one OS thread and the
+//! *only* way anything reaches it is a message in its mailbox. Mailboxes
+//! carry **raw datagrams**, not decoded payloads — `Box<dyn Payload>` is
+//! deliberately not `Send` (the simulator shares nothing across threads),
+//! so bytes cross the thread boundary and the owning actor decodes on its
+//! own thread. Control items ([`MailItem::Crash`], [`MailItem::Shutdown`])
+//! ride the same queue so fault injection is ordered with respect to
+//! normal traffic, exactly like the simulator's crash events.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use vd_obs::registry::Gauge;
+use vd_obs::ObsHandle;
+
+/// One queued item for an actor thread.
+#[derive(Debug)]
+pub enum MailItem {
+    /// A raw datagram received from the socket, decoded by the actor.
+    Frame(Vec<u8>),
+    /// Fault injection: the actor thread panics, exercising the
+    /// supervisor's restart path (the process-crash analogue).
+    Crash,
+    /// Orderly stop: the actor thread exits without restart.
+    Shutdown,
+}
+
+/// An unbounded MPSC queue with blocking receive, one per actor.
+///
+/// Unbounded is a deliberate parity choice: the simulator never drops a
+/// delivered message at the mailbox, so the real runtime must not either
+/// (UDP itself may drop; the protocol's NACK/retransmit path owns that).
+/// The current depth is exported as the `node.mailbox_depth` gauge so
+/// overload is visible instead of silent.
+#[derive(Debug)]
+pub struct Mailbox {
+    queue: Mutex<VecDeque<MailItem>>,
+    available: Condvar,
+    obs: ObsHandle,
+}
+
+impl Mailbox {
+    /// A new, empty mailbox reporting its depth through `obs`.
+    pub fn new(obs: ObsHandle) -> Arc<Self> {
+        Arc::new(Mailbox {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            obs,
+        })
+    }
+
+    /// Enqueues one item and wakes the owning actor thread.
+    pub fn push(&self, item: MailItem) {
+        let mut queue = match self.queue.lock() {
+            Ok(q) => q,
+            // The owning actor panicked while holding the lock; the
+            // supervisor will replace it — keep delivering.
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        queue.push_back(item);
+        self.obs
+            .metrics
+            .gauge_set(Gauge::NodeMailboxDepth, queue.len() as u64);
+        drop(queue);
+        self.available.notify_one();
+    }
+
+    /// Dequeues the next item, waiting up to `timeout` for one to arrive.
+    ///
+    /// Returns `None` on timeout so the actor thread can fire due timers
+    /// between messages (the real-time analogue of the simulator's event
+    /// loop interleaving timers with deliveries).
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<MailItem> {
+        let mut queue = match self.queue.lock() {
+            Ok(q) => q,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let deadline_wait = timeout;
+        if queue.is_empty() {
+            let (q, _timed_out) = match self.available.wait_timeout(queue, deadline_wait) {
+                Ok(r) => r,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            queue = q;
+        }
+        let item = queue.pop_front();
+        if item.is_some() {
+            self.obs
+                .metrics
+                .gauge_set(Gauge::NodeMailboxDepth, queue.len() as u64);
+        }
+        item
+    }
+
+    /// The current queue depth (for tests and diagnostics).
+    pub fn depth(&self) -> usize {
+        match self.queue.lock() {
+            Ok(q) => q.len(),
+            Err(poisoned) => poisoned.into_inner().len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vd_obs::Obs;
+
+    #[test]
+    fn push_then_recv_in_fifo_order() {
+        let mailbox = Mailbox::new(Obs::disabled());
+        mailbox.push(MailItem::Frame(vec![1]));
+        mailbox.push(MailItem::Shutdown);
+        assert_eq!(mailbox.depth(), 2);
+        match mailbox.recv_timeout(Duration::from_millis(10)) {
+            Some(MailItem::Frame(bytes)) => assert_eq!(bytes, vec![1]),
+            other => panic!("expected frame, got {other:?}"),
+        }
+        assert!(matches!(
+            mailbox.recv_timeout(Duration::from_millis(10)),
+            Some(MailItem::Shutdown)
+        ));
+    }
+
+    #[test]
+    fn recv_times_out_when_empty() {
+        let mailbox = Mailbox::new(Obs::disabled());
+        assert!(mailbox.recv_timeout(Duration::from_millis(5)).is_none());
+    }
+
+    #[test]
+    fn depth_gauge_tracks_queue_length() {
+        let obs = Obs::enabled();
+        let mailbox = Mailbox::new(obs.clone());
+        mailbox.push(MailItem::Frame(vec![]));
+        mailbox.push(MailItem::Frame(vec![]));
+        assert_eq!(obs.metrics.gauge(Gauge::NodeMailboxDepth), 2);
+        let _ = mailbox.recv_timeout(Duration::from_millis(5));
+        assert_eq!(obs.metrics.gauge(Gauge::NodeMailboxDepth), 1);
+    }
+}

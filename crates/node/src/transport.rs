@@ -1,0 +1,305 @@
+//! The real-network [`Transport`]: UDP sockets plus an in-thread timer
+//! wheel.
+//!
+//! This is the second implementation of the seam carved out of the group
+//! layer (`vd_group::transport::Transport`); the first is the simulator's
+//! [`vd_group::transport::SimTransport`]. The parity contract is strict:
+//!
+//! * **Sends** become one UDP datagram per frame via [`crate::codec`],
+//!   *including node-local destinations* — a frame between two actors on
+//!   the same node still round-trips through the loopback socket, so a
+//!   co-hosted replica sees exactly the message pattern a remote one
+//!   would (the simulator likewise routes self-sends through the network
+//!   queue).
+//! * **Timers** use a per-actor [`TimerWheel`] with the simulator's
+//!   cancellation semantics: cancels are counted and each count suppresses
+//!   one future firing of that token, byte-for-byte the behavior of
+//!   `vd_simnet::world`'s `canceled_timers` map.
+//! * **The clock** is the node-local [`NodeClock`] — protocol code reads
+//!   `SimTime` either way and cannot tell the backends apart.
+//!
+//! The receive half lives in [`run_io_pump`]: one thread per node blocks
+//! on the shared socket and routes raw datagrams to actor mailboxes by
+//! the envelope's destination pid. Blocking on the socket is this
+//! thread's *job* — it is the explicitly justified exception to the
+//! vd-check blocking lint, not a blanket exemption (see
+//! `crates/check/allowlist.txt`).
+
+use std::collections::{BTreeMap, BinaryHeap};
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use vd_group::transport::Transport;
+use vd_obs::registry::Ctr;
+use vd_obs::ObsHandle;
+use vd_simnet::actor::{Payload, TimerToken};
+use vd_simnet::time::{SimDuration, SimTime};
+use vd_simnet::topology::ProcessId;
+
+use crate::clock::NodeClock;
+use crate::codec;
+use crate::log::NodeLog;
+use crate::mailbox::{MailItem, Mailbox};
+
+/// Largest datagram the runtime sends or receives (the UDP maximum).
+pub const MAX_DATAGRAM: usize = 64 * 1024;
+
+/// A pending timer: fire time, insertion sequence (stable order for equal
+/// deadlines, mirroring the simulator's deterministic tie-break), token.
+type Pending = std::cmp::Reverse<(SimTime, u64, TimerToken)>;
+
+/// A monotonic timer queue with the simulator's cancellation semantics.
+///
+/// `cancel` does not search the queue; it increments a per-token count
+/// and each count suppresses one future firing — exactly how
+/// `vd_simnet::world::World` implements `Action::CancelTimer`. Protocol
+/// code tuned against the simulator therefore observes identical timer
+/// behavior on real hardware.
+#[derive(Debug, Default)]
+pub struct TimerWheel {
+    heap: BinaryHeap<Pending>,
+    canceled: BTreeMap<TimerToken, u32>,
+    seq: u64,
+}
+
+impl TimerWheel {
+    /// An empty wheel.
+    pub fn new() -> Self {
+        TimerWheel::default()
+    }
+
+    /// Schedules `token` to fire at `at`.
+    pub fn set(&mut self, at: SimTime, token: TimerToken) {
+        self.seq += 1;
+        self.heap.push(std::cmp::Reverse((at, self.seq, token)));
+    }
+
+    /// Suppresses one future firing of `token`.
+    pub fn cancel(&mut self, token: TimerToken) {
+        *self.canceled.entry(token).or_insert(0) += 1;
+    }
+
+    /// The earliest un-fired deadline, if any timer is pending.
+    ///
+    /// May report the deadline of a timer that a cancel will later
+    /// suppress; the caller simply wakes up and pops nothing, which is
+    /// harmless.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.heap.peek().map(|std::cmp::Reverse((at, _, _))| *at)
+    }
+
+    /// Pops the next timer due at or before `now`, honoring cancels.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<TimerToken> {
+        while let Some(std::cmp::Reverse((at, _, token))) = self.heap.peek().copied() {
+            if at > now {
+                return None;
+            }
+            self.heap.pop();
+            if let Some(count) = self.canceled.get_mut(&token) {
+                *count -= 1;
+                if *count == 0 {
+                    self.canceled.remove(&token);
+                }
+                continue;
+            }
+            return Some(token);
+        }
+        None
+    }
+}
+
+/// The UDP-backed [`Transport`] owned by one actor thread.
+#[derive(Debug)]
+pub struct UdpTransport {
+    me: ProcessId,
+    clock: NodeClock,
+    socket: Arc<UdpSocket>,
+    peers: Arc<BTreeMap<ProcessId, SocketAddr>>,
+    obs: ObsHandle,
+    log: Arc<NodeLog>,
+    wheel: TimerWheel,
+}
+
+impl UdpTransport {
+    /// A transport sending as `me` through the node's shared socket.
+    pub fn new(
+        me: ProcessId,
+        clock: NodeClock,
+        socket: Arc<UdpSocket>,
+        peers: Arc<BTreeMap<ProcessId, SocketAddr>>,
+        obs: ObsHandle,
+        log: Arc<NodeLog>,
+    ) -> Self {
+        UdpTransport {
+            me,
+            clock,
+            socket,
+            peers,
+            obs,
+            log,
+            wheel: TimerWheel::new(),
+        }
+    }
+
+    /// The earliest pending timer deadline on this actor's wheel.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.wheel.next_deadline()
+    }
+
+    /// Pops the next due, un-canceled timer.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<TimerToken> {
+        self.wheel.pop_due(now)
+    }
+}
+
+impl Transport for UdpTransport {
+    fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    fn local(&self) -> ProcessId {
+        self.me
+    }
+
+    fn send_frame(&mut self, to: ProcessId, frame: Box<dyn Payload>) {
+        let Some(addr) = self.peers.get(&to).copied() else {
+            self.log.line(&format!(
+                "drop: no peer address for {to:?} (from {:?})",
+                self.me
+            ));
+            return;
+        };
+        let Some(bytes) = codec::encode_frame(to, self.me, frame.as_ref()) else {
+            self.log.line(&format!(
+                "drop: payload with no wire format for {to:?}: {frame:?}"
+            ));
+            return;
+        };
+        match self.socket.send_to(&bytes, addr) {
+            Ok(n) => {
+                self.obs.metrics.incr(Ctr::NodeFramesSent);
+                self.obs.metrics.add(Ctr::NodeBytesSent, n as u64);
+            }
+            Err(first) => {
+                // UDP sends fail transiently (e.g. ENOBUFS). One immediate
+                // retry, counted as a reconnect attempt; a second failure
+                // is a drop the protocol's retransmission path absorbs.
+                self.obs.metrics.incr(Ctr::NodeReconnects);
+                match self.socket.send_to(&bytes, addr) {
+                    Ok(n) => {
+                        self.obs.metrics.incr(Ctr::NodeFramesSent);
+                        self.obs.metrics.add(Ctr::NodeBytesSent, n as u64);
+                    }
+                    Err(second) => {
+                        self.log.line(&format!(
+                            "drop: send to {to:?}@{addr} failed twice: {first}; {second}"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    fn set_timer(&mut self, delay: SimDuration, token: TimerToken) {
+        let at = self.clock.now() + delay;
+        self.wheel.set(at, token);
+    }
+
+    fn cancel_timer(&mut self, token: TimerToken) {
+        self.wheel.cancel(token);
+    }
+}
+
+/// How long the io pump blocks per `recv` before re-checking shutdown.
+const PUMP_POLL: Duration = Duration::from_millis(25);
+
+/// The node's receive loop: blocks on the shared socket, routes raw
+/// datagrams to local mailboxes by destination pid.
+///
+/// Runs until `shutdown` is set. Datagrams whose destination has no local
+/// mailbox (or that fail the envelope check) count as decode errors and
+/// are dropped — a remote peer cannot crash a node with garbage.
+pub fn run_io_pump(
+    socket: Arc<UdpSocket>,
+    router: Arc<BTreeMap<ProcessId, Arc<Mailbox>>>,
+    obs: ObsHandle,
+    log: Arc<NodeLog>,
+    shutdown: Arc<AtomicBool>,
+) {
+    if let Err(e) = socket.set_read_timeout(Some(PUMP_POLL)) {
+        log.line(&format!("io pump: set_read_timeout failed: {e}"));
+    }
+    let mut buf = vec![0u8; MAX_DATAGRAM];
+    while !shutdown.load(Ordering::Relaxed) {
+        match socket.recv_from(&mut buf) {
+            Ok((len, _from_addr)) => {
+                obs.metrics.incr(Ctr::NodeFramesRecv);
+                obs.metrics.add(Ctr::NodeBytesRecv, len as u64);
+                let datagram = &buf[..len];
+                let Some(to) = codec::peek_destination(datagram) else {
+                    obs.metrics.incr(Ctr::NodeDecodeErrors);
+                    log.line(&format!("recv: bad envelope ({len} bytes)"));
+                    continue;
+                };
+                let Some(mailbox) = router.get(&to) else {
+                    obs.metrics.incr(Ctr::NodeDecodeErrors);
+                    log.line(&format!("recv: no local actor {to:?}"));
+                    continue;
+                };
+                mailbox.push(MailItem::Frame(datagram.to_vec()));
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) => {
+                // Transient receive errors (e.g. ICMP-induced ECONNREFUSED
+                // on some platforms) must not kill the pump.
+                log.line(&format!("io pump: recv error: {e}"));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wheel_fires_in_deadline_order_with_stable_ties() {
+        let mut wheel = TimerWheel::new();
+        wheel.set(SimTime::from_micros(30), TimerToken(3));
+        wheel.set(SimTime::from_micros(10), TimerToken(1));
+        wheel.set(SimTime::from_micros(10), TimerToken(2));
+        let now = SimTime::from_micros(50);
+        assert_eq!(wheel.pop_due(now), Some(TimerToken(1)));
+        assert_eq!(wheel.pop_due(now), Some(TimerToken(2)));
+        assert_eq!(wheel.pop_due(now), Some(TimerToken(3)));
+        assert_eq!(wheel.pop_due(now), None);
+    }
+
+    #[test]
+    fn wheel_does_not_fire_future_timers() {
+        let mut wheel = TimerWheel::new();
+        wheel.set(SimTime::from_micros(100), TimerToken(1));
+        assert_eq!(wheel.pop_due(SimTime::from_micros(99)), None);
+        assert_eq!(wheel.next_deadline(), Some(SimTime::from_micros(100)));
+    }
+
+    #[test]
+    fn cancel_suppresses_exactly_one_firing() {
+        // Mirrors the simulator: one cancel, then the same token set
+        // twice — the first firing is suppressed, the second survives.
+        let mut wheel = TimerWheel::new();
+        wheel.set(SimTime::from_micros(10), TimerToken(7));
+        wheel.cancel(TimerToken(7));
+        wheel.set(SimTime::from_micros(20), TimerToken(7));
+        let now = SimTime::from_micros(50);
+        assert_eq!(wheel.pop_due(now), Some(TimerToken(7)));
+        assert_eq!(wheel.pop_due(now), None);
+    }
+}

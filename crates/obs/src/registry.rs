@@ -57,6 +57,7 @@ const L_CKPT_DELTA: Labels = &[("layer", "replicator"), ("kind", "delta")];
 const L_GRP: Labels = &[("layer", "group")];
 const L_SIM: Labels = &[("layer", "simnet")];
 const L_REC: Labels = &[("layer", "recovery")];
+const L_NODE: Labels = &[("layer", "node")];
 
 metric_enum! {
     /// Monotonic counters. Names mirror the event taxonomy in
@@ -123,6 +124,21 @@ metric_enum! {
         SimDrops => ("simnet.drops", L_SIM),
         /// Timers fired by the scheduler.
         SimTimerFires => ("simnet.timer_fires", L_SIM),
+        /// Frames handed to the real UDP socket by `vd-node`.
+        NodeFramesSent => ("node.socket_frames_sent", L_NODE),
+        /// Frames received from the real UDP socket by `vd-node`.
+        NodeFramesRecv => ("node.socket_frames_recv", L_NODE),
+        /// Encoded bytes handed to the real UDP socket.
+        NodeBytesSent => ("node.socket_bytes_sent", L_NODE),
+        /// Encoded bytes received from the real UDP socket.
+        NodeBytesRecv => ("node.socket_bytes_recv", L_NODE),
+        /// Datagrams that failed to decode (malformed, unknown kind) and
+        /// were dropped by the node's receive pump.
+        NodeDecodeErrors => ("node.decode_errors", L_NODE),
+        /// Socket reopen attempts after a send/recv error.
+        NodeReconnects => ("node.reconnect_attempts", L_NODE),
+        /// Actors restarted by a node supervisor after a crash.
+        NodeSupervisorRestarts => ("node.supervisor_restarts", L_NODE),
     }
 }
 
@@ -136,6 +152,10 @@ metric_enum! {
         RepStyle => ("replicator.style", L_REP),
         /// Members in the endpoint's installed view.
         GroupMembers => ("group.members", L_GRP),
+        /// Depth of the `vd-node` actor mailbox most recently pushed to
+        /// (sampled at enqueue time; a sustained high value means an
+        /// actor is falling behind its socket).
+        NodeMailboxDepth => ("node.mailbox_depth", L_NODE),
     }
 }
 

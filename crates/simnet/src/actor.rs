@@ -40,25 +40,47 @@ pub trait Payload: Any + fmt::Debug {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TimerToken(pub u64);
 
-/// A deferred effect emitted by an actor handler, applied by the scheduler.
-pub(crate) enum Action {
+/// A deferred effect emitted by an actor handler.
+///
+/// Inside the simulator the scheduler applies these after the handler
+/// returns. A real-runtime host (the `vd-node` crate) instead drains them
+/// via [`Context::drain_actions`] and performs each one against the
+/// operating system — sends become encoded UDP datagrams, timers become
+/// deadline waits. The enum is the exact effect vocabulary both backends
+/// share, which is what keeps an unmodified [`Actor`] runnable on either.
+pub enum Action {
+    /// Deliver `payload` to `dst`.
     Send {
+        /// The destination process.
         dst: ProcessId,
+        /// The message.
         payload: Box<dyn Payload>,
     },
+    /// Arm a timer that fires `delay` from now with `token`.
     SetTimer {
+        /// How far in the future the timer fires.
         delay: SimDuration,
+        /// The token passed back to [`Actor::on_timer`].
         token: TimerToken,
     },
+    /// Cancel one outstanding timer with `token` (count-based: cancelling
+    /// with none outstanding suppresses the next one set).
     CancelTimer {
+        /// The token whose earliest-firing timer is cancelled.
         token: TimerToken,
     },
+    /// Create a new process running `actor` on `node`.
     Spawn {
+        /// The id the new process was promised.
         pid: ProcessId,
+        /// The machine it runs on.
         node: NodeId,
+        /// Its behavior.
         actor: Box<dyn Actor>,
     },
+    /// Stop a process (it receives no further messages or timers).
     Kill {
+        /// The process to stop.
         pid: ProcessId,
     },
 }
@@ -92,6 +114,43 @@ pub struct Context<'a> {
 }
 
 impl<'a> Context<'a> {
+    /// A context for hosting an actor *outside* the simulated world — the
+    /// seam the real-network runtime (`vd-node`) drives actors through.
+    ///
+    /// The caller supplies the clock reading (real elapsed time mapped to
+    /// [`SimTime`]), the actor's identity and a deterministic RNG; after
+    /// the handler returns it must collect the emitted effects with
+    /// [`Context::drain_actions`] and perform them itself. CPU charging
+    /// ([`Context::use_cpu`]) is recorded but has no scheduling effect
+    /// outside the simulator — real hosts spend real CPU.
+    pub fn external(
+        now: SimTime,
+        self_id: ProcessId,
+        node: NodeId,
+        rng: &'a mut DeterministicRng,
+        metrics: &'a mut MetricsHub,
+        next_pid: &'a mut u64,
+    ) -> Self {
+        Context {
+            now,
+            self_id,
+            node,
+            actions: Vec::new(),
+            cpu_cost: SimDuration::ZERO,
+            rng,
+            metrics,
+            next_pid,
+        }
+    }
+
+    /// Takes every effect the handler emitted so far, leaving the context
+    /// empty. External hosts (see [`Context::external`]) call this after
+    /// each handler invocation; inside the simulator the scheduler drains
+    /// actions itself and this is never needed.
+    pub fn drain_actions(&mut self) -> Vec<Action> {
+        std::mem::take(&mut self.actions)
+    }
+
     /// The current virtual time.
     pub fn now(&self) -> SimTime {
         self.now
