@@ -6,7 +6,10 @@
 //!
 //! `fanout` additionally writes the machine-readable `BENCH_PR2.json` and
 //! `BENCH_PR3.json` summaries; `trace` writes the structured event export
-//! `trace_switch.jsonl`; `chaos` writes the recovery gate `BENCH_PR4.json`;
+//! `trace_switch.jsonl`; `chaos` writes the recovery gate `BENCH_PR4.json`
+//! and then runs the fail-slow suite (also reachable alone as `failslow`),
+//! which writes the gray-failure gate `BENCH_PR9.json` plus the fail-slow
+//! event trace `trace_failslow.jsonl`;
 //! `shard` writes the multi-group scaling gate `BENCH_PR5.json`; `explore`
 //! (requires `--features check-invariants`) writes the verification gate
 //! `BENCH_PR6.json` plus, on violation, the counterexample JSONL
@@ -19,7 +22,7 @@ use std::env;
 use std::process::ExitCode;
 
 use vd_bench::experiments::{
-    ablation, chaos, fanout, fig3, fig4, fig6, fig7, fig8, fig9, loopback, shard, trace,
+    ablation, chaos, failslow, fanout, fig3, fig4, fig6, fig7, fig8, fig9, loopback, shard, trace,
 };
 
 struct Options {
@@ -48,7 +51,7 @@ fn parse() -> Result<Options, String> {
             }
             "--help" | "-h" => {
                 return Err(
-                    "usage: experiments [fig3|fig4|fig6|fig7|fig8|fig9|fanout|trace|chaos|shard|explore|loopback|all] [--requests N] [--seed S]"
+                    "usage: experiments [fig3|fig4|fig6|fig7|fig8|fig9|fanout|trace|chaos|failslow|shard|explore|loopback|all] [--requests N] [--seed S]"
                         .into(),
                 );
             }
@@ -104,6 +107,23 @@ fn main() -> ExitCode {
         }
         Ok(())
     };
+    let run_failslow = || -> Result<(), String> {
+        let result = failslow::run(requests, seed);
+        println!("{}", result.render());
+        std::fs::write("BENCH_PR9.json", result.to_json())
+            .map_err(|e| format!("failed to write BENCH_PR9.json: {e}"))?;
+        std::fs::write("trace_failslow.jsonl", result.jsonl())
+            .map_err(|e| format!("failed to write trace_failslow.jsonl: {e}"))?;
+        println!(
+            "wrote BENCH_PR9.json, trace_failslow.jsonl ({} events)",
+            result.events.len()
+        );
+        let failing = result.failing_gates();
+        if !failing.is_empty() {
+            return Err(format!("failslow gate(s) failed: {}", failing.join(", ")));
+        }
+        Ok(())
+    };
     let run_chaos = || -> Result<(), String> {
         let result = chaos::run(requests, seed);
         println!("{}", result.render());
@@ -114,7 +134,9 @@ fn main() -> ExitCode {
         if !failing.is_empty() {
             return Err(format!("chaos gate(s) failed: {}", failing.join(", ")));
         }
-        Ok(())
+        // The fail-slow suite rides the chaos gate: gray-fault storms are
+        // the robustness surface crashes and partitions leave uncovered.
+        run_failslow()
     };
     let run_shard = || -> Result<(), String> {
         let result = shard::run(requests, seed);
@@ -192,6 +214,12 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+        "failslow" => {
+            if let Err(msg) = run_failslow() {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+        }
         "chaos" => {
             if let Err(msg) = run_chaos() {
                 eprintln!("{msg}");
@@ -244,7 +272,7 @@ fn main() -> ExitCode {
         }
         other => {
             eprintln!(
-                "unknown experiment: {other} (expected fig3|fig4|fig6|fig7|fig8|fig9|ablation|fanout|trace|chaos|shard|explore|loopback|all)"
+                "unknown experiment: {other} (expected fig3|fig4|fig6|fig7|fig8|fig9|ablation|fanout|trace|chaos|failslow|shard|explore|loopback|all)"
             );
             return ExitCode::FAILURE;
         }

@@ -289,12 +289,12 @@ impl ChaosResult {
 }
 
 /// Sums a counter across the test-bed's manager registries.
-fn manager_counter(bed: &Testbed, ctr: vd_obs::Ctr) -> u64 {
+pub(crate) fn manager_counter(bed: &Testbed, ctr: vd_obs::Ctr) -> u64 {
     bed.manager_obs.iter().map(|o| o.metrics.counter(ctr)).sum()
 }
 
 /// All MTTR samples (µs) across the test-bed's managers.
-fn manager_mttrs(bed: &Testbed) -> Vec<u64> {
+pub(crate) fn manager_mttrs(bed: &Testbed) -> Vec<u64> {
     bed.managers
         .iter()
         .filter_map(|&pid| bed.world.actor_ref::<RecoveryManager>(pid))
@@ -303,7 +303,7 @@ fn manager_mttrs(bed: &Testbed) -> Vec<u64> {
 }
 
 /// Every replica pid the run ever had: originals plus manager spawns.
-fn all_replicas(bed: &Testbed) -> Vec<ProcessId> {
+pub(crate) fn all_replicas(bed: &Testbed) -> Vec<ProcessId> {
     let mut all = bed.replicas.clone();
     for &pid in &bed.managers {
         if let Some(m) = bed.world.actor_ref::<RecoveryManager>(pid) {
@@ -314,7 +314,7 @@ fn all_replicas(bed: &Testbed) -> Vec<ProcessId> {
 }
 
 /// The replication degree as seen by any live, joined replica.
-fn observed_degree(bed: &Testbed) -> usize {
+pub(crate) fn observed_degree(bed: &Testbed) -> usize {
     all_replicas(bed)
         .iter()
         .filter_map(|&pid| bed.world.actor_ref::<ReplicaActor>(pid))
@@ -325,7 +325,7 @@ fn observed_degree(bed: &Testbed) -> usize {
 }
 
 #[cfg(feature = "check-invariants")]
-fn check_invariants(bed: &Testbed) -> bool {
+pub(crate) fn check_invariants(bed: &Testbed) -> bool {
     match vd_core::invariants::SwitchInvariants::new(all_replicas(bed)).check(&bed.world) {
         Ok(()) => true,
         Err(msg) => {
@@ -336,7 +336,7 @@ fn check_invariants(bed: &Testbed) -> bool {
 }
 
 #[cfg(not(feature = "check-invariants"))]
-fn check_invariants(_bed: &Testbed) -> bool {
+pub(crate) fn check_invariants(_bed: &Testbed) -> bool {
     true
 }
 
@@ -374,6 +374,12 @@ fn run_campaign(style: ReplicationStyle, seed: u64, requests: u64) -> CampaignOu
         max_loss: 0.05,
         slowdown_factor: 4.0,
         mean_active: SimDuration::from_millis(250),
+        // The managers live on nodes 4 and 5 (after the client): keep
+        // node-scoped faults off them, and never slow/crash so many
+        // replicas at once that a `min_view` quorum becomes unreachable.
+        protected_nodes: vec![NodeId(4), NodeId(5)],
+        min_healthy: config.min_view,
+        ..StormConfig::default()
     });
     let plan =
         storm.merge(FaultPlan::new().crash_process(SimTime::from_millis(320), bed.replicas[2]));

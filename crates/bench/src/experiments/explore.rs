@@ -1,7 +1,7 @@
 //! Exploration gate: parallel bounded model checking of the recovery
 //! stack (`BENCH_PR6.json`). Requires `--features check-invariants`.
 //!
-//! Three sweeps over the real replication stack, sharing the world
+//! Four sweeps over the real replication stack, sharing the world
 //! factories and invariants of [`vd_core::harness`]:
 //!
 //! 1. **primary-crash** — the primary may crash at every explored point
@@ -13,6 +13,9 @@
 //!    explored point.
 //! 3. **cohosted-switches** — two concurrent Fig. 5 switches in
 //!    co-hosted groups, every interleaving of the two protocol runs.
+//! 4. **laggard-mid-switch** — a gray primary's agreed-order demotion
+//!    races a Fig. 5 style switch and client requests, and the laggard
+//!    may crash at every explored point of the handover.
 //!
 //! Every sweep runs on [`ExploreResult::workers`] worker threads with
 //! state-digest pruning on and must finish with **zero violations**,
@@ -35,8 +38,8 @@
 use std::time::Instant;
 
 use vd_core::harness::{
-    cohosted_invariant, cohosted_world, double_fault_world, recovery_invariant, recovery_world,
-    JOINER, PRIMARY, REPLICAS,
+    cohosted_invariant, cohosted_world, double_fault_world, laggard_invariant,
+    laggard_switch_world, recovery_invariant, recovery_world, JOINER, PRIMARY, REPLICAS,
 };
 use vd_simnet::explore::ExploreConfig;
 use vd_simnet::prelude::*;
@@ -278,7 +281,7 @@ where
     }
 }
 
-/// The full gate: three invariant sweeps on the worker fleet plus the
+/// The full gate: four invariant sweeps on the worker fleet plus the
 /// sequential-vs-parallel speedup measurement. `_requests` and `_seed`
 /// are accepted for CLI uniformity; the harness worlds fix their own
 /// seeds so recorded counterexamples replay bit-identically.
@@ -309,6 +312,12 @@ pub fn run(_requests: u64, _seed: u64) -> ExploreResult {
             cohosted_world,
             &gate_config(Vec::new(), 0, workers),
             cohosted_invariant,
+        ),
+        sweep(
+            "laggard-mid-switch",
+            laggard_switch_world,
+            &gate_config(vec![PRIMARY], 1, workers),
+            laggard_invariant,
         ),
     ];
 
@@ -384,6 +393,6 @@ mod tests {
         let json = result.to_json();
         assert!(json.contains("\"experiment\":\"explore\""));
         assert!(json.contains("\"violations\":0"));
-        assert_eq!(json.matches("\"name\":").count(), 3);
+        assert_eq!(json.matches("\"name\":").count(), 4);
     }
 }

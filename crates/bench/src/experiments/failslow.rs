@@ -1,0 +1,625 @@
+//! Fail-slow chaos gate (`experiments -- chaos`, `BENCH_PR9.json`).
+//!
+//! Gray-fault storm campaigns over the managed test-bed: mixed crash +
+//! per-link loss + delay-jitter + clock-skew + CPU-slowdown faults
+//! ([`StormConfig`]'s gray surface), with two replicas designated
+//! *gray-only* — they are slowed, jittered, and skewed but never crashed
+//! or partitioned away, so any eviction of them is by definition a
+//! false positive. The replicas run the adaptive three-state detector
+//! plus the [`SlowFailurePolicy`](vd_core::policy::SlowFailurePolicy),
+//! so laggards are remediated by demotion / patience-gated graceful
+//! eviction rather than by a failure-detector timeout.
+//!
+//! A separate gated scenario pins the detector comparison the gray-failure
+//! literature demands: the *same* sub-second stall pattern (jitter warm-up,
+//! then ~90 ms stalls above the 50 ms fixed timeout) is run once under the
+//! adaptive detector — which classifies the node Laggard, holds the
+//! suspicion, and lets the policy demote it — and once under a
+//! fixed-timeout detector (`max_stretch = 1`), which evicts the live node.
+
+use std::sync::Arc;
+
+use vd_core::replica::ReplicaActor;
+use vd_core::style::ReplicationStyle;
+use vd_group::detector::DetectorConfig;
+use vd_obs::export::export_jsonl;
+use vd_obs::{Ctr, Event, TraceSink};
+use vd_simnet::chaos::{FaultPlan, StormConfig};
+use vd_simnet::prelude::*;
+
+use crate::experiments::chaos::{
+    check_invariants, manager_counter, manager_mttrs, observed_degree, CAMPAIGN_SEEDS,
+};
+use crate::report::Table;
+use crate::testbed::{build_replicated, Testbed, TestbedConfig};
+
+/// Ring capacity for the traced campaign (a few virtual seconds emit on
+/// the order of 10^4–10^5 events).
+const TRACE_CAPACITY: usize = 1 << 18;
+
+/// Outcome of one fail-slow storm campaign.
+#[derive(Debug, Clone)]
+pub struct FailSlowCampaign {
+    /// Storm seed.
+    pub seed: u64,
+    /// Requests the closed-loop client was asked to complete / completed.
+    pub expected: u64,
+    /// Requests actually completed.
+    pub completed: u64,
+    /// Final / target replication degree.
+    pub final_degree: usize,
+    /// Target degree (the `num_replicas` knob).
+    pub target_degree: usize,
+    /// Recovery episodes closed across managers (the crashed replica).
+    pub restored: u64,
+    /// Recovery episodes abandoned across managers.
+    pub abandoned: u64,
+    /// Exact MTTR samples (µs) from the managers' episode logs.
+    pub mttr_us: Vec<u64>,
+    /// Virtual horizon of the run, µs.
+    pub horizon_us: u64,
+    /// Alive→Laggard transitions observed across the replicas.
+    pub laggard_transitions: u64,
+    /// Suspicions the adaptive detector *held* (stretched past the fixed
+    /// timeout without declaring dead).
+    pub suspicions_held: u64,
+    /// Replicated demotions applied (laggard primaries handled cheaply).
+    pub demotions: u64,
+    /// Gray-only replicas (never crashed, only slowed) that ended the run
+    /// evicted or dead — the false-positive count the gate pins to zero.
+    pub false_dead_evictions: usize,
+    /// Whether the switch invariants held.
+    pub invariants_ok: bool,
+}
+
+impl FailSlowCampaign {
+    /// Fraction of the horizon spent at full replication degree.
+    pub fn availability(&self) -> f64 {
+        let downtime: u64 = self.mttr_us.iter().sum();
+        1.0 - downtime as f64 / self.horizon_us.max(1) as f64
+    }
+}
+
+/// The adaptive-vs-fixed detector comparison on an identical stall script.
+#[derive(Debug, Clone)]
+pub struct LaggardScenario {
+    /// Requests expected per run.
+    pub expected: u64,
+    /// Requests the adaptive run completed.
+    pub adaptive_completed: u64,
+    /// Members left in the adaptive run's final view (3 = nobody evicted).
+    pub adaptive_members: usize,
+    /// Laggard transitions the adaptive detector recorded.
+    pub adaptive_laggards: u64,
+    /// Suspicions the adaptive run raised (must be 0 — the node was alive).
+    pub adaptive_suspicions: u64,
+    /// Demotions the adaptive run applied (the cheap remediation).
+    pub adaptive_demotions: u64,
+    /// Members left in the fixed-timeout run's final view (< 3 = a live
+    /// node was evicted).
+    pub fixed_members: usize,
+    /// Suspicions the fixed-timeout detector raised against the live node.
+    pub fixed_suspicions: u64,
+}
+
+impl LaggardScenario {
+    /// The acceptance predicate: the adaptive detector rides out exactly
+    /// the stall pattern that makes a fixed-timeout detector evict a live
+    /// replica.
+    pub fn adaptive_wins(&self) -> bool {
+        self.adaptive_members == 3
+            && self.adaptive_suspicions == 0
+            && self.adaptive_laggards >= 1
+            && self.adaptive_demotions >= 1
+            && self.adaptive_completed == self.expected
+            && self.fixed_suspicions >= 1
+            && self.fixed_members < 3
+    }
+}
+
+/// Everything the fail-slow gate measures.
+#[derive(Debug, Clone)]
+pub struct FailSlowResult {
+    /// One storm campaign per seed.
+    pub campaigns: Vec<FailSlowCampaign>,
+    /// The adaptive-vs-fixed stall scenario.
+    pub scenario: LaggardScenario,
+    /// Structured event trace of the first campaign (chronological).
+    pub events: Vec<Event>,
+}
+
+impl FailSlowResult {
+    /// Worst-case availability across campaigns.
+    pub fn min_availability(&self) -> f64 {
+        self.campaigns
+            .iter()
+            .map(|c| c.availability())
+            .fold(1.0, f64::min)
+    }
+
+    /// Laggard transitions summed across campaigns.
+    pub fn total_laggards(&self) -> u64 {
+        self.campaigns.iter().map(|c| c.laggard_transitions).sum()
+    }
+
+    /// The first campaign's trace as JSON Lines (one event per line).
+    pub fn jsonl(&self) -> String {
+        export_jsonl(&self.events)
+    }
+
+    /// The named acceptance gates CI enforces.
+    pub fn gates(&self) -> Vec<(&'static str, bool)> {
+        vec![
+            (
+                "failslow_workload_completed",
+                self.campaigns.iter().all(|c| c.completed == c.expected),
+            ),
+            (
+                "failslow_degree_restored",
+                self.campaigns
+                    .iter()
+                    .all(|c| c.final_degree == c.target_degree),
+            ),
+            (
+                "failslow_availability_ge_90pct",
+                self.min_availability() >= 0.90,
+            ),
+            (
+                "failslow_zero_false_dead_evictions",
+                self.campaigns.iter().all(|c| c.false_dead_evictions == 0),
+            ),
+            ("failslow_laggards_detected", self.total_laggards() >= 1),
+            (
+                "failslow_invariants_hold",
+                self.campaigns.iter().all(|c| c.invariants_ok),
+            ),
+            (
+                "failslow_adaptive_beats_fixed_timeout",
+                self.scenario.adaptive_wins(),
+            ),
+            (
+                "failslow_trace_records_laggards",
+                self.events.is_empty()
+                    || self
+                        .events
+                        .iter()
+                        .any(|e| e.kind.name() == "laggard_detected"),
+            ),
+        ]
+    }
+
+    /// Names of the gates that do not hold (empty = pass).
+    pub fn failing_gates(&self) -> Vec<&'static str> {
+        self.gates()
+            .into_iter()
+            .filter_map(|(name, ok)| (!ok).then_some(name))
+            .collect()
+    }
+
+    /// `true` when every gate holds.
+    pub fn passes_gate(&self) -> bool {
+        self.failing_gates().is_empty()
+    }
+
+    /// Renders the campaign matrix plus the detector-comparison summary.
+    pub fn render(&self) -> String {
+        let mut table = Table::new(
+            "fail-slow — gray-fault storms + adaptive slow-vs-dead detection",
+            &[
+                "seed",
+                "done",
+                "degree",
+                "laggards",
+                "held",
+                "demoted",
+                "false-dead",
+                "avail",
+            ],
+        );
+        for c in &self.campaigns {
+            table.row(&[
+                format!("{}", c.seed),
+                format!("{}/{}", c.completed, c.expected),
+                format!("{}/{}", c.final_degree, c.target_degree),
+                format!("{}", c.laggard_transitions),
+                format!("{}", c.suspicions_held),
+                format!("{}", c.demotions),
+                format!("{}", c.false_dead_evictions),
+                format!("{:.4}", c.availability()),
+            ]);
+        }
+        let mut out = table.render();
+        let s = &self.scenario;
+        let gate = if self.passes_gate() {
+            "PASS".to_owned()
+        } else {
+            format!("FAIL ({})", self.failing_gates().join(", "))
+        };
+        out.push_str(&format!(
+            "\nadaptive vs fixed timeout on the same ~90 ms stalls (base timeout 50 ms):\n\
+             adaptive: {}/3 members, {} laggard transitions, {} suspicions, {} demotions, {}/{} requests\n\
+             fixed:    {}/3 members, {} suspicions — the live node it evicted survives under the adaptive detector\n\
+             availability floor {:.4}; gate: {gate}\n",
+            s.adaptive_members,
+            s.adaptive_laggards,
+            s.adaptive_suspicions,
+            s.adaptive_demotions,
+            s.adaptive_completed,
+            s.expected,
+            s.fixed_members,
+            s.fixed_suspicions,
+            self.min_availability(),
+        ));
+        out
+    }
+
+    /// The machine-readable summary CI archives as `BENCH_PR9.json`.
+    pub fn to_json(&self) -> String {
+        let mut campaigns = String::new();
+        for c in &self.campaigns {
+            if !campaigns.is_empty() {
+                campaigns.push_str(",\n");
+            }
+            campaigns.push_str(&format!(
+                "    {{ \"seed\": {}, \"completed\": {}, \"expected\": {}, \"final_degree\": {}, \"restored\": {}, \"abandoned\": {}, \"laggard_transitions\": {}, \"suspicions_held\": {}, \"demotions\": {}, \"false_dead_evictions\": {}, \"availability\": {:.6} }}",
+                c.seed, c.completed, c.expected, c.final_degree, c.restored, c.abandoned,
+                c.laggard_transitions, c.suspicions_held, c.demotions, c.false_dead_evictions,
+                c.availability()
+            ));
+        }
+        let mut gates = String::new();
+        for (name, ok) in self.gates() {
+            if !gates.is_empty() {
+                gates.push_str(",\n");
+            }
+            gates.push_str(&format!("    \"{name}\": {ok}"));
+        }
+        let s = &self.scenario;
+        format!(
+            "{{\n  \"campaigns\": [\n{}\n  ],\n  \"availability_floor\": {:.6},\n  \"laggard_transitions\": {},\n  \"laggard_vs_fixed\": {{ \"adaptive_members\": {}, \"adaptive_suspicions\": {}, \"adaptive_laggards\": {}, \"adaptive_demotions\": {}, \"fixed_members\": {}, \"fixed_suspicions\": {}, \"adaptive_wins\": {} }},\n  \"gates\": {{\n{}\n  }},\n  \"gate_passed\": {}\n}}\n",
+            campaigns,
+            self.min_availability(),
+            self.total_laggards(),
+            s.adaptive_members,
+            s.adaptive_suspicions,
+            s.adaptive_laggards,
+            s.adaptive_demotions,
+            s.fixed_members,
+            s.fixed_suspicions,
+            s.adaptive_wins(),
+            gates,
+            self.passes_gate()
+        )
+    }
+}
+
+/// Sums a counter across the bed's replica registries.
+fn replica_counter(bed: &Testbed, ctr: Ctr) -> u64 {
+    bed.obs.iter().map(|o| o.metrics.counter(ctr)).sum()
+}
+
+/// Gray-only replicas that are no longer live members: each is a
+/// false-positive eviction, because those nodes were only ever slowed.
+fn false_dead(bed: &Testbed, gray_only: &[ProcessId]) -> usize {
+    gray_only
+        .iter()
+        .filter(|&&pid| {
+            !bed.world
+                .actor_ref::<ReplicaActor>(pid)
+                .is_some_and(|r| r.endpoint().is_member())
+        })
+        .count()
+}
+
+/// One fail-slow campaign: a seeded mixed storm where replicas 0 and 1
+/// receive only gray faults (link loss/delay/jitter, clock skew) while
+/// replica 2 takes the crash and CPU-slowdown faults, plus a guaranteed
+/// crash (so recovery runs) and a guaranteed delay-jitter burst (so the
+/// laggard path runs even when the storm dice favor other faults).
+fn run_campaign(seed: u64, requests: u64, trace: Option<Arc<TraceSink>>) -> FailSlowCampaign {
+    let mut det = DetectorConfig::new(SimDuration::from_millis(50));
+    det.laggard_z = 1.5;
+    let config = TestbedConfig {
+        replicas: 3,
+        clients: 1,
+        style: ReplicationStyle::WarmPassive,
+        requests_per_client: requests,
+        min_view: 2,
+        managers: 2,
+        spare_nodes: 3,
+        seed,
+        slow_failure: Some((2, 10_000)),
+        detector: Some(det),
+        trace,
+        ..TestbedConfig::default()
+    };
+    let mut bed = build_replicated(&config);
+    let gray_only = [bed.replicas[0], bed.replicas[1]];
+    let [n0, n1, n2] = [NodeId(0), NodeId(1), NodeId(2)];
+    let manager_nodes = vec![NodeId(4), NodeId(5)];
+    let storm = FaultPlan::storm(&StormConfig {
+        seed,
+        start: SimTime::from_millis(200),
+        end: SimTime::from_millis(2_500),
+        min_gap: SimDuration::from_millis(300),
+        max_concurrent: 2,
+        // Only replica 2 is crash/slowdown-eligible; nodes 0 and 1 are the
+        // gray-only witnesses whose eviction would be a false positive.
+        crash_nodes: vec![n2],
+        partition_pairs: vec![(n0, n2), (n1, n2)],
+        max_loss: 0.02,
+        slowdown_factor: 3.0,
+        mean_active: SimDuration::from_millis(250),
+        gray_pairs: vec![(n0, n1), (n0, n2), (n1, n0), (n1, n2)],
+        max_link_loss: 0.25,
+        link_delay_base: SimDuration::from_millis(5),
+        link_delay_jitter: SimDuration::from_millis(25),
+        skew_nodes: vec![n0, n1],
+        max_clock_skew: SimDuration::from_millis(15),
+        protected_nodes: manager_nodes,
+        min_healthy: 2,
+    });
+    // Deterministic companions: one replica crash at 320 ms (recovery +
+    // MTTR always exercised) and one jitter burst on the primary's
+    // outbound links (laggard detection always exercised; gaps stay below
+    // the stretched dead threshold).
+    let plan = storm
+        .merge(FaultPlan::new().crash_process(SimTime::from_millis(320), bed.replicas[2]))
+        .merge(
+            FaultPlan::new()
+                .link_delay_oneway(
+                    SimTime::from_millis(700),
+                    n0,
+                    n1,
+                    SimDuration::from_millis(8),
+                    SimDuration::from_millis(35),
+                )
+                .link_delay_oneway(
+                    SimTime::from_millis(700),
+                    n0,
+                    n2,
+                    SimDuration::from_millis(8),
+                    SimDuration::from_millis(35),
+                )
+                .link_delay_oneway(
+                    SimTime::from_millis(1_600),
+                    n0,
+                    n1,
+                    SimDuration::ZERO,
+                    SimDuration::ZERO,
+                )
+                .link_delay_oneway(
+                    SimTime::from_millis(1_600),
+                    n0,
+                    n2,
+                    SimDuration::ZERO,
+                    SimDuration::ZERO,
+                ),
+        );
+    plan.schedule(&mut bed.world);
+
+    let expected = requests * config.clients as u64;
+    let deadline = bed.world.now() + SimDuration::from_secs(120);
+    while bed.total_completed() < expected && bed.world.now() < deadline {
+        bed.world.run_for(SimDuration::from_millis(50));
+    }
+    let settle = bed.world.now() + SimDuration::from_secs(10);
+    while observed_degree(&bed) < config.replicas && bed.world.now() < settle {
+        bed.world.run_for(SimDuration::from_millis(50));
+    }
+
+    FailSlowCampaign {
+        seed,
+        expected,
+        completed: bed.total_completed(),
+        final_degree: observed_degree(&bed),
+        target_degree: config.replicas,
+        restored: manager_counter(&bed, Ctr::RecoveryRestored),
+        abandoned: manager_counter(&bed, Ctr::RecoveryAbandoned),
+        mttr_us: manager_mttrs(&bed),
+        horizon_us: bed.world.now().as_micros(),
+        laggard_transitions: replica_counter(&bed, Ctr::GroupLaggards),
+        suspicions_held: replica_counter(&bed, Ctr::GroupSuspicionsHeld),
+        demotions: replica_counter(&bed, Ctr::RepDemotions),
+        false_dead_evictions: false_dead(&bed, &gray_only),
+        invariants_ok: check_invariants(&bed),
+    }
+}
+
+/// The shared stall script of the detector comparison: a jitter *ramp* on
+/// the primary's outbound links (15 → 30 → 40 ms bounds, so the adaptive
+/// window learns the degraded distribution gradually and its dead
+/// threshold stretches ahead of the worst observed gap), then five ~90 ms
+/// stalls — silences decisively above the 50 ms fixed timeout yet below
+/// the stretched adaptive dead threshold.
+fn stall_script() -> FaultPlan {
+    let [n0, n1, n2] = [NodeId(0), NodeId(1), NodeId(2)];
+    let mut plan = FaultPlan::new();
+    for (at_ms, jitter_ms) in [(500u64, 15u64), (700, 30), (900, 40)] {
+        for peer in [n1, n2] {
+            plan = plan.link_delay_oneway(
+                SimTime::from_millis(at_ms),
+                n0,
+                peer,
+                SimDuration::from_millis(5),
+                SimDuration::from_millis(jitter_ms),
+            );
+        }
+    }
+    for step in 0..5u64 {
+        let up = SimTime::from_millis(1_100 + step * 100);
+        let down = SimTime::from_millis(1_160 + step * 100);
+        for peer in [n1, n2] {
+            plan = plan
+                .link_delay_oneway(
+                    up,
+                    n0,
+                    peer,
+                    SimDuration::from_millis(90),
+                    SimDuration::ZERO,
+                )
+                .link_delay_oneway(
+                    down,
+                    n0,
+                    peer,
+                    SimDuration::from_millis(5),
+                    SimDuration::from_millis(40),
+                );
+        }
+    }
+    for peer in [n1, n2] {
+        plan = plan.link_delay_oneway(
+            SimTime::from_millis(1_900),
+            n0,
+            peer,
+            SimDuration::ZERO,
+            SimDuration::ZERO,
+        );
+    }
+    plan
+}
+
+/// Runs the stall script against a 3-replica bed with the given detector
+/// tuning; returns `(bed, completed)` after the workload drains.
+fn run_stalled(detector: DetectorConfig, requests: u64, seed: u64) -> (Testbed, u64) {
+    let config = TestbedConfig {
+        replicas: 3,
+        clients: 1,
+        style: ReplicationStyle::WarmPassive,
+        requests_per_client: requests,
+        seed,
+        slow_failure: Some((1, 10_000)),
+        detector: Some(detector),
+        ..TestbedConfig::default()
+    };
+    let mut bed = build_replicated(&config);
+    stall_script().schedule(&mut bed.world);
+    let deadline = bed.world.now() + SimDuration::from_secs(60);
+    while bed.total_completed() < requests && bed.world.now() < deadline {
+        bed.world.run_for(SimDuration::from_millis(50));
+    }
+    bed.world.run_for(SimDuration::from_millis(500));
+    let completed = bed.total_completed();
+    (bed, completed)
+}
+
+/// Largest membership any live replica still reports.
+fn surviving_members(bed: &Testbed) -> usize {
+    bed.replicas
+        .iter()
+        .filter_map(|&pid| bed.world.actor_ref::<ReplicaActor>(pid))
+        .filter(|r| r.endpoint().is_member())
+        .map(|r| r.endpoint().view().members().len())
+        .max()
+        .unwrap_or(0)
+}
+
+/// The gated adaptive-vs-fixed comparison (identical fault script, two
+/// detector tunings).
+fn run_scenario(requests: u64, seed: u64) -> LaggardScenario {
+    let adaptive = DetectorConfig::new(SimDuration::from_millis(50));
+    // A fixed-timeout detector in this framework's terms: the dead
+    // threshold never stretches past the base timeout and nothing is ever
+    // merely "laggard".
+    let mut fixed = DetectorConfig::new(SimDuration::from_millis(50));
+    fixed.max_stretch = 1.0;
+    fixed.laggard_z = f64::INFINITY;
+
+    let (adaptive_bed, adaptive_completed) = run_stalled(adaptive, requests, seed);
+    let (fixed_bed, _) = run_stalled(fixed, requests, seed);
+    LaggardScenario {
+        expected: requests,
+        adaptive_completed,
+        adaptive_members: surviving_members(&adaptive_bed),
+        adaptive_laggards: replica_counter(&adaptive_bed, Ctr::GroupLaggards),
+        adaptive_suspicions: replica_counter(&adaptive_bed, Ctr::GroupSuspicions),
+        adaptive_demotions: replica_counter(&adaptive_bed, Ctr::RepDemotions),
+        fixed_members: surviving_members(&fixed_bed),
+        fixed_suspicions: replica_counter(&fixed_bed, Ctr::GroupSuspicions),
+    }
+}
+
+/// Runs the fail-slow suite: [`CAMPAIGN_SEEDS`] storm campaigns (the first
+/// one traced) plus the adaptive-vs-fixed stall scenario.
+pub fn run(requests: u64, seed: u64) -> FailSlowResult {
+    let requests = requests.clamp(100, 500);
+    let sink = Arc::new(TraceSink::with_capacity(TRACE_CAPACITY));
+    let mut campaigns = Vec::new();
+    for (i, campaign_seed) in CAMPAIGN_SEEDS.iter().enumerate() {
+        let trace = (i == 0).then(|| Arc::clone(&sink));
+        campaigns.push(run_campaign(campaign_seed ^ seed, requests, trace));
+    }
+    let scenario = run_scenario(requests, seed);
+    FailSlowResult {
+        campaigns,
+        scenario,
+        events: sink.snapshot(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adaptive_detector_rides_out_stalls_that_fixed_timeout_evicts_on() {
+        let scenario = run_scenario(150, 42);
+        assert!(scenario.adaptive_wins(), "{scenario:?}");
+    }
+
+    #[test]
+    fn one_failslow_campaign_stays_available_without_false_evictions() {
+        let outcome = run_campaign(11, 150, None);
+        assert_eq!(outcome.completed, outcome.expected, "{outcome:?}");
+        assert_eq!(outcome.final_degree, outcome.target_degree, "{outcome:?}");
+        assert_eq!(outcome.false_dead_evictions, 0, "{outcome:?}");
+        assert!(outcome.laggard_transitions >= 1, "{outcome:?}");
+        assert!(outcome.availability() > 0.5, "{outcome:?}");
+        assert!(outcome.invariants_ok);
+    }
+
+    #[test]
+    fn json_summary_carries_the_gate_fields() {
+        let result = FailSlowResult {
+            campaigns: vec![FailSlowCampaign {
+                seed: 11,
+                expected: 100,
+                completed: 100,
+                final_degree: 3,
+                target_degree: 3,
+                restored: 1,
+                abandoned: 0,
+                mttr_us: vec![200_000],
+                horizon_us: 20_000_000,
+                laggard_transitions: 4,
+                suspicions_held: 2,
+                demotions: 1,
+                false_dead_evictions: 0,
+                invariants_ok: true,
+            }],
+            scenario: LaggardScenario {
+                expected: 100,
+                adaptive_completed: 100,
+                adaptive_members: 3,
+                adaptive_laggards: 5,
+                adaptive_suspicions: 0,
+                adaptive_demotions: 1,
+                fixed_members: 2,
+                fixed_suspicions: 1,
+            },
+            events: Vec::new(),
+        };
+        assert!(result.passes_gate(), "{:?}", result.failing_gates());
+        let json = result.to_json();
+        for key in [
+            "campaigns",
+            "availability_floor",
+            "laggard_vs_fixed",
+            "failslow_zero_false_dead_evictions",
+            "failslow_adaptive_beats_fixed_timeout",
+            "gate_passed",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

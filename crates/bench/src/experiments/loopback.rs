@@ -18,6 +18,17 @@
 //!   in [`WALL_BUDGET_SECS`]; a wedged fail-over hangs forever, so the
 //!   budget is the liveness assertion.
 //!
+//! After the crash phase settles, a **gray phase** runs the same zero
+//! lost / zero duplicated contract against a *fail-slow* fault: the
+//! current gateway's node gets a [`GRAY_DELAY_MS`] socket-level egress
+//! delay ([`vd_node::node::NodeHandle::set_egress_delay`]) — alive,
+//! talking, late — for [`GRAY_REQUESTS`] invocations. The delay sits far
+//! below the group's failure timeout, so the phase additionally requires
+//! **zero suspicions**: a merely-slow node that gets suspected (and
+//! evicted, and its actor's state thrown away) is the false-dead failure
+//! mode the adaptive detector exists to prevent, observed here on real
+//! sockets rather than simulated links.
+//!
 //! For scale, the same request count also runs on the simulator backend
 //! (`Testbed`, identical style and replica count) and the JSON reports
 //! both rates. The two are *not* comparable as absolute performance —
@@ -45,6 +56,11 @@ pub const WALL_BUDGET_SECS: f64 = 60.0;
 pub const REQUESTS: u64 = 60;
 /// The primary is killed after this many accepted requests.
 pub const KILL_AFTER: u64 = 20;
+/// Requests driven through the slowed gateway in the gray phase.
+pub const GRAY_REQUESTS: u64 = 25;
+/// Egress delay armed on the gateway's node during the gray phase —
+/// far below the 300 ms group failure timeout, squarely in the gray zone.
+pub const GRAY_DELAY_MS: u64 = 40;
 
 const CLIENT_PID: u64 = 100;
 const GROUP: u32 = 1;
@@ -65,6 +81,13 @@ pub struct LoopbackResult {
     pub duplicate_replies: u64,
     /// Supervisor restarts across the cluster (must be ≥ 1).
     pub supervisor_restarts: u64,
+    /// Requests driven through the slowed gateway in the gray phase.
+    pub gray_requests: u64,
+    /// Gray-phase requests that completed with an accepted reply.
+    pub gray_accepted: u64,
+    /// Failure-detector suspicions raised anywhere in the cluster while
+    /// the egress delay was armed (must be 0: slow is not dead).
+    pub gray_suspicions: u64,
     /// Datagrams sent by all nodes.
     pub frames_sent: u64,
     /// Wall-clock seconds for the UDP phase.
@@ -87,14 +110,28 @@ impl LoopbackResult {
                 self.requests
             ));
         }
-        if self.final_counter != self.requests {
+        if self.gray_accepted < self.gray_requests {
+            failing.push(format!(
+                "loopback-gray-lost ({} of {} gray replies missing)",
+                self.gray_requests - self.gray_accepted,
+                self.gray_requests
+            ));
+        }
+        if self.final_counter != self.requests + self.gray_requests {
             failing.push(format!(
                 "loopback-duplicated (counter {} != {} accepted)",
-                self.final_counter, self.requests
+                self.final_counter,
+                self.requests + self.gray_requests
             ));
         }
         if self.supervisor_restarts < 1 {
             failing.push("loopback-restart (no supervisor restart observed)".into());
+        }
+        if self.gray_suspicions > 0 {
+            failing.push(format!(
+                "loopback-gray-suspected ({} suspicions of a merely-slow node)",
+                self.gray_suspicions
+            ));
         }
         if self.elapsed_secs > WALL_BUDGET_SECS {
             failing.push(format!(
@@ -108,9 +145,10 @@ impl LoopbackResult {
     /// Human-readable summary.
     pub fn render(&self) -> String {
         format!(
-            "## Loopback — 3 real nodes over UDP, primary killed mid-run\n\
+            "## Loopback — 3 real nodes over UDP, primary killed mid-run, then a gray gateway\n\
              requests  | accepted | counter | failovers | restarts | elapsed (s) | UDP req/s | sim req/s\n\
              {:>9} | {:>8} | {:>7} | {:>9} | {:>8} | {:>11.2} | {:>9.0} | {:>9.0}\n\
+             gray phase ({GRAY_DELAY_MS} ms egress delay): {}/{} accepted, {} suspicions\n\
              zero lost: {} — zero duplicated: {} — {}\n",
             self.requests,
             self.accepted,
@@ -120,8 +158,11 @@ impl LoopbackResult {
             self.elapsed_secs,
             self.udp_rps,
             self.sim_rps,
-            self.accepted == self.requests,
-            self.final_counter == self.requests,
+            self.gray_accepted,
+            self.gray_requests,
+            self.gray_suspicions,
+            self.accepted == self.requests && self.gray_accepted == self.gray_requests,
+            self.final_counter == self.requests + self.gray_requests,
             if self.failing_gates().is_empty() {
                 "PASS"
             } else {
@@ -142,6 +183,8 @@ impl LoopbackResult {
             "{{\"experiment\":\"loopback\",\"requests\":{},\"accepted\":{},\
              \"final_counter\":{},\"failovers\":{},\"duplicate_replies\":{},\
              \"supervisor_restarts\":{},\"frames_sent\":{},\
+             \"gray_requests\":{},\"gray_accepted\":{},\"gray_suspicions\":{},\
+             \"gray_delay_ms\":{GRAY_DELAY_MS},\
              \"elapsed_secs\":{:.3},\"udp_rps\":{:.1},\"sim_rps\":{:.1},\
              \"wall_budget_secs\":{WALL_BUDGET_SECS},\
              \"failing_gates\":[{}],\"pass\":{}}}\n",
@@ -152,6 +195,9 @@ impl LoopbackResult {
             self.duplicate_replies,
             self.supervisor_restarts,
             self.frames_sent,
+            self.gray_requests,
+            self.gray_accepted,
+            self.gray_suspicions,
             self.elapsed_secs,
             self.udp_rps,
             self.sim_rps,
@@ -278,6 +324,41 @@ pub fn run(_requests: u64, seed: u64) -> LoopbackResult {
             accepted += 1;
         }
     }
+
+    // Gray phase: let the killed incarnation's restart and re-join
+    // settle, then slow the current gateway's node — alive, talking,
+    // 40 ms late on every datagram — and run the same contract through
+    // it. The delay is far below the 300 ms failure timeout, so any
+    // suspicion raised while it is armed is a false-dead verdict.
+    std::thread::sleep(Duration::from_millis(1_000));
+    let suspicions = |nodes: &[NodeHandle]| -> u64 {
+        nodes
+            .iter()
+            .map(|n| n.obs().metrics.counter(Ctr::GroupSuspicions))
+            .sum()
+    };
+    let suspicions_before = suspicions(&nodes);
+    let gray_gateway = client.current_gateway();
+    let gray_node = &nodes[(gray_gateway.0 - 1) as usize];
+    gray_node.set_egress_delay(Duration::from_millis(GRAY_DELAY_MS));
+    let mut gray_accepted = 0u64;
+    for _ in 0..GRAY_REQUESTS {
+        if client
+            .invoke(
+                "counter",
+                "increment",
+                Bytes::new(),
+                reply_timeout,
+                attempts_per_gateway,
+            )
+            .is_ok()
+        {
+            gray_accepted += 1;
+        }
+    }
+    gray_node.set_egress_delay(Duration::ZERO);
+    let gray_suspicions = suspicions(&nodes).saturating_sub(suspicions_before);
+
     let final_counter = client
         .invoke(
             "counter",
@@ -310,9 +391,12 @@ pub fn run(_requests: u64, seed: u64) -> LoopbackResult {
         duplicate_replies: client.stats.duplicate_replies,
         supervisor_restarts,
         frames_sent,
+        gray_requests: GRAY_REQUESTS,
+        gray_accepted,
+        gray_suspicions,
         elapsed_secs,
         udp_rps: if elapsed_secs > 0.0 {
-            accepted as f64 / elapsed_secs
+            (accepted + gray_accepted) as f64 / elapsed_secs
         } else {
             0.0
         },
@@ -329,17 +413,21 @@ mod tests {
         let result = LoopbackResult {
             requests: 60,
             accepted: 60,
-            final_counter: 60,
+            final_counter: 85,
             failovers: 2,
             duplicate_replies: 1,
             supervisor_restarts: 1,
             frames_sent: 1000,
+            gray_requests: 25,
+            gray_accepted: 25,
+            gray_suspicions: 0,
             elapsed_secs: 3.5,
             udp_rps: 17.1,
             sim_rps: 900.0,
         };
         let json = result.to_json();
         assert!(json.contains("\"experiment\":\"loopback\""));
+        assert!(json.contains("\"gray_suspicions\":0"));
         assert!(json.contains("\"pass\":true"));
         assert!(result.failing_gates().is_empty());
     }
@@ -354,15 +442,20 @@ mod tests {
             duplicate_replies: 0,
             supervisor_restarts: 0,
             frames_sent: 0,
+            gray_requests: 25,
+            gray_accepted: 24,
+            gray_suspicions: 2,
             elapsed_secs: 90.0,
             udp_rps: 0.0,
             sim_rps: 0.0,
         };
         let failing = result.failing_gates();
-        assert_eq!(failing.len(), 4, "{failing:?}");
+        assert_eq!(failing.len(), 6, "{failing:?}");
         result.accepted = 60;
-        result.final_counter = 60;
+        result.final_counter = 85;
         result.supervisor_restarts = 1;
+        result.gray_accepted = 25;
+        result.gray_suspicions = 0;
         result.elapsed_secs = 3.0;
         assert!(result.failing_gates().is_empty());
     }

@@ -12,6 +12,7 @@
 //! | [`fanout`] | data-plane gate — zero-copy fan-out, batching, delta checkpoints, trace overhead (`BENCH_PR2.json`, `BENCH_PR3.json`) |
 //! | [`trace`] | observability gate — structured event export of the Fig. 6 switch run (`trace_switch.jsonl`) |
 //! | [`chaos`] | robustness gate — fault storms + automated recovery manager, MTTR/availability (`BENCH_PR4.json`) |
+//! | [`failslow`] | gray-failure gate — fail-slow storms, adaptive slow-vs-dead detection, zero false evictions (`BENCH_PR9.json`, `trace_failslow.jsonl`) |
 //! | [`shard`] | scalability gate — multi-group hosting, aggregate throughput over 1/2/4 groups + concurrent switches (`BENCH_PR5.json`) |
 //! | `explore` | verification gate — parallel bounded model checking of the recovery stack (`BENCH_PR6.json`; needs `--features check-invariants`) |
 //! | [`loopback`] | deployment gate — 3 real nodes over 127.0.0.1 UDP, primary killed mid-run, zero lost/duplicated replies within a wall-clock budget (`BENCH_PR8.json`) |
@@ -23,6 +24,7 @@ pub mod ablation;
 pub mod chaos;
 #[cfg(feature = "check-invariants")]
 pub mod explore;
+pub mod failslow;
 pub mod fanout;
 pub mod fig3;
 pub mod fig4;

@@ -5,9 +5,11 @@ use std::sync::Arc;
 
 use vd_core::client::{ReplicatedClientActor, ReplicatedClientConfig};
 use vd_core::knobs::LowLevelKnobs;
+use vd_core::policy::SlowFailurePolicy;
 use vd_core::recovery::{RecoveryConfig, RecoveryManager};
 use vd_core::replica::{ReplicaActor, ReplicaConfig};
 use vd_core::style::ReplicationStyle;
+use vd_group::detector::DetectorConfig;
 use vd_group::message::GroupId;
 use vd_obs::{Obs, ObsHandle, TraceSink};
 use vd_orb::interceptor::Passthrough;
@@ -99,6 +101,16 @@ pub struct TestbedConfig {
     pub spare_nodes: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Attach a [`vd_core::policy::SlowFailurePolicy`] with these
+    /// `(demote_patience, evict_patience)` budgets to every replica, so
+    /// the bed remediates laggards through demotion/graceful eviction
+    /// instead of waiting for the failure detector.
+    pub slow_failure: Option<(u32, u32)>,
+    /// Override the adaptive failure-detector tuning on every replica
+    /// (`None` keeps the stock [`DetectorConfig`] anchored on
+    /// [`TestbedConfig::failure_timeout`]). Manager-spawned replacements
+    /// keep the stock tuning either way.
+    pub detector: Option<DetectorConfig>,
     /// Shared trace sink: when set, every replica and the simulated world
     /// get an observability handle writing into this one ring, so the run
     /// produces a single chronological event trace. `None` = tracing off
@@ -125,6 +137,8 @@ impl Default for TestbedConfig {
             managers: 0,
             spare_nodes: 0,
             seed: 42,
+            slow_failure: None,
+            detector: None,
             trace: None,
         }
     }
@@ -242,15 +256,19 @@ pub fn build_replicated(config: &TestbedConfig) -> Testbed {
             });
         }
         let app = PaddedApp::new(config.state_bytes, config.response_bytes, 15);
-        let pid = world.spawn(
-            NodeId(i as u32),
-            Box::new(ReplicaActor::bootstrap(
-                ProcessId(i as u64),
-                members.clone(),
-                Box::new(app),
-                replica_config,
-            )),
+        let mut actor = ReplicaActor::bootstrap(
+            ProcessId(i as u64),
+            members.clone(),
+            Box::new(app),
+            replica_config,
         );
+        if let Some((demote, evict)) = config.slow_failure {
+            actor = actor.with_policy(Box::new(SlowFailurePolicy::new(demote, evict)));
+        }
+        if let Some(det) = config.detector {
+            actor = actor.with_detector_config(det);
+        }
+        let pid = world.spawn(NodeId(i as u32), Box::new(actor));
         debug_assert_eq!(pid, ProcessId(i as u64));
         replicas.push(pid);
     }

@@ -167,9 +167,12 @@ impl Default for Config {
         Config {
             protocol_enums: vec!["ReplicatorMsg".into(), "GroupMsg".into()],
             extended_protocol_enums: vec![
+                "AdaptationAction".into(),
+                "ChaosAction".into(),
                 "Choice".into(),
                 "GroupEvent".into(),
                 "OrbMessage".into(),
+                "PeerVerdict".into(),
                 "ReplicaCommand".into(),
                 "ReplyStatus".into(),
             ],
@@ -916,17 +919,22 @@ pub fn discover_protocol_enums(workspace_root: &Path) -> Vec<String> {
 /// Discovers the *extended* protocol surface for
 /// [`Lint::ProtocolExhaustiveness`]: wire frames (`OrbMessage`,
 /// `ReplyStatus`), group delivery events (`GroupEvent`, `GroupTimer`,
-/// `Output`), replica commands (`ReplicaCommand`, `GroupMembership`) and
-/// exploration choices (`Choice`). Falls back to the defaults when the
-/// files are missing.
+/// `Output`), replica commands (`ReplicaCommand`, `GroupMembership`),
+/// exploration choices (`Choice`), detector verdicts (`PeerVerdict`),
+/// policy directives (`AdaptationAction`) and fault-storm actions
+/// (`ChaosAction`). Falls back to the defaults when the files are
+/// missing.
 pub fn discover_extended_protocol_enums(workspace_root: &Path) -> Vec<String> {
     discover_pub_enums(
         workspace_root,
         &[
             "crates/orb/src/wire.rs",
             "crates/group/src/api.rs",
+            "crates/group/src/detector.rs",
             "crates/core/src/replica.rs",
+            "crates/core/src/policy.rs",
             "crates/simnet/src/explore.rs",
+            "crates/simnet/src/chaos.rs",
         ],
         || Config::default().extended_protocol_enums,
     )

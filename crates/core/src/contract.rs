@@ -201,12 +201,10 @@ mod tests {
     fn obs(latency: f64, bandwidth: f64, replicas: usize) -> Observations {
         Observations {
             at: SimTime::ZERO,
-            request_rate: 0.0,
             latency_micros: latency,
-            jitter_micros: 0.0,
             bandwidth_bps: bandwidth,
             replicas,
-            fault_detection_micros: 0.0,
+            ..Observations::default()
         }
     }
 

@@ -136,6 +136,14 @@ pub struct Engine {
     /// Set on backups between a warm-passive→active switch delivery and
     /// the final checkpoint (paper Fig. 5 case 1).
     awaiting_final_checkpoint: bool,
+    /// A member barred from primaryship after a gray-failure demotion:
+    /// it stays in the group (it is alive, just slow) but primaryship
+    /// moves to the lowest healthy member. Cleared when it departs.
+    demoted: Option<ProcessId>,
+    /// Set on the incoming primary of a demotion under a checkpointing
+    /// style, until the outgoing primary's handover checkpoint lands
+    /// (the demotion analogue of `awaiting_final_checkpoint`).
+    awaiting_demotion_checkpoint: bool,
     /// Highest request id delivered per client (duplicate suppression).
     last_delivered: BTreeMap<ProcessId, u64>,
 }
@@ -164,6 +172,8 @@ impl Engine {
             buffered: VecDeque::new(),
             stored_checkpoint: None,
             awaiting_final_checkpoint: false,
+            demoted: None,
+            awaiting_demotion_checkpoint: false,
             last_delivered: BTreeMap::new(),
         };
         let mut ops = Vec::new();
@@ -180,9 +190,15 @@ impl Engine {
         self.style
     }
 
-    /// The primary/leader of the current membership (lowest id).
+    /// The primary/leader of the current membership: the lowest id, but
+    /// skipping a demoted (laggard) member whenever a healthy alternative
+    /// exists. With no alternative the demoted member serves anyway —
+    /// a slow primary beats none.
     pub fn primary(&self) -> Option<ProcessId> {
-        self.members.first().copied()
+        match self.demoted {
+            Some(d) if self.members.len() > 1 => self.members.iter().copied().find(|&m| m != d),
+            _ => self.members.first().copied(),
+        }
     }
 
     /// Whether this replica is the primary/leader.
@@ -211,6 +227,18 @@ impl Engine {
         self.awaiting_final_checkpoint
     }
 
+    /// Whether a primaryship demotion is waiting for its handover
+    /// checkpoint (the incoming primary holds execution until then).
+    pub fn is_demoting(&self) -> bool {
+        self.awaiting_demotion_checkpoint
+    }
+
+    /// The member currently barred from primaryship by a gray-failure
+    /// demotion, if any.
+    pub fn demoted(&self) -> Option<ProcessId> {
+        self.demoted
+    }
+
     /// Whether this replica has synchronized state (joiners start false).
     pub fn is_synced(&self) -> bool {
         self.synced
@@ -232,6 +260,8 @@ impl Engine {
         self.synced = false;
         self.buffered.clear();
         self.awaiting_final_checkpoint = false;
+        self.demoted = None;
+        self.awaiting_demotion_checkpoint = false;
     }
 
     fn i_reply(&self) -> bool {
@@ -243,7 +273,7 @@ impl Engine {
     }
 
     fn i_execute_now(&self) -> bool {
-        if !self.synced || self.awaiting_final_checkpoint {
+        if !self.synced || self.awaiting_final_checkpoint || self.awaiting_demotion_checkpoint {
             return false;
         }
         if self.style.all_replicas_execute() {
@@ -387,6 +417,26 @@ impl Engine {
             }
             return ops;
         }
+        if self.awaiting_demotion_checkpoint && final_for_switch {
+            // Demotion handover (Fig. 5 case 1 applied to primaryship):
+            // the outgoing laggard primary's final checkpoint carries the
+            // exact pre-demotion prefix. Apply it, then take over
+            // execution and checkpointing as the new primary.
+            ops.push(EngineOp::ApplyCheckpoint {
+                version,
+                state,
+                replies,
+                at_failover: false,
+            });
+            self.executed = self.executed.max(version);
+            self.buffered.retain(|e| e.index > version);
+            self.awaiting_demotion_checkpoint = false;
+            self.drain_backlog_if_executing(&mut ops);
+            if self.style.uses_checkpoints() && self.is_primary() {
+                ops.push(EngineOp::StartCheckpointTimer);
+            }
+            return ops;
+        }
         if self.awaiting_final_checkpoint && final_for_switch {
             // Paper Fig. 5, case 1, step III: apply the one-more checkpoint,
             // then come up as an active replica and work off the backlog.
@@ -434,11 +484,59 @@ impl Engine {
         ops
     }
 
+    /// Processes a delivered demotion request: bar `laggard` — the
+    /// current primary, classified alive-but-slow by the adaptive
+    /// detector — from primaryship and hand its duties to the lowest
+    /// healthy member, reusing the Fig. 5 runtime-switch machinery for
+    /// the state handover. Delivered in agreed order, so every replica
+    /// applies the same guards and transfers at the same point in the
+    /// request stream. Duplicates, stale targets (no longer primary) and
+    /// demotions with no healthy successor are discarded.
+    pub fn on_demote_request(&mut self, laggard: ProcessId) -> Vec<EngineOp> {
+        let mut ops = Vec::new();
+        if !self.synced || self.awaiting_final_checkpoint || self.awaiting_demotion_checkpoint {
+            return ops; // mid-switch or mid-demotion: discarded
+        }
+        if self.demoted == Some(laggard)
+            || self.primary() != Some(laggard)
+            || self.members.len() < 2
+        {
+            return ops; // duplicate, stale, or no healthy successor
+        }
+        self.demoted = Some(laggard);
+        if self.style.uses_checkpoints() {
+            if self.me == laggard {
+                // Outgoing primary (alive, just slow): ship one final
+                // checkpoint — its state is exactly the delivered prefix,
+                // because passive primaries execute at delivery — and
+                // stop checkpointing.
+                ops.push(EngineOp::BroadcastCheckpoint {
+                    final_for_switch: true,
+                });
+                ops.push(EngineOp::StopCheckpointTimer);
+            } else if self.is_primary() {
+                // Incoming primary: hold execution until the handover
+                // state lands (the backup's own state may trail it).
+                self.awaiting_demotion_checkpoint = true;
+            }
+        } else if self.style.single_replier() && self.is_primary() {
+            // Semi-active: followers are current — the new leader takes
+            // over replying and re-answers anything the demoted leader
+            // executed silently.
+            ops.push(EngineOp::ResendAllCached);
+        }
+        ops
+    }
+
     /// Processes a delivered switch request (paper Fig. 5, step I/II).
     pub fn on_switch_request(&mut self, target: ReplicationStyle) -> Vec<EngineOp> {
         let mut ops = Vec::new();
-        if !self.synced || self.awaiting_final_checkpoint || target == self.style {
-            return ops; // duplicate or mid-switch: discarded
+        if !self.synced
+            || self.awaiting_final_checkpoint
+            || self.awaiting_demotion_checkpoint
+            || target == self.style
+        {
+            return ops; // duplicate, mid-switch or mid-demotion: discarded
         }
         let from = self.style;
         match (from.all_replicas_execute(), target.all_replicas_execute()) {
@@ -523,6 +621,36 @@ impl Engine {
                 final_for_switch: false,
             });
         }
+        if self.demoted.is_some_and(|d| !self.members.contains(&d)) {
+            // The demoted laggard left the group (crashed for real, or
+            // evicted for persistent lag): forget the bar. If its
+            // handover checkpoint never arrived, none is coming — the
+            // incoming primary recovers like a passive failover.
+            self.demoted = None;
+            if self.awaiting_demotion_checkpoint {
+                self.awaiting_demotion_checkpoint = false;
+                if self.is_primary() {
+                    if self.style == ReplicationStyle::ColdPassive {
+                        if let Some((version, state, replies)) = self.stored_checkpoint.take() {
+                            if version > self.executed {
+                                ops.push(EngineOp::ApplyCheckpoint {
+                                    version,
+                                    state,
+                                    replies,
+                                    at_failover: true,
+                                });
+                                self.executed = version;
+                                self.buffered.retain(|e| e.index > version);
+                            }
+                        }
+                    }
+                    self.replay_backlog(&mut ops);
+                    if self.style.uses_checkpoints() {
+                        ops.push(EngineOp::StartCheckpointTimer);
+                    }
+                }
+            }
+        }
         let primary_died = old_primary.is_some_and(|p| departed.contains(&p));
         if self.awaiting_final_checkpoint && primary_died {
             // Paper Fig. 5, case 1, step III, crash branch: no checkpoint is
@@ -599,7 +727,7 @@ impl Engine {
     }
 
     /// Digest of the full state-machine state for interleaving exploration.
-    /// Every field influences future decisions, so all ten are covered.
+    /// Every field influences future decisions, so all twelve are covered.
     pub fn state_digest(&self) -> u64 {
         let mut h = vd_simnet::explore::Fnv64::new();
         h.write_u64(self.me.0);
@@ -624,6 +752,11 @@ impl Engine {
             h.write_u8(0);
         }
         h.write_u8(u8::from(self.awaiting_final_checkpoint));
+        h.write_u64(match self.demoted {
+            Some(d) => d.0.wrapping_add(1),
+            None => 0,
+        });
+        h.write_u8(u8::from(self.awaiting_demotion_checkpoint));
         for (&client, &rid) in &self.last_delivered {
             h.write_u64(client.0);
             h.write_u64(rid);
@@ -1023,5 +1156,111 @@ mod tests {
             .any(|op| matches!(op, EngineOp::ApplyCheckpoint { version: 2, .. })));
         assert_eq!(backup.executed(), 2);
         assert_eq!(backup.style(), ReplicationStyle::WarmPassive);
+    }
+
+    #[test]
+    fn demotion_hands_primaryship_to_a_healthy_backup() {
+        // Outgoing laggard primary: ships the handover checkpoint and
+        // stops checkpointing, but stays in the group as a backup.
+        let (mut old, _) = trio(ReplicationStyle::WarmPassive, 1);
+        invoke(&mut old, 100, 1);
+        let ops = old.on_demote_request(p(1));
+        assert!(ops.contains(&EngineOp::BroadcastCheckpoint {
+            final_for_switch: true
+        }));
+        assert!(ops.contains(&EngineOp::StopCheckpointTimer));
+        assert_eq!(old.primary(), Some(p(2)));
+        assert!(!old.is_primary());
+        assert_eq!(old.demoted(), Some(p(1)));
+
+        // Incoming primary: holds execution until the handover lands.
+        let (mut new, _) = trio(ReplicationStyle::WarmPassive, 2);
+        invoke(&mut new, 100, 1);
+        assert!(new.on_demote_request(p(1)).is_empty());
+        assert!(new.is_demoting());
+        assert!(new.is_primary());
+        // Work delivered mid-handover stays buffered.
+        invoke(&mut new, 100, 2);
+        assert_eq!(new.backlog(), 2);
+        let ops = new.on_checkpoint(
+            1,
+            ReplicationStyle::WarmPassive,
+            true,
+            Bytes::from_static(b"h"),
+            vec![],
+        );
+        assert!(matches!(
+            ops[0],
+            EngineOp::ApplyCheckpoint { version: 1, .. }
+        ));
+        assert_eq!(executed_entries(&ops), vec![(2, true)]);
+        assert!(ops.contains(&EngineOp::StartCheckpointTimer));
+        assert!(!new.is_demoting());
+        assert_eq!(new.executed(), 2);
+    }
+
+    #[test]
+    fn demotion_guards_discard_stale_and_duplicate_requests() {
+        let (mut e, _) = trio(ReplicationStyle::Active, 2);
+        // Demoting a non-primary is stale.
+        assert!(e.on_demote_request(p(3)).is_empty());
+        assert_eq!(e.demoted(), None);
+        // Active style: state is everywhere, demotion is immediate.
+        e.on_demote_request(p(1));
+        assert_eq!(e.primary(), Some(p(2)));
+        // Duplicate discarded.
+        assert!(e.on_demote_request(p(1)).is_empty());
+        // A lone replica can never demote itself.
+        let (mut lone, _) = Engine::new(p(1), ReplicationStyle::Active, vec![p(1)], true);
+        assert!(lone.on_demote_request(p(1)).is_empty());
+        assert_eq!(lone.demoted(), None);
+    }
+
+    #[test]
+    fn semi_active_demotion_is_immediate_and_new_leader_reanswers() {
+        let (mut leader2, _) = trio(ReplicationStyle::SemiActive, 2);
+        let ops = leader2.on_demote_request(p(1));
+        assert_eq!(ops, vec![EngineOp::ResendAllCached]);
+        assert!(leader2.is_primary());
+        // The demoted leader keeps executing, silently.
+        let (mut old, _) = trio(ReplicationStyle::SemiActive, 1);
+        old.on_demote_request(p(1));
+        assert_eq!(executed_entries(&invoke(&mut old, 9, 1)), vec![(1, false)]);
+    }
+
+    #[test]
+    fn demoted_primary_crash_mid_handover_rolls_forward() {
+        let (mut new, _) = trio(ReplicationStyle::WarmPassive, 2);
+        for id in 1..=3 {
+            invoke(&mut new, 100, id);
+        }
+        new.on_checkpoint(
+            1,
+            ReplicationStyle::WarmPassive,
+            false,
+            Bytes::new(),
+            vec![],
+        );
+        new.on_demote_request(p(1));
+        assert!(new.is_demoting());
+        // The laggard turned out to be dead after all: no handover is
+        // coming — replay from the last applied checkpoint.
+        let ops = new.on_view_change(vec![p(2), p(3)], &[p(1)], &[]);
+        assert!(!new.is_demoting());
+        assert_eq!(new.demoted(), None);
+        assert_eq!(executed_entries(&ops), vec![(2, true), (3, true)]);
+        assert!(ops.contains(&EngineOp::StartCheckpointTimer));
+    }
+
+    #[test]
+    fn demoted_member_serves_again_only_as_last_resort() {
+        let (mut e, _) = Engine::new(p(1), ReplicationStyle::WarmPassive, vec![p(1), p(2)], true);
+        e.on_demote_request(p(1));
+        assert!(!e.is_primary());
+        // The healthy successor dies: a slow primary beats none.
+        let ops = e.on_view_change(vec![p(1)], &[p(2)], &[]);
+        assert!(e.is_primary());
+        assert!(ops.contains(&EngineOp::StartCheckpointTimer));
+        assert_eq!(e.demoted(), Some(p(1)), "the bar outlives the fallback");
     }
 }

@@ -9,7 +9,7 @@
 //! `experiments -- explore` CI gate (which is how the two stay honest: a
 //! budget bump in CI explores exactly the space the tests document).
 //!
-//! Two scenarios are covered:
+//! Three scenarios are covered:
 //!
 //! * **Double-fault recovery** — [`recovery_world`] parks a managed
 //!   three-replica cluster with a style switch and client requests in
@@ -24,6 +24,12 @@
 //!   object groups sharing the same three processes with a Fig. 5 style
 //!   switch in flight in *each*, so the explorer interleaves the two
 //!   protocol runs against each other.
+//! * **Laggard primary mid-switch** — [`laggard_switch_world`] parks a
+//!   warm-passive cluster the moment its slow-failure policy decides to
+//!   demote a gray (alive-but-slow) primary, with the agreed-order
+//!   demotion, a Fig. 5 style switch and client requests all in flight
+//!   (crash candidate: the laggard itself, so the demotion-handover
+//!   crash branch is explored too).
 //!
 //! The safety invariants ([`recovery_invariant`], [`cohosted_invariant`])
 //! are checked after every explored choice. The liveness leg — the degree
@@ -34,16 +40,18 @@
 use bytes::Bytes;
 
 use vd_group::config::GroupConfig;
+use vd_group::detector::DetectorConfig;
 use vd_group::message::GroupId;
 use vd_orb::object::ObjectKey;
 use vd_orb::wire::{OrbMessage, Request};
 use vd_simnet::explore::ExploreConfig;
-use vd_simnet::time::SimDuration;
+use vd_simnet::time::{SimDuration, SimTime};
 use vd_simnet::topology::{LatencyModel, LinkConfig, NodeId, ProcessId, Topology};
 use vd_simnet::world::World;
 
 use crate::invariants::SwitchInvariants;
 use crate::knobs::LowLevelKnobs;
+use crate::policy::{AdaptationAction, SlowFailurePolicy};
 use crate::recovery::{RecoveryConfig, RecoveryManager};
 use crate::replica::{GroupMembership, HostedGroup, ReplicaActor, ReplicaCommand, ReplicaConfig};
 use crate::state::{InvokeResult, ReplicatedApplication};
@@ -392,6 +400,143 @@ pub fn cohosted_invariant(world: &World) -> Result<(), String> {
                 return Err(format!(
                     "co-hosting violated at {}: process {pid} lost its {group:?} engine",
                     world.now()
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A warm-passive cluster parked at the instant its slow-failure policy
+/// decides to demote a gray primary: three replicas with a sensitized
+/// adaptive detector and `SlowFailurePolicy::new(1, ∞)`, the primary's
+/// outbound links under repeated sub-timeout delay steps, stepped in
+/// 250 µs increments until the first `DemotePrimary` directive fires.
+/// At that point the agreed-order demotion is in flight; a Fig. 5
+/// `Switch(ColdPassive)` and two client requests are injected on top and
+/// the world is returned for exploration. Crash candidate: [`PRIMARY`]
+/// (the laggard), so the explorer also drives the handover's
+/// crash-mid-demotion branch.
+///
+/// # Panics
+///
+/// If the policy never demotes the stalled primary — a deterministic
+/// harness bug, not an explorable outcome.
+pub fn laggard_switch_world() -> World {
+    let mut world = World::new(topology(3), 0x001A_66AD);
+    let members = REPLICAS.to_vec();
+    for i in 0..TARGET_DEGREE as u32 {
+        let config = ReplicaConfig {
+            knobs: LowLevelKnobs::default()
+                .style(ReplicationStyle::WarmPassive)
+                .num_replicas(TARGET_DEGREE),
+            group_config: GroupConfig::default().min_view(2),
+            // Tight policy cadence so the short laggard windows between
+            // delay steps are reliably sampled.
+            policy_interval: SimDuration::from_millis(10),
+            metrics_prefix: format!("lg{i}"),
+            ..ReplicaConfig::for_group(GROUP_A)
+        };
+        let mut detector = DetectorConfig::new(config.group_config.failure_timeout);
+        // Classify statistically anomalous silence as laggard well before
+        // the fixed timeout — the induced stalls live in that gray zone.
+        detector.laggard_z = 1.5;
+        let actor = ReplicaActor::bootstrap(
+            ProcessId(u64::from(i)),
+            members.clone(),
+            Box::new(Counter { value: 0 }),
+            config,
+        )
+        .with_policy(Box::new(SlowFailurePolicy::new(1, u32::MAX)))
+        .with_detector_config(detector);
+        let pid = world.spawn(NodeId(i), Box::new(actor));
+        assert_eq!(pid, ProcessId(u64::from(i)));
+    }
+    world.run_for(SimDuration::from_millis(100));
+    // Repeated sub-timeout stalls on the primary's outbound links: each
+    // 40 ms base-delay step silences it for ~45 ms — past the sensitized
+    // laggard threshold, below the 50 ms fixed failure timeout.
+    for to in [1u32, 2] {
+        for step in 0..8u64 {
+            world.set_link_delay_at(
+                NodeId(0),
+                NodeId(to),
+                SimDuration::from_millis(40),
+                SimDuration::ZERO,
+                SimTime::from_millis(600 + step * 100),
+            );
+            world.set_link_delay_at(
+                NodeId(0),
+                NodeId(to),
+                SimDuration::from_millis(5),
+                SimDuration::ZERO,
+                SimTime::from_millis(650 + step * 100),
+            );
+        }
+        world.set_link_delay_at(
+            NodeId(0),
+            NodeId(to),
+            SimDuration::ZERO,
+            SimDuration::ZERO,
+            SimTime::from_millis(1450),
+        );
+    }
+    // Park at the first demotion decision: the policy directive and the
+    // agreed-order demote multicast land in the same tick, so stepping in
+    // small increments catches the handover still in flight.
+    for _ in 0..16_000 {
+        world.run_for(SimDuration::from_micros(250));
+        let demote_issued = REPLICAS.iter().any(|&pid| {
+            world.actor_ref::<ReplicaActor>(pid).is_some_and(|actor| {
+                actor
+                    .directives()
+                    .iter()
+                    .any(|(_, d)| *d == AdaptationAction::DemotePrimary)
+            })
+        });
+        if demote_issued {
+            world.inject(REPLICAS[1], request("counter", 1));
+            world.inject(REPLICAS[2], request("counter", 2));
+            world.inject(
+                REPLICAS[1],
+                ReplicaCommand::Switch {
+                    group: GROUP_A,
+                    style: ReplicationStyle::ColdPassive,
+                },
+            );
+            return world;
+        }
+    }
+    panic!("slow-failure policy never demoted the stalled primary");
+}
+
+/// Safety invariants of [`laggard_switch_world`], checked after every
+/// explored choice: the Fig. 5 switch invariants (with the single-primary
+/// check demotion-handover-aware), plus the **demotion bar** — no replica
+/// may keep a demoted member as primary while a healthy alternative
+/// exists in its view. Deliberately *not* checked: "no suspicion raised",
+/// because the explorer's adversarial scheduling can legitimately push
+/// silence past the fixed timeout, at which point suspecting the laggard
+/// is the detector doing its job.
+pub fn laggard_invariant(world: &World) -> Result<(), String> {
+    SwitchInvariants::for_group(GROUP_A, REPLICAS.to_vec()).check(world)?;
+    for &pid in &REPLICAS {
+        if !world.is_alive(pid) {
+            continue;
+        }
+        let Some(actor) = world.actor_ref::<ReplicaActor>(pid) else {
+            continue;
+        };
+        let Some(engine) = actor.engine_of(GROUP_A) else {
+            continue;
+        };
+        if let Some(demoted) = engine.demoted() {
+            if engine.members().len() > 1 && engine.primary() == Some(demoted) {
+                return Err(format!(
+                    "demotion bar violated at {}: replica {pid} keeps demoted \
+                     member {demoted} as primary of a {}-member view",
+                    world.now(),
+                    engine.members().len()
                 ));
             }
         }

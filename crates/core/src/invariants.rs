@@ -137,9 +137,21 @@ impl SwitchInvariants {
     }
 
     fn single_primary(&self, world: &World) -> Result<(), String> {
+        // During a demotion handover, nominal primaryship transfers
+        // between two *live* replicas through the agreed stream: the
+        // incoming primary already reads `primary() == me` while the
+        // outgoing laggard has not yet delivered the demote. Execution
+        // authority stays exclusive the whole time — the incoming primary
+        // holds execution (`is_demoting`) until the laggard's handover
+        // checkpoint arrives, which the laggard only ships once it has
+        // demoted itself. So the invariant counts replicas that would
+        // actually execute as primary, not mid-handover nominees.
         let primaries: Vec<ProcessId> = self
             .live_replicas(world)
-            .filter(|(_, actor)| self.engine_of(actor).is_some_and(|e| e.is_primary()))
+            .filter(|(_, actor)| {
+                self.engine_of(actor)
+                    .is_some_and(|e| e.is_primary() && !e.is_demoting())
+            })
             .map(|(pid, _)| pid)
             .collect();
         if primaries.len() > 1 {

@@ -91,7 +91,7 @@ pub mod prelude {
     pub use crate::policy::{
         plan_scalability, AdaptationAction, AdaptationPolicy, AvailabilityPolicy, ChosenConfig,
         ConfigMeasurement, ContractPolicy, PolicyContext, RateThresholdPolicy,
-        ScalabilityRequirements,
+        ScalabilityRequirements, SlowFailurePolicy,
     };
     pub use crate::recovery::{
         DirectiveNotice, ManagerHeartbeat, MembershipReport, RecoveryConfig, RecoveryManager,

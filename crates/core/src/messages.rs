@@ -101,6 +101,17 @@ pub enum ReplicatorMsg {
         /// The completed request id.
         request_id: u64,
     },
+    /// A request to demote a laggard primary: bar it from primaryship
+    /// and hand its duties to the lowest healthy member (the adaptive
+    /// detector's slow-vs-dead remedy; sent in agreed order so every
+    /// replica transfers at the same point in the request stream;
+    /// duplicates are discarded at delivery).
+    Demote {
+        /// The alive-but-slow primary being demoted.
+        laggard: ProcessId,
+        /// Who initiated the demotion (diagnostics only).
+        initiator: ProcessId,
+    },
     /// A periodic monitoring report feeding the replicated system-state
     /// board (sent in agreed order so all boards are identical).
     MonitorReport {
@@ -142,6 +153,7 @@ impl ReplicatorMsg {
                         .sum::<usize>()
             }
             ReplicatorMsg::SwitchRequest { .. } => 1 + 1 + 8,
+            ReplicatorMsg::Demote { .. } => 1 + 8 + 8,
             ReplicatorMsg::ReplyLog { .. } => 1 + 8 + 8,
             ReplicatorMsg::MonitorReport { .. } => 1 + 8 + 8 + 8 + 8,
         }
@@ -194,6 +206,11 @@ impl ReplicatorMsg {
                 enc.put_u8(4);
                 enc.put_u64(client.0);
                 enc.put_u64(*request_id);
+            }
+            ReplicatorMsg::Demote { laggard, initiator } => {
+                enc.put_u8(5);
+                enc.put_u64(laggard.0);
+                enc.put_u64(initiator.0);
             }
             ReplicatorMsg::MonitorReport {
                 replica,
@@ -272,6 +289,10 @@ impl ReplicatorMsg {
                 client: ProcessId(dec.get_u64()?),
                 request_id: dec.get_u64()?,
             }),
+            5 => Ok(ReplicatorMsg::Demote {
+                laggard: ProcessId(dec.get_u64()?),
+                initiator: ProcessId(dec.get_u64()?),
+            }),
             3 => Ok(ReplicatorMsg::MonitorReport {
                 replica: ProcessId(dec.get_u64()?),
                 request_rate: dec.get_f64()?,
@@ -326,6 +347,14 @@ mod tests {
                     body: Bytes::from_static(b"exc"),
                 },
             ],
+        });
+    }
+
+    #[test]
+    fn demote_round_trips() {
+        round_trip(ReplicatorMsg::Demote {
+            laggard: ProcessId(1),
+            initiator: ProcessId(3),
         });
     }
 

@@ -112,6 +112,13 @@ pub struct Observations {
     /// `group.fault_detection_us` histogram — a *measured* input to the
     /// availability policies, not the configured timeout.
     pub fault_detection_micros: f64,
+    /// Peers the adaptive failure detector currently classifies as
+    /// alive-but-laggard (gray failures), as reported by the hosting
+    /// replica's process-level endpoint.
+    pub laggard_peers: usize,
+    /// Cumulative failure-check rounds in which the adaptive detector
+    /// suppressed a fixed-timeout suspicion (`group.suspicions_held`).
+    pub suspicions_held: u64,
 }
 
 impl Default for Observations {
@@ -124,6 +131,8 @@ impl Default for Observations {
             bandwidth_bps: 0.0,
             replicas: 0,
             fault_detection_micros: 0.0,
+            laggard_peers: 0,
+            suspicions_held: 0,
         }
     }
 }
@@ -142,6 +151,10 @@ pub struct Monitor {
     fault_detection_micros: f64,
     /// Cumulative failure-detector suspicions seen via the registry.
     suspicions: u64,
+    /// Laggard peer count last reported by the hosting endpoint.
+    laggard_peers: usize,
+    /// Cumulative suppressed fixed-timeout suspicions via the registry.
+    suspicions_held: u64,
 }
 
 impl Monitor {
@@ -157,6 +170,8 @@ impl Monitor {
             ingested_requests: 0,
             fault_detection_micros: 0.0,
             suspicions: 0,
+            laggard_peers: 0,
+            suspicions_held: 0,
         }
     }
 
@@ -186,6 +201,15 @@ impl Monitor {
             self.fault_detection_micros = fd.mean();
         }
         self.suspicions = self.suspicions.max(metrics.counter(Ctr::GroupSuspicions));
+        self.suspicions_held = self
+            .suspicions_held
+            .max(metrics.counter(Ctr::GroupSuspicionsHeld));
+    }
+
+    /// Updates the current laggard-peer count (the slow-vs-dead verdict
+    /// stream from the process-level failure detector).
+    pub fn set_laggards(&mut self, n: usize) {
+        self.laggard_peers = n;
     }
 
     /// Cumulative failure-detector suspicions folded in so far. The
@@ -232,6 +256,8 @@ impl Monitor {
             bandwidth_bps: bandwidth,
             replicas: self.replicas,
             fault_detection_micros: self.fault_detection_micros,
+            laggard_peers: self.laggard_peers,
+            suspicions_held: self.suspicions_held,
         }
     }
 

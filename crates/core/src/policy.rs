@@ -13,6 +13,10 @@
 //! * [`AvailabilityPolicy`] — an availability high-level knob (paper §5
 //!   names it as the natural next knob): derives the replica count from a
 //!   target availability and per-replica MTTF/MTTR.
+//! * [`SlowFailurePolicy`] — gray-failure remediation over the adaptive
+//!   detector's three-state verdicts: demote a persistently laggard
+//!   primary (cheap), evict a persistently laggard backup (expensive,
+//!   longer patience).
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -29,6 +33,16 @@ pub enum AdaptationAction {
     AddReplica,
     /// Shrink the replica group by one.
     RemoveReplica,
+    /// Demote an alive-but-slow primary: move primaryship to a healthy
+    /// backup through the runtime-switch machinery (paper Fig. 5 applied
+    /// to primaryship) while the laggard stays in the group. Cheap and
+    /// reversible — the remedy for a *gray* failure, where eviction
+    /// would pay a full recovery episode for a replica that may catch up.
+    DemotePrimary,
+    /// Evict a persistently lagging backup so the recovery manager
+    /// respawns a fresh replacement. Expensive (a full recovery
+    /// episode), so policies demand a longer patience before choosing it.
+    EvictLaggard,
     /// No automatic remedy exists: notify the operators (paper §4.3's
     /// "a new policy must be defined").
     NotifyOperators(String),
@@ -41,6 +55,23 @@ pub struct PolicyContext {
     pub style: ReplicationStyle,
     /// Current live replica count.
     pub replicas: usize,
+    /// Whether the serving primary is currently classified
+    /// alive-but-slow by the adaptive failure detector.
+    pub primary_laggard: bool,
+    /// Backups currently classified alive-but-slow.
+    pub laggard_backups: usize,
+}
+
+impl PolicyContext {
+    /// A context with no gray-failure evidence (every peer healthy).
+    pub fn healthy(style: ReplicationStyle, replicas: usize) -> Self {
+        PolicyContext {
+            style,
+            replicas,
+            primary_laggard: false,
+            laggard_backups: 0,
+        }
+    }
 }
 
 /// A pluggable adaptation policy, evaluated periodically against fresh
@@ -364,6 +395,85 @@ impl AdaptationPolicy for AvailabilityPolicy {
     }
 }
 
+/// Gray-failure remediation (the Fig. 8 loop consuming the adaptive
+/// detector's three-state verdicts): distinguishes *slow* from *dead*
+/// and matches the remedy to the diagnosis.
+///
+/// * A primary that stays **laggard** — alive but statistically slow —
+///   for `demote_patience` consecutive evaluations is demoted:
+///   primaryship moves to a healthy backup (cheap, reversible).
+/// * A backup that stays laggard for the longer `evict_patience` is
+///   evicted so the recovery manager respawns a fresh replica
+///   (expensive: a full recovery episode).
+///
+/// The patience streaks are the false-positive guard: a momentarily slow
+/// node resets its streak the first time it is observed healthy, so only
+/// *persistent* gray failures trigger actuation — never a transient
+/// stall that the adaptive detector is already holding.
+#[derive(Debug, Clone, Copy)]
+pub struct SlowFailurePolicy {
+    /// Consecutive laggard-primary evaluations before demotion.
+    demote_patience: u32,
+    /// Consecutive laggard-backup evaluations before eviction.
+    evict_patience: u32,
+    primary_streak: u32,
+    backup_streak: u32,
+}
+
+impl SlowFailurePolicy {
+    /// A policy with the given patience budgets (both ≥ 1). Eviction
+    /// should be the slower trigger: it pays a recovery episode where
+    /// demotion only moves primaryship.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either patience is zero.
+    pub fn new(demote_patience: u32, evict_patience: u32) -> Self {
+        assert!(
+            demote_patience >= 1 && evict_patience >= 1,
+            "patience budgets must be at least 1"
+        );
+        SlowFailurePolicy {
+            demote_patience,
+            evict_patience,
+            primary_streak: 0,
+            backup_streak: 0,
+        }
+    }
+}
+
+impl AdaptationPolicy for SlowFailurePolicy {
+    fn name(&self) -> &str {
+        "slow-failure"
+    }
+
+    fn evaluate(&mut self, _obs: &Observations, ctx: &PolicyContext) -> Option<AdaptationAction> {
+        self.primary_streak = if ctx.primary_laggard {
+            self.primary_streak + 1
+        } else {
+            0
+        };
+        self.backup_streak = if ctx.laggard_backups > 0 {
+            self.backup_streak + 1
+        } else {
+            0
+        };
+        if ctx.replicas < 2 {
+            // No healthy successor or replacement capacity: hold.
+            return None;
+        }
+        if self.primary_streak >= self.demote_patience {
+            self.primary_streak = 0;
+            return Some(AdaptationAction::DemotePrimary);
+        }
+        if self.backup_streak >= self.evict_patience {
+            self.backup_streak = 0;
+            return Some(AdaptationAction::EvictLaggard);
+        }
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -373,25 +483,16 @@ mod tests {
         Observations {
             at: SimTime::ZERO,
             request_rate: rate,
-            latency_micros: 0.0,
-            jitter_micros: 0.0,
-            bandwidth_bps: 0.0,
             replicas: 3,
-            fault_detection_micros: 0.0,
+            ..Observations::default()
         }
     }
 
     #[test]
     fn rate_policy_switches_with_hysteresis() {
         let mut p = RateThresholdPolicy::new(200.0, 800.0);
-        let passive = PolicyContext {
-            style: ReplicationStyle::WarmPassive,
-            replicas: 3,
-        };
-        let active = PolicyContext {
-            style: ReplicationStyle::Active,
-            replicas: 3,
-        };
+        let passive = PolicyContext::healthy(ReplicationStyle::WarmPassive, 3);
+        let active = PolicyContext::healthy(ReplicationStyle::Active, 3);
         // Below the high threshold: stay passive.
         assert_eq!(p.evaluate(&obs_with_rate(500.0), &passive), None);
         // Above it: go active.
@@ -561,10 +662,7 @@ mod tests {
     fn contract_policy_picks_the_cheapest_remedy() {
         use crate::contract::Contract;
         let mut p = ContractPolicy::new(Contract::paper_section_4_3(), 2);
-        let passive = PolicyContext {
-            style: ReplicationStyle::WarmPassive,
-            replicas: 3,
-        };
+        let passive = PolicyContext::healthy(ReplicationStyle::WarmPassive, 3);
         let slow = Observations {
             latency_micros: 9_000.0,
             replicas: 3,
@@ -578,10 +676,7 @@ mod tests {
             Some(AdaptationAction::SwitchStyle(ReplicationStyle::Active))
         );
         // Bandwidth violation under active → go passive.
-        let active = PolicyContext {
-            style: ReplicationStyle::Active,
-            replicas: 3,
-        };
+        let active = PolicyContext::healthy(ReplicationStyle::Active, 3);
         let hungry = Observations {
             bandwidth_bps: 5e6,
             replicas: 3,
@@ -601,10 +696,7 @@ mod tests {
         use crate::contract::Contract;
         let mut p = ContractPolicy::new(Contract::paper_section_4_3(), 1);
         // Latency broken while ALREADY active: nothing cheaper to do.
-        let active = PolicyContext {
-            style: ReplicationStyle::Active,
-            replicas: 3,
-        };
+        let active = PolicyContext::healthy(ReplicationStyle::Active, 3);
         let slow = Observations {
             latency_micros: 9_000.0,
             replicas: 3,
@@ -625,10 +717,7 @@ mod tests {
     fn contract_policy_grows_the_group_for_ft_violations() {
         use crate::contract::Contract;
         let mut p = ContractPolicy::new(Contract::unconstrained().min_faults_tolerated(2), 1);
-        let ctx = PolicyContext {
-            style: ReplicationStyle::Active,
-            replicas: 2,
-        };
+        let ctx = PolicyContext::healthy(ReplicationStyle::Active, 2);
         let obs = Observations {
             replicas: 2,
             ..obs_with_rate(0.0)
@@ -646,21 +735,82 @@ mod tests {
         };
         assert_eq!(p.required_replicas(), 5);
         let mut p = p;
-        let ctx = PolicyContext {
-            style: ReplicationStyle::Active,
-            replicas: 3,
-        };
+        let ctx = PolicyContext::healthy(ReplicationStyle::Active, 3);
         assert_eq!(
             p.evaluate(&obs_with_rate(0.0), &ctx),
             Some(AdaptationAction::AddReplica)
         );
-        let ctx = PolicyContext {
-            style: ReplicationStyle::Active,
-            replicas: 7,
-        };
+        let ctx = PolicyContext::healthy(ReplicationStyle::Active, 7);
         assert_eq!(
             p.evaluate(&obs_with_rate(0.0), &ctx),
             Some(AdaptationAction::RemoveReplica)
         );
+    }
+
+    #[test]
+    fn slow_failure_policy_demotes_a_persistently_laggard_primary() {
+        let mut p = SlowFailurePolicy::new(2, 4);
+        let obs = obs_with_rate(0.0);
+        let laggard_primary = PolicyContext {
+            primary_laggard: true,
+            ..PolicyContext::healthy(ReplicationStyle::WarmPassive, 3)
+        };
+        // Patience: the first laggard evaluation does nothing.
+        assert_eq!(p.evaluate(&obs, &laggard_primary), None);
+        assert_eq!(
+            p.evaluate(&obs, &laggard_primary),
+            Some(AdaptationAction::DemotePrimary)
+        );
+        // The streak restarts after firing.
+        assert_eq!(p.evaluate(&obs, &laggard_primary), None);
+    }
+
+    #[test]
+    fn slow_failure_policy_healthy_evaluation_resets_the_streak() {
+        let mut p = SlowFailurePolicy::new(2, 2);
+        let obs = obs_with_rate(0.0);
+        let laggard_primary = PolicyContext {
+            primary_laggard: true,
+            ..PolicyContext::healthy(ReplicationStyle::WarmPassive, 3)
+        };
+        let healthy = PolicyContext::healthy(ReplicationStyle::WarmPassive, 3);
+        assert_eq!(p.evaluate(&obs, &laggard_primary), None);
+        // One healthy round: the momentary stall is forgiven.
+        assert_eq!(p.evaluate(&obs, &healthy), None);
+        assert_eq!(p.evaluate(&obs, &laggard_primary), None);
+    }
+
+    #[test]
+    fn slow_failure_policy_evicts_laggard_backups_more_slowly() {
+        let mut p = SlowFailurePolicy::new(2, 3);
+        let obs = obs_with_rate(0.0);
+        let laggard_backup = PolicyContext {
+            laggard_backups: 1,
+            ..PolicyContext::healthy(ReplicationStyle::WarmPassive, 3)
+        };
+        assert_eq!(p.evaluate(&obs, &laggard_backup), None);
+        assert_eq!(p.evaluate(&obs, &laggard_backup), None);
+        assert_eq!(
+            p.evaluate(&obs, &laggard_backup),
+            Some(AdaptationAction::EvictLaggard)
+        );
+    }
+
+    #[test]
+    fn slow_failure_policy_holds_without_a_healthy_successor() {
+        let mut p = SlowFailurePolicy::new(1, 1);
+        let obs = obs_with_rate(0.0);
+        let lone = PolicyContext {
+            primary_laggard: true,
+            laggard_backups: 0,
+            ..PolicyContext::healthy(ReplicationStyle::WarmPassive, 1)
+        };
+        assert_eq!(p.evaluate(&obs, &lone), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "patience budgets must be at least 1")]
+    fn slow_failure_policy_rejects_zero_patience() {
+        SlowFailurePolicy::new(0, 3);
     }
 }

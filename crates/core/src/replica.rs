@@ -705,6 +705,23 @@ impl ReplicationEngine {
                 }
                 self.apply_ops(ctx, multi, ops);
             }
+            ReplicatorMsg::Demote { laggard, .. } => {
+                let was_demoted = self.engine.demoted();
+                let ops = self.engine.on_demote_request(laggard);
+                // Accepted iff the bar actually moved onto the laggard
+                // (duplicates and stale targets leave it unchanged).
+                if self.engine.demoted() == Some(laggard) && was_demoted != Some(laggard) {
+                    self.config.obs.metrics.incr(Ctr::RepDemotions);
+                    self.emit(
+                        ctx,
+                        ObsEvent::PrimaryDemoted {
+                            laggard: laggard.0,
+                            now_primary: self.engine.primary().map_or(0, |p| p.0),
+                        },
+                    );
+                }
+                self.apply_ops(ctx, multi, ops);
+            }
             ReplicatorMsg::ReplyLog { client, request_id } => {
                 // The request completed somewhere: close out any gateway
                 // timing entry for it.
@@ -1207,6 +1224,16 @@ impl ReplicationEngine {
         // Periodic (not just view-change-driven) membership reports keep
         // a freshly taken-over standby manager informed.
         self.report_membership(ctx, multi);
+        // Gray-failure evidence: which of this group's members does the
+        // adaptive detector currently hold as alive-but-slow?
+        let laggards: Vec<ProcessId> = multi
+            .laggards()
+            .filter(|p| self.engine.members().contains(p))
+            .collect();
+        let primary = self.engine.primary();
+        let primary_laggard = primary.is_some_and(|p| laggards.contains(&p));
+        let laggard_backups = laggards.iter().filter(|&&p| Some(p) != primary).count();
+        self.monitor.set_laggards(laggards.len());
         let obs = self.monitor.observe(ctx.now());
         let prefix = self.config.metrics_prefix.clone();
         let rate_metric = format!("{prefix}.rate");
@@ -1220,6 +1247,8 @@ impl ReplicationEngine {
         let policy_ctx = PolicyContext {
             style: self.engine.style(),
             replicas: self.engine.members().len(),
+            primary_laggard,
+            laggard_backups,
         };
         let mut actions: Vec<(SmallStr, AdaptationAction)> = Vec::new();
         for policy in &mut self.policies {
@@ -1233,6 +1262,8 @@ impl ReplicationEngine {
                 AdaptationAction::SwitchStyle(_) => "switch_style",
                 AdaptationAction::AddReplica => "add_replica",
                 AdaptationAction::RemoveReplica => "remove_replica",
+                AdaptationAction::DemotePrimary => "demote_primary",
+                AdaptationAction::EvictLaggard => "evict_laggard",
                 AdaptationAction::NotifyOperators(_) => "notify_operators",
             };
             self.config.obs.metrics.incr(Ctr::PolicyDecisions);
@@ -1245,9 +1276,53 @@ impl ReplicationEngine {
             );
             match action {
                 AdaptationAction::SwitchStyle(target) => {
-                    if target != self.engine.style() && !self.engine.is_switching() {
+                    if target != self.engine.style()
+                        && !self.engine.is_switching()
+                        && !self.engine.is_demoting()
+                    {
                         self.request_switch(ctx, multi, target);
                     }
+                }
+                AdaptationAction::DemotePrimary => {
+                    // Demote through the replicated path so every member
+                    // transfers primaryship at the same point in the
+                    // agreed stream. Only actionable when the laggard is
+                    // still primary and no switch is already in flight.
+                    if let Some(target) = self.engine.primary() {
+                        if laggards.contains(&target)
+                            && !self.engine.is_switching()
+                            && !self.engine.is_demoting()
+                        {
+                            let msg = ReplicatorMsg::Demote {
+                                laggard: target,
+                                initiator: self.me,
+                            };
+                            self.multicast(ctx, multi, DeliveryOrder::Agreed, msg);
+                        }
+                    }
+                    self.directives
+                        .push((ctx.now(), AdaptationAction::DemotePrimary));
+                }
+                AdaptationAction::EvictLaggard => {
+                    // Deterministic victim: the lowest-id laggard backup.
+                    // Its graceful leave drops the view below the
+                    // managers' target degree, which opens a recovery
+                    // episode and respawns a fresh replica.
+                    let victim = laggards
+                        .iter()
+                        .copied()
+                        .filter(|&p| Some(p) != self.engine.primary())
+                        .min();
+                    if let Some(victim) = victim {
+                        ctx.send(
+                            victim,
+                            ReplicaCommand::Leave {
+                                group: self.config.group,
+                            },
+                        );
+                    }
+                    self.directives
+                        .push((ctx.now(), AdaptationAction::EvictLaggard));
                 }
                 other => {
                     // Replica-count changes need an external actuator: the
@@ -1481,6 +1556,14 @@ impl ReplicaActor {
             .get_mut(&group)
             .expect("policy for a group this replica does not host")
             .add_policy(policy);
+        self
+    }
+
+    /// Overrides the process-wide adaptive slow-vs-dead detector tunables
+    /// (builder style). Defaults derive from the tightest hosted group's
+    /// failure timeout.
+    pub fn with_detector_config(mut self, cfg: vd_group::prelude::DetectorConfig) -> Self {
+        self.multi.set_detector_config(cfg);
         self
     }
 

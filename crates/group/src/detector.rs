@@ -1,0 +1,275 @@
+//! Adaptive slow-vs-dead failure detection for one process pair.
+//!
+//! A fixed silence timeout cannot tell a *gray* failure — a peer that is
+//! alive but lagging behind an induced network delay, a saturated link,
+//! or a slow node — from a crash. Evicting such a peer is worse than
+//! waiting: the group pays a recovery episode (state transfer, view
+//! change) to replace a replica that was about to catch up.
+//!
+//! [`PairDetector`] therefore grows a sliding window of heartbeat
+//! inter-arrival times and derives two thresholds from it, in the style
+//! of φ-accrual detectors:
+//!
+//! * a **suspicion score** — the peer's current silence expressed as a
+//!   z-score against the windowed inter-arrival distribution. Scores
+//!   beyond [`DetectorConfig::laggard_z`] classify the peer *Laggard*:
+//!   statistically anomalous, but explainable by its own recent history.
+//! * an **adaptive dead threshold** — `mean + dead_z·σ`, clamped to
+//!   `[base_timeout, base_timeout × max_stretch]`. Only silence beyond
+//!   this classifies *SuspectedDead*.
+//!
+//! The lower clamp is the backward-compatibility anchor: with a healthy
+//! (tight) history or a cold window the threshold *is* the base timeout,
+//! so clean-crash detection latency is bit-identical to the fixed-timeout
+//! detector. The upper clamp bounds how long a genuinely dead peer can
+//! hide behind a noisy history.
+
+use std::collections::VecDeque;
+
+use vd_simnet::explore::Fnv64;
+use vd_simnet::time::{SimDuration, SimTime};
+
+/// Three-state liveness verdict for a peer process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerVerdict {
+    /// Silence is within the peer's normal heartbeat cadence.
+    Alive,
+    /// Silence is statistically anomalous for this peer, but below the
+    /// adaptive dead threshold: alive-but-slow (gray failure).
+    Laggard,
+    /// Silence exceeded the adaptive dead threshold.
+    SuspectedDead,
+}
+
+/// Tunables of the adaptive detector.
+#[derive(Debug, Clone, Copy)]
+pub struct DetectorConfig {
+    /// The configured fixed failure timeout: the *floor* of the adaptive
+    /// dead threshold, and exactly the dead threshold while the window
+    /// is cold.
+    pub base_timeout: SimDuration,
+    /// Sliding-window capacity, in heartbeat inter-arrival samples.
+    pub window: usize,
+    /// Below this many samples the detector behaves exactly like the
+    /// fixed-timeout detector (score 0, dead at `base_timeout`).
+    pub min_samples: usize,
+    /// Suspicion z-score at which a peer is classified [`PeerVerdict::Laggard`].
+    pub laggard_z: f64,
+    /// z-score arm of the dead threshold (`mean + dead_z·σ`).
+    pub dead_z: f64,
+    /// Upper clamp of the dead threshold, as a multiple of `base_timeout`.
+    pub max_stretch: f64,
+}
+
+impl DetectorConfig {
+    /// Defaults anchored on the process-wide failure timeout.
+    pub fn new(base_timeout: SimDuration) -> Self {
+        DetectorConfig {
+            base_timeout,
+            window: 16,
+            min_samples: 4,
+            laggard_z: 4.0,
+            dead_z: 8.0,
+            max_stretch: 3.0,
+        }
+    }
+}
+
+/// Windowed inter-arrival statistics for one process pair.
+#[derive(Debug, Clone)]
+pub struct PairDetector {
+    cfg: DetectorConfig,
+    /// Heartbeat inter-arrival samples, µs, oldest first.
+    window: VecDeque<u64>,
+    last_arrival: Option<SimTime>,
+}
+
+impl PairDetector {
+    /// An empty (cold) detector.
+    pub fn new(cfg: DetectorConfig) -> Self {
+        PairDetector {
+            cfg,
+            window: VecDeque::with_capacity(cfg.window.max(1)),
+            last_arrival: None,
+        }
+    }
+
+    /// Records a heartbeat arrival, growing the inter-arrival window.
+    /// Same-instant arrivals (gap 0) refresh the anchor without adding a
+    /// degenerate sample.
+    pub fn record_arrival(&mut self, now: SimTime) {
+        if let Some(prev) = self.last_arrival {
+            let gap = now.duration_since(prev).as_micros();
+            if gap > 0 {
+                if self.window.len() == self.cfg.window.max(1) {
+                    self.window.pop_front();
+                }
+                self.window.push_back(gap);
+            }
+        }
+        self.last_arrival = Some(now);
+    }
+
+    /// Number of inter-arrival samples currently held.
+    pub fn samples(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Whether the window has enough samples to adapt.
+    pub fn is_warm(&self) -> bool {
+        self.window.len() >= self.cfg.min_samples
+    }
+
+    /// Windowed mean and floored standard deviation, µs. The floor
+    /// (`max(σ, mean/8, 100µs)`) keeps z-scores finite on the perfectly
+    /// regular cadences a deterministic simulation produces.
+    fn stats(&self) -> Option<(f64, f64)> {
+        if !self.is_warm() {
+            return None;
+        }
+        let n = self.window.len() as f64;
+        let mean = self.window.iter().map(|&g| g as f64).sum::<f64>() / n;
+        let var = self
+            .window
+            .iter()
+            .map(|&g| (g as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        let sigma = var.sqrt().max(mean / 8.0).max(100.0);
+        Some((mean, sigma))
+    }
+
+    /// The current suspicion score for a given silence: the silence as a
+    /// z-score against the windowed distribution, clamped at 0. A cold
+    /// window always scores 0 (no basis for suspicion beyond the fixed
+    /// timeout).
+    pub fn score(&self, silence_us: u64) -> f64 {
+        match self.stats() {
+            Some((mean, sigma)) => ((silence_us as f64 - mean) / sigma).max(0.0),
+            None => 0.0,
+        }
+    }
+
+    /// The adaptive dead threshold, µs: `mean + dead_z·σ` clamped to
+    /// `[base_timeout, base_timeout × max_stretch]`.
+    pub fn dead_after_us(&self) -> u64 {
+        let base = self.cfg.base_timeout.as_micros();
+        match self.stats() {
+            Some((mean, sigma)) => {
+                let cap = (base as f64 * self.cfg.max_stretch) as u64;
+                let adaptive = (mean + self.cfg.dead_z * sigma).ceil() as u64;
+                adaptive.clamp(base, cap.max(base))
+            }
+            None => base,
+        }
+    }
+
+    /// Classifies a silence of `silence_us` microseconds. A peer is
+    /// *Laggard* either when its silence is statistically anomalous
+    /// (score beyond `laggard_z`) or when it has outlived the base
+    /// timeout and only the stretched threshold is keeping it alive.
+    pub fn verdict(&self, silence_us: u64) -> PeerVerdict {
+        if silence_us > self.dead_after_us() {
+            PeerVerdict::SuspectedDead
+        } else if silence_us > self.cfg.base_timeout.as_micros()
+            || self.score(silence_us) >= self.cfg.laggard_z
+        {
+            PeerVerdict::Laggard
+        } else {
+            PeerVerdict::Alive
+        }
+    }
+
+    /// Folds the detector's state into an exploration digest.
+    pub fn fold_digest(&self, h: &mut Fnv64) {
+        h.write_u64(self.window.len() as u64);
+        for &gap in &self.window {
+            h.write_u64(gap);
+        }
+        h.write_u64(match self.last_arrival {
+            Some(t) => t.as_micros().wrapping_add(1),
+            None => 0,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: SimDuration = SimDuration::from_millis(50);
+
+    fn warmed(cfg: DetectorConfig, gaps_us: &[u64]) -> PairDetector {
+        let mut d = PairDetector::new(cfg);
+        let mut t = SimTime::ZERO;
+        d.record_arrival(t);
+        for &g in gaps_us {
+            t += SimDuration::from_micros(g);
+            d.record_arrival(t);
+        }
+        d
+    }
+
+    #[test]
+    fn cold_window_matches_fixed_timeout_exactly() {
+        let d = PairDetector::new(DetectorConfig::new(BASE));
+        assert_eq!(d.dead_after_us(), BASE.as_micros());
+        assert_eq!(d.score(BASE.as_micros()), 0.0);
+        assert_eq!(d.verdict(BASE.as_micros()), PeerVerdict::Alive);
+        assert_eq!(
+            d.verdict(BASE.as_micros() + 1),
+            PeerVerdict::SuspectedDead,
+            "a cold detector must suspect exactly where the fixed timeout would"
+        );
+    }
+
+    #[test]
+    fn healthy_cadence_keeps_the_base_timeout_and_flags_laggards_between() {
+        // 10ms heartbeats, perfectly regular: mean 10ms, σ floored at
+        // mean/8 = 1.25ms. Dead threshold stays at the 50ms base.
+        let d = warmed(DetectorConfig::new(BASE), &[10_000; 10]);
+        assert_eq!(d.dead_after_us(), BASE.as_micros());
+        // Normal silence: no suspicion.
+        assert_eq!(d.verdict(10_000), PeerVerdict::Alive);
+        // Anomalous-but-sub-timeout silence: laggard, not dead.
+        assert_eq!(d.verdict(30_000), PeerVerdict::Laggard);
+        assert!(d.score(30_000) >= 4.0);
+        // Beyond the base timeout: dead, same instant as the fixed detector.
+        assert_eq!(d.verdict(BASE.as_micros() + 1), PeerVerdict::SuspectedDead);
+    }
+
+    #[test]
+    fn lagging_history_stretches_the_dead_threshold() {
+        // The peer has been delivering heartbeats every ~45ms (gray
+        // delay): silence just past the 50ms base must be held as
+        // laggard, not evicted.
+        let d = warmed(
+            DetectorConfig::new(BASE),
+            &[44_000, 46_000, 45_000, 45_000, 44_500, 45_500],
+        );
+        assert!(d.dead_after_us() > BASE.as_micros());
+        assert_eq!(d.verdict(BASE.as_micros() + 5_000), PeerVerdict::Laggard);
+    }
+
+    #[test]
+    fn dead_threshold_is_capped_at_max_stretch() {
+        let d = warmed(DetectorConfig::new(BASE), &[400_000; 8]);
+        assert_eq!(
+            d.dead_after_us(),
+            (BASE.as_micros() as f64 * 3.0) as u64,
+            "a pathological history must not stretch the threshold past the cap"
+        );
+    }
+
+    #[test]
+    fn window_slides_and_same_instant_arrivals_add_no_sample() {
+        let mut cfg = DetectorConfig::new(BASE);
+        cfg.window = 4;
+        let mut d = warmed(cfg, &[10_000; 6]);
+        assert_eq!(d.samples(), 4);
+        let t = SimTime::from_micros(60_000 + 10_000);
+        d.record_arrival(t);
+        d.record_arrival(t);
+        assert_eq!(d.samples(), 4, "gap-0 arrivals must not enter the window");
+    }
+}

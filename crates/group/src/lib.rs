@@ -43,6 +43,7 @@
 
 pub mod api;
 pub mod config;
+pub mod detector;
 pub mod endpoint;
 pub mod flush;
 pub mod message;
@@ -58,6 +59,7 @@ pub mod view;
 pub mod prelude {
     pub use crate::api::{Delivery, GroupEvent, GroupTimer, Output};
     pub use crate::config::GroupConfig;
+    pub use crate::detector::{DetectorConfig, PairDetector, PeerVerdict};
     pub use crate::endpoint::{Endpoint, MulticastError};
     pub use crate::message::{Assignment, DataMsg, GroupId, GroupMsg};
     pub use crate::multi::{

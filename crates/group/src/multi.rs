@@ -20,12 +20,13 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 
-use vd_obs::{Ctr, EventKind, Obs, ObsHandle};
+use vd_obs::{Ctr, EventKind, Gauge, Obs, ObsHandle};
 use vd_simnet::actor::Payload;
 use vd_simnet::time::{SimDuration, SimTime};
 use vd_simnet::topology::ProcessId;
 
 use crate::api::{GroupEvent, GroupTimer, Output};
+use crate::detector::{DetectorConfig, PairDetector, PeerVerdict};
 use crate::endpoint::{Endpoint, MulticastError};
 use crate::message::{GroupId, GroupMsg, HEADER_BYTES, PAIR_BYTES};
 use crate::order::DeliveryOrder;
@@ -135,6 +136,16 @@ pub struct MultiEndpoint {
     groups: BTreeMap<GroupId, Endpoint>,
     last_heard: BTreeMap<ProcessId, SimTime>,
     suspected: BTreeSet<ProcessId>,
+    detector_config: DetectorConfig,
+    detectors: BTreeMap<ProcessId, PairDetector>,
+    laggards: BTreeSet<ProcessId>,
+    /// Laggards whose silence has already crossed the base (fixed)
+    /// timeout — peers a fixed-timeout detector would have evicted.
+    held: BTreeSet<ProcessId>,
+    /// Cumulative failure-check rounds in which a fixed-timeout
+    /// suspicion was suppressed (mirrors `Ctr::GroupSuspicionsHeld`).
+    held_total: u64,
+    scores_milli: BTreeMap<ProcessId, u64>,
     obs: ObsHandle,
     now_us: u64,
 }
@@ -155,9 +166,21 @@ impl MultiEndpoint {
             groups: BTreeMap::new(),
             last_heard: BTreeMap::new(),
             suspected: BTreeSet::new(),
+            detector_config: DetectorConfig::new(failure_timeout),
+            detectors: BTreeMap::new(),
+            laggards: BTreeSet::new(),
+            held: BTreeSet::new(),
+            held_total: 0,
+            scores_milli: BTreeMap::new(),
             obs: Obs::disabled(),
             now_us: 0,
         }
+    }
+
+    /// Overrides the adaptive slow-vs-dead detector tunables (defaults
+    /// derive from the failure timeout via [`DetectorConfig::new`]).
+    pub fn set_detector_config(&mut self, cfg: DetectorConfig) {
+        self.detector_config = cfg;
     }
 
     /// Attaches the process-level observability endpoint. Heartbeat
@@ -210,6 +233,35 @@ impl MultiEndpoint {
     /// Peers currently suspected by the process-level failure detector.
     pub fn suspected(&self) -> impl Iterator<Item = ProcessId> + '_ {
         self.suspected.iter().copied()
+    }
+
+    /// Peers currently classified alive-but-laggard (gray failure).
+    pub fn laggards(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.laggards.iter().copied()
+    }
+
+    /// The detector's current verdict on one peer, as of the last
+    /// failure-check round.
+    pub fn verdict_of(&self, peer: ProcessId) -> PeerVerdict {
+        if self.suspected.contains(&peer) {
+            PeerVerdict::SuspectedDead
+        } else if self.laggards.contains(&peer) {
+            PeerVerdict::Laggard
+        } else {
+            PeerVerdict::Alive
+        }
+    }
+
+    /// The peer's suspicion score at the last failure-check round, in
+    /// milli-units (z-score × 1000). 0 for unknown peers.
+    pub fn suspicion_score_milli(&self, peer: ProcessId) -> u64 {
+        self.scores_milli.get(&peer).copied().unwrap_or(0)
+    }
+
+    /// Cumulative failure-check rounds in which the adaptive detector
+    /// held a suspicion a fixed-timeout detector would have raised.
+    pub fn suspicions_held(&self) -> u64 {
+        self.held_total
     }
 
     // ---- lifecycle ---------------------------------------------------------
@@ -297,6 +349,12 @@ impl MultiEndpoint {
     pub fn handle_heartbeat(&mut self, now: SimTime, from: ProcessId, hb: &ProcessHeartbeat) {
         self.now_us = now.as_micros();
         self.last_heard.insert(from, now);
+        // Heartbeats are the periodic signal the adaptive detector
+        // learns from; irregular data traffic only refreshes liveness.
+        self.detectors
+            .entry(from)
+            .or_insert_with(|| PairDetector::new(self.detector_config))
+            .record_arrival(now);
         self.obs.metrics.incr(Ctr::GroupHeartbeatsRecv);
         for section in &hb.sections {
             if let Some(ep) = self.groups.get_mut(&section.group) {
@@ -396,29 +454,87 @@ impl MultiEndpoint {
             .emit(self.now_us, self.me.0, EventKind::HeartbeatSent);
     }
 
-    /// One failure-detection round over the union of all hosted views. A
-    /// raised suspicion fans out into every co-located group containing the
-    /// silent peer.
+    /// One failure-detection round over the union of all hosted views,
+    /// applying the adaptive slow-vs-dead verdict per peer (see
+    /// [`crate::detector`]). A raised suspicion fans out into every
+    /// co-located group containing the silent peer; a laggard verdict is
+    /// surfaced as telemetry for the policy layer instead of an eviction.
     fn failure_round(&mut self, now: SimTime, out: &mut Vec<MultiOutput>) {
         let peers = self.peer_union();
         self.suspected.retain(|p| peers.contains(p));
         self.last_heard.retain(|p, _| peers.contains(p));
+        self.detectors.retain(|p, _| peers.contains(p));
+        self.laggards.retain(|p| peers.contains(p));
+        self.held.retain(|p| peers.contains(p));
+        self.scores_milli.retain(|p, _| peers.contains(p));
+        let mut worst_milli = 0u64;
         for peer in peers {
             if self.suspected.contains(&peer) {
                 continue;
             }
             let heard = *self.last_heard.entry(peer).or_insert(now);
             let silence = now.duration_since(heard);
-            if silence <= self.failure_timeout {
-                continue;
-            }
-            self.suspected.insert(peer);
             let silence_us = silence.as_micros();
-            for (gid, ep) in &mut self.groups {
-                let outputs = ep.inject_suspicion(now, peer, silence_us);
-                translate(*gid, outputs, out);
+            let det = self
+                .detectors
+                .entry(peer)
+                .or_insert_with(|| PairDetector::new(self.detector_config));
+            let verdict = det.verdict(silence_us);
+            let score_milli = (det.score(silence_us) * 1000.0) as u64;
+            self.scores_milli.insert(peer, score_milli);
+            worst_milli = worst_milli.max(score_milli);
+            match verdict {
+                PeerVerdict::SuspectedDead => {
+                    self.suspected.insert(peer);
+                    self.laggards.remove(&peer);
+                    self.held.remove(&peer);
+                    for (gid, ep) in &mut self.groups {
+                        let outputs = ep.inject_suspicion(now, peer, silence_us);
+                        translate(*gid, outputs, out);
+                    }
+                }
+                PeerVerdict::Laggard => {
+                    if self.laggards.insert(peer) {
+                        self.obs.metrics.incr(Ctr::GroupLaggards);
+                        self.obs.emit(
+                            self.now_us,
+                            self.me.0,
+                            EventKind::LaggardDetected {
+                                peer: peer.0,
+                                score_milli,
+                            },
+                        );
+                    }
+                    if silence > self.failure_timeout {
+                        self.held_total += 1;
+                        self.obs.metrics.incr(Ctr::GroupSuspicionsHeld);
+                        if self.held.insert(peer) {
+                            self.obs.emit(
+                                self.now_us,
+                                self.me.0,
+                                EventKind::SuspicionHeld {
+                                    peer: peer.0,
+                                    silence_us,
+                                },
+                            );
+                        }
+                    }
+                }
+                PeerVerdict::Alive => {
+                    if self.laggards.remove(&peer) {
+                        self.obs.emit(
+                            self.now_us,
+                            self.me.0,
+                            EventKind::LaggardCleared { peer: peer.0 },
+                        );
+                    }
+                    self.held.remove(&peer);
+                }
             }
         }
+        self.obs
+            .metrics
+            .gauge_set(Gauge::GroupSuspicionScore, worst_milli);
     }
 
     // ---- exploration support ----------------------------------------------
@@ -441,6 +557,17 @@ impl MultiEndpoint {
         for &p in &self.suspected {
             h.write_u64(p.0);
         }
+        for (&p, det) in &self.detectors {
+            h.write_u64(p.0);
+            det.fold_digest(&mut h);
+        }
+        for &p in &self.laggards {
+            h.write_u64(p.0);
+        }
+        for &p in &self.held {
+            h.write_u64(p.0);
+        }
+        h.write_u64(self.held_total);
         h.finish()
     }
 }

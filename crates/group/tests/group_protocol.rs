@@ -605,3 +605,126 @@ fn shared_detector_fans_suspicion_into_every_colocated_group() {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// Adaptive slow-vs-dead detection (gray failures).
+// ---------------------------------------------------------------------------
+
+/// Drives one survivor `MultiEndpoint` sans-IO through a gray-failure
+/// trace: a warm-up of regular heartbeats, a gradual slowdown, a stall
+/// past the fixed failure timeout, then recovery. Returns the endpoint
+/// and its obs handle after the trace.
+fn run_gray_trace(detector: Option<DetectorConfig>) -> (MultiEndpoint, vd_obs::ObsHandle) {
+    let hb = SimDuration::from_millis(5);
+    let timeout = SimDuration::from_millis(25);
+    let config = GroupConfig::default()
+        .heartbeat_interval(hb)
+        .failure_timeout(timeout);
+    let me = ProcessId(1);
+    let peer = ProcessId(2);
+    let obs = vd_obs::Obs::enabled();
+    let mut multi = MultiEndpoint::new(me, hb, timeout);
+    multi.set_obs(obs.clone());
+    if let Some(cfg) = detector {
+        multi.set_detector_config(cfg);
+    }
+    let mut ep = Endpoint::bootstrap(me, GROUP, config, vec![me, peer]);
+    // Suspicions raised by the shared detector land on the endpoint's
+    // handle (the fan-out target), so it must share the same registry.
+    ep.set_obs(obs.clone());
+    multi.add_endpoint(ep);
+    let _ = multi.start(SimTime::ZERO);
+
+    let mut now = SimTime::ZERO;
+    let mut next_check = SimTime::ZERO + hb;
+    // Heartbeat arrival gaps, µs: warm-up cadence, a gray ramp, a stall
+    // past the 25ms fixed timeout, then recovery.
+    let warm = std::iter::repeat_n(5_000, 20);
+    let ramp = [8_000u64, 11_000, 14_000, 17_000, 20_000, 23_000];
+    let stall = [40_000u64];
+    let recover = std::iter::repeat_n(5_000, 8);
+    for gap in warm.chain(ramp).chain(stall).chain(recover) {
+        let arrival = now + SimDuration::from_micros(gap);
+        // Fire every failure check that precedes this arrival (silence
+        // is observed between heartbeats, as in a live run).
+        while next_check < arrival {
+            let _ = multi.handle_timer(next_check, MultiTimer::FailureCheck);
+            next_check += hb;
+        }
+        now = arrival;
+        multi.handle_heartbeat(
+            now,
+            peer,
+            &ProcessHeartbeat {
+                sections: Vec::new(),
+            },
+        );
+    }
+    let _ = multi.handle_timer(next_check, MultiTimer::FailureCheck);
+    (multi, obs)
+}
+
+/// Tentpole regression: under a gradual slowdown whose stall exceeds the
+/// fixed failure timeout, the adaptive detector classifies the peer as
+/// laggard and holds it — while the very same trace makes a fixed-timeout
+/// detector (a cold window that never warms) evict the live peer.
+#[test]
+fn adaptive_detector_holds_a_laggard_a_fixed_timeout_would_evict() {
+    let (multi, obs) = run_gray_trace(None);
+    let peer = ProcessId(2);
+    assert_eq!(
+        obs.metrics.counter(vd_obs::Ctr::GroupSuspicions),
+        0,
+        "the laggard peer must never be suspected dead"
+    );
+    assert_eq!(multi.verdict_of(peer), PeerVerdict::Alive, "peer recovered");
+    assert_eq!(multi.laggards().count(), 0, "laggard flag must clear");
+    assert!(
+        obs.metrics.counter(vd_obs::Ctr::GroupLaggards) >= 1,
+        "the slowdown must have been classified laggard at some point"
+    );
+    assert!(
+        multi.suspicions_held() >= 1,
+        "the stall crossed the fixed timeout, so at least one \
+         fixed-timeout suspicion must have been suppressed"
+    );
+    assert_eq!(
+        obs.metrics.counter(vd_obs::Ctr::GroupSuspicionsHeld),
+        multi.suspicions_held(),
+        "counter and accessor must agree"
+    );
+
+    // The control arm: an identical trace against a detector that can
+    // never warm up (infinite min_samples) degenerates to the fixed
+    // timeout and evicts the live peer during the stall.
+    let mut fixed_cfg = DetectorConfig::new(SimDuration::from_millis(25));
+    fixed_cfg.min_samples = usize::MAX;
+    let (fixed_multi, fixed_obs) = run_gray_trace(Some(fixed_cfg));
+    assert!(
+        fixed_obs.metrics.counter(vd_obs::Ctr::GroupSuspicions) >= 1,
+        "the fixed-timeout control must evict during the stall"
+    );
+    let view = fixed_multi.group(GROUP).expect("hosted").view();
+    assert!(
+        !view.members().contains(&peer),
+        "the fixed-timeout eviction must have removed the live peer from the view"
+    );
+}
+
+/// The worst per-peer suspicion score is exported as a gauge and rises
+/// with silence: quiet cadence scores ~0, a stall scores high.
+#[test]
+fn suspicion_score_gauge_tracks_silence() {
+    let (_multi, obs) = run_gray_trace(None);
+    // After the final (healthy) failure check the gauge reflects a calm
+    // peer again; the laggard transition proves it spiked in between.
+    assert!(
+        obs.metrics.counter(vd_obs::Ctr::GroupLaggards) >= 1,
+        "trace must contain a laggard phase"
+    );
+    let calm = obs.metrics.gauge(vd_obs::Gauge::GroupSuspicionScore);
+    assert!(
+        calm < 4_000,
+        "after recovery the score must sit below the laggard bar (got {calm} milli)"
+    );
+}

@@ -46,7 +46,7 @@ use crate::clock::NodeClock;
 use crate::codec;
 use crate::log::NodeLog;
 use crate::mailbox::{MailItem, Mailbox};
-use crate::transport::UdpTransport;
+use crate::transport::{DelayShim, UdpTransport};
 
 /// Builds one incarnation of an actor. Called on the actor's own thread;
 /// the argument is the restart attempt (0 = first start), letting the
@@ -117,6 +117,7 @@ pub fn spawn_supervised(
     clock: NodeClock,
     socket: Arc<UdpSocket>,
     peers: Arc<BTreeMap<ProcessId, SocketAddr>>,
+    shim: Arc<DelayShim>,
     mailbox: Arc<Mailbox>,
     obs: ObsHandle,
     log: Arc<NodeLog>,
@@ -125,7 +126,9 @@ pub fn spawn_supervised(
     std::thread::Builder::new()
         .name(format!("vd-actor-{}", spec.pid.0))
         .spawn(move || {
-            supervise(spec, clock, socket, peers, mailbox, obs, log, shutdown);
+            supervise(
+                spec, clock, socket, peers, shim, mailbox, obs, log, shutdown,
+            );
         })
 }
 
@@ -135,6 +138,7 @@ fn supervise(
     clock: NodeClock,
     socket: Arc<UdpSocket>,
     peers: Arc<BTreeMap<ProcessId, SocketAddr>>,
+    shim: Arc<DelayShim>,
     mailbox: Arc<Mailbox>,
     obs: ObsHandle,
     log: Arc<NodeLog>,
@@ -166,6 +170,7 @@ fn supervise(
                 clock.clone(),
                 Arc::clone(&socket),
                 Arc::clone(&peers),
+                Arc::clone(&shim),
                 &mailbox,
                 &obs,
                 &log,
@@ -203,12 +208,21 @@ fn run_actor(
     clock: NodeClock,
     socket: Arc<UdpSocket>,
     peers: Arc<BTreeMap<ProcessId, SocketAddr>>,
+    shim: Arc<DelayShim>,
     mailbox: &Mailbox,
     obs: &ObsHandle,
     log: &Arc<NodeLog>,
 ) -> Exit {
     let pid = spec.pid;
-    let mut transport = UdpTransport::new(pid, clock, socket, peers, obs.clone(), Arc::clone(log));
+    let mut transport = UdpTransport::new(
+        pid,
+        clock,
+        socket,
+        peers,
+        shim,
+        obs.clone(),
+        Arc::clone(log),
+    );
     // Distinct stream per (seed, actor, incarnation), all deterministic.
     let mut rng =
         DeterministicRng::new(spec.seed ^ pid.0.wrapping_mul(0x9e37_79b9) ^ (attempt << 48));

@@ -10,7 +10,9 @@
 //! [`MailItem::Crash`] into a mailbox, panicking the actor thread so the
 //! supervisor's restart-and-re-join path runs — the process-crash fault
 //! of the paper's fault model, injected exactly where the simulator's
-//! `crash_at` would inject it.
+//! `crash_at` would inject it — and [`NodeHandle::set_egress_delay`]
+//! arms the socket-level [`crate::transport::DelayShim`], the gray
+//! (fail-slow) fault the simulator injects with `set_link_delay`.
 
 use std::collections::BTreeMap;
 use std::net::{SocketAddr, UdpSocket};
@@ -30,7 +32,7 @@ use crate::config::{GroupSpec, NodeConfig};
 use crate::host::{spawn_supervised, ActorFactory, ActorSpec, SupervisorPolicy};
 use crate::log::NodeLog;
 use crate::mailbox::{MailItem, Mailbox};
-use crate::transport::run_io_pump;
+use crate::transport::{run_delay_pump, run_io_pump, DelayShim};
 
 /// Builder entry points for a running node.
 #[derive(Debug)]
@@ -41,6 +43,8 @@ pub struct NodeHandle {
     mailboxes: BTreeMap<ProcessId, Arc<Mailbox>>,
     actor_joins: Vec<JoinHandle<()>>,
     pump_join: Option<JoinHandle<()>>,
+    delay_join: Option<JoinHandle<()>>,
+    shim: Arc<DelayShim>,
     shutdown: Arc<AtomicBool>,
     obs: ObsHandle,
     log: Arc<NodeLog>,
@@ -80,6 +84,7 @@ impl Node {
         }
         let peers = Arc::new(peers);
         let shutdown = Arc::new(AtomicBool::new(false));
+        let shim = Arc::new(DelayShim::new());
 
         // One mailbox per local pid; the router map is immutable once the
         // pump starts, so routing needs no locks.
@@ -108,6 +113,7 @@ impl Node {
                 clock.clone(),
                 Arc::clone(&socket),
                 Arc::clone(&peers),
+                Arc::clone(&shim),
                 Arc::clone(mailbox),
                 obs.clone(),
                 Arc::clone(&log),
@@ -124,6 +130,16 @@ impl Node {
                 .name(format!("vd-pump-{}", config.node_id))
                 .spawn(move || run_io_pump(socket, router, obs, log, shutdown))?
         };
+        let delay_join = {
+            let socket = Arc::clone(&socket);
+            let shim = Arc::clone(&shim);
+            let obs = obs.clone();
+            let log = Arc::clone(&log);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name(format!("vd-delay-{}", config.node_id))
+                .spawn(move || run_delay_pump(socket, shim, obs, log, shutdown))?
+        };
 
         log.line(&format!(
             "node {} up at {local_addr} hosting {:?}",
@@ -134,6 +150,8 @@ impl Node {
             mailboxes,
             actor_joins,
             pump_join: Some(pump_join),
+            delay_join: Some(delay_join),
+            shim,
             shutdown,
             obs,
             log,
@@ -218,6 +236,16 @@ impl NodeHandle {
         self.mailboxes.keys().copied().collect()
     }
 
+    /// Arms (nonzero) or disarms (zero) a socket-level egress delay on
+    /// every datagram this node sends — the gray-failure fault injection
+    /// of the real backend: the node stays alive and keeps talking, but
+    /// everything it says arrives `delay` late.
+    pub fn set_egress_delay(&self, delay: std::time::Duration) {
+        self.log
+            .line(&format!("egress delay shim set to {delay:?}"));
+        self.shim.set_delay(delay);
+    }
+
     /// Injects a crash into the actor for `pid` (it will panic and be
     /// restarted by its supervisor). Returns `false` if `pid` is not
     /// hosted here.
@@ -244,6 +272,12 @@ impl NodeHandle {
         }
         if let Some(pump) = self.pump_join.take() {
             let _ = pump.join();
+        }
+        if let Some(delay) = self.delay_join.take() {
+            // The delay pump re-checks shutdown at most 50 ms apart even
+            // while idle; waking it through the shim makes the join quick.
+            self.shim.set_delay(std::time::Duration::ZERO);
+            let _ = delay.join();
         }
         self.log.line("node shut down");
     }

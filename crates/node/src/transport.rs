@@ -25,11 +25,13 @@
 //! vd-check blocking lint, not a blanket exemption (see
 //! `crates/check/allowlist.txt`).
 
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use std::net::{SocketAddr, UdpSocket};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
 
 use vd_group::transport::Transport;
 use vd_obs::registry::Ctr;
@@ -110,6 +112,116 @@ impl TimerWheel {
     }
 }
 
+/// A socket-level egress delay shim: the gray-failure fault injector of
+/// the real backend, mirroring the simulator's `set_link_delay` verb.
+///
+/// While a delay is armed ([`DelayShim::set_delay`]), every datagram the
+/// node would send is parked in a FIFO queue instead and released onto
+/// the wire by the node's delay-pump thread once the delay has elapsed —
+/// the node is alive, its protocol state advances, but everything it says
+/// arrives late, which is exactly the fail-slow surface the adaptive
+/// detector exists for. With the delay at zero (the default) sends take
+/// the direct path and the shim costs one atomic load per datagram.
+///
+/// The queue is released in enqueue order; a send racing a `set_delay(0)`
+/// may overtake still-parked datagrams, which UDP's no-ordering contract
+/// already forces every consumer to tolerate.
+#[derive(Debug, Default)]
+pub struct DelayShim {
+    delay_us: AtomicU64,
+    queue: Mutex<VecDeque<(Instant, SocketAddr, Bytes)>>,
+    wake: Condvar,
+}
+
+impl DelayShim {
+    /// A disarmed shim (zero delay, direct sends).
+    pub fn new() -> Self {
+        DelayShim::default()
+    }
+
+    /// Arms (nonzero) or disarms (zero) the egress delay.
+    pub fn set_delay(&self, delay: Duration) {
+        self.delay_us.store(
+            delay.as_micros().min(u128::from(u64::MAX)) as u64,
+            Ordering::Relaxed,
+        );
+        self.wake.notify_all();
+    }
+
+    /// The currently armed delay, if any.
+    pub fn active_delay(&self) -> Option<Duration> {
+        match self.delay_us.load(Ordering::Relaxed) {
+            0 => None,
+            us => Some(Duration::from_micros(us)),
+        }
+    }
+
+    /// Parks a datagram for release at `due`.
+    fn hold(&self, due: Instant, addr: SocketAddr, bytes: Bytes) {
+        self.queue
+            .lock()
+            .expect("delay shim queue poisoned")
+            .push_back((due, addr, bytes));
+        self.wake.notify_all();
+    }
+}
+
+/// The node's delay-release loop: sleeps until the head of the shim's
+/// queue is due, then puts it on the wire (counting it as sent at that
+/// moment). Idles on the condvar while the shim is disarmed and empty.
+pub fn run_delay_pump(
+    socket: Arc<UdpSocket>,
+    shim: Arc<DelayShim>,
+    obs: ObsHandle,
+    log: Arc<NodeLog>,
+    shutdown: Arc<AtomicBool>,
+) {
+    loop {
+        let released = {
+            let mut queue = shim.queue.lock().expect("delay shim queue poisoned");
+            loop {
+                if shutdown.load(Ordering::Relaxed) {
+                    // Parked datagrams die with the node — an abrupt stop
+                    // may always eat in-flight traffic.
+                    return;
+                }
+                match queue.front() {
+                    Some(&(due, _, _)) if due <= Instant::now() => {
+                        break queue.pop_front().expect("non-empty queue");
+                    }
+                    Some(&(due, _, _)) => {
+                        let wait = due
+                            .saturating_duration_since(Instant::now())
+                            .min(Duration::from_millis(50));
+                        let (guard, _) = shim
+                            .wake
+                            .wait_timeout(queue, wait)
+                            .expect("delay shim queue poisoned");
+                        queue = guard;
+                    }
+                    None => {
+                        let (guard, _) = shim
+                            .wake
+                            .wait_timeout(queue, Duration::from_millis(50))
+                            .expect("delay shim queue poisoned");
+                        queue = guard;
+                    }
+                }
+            }
+        };
+        let (_, addr, bytes) = released;
+        match socket.send_to(&bytes, addr) {
+            Ok(n) => {
+                obs.metrics.incr(Ctr::NodeFramesSent);
+                obs.metrics.add(Ctr::NodeBytesSent, n as u64);
+            }
+            Err(e) => {
+                log.line(&format!("delay pump: send to {addr} failed: {e}"));
+            }
+        }
+    }
+}
+
 /// The UDP-backed [`Transport`] owned by one actor thread.
 #[derive(Debug)]
 pub struct UdpTransport {
@@ -117,18 +229,21 @@ pub struct UdpTransport {
     clock: NodeClock,
     socket: Arc<UdpSocket>,
     peers: Arc<BTreeMap<ProcessId, SocketAddr>>,
+    shim: Arc<DelayShim>,
     obs: ObsHandle,
     log: Arc<NodeLog>,
     wheel: TimerWheel,
 }
 
 impl UdpTransport {
-    /// A transport sending as `me` through the node's shared socket.
+    /// A transport sending as `me` through the node's shared socket,
+    /// routing through `shim` while an egress delay is armed.
     pub fn new(
         me: ProcessId,
         clock: NodeClock,
         socket: Arc<UdpSocket>,
         peers: Arc<BTreeMap<ProcessId, SocketAddr>>,
+        shim: Arc<DelayShim>,
         obs: ObsHandle,
         log: Arc<NodeLog>,
     ) -> Self {
@@ -137,6 +252,7 @@ impl UdpTransport {
             clock,
             socket,
             peers,
+            shim,
             obs,
             log,
             wheel: TimerWheel::new(),
@@ -177,6 +293,10 @@ impl Transport for UdpTransport {
             ));
             return;
         };
+        if let Some(delay) = self.shim.active_delay() {
+            self.shim.hold(Instant::now() + delay, addr, bytes);
+            return;
+        }
         match self.socket.send_to(&bytes, addr) {
             Ok(n) => {
                 self.obs.metrics.incr(Ctr::NodeFramesSent);
@@ -288,6 +408,58 @@ mod tests {
         wheel.set(SimTime::from_micros(100), TimerToken(1));
         assert_eq!(wheel.pop_due(SimTime::from_micros(99)), None);
         assert_eq!(wheel.next_deadline(), Some(SimTime::from_micros(100)));
+    }
+
+    #[test]
+    fn delay_shim_holds_then_releases_in_order() {
+        let recv = UdpSocket::bind("127.0.0.1:0").expect("bind recv");
+        recv.set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        let addr = recv.local_addr().expect("addr");
+        let send = Arc::new(UdpSocket::bind("127.0.0.1:0").expect("bind send"));
+        let shim = Arc::new(DelayShim::new());
+        assert!(shim.active_delay().is_none(), "disarmed by default");
+        shim.set_delay(Duration::from_millis(30));
+        let armed = Instant::now();
+        shim.hold(
+            armed + Duration::from_millis(30),
+            addr,
+            Bytes::from_static(b"one"),
+        );
+        shim.hold(
+            armed + Duration::from_millis(30),
+            addr,
+            Bytes::from_static(b"two"),
+        );
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let pump = {
+            let (socket, shim, shutdown) =
+                (Arc::clone(&send), Arc::clone(&shim), Arc::clone(&shutdown));
+            std::thread::spawn(move || {
+                run_delay_pump(
+                    socket,
+                    shim,
+                    vd_obs::Obs::disabled(),
+                    NodeLog::create(None, 0, NodeClock::new(), false).expect("log"),
+                    shutdown,
+                )
+            })
+        };
+        let mut buf = [0u8; 16];
+        let n = recv.recv(&mut buf).expect("first datagram");
+        assert!(
+            armed.elapsed() >= Duration::from_millis(30),
+            "released before the armed delay elapsed"
+        );
+        assert_eq!(&buf[..n], b"one", "held datagrams must release in order");
+        let n = recv.recv(&mut buf).expect("second datagram");
+        assert_eq!(&buf[..n], b"two");
+        shim.set_delay(Duration::ZERO);
+        assert!(shim.active_delay().is_none());
+        shutdown.store(true, Ordering::Relaxed);
+        shim.wake.notify_all();
+        pump.join().expect("pump join");
     }
 
     #[test]

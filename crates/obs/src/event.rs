@@ -270,6 +270,38 @@ pub enum EventKind {
         /// Member count of the new view.
         members: u64,
     },
+    /// The adaptive failure detector classified a peer as *laggard*:
+    /// statistically anomalous silence, but below the slow-vs-dead
+    /// threshold (gray failure, not a crash).
+    LaggardDetected {
+        /// Process id of the lagging peer.
+        peer: u64,
+        /// Suspicion score at detection, in milli-units (z-score × 1000).
+        score_milli: u64,
+    },
+    /// A previously laggard peer resumed a healthy heartbeat cadence.
+    LaggardCleared {
+        /// Process id of the recovered peer.
+        peer: u64,
+    },
+    /// The adaptive detector held a suspicion that a fixed-timeout
+    /// detector would have raised: the peer's silence exceeded the base
+    /// failure timeout but its inter-arrival history justified waiting.
+    SuspicionHeld {
+        /// Process id of the peer spared (for now).
+        peer: u64,
+        /// Measured silence when the fixed timeout would have fired, µs.
+        silence_us: u64,
+    },
+    /// A laggard primary was demoted: primaryship moved to a healthy
+    /// backup while the slow replica stayed in the group (the cheap,
+    /// reversible gray-failure remedy).
+    PrimaryDemoted {
+        /// Process id of the demoted laggard.
+        laggard: u64,
+        /// Process id of the member now serving as primary.
+        now_primary: u64,
+    },
 }
 
 impl EventKind {
@@ -300,6 +332,10 @@ impl EventKind {
             EventKind::HeartbeatSent => "heartbeat_sent",
             EventKind::SuspicionRaised { .. } => "suspicion_raised",
             EventKind::ViewInstalled { .. } => "view_installed",
+            EventKind::LaggardDetected { .. } => "laggard_detected",
+            EventKind::LaggardCleared { .. } => "laggard_cleared",
+            EventKind::SuspicionHeld { .. } => "suspicion_held",
+            EventKind::PrimaryDemoted { .. } => "primary_demoted",
         }
     }
 }

@@ -103,6 +103,21 @@ fn write_fields(out: &mut String, kind: &EventKind) {
         EventKind::ViewInstalled { view_id, members } => {
             let _ = write!(out, ",\"view_id\":{view_id},\"members\":{members}");
         }
+        EventKind::LaggardDetected { peer, score_milli } => {
+            let _ = write!(out, ",\"peer\":{peer},\"score_milli\":{score_milli}");
+        }
+        EventKind::LaggardCleared { peer } => {
+            let _ = write!(out, ",\"peer\":{peer}");
+        }
+        EventKind::SuspicionHeld { peer, silence_us } => {
+            let _ = write!(out, ",\"peer\":{peer},\"silence_us\":{silence_us}");
+        }
+        EventKind::PrimaryDemoted {
+            laggard,
+            now_primary,
+        } => {
+            let _ = write!(out, ",\"laggard\":{laggard},\"now_primary\":{now_primary}");
+        }
     }
 }
 

@@ -92,6 +92,9 @@ metric_enum! {
         StyleSwitches => ("replicator.style_switches", L_REP),
         /// Failover view changes processed (departures seen).
         Failovers => ("replicator.failovers", L_REP),
+        /// Laggard-primary demotions applied (gray-failure remedy:
+        /// primaryship moved to a healthy backup without an eviction).
+        RepDemotions => ("replicator.demotions", L_REP),
         /// Data multicasts sent by the group endpoint (post-batching).
         GroupSends => ("group.sends", L_GRP),
         /// Per-member frame copies fanned out.
@@ -108,6 +111,13 @@ metric_enum! {
         GroupHeartbeatsRecv => ("group.heartbeats_recv", L_GRP),
         /// Suspicions raised by the failure detector.
         GroupSuspicions => ("group.suspicions", L_GRP),
+        /// Peers newly classified as laggard (Alive → Laggard
+        /// transitions of the adaptive detector).
+        GroupLaggards => ("group.laggard_transitions", L_GRP),
+        /// Fixed-timeout suspicions the adaptive detector suppressed:
+        /// rounds where a peer's silence exceeded the base failure
+        /// timeout but its inter-arrival history justified holding.
+        GroupSuspicionsHeld => ("group.suspicions_held", L_GRP),
         /// Recovery episodes opened (replication degree below target).
         RecoveryEpisodes => ("recovery.episodes", L_REC),
         /// Replacement joiners spawned (attempts, retries included).
@@ -152,6 +162,10 @@ metric_enum! {
         RepStyle => ("replicator.style", L_REP),
         /// Members in the endpoint's installed view.
         GroupMembers => ("group.members", L_GRP),
+        /// Worst per-peer suspicion score of the adaptive failure
+        /// detector, in milli-units (z-score × 1000), sampled each
+        /// failure-check round.
+        GroupSuspicionScore => ("group.suspicion_score", L_GRP),
         /// Depth of the `vd-node` actor mailbox most recently pushed to
         /// (sampled at enqueue time; a sustained high value means an
         /// actor is falling behind its socket).

@@ -46,6 +46,14 @@ pub(crate) enum ControlAction {
     PartitionOneWay(NodeId, NodeId),
     HealPartitions,
     HealPair(NodeId, NodeId),
+    SetLinkLoss(NodeId, NodeId, f64),
+    SetLinkDelay(
+        NodeId,
+        NodeId,
+        crate::time::SimDuration,
+        crate::time::SimDuration,
+    ),
+    SetClockSkew(NodeId, i64),
 }
 
 pub(crate) struct ScheduledEvent {

@@ -3,13 +3,16 @@
 //! The paper's fault model (§3.1): hardware and software crash faults,
 //! transient communication faults, performance and timing faults. This
 //! module holds the world's standing fault state — message-loss probability
-//! and network partitions — plus the builder used to schedule fault events.
-//! Crash and slowdown injections are scheduled through the world's control
+//! (global and per-link), network partitions, and per-link gray-failure
+//! delay — plus the builder used to schedule fault events. Crash, slowdown
+//! and clock-skew injections are scheduled through the world's control
 //! queue (see [`crate::world::World`]).
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
+use crate::explore::Fnv64;
 use crate::rng::DeterministicRng;
+use crate::time::SimDuration;
 use crate::topology::NodeId;
 
 /// Standing communication-fault state consulted on every message send.
@@ -20,6 +23,12 @@ pub struct FaultState {
     drop_probability: f64,
     /// Directed node pairs whose traffic is blocked (network partitions).
     blocked: BTreeSet<(NodeId, NodeId)>,
+    /// Per-directed-link loss probability (lossy-but-alive gray links).
+    /// Entries are removed when the probability returns to zero.
+    link_loss: BTreeMap<(NodeId, NodeId), f64>,
+    /// Per-directed-link added delay as `(base, jitter)` (slow-but-alive
+    /// gray links). Entries are removed when both return to zero.
+    link_delay: BTreeMap<(NodeId, NodeId), (SimDuration, SimDuration)>,
 }
 
 impl FaultState {
@@ -74,14 +83,87 @@ impl FaultState {
         self.blocked.contains(&(from, to))
     }
 
+    /// Sets the loss probability of the directed link `from → to` (clamped
+    /// to `[0, 1]`; zero removes the fault).
+    pub fn set_link_loss(&mut self, from: NodeId, to: NodeId, p: f64) {
+        let p = if p.is_finite() {
+            p.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        if p > 0.0 {
+            self.link_loss.insert((from, to), p);
+        } else {
+            self.link_loss.remove(&(from, to));
+        }
+    }
+
+    /// The standing loss probability of the directed link `from → to`.
+    pub fn link_loss(&self, from: NodeId, to: NodeId) -> f64 {
+        self.link_loss.get(&(from, to)).copied().unwrap_or(0.0)
+    }
+
+    /// Sets the added delay of the directed link `from → to`: every message
+    /// is delayed by `base` plus a uniform draw in `[0, jitter]`. Both zero
+    /// removes the fault.
+    pub fn set_link_delay(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        base: SimDuration,
+        jitter: SimDuration,
+    ) {
+        if base.is_zero() && jitter.is_zero() {
+            self.link_delay.remove(&(from, to));
+        } else {
+            self.link_delay.insert((from, to), (base, jitter));
+        }
+    }
+
+    /// The standing added-delay fault of the directed link `from → to`, as
+    /// `(base, jitter)`, if one is active.
+    pub fn link_delay(&self, from: NodeId, to: NodeId) -> Option<(SimDuration, SimDuration)> {
+        self.link_delay.get(&(from, to)).copied()
+    }
+
+    /// Whether any gray-delay fault is currently standing.
+    pub fn has_link_delays(&self) -> bool {
+        !self.link_delay.is_empty()
+    }
+
     /// Decides whether a particular message is lost, consuming randomness
     /// only when a loss is possible (keeps fault-free runs' RNG streams
-    /// identical whether or not this is consulted).
+    /// identical whether or not this is consulted). Global loss and
+    /// per-link loss are drawn independently, each only when nonzero.
     pub fn should_drop(&self, from: NodeId, to: NodeId, rng: &mut DeterministicRng) -> bool {
         if self.is_blocked(from, to) {
             return true;
         }
-        self.drop_probability > 0.0 && rng.gen_bool(self.drop_probability)
+        if self.drop_probability > 0.0 && rng.gen_bool(self.drop_probability) {
+            return true;
+        }
+        let link_p = self.link_loss(from, to);
+        link_p > 0.0 && rng.gen_bool(link_p)
+    }
+
+    /// Folds the whole standing fault state into an exploration digest.
+    pub(crate) fn fold_digest(&self, h: &mut Fnv64) {
+        h.write_u64(self.drop_probability.to_bits());
+        for &(a, b) in &self.blocked {
+            h.write_u64(u64::from(a.0));
+            h.write_u64(u64::from(b.0));
+        }
+        for (&(a, b), &p) in &self.link_loss {
+            h.write_u64(u64::from(a.0));
+            h.write_u64(u64::from(b.0));
+            h.write_u64(p.to_bits());
+        }
+        for (&(a, b), &(base, jitter)) in &self.link_delay {
+            h.write_u64(u64::from(a.0));
+            h.write_u64(u64::from(b.0));
+            h.write_u64(base.as_micros());
+            h.write_u64(jitter.as_micros());
+        }
     }
 }
 
@@ -152,6 +234,49 @@ mod tests {
         for _ in 0..10 {
             assert!(f.should_drop(NodeId(0), NodeId(1), &mut rng));
         }
+    }
+
+    #[test]
+    fn link_loss_is_directed_and_removable() {
+        let mut f = FaultState::new();
+        f.set_link_loss(NodeId(0), NodeId(1), 1.0);
+        let mut rng = DeterministicRng::new(4);
+        assert!(f.should_drop(NodeId(0), NodeId(1), &mut rng));
+        // The reverse direction is untouched.
+        assert!(!f.should_drop(NodeId(1), NodeId(0), &mut rng));
+        f.set_link_loss(NodeId(0), NodeId(1), 0.0);
+        assert!(!f.should_drop(NodeId(0), NodeId(1), &mut rng));
+        assert_eq!(f.link_loss(NodeId(0), NodeId(1)), 0.0);
+    }
+
+    #[test]
+    fn link_loss_probability_is_clamped() {
+        let mut f = FaultState::new();
+        f.set_link_loss(NodeId(0), NodeId(1), 9.0);
+        assert_eq!(f.link_loss(NodeId(0), NodeId(1)), 1.0);
+        f.set_link_loss(NodeId(0), NodeId(1), f64::NAN);
+        assert_eq!(f.link_loss(NodeId(0), NodeId(1)), 0.0);
+    }
+
+    #[test]
+    fn link_delay_roundtrips_and_clears() {
+        let mut f = FaultState::new();
+        assert!(!f.has_link_delays());
+        f.set_link_delay(
+            NodeId(2),
+            NodeId(3),
+            SimDuration::from_millis(5),
+            SimDuration::from_millis(1),
+        );
+        assert!(f.has_link_delays());
+        assert_eq!(
+            f.link_delay(NodeId(2), NodeId(3)),
+            Some((SimDuration::from_millis(5), SimDuration::from_millis(1)))
+        );
+        assert_eq!(f.link_delay(NodeId(3), NodeId(2)), None, "directed");
+        f.set_link_delay(NodeId(2), NodeId(3), SimDuration::ZERO, SimDuration::ZERO);
+        assert_eq!(f.link_delay(NodeId(2), NodeId(3)), None);
+        assert!(!f.has_link_delays());
     }
 
     #[test]

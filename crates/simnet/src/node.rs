@@ -18,6 +18,9 @@ pub struct NodeState {
     busy_until: SimTime,
     /// Timing-fault multiplier applied to every charged CPU cost.
     slowdown: f64,
+    /// Clock-skew fault: offset (µs, may be negative) added to the local
+    /// clock actors on this node perceive. Scheduling stays on true time.
+    clock_skew_us: i64,
     busy_accum: SimDuration,
     accum_since: SimTime,
 }
@@ -30,6 +33,7 @@ impl NodeState {
             up: true,
             busy_until: SimTime::ZERO,
             slowdown: 1.0,
+            clock_skew_us: 0,
             busy_accum: SimDuration::ZERO,
             accum_since: SimTime::ZERO,
         }
@@ -65,6 +69,28 @@ impl NodeState {
         } else {
             1.0
         };
+    }
+
+    /// The standing clock-skew offset in microseconds (0 = true time).
+    pub fn clock_skew_us(&self) -> i64 {
+        self.clock_skew_us
+    }
+
+    pub(crate) fn set_clock_skew_us(&mut self, skew_us: i64) {
+        self.clock_skew_us = skew_us;
+    }
+
+    /// The local instant actors on this node perceive at true time `t`.
+    /// Saturates at the epoch for negative skews near the start.
+    pub fn perceive(&self, t: SimTime) -> SimTime {
+        if self.clock_skew_us >= 0 {
+            t.saturating_add(SimDuration::from_micros(self.clock_skew_us as u64))
+        } else {
+            SimTime::from_micros(
+                t.as_micros()
+                    .saturating_sub(self.clock_skew_us.unsigned_abs()),
+            )
+        }
     }
 
     /// Charges `cost` of CPU starting at `start`, extending the busy period
@@ -139,5 +165,18 @@ mod tests {
     fn utilization_with_empty_window_is_zero() {
         let n = NodeState::new(NodeId(0));
         assert_eq!(n.utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn clock_skew_shifts_perceived_time_both_ways() {
+        let mut n = NodeState::new(NodeId(0));
+        let t = SimTime::from_micros(1_000);
+        assert_eq!(n.perceive(t), t, "zero skew is the identity");
+        n.set_clock_skew_us(250);
+        assert_eq!(n.perceive(t), SimTime::from_micros(1_250));
+        n.set_clock_skew_us(-400);
+        assert_eq!(n.perceive(t), SimTime::from_micros(600));
+        // Negative skew saturates at the epoch rather than wrapping.
+        assert_eq!(n.perceive(SimTime::from_micros(100)), SimTime::ZERO);
     }
 }

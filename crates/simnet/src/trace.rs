@@ -69,6 +69,8 @@ pub enum TraceEventKind {
 pub enum DropReason {
     /// Random transient communication fault.
     RandomLoss,
+    /// A lossy-but-alive gray link dropped the message.
+    LinkLoss,
     /// A network partition blocked the path.
     Partition,
     /// The destination process is dead.
@@ -81,6 +83,7 @@ impl fmt::Display for DropReason {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
             DropReason::RandomLoss => "random loss",
+            DropReason::LinkLoss => "link loss",
             DropReason::Partition => "partition",
             DropReason::DeadProcess => "dead process",
             DropReason::NodeDown => "node down",

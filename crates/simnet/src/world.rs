@@ -74,6 +74,10 @@ pub struct World {
     next_pid: u64,
     canceled_timers: BTreeMap<(ProcessId, TimerToken), u32>,
     events_processed: u64,
+    /// Per-directed-link arrival watermark, maintained only while a
+    /// gray-delay fault is active on that link: arrivals are clamped to be
+    /// monotone so added delay + jitter never reorders a link's messages.
+    link_fifo: BTreeMap<(NodeId, NodeId), SimTime>,
 }
 
 impl World {
@@ -100,6 +104,7 @@ impl World {
             next_pid: 0,
             canceled_timers: BTreeMap::new(),
             events_processed: 0,
+            link_fifo: BTreeMap::new(),
         }
     }
 
@@ -316,6 +321,43 @@ impl World {
             .push(at, EventKind::Control(ControlAction::HealPair(a, b)));
     }
 
+    /// Sets the loss probability of the directed link `from → to` at `at`
+    /// (a lossy-but-alive gray link; `0.0` repairs).
+    pub fn set_link_loss_at(&mut self, from: NodeId, to: NodeId, p: f64, at: SimTime) {
+        self.queue.push(
+            at,
+            EventKind::Control(ControlAction::SetLinkLoss(from, to, p)),
+        );
+    }
+
+    /// From `at`, adds `base` plus up to `jitter` of deterministic jitter to
+    /// every message on the directed link `from → to`, FIFO-preserving
+    /// (arrivals on the link stay in send order). Both zero repairs.
+    pub fn set_link_delay_at(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        base: SimDuration,
+        jitter: SimDuration,
+        at: SimTime,
+    ) {
+        self.queue.push(
+            at,
+            EventKind::Control(ControlAction::SetLinkDelay(from, to, base, jitter)),
+        );
+    }
+
+    /// From `at`, offsets the clock actors on `node` perceive by `skew_us`
+    /// microseconds (may be negative; `0` repairs). Scheduling stays on
+    /// true time — only `Context::now` readings are distorted, which is
+    /// exactly what breaks naive timeout-based failure detectors.
+    pub fn set_clock_skew_at(&mut self, node: NodeId, skew_us: i64, at: SimTime) {
+        self.queue.push(
+            at,
+            EventKind::Control(ControlAction::SetClockSkew(node, skew_us)),
+        );
+    }
+
     // ----- execution -------------------------------------------------------
 
     /// Processes a single event. Returns `false` when the queue is empty.
@@ -439,6 +481,14 @@ impl World {
         }
         for node in &self.nodes {
             h.write_u64(u64::from(node.is_up()));
+            h.write_u64(node.slowdown().to_bits());
+            h.write_u64(node.clock_skew_us() as u64);
+        }
+        self.fault.fold_digest(&mut h);
+        for (&(a, b), &mark) in &self.link_fifo {
+            h.write_u64(u64::from(a.0));
+            h.write_u64(u64::from(b.0));
+            h.write_u64(mark.duration_since(self.time).as_micros());
         }
         for (&(pid, token), &count) in &self.canceled_timers {
             h.write_u64(pid.0);
@@ -584,7 +634,9 @@ impl World {
             return;
         };
         let mut ctx = Context {
-            now: self.time,
+            // Actors read the node's (possibly skewed) local clock; the
+            // scheduler itself always runs on true time.
+            now: self.nodes[node.0 as usize].perceive(self.time),
             self_id: pid,
             node,
             actions: Vec::new(),
@@ -671,11 +723,34 @@ impl World {
             self.record_drop(src, dst, DropReason::RandomLoss);
             return;
         }
+        let link_p = self.fault.link_loss(src_node, dst_node);
+        if link_p > 0.0 && self.rng.gen_bool(link_p) {
+            self.record_drop(src, dst, DropReason::LinkLoss);
+            return;
+        }
 
         let link = *self.topology.link(src_node, dst_node);
         let delay = link.latency.sample(&mut self.rng) + link.transmission_delay(wire_size);
+        let mut arrival = depart + delay;
+        if let Some((base, jitter)) = self.fault.link_delay(src_node, dst_node) {
+            // Gray delay: base plus deterministic jitter, with a per-link
+            // arrival watermark so the added delay never reorders the
+            // link's messages. Randomness is consumed only while the fault
+            // is active, keeping fault-free RNG streams identical.
+            let mut extra = base;
+            if !jitter.is_zero() {
+                extra += SimDuration::from_micros(self.rng.gen_range_u64(0..=jitter.as_micros()));
+            }
+            arrival += extra;
+            let watermark = self
+                .link_fifo
+                .entry((src_node, dst_node))
+                .or_insert(SimTime::ZERO);
+            arrival = arrival.max(*watermark);
+            *watermark = arrival;
+        }
         self.queue.push(
-            depart + delay,
+            arrival,
             EventKind::Deliver {
                 src,
                 dst,
@@ -731,6 +806,20 @@ impl World {
             ControlAction::PartitionOneWay(from, to) => self.fault.partition_oneway(from, to),
             ControlAction::HealPartitions => self.fault.heal(),
             ControlAction::HealPair(a, b) => self.fault.heal_pair(a, b),
+            ControlAction::SetLinkLoss(from, to, p) => self.fault.set_link_loss(from, to, p),
+            ControlAction::SetLinkDelay(from, to, base, jitter) => {
+                self.fault.set_link_delay(from, to, base, jitter);
+                if self.fault.link_delay(from, to).is_none() {
+                    // Repair: forget the FIFO watermark so the healed link
+                    // returns to its baseline latency model.
+                    self.link_fifo.remove(&(from, to));
+                }
+            }
+            ControlAction::SetClockSkew(node, skew_us) => {
+                if let Some(state) = self.nodes.get_mut(node.0 as usize) {
+                    state.set_clock_skew_us(skew_us);
+                }
+            }
         }
     }
 }
@@ -1145,6 +1234,100 @@ mod tests {
                 seen: 0,
             }),
         );
+    }
+
+    #[test]
+    fn link_loss_drops_one_direction_only() {
+        let mut world = lan_world(3);
+        let echo = world.spawn(
+            NodeId(1),
+            Box::new(Echo {
+                cpu: SimDuration::ZERO,
+                seen: 0,
+            }),
+        );
+        // Requests 0 → 1 are black-holed; replies 1 → 0 would flow.
+        world.set_link_loss_at(NodeId(0), NodeId(1), 1.0, SimTime::ZERO);
+        let pinger = world.spawn(
+            NodeId(0),
+            Box::new(Pinger {
+                target: echo,
+                sent_at: SimTime::ZERO,
+                rtts: Vec::new(),
+            }),
+        );
+        world.run_for(SimDuration::from_millis(5));
+        assert_eq!(world.actor_ref::<Echo>(echo).unwrap().seen, 0);
+        // Repair and retry: traffic flows again.
+        world.set_link_loss_at(NodeId(0), NodeId(1), 0.0, world.now());
+        world.run_for(SimDuration::from_micros(10));
+        world.inject(echo, Ping(7));
+        world.run_for(SimDuration::from_millis(5));
+        assert_eq!(world.actor_ref::<Echo>(echo).unwrap().seen, 1);
+        let _ = pinger;
+    }
+
+    #[test]
+    fn link_delay_slows_but_does_not_kill() {
+        let mut world = lan_world(4);
+        let echo = world.spawn(
+            NodeId(1),
+            Box::new(Echo {
+                cpu: SimDuration::ZERO,
+                seen: 0,
+            }),
+        );
+        // +1 ms on the request path only, no jitter: RTT = 100 + 1000 + 100.
+        world.set_link_delay_at(
+            NodeId(0),
+            NodeId(1),
+            SimDuration::from_millis(1),
+            SimDuration::ZERO,
+            SimTime::ZERO,
+        );
+        let pinger = world.spawn(
+            NodeId(0),
+            Box::new(Pinger {
+                target: echo,
+                sent_at: SimTime::ZERO,
+                rtts: Vec::new(),
+            }),
+        );
+        world.run_for(SimDuration::from_millis(10));
+        let p = world.actor_ref::<Pinger>(pinger).unwrap();
+        assert_eq!(p.rtts, vec![SimDuration::from_micros(1_200)]);
+    }
+
+    #[test]
+    fn clock_skew_distorts_perceived_time_only() {
+        /// Records the local clock at each timer fire.
+        struct ClockReader {
+            readings: Vec<SimTime>,
+        }
+        impl Actor for ClockReader {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                self.readings.push(ctx.now());
+                ctx.set_timer(SimDuration::from_millis(1), TimerToken(1));
+            }
+            fn on_message(&mut self, _: &mut Context<'_>, _: ProcessId, _: Box<dyn Payload>) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_>, _t: TimerToken) {
+                self.readings.push(ctx.now());
+            }
+        }
+        let mut world = lan_world(5);
+        let reader = world.spawn(
+            NodeId(0),
+            Box::new(ClockReader {
+                readings: Vec::new(),
+            }),
+        );
+        world.set_clock_skew_at(NodeId(0), 500, SimTime::from_micros(10));
+        world.run_for(SimDuration::from_millis(5));
+        let r = world.actor_ref::<ClockReader>(reader).unwrap();
+        // on_start at true 0 (unskewed), timer at true 1000 perceived 1500:
+        // the timer still fired punctually on true time, only the reading
+        // is offset.
+        assert_eq!(r.readings, vec![SimTime::ZERO, SimTime::from_micros(1_500)]);
     }
 
     #[test]

@@ -184,6 +184,93 @@ fn latency_models_respect_bounds() {
     }
 }
 
+/// Fires `Ball(seq)` at a fixed peer: a burst in the first handler, then
+/// one per timer tick, covering both same-instant and spread-out sends.
+struct SequencedSender {
+    target: ProcessId,
+    next: u64,
+    total: u64,
+}
+
+impl Actor for SequencedSender {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        for _ in 0..5 {
+            ctx.send(self.target, Ball(self.next));
+            self.next += 1;
+        }
+        ctx.set_timer(SimDuration::from_micros(150), TimerToken(1));
+    }
+    fn on_message(&mut self, _: &mut Context<'_>, _: ProcessId, _: Box<dyn Payload>) {}
+    fn on_timer(&mut self, ctx: &mut Context<'_>, _t: TimerToken) {
+        if self.next < self.total {
+            ctx.send(self.target, Ball(self.next));
+            self.next += 1;
+            ctx.set_timer(SimDuration::from_micros(150), TimerToken(1));
+        }
+    }
+}
+
+/// Records every received sequence number.
+struct SequenceLog {
+    log: Vec<u64>,
+}
+
+impl Actor for SequenceLog {
+    fn on_message(&mut self, _ctx: &mut Context<'_>, _from: ProcessId, payload: Box<dyn Payload>) {
+        if let Ok(ball) = vd_simnet::actor::downcast_payload::<Ball>(payload) {
+            self.log.push(ball.0);
+        }
+    }
+}
+
+/// Gray link delay + jitter never reorders messages on the same link: with
+/// a constant-latency base link (FIFO by construction), an active
+/// delay-jitter fault must preserve pairwise delivery order.
+#[test]
+fn link_delay_jitter_preserves_fifo_order() {
+    for case in 0..16u64 {
+        let mut meta = DeterministicRng::new(0x5100_5000 + case);
+        let seed = meta.next_u64();
+        let base = meta.gen_range_u64(100..=2_000);
+        // Jitter far larger than the inter-send gap, so unclamped arrivals
+        // would reorder constantly.
+        let jitter = meta.gen_range_u64(1_000..=20_000);
+        let mut topo = Topology::full_mesh(2);
+        topo.set_default_link(LinkConfig::with_latency(LatencyModel::constant(
+            SimDuration::from_micros(30),
+        )));
+        let mut world = World::new(topo, seed);
+        world.set_link_delay_at(
+            NodeId(0),
+            NodeId(1),
+            SimDuration::from_micros(base),
+            SimDuration::from_micros(jitter),
+            SimTime::ZERO,
+        );
+        let sink = world.spawn(NodeId(1), Box::new(SequenceLog { log: Vec::new() }));
+        let total = 40;
+        world.spawn(
+            NodeId(0),
+            Box::new(SequencedSender {
+                target: sink,
+                next: 0,
+                total,
+            }),
+        );
+        world.run_for(SimDuration::from_secs(1));
+        let log = &world.actor_ref::<SequenceLog>(sink).unwrap().log;
+        assert_eq!(
+            log.len(),
+            total as usize,
+            "case {case}: nothing may be lost"
+        );
+        assert!(
+            log.windows(2).all(|w| w[0] < w[1]),
+            "case {case}: delivery order {log:?} is not FIFO"
+        );
+    }
+}
+
 /// Bernoulli loss converges to its probability (sanity of the fault model's
 /// randomness plumbing).
 #[test]

@@ -105,10 +105,7 @@ fn main() {
         replicas: 3,
         ..Observations::default()
     };
-    let ctx = PolicyContext {
-        style: ReplicationStyle::Active,
-        replicas: 3,
-    };
+    let ctx = PolicyContext::healthy(ReplicationStyle::Active, 3);
     match policy.evaluate(&obs, &ctx) {
         Some(AdaptationAction::NotifyOperators(msg)) => {
             println!("operators notified: {msg}");
